@@ -1,0 +1,126 @@
+//===- bench/BenchCommon.h - Shared harness for the experiments -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common machinery for the table/figure reproduction binaries: argument
+/// parsing (--scale, --reps, --threads), repeated timed runs of a workload
+/// under a tool configuration, and fixed-width table printing.
+///
+/// The paper executes each benchmark five times on a 16-core Xeon and
+/// reports the average slowdown versus an uninstrumented baseline; we do
+/// the same with a configurable repetition count and input scale sized for
+/// a small container. Absolute times are not comparable; the slowdown
+/// *shape* is the reproduced quantity (see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_BENCH_BENCHCOMMON_H
+#define AVC_BENCH_BENCHCOMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "instrument/ToolContext.h"
+#include "support/Statistics.h"
+#include "support/Timing.h"
+#include "workloads/Workloads.h"
+
+namespace avc {
+namespace bench {
+
+/// Command-line configuration shared by the experiment binaries.
+struct BenchConfig {
+  double Scale = 1.0;  ///< workload input scale (1.0 = default size)
+  unsigned Reps = 3;   ///< timed repetitions per configuration
+  unsigned Threads = 1;///< worker threads (1 = deterministic)
+};
+
+inline BenchConfig parseArgs(int Argc, char **Argv) {
+  BenchConfig Config;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--scale=", 8) == 0)
+      Config.Scale = std::atof(Arg + 8);
+    else if (std::strncmp(Arg, "--reps=", 7) == 0)
+      Config.Reps = static_cast<unsigned>(std::atoi(Arg + 7));
+    else if (std::strncmp(Arg, "--threads=", 10) == 0)
+      Config.Threads = static_cast<unsigned>(std::atoi(Arg + 10));
+    else if (std::strcmp(Arg, "--help") == 0) {
+      std::printf("usage: %s [--scale=S] [--reps=N] [--threads=T]\n",
+                  Argv[0]);
+      std::exit(0);
+    }
+  }
+  if (Config.Reps == 0)
+    Config.Reps = 1;
+  if (Config.Threads == 0)
+    Config.Threads = 1;
+  return Config;
+}
+
+/// Runs \p W once under a fresh tool context and returns wall seconds.
+inline double timeOnce(const workloads::Workload &W,
+                       ToolContext::Options Opts, double Scale) {
+  ToolContext Tool(Opts);
+  Timer T;
+  Tool.run([&] { W.Run(Scale); });
+  return T.elapsedSeconds();
+}
+
+/// Average wall seconds over \p Reps runs.
+inline double timeAverage(const workloads::Workload &W,
+                          ToolContext::Options Opts, double Scale,
+                          unsigned Reps) {
+  std::vector<double> Times;
+  Times.reserve(Reps);
+  for (unsigned R = 0; R < Reps; ++R)
+    Times.push_back(timeOnce(W, Opts, Scale));
+  return arithmeticMean(Times);
+}
+
+/// Convenience builders for the standard tool configurations.
+inline ToolContext::Options baselineOptions(const BenchConfig &Config) {
+  ToolContext::Options Opts;
+  Opts.Tool = ToolKind::None;
+  Opts.NumThreads = Config.Threads;
+  return Opts;
+}
+
+inline ToolContext::Options checkerOptions(const BenchConfig &Config,
+                                           DpstLayout Layout,
+                                           bool EnableCache = true) {
+  ToolContext::Options Opts;
+  Opts.Tool = ToolKind::Atomicity;
+  Opts.NumThreads = Config.Threads;
+  Opts.Checker.Layout = Layout;
+  Opts.Checker.EnableLcaCache = EnableCache;
+  return Opts;
+}
+
+inline ToolContext::Options velodromeOptions(const BenchConfig &Config) {
+  ToolContext::Options Opts;
+  Opts.Tool = ToolKind::Velodrome;
+  Opts.NumThreads = Config.Threads;
+  return Opts;
+}
+
+/// Formats a count with M/K suffixes the way Table 1 does.
+inline std::string humanCount(double Value) {
+  char Buffer[32];
+  if (Value >= 1e6)
+    std::snprintf(Buffer, sizeof(Buffer), "%.2fM", Value / 1e6);
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.0f", Value);
+  return std::string(Buffer);
+}
+
+} // namespace bench
+} // namespace avc
+
+#endif // AVC_BENCH_BENCHCOMMON_H

@@ -1,0 +1,129 @@
+//===- bench/detection_suite.cpp - Section 4 detection validation ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the paper's detection results (Section 4, "Detection of
+/// atomicity violations"):
+///  - the 36-program suite lives in tests/ViolationSuiteTest.cpp (run via
+///    ctest); this binary covers the trace-generator half: "Our prototype
+///    successfully detects all atomicity violations for a given input by
+///    examining one execution trace";
+///  - per generated program, the optimized checker's per-location verdicts
+///    are compared against the unbounded-history reference on a *serial*
+///    observation and on randomized schedules, and against Velodrome to
+///    quantify how much a trace-bound tool misses.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <set>
+
+#include "checker/AtomicityChecker.h"
+#include "checker/BasicChecker.h"
+#include "checker/Velodrome.h"
+#include "trace/TraceGenerator.h"
+#include "trace/TraceReplayer.h"
+
+using namespace avc;
+
+namespace {
+
+std::set<MemAddr> checkerVerdicts(const Trace &Events, bool PaperLiteral) {
+  AtomicityChecker::Options Opts;
+  if (PaperLiteral) {
+    Opts.ExtraInterleaverChecks = false;
+    Opts.CompleteMetadata = false;
+  }
+  AtomicityChecker Checker(Opts);
+  replayTrace(Events, Checker);
+  std::set<MemAddr> Found;
+  for (const Violation &V : Checker.violations().snapshot())
+    Found.insert(V.Addr);
+  return Found;
+}
+
+std::set<MemAddr> referenceVerdicts(const Trace &Events) {
+  BasicChecker Checker;
+  replayTrace(Events, Checker);
+  std::set<MemAddr> Found;
+  for (const Violation &V : Checker.violations().snapshot())
+    Found.insert(V.Addr);
+  return Found;
+}
+
+size_t velodromeCount(const Trace &Events) {
+  VelodromeChecker Checker;
+  replayTrace(Events, Checker);
+  return Checker.numViolations();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned NumPrograms = 600;
+  for (int I = 1; I < argc; ++I)
+    if (std::sscanf(argv[I], "--programs=%u", &NumPrograms) == 1)
+      break;
+
+  unsigned Buggy = 0;
+  unsigned SerialAgree = 0, RandomAgree = 0;
+  unsigned LiteralMisses = 0;
+  unsigned VeloFoundSerial = 0, VeloFoundRandom = 0;
+
+  for (uint64_t Seed = 1; Seed <= NumPrograms; ++Seed) {
+    TraceGenOptions Opts;
+    Opts.Seed = Seed;
+    Opts.NumTasks = 4 + Seed % 12;
+    Opts.NumLocations = 1 + Seed % 4;
+    Opts.NumLocks = Seed % 3;
+    Opts.MaxOpsPerTask = 4 + Seed % 8;
+    Opts.LockedFraction = (Seed % 4) * 0.2;
+    Opts.SyncFraction = (Seed % 5) * 0.08;
+    GenProgram Program = generateProgram(Opts);
+
+    Trace Serial = linearizeSerial(Program);
+    Trace Random = linearizeRandom(Program, Seed * 101 + 7);
+
+    std::set<MemAddr> Reference = referenceVerdicts(Serial);
+    if (!Reference.empty())
+      ++Buggy;
+    if (checkerVerdicts(Serial, /*PaperLiteral=*/false) == Reference)
+      ++SerialAgree;
+    if (checkerVerdicts(Random, /*PaperLiteral=*/false) == Reference)
+      ++RandomAgree;
+    if (checkerVerdicts(Serial, /*PaperLiteral=*/true) != Reference)
+      ++LiteralMisses;
+    if (!Reference.empty()) {
+      // A serial observation hides interleavings from trace-bound tools.
+      if (velodromeCount(Serial) > 0)
+        ++VeloFoundSerial;
+      if (velodromeCount(Random) > 0)
+        ++VeloFoundRandom;
+    }
+  }
+
+  std::printf("Detection validation over %u generated programs "
+              "(Section 4 trace-generator experiment)\n",
+              NumPrograms);
+  std::printf("  programs containing violations (reference oracle): %u\n",
+              Buggy);
+  std::printf("  our checker matches the oracle on the serial trace:  %u/%u\n",
+              SerialAgree, NumPrograms);
+  std::printf("  our checker matches on a randomized schedule:        %u/%u\n",
+              RandomAgree, NumPrograms);
+  std::printf("  paper-literal metadata diverged on:                  %u "
+              "programs (documented completeness gaps)\n",
+              LiteralMisses);
+  std::printf("  Velodrome (trace-bound) detects from serial trace:   %u/%u "
+              "buggy programs\n",
+              VeloFoundSerial, Buggy);
+  std::printf("  Velodrome detects from one randomized schedule:      %u/%u "
+              "buggy programs\n",
+              VeloFoundRandom, Buggy);
+  std::printf("\nShape: our checker finds every violation from a single "
+              "trace regardless of the schedule; Velodrome only sees what "
+              "the schedule exposes (0 from serial traces).\n");
+  return (SerialAgree == NumPrograms && RandomAgree == NumPrograms) ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+//===- bench/fig13_overhead.cpp - Reproduces Figure 13 --------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 13: per benchmark, the execution-time slowdown of
+/// (a) our atomicity checker and (b) the reimplemented Velodrome baseline,
+/// both relative to an uninstrumented run. The paper reports geometric
+/// means of 4.2x (ours) and 4.6x (Velodrome) over five runs each, with
+/// kmeans, raycast, and swaptions as the high-overhead outliers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace avc;
+using namespace avc::bench;
+using namespace avc::workloads;
+
+int main(int argc, char **argv) {
+  BenchConfig Config = parseArgs(argc, argv);
+
+  std::printf("Figure 13: slowdown vs uninstrumented baseline "
+              "(scale=%.2f, reps=%u, threads=%u)\n",
+              Config.Scale, Config.Reps, Config.Threads);
+  std::printf("%-14s %12s %12s %12s %12s %12s\n", "benchmark", "base(ms)",
+              "ours(ms)", "velo(ms)", "ours(x)", "velodrome(x)");
+
+  size_t Count = 0;
+  const Workload *Table = allWorkloads(Count);
+  std::vector<double> OursSlowdowns, VeloSlowdowns;
+
+  for (size_t I = 0; I < Count; ++I) {
+    const Workload &W = Table[I];
+    double Base =
+        timeAverage(W, baselineOptions(Config), Config.Scale, Config.Reps);
+    double Ours = timeAverage(W, checkerOptions(Config, DpstLayout::Array),
+                              Config.Scale, Config.Reps);
+    double Velo =
+        timeAverage(W, velodromeOptions(Config), Config.Scale, Config.Reps);
+    double OursX = Ours / Base;
+    double VeloX = Velo / Base;
+    OursSlowdowns.push_back(OursX);
+    VeloSlowdowns.push_back(VeloX);
+    std::printf("%-14s %12.2f %12.2f %12.2f %11.2fx %11.2fx\n", W.Name,
+                Base * 1e3, Ours * 1e3, Velo * 1e3, OursX, VeloX);
+  }
+
+  std::printf("%-14s %12s %12s %12s %11.2fx %11.2fx\n", "geomean", "", "",
+              "", geometricMean(OursSlowdowns),
+              geometricMean(VeloSlowdowns));
+  std::printf("\nPaper reports: ours 4.2x, Velodrome 4.6x (geomean); "
+              "kmeans/raycast/swaptions highest.\n");
+  std::printf("Reminder: Velodrome checks only the observed schedule; our "
+              "checker covers all schedules for the input at similar or "
+              "lower cost.\n");
+  return 0;
+}

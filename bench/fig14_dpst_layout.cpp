@@ -1,0 +1,56 @@
+//===- bench/fig14_dpst_layout.cpp - Reproduces Figure 14 -----------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 14: the checker's slowdown with the DPST overlaid on
+/// a linear array of nodes versus a pointer-linked tree. The paper reports
+/// 4.2x (array) vs 5.1x (linked) geomean, with the gap concentrated in the
+/// LCA-query-heavy applications.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace avc;
+using namespace avc::bench;
+using namespace avc::workloads;
+
+int main(int argc, char **argv) {
+  BenchConfig Config = parseArgs(argc, argv);
+
+  std::printf("Figure 14: array-DPST vs linked-DPST slowdown "
+              "(scale=%.2f, reps=%u, threads=%u)\n",
+              Config.Scale, Config.Reps, Config.Threads);
+  std::printf("%-14s %12s %12s %12s %12s %12s\n", "benchmark", "base(ms)",
+              "array(ms)", "linked(ms)", "array(x)", "linked(x)");
+
+  size_t Count = 0;
+  const Workload *Table = allWorkloads(Count);
+  std::vector<double> ArraySlowdowns, LinkedSlowdowns;
+
+  for (size_t I = 0; I < Count; ++I) {
+    const Workload &W = Table[I];
+    double Base =
+        timeAverage(W, baselineOptions(Config), Config.Scale, Config.Reps);
+    double Array = timeAverage(W, checkerOptions(Config, DpstLayout::Array),
+                               Config.Scale, Config.Reps);
+    double Linked =
+        timeAverage(W, checkerOptions(Config, DpstLayout::Linked),
+                    Config.Scale, Config.Reps);
+    double ArrayX = Array / Base;
+    double LinkedX = Linked / Base;
+    ArraySlowdowns.push_back(ArrayX);
+    LinkedSlowdowns.push_back(LinkedX);
+    std::printf("%-14s %12.2f %12.2f %12.2f %11.2fx %11.2fx\n", W.Name,
+                Base * 1e3, Array * 1e3, Linked * 1e3, ArrayX, LinkedX);
+  }
+
+  std::printf("%-14s %12s %12s %12s %11.2fx %11.2fx\n", "geomean", "", "",
+              "", geometricMean(ArraySlowdowns),
+              geometricMean(LinkedSlowdowns));
+  std::printf("\nPaper reports: array 4.2x vs linked 5.1x (geomean); "
+              "LCA-heavy applications benefit most from the array layout.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+//===- bench/micro_checker.cpp - Checker hot-path microbenchmarks ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks for the per-access costs that dominate
+/// the Figure 13 overheads: the checker's three access classes (Figure 6),
+/// lockset snapshots, shadow-memory resolution, and Velodrome's per-access
+/// work for comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "checker/AtomicityChecker.h"
+#include "checker/LockSet.h"
+#include "checker/ShadowMemory.h"
+#include "checker/Velodrome.h"
+#include "trace/TraceEvent.h"
+#include "trace/TraceReplayer.h"
+
+using namespace avc;
+
+namespace {
+
+/// A checker warmed with a two-task parallel program; Addr events can then
+/// be driven directly through the observer interface.
+struct WarmChecker {
+  AtomicityChecker Checker;
+
+  WarmChecker() {
+    Checker.onProgramStart(0);
+    Checker.onTaskSpawn(0, nullptr, 1);
+    Checker.onTaskSpawn(0, nullptr, 2);
+  }
+};
+
+void BM_FirstAccesses(benchmark::State &State) {
+  // Fresh location per access: the Figure 7 path (blackscholes profile).
+  WarmChecker Warm;
+  MemAddr Addr = 0x100000;
+  for (auto _ : State) {
+    Warm.Checker.onWrite(1, Addr);
+    Addr += 8;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_FirstAccesses);
+
+void BM_RepeatedSameStepAccess(benchmark::State &State) {
+  // Same step re-reading one location: Figure 9 with no parallel entries.
+  WarmChecker Warm;
+  Warm.Checker.onRead(1, 0x200000);
+  for (auto _ : State)
+    Warm.Checker.onRead(1, 0x200000);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RepeatedSameStepAccess);
+
+void BM_SharedReadByParallelTasks(benchmark::State &State) {
+  // Two parallel tasks alternating reads of one hot location: the kmeans
+  // profile (single-entry updates with cached LCA queries).
+  WarmChecker Warm;
+  for (auto _ : State) {
+    Warm.Checker.onRead(1, 0x300000);
+    Warm.Checker.onRead(2, 0x300000);
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_SharedReadByParallelTasks);
+
+void BM_LockedAccess(benchmark::State &State) {
+  // Acquire + access + release per iteration: the fluidanimate profile.
+  WarmChecker Warm;
+  for (auto _ : State) {
+    Warm.Checker.onLockAcquire(1, 7);
+    Warm.Checker.onWrite(1, 0x400000);
+    Warm.Checker.onLockRelease(1, 7);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_LockedAccess);
+
+void BM_LockSetSnapshotDepth(benchmark::State &State) {
+  HeldLocks Held;
+  for (int64_t I = 0; I < State.range(0); ++I)
+    Held.acquire(static_cast<LockId>(I + 1), static_cast<LockToken>(I + 100));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Held.snapshot());
+}
+BENCHMARK(BM_LockSetSnapshotDepth)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->ArgNames({"held"});
+
+void BM_LockSetDisjointness(benchmark::State &State) {
+  LockSet A({1, 5, 9, 13});
+  LockSet B({2, 6, 10, 14});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.disjointWith(B));
+}
+BENCHMARK(BM_LockSetDisjointness);
+
+void BM_ShadowGetOrCreateHot(benchmark::State &State) {
+  ShadowMemory<uint64_t> Shadow;
+  Shadow.getOrCreate(0x123456);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Shadow.getOrCreate(0x123456));
+}
+BENCHMARK(BM_ShadowGetOrCreateHot);
+
+void BM_ShadowGetOrCreateSpread(benchmark::State &State) {
+  ShadowMemory<uint64_t> Shadow;
+  MemAddr Addr = 0x100000;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Shadow.getOrCreate(Addr));
+    Addr += 64;
+  }
+}
+BENCHMARK(BM_ShadowGetOrCreateSpread);
+
+void BM_VelodromeSharedAccess(benchmark::State &State) {
+  VelodromeChecker Velodrome;
+  Velodrome.onProgramStart(0);
+  Velodrome.onTaskSpawn(0, nullptr, 1);
+  Velodrome.onTaskSpawn(0, nullptr, 2);
+  for (auto _ : State) {
+    Velodrome.onRead(1, 0x500000);
+    Velodrome.onRead(2, 0x500000);
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_VelodromeSharedAccess);
+
+void BM_PaperLiteralVsComplete(benchmark::State &State) {
+  // Per-access cost of the completeness fixes (extra checks + dual slots).
+  AtomicityChecker::Options Opts;
+  Opts.ExtraInterleaverChecks = State.range(0) != 0;
+  Opts.CompleteMetadata = State.range(0) != 0;
+  AtomicityChecker Checker(Opts);
+  Checker.onProgramStart(0);
+  Checker.onTaskSpawn(0, nullptr, 1);
+  Checker.onTaskSpawn(0, nullptr, 2);
+  Checker.onWrite(1, 0x600000);
+  Checker.onRead(1, 0x600000);
+  for (auto _ : State) {
+    Checker.onRead(2, 0x600000);
+    Checker.onWrite(2, 0x600000);
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_PaperLiteralVsComplete)->Arg(0)->Arg(1)->ArgNames({"complete"});
+
+} // namespace
+
+BENCHMARK_MAIN();

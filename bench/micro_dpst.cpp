@@ -1,0 +1,167 @@
+//===- bench/micro_dpst.cpp - DPST microbenchmarks ------------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks for the DPST primitives underlying
+/// Figures 13/14: node appends, LCA-based parallel queries at controlled
+/// depths for both layouts, cache hit/miss costs, and tree-order compares.
+///
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "dpst/Dpst.h"
+#include "dpst/LcaCache.h"
+#include "dpst/ParallelismOracle.h"
+#include "support/Random.h"
+
+using namespace avc;
+
+namespace {
+
+DpstLayout layoutFor(int64_t Arg) {
+  return Arg == 0 ? DpstLayout::Array : DpstLayout::Linked;
+}
+
+void BM_DpstAppend(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    std::unique_ptr<Dpst> Tree = createDpst(layoutFor(State.range(0)));
+    NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+    State.ResumeTiming();
+    for (int I = 0; I < 4096; ++I)
+      benchmark::DoNotOptimize(
+          Tree->addNode(Root, DpstNodeKind::Step, 0));
+  }
+  State.SetItemsProcessed(State.iterations() * 4096);
+}
+BENCHMARK(BM_DpstAppend)->Arg(0)->Arg(1)->ArgNames({"layout"});
+
+/// Builds a comb of the requested depth: two step leaves whose LCA walk
+/// spans `depth` levels.
+struct DeepPair {
+  std::unique_ptr<Dpst> Tree;
+  NodeId Left, Right;
+};
+
+DeepPair buildDeepPair(DpstLayout Layout, int Depth) {
+  DeepPair Pair;
+  Pair.Tree = createDpst(Layout);
+  NodeId Spine = Pair.Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId Async = Pair.Tree->addNode(Spine, DpstNodeKind::Async, 1);
+  Pair.Left = Pair.Tree->addNode(Async, DpstNodeKind::Step, 1);
+  for (int I = 0; I < Depth; ++I)
+    Spine = Pair.Tree->addNode(Spine, DpstNodeKind::Finish, 0);
+  Pair.Right = Pair.Tree->addNode(Spine, DpstNodeKind::Step, 0);
+  return Pair;
+}
+
+void BM_LcaParallelQuery(benchmark::State &State) {
+  DeepPair Pair = buildDeepPair(layoutFor(State.range(0)),
+                                static_cast<int>(State.range(1)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Pair.Tree->logicallyParallelUncached(Pair.Left, Pair.Right));
+}
+BENCHMARK(BM_LcaParallelQuery)
+    ->Args({0, 8})
+    ->Args({0, 64})
+    ->Args({0, 512})
+    ->Args({1, 8})
+    ->Args({1, 64})
+    ->Args({1, 512})
+    ->ArgNames({"layout", "depth"});
+
+void BM_TreeOrderCompare(benchmark::State &State) {
+  DeepPair Pair = buildDeepPair(layoutFor(State.range(0)), 64);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Pair.Tree->treeOrderedBefore(Pair.Left, Pair.Right));
+}
+BENCHMARK(BM_TreeOrderCompare)->Arg(0)->Arg(1)->ArgNames({"layout"});
+
+void BM_OracleCachedHit(benchmark::State &State) {
+  DeepPair Pair = buildDeepPair(DpstLayout::Array, 512);
+  ParallelismOracle Oracle(*Pair.Tree);
+  Oracle.logicallyParallel(Pair.Left, Pair.Right); // warm the cache
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Oracle.logicallyParallel(Pair.Left, Pair.Right));
+}
+BENCHMARK(BM_OracleCachedHit);
+
+void BM_OracleUncached(benchmark::State &State) {
+  DeepPair Pair = buildDeepPair(DpstLayout::Array, 512);
+  ParallelismOracle::Options Opts;
+  Opts.EnableCache = false;
+  ParallelismOracle Oracle(*Pair.Tree, Opts);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Oracle.logicallyParallel(Pair.Left, Pair.Right));
+}
+BENCHMARK(BM_OracleUncached);
+
+/// The Figure 14 effect needs out-of-cache trees: at the paper's scale
+/// (10^6..10^8 nodes) every walk hop misses, and the array layout's packed
+/// 16-byte records beat the linked layout's scattered ~56-byte heap nodes.
+/// Builds a bushy random tree of `nodes` nodes and queries random leaves.
+void BM_LcaQueryHugeTree(benchmark::State &State) {
+  DpstLayout Layout = layoutFor(State.range(0));
+  size_t NumNodes = static_cast<size_t>(State.range(1));
+  std::unique_ptr<Dpst> Tree = createDpst(Layout);
+  SplitMix64 Rng(7);
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  std::vector<NodeId> Scopes{Root};
+  std::vector<NodeId> Steps;
+  while (Tree->numNodes() < NumNodes) {
+    NodeId Scope = Scopes[Rng.nextBelow(Scopes.size())];
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      Scopes.push_back(Tree->addNode(Scope, DpstNodeKind::Finish, 0));
+      break;
+    case 1:
+      Scopes.push_back(Tree->addNode(Scope, DpstNodeKind::Async, 0));
+      break;
+    default:
+      Steps.push_back(Tree->addNode(Scope, DpstNodeKind::Step, 0));
+      break;
+    }
+  }
+  SplitMix64 Query(13);
+  for (auto _ : State) {
+    NodeId A = Steps[Query.nextBelow(Steps.size())];
+    NodeId B = Steps[Query.nextBelow(Steps.size())];
+    if (A == B)
+      continue;
+    benchmark::DoNotOptimize(Tree->logicallyParallelUncached(A, B));
+  }
+}
+BENCHMARK(BM_LcaQueryHugeTree)
+    ->Args({0, 1 << 14})
+    ->Args({1, 1 << 14})
+    ->Args({0, 1 << 21})
+    ->Args({1, 1 << 21})
+    ->ArgNames({"layout", "nodes"});
+
+void BM_LcaCacheLookup(benchmark::State &State) {
+  LcaCache Cache(16);
+  SplitMix64 Rng(42);
+  for (int I = 0; I < 10000; ++I) {
+    NodeId A = static_cast<NodeId>(Rng.nextBelow(1 << 20));
+    NodeId B = A + 1 + static_cast<NodeId>(Rng.nextBelow(1 << 10));
+    Cache.insert(A, B, (A & 1) != 0);
+  }
+  SplitMix64 Query(42);
+  for (auto _ : State) {
+    NodeId A = static_cast<NodeId>(Query.nextBelow(1 << 20));
+    NodeId B = A + 1 + static_cast<NodeId>(Query.nextBelow(1 << 10));
+    benchmark::DoNotOptimize(Cache.lookup(A, B));
+  }
+}
+BENCHMARK(BM_LcaCacheLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+//===- examples/parallel_histogram.cpp - Step-granularity atomicity -------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// A parallel histogram over tracked bins, three ways:
+//
+//   1. lock per increment   — data-race free, but one step touches a bin in
+//                             many critical sections: a parallel step can
+//                             interleave between them (flagged);
+//   2. lock per chunk       — each step's accesses to the bins share one
+//                             critical section: atomic per step (clean);
+//   3. privatize + reduce   — per-step scratch, bins written only at the
+//                             join: no sharing at all (clean and fastest).
+//
+// Variant 1 is subtle: its *final counts are correct* (each increment is
+// individually atomic), so testing never catches it — but if any step ever
+// assumes two of its own bin accesses see an unchanged bin, that
+// assumption is false. The checker reports exactly this step-granularity
+// exposure, the same property Velodrome checks for threads.
+//
+// Build & run:  ./build/examples/parallel_histogram
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <vector>
+
+#include "instrument/ToolContext.h"
+#include "runtime/Mutex.h"
+#include "runtime/Parallel.h"
+
+using namespace avc;
+
+namespace {
+
+constexpr size_t NumBins = 16;
+constexpr size_t NumSamples = 4096;
+
+size_t binOf(size_t Sample) { return (Sample * 2654435761u) % NumBins; }
+
+size_t runVariant(int Variant, const char *Label) {
+  ToolContext Tool(ToolKind::Atomicity);
+  TrackedArray<long> Bins(NumBins);
+  Mutex BinLock;
+
+  Tool.run([&] {
+    parallelFor<size_t>(0, NumSamples, 256, [&](size_t Lo, size_t Hi) {
+      switch (Variant) {
+      case 1: // lock per increment: many critical sections per step
+        for (size_t I = Lo; I < Hi; ++I) {
+          MutexGuard Guard(BinLock);
+          Bins[binOf(I)] += 1;
+        }
+        break;
+      case 2: // lock per chunk: one critical section per step
+      {
+        MutexGuard Guard(BinLock);
+        for (size_t I = Lo; I < Hi; ++I)
+          Bins[binOf(I)] += 1;
+        break;
+      }
+      case 3: // privatize, then publish under one critical section
+      {
+        long Local[NumBins] = {0};
+        for (size_t I = Lo; I < Hi; ++I)
+          ++Local[binOf(I)];
+        MutexGuard Guard(BinLock);
+        for (size_t B = 0; B < NumBins; ++B)
+          if (Local[B] != 0)
+            Bins[B] += Local[B];
+        break;
+      }
+      }
+    });
+  });
+
+  long Total = 0;
+  for (size_t B = 0; B < NumBins; ++B)
+    Total += Bins[B].raw();
+  std::printf("  variant %d (%-18s): total %ld (correct), %zu atomicity "
+              "report(s)\n",
+              Variant, Label, Total, Tool.numViolations());
+  return Tool.numViolations();
+}
+
+} // namespace
+
+int main() {
+  std::printf("parallel_histogram: all three variants compute the same "
+              "correct counts...\n");
+  size_t V1 = runVariant(1, "lock/increment");
+  size_t V2 = runVariant(2, "lock/chunk");
+  size_t V3 = runVariant(3, "privatize+reduce");
+  std::printf("\n...but only variants 2 and 3 give each step an atomic view "
+              "of the bins.\n");
+  return (V1 > 0 && V2 == 0 && V3 == 0) ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+//===- examples/quickstart.cpp - Five-minute tour of TaskCheck ------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Figure 1 program, end to end:
+//
+//   Task T1: X = 10; spawn T2; Y = Y + 1; X = Y; spawn T3
+//   Task T2: a = X; a = a + 1; X = a
+//   Task T3: X = Y; Y = Y + 1
+//
+// The run you observe executes each task's accesses back to back — no
+// interleaving ever happens — yet the checker reports that T2's read-write
+// of X can be torn by T3's parallel write in *another* schedule for this
+// same input. That is the paper's core point: detection from one trace,
+// without interleaving exploration.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "instrument/ToolContext.h"
+
+using namespace avc;
+
+int main() {
+  // 1. Pick a tool. ToolKind::Atomicity is the paper's checker.
+  ToolContext Tool(ToolKind::Atomicity);
+
+  // 2. Wrap the shared locations you expect tasks to access atomically in
+  //    Tracked<T> — the stand-in for the paper's type-qualifier
+  //    annotations. Unwrapped data is not checked.
+  Tracked<int> X;
+  Tracked<int> Y;
+
+  // 3. Run the task-parallel program under the tool.
+  Tool.run([&] {
+    X = 10; // T1 / step S11
+
+    spawn([&] {      // T2
+      int A = X;     //   a = X
+      A = A + 1;     //   a = a + 1   (local, untracked)
+      X = A;         //   X = a
+    });
+
+    Y = Y + 1; // T1 / step S12 (accesses Y only; serial with T3 below)
+
+    spawn([&] {    // T3
+      X = Y.load(); //   X = Y (the parallel write to X)
+      Y = Y + 1;
+    });
+
+    avc::sync(); // wait for T2 and T3 (POSIX also has a ::sync, hence avc::)
+  });
+
+  // 4. Inspect the findings.
+  std::printf("quickstart: the observed schedule was serial, and yet...\n");
+  Tool.printReport();
+
+  CheckerStats Stats = Tool.atomicityChecker()->stats();
+  std::printf("\nchecker statistics: %llu locations, %llu DPST nodes, "
+              "%llu LCA queries (%llu served by the cache)\n",
+              static_cast<unsigned long long>(Stats.NumLocations),
+              static_cast<unsigned long long>(Stats.NumDpstNodes),
+              static_cast<unsigned long long>(Stats.Lca.NumQueries),
+              static_cast<unsigned long long>(Stats.Lca.NumCacheHits));
+  return Tool.numViolations() > 0 ? 0 : 1; // the bug must be found
+}

@@ -1,0 +1,50 @@
+//===- checker/AccessKind.h - Access kinds and serializability -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory access kinds and the conflict-serializability rule for access
+/// triples (Figure 4 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_ACCESSKIND_H
+#define AVC_CHECKER_ACCESSKIND_H
+
+#include <cstdint>
+
+namespace avc {
+
+/// Read or write.
+enum class AccessKind : uint8_t { Read, Write };
+
+/// Returns "read" or "write".
+inline const char *accessKindName(AccessKind Kind) {
+  return Kind == AccessKind::Read ? "read" : "write";
+}
+
+/// Decides conflict serializability of the triple (A1, A2, A3) where A1 and
+/// A3 are performed by one step node and A2 by a logically parallel step
+/// node (Figure 4).
+///
+/// Two accesses conflict iff they target the same location, belong to
+/// different tasks, and at least one is a write. A2 can be commuted past a
+/// non-conflicting neighbour, so the triple is serializable unless A2
+/// conflicts with both A1 and A3:
+///   - A2 == Write conflicts with anything: RWR, RWW, WWR, WWW are
+///     unserializable;
+///   - A2 == Read conflicts only with writes: only WRW is unserializable.
+/// The serializable patterns are RRR, RRW, WRR — three of eight, matching
+/// Figure 4.
+inline bool isUnserializableTriple(AccessKind A1, AccessKind A2,
+                                   AccessKind A3) {
+  if (A2 == AccessKind::Write)
+    return true;
+  return A1 == AccessKind::Write && A3 == AccessKind::Write;
+}
+
+} // namespace avc
+
+#endif // AVC_CHECKER_ACCESSKIND_H

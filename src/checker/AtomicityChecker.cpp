@@ -1,0 +1,410 @@
+//===- checker/AtomicityChecker.cpp - The optimized checker ---------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Implements the metadata propagation and checking of Figures 6-9 with the
+/// lock handling of Section 3.3. Known corrections to the paper's figures
+/// (documented in DESIGN.md):
+///   - Figure 9 line 20 pairs the local *write* (not read) into the WW
+///     pattern, as the surrounding prose says;
+///   - the Check() calls of Figure 9 run whenever the current step has a
+///     fresh two-access pattern, independently of whether the global
+///     pattern slot is updated ("the algorithm checks ... It also updates",
+///     Section 3.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "checker/AtomicityChecker.h"
+
+#include <cassert>
+#include <mutex>
+
+#include "checker/RetentionPolicy.h"
+#include "support/Compiler.h"
+
+using namespace avc;
+
+AtomicityChecker::AtomicityChecker(Options Opts)
+    : Opts(Opts), Tree(createDpst(Opts.Layout)),
+      Builder(*Tree), Log(Opts.MaxRetainedViolations) {
+  ParallelismOracle::Options OracleOpts;
+  OracleOpts.EnableCache = Opts.EnableLcaCache;
+  OracleOpts.CacheLogSlots = Opts.CacheLogSlots;
+  OracleOpts.TrackUniquePairs = Opts.TrackUniquePairs;
+  Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
+}
+
+AtomicityChecker::~AtomicityChecker() = default;
+
+//===----------------------------------------------------------------------===//
+// Task lifecycle
+//===----------------------------------------------------------------------===//
+
+AtomicityChecker::TaskState &AtomicityChecker::createState(TaskId Task) {
+  auto State = std::make_unique<TaskState>();
+  TaskState *Raw = State.get();
+  TaskStorage.emplaceBack(std::move(State));
+  Tasks.getOrCreate(Task).store(Raw, std::memory_order_release);
+  return *Raw;
+}
+
+AtomicityChecker::TaskState &AtomicityChecker::stateFor(TaskId Task) {
+  std::atomic<TaskState *> *Slot = Tasks.lookup(Task);
+  assert(Slot && "event for a task that was never spawned");
+  TaskState *State = Slot->load(std::memory_order_acquire);
+  assert(State && "event for a task that was never spawned");
+  return *State;
+}
+
+void AtomicityChecker::onProgramStart(TaskId RootTask) {
+  TaskState &Root = createState(RootTask);
+  Builder.initRoot(Root.Frame, RootTask);
+}
+
+void AtomicityChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
+                                   TaskId Child) {
+  TaskState &ParentState = stateFor(Parent);
+  TaskState &ChildState = createState(Child);
+  Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
+}
+
+void AtomicityChecker::onTaskEnd(TaskId Task) {
+  TaskState &State = stateFor(Task);
+  Builder.endTask(State.Frame);
+  assert(State.Locks.depth() == 0 && "task ended while holding locks");
+  // The task's interim buffers can never pair up again; drop them.
+  State.Local.clear();
+}
+
+void AtomicityChecker::onSync(TaskId Task) {
+  Builder.sync(stateFor(Task).Frame);
+}
+
+void AtomicityChecker::onGroupWait(TaskId Task, const void *GroupTag) {
+  Builder.waitGroup(stateFor(Task).Frame, GroupTag);
+}
+
+void AtomicityChecker::onLockAcquire(TaskId Task, LockId Lock) {
+  // Lock versioning (Section 3.3): every acquire gets a unique token, so
+  // re-acquiring the same lock names a new critical-section instance.
+  LockToken Token = NextLockToken.fetch_add(1, std::memory_order_relaxed);
+  stateFor(Task).Locks.acquire(Lock, Token);
+}
+
+void AtomicityChecker::onLockRelease(TaskId Task, LockId Lock) {
+  stateFor(Task).Locks.release(Lock);
+}
+
+//===----------------------------------------------------------------------===//
+// Locations and atomic groups
+//===----------------------------------------------------------------------===//
+
+GlobalMetadata &AtomicityChecker::metadataFor(MemAddr Addr, ShadowSlot &Slot) {
+  GlobalMetadata *Meta = Slot.Meta.load(std::memory_order_acquire);
+  if (AVC_LIKELY(Meta != nullptr))
+    return *Meta;
+  size_t Index = MetaPool.emplaceBack();
+  GlobalMetadata *Fresh = &MetaPool[Index];
+  Fresh->ReportAddr = Addr;
+  if (Slot.Meta.compare_exchange_strong(Meta, Fresh,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire))
+    return *Fresh;
+  return *Meta; // lost the race; the pool entry stays unused
+}
+
+void AtomicityChecker::registerAtomicGroup(const MemAddr *Members,
+                                           size_t Count) {
+  assert(Count > 0 && "empty atomic group");
+  ShadowSlot &First = Shadow.getOrCreate(Members[0]);
+  GlobalMetadata &Meta = metadataFor(Members[0], First);
+  for (size_t I = 1; I < Count; ++I) {
+    ShadowSlot &Slot = Shadow.getOrCreate(Members[I]);
+    GlobalMetadata *Expected = nullptr;
+    bool Installed = Slot.Meta.compare_exchange_strong(
+        Expected, &Meta, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    assert((Installed || Expected == &Meta) &&
+           "atomic group member already tracked with separate metadata");
+    (void)Installed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Core access handling (Figure 6)
+//===----------------------------------------------------------------------===//
+
+void AtomicityChecker::onRead(TaskId Task, MemAddr Addr) {
+  NumReads.fetch_add(1, std::memory_order_relaxed);
+  onAccess(Task, Addr, AccessKind::Read);
+}
+
+void AtomicityChecker::onWrite(TaskId Task, MemAddr Addr) {
+  NumWrites.fetch_add(1, std::memory_order_relaxed);
+  onAccess(Task, Addr, AccessKind::Write);
+}
+
+void AtomicityChecker::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
+  TaskState &State = stateFor(Task);
+  NodeId Si = Builder.currentStep(State.Frame);
+
+  ShadowSlot &Slot = Shadow.getOrCreate(Addr);
+  if (AVC_UNLIKELY(!Slot.Accessed.load(std::memory_order_relaxed)))
+    if (!Slot.Accessed.exchange(1, std::memory_order_relaxed))
+      NumLocations.fetch_add(1, std::memory_order_relaxed);
+  GlobalMetadata &GS = metadataFor(Addr, Slot);
+
+  LockSet Locks = State.Locks.snapshot();
+  LocalLoc &LS = State.Local[&GS];
+
+  // A new maximal region invalidates the interim buffers: two-access
+  // patterns pair accesses of one step node (Figure 4), so entries from an
+  // earlier step of this task are dead.
+  if (LS.RStep != InvalidNodeId && LS.RStep != Si) {
+    LS.RStep = InvalidNodeId;
+    LS.RLocks = LockSet();
+  }
+  if (LS.WStep != InvalidNodeId && LS.WStep != Si) {
+    LS.WStep = InvalidNodeId;
+    LS.WLocks = LockSet();
+  }
+
+  std::lock_guard<SpinLock> Guard(GS.Lock);
+  bool LocalEmpty = LS.RStep == InvalidNodeId && LS.WStep == InvalidNodeId;
+  if (GS.isEmpty() && LocalEmpty) {
+    handleFirstAccess(GS, LS, Si, Kind, Locks);
+    return;
+  }
+  if (LocalEmpty) {
+    handleFirstAccessCurrentTask(GS, LS, Si, Kind, Locks);
+    return;
+  }
+  handleNonFirstAccess(GS, LS, Si, Kind, Locks);
+}
+
+/// Figure 7: the very first access to the location by any task.
+void AtomicityChecker::handleFirstAccess(GlobalMetadata &GS, LocalLoc &LS,
+                                         NodeId Si, AccessKind Kind,
+                                         const LockSet &Locks) {
+  if (Kind == AccessKind::Read) {
+    GS.R1 = Si;
+    LS.RStep = Si;
+    LS.RLocks = Locks;
+    return;
+  }
+  GS.W1 = Si;
+  LS.WStep = Si;
+  LS.WLocks = Locks;
+}
+
+/// Figure 8: the location has history, but this is the first access by the
+/// current step node. The only possible violation has the current access as
+/// the interleaver (A2) of a recorded two-access pattern.
+void AtomicityChecker::handleFirstAccessCurrentTask(GlobalMetadata &GS,
+                                                    LocalLoc &LS, NodeId Si,
+                                                    AccessKind Kind,
+                                                    const LockSet &Locks) {
+  if (Kind == AccessKind::Read) {
+    LS.RStep = Si;
+    LS.RLocks = Locks;
+    // A read only breaks a write-write pattern (WRW); every other pattern
+    // stays serializable around an interleaved read (Figure 4).
+    checkPatternsAgainstRead(GS, Si);
+    retainEntry(GS.R1, GS.R2, Si);
+    return;
+  }
+  LS.WStep = Si;
+  LS.WLocks = Locks;
+  // An interleaved write breaks all four patterns (WWW, RWW, RWR, WWR).
+  checkPatternsAgainstWrite(GS, Si);
+  retainEntry(GS.W1, GS.W2, Si);
+}
+
+/// Tests the recorded WW pattern(s) against an interleaving read (WRW).
+void AtomicityChecker::checkPatternsAgainstRead(GlobalMetadata &GS,
+                                                NodeId Si) {
+  check(GS, GS.WW, AccessKind::Write, AccessKind::Write, Si,
+        AccessKind::Read);
+  check(GS, GS.WWb, AccessKind::Write, AccessKind::Write, Si,
+        AccessKind::Read);
+}
+
+/// Tests all recorded pattern(s) against an interleaving write (WWW, RWW,
+/// RWR, WWR).
+void AtomicityChecker::checkPatternsAgainstWrite(GlobalMetadata &GS,
+                                                 NodeId Si) {
+  check(GS, GS.WW, AccessKind::Write, AccessKind::Write, Si,
+        AccessKind::Write);
+  check(GS, GS.WWb, AccessKind::Write, AccessKind::Write, Si,
+        AccessKind::Write);
+  check(GS, GS.RW, AccessKind::Read, AccessKind::Write, Si,
+        AccessKind::Write);
+  check(GS, GS.RWb, AccessKind::Read, AccessKind::Write, Si,
+        AccessKind::Write);
+  check(GS, GS.RR, AccessKind::Read, AccessKind::Read, Si,
+        AccessKind::Write);
+  check(GS, GS.RRb, AccessKind::Read, AccessKind::Read, Si,
+        AccessKind::Write);
+  check(GS, GS.WR, AccessKind::Write, AccessKind::Read, Si,
+        AccessKind::Write);
+  check(GS, GS.WRb, AccessKind::Write, AccessKind::Read, Si,
+        AccessKind::Write);
+}
+
+/// Figure 9: the current step node already accessed the location; together
+/// with the interim buffer the current access forms a two-access pattern,
+/// which is checked against the global single-access entries and promoted
+/// into the global space. Lock handling (Section 3.3): the pattern only
+/// exists if the two accesses' locksets are disjoint, i.e. no critical
+/// section spans both.
+void AtomicityChecker::handleNonFirstAccess(GlobalMetadata &GS, LocalLoc &LS,
+                                            NodeId Si, AccessKind Kind,
+                                            const LockSet &Locks) {
+  assert((LS.RStep == InvalidNodeId || LS.RStep == Si) &&
+         (LS.WStep == InvalidNodeId || LS.WStep == Si) &&
+         "stale local entries must have been invalidated");
+  if (Kind == AccessKind::Read) {
+    if (LS.RStep != InvalidNodeId && LS.RLocks.disjointWith(Locks)) {
+      // Fresh RR pattern: vulnerable to interleaved writes (RWR).
+      check(GS, Si, AccessKind::Read, AccessKind::Read, GS.W1,
+            AccessKind::Write);
+      check(GS, Si, AccessKind::Read, AccessKind::Read, GS.W2,
+            AccessKind::Write);
+      retainPattern(GS.RR, GS.RRb, Si);
+    }
+    if (LS.WStep != InvalidNodeId && LS.WLocks.disjointWith(Locks)) {
+      // Fresh WR pattern: vulnerable to interleaved writes (WWR).
+      check(GS, Si, AccessKind::Write, AccessKind::Read, GS.W1,
+            AccessKind::Write);
+      check(GS, Si, AccessKind::Write, AccessKind::Read, GS.W2,
+            AccessKind::Write);
+      retainPattern(GS.WR, GS.WRb, Si);
+    }
+    if (LS.RStep == InvalidNodeId) {
+      LS.RStep = Si;
+      LS.RLocks = Locks;
+    }
+    if (Opts.ExtraInterleaverChecks)
+      checkPatternsAgainstRead(GS, Si);
+    retainEntry(GS.R1, GS.R2, Si);
+    return;
+  }
+
+  if (LS.RStep != InvalidNodeId && LS.RLocks.disjointWith(Locks)) {
+    // Fresh RW pattern: vulnerable to interleaved writes (RWW).
+    check(GS, Si, AccessKind::Read, AccessKind::Write, GS.W1,
+          AccessKind::Write);
+    check(GS, Si, AccessKind::Read, AccessKind::Write, GS.W2,
+          AccessKind::Write);
+    retainPattern(GS.RW, GS.RWb, Si);
+  }
+  if (LS.WStep != InvalidNodeId && LS.WLocks.disjointWith(Locks)) {
+    // Fresh WW pattern: vulnerable to interleaved writes (WWW) and
+    // interleaved reads (WRW).
+    check(GS, Si, AccessKind::Write, AccessKind::Write, GS.W1,
+          AccessKind::Write);
+    check(GS, Si, AccessKind::Write, AccessKind::Write, GS.W2,
+          AccessKind::Write);
+    check(GS, Si, AccessKind::Write, AccessKind::Write, GS.R1,
+          AccessKind::Read);
+    check(GS, Si, AccessKind::Write, AccessKind::Write, GS.R2,
+          AccessKind::Read);
+    retainPattern(GS.WW, GS.WWb, Si);
+  }
+  if (LS.WStep == InvalidNodeId) {
+    LS.WStep = Si;
+    LS.WLocks = Locks;
+  }
+  if (Opts.ExtraInterleaverChecks)
+    checkPatternsAgainstWrite(GS, Si);
+  retainEntry(GS.W1, GS.W2, Si);
+}
+
+//===----------------------------------------------------------------------===//
+// Check() and single-entry propagation
+//===----------------------------------------------------------------------===//
+
+bool AtomicityChecker::par(NodeId Entry, NodeId Si) {
+  if (Entry == InvalidNodeId)
+    return false;
+  return Oracle->logicallyParallel(Entry, Si);
+}
+
+void AtomicityChecker::check(GlobalMetadata &GS, NodeId PatternStep,
+                             AccessKind K1, AccessKind K3,
+                             NodeId InterleaverStep, AccessKind K2) {
+  if (PatternStep == InvalidNodeId || InterleaverStep == InvalidNodeId)
+    return;
+  // Every Check() site pairs a pattern with an access kind that makes the
+  // triple unserializable by construction (the 12-entry design exists
+  // precisely so that only vulnerable combinations are ever compared).
+  assert(isUnserializableTriple(K1, K2, K3) &&
+         "check called on a serializable shape");
+  if (!par(PatternStep, InterleaverStep))
+    return;
+
+  Violation V;
+  V.Addr = GS.ReportAddr;
+  V.PatternStep = PatternStep;
+  V.InterleaverStep = InterleaverStep;
+  V.A1 = K1;
+  V.A2 = K2;
+  V.A3 = K3;
+  V.PatternTask = Tree->taskId(PatternStep);
+  V.InterleaverTask = Tree->taskId(InterleaverStep);
+  V.LocationName = Names.get(GS.ReportAddr);
+  if (Log.record(V) && !GS.Reported) {
+    GS.Reported = true;
+    NumViolatingLocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AtomicityChecker::retainEntry(NodeId &E1, NodeId &E2, NodeId Si) {
+  if (E1 == Si || E2 == Si)
+    return;
+  if (!Opts.CompleteMetadata) {
+    // Figure 8 lines 6-9/16-19: first-fit into an empty or in-series slot;
+    // drop the access when both slots hold parallel steps.
+    if (E1 == InvalidNodeId || !par(E1, Si)) {
+      E1 = Si;
+      return;
+    }
+    if (E2 == InvalidNodeId || !par(E2, Si))
+      E2 = Si;
+    return;
+  }
+
+  // Complete mode: dominated-entry replacement plus leftmost/rightmost
+  // retention (shared with the race detector; see RetentionPolicy.h).
+  retainParallelPair(*Oracle, *Tree, E1, E2, Si);
+}
+
+void AtomicityChecker::retainPattern(NodeId &P1, NodeId &P2, NodeId Si) {
+  if (!Opts.CompleteMetadata) {
+    // Figure 9: store the pattern when the slot is empty or in series with
+    // the current step; the secondary slot stays unused.
+    if (!par(P1, Si))
+      P1 = Si;
+    return;
+  }
+  retainEntry(P1, P2, Si);
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+CheckerStats AtomicityChecker::stats() const {
+  CheckerStats Stats;
+  Stats.NumLocations = NumLocations.load(std::memory_order_relaxed);
+  Stats.NumDpstNodes = Tree->numNodes();
+  Stats.Lca = Oracle->stats();
+  Stats.NumReads = NumReads.load(std::memory_order_relaxed);
+  Stats.NumWrites = NumWrites.load(std::memory_order_relaxed);
+  Stats.NumViolations = Log.size();
+  Stats.NumViolatingLocations =
+      NumViolatingLocations.load(std::memory_order_relaxed);
+  return Stats;
+}

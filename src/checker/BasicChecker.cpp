@@ -1,0 +1,214 @@
+//===- checker/BasicChecker.cpp - Unbounded-history checker ---------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/BasicChecker.h"
+
+#include <cassert>
+#include <mutex>
+
+using namespace avc;
+
+BasicChecker::BasicChecker(Options Opts)
+    : Opts(Opts), Tree(createDpst(Opts.Layout)), Builder(*Tree),
+      Log(Opts.MaxRetainedViolations) {
+  ParallelismOracle::Options OracleOpts;
+  OracleOpts.EnableCache = Opts.EnableLcaCache;
+  Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
+}
+
+BasicChecker::~BasicChecker() = default;
+
+//===----------------------------------------------------------------------===//
+// Task lifecycle (shared shape with AtomicityChecker)
+//===----------------------------------------------------------------------===//
+
+BasicChecker::TaskState &BasicChecker::createState(TaskId Task) {
+  auto State = std::make_unique<TaskState>();
+  TaskState *Raw = State.get();
+  TaskStorage.emplaceBack(std::move(State));
+  Tasks.getOrCreate(Task).store(Raw, std::memory_order_release);
+  return *Raw;
+}
+
+BasicChecker::TaskState &BasicChecker::stateFor(TaskId Task) {
+  std::atomic<TaskState *> *Slot = Tasks.lookup(Task);
+  assert(Slot && "event for a task that was never spawned");
+  TaskState *State = Slot->load(std::memory_order_acquire);
+  assert(State && "event for a task that was never spawned");
+  return *State;
+}
+
+void BasicChecker::onProgramStart(TaskId RootTask) {
+  Builder.initRoot(createState(RootTask).Frame, RootTask);
+}
+
+void BasicChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
+                               TaskId Child) {
+  TaskState &ParentState = stateFor(Parent);
+  TaskState &ChildState = createState(Child);
+  Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
+}
+
+void BasicChecker::onTaskEnd(TaskId Task) {
+  Builder.endTask(stateFor(Task).Frame);
+}
+
+void BasicChecker::onSync(TaskId Task) { Builder.sync(stateFor(Task).Frame); }
+
+void BasicChecker::onGroupWait(TaskId Task, const void *GroupTag) {
+  Builder.waitGroup(stateFor(Task).Frame, GroupTag);
+}
+
+void BasicChecker::onLockAcquire(TaskId Task, LockId Lock) {
+  LockToken Token = NextLockToken.fetch_add(1, std::memory_order_relaxed);
+  stateFor(Task).Locks.acquire(Lock, Token);
+}
+
+void BasicChecker::onLockRelease(TaskId Task, LockId Lock) {
+  stateFor(Task).Locks.release(Lock);
+}
+
+//===----------------------------------------------------------------------===//
+// Locations
+//===----------------------------------------------------------------------===//
+
+BasicChecker::LocationHistory &BasicChecker::historyFor(MemAddr Addr,
+                                                        ShadowSlot &Slot) {
+  LocationHistory *History = Slot.History.load(std::memory_order_acquire);
+  if (History)
+    return *History;
+  size_t Index = HistoryPool.emplaceBack();
+  LocationHistory *Fresh = &HistoryPool[Index];
+  Fresh->ReportAddr = Addr;
+  if (Slot.History.compare_exchange_strong(History, Fresh,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+    return *Fresh;
+  return *History;
+}
+
+void BasicChecker::registerAtomicGroup(const MemAddr *Members, size_t Count) {
+  assert(Count > 0 && "empty atomic group");
+  ShadowSlot &First = Shadow.getOrCreate(Members[0]);
+  LocationHistory &History = historyFor(Members[0], First);
+  for (size_t I = 1; I < Count; ++I) {
+    ShadowSlot &Slot = Shadow.getOrCreate(Members[I]);
+    LocationHistory *Expected = nullptr;
+    bool Installed = Slot.History.compare_exchange_strong(
+        Expected, &History, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    assert((Installed || Expected == &History) &&
+           "atomic group member already tracked with separate metadata");
+    (void)Installed;
+  }
+}
+
+bool BasicChecker::locationHasViolation(MemAddr Addr) const {
+  const ShadowSlot *Slot =
+      const_cast<ShadowMemory<ShadowSlot> &>(Shadow).lookup(Addr);
+  if (!Slot)
+    return false;
+  LocationHistory *History = Slot->History.load(std::memory_order_acquire);
+  if (!History)
+    return false;
+  std::lock_guard<SpinLock> Guard(History->Lock);
+  return History->Reported;
+}
+
+//===----------------------------------------------------------------------===//
+// The basic algorithm (Figure 3, extended to both triple roles)
+//===----------------------------------------------------------------------===//
+
+void BasicChecker::onRead(TaskId Task, MemAddr Addr) {
+  NumReads.fetch_add(1, std::memory_order_relaxed);
+  onAccess(Task, Addr, AccessKind::Read);
+}
+
+void BasicChecker::onWrite(TaskId Task, MemAddr Addr) {
+  NumWrites.fetch_add(1, std::memory_order_relaxed);
+  onAccess(Task, Addr, AccessKind::Write);
+}
+
+void BasicChecker::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
+  TaskState &State = stateFor(Task);
+  NodeId Si = Builder.currentStep(State.Frame);
+
+  ShadowSlot &Slot = Shadow.getOrCreate(Addr);
+  if (!Slot.Accessed.exchange(1, std::memory_order_relaxed))
+    NumLocations.fetch_add(1, std::memory_order_relaxed);
+  LocationHistory &History = historyFor(Addr, Slot);
+
+  LockSet Locks = State.Locks.snapshot();
+  std::lock_guard<SpinLock> Guard(History.Lock);
+  const std::vector<Entry> &Entries = History.Entries;
+
+  // Role A3: a prior access P by the current step plus the current access
+  // form a two-access pattern (if no critical section spans both); any
+  // prior access Q by a logically parallel step may interleave.
+  for (const Entry &P : Entries) {
+    if (P.Step != Si || !P.Locks.disjointWith(Locks))
+      continue;
+    for (const Entry &Q : Entries) {
+      if (Q.Step == Si)
+        continue;
+      if (!isUnserializableTriple(P.Kind, Q.Kind, Kind))
+        continue;
+      if (Oracle->logicallyParallel(Q.Step, Si))
+        report(History, Si, P.Kind, Kind, Q.Step, Q.Kind);
+    }
+  }
+
+  // Role A2: the current access interleaves into a pattern that two prior
+  // accesses of some other (parallel) step already formed. Figure 3 omits
+  // this role; it is required when the interleaver is observed last.
+  for (size_t I = 0, E = Entries.size(); I != E; ++I) {
+    const Entry &P = Entries[I];
+    if (P.Step == Si)
+      continue;
+    for (size_t J = I + 1; J != E; ++J) {
+      const Entry &Q = Entries[J];
+      if (Q.Step != P.Step || !P.Locks.disjointWith(Q.Locks))
+        continue;
+      if (!isUnserializableTriple(P.Kind, Kind, Q.Kind))
+        continue;
+      if (Oracle->logicallyParallel(P.Step, Si))
+        report(History, P.Step, P.Kind, Q.Kind, Si, Kind);
+    }
+  }
+
+  History.Entries.push_back(Entry{Si, Kind, std::move(Locks)});
+}
+
+void BasicChecker::report(LocationHistory &History, NodeId PatternStep,
+                          AccessKind K1, AccessKind K3,
+                          NodeId InterleaverStep, AccessKind K2) {
+  Violation V;
+  V.Addr = History.ReportAddr;
+  V.PatternStep = PatternStep;
+  V.InterleaverStep = InterleaverStep;
+  V.A1 = K1;
+  V.A2 = K2;
+  V.A3 = K3;
+  V.PatternTask = Tree->taskId(PatternStep);
+  V.InterleaverTask = Tree->taskId(InterleaverStep);
+  if (Log.record(V) && !History.Reported) {
+    History.Reported = true;
+    NumViolatingLocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CheckerStats BasicChecker::stats() const {
+  CheckerStats Stats;
+  Stats.NumLocations = NumLocations.load(std::memory_order_relaxed);
+  Stats.NumDpstNodes = Tree->numNodes();
+  Stats.Lca = Oracle->stats();
+  Stats.NumReads = NumReads.load(std::memory_order_relaxed);
+  Stats.NumWrites = NumWrites.load(std::memory_order_relaxed);
+  Stats.NumViolations = Log.size();
+  Stats.NumViolatingLocations =
+      NumViolatingLocations.load(std::memory_order_relaxed);
+  return Stats;
+}

@@ -1,0 +1,135 @@
+//===- checker/BasicChecker.h - Unbounded-history checker ------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's *basic approach* (Section 3.1, Figure 3): every dynamic
+/// access to a tracked location is appended to an unbounded access history,
+/// and each new access is checked against all pairs in the history. Memory
+/// grows with the number of dynamic accesses — exactly the cost the
+/// fixed-size global/local metadata of Section 3.2 eliminates.
+///
+/// This implementation enumerates *all* unserializable triples, treating
+/// the current access both as the pattern-completing access (A3, as in
+/// Figure 3) and as the interleaver (A2) of a pattern two prior accesses
+/// already formed; the figure's pseudocode covers only the A3 role, but
+/// completeness over arbitrary observation orders needs both (DESIGN.md).
+/// It serves as the reference oracle the optimized checker is property-
+/// tested against, and as the memory/time baseline for the ablation bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_BASICCHECKER_H
+#define AVC_CHECKER_BASICCHECKER_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "checker/AccessKind.h"
+#include "checker/CheckerStats.h"
+#include "checker/LockSet.h"
+#include "checker/ShadowMemory.h"
+#include "checker/ViolationReport.h"
+#include "dpst/Dpst.h"
+#include "dpst/DpstBuilder.h"
+#include "dpst/ParallelismOracle.h"
+#include "runtime/ExecutionObserver.h"
+#include "support/ChunkedVector.h"
+#include "support/RadixTable.h"
+
+namespace avc {
+
+/// Sound-and-complete reference checker with unbounded access histories.
+class BasicChecker : public ExecutionObserver {
+public:
+  struct Options {
+    DpstLayout Layout = DpstLayout::Array;
+    bool EnableLcaCache = true;
+    size_t MaxRetainedViolations = 4096;
+  };
+
+  BasicChecker(Options Opts);
+  BasicChecker() : BasicChecker(Options()) {}
+  ~BasicChecker() override;
+
+  /// Same multi-variable grouping as AtomicityChecker::registerAtomicGroup.
+  void registerAtomicGroup(const MemAddr *Members, size_t Count);
+
+  // ExecutionObserver interface.
+  void onProgramStart(TaskId RootTask) override;
+  void onTaskSpawn(TaskId Parent, const void *GroupTag, TaskId Child) override;
+  void onTaskEnd(TaskId Task) override;
+  void onSync(TaskId Task) override;
+  void onGroupWait(TaskId Task, const void *GroupTag) override;
+  void onLockAcquire(TaskId Task, LockId Lock) override;
+  void onLockRelease(TaskId Task, LockId Lock) override;
+  void onRead(TaskId Task, MemAddr Addr) override;
+  void onWrite(TaskId Task, MemAddr Addr) override;
+
+  const ViolationLog &violations() const { return Log; }
+
+  /// True if any violation was recorded for the location tracking \p Addr.
+  /// The per-location verdict is the equivalence criterion against the
+  /// optimized checker (which may report a different — but equally real —
+  /// triple for the same broken location).
+  bool locationHasViolation(MemAddr Addr) const;
+
+  CheckerStats stats() const;
+  const Dpst &dpst() const { return *Tree; }
+
+private:
+  struct Entry {
+    NodeId Step;
+    AccessKind Kind;
+    LockSet Locks;
+  };
+
+  struct LocationHistory {
+    SpinLock Lock;
+    std::vector<Entry> Entries;
+    MemAddr ReportAddr = 0;
+    bool Reported = false;
+  };
+
+  struct TaskState {
+    TaskFrame Frame;
+    HeldLocks Locks;
+  };
+
+  struct ShadowSlot {
+    std::atomic<LocationHistory *> History{nullptr};
+    std::atomic<uint8_t> Accessed{0};
+  };
+
+  TaskState &stateFor(TaskId Task);
+  TaskState &createState(TaskId Task);
+  LocationHistory &historyFor(MemAddr Addr, ShadowSlot &Slot);
+  void onAccess(TaskId Task, MemAddr Addr, AccessKind Kind);
+  void report(LocationHistory &History, NodeId PatternStep, AccessKind K1,
+              AccessKind K3, NodeId InterleaverStep, AccessKind K2);
+
+  Options Opts;
+  std::unique_ptr<Dpst> Tree;
+  std::unique_ptr<ParallelismOracle> Oracle;
+  DpstBuilder Builder;
+
+  ShadowMemory<ShadowSlot> Shadow;
+  ChunkedVector<LocationHistory> HistoryPool;
+
+  RadixTable<std::atomic<TaskState *>> Tasks;
+  ChunkedVector<std::unique_ptr<TaskState>> TaskStorage;
+
+  std::atomic<LockToken> NextLockToken{1};
+  std::atomic<uint64_t> NumLocations{0};
+  std::atomic<uint64_t> NumReads{0};
+  std::atomic<uint64_t> NumWrites{0};
+  std::atomic<uint64_t> NumViolatingLocations{0};
+  ViolationLog Log;
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_BASICCHECKER_H

@@ -1,0 +1,41 @@
+//===- checker/CheckerStats.h - Aggregated analysis statistics -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-run statistics the paper's evaluation reports: Table 1's
+/// characterization columns (unique locations, DPST nodes, LCA queries,
+/// percentage of unique LCA queries) plus access and violation counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_CHECKERSTATS_H
+#define AVC_CHECKER_CHECKERSTATS_H
+
+#include <cstdint>
+
+#include "dpst/ParallelismOracle.h"
+
+namespace avc {
+
+/// Snapshot of one checked execution's characteristics.
+struct CheckerStats {
+  /// Distinct tracked memory locations accessed (Table 1 column 2).
+  uint64_t NumLocations = 0;
+  /// Nodes in the DPST at program end (Table 1 column 3).
+  uint64_t NumDpstNodes = 0;
+  /// LCA query counters (Table 1 columns 4-5).
+  LcaQueryStats Lca;
+  /// Tracked reads / writes processed.
+  uint64_t NumReads = 0;
+  uint64_t NumWrites = 0;
+  /// Distinct violations recorded and distinct locations they involve.
+  uint64_t NumViolations = 0;
+  uint64_t NumViolatingLocations = 0;
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_CHECKERSTATS_H

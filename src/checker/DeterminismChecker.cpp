@@ -1,0 +1,159 @@
+//===- checker/DeterminismChecker.cpp - Tardis-style determinism ----------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/DeterminismChecker.h"
+
+#include <cassert>
+#include <cstdio>
+#include <mutex>
+
+#include "checker/RetentionPolicy.h"
+
+using namespace avc;
+
+std::string DeterminismViolation::toString() const {
+  char Buffer[256];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "determinism violation on location 0x%llx: %s by step S%u "
+                "and %s by logically parallel step S%u conflict, so the "
+                "outcome depends on the schedule (locks cannot fix this)",
+                static_cast<unsigned long long>(Addr),
+                accessKindName(FirstKind), FirstStep,
+                accessKindName(SecondKind), SecondStep);
+  return std::string(Buffer);
+}
+
+DeterminismChecker::DeterminismChecker(Options Opts)
+    : Opts(Opts), Tree(createDpst(Opts.Layout)), Builder(*Tree) {
+  ParallelismOracle::Options OracleOpts;
+  OracleOpts.EnableCache = Opts.EnableLcaCache;
+  Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
+}
+
+DeterminismChecker::~DeterminismChecker() = default;
+
+DeterminismChecker::TaskState &DeterminismChecker::createState(TaskId Task) {
+  auto State = std::make_unique<TaskState>();
+  TaskState *Raw = State.get();
+  TaskStorage.emplaceBack(std::move(State));
+  Tasks.getOrCreate(Task).store(Raw, std::memory_order_release);
+  return *Raw;
+}
+
+DeterminismChecker::TaskState &DeterminismChecker::stateFor(TaskId Task) {
+  std::atomic<TaskState *> *Slot = Tasks.lookup(Task);
+  assert(Slot && "event for a task that was never spawned");
+  TaskState *State = Slot->load(std::memory_order_acquire);
+  assert(State && "event for a task that was never spawned");
+  return *State;
+}
+
+void DeterminismChecker::onProgramStart(TaskId RootTask) {
+  Builder.initRoot(createState(RootTask).Frame, RootTask);
+}
+
+void DeterminismChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
+                                     TaskId Child) {
+  TaskState &ParentState = stateFor(Parent);
+  TaskState &ChildState = createState(Child);
+  Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
+}
+
+void DeterminismChecker::onTaskEnd(TaskId Task) {
+  Builder.endTask(stateFor(Task).Frame);
+}
+
+void DeterminismChecker::onSync(TaskId Task) {
+  Builder.sync(stateFor(Task).Frame);
+}
+
+void DeterminismChecker::onGroupWait(TaskId Task, const void *GroupTag) {
+  Builder.waitGroup(stateFor(Task).Frame, GroupTag);
+}
+
+DeterminismChecker::LocationState &
+DeterminismChecker::locationFor(MemAddr Addr, ShadowSlot &Slot) {
+  LocationState *Loc = Slot.Loc.load(std::memory_order_acquire);
+  if (Loc)
+    return *Loc;
+  size_t Index = LocPool.emplaceBack();
+  LocationState *Fresh = &LocPool[Index];
+  Fresh->ReportAddr = Addr;
+  if (Slot.Loc.compare_exchange_strong(Loc, Fresh, std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+    return *Fresh;
+  return *Loc;
+}
+
+bool DeterminismChecker::par(NodeId Entry, NodeId Si) {
+  if (Entry == InvalidNodeId)
+    return false;
+  return Oracle->logicallyParallel(Entry, Si);
+}
+
+void DeterminismChecker::report(LocationState &Loc, NodeId Prior,
+                                AccessKind PriorKind, NodeId Current,
+                                AccessKind CurrentKind) {
+  std::lock_guard<SpinLock> Guard(ReportLock);
+  uint64_t Key = (uint64_t(Prior) << 33) ^ (uint64_t(Current) << 2) ^
+                 (uint64_t(PriorKind == AccessKind::Write) << 1) ^
+                 uint64_t(CurrentKind == AccessKind::Write) ^
+                 (Loc.ReportAddr * 0x9e3779b97f4a7c15ULL);
+  if (!Seen.insert(Key).second)
+    return;
+  ++NumTotal;
+  if (Reports.size() >= Opts.MaxRetainedViolations)
+    return;
+  DeterminismViolation V;
+  V.Addr = Loc.ReportAddr;
+  V.FirstStep = Prior;
+  V.SecondStep = Current;
+  V.FirstKind = PriorKind;
+  V.SecondKind = CurrentKind;
+  Reports.push_back(V);
+}
+
+void DeterminismChecker::onRead(TaskId Task, MemAddr Addr) {
+  onAccess(Task, Addr, AccessKind::Read);
+}
+
+void DeterminismChecker::onWrite(TaskId Task, MemAddr Addr) {
+  onAccess(Task, Addr, AccessKind::Write);
+}
+
+void DeterminismChecker::onAccess(TaskId Task, MemAddr Addr,
+                                  AccessKind Kind) {
+  TaskState &State = stateFor(Task);
+  NodeId Si = Builder.currentStep(State.Frame);
+  LocationState &Loc = locationFor(Addr, Shadow.getOrCreate(Addr));
+
+  std::lock_guard<SpinLock> Guard(Loc.Lock);
+  // A conflict between logically parallel steps is nondeterministic no
+  // matter what synchronization orders it at run time.
+  if (Kind == AccessKind::Write) {
+    for (NodeId Reader : {Loc.R1, Loc.R2})
+      if (par(Reader, Si))
+        report(Loc, Reader, AccessKind::Read, Si, AccessKind::Write);
+  }
+  for (NodeId Writer : {Loc.W1, Loc.W2})
+    if (par(Writer, Si))
+      report(Loc, Writer, AccessKind::Write, Si, Kind);
+
+  if (Kind == AccessKind::Read)
+    retainParallelPair(*Oracle, *Tree, Loc.R1, Loc.R2, Si);
+  else
+    retainParallelPair(*Oracle, *Tree, Loc.W1, Loc.W2, Si);
+}
+
+size_t DeterminismChecker::numViolations() const {
+  std::lock_guard<SpinLock> Guard(ReportLock);
+  return NumTotal;
+}
+
+std::vector<DeterminismViolation> DeterminismChecker::violations() const {
+  std::lock_guard<SpinLock> Guard(ReportLock);
+  return Reports;
+}

@@ -1,0 +1,137 @@
+//===- checker/DeterminismChecker.h - Tardis-style determinism -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third related-work axis of the paper's Section 5: determinism
+/// enforcement in the style of Tardis (Lu, Ji & Scott, PLDI'14), which
+/// "checks for determinism by maintaining a log of accesses and identifying
+/// conflicting accesses between tasks". A task-parallel program is
+/// internally deterministic iff no two logically parallel steps perform
+/// conflicting accesses to the same location — *regardless of locks*: a
+/// lock serializes the conflict but the winner still depends on the
+/// schedule, so the outcome is nondeterministic.
+///
+/// The trio of structural tools therefore orders strictly by strength:
+///
+///   determinism violation  ⊇  data race  ⊇  (lock-free) atomicity issues
+///
+/// A lock-protected counter update is flagged here, not by the race
+/// detector; the paper's checker only complains when a step's own accesses
+/// split across critical sections. Tests assert exactly this ordering.
+///
+/// Implementation: per location, the leftmost/rightmost parallel reader
+/// and writer entries (the same retention as the other tools), with no
+/// lockset handling at all — which is also why the paper contrasts itself
+/// against Tardis: "our approach handles atomicity violations in the
+/// presence of synchronization operations".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_DETERMINISMCHECKER_H
+#define AVC_CHECKER_DETERMINISMCHECKER_H
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "checker/AccessKind.h"
+#include "checker/ShadowMemory.h"
+#include "dpst/Dpst.h"
+#include "dpst/DpstBuilder.h"
+#include "dpst/ParallelismOracle.h"
+#include "runtime/ExecutionObserver.h"
+#include "support/ChunkedVector.h"
+#include "support/RadixTable.h"
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// One detected determinism violation (a schedule-dependent conflict).
+struct DeterminismViolation {
+  MemAddr Addr = 0;
+  NodeId FirstStep = InvalidNodeId;
+  NodeId SecondStep = InvalidNodeId;
+  AccessKind FirstKind = AccessKind::Read;
+  AccessKind SecondKind = AccessKind::Write;
+
+  std::string toString() const;
+};
+
+/// Tardis-style internal-determinism checker over the DPST.
+class DeterminismChecker : public ExecutionObserver {
+public:
+  struct Options {
+    DpstLayout Layout = DpstLayout::Array;
+    bool EnableLcaCache = true;
+    size_t MaxRetainedViolations = 4096;
+  };
+
+  DeterminismChecker(Options Opts);
+  DeterminismChecker() : DeterminismChecker(Options()) {}
+  ~DeterminismChecker() override;
+
+  // ExecutionObserver interface (lock events are deliberately ignored:
+  // locks do not restore determinism).
+  void onProgramStart(TaskId RootTask) override;
+  void onTaskSpawn(TaskId Parent, const void *GroupTag, TaskId Child) override;
+  void onTaskEnd(TaskId Task) override;
+  void onSync(TaskId Task) override;
+  void onGroupWait(TaskId Task, const void *GroupTag) override;
+  void onRead(TaskId Task, MemAddr Addr) override;
+  void onWrite(TaskId Task, MemAddr Addr) override;
+
+  size_t numViolations() const;
+  std::vector<DeterminismViolation> violations() const;
+  const Dpst &dpst() const { return *Tree; }
+
+private:
+  struct LocationState {
+    SpinLock Lock;
+    NodeId R1 = InvalidNodeId;
+    NodeId R2 = InvalidNodeId;
+    NodeId W1 = InvalidNodeId;
+    NodeId W2 = InvalidNodeId;
+    MemAddr ReportAddr = 0;
+  };
+
+  struct TaskState {
+    TaskFrame Frame;
+  };
+
+  struct ShadowSlot {
+    std::atomic<LocationState *> Loc{nullptr};
+  };
+
+  TaskState &stateFor(TaskId Task);
+  TaskState &createState(TaskId Task);
+  LocationState &locationFor(MemAddr Addr, ShadowSlot &Slot);
+  void onAccess(TaskId Task, MemAddr Addr, AccessKind Kind);
+  bool par(NodeId Entry, NodeId Si);
+  void report(LocationState &Loc, NodeId Prior, AccessKind PriorKind,
+              NodeId Current, AccessKind CurrentKind);
+
+  Options Opts;
+  std::unique_ptr<Dpst> Tree;
+  std::unique_ptr<ParallelismOracle> Oracle;
+  DpstBuilder Builder;
+
+  ShadowMemory<ShadowSlot> Shadow;
+  ChunkedVector<LocationState> LocPool;
+
+  RadixTable<std::atomic<TaskState *>> Tasks;
+  ChunkedVector<std::unique_ptr<TaskState>> TaskStorage;
+
+  mutable SpinLock ReportLock;
+  std::vector<DeterminismViolation> Reports;
+  std::unordered_set<uint64_t> Seen;
+  uint64_t NumTotal = 0;
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_DETERMINISMCHECKER_H

@@ -1,0 +1,84 @@
+//===- checker/GlobalMetadata.h - Fixed global access history --*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-location *global metadata space* of Section 3.2: twelve access
+/// history entries capturing every access shape an atomicity violation can
+/// involve — the four two-access patterns performed by a single step node
+/// (read-read, read-write, write-read, write-write; two entries each) and
+/// four single-access entries (two reads R1/R2 and two writes W1/W2 by
+/// pairwise-parallel steps) that can interleave into some other step's
+/// pattern.
+///
+/// Because a pattern's two accesses always belong to one step node and the
+/// pattern's kinds are implied by which field it occupies, each of the
+/// twelve logical entries stores just the step node id; locks are tracked
+/// only in the local metadata space (Section 3.3), exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_GLOBALMETADATA_H
+#define AVC_CHECKER_GLOBALMETADATA_H
+
+#include "dpst/DpstNodeKind.h"
+#include "runtime/ExecutionObserver.h"
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// The global metadata space for one tracked location (or one multi-
+/// variable atomic group, which shares a single instance across all member
+/// locations). Guarded by its own spin lock; the checker's per-access
+/// critical section is a handful of compares.
+struct GlobalMetadata {
+  /// Serializes metadata propagation and checking for this location.
+  SpinLock Lock;
+
+  /// Single-access entries: steps that read (R1, R2) / wrote (W1, W2) the
+  /// location and may interleave into a parallel step's pattern.
+  NodeId R1 = InvalidNodeId;
+  NodeId R2 = InvalidNodeId;
+  NodeId W1 = InvalidNodeId;
+  NodeId W2 = InvalidNodeId;
+
+  /// Two-access patterns: the step node that performed both accesses, per
+  /// kind pair (first access, second access). The paper keeps one record
+  /// per kind; in complete-metadata mode (the default, see
+  /// AtomicityChecker::Options::CompleteMetadata) a second record per kind
+  /// retains the leftmost/rightmost parallel pattern owners, which the
+  /// randomized equivalence suite showed is necessary for completeness.
+  /// The *b slots stay unused in paper-literal mode.
+  NodeId RR = InvalidNodeId;
+  NodeId RW = InvalidNodeId;
+  NodeId WR = InvalidNodeId;
+  NodeId WW = InvalidNodeId;
+  NodeId RRb = InvalidNodeId;
+  NodeId RWb = InvalidNodeId;
+  NodeId WRb = InvalidNodeId;
+  NodeId WWb = InvalidNodeId;
+
+  /// Representative address for reports (the first address registered for
+  /// the group, or the location's own address).
+  MemAddr ReportAddr = 0;
+
+  /// Set once a violation involving this location was recorded; used to
+  /// count distinct violating locations.
+  bool Reported = false;
+
+  /// True if no access has been recorded yet (GS(l) == 0 in Figure 6).
+  /// Every recorded access updates R1/W1 first, so testing the primary
+  /// slots suffices.
+  bool isEmpty() const {
+    return R1 == InvalidNodeId && R2 == InvalidNodeId &&
+           W1 == InvalidNodeId && W2 == InvalidNodeId &&
+           RR == InvalidNodeId && RW == InvalidNodeId &&
+           WR == InvalidNodeId && WW == InvalidNodeId;
+  }
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_GLOBALMETADATA_H

@@ -1,0 +1,54 @@
+//===- checker/LocationNames.h - Human names for locations -----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optional address-to-name registry so reports read "location 'balance'"
+/// instead of a raw address. The paper's annotations are type qualifiers
+/// on named program variables; this is the runtime-library equivalent of
+/// carrying those names through to diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_LOCATIONNAMES_H
+#define AVC_CHECKER_LOCATIONNAMES_H
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/ExecutionObserver.h"
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// Thread-safe address -> display-name map.
+class LocationNames {
+public:
+  void set(MemAddr Addr, std::string Name) {
+    std::lock_guard<SpinLock> Guard(Lock);
+    Names[Addr] = std::move(Name);
+  }
+
+  /// Returns the registered name, or an empty string.
+  std::string get(MemAddr Addr) const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    auto It = Names.find(Addr);
+    return It == Names.end() ? std::string() : It->second;
+  }
+
+  bool empty() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    return Names.empty();
+  }
+
+private:
+  mutable SpinLock Lock;
+  std::unordered_map<MemAddr, std::string> Names;
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_LOCATIONNAMES_H

@@ -1,0 +1,126 @@
+//===- checker/LockSet.h - Versioned locksets -------------------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locksets with the paper's lock *versioning* (Section 3.3): every acquire
+/// of a lock yields a fresh token ("we provide a unique name for the lock
+/// every time it is re-acquired"), so two accesses share a token iff they
+/// execute inside the same dynamic critical-section instance. A two-access
+/// pattern is vulnerable to an interleaving access exactly when the two
+/// locksets are disjoint — the accesses sit in different critical sections
+/// (or none), so a parallel task can slip between them even in a data-race-
+/// free program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_LOCKSET_H
+#define AVC_CHECKER_LOCKSET_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/ExecutionObserver.h"
+
+namespace avc {
+
+/// A unique name for one dynamic acquire of one lock.
+using LockToken = uint64_t;
+
+/// An immutable snapshot of the lock instances held at an access. Tokens
+/// are kept sorted; sets are tiny (tasks rarely hold more than a couple of
+/// locks), so sorted vectors beat any hashing.
+class LockSet {
+public:
+  LockSet() = default;
+
+  /// Builds a set from \p Tokens (any order).
+  explicit LockSet(std::vector<LockToken> Tokens) : Tokens(std::move(Tokens)) {
+    std::sort(this->Tokens.begin(), this->Tokens.end());
+  }
+
+  bool empty() const { return Tokens.empty(); }
+  size_t size() const { return Tokens.size(); }
+
+  bool contains(LockToken Token) const {
+    return std::binary_search(Tokens.begin(), Tokens.end(), Token);
+  }
+
+  /// Returns true if no critical-section instance covers both this access
+  /// and \p Other — i.e. a parallel access can interleave between them.
+  bool disjointWith(const LockSet &Other) const {
+    auto I = Tokens.begin(), IE = Tokens.end();
+    auto J = Other.Tokens.begin(), JE = Other.Tokens.end();
+    while (I != IE && J != JE) {
+      if (*I < *J)
+        ++I;
+      else if (*J < *I)
+        ++J;
+      else
+        return false;
+    }
+    return true;
+  }
+
+  bool operator==(const LockSet &Other) const { return Tokens == Other.Tokens; }
+
+private:
+  std::vector<LockToken> Tokens;
+};
+
+/// Tracks the stack of locks a task currently holds, handing out versioned
+/// tokens. One instance per task; not thread safe (a task runs on one
+/// worker at a time).
+class HeldLocks {
+public:
+  /// Records the acquisition of \p Lock with the fresh token \p Token.
+  void acquire(LockId Lock, LockToken Token) {
+    Held.push_back({Lock, Token});
+  }
+
+  /// Records the release of \p Lock (the most recent acquisition wins, so
+  /// nested distinct locks release in any order).
+  void release(LockId Lock) {
+    for (auto I = Held.rbegin(), E = Held.rend(); I != E; ++I) {
+      if (I->first == Lock) {
+        Held.erase(std::next(I).base());
+        return;
+      }
+    }
+    assert(false && "release of a lock that is not held");
+  }
+
+  /// Snapshots the currently held tokens (versioned names; two snapshots
+  /// share a token iff taken inside the same critical-section instance).
+  LockSet snapshot() const {
+    std::vector<LockToken> Tokens;
+    Tokens.reserve(Held.size());
+    for (const auto &[Lock, Token] : Held)
+      Tokens.push_back(Token);
+    return LockSet(std::move(Tokens));
+  }
+
+  /// Snapshots the currently held lock *identities* (unversioned). Race
+  /// detection uses these: two critical sections of the same lock never
+  /// race, whichever acquisitions they are.
+  LockSet snapshotIds() const {
+    std::vector<LockToken> Ids;
+    Ids.reserve(Held.size());
+    for (const auto &[Lock, Token] : Held)
+      Ids.push_back(Lock);
+    return LockSet(std::move(Ids));
+  }
+
+  size_t depth() const { return Held.size(); }
+
+private:
+  std::vector<std::pair<LockId, LockToken>> Held;
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_LOCKSET_H

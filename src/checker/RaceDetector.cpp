@@ -1,0 +1,225 @@
+//===- checker/RaceDetector.cpp - All-Sets data race detection ------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/RaceDetector.h"
+
+#include <cassert>
+#include <cstdio>
+#include <mutex>
+
+#include "checker/RetentionPolicy.h"
+
+using namespace avc;
+
+std::string Race::toString() const {
+  char Buffer[256];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "data race on location 0x%llx: %s by step S%u (task %u) and "
+                "%s by logically parallel step S%u (task %u) with no common "
+                "lock",
+                static_cast<unsigned long long>(Addr),
+                accessKindName(FirstKind), FirstStep, FirstTask,
+                accessKindName(SecondKind), SecondStep, SecondTask);
+  return std::string(Buffer);
+}
+
+RaceDetector::RaceDetector(Options Opts)
+    : Opts(Opts), Tree(createDpst(Opts.Layout)), Builder(*Tree) {
+  ParallelismOracle::Options OracleOpts;
+  OracleOpts.EnableCache = Opts.EnableLcaCache;
+  Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
+}
+
+RaceDetector::~RaceDetector() = default;
+
+//===----------------------------------------------------------------------===//
+// Task lifecycle (shared shape with the checkers)
+//===----------------------------------------------------------------------===//
+
+RaceDetector::TaskState &RaceDetector::createState(TaskId Task) {
+  auto State = std::make_unique<TaskState>();
+  TaskState *Raw = State.get();
+  TaskStorage.emplaceBack(std::move(State));
+  Tasks.getOrCreate(Task).store(Raw, std::memory_order_release);
+  return *Raw;
+}
+
+RaceDetector::TaskState &RaceDetector::stateFor(TaskId Task) {
+  std::atomic<TaskState *> *Slot = Tasks.lookup(Task);
+  assert(Slot && "event for a task that was never spawned");
+  TaskState *State = Slot->load(std::memory_order_acquire);
+  assert(State && "event for a task that was never spawned");
+  return *State;
+}
+
+void RaceDetector::onProgramStart(TaskId RootTask) {
+  Builder.initRoot(createState(RootTask).Frame, RootTask);
+}
+
+void RaceDetector::onTaskSpawn(TaskId Parent, const void *GroupTag,
+                               TaskId Child) {
+  TaskState &ParentState = stateFor(Parent);
+  TaskState &ChildState = createState(Child);
+  Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
+}
+
+void RaceDetector::onTaskEnd(TaskId Task) {
+  Builder.endTask(stateFor(Task).Frame);
+}
+
+void RaceDetector::onSync(TaskId Task) {
+  Builder.sync(stateFor(Task).Frame);
+}
+
+void RaceDetector::onGroupWait(TaskId Task, const void *GroupTag) {
+  Builder.waitGroup(stateFor(Task).Frame, GroupTag);
+}
+
+void RaceDetector::onLockAcquire(TaskId Task, LockId Lock) {
+  // Unversioned: the token is the lock identity itself.
+  stateFor(Task).Locks.acquire(Lock, Lock);
+}
+
+void RaceDetector::onLockRelease(TaskId Task, LockId Lock) {
+  stateFor(Task).Locks.release(Lock);
+}
+
+//===----------------------------------------------------------------------===//
+// All-Sets access checking
+//===----------------------------------------------------------------------===//
+
+RaceDetector::LocationState &RaceDetector::locationFor(MemAddr Addr,
+                                                       ShadowSlot &Slot) {
+  LocationState *Loc = Slot.Loc.load(std::memory_order_acquire);
+  if (Loc)
+    return *Loc;
+  size_t Index = LocPool.emplaceBack();
+  LocationState *Fresh = &LocPool[Index];
+  Fresh->ReportAddr = Addr;
+  if (Slot.Loc.compare_exchange_strong(Loc, Fresh, std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+    return *Fresh;
+  return *Loc;
+}
+
+bool RaceDetector::par(NodeId Entry, NodeId Si) {
+  if (Entry == InvalidNodeId)
+    return false;
+  return Oracle->logicallyParallel(Entry, Si);
+}
+
+void RaceDetector::retainEntry(NodeId &E1, NodeId &E2, NodeId Si) {
+  retainParallelPair(*Oracle, *Tree, E1, E2, Si);
+}
+
+void RaceDetector::report(LocationState &Loc, NodeId Prior,
+                          AccessKind PriorKind, NodeId Current,
+                          AccessKind CurrentKind) {
+  std::lock_guard<SpinLock> Guard(RaceLock);
+  uint64_t Key = (uint64_t(Prior) << 33) ^ (uint64_t(Current) << 2) ^
+                 (uint64_t(PriorKind == AccessKind::Write) << 1) ^
+                 uint64_t(CurrentKind == AccessKind::Write);
+  Key ^= Loc.ReportAddr * 0x9e3779b97f4a7c15ULL;
+  if (!SeenRaces.insert(Key).second)
+    return;
+  ++NumRacesTotal;
+  if (Races.size() >= Opts.MaxRetainedRaces)
+    return;
+  Race R;
+  R.Addr = Loc.ReportAddr;
+  R.FirstStep = Prior;
+  R.SecondStep = Current;
+  R.FirstKind = PriorKind;
+  R.SecondKind = CurrentKind;
+  R.FirstTask = Tree->taskId(Prior);
+  R.SecondTask = Tree->taskId(Current);
+  Races.push_back(R);
+}
+
+void RaceDetector::onRead(TaskId Task, MemAddr Addr) {
+  NumReads.fetch_add(1, std::memory_order_relaxed);
+  onAccess(Task, Addr, AccessKind::Read);
+}
+
+void RaceDetector::onWrite(TaskId Task, MemAddr Addr) {
+  NumWrites.fetch_add(1, std::memory_order_relaxed);
+  onAccess(Task, Addr, AccessKind::Write);
+}
+
+void RaceDetector::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
+  TaskState &State = stateFor(Task);
+  NodeId Si = Builder.currentStep(State.Frame);
+  ShadowSlot &Slot = Shadow.getOrCreate(Addr);
+  if (!Slot.Accessed.exchange(1, std::memory_order_relaxed))
+    NumLocations.fetch_add(1, std::memory_order_relaxed);
+  LocationState &Loc = locationFor(Addr, Slot);
+  LockSet Held = State.Locks.snapshotIds();
+
+  std::lock_guard<SpinLock> Guard(Loc.Lock);
+
+  // Check against every record whose lockset shares no lock with ours: a
+  // logically parallel conflicting access there is a race. (Records with a
+  // common lock are mutually excluded — including our own record when the
+  // lockset is non-empty.)
+  for (const LocksetRecord &Record : Loc.Records) {
+    if (!Record.Locks.disjointWith(Held))
+      continue;
+    if (Kind == AccessKind::Write) {
+      for (NodeId Reader : {Record.R1, Record.R2})
+        if (par(Reader, Si))
+          report(Loc, Reader, AccessKind::Read, Si, AccessKind::Write);
+    }
+    for (NodeId Writer : {Record.W1, Record.W2})
+      if (par(Writer, Si))
+        report(Loc, Writer, AccessKind::Write, Si, Kind);
+  }
+
+  // Record the access under its own lockset (one record per distinct
+  // lockset, the All-Sets bound).
+  LocksetRecord *Mine = nullptr;
+  for (LocksetRecord &Record : Loc.Records)
+    if (Record.Locks == Held) {
+      Mine = &Record;
+      break;
+    }
+  if (!Mine) {
+    Loc.Records.push_back(LocksetRecord());
+    Mine = &Loc.Records.back();
+    Mine->Locks = Held;
+  }
+  if (Kind == AccessKind::Read)
+    retainEntry(Mine->R1, Mine->R2, Si);
+  else
+    retainEntry(Mine->W1, Mine->W2, Si);
+}
+
+//===----------------------------------------------------------------------===//
+// Results
+//===----------------------------------------------------------------------===//
+
+size_t RaceDetector::numRaces() const {
+  std::lock_guard<SpinLock> Guard(RaceLock);
+  return NumRacesTotal;
+}
+
+std::vector<Race> RaceDetector::races() const {
+  std::lock_guard<SpinLock> Guard(RaceLock);
+  return Races;
+}
+
+RaceStats RaceDetector::stats() const {
+  RaceStats Stats;
+  Stats.NumLocations = NumLocations.load(std::memory_order_relaxed);
+  Stats.NumReads = NumReads.load(std::memory_order_relaxed);
+  Stats.NumWrites = NumWrites.load(std::memory_order_relaxed);
+  Stats.NumDpstNodes = Tree->numNodes();
+  Stats.Lca = Oracle->stats();
+  {
+    std::lock_guard<SpinLock> Guard(RaceLock);
+    Stats.NumRaces = NumRacesTotal;
+  }
+  return Stats;
+}

@@ -1,0 +1,165 @@
+//===- checker/RaceDetector.h - All-Sets data race detection ---*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The substrate the paper builds on (Section 5): determinacy/data-race
+/// detection for task-parallel programs over the series-parallel structure,
+/// in the style of the All-Sets algorithm (Cheng, Feng, Leiserson, Randall
+/// & Stark, SPAA'98) ported from SP-bags to the DPST. The paper's access
+/// histories are "inspired by the access histories in the All-Sets
+/// algorithm for Cilk"; this detector makes that lineage concrete and
+/// doubles as a point of comparison: a data race is two logically parallel
+/// accesses to one location, at least one a write, protected by no common
+/// lock — a weaker property than the atomicity the main checker verifies
+/// (bank_audit in examples/ is race-free yet non-atomic).
+///
+/// Unlike the atomicity checker's versioned locksets, race detection uses
+/// *plain lock identities*: two critical sections of the same lock never
+/// race, whichever acquisitions they are.
+///
+/// Per location the detector keeps one record per distinct lockset seen
+/// (All-Sets' bound), each holding leftmost/rightmost reader and writer
+/// steps under the same retention argument the main checker uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_RACEDETECTOR_H
+#define AVC_CHECKER_RACEDETECTOR_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "checker/AccessKind.h"
+#include "checker/LockSet.h"
+#include "checker/ShadowMemory.h"
+#include "checker/ViolationReport.h"
+#include "dpst/Dpst.h"
+#include "dpst/DpstBuilder.h"
+#include "dpst/ParallelismOracle.h"
+#include "runtime/ExecutionObserver.h"
+#include "support/ChunkedVector.h"
+#include "support/RadixTable.h"
+
+namespace avc {
+
+/// One detected data race.
+struct Race {
+  MemAddr Addr = 0;
+  NodeId FirstStep = InvalidNodeId;
+  NodeId SecondStep = InvalidNodeId;
+  AccessKind FirstKind = AccessKind::Read;
+  AccessKind SecondKind = AccessKind::Write;
+  uint32_t FirstTask = 0;
+  uint32_t SecondTask = 0;
+
+  /// Human-readable one-line description.
+  std::string toString() const;
+};
+
+/// Statistics of a race-detection run.
+struct RaceStats {
+  uint64_t NumLocations = 0;
+  uint64_t NumReads = 0;
+  uint64_t NumWrites = 0;
+  uint64_t NumRaces = 0;
+  uint64_t NumDpstNodes = 0;
+  LcaQueryStats Lca;
+};
+
+/// DPST-based All-Sets data race detector.
+class RaceDetector : public ExecutionObserver {
+public:
+  struct Options {
+    DpstLayout Layout = DpstLayout::Array;
+    bool EnableLcaCache = true;
+    size_t MaxRetainedRaces = 4096;
+  };
+
+  RaceDetector(Options Opts);
+  RaceDetector() : RaceDetector(Options()) {}
+  ~RaceDetector() override;
+
+  // ExecutionObserver interface.
+  void onProgramStart(TaskId RootTask) override;
+  void onTaskSpawn(TaskId Parent, const void *GroupTag, TaskId Child) override;
+  void onTaskEnd(TaskId Task) override;
+  void onSync(TaskId Task) override;
+  void onGroupWait(TaskId Task, const void *GroupTag) override;
+  void onLockAcquire(TaskId Task, LockId Lock) override;
+  void onLockRelease(TaskId Task, LockId Lock) override;
+  void onRead(TaskId Task, MemAddr Addr) override;
+  void onWrite(TaskId Task, MemAddr Addr) override;
+
+  /// Distinct races found (deduplicated by step pair and kinds).
+  size_t numRaces() const;
+
+  /// Snapshot of the retained reports.
+  std::vector<Race> races() const;
+
+  RaceStats stats() const;
+  const Dpst &dpst() const { return *Tree; }
+
+private:
+  /// Access records for one (location, lockset) combination: the leftmost
+  /// and rightmost parallel readers and writers under that lockset.
+  struct LocksetRecord {
+    LockSet Locks; ///< plain lock identities, not versions
+    NodeId R1 = InvalidNodeId;
+    NodeId R2 = InvalidNodeId;
+    NodeId W1 = InvalidNodeId;
+    NodeId W2 = InvalidNodeId;
+  };
+
+  struct LocationState {
+    SpinLock Lock;
+    std::vector<LocksetRecord> Records; ///< one per distinct lockset
+    MemAddr ReportAddr = 0;
+  };
+
+  struct TaskState {
+    TaskFrame Frame;
+    HeldLocks Locks;
+  };
+
+  struct ShadowSlot {
+    std::atomic<LocationState *> Loc{nullptr};
+    std::atomic<uint8_t> Accessed{0};
+  };
+
+  TaskState &stateFor(TaskId Task);
+  TaskState &createState(TaskId Task);
+  LocationState &locationFor(MemAddr Addr, ShadowSlot &Slot);
+  void onAccess(TaskId Task, MemAddr Addr, AccessKind Kind);
+  bool par(NodeId Entry, NodeId Si);
+  void retainEntry(NodeId &E1, NodeId &E2, NodeId Si);
+  void report(LocationState &Loc, NodeId Prior, AccessKind PriorKind,
+              NodeId Current, AccessKind CurrentKind);
+
+  Options Opts;
+  std::unique_ptr<Dpst> Tree;
+  std::unique_ptr<ParallelismOracle> Oracle;
+  DpstBuilder Builder;
+
+  ShadowMemory<ShadowSlot> Shadow;
+  ChunkedVector<LocationState> LocPool;
+
+  RadixTable<std::atomic<TaskState *>> Tasks;
+  ChunkedVector<std::unique_ptr<TaskState>> TaskStorage;
+
+  std::atomic<uint64_t> NumLocations{0};
+  std::atomic<uint64_t> NumReads{0};
+  std::atomic<uint64_t> NumWrites{0};
+
+  mutable SpinLock RaceLock;
+  std::vector<Race> Races;
+  std::unordered_set<uint64_t> SeenRaces;
+  uint64_t NumRacesTotal = 0;
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_RACEDETECTOR_H

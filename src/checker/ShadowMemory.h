@@ -1,0 +1,122 @@
+//===- checker/ShadowMemory.h - Address-keyed metadata map -----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps 48-bit virtual addresses of tracked locations to per-location
+/// analysis slots through a three-level radix tree (16/16/16 bits). Levels
+/// are allocated on demand with a CAS; slots never move, so a slot
+/// reference stays valid for the map's lifetime and lookups are lock-free.
+/// Both the atomicity checker (global metadata space) and the Velodrome
+/// baseline (last-writer/reader records) instantiate this with their own
+/// slot type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_SHADOWMEMORY_H
+#define AVC_CHECKER_SHADOWMEMORY_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/ExecutionObserver.h"
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// Three-level shadow map from MemAddr to a default-constructed SlotT.
+template <typename SlotT> class ShadowMemory {
+  static constexpr unsigned LevelBits = 16;
+  static constexpr size_t LevelSize = size_t(1) << LevelBits;
+  static constexpr size_t LevelMask = LevelSize - 1;
+
+public:
+  ShadowMemory() : Root(new TopTable()) {}
+
+  ShadowMemory(const ShadowMemory &) = delete;
+  ShadowMemory &operator=(const ShadowMemory &) = delete;
+
+  ~ShadowMemory() {
+    for (size_t I = 0; I < LevelSize; ++I) {
+      MidTable *Mid = (*Root)[I].load(std::memory_order_relaxed);
+      if (!Mid)
+        continue;
+      for (size_t J = 0; J < LevelSize; ++J)
+        delete[] (*Mid)[J].load(std::memory_order_relaxed);
+      delete Mid;
+    }
+    delete Root;
+  }
+
+  /// Returns the slot for \p Addr, materializing intermediate tables and
+  /// the leaf as needed. Thread safe.
+  SlotT &getOrCreate(MemAddr Addr) {
+    assert((Addr >> 48) == 0 && "address beyond 48-bit shadow space");
+    size_t TopIndex = (Addr >> (2 * LevelBits)) & LevelMask;
+    size_t MidIndex = (Addr >> LevelBits) & LevelMask;
+    size_t LeafIndex = Addr & LevelMask;
+
+    MidTable *Mid = loadOrCreate<MidTable>((*Root)[TopIndex]);
+    SlotT *Leaf = loadOrCreateLeaf((*Mid)[MidIndex]);
+    return Leaf[LeafIndex];
+  }
+
+  /// Returns the slot for \p Addr, or nullptr if never materialized.
+  SlotT *lookup(MemAddr Addr) const {
+    if ((Addr >> 48) != 0)
+      return nullptr;
+    MidTable *Mid =
+        (*Root)[(Addr >> (2 * LevelBits)) & LevelMask].load(
+            std::memory_order_acquire);
+    if (!Mid)
+      return nullptr;
+    SlotT *Leaf =
+        (*Mid)[(Addr >> LevelBits) & LevelMask].load(std::memory_order_acquire);
+    return Leaf ? &Leaf[Addr & LevelMask] : nullptr;
+  }
+
+private:
+  using LeafTable = SlotT;
+  struct MidTable : std::vector<std::atomic<SlotT *>> {
+    MidTable() : std::vector<std::atomic<SlotT *>>(LevelSize) {}
+  };
+  struct TopTable : std::vector<std::atomic<MidTable *>> {
+    TopTable() : std::vector<std::atomic<MidTable *>>(LevelSize) {}
+  };
+
+  template <typename TableT>
+  static TableT *loadOrCreate(std::atomic<TableT *> &Cell) {
+    TableT *Table = Cell.load(std::memory_order_acquire);
+    if (Table)
+      return Table;
+    TableT *Fresh = new TableT();
+    if (Cell.compare_exchange_strong(Table, Fresh, std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+      return Fresh;
+    delete Fresh;
+    return Table;
+  }
+
+  static SlotT *loadOrCreateLeaf(std::atomic<SlotT *> &Cell) {
+    SlotT *Leaf = Cell.load(std::memory_order_acquire);
+    if (Leaf)
+      return Leaf;
+    SlotT *Fresh = new SlotT[LevelSize]();
+    if (Cell.compare_exchange_strong(Leaf, Fresh, std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+      return Fresh;
+    delete[] Fresh;
+    return Leaf;
+  }
+
+  TopTable *Root;
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_SHADOWMEMORY_H

@@ -1,0 +1,173 @@
+//===- checker/Velodrome.cpp - Velodrome baseline reimplementation --------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Velodrome.h"
+
+#include <cassert>
+#include <mutex>
+
+using namespace avc;
+
+VelodromeChecker::VelodromeChecker(Options Opts)
+    : Opts(Opts), Tree(createDpst(DpstLayout::Array)), Builder(*Tree) {}
+
+VelodromeChecker::~VelodromeChecker() = default;
+
+//===----------------------------------------------------------------------===//
+// Task lifecycle: step nodes delimit transactions
+//===----------------------------------------------------------------------===//
+
+VelodromeChecker::TaskState &VelodromeChecker::createState(TaskId Task) {
+  auto State = std::make_unique<TaskState>();
+  TaskState *Raw = State.get();
+  TaskStorage.emplaceBack(std::move(State));
+  Tasks.getOrCreate(Task).store(Raw, std::memory_order_release);
+  return *Raw;
+}
+
+VelodromeChecker::TaskState &VelodromeChecker::stateFor(TaskId Task) {
+  std::atomic<TaskState *> *Slot = Tasks.lookup(Task);
+  assert(Slot && "event for a task that was never spawned");
+  TaskState *State = Slot->load(std::memory_order_acquire);
+  assert(State && "event for a task that was never spawned");
+  return *State;
+}
+
+void VelodromeChecker::onProgramStart(TaskId RootTask) {
+  Builder.initRoot(createState(RootTask).Frame, RootTask);
+}
+
+void VelodromeChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
+                                   TaskId Child) {
+  TaskState &ParentState = stateFor(Parent);
+  TaskState &ChildState = createState(Child);
+  Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
+}
+
+void VelodromeChecker::onTaskEnd(TaskId Task) {
+  Builder.endTask(stateFor(Task).Frame);
+}
+
+void VelodromeChecker::onSync(TaskId Task) {
+  Builder.sync(stateFor(Task).Frame);
+}
+
+void VelodromeChecker::onGroupWait(TaskId Task, const void *GroupTag) {
+  Builder.waitGroup(stateFor(Task).Frame, GroupTag);
+}
+
+//===----------------------------------------------------------------------===//
+// Conflict edges and cycle detection
+//===----------------------------------------------------------------------===//
+
+VelodromeChecker::VeloLoc &VelodromeChecker::locFor(ShadowSlot &Slot) {
+  VeloLoc *Loc = Slot.Loc.load(std::memory_order_acquire);
+  if (Loc)
+    return *Loc;
+  size_t Index = LocPool.emplaceBack();
+  VeloLoc *Fresh = &LocPool[Index];
+  if (Slot.Loc.compare_exchange_strong(Loc, Fresh, std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+    return *Fresh;
+  return *Loc;
+}
+
+bool VelodromeChecker::reaches(NodeId From, NodeId To) {
+  if (From == To)
+    return true;
+  std::vector<NodeId> Stack{From};
+  std::unordered_set<NodeId> Visited{From};
+  while (!Stack.empty()) {
+    NodeId Node = Stack.back();
+    Stack.pop_back();
+    auto It = Successors.find(Node);
+    if (It == Successors.end())
+      continue;
+    for (NodeId Succ : It->second) {
+      if (Succ == To)
+        return true;
+      if (Visited.insert(Succ).second)
+        Stack.push_back(Succ);
+    }
+  }
+  return false;
+}
+
+void VelodromeChecker::addEdge(NodeId From, NodeId To, MemAddr Addr) {
+  if (From == To)
+    return;
+  std::lock_guard<SpinLock> Guard(GraphLock);
+  uint64_t Key = (uint64_t(From) << 32) | uint64_t(To);
+  if (!EdgeSet.insert(Key).second)
+    return;
+  // The edge says From's conflicting access was observed before To's; if To
+  // already reaches From, the transactions depend on each other in both
+  // directions and the trace is not conflict serializable.
+  if (reaches(To, From)) {
+    ++NumCyclesTotal;
+    if (Cycles.size() < Opts.MaxRetainedCycles)
+      Cycles.push_back(VelodromeCycle{From, To, Addr});
+  }
+  Successors[From].push_back(To);
+}
+
+void VelodromeChecker::onRead(TaskId Task, MemAddr Addr) {
+  NumReads.fetch_add(1, std::memory_order_relaxed);
+  onAccess(Task, Addr, /*IsWrite=*/false);
+}
+
+void VelodromeChecker::onWrite(TaskId Task, MemAddr Addr) {
+  NumWrites.fetch_add(1, std::memory_order_relaxed);
+  onAccess(Task, Addr, /*IsWrite=*/true);
+}
+
+void VelodromeChecker::onAccess(TaskId Task, MemAddr Addr, bool IsWrite) {
+  TaskState &State = stateFor(Task);
+  NodeId Txn = Builder.currentStep(State.Frame);
+  VeloLoc &Loc = locFor(Shadow.getOrCreate(Addr));
+
+  std::lock_guard<SpinLock> Guard(Loc.Lock);
+  if (!IsWrite) {
+    if (Loc.LastWriter != InvalidNodeId)
+      addEdge(Loc.LastWriter, Txn, Addr);
+    for (NodeId Reader : Loc.Readers)
+      if (Reader == Txn)
+        return;
+    Loc.Readers.push_back(Txn);
+    return;
+  }
+  if (Loc.LastWriter != InvalidNodeId)
+    addEdge(Loc.LastWriter, Txn, Addr);
+  for (NodeId Reader : Loc.Readers)
+    addEdge(Reader, Txn, Addr);
+  Loc.Readers.clear();
+  Loc.LastWriter = Txn;
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+VelodromeStats VelodromeChecker::stats() const {
+  VelodromeStats Stats;
+  Stats.NumReads = NumReads.load(std::memory_order_relaxed);
+  Stats.NumWrites = NumWrites.load(std::memory_order_relaxed);
+  std::lock_guard<SpinLock> Guard(GraphLock);
+  Stats.NumEdges = EdgeSet.size();
+  Stats.NumCycles = NumCyclesTotal;
+  Stats.NumTransactions = Successors.size();
+  return Stats;
+}
+
+std::vector<VelodromeCycle> VelodromeChecker::cycles() const {
+  std::lock_guard<SpinLock> Guard(GraphLock);
+  return Cycles;
+}
+
+size_t VelodromeChecker::numViolations() const {
+  std::lock_guard<SpinLock> Guard(GraphLock);
+  return NumCyclesTotal;
+}

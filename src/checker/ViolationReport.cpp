@@ -1,0 +1,64 @@
+//===- checker/ViolationReport.cpp - Violation records and log ------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/ViolationReport.h"
+
+#include <cstdio>
+#include <mutex>
+
+using namespace avc;
+
+std::string Violation::toString() const {
+  char Location[80];
+  if (LocationName.empty())
+    std::snprintf(Location, sizeof(Location), "location 0x%llx",
+                  static_cast<unsigned long long>(Addr));
+  else
+    std::snprintf(Location, sizeof(Location), "'%s'",
+                  LocationName.c_str());
+  char Buffer[320];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "atomicity violation on %s: step S%u (task %u) "
+                "performs %s..%s; parallel step S%u (task %u) can interleave "
+                "a %s (unserializable %c%c%c)",
+                Location, PatternStep,
+                PatternTask, accessKindName(A1), accessKindName(A3),
+                InterleaverStep, InterleaverTask, accessKindName(A2),
+                A1 == AccessKind::Read ? 'R' : 'W',
+                A2 == AccessKind::Read ? 'R' : 'W',
+                A3 == AccessKind::Read ? 'R' : 'W');
+  return std::string(Buffer);
+}
+
+uint64_t ViolationLog::dedupKey(const Violation &V) {
+  // Steps are < 2^31; three kind bits; fold the address in with a multiply.
+  uint64_t Key = (uint64_t(V.PatternStep) << 33) ^
+                 (uint64_t(V.InterleaverStep) << 3) ^
+                 (uint64_t(V.A1 == AccessKind::Write) << 2) ^
+                 (uint64_t(V.A2 == AccessKind::Write) << 1) ^
+                 uint64_t(V.A3 == AccessKind::Write);
+  return Key ^ (V.Addr * 0x9e3779b97f4a7c15ULL);
+}
+
+bool ViolationLog::record(const Violation &V) {
+  std::lock_guard<SpinLock> Guard(Lock);
+  if (!Seen.insert(dedupKey(V)).second)
+    return false;
+  ++NumDistinct;
+  if (Reports.size() < MaxRetained)
+    Reports.push_back(V);
+  return true;
+}
+
+size_t ViolationLog::size() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return NumDistinct;
+}
+
+std::vector<Violation> ViolationLog::snapshot() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return Reports;
+}

@@ -1,0 +1,83 @@
+//===- checker/ViolationReport.h - Violation records and log ---*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records of detected atomicity violations: the unserializable triple
+/// (A1, A2, A3) with A1/A3 by one step node and A2 by a logically parallel
+/// step node, plus the location involved. The log deduplicates structurally
+/// identical reports (same location, steps, and kinds), since the same
+/// triple is often rediscovered on repeated accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_VIOLATIONREPORT_H
+#define AVC_CHECKER_VIOLATIONREPORT_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "checker/AccessKind.h"
+#include "dpst/DpstNodeKind.h"
+#include "runtime/ExecutionObserver.h"
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// One detected atomicity violation.
+struct Violation {
+  /// Representative address of the location (or atomic group).
+  MemAddr Addr = 0;
+  /// The step node whose two-access pattern is broken.
+  NodeId PatternStep = InvalidNodeId;
+  /// The logically parallel step node whose access interleaves.
+  NodeId InterleaverStep = InvalidNodeId;
+  /// Kinds of the triple (A1 and A3 by PatternStep, A2 by the interleaver).
+  AccessKind A1 = AccessKind::Read;
+  AccessKind A2 = AccessKind::Read;
+  AccessKind A3 = AccessKind::Read;
+  /// Task that executed PatternStep / InterleaverStep.
+  uint32_t PatternTask = 0;
+  uint32_t InterleaverTask = 0;
+  /// Display name of the location, when registered (see LocationNames).
+  std::string LocationName;
+
+  /// Human-readable one-line description.
+  std::string toString() const;
+};
+
+/// Thread-safe, deduplicating violation log.
+class ViolationLog {
+public:
+  /// Caps the number of retained reports (the rest are still counted).
+  explicit ViolationLog(size_t MaxRetained = 4096) : MaxRetained(MaxRetained) {}
+
+  /// Records \p V unless a structurally identical report exists. Returns
+  /// true if the report was new.
+  bool record(const Violation &V);
+
+  /// Total distinct violations recorded.
+  size_t size() const;
+
+  /// Snapshot of the retained reports.
+  std::vector<Violation> snapshot() const;
+
+  bool empty() const { return size() == 0; }
+
+private:
+  static uint64_t dedupKey(const Violation &V);
+
+  mutable SpinLock Lock;
+  std::vector<Violation> Reports;
+  std::unordered_set<uint64_t> Seen;
+  size_t NumDistinct = 0;
+  size_t MaxRetained;
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_VIOLATIONREPORT_H

@@ -1,0 +1,85 @@
+//===- dpst/ArrayDpst.cpp - DPST overlaid on a linear array ---------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/ArrayDpst.h"
+
+#include <cassert>
+
+#include "dpst/ParallelQueryImpl.h"
+#include "support/Compiler.h"
+
+using namespace avc;
+
+NodeId ArrayDpst::addNode(NodeId Parent, DpstNodeKind Kind, uint32_t TaskId) {
+  std::lock_guard<SpinLock> Guard(AppendLock);
+  HotNode Record;
+  Record.Parent = Parent;
+  ColdNode Extra;
+  Extra.TaskId = TaskId;
+  Extra.NumChildren = 0;
+  if (Parent == InvalidNodeId) {
+    assert(Hot.empty() && "only the first node may be a root");
+    assert(Kind == DpstNodeKind::Finish && "the root must be a finish node");
+    Record.DepthKind = static_cast<uint32_t>(Kind);
+    Record.SiblingIndex = 0;
+  } else {
+    assert(Parent < Hot.size() && "parent id out of range");
+    HotNode ParentRecord = Hot[Parent];
+    assert(static_cast<DpstNodeKind>(ParentRecord.DepthKind & 3) !=
+               DpstNodeKind::Step &&
+           "step nodes are leaves and cannot have children");
+    uint32_t ParentDepth = ParentRecord.DepthKind >> 2;
+    Record.DepthKind =
+        ((ParentDepth + 1) << 2) | static_cast<uint32_t>(Kind);
+    Record.SiblingIndex = Cold[Parent].NumChildren++;
+  }
+  size_t Id = Hot.pushBack(Record);
+  Cold.emplaceBack(Extra);
+  assert(Id <= MaxNodeId && "DPST node count exceeds id space");
+  return static_cast<NodeId>(Id);
+}
+
+DpstNodeKind ArrayDpst::kind(NodeId Id) const {
+  return static_cast<DpstNodeKind>(Hot[Id].DepthKind & 3);
+}
+
+NodeId ArrayDpst::parent(NodeId Id) const { return Hot[Id].Parent; }
+
+uint32_t ArrayDpst::depth(NodeId Id) const { return Hot[Id].DepthKind >> 2; }
+
+uint32_t ArrayDpst::siblingIndex(NodeId Id) const {
+  return Hot[Id].SiblingIndex;
+}
+
+uint32_t ArrayDpst::taskId(NodeId Id) const { return Cold[Id].TaskId; }
+
+size_t ArrayDpst::numNodes() const { return Hot.size(); }
+
+struct ArrayDpst::QueryAdapter {
+  const HotNode *Nodes; // snapshot for the duration of one walk
+
+  uint32_t depthOf(NodeId Id) const { return Nodes[Id].DepthKind >> 2; }
+  NodeId parentOf(NodeId Id) const { return Nodes[Id].Parent; }
+  DpstNodeKind kindOf(NodeId Id) const {
+    return static_cast<DpstNodeKind>(Nodes[Id].DepthKind & 3);
+  }
+  uint32_t siblingIndexOf(NodeId Id) const {
+    return Nodes[Id].SiblingIndex;
+  }
+  bool sameNode(NodeId A, NodeId B) const { return A == B; }
+};
+
+bool ArrayDpst::logicallyParallelUncached(NodeId A, NodeId B) const {
+  assert(A < Hot.size() && B < Hot.size() && "node id out of range");
+  QueryAdapter Adapter{Hot.snapshot()};
+  return detail::queryLogicallyParallel(Adapter, A, B);
+}
+
+bool ArrayDpst::treeOrderedBefore(NodeId A, NodeId B) const {
+  assert(A < Hot.size() && B < Hot.size() && "node id out of range");
+  QueryAdapter Adapter{Hot.snapshot()};
+  return detail::queryTreeOrderedBefore(Adapter, A, B);
+}

@@ -1,0 +1,69 @@
+//===- dpst/ArrayDpst.h - DPST overlaid on a linear array ------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's optimized DPST layout (Section 4, "Implementation
+/// optimizations"): nodes live in a linear array and reference their parent
+/// by index, which "avoids unnecessary pointer indirection, provides better
+/// locality, and avoids the cost of frequent dynamic allocations". Storage
+/// is a ChunkedVector so existing nodes never move while workers append.
+///
+/// The record is split hot/cold: LCA walks touch only a packed 12-byte
+/// record (parent index, depth+kind, sibling position), so a cache line
+/// holds five nodes of the walk's working set; construction-time and
+/// reporting fields (child counter, task id) live in a parallel cold array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_DPST_ARRAYDPST_H
+#define AVC_DPST_ARRAYDPST_H
+
+#include "dpst/Dpst.h"
+#include "support/ChunkedVector.h"
+#include "support/FlatGrowVector.h"
+
+namespace avc {
+
+/// Array-backed DPST: contiguous (chunked) node records indexed by id.
+class ArrayDpst : public Dpst {
+public:
+  NodeId addNode(NodeId Parent, DpstNodeKind Kind, uint32_t TaskId) override;
+  DpstNodeKind kind(NodeId Id) const override;
+  NodeId parent(NodeId Id) const override;
+  uint32_t depth(NodeId Id) const override;
+  uint32_t siblingIndex(NodeId Id) const override;
+  uint32_t taskId(NodeId Id) const override;
+  size_t numNodes() const override;
+  bool logicallyParallelUncached(NodeId A, NodeId B) const override;
+  bool treeOrderedBefore(NodeId A, NodeId B) const override;
+
+private:
+  /// Hot record: everything an LCA walk reads. Padded to 16 bytes so
+  /// elements are aligned, never straddle cache lines, and index with a
+  /// shift instead of a multiply.
+  struct alignas(16) HotNode {
+    NodeId Parent;
+    uint32_t DepthKind; ///< (Depth << 2) | DpstNodeKind
+    uint32_t SiblingIndex;
+  };
+
+  /// Construction/reporting fields, off the query path.
+  struct ColdNode {
+    uint32_t TaskId;
+    uint32_t NumChildren;
+  };
+
+  /// Adapter giving ParallelQueryImpl unchecked access to the hot array.
+  struct QueryAdapter;
+
+  FlatGrowVector<HotNode> Hot;
+  ChunkedVector<ColdNode> Cold;
+  SpinLock AppendLock;
+};
+
+} // namespace avc
+
+#endif // AVC_DPST_ARRAYDPST_H

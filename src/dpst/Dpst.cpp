@@ -1,0 +1,49 @@
+//===- dpst/Dpst.cpp - DPST interface and factory --------------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/Dpst.h"
+
+#include <cassert>
+
+#include "dpst/ArrayDpst.h"
+#include "dpst/LinkedDpst.h"
+#include "support/Compiler.h"
+
+using namespace avc;
+
+Dpst::~Dpst() = default;
+
+NodeId Dpst::root() const {
+  assert(numNodes() > 0 && "root() on an empty tree");
+  return 0;
+}
+
+bool Dpst::isAncestorOrSelf(NodeId Ancestor, NodeId Id) const {
+  uint32_t TargetDepth = depth(Ancestor);
+  while (depth(Id) > TargetDepth)
+    Id = parent(Id);
+  return Id == Ancestor;
+}
+
+std::unique_ptr<Dpst> avc::createDpst(DpstLayout Layout) {
+  switch (Layout) {
+  case DpstLayout::Array:
+    return std::make_unique<ArrayDpst>();
+  case DpstLayout::Linked:
+    return std::make_unique<LinkedDpst>();
+  }
+  avc_unreachable("unknown DPST layout");
+}
+
+const char *avc::dpstLayoutName(DpstLayout Layout) {
+  switch (Layout) {
+  case DpstLayout::Array:
+    return "array";
+  case DpstLayout::Linked:
+    return "linked";
+  }
+  avc_unreachable("unknown DPST layout");
+}

@@ -1,0 +1,104 @@
+//===- dpst/Dpst.h - Dynamic Program Structure Tree interface ---*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract interface over the two DPST implementations the paper compares
+/// (Figure 14): an array-based layout (ArrayDpst) and a pointer-linked layout
+/// (LinkedDpst). The tree records the series-parallel structure of a task
+/// parallel execution; the key query is whether two step nodes can logically
+/// execute in parallel in *some* schedule for the observed input.
+///
+/// Concurrency contract: addNode() may be called from any worker thread
+/// (appends are serialized internally); all read accessors and
+/// logicallyParallelUncached() are safe concurrently with appends, because
+/// the path from any existing node to the root and the left-to-right sibling
+/// order never change (Section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_DPST_DPST_H
+#define AVC_DPST_DPST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "dpst/DpstNodeKind.h"
+
+namespace avc {
+
+/// Selects the DPST data layout (the Figure 14 ablation).
+enum class DpstLayout : uint8_t {
+  /// Nodes overlaid on a linear array; parents referenced by index.
+  Array,
+  /// Individually heap-allocated nodes linked by pointers.
+  Linked,
+};
+
+/// Abstract Dynamic Program Structure Tree.
+class Dpst {
+public:
+  Dpst() = default;
+  Dpst(const Dpst &) = delete;
+  Dpst &operator=(const Dpst &) = delete;
+  virtual ~Dpst();
+
+  /// Appends a node of \p Kind under \p Parent (rightmost sibling position)
+  /// on behalf of task \p TaskId, and returns its id. Pass InvalidNodeId as
+  /// \p Parent for the root, which must be the first node created and must
+  /// be a finish node.
+  virtual NodeId addNode(NodeId Parent, DpstNodeKind Kind,
+                         uint32_t TaskId) = 0;
+
+  /// Returns the kind of node \p Id.
+  virtual DpstNodeKind kind(NodeId Id) const = 0;
+
+  /// Returns the parent of \p Id, or InvalidNodeId for the root.
+  virtual NodeId parent(NodeId Id) const = 0;
+
+  /// Returns the depth of \p Id (root has depth 0).
+  virtual uint32_t depth(NodeId Id) const = 0;
+
+  /// Returns the left-to-right position of \p Id among its siblings.
+  virtual uint32_t siblingIndex(NodeId Id) const = 0;
+
+  /// Returns the id of the task that executes node \p Id.
+  virtual uint32_t taskId(NodeId Id) const = 0;
+
+  /// Returns the number of nodes currently in the tree (Table 1 column).
+  virtual size_t numNodes() const = 0;
+
+  /// Returns true if step nodes \p A and \p B can logically execute in
+  /// parallel: the child of LCA(A, B) that is an ancestor of the leftmost of
+  /// the two is an async node. Returns false for A == B and for nodes in an
+  /// ancestor relation. This is the uncached structural query; callers that
+  /// care about repeated queries should go through ParallelismOracle.
+  virtual bool logicallyParallelUncached(NodeId A, NodeId B) const = 0;
+
+  /// Returns true if \p A precedes \p B in the tree's left-to-right
+  /// (pre-)order. Requires A != B. Creation-id order is *not* a substitute:
+  /// parallel tasks append nodes concurrently, so ids interleave across
+  /// subtrees. The complete-metadata retention policy (leftmost/rightmost
+  /// parallel entries; see AtomicityChecker) relies on this order.
+  virtual bool treeOrderedBefore(NodeId A, NodeId B) const = 0;
+
+  /// Returns the root node id (0 by construction), asserting the tree is
+  /// non-empty.
+  NodeId root() const;
+
+  /// Returns true if \p Ancestor is \p Id or a proper ancestor of \p Id.
+  bool isAncestorOrSelf(NodeId Ancestor, NodeId Id) const;
+};
+
+/// Creates an empty DPST with the requested data \p Layout.
+std::unique_ptr<Dpst> createDpst(DpstLayout Layout);
+
+/// Returns a short name for \p Layout ("array" or "linked").
+const char *dpstLayoutName(DpstLayout Layout);
+
+} // namespace avc
+
+#endif // AVC_DPST_DPST_H

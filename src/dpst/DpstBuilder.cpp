@@ -1,0 +1,93 @@
+//===- dpst/DpstBuilder.cpp - Event-driven DPST construction --------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/DpstBuilder.h"
+
+#include <cassert>
+
+using namespace avc;
+
+void DpstBuilder::initRoot(TaskFrame &Frame, uint32_t RootTaskId) {
+  assert(Tree.numNodes() == 0 && "initRoot on a non-empty tree");
+  NodeId Root = Tree.addNode(InvalidNodeId, DpstNodeKind::Finish, RootTaskId);
+  Frame.TaskId = RootTaskId;
+  Frame.Scopes.clear();
+  Frame.Scopes.push_back({Root, &Frame});
+  Frame.CurrentStep = InvalidNodeId;
+}
+
+void DpstBuilder::openScope(TaskFrame &Frame, const void *Tag) {
+  NodeId Finish = Tree.addNode(Frame.Scopes.back().Node, DpstNodeKind::Finish,
+                               Frame.TaskId);
+  Frame.Scopes.push_back({Finish, Tag});
+  Frame.CurrentStep = InvalidNodeId;
+}
+
+void DpstBuilder::closeScope(TaskFrame &Frame) {
+  assert(Frame.Scopes.size() > 1 && "cannot close the task's base scope");
+  Frame.Scopes.pop_back();
+  Frame.CurrentStep = InvalidNodeId;
+}
+
+void DpstBuilder::spawnTask(TaskFrame &Parent, const void *GroupTag,
+                            TaskFrame &Child, uint32_t ChildTaskId) {
+  assert(!Parent.Scopes.empty() && "spawn from an uninitialized frame");
+  // Open the matching finish scope unless it is already on top. Scopes obey
+  // stack discipline: spawning into group A, then group B, then A again
+  // without waiting on B is not supported (documented model restriction).
+  const void *Tag = GroupTag; // nullptr selects the implicit Cilk scope.
+  if (Parent.Scopes.back().Tag != Tag)
+    openScope(Parent, Tag);
+
+  NodeId Async = Tree.addNode(Parent.Scopes.back().Node, DpstNodeKind::Async,
+                              ChildTaskId);
+  // The spawn ends the parent's current maximal region; its continuation
+  // lazily materializes a fresh step to the right of the async node.
+  Parent.CurrentStep = InvalidNodeId;
+
+  Child.TaskId = ChildTaskId;
+  Child.Scopes.clear();
+  Child.Scopes.push_back({Async, &Child});
+  Child.CurrentStep = InvalidNodeId;
+}
+
+void DpstBuilder::sync(TaskFrame &Frame) {
+  if (Frame.Scopes.size() > 1 && Frame.Scopes.back().Tag == nullptr) {
+    closeScope(Frame);
+    return;
+  }
+  // No spawn since the last sync point: the sync is a no-op structurally,
+  // but it is still a task-management construct, so the region ends.
+  Frame.CurrentStep = InvalidNodeId;
+}
+
+void DpstBuilder::waitGroup(TaskFrame &Frame, const void *GroupTag) {
+  assert(GroupTag != nullptr && "waitGroup requires an explicit tag");
+  if (Frame.Scopes.size() > 1 && Frame.Scopes.back().Tag == GroupTag) {
+    closeScope(Frame);
+    return;
+  }
+  assert((Frame.Scopes.size() <= 1 ||
+          Frame.Scopes.back().Tag != nullptr) &&
+         "group wait while an implicit sync scope is open (unsupported "
+         "interleaving of spawn/sync and task groups)");
+  Frame.CurrentStep = InvalidNodeId;
+}
+
+void DpstBuilder::endTask(TaskFrame &Frame) {
+  // Implicit sync at task end: every scope the task left open is closed.
+  while (Frame.Scopes.size() > 1)
+    closeScope(Frame);
+  Frame.CurrentStep = InvalidNodeId;
+}
+
+NodeId DpstBuilder::currentStep(TaskFrame &Frame) {
+  assert(!Frame.Scopes.empty() && "access from an uninitialized frame");
+  if (Frame.CurrentStep == InvalidNodeId)
+    Frame.CurrentStep = Tree.addNode(Frame.Scopes.back().Node,
+                                     DpstNodeKind::Step, Frame.TaskId);
+  return Frame.CurrentStep;
+}

@@ -1,0 +1,59 @@
+//===- dpst/DpstDot.cpp - Graphviz dump of a DPST --------------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/DpstDot.h"
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace avc;
+
+std::string avc::dpstToDot(const Dpst &Tree) {
+  std::string Out;
+  Out += "digraph dpst {\n  ordering=out;\n  node [fontname=\"monospace\"];\n";
+  size_t N = Tree.numNodes();
+
+  // Collect children in sibling order (ids are creation-ordered, so a simple
+  // stable grouping by parent preserves left-to-right order).
+  std::map<NodeId, std::vector<NodeId>> Children;
+  for (size_t I = 0; I < N; ++I) {
+    NodeId Id = static_cast<NodeId>(I);
+    char Buffer[128];
+    const char *Shape = "box";
+    const char *Label = "F";
+    switch (Tree.kind(Id)) {
+    case DpstNodeKind::Finish:
+      Shape = "box";
+      Label = "F";
+      break;
+    case DpstNodeKind::Async:
+      Shape = "ellipse";
+      Label = "A";
+      break;
+    case DpstNodeKind::Step:
+      Shape = "plaintext";
+      Label = "S";
+      break;
+    }
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "  n%u [shape=%s,label=\"%s%u\\nT%u\"];\n", Id, Shape,
+                  Label, Id, Tree.taskId(Id));
+    Out += Buffer;
+    if (Tree.parent(Id) != InvalidNodeId)
+      Children[Tree.parent(Id)].push_back(Id);
+  }
+
+  for (const auto &[Parent, Kids] : Children)
+    for (NodeId Kid : Kids) {
+      char Buffer[64];
+      std::snprintf(Buffer, sizeof(Buffer), "  n%u -> n%u;\n", Parent, Kid);
+      Out += Buffer;
+    }
+
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,28 @@
+//===- dpst/DpstDot.h - Graphviz dump of a DPST -----------------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a DPST as Graphviz DOT for debugging and documentation (the
+/// README's Figure 2 reproduction is generated with this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_DPST_DPSTDOT_H
+#define AVC_DPST_DPSTDOT_H
+
+#include <string>
+
+#include "dpst/Dpst.h"
+
+namespace avc {
+
+/// Returns the DOT source for \p Tree. Nodes are labeled with kind, id, and
+/// owning task; sibling order is preserved via invisible ordering edges.
+std::string dpstToDot(const Dpst &Tree);
+
+} // namespace avc
+
+#endif // AVC_DPST_DPSTDOT_H

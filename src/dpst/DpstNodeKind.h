@@ -1,0 +1,59 @@
+//===- dpst/DpstNodeKind.h - DPST node kinds and ids ------------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Node kinds of the Dynamic Program Structure Tree (Section 2 of the paper,
+/// after Raman et al., PLDI'12): finish and async inner nodes, step leaves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_DPST_DPSTNODEKIND_H
+#define AVC_DPST_DPSTNODEKIND_H
+
+#include <cstdint>
+
+namespace avc {
+
+/// Identifies a DPST node. Ids are dense, assigned in creation order, and
+/// stable for the lifetime of the tree. Kept to 31 usable bits so an ordered
+/// pair of ids packs into one 64-bit LCA-cache key.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node" (e.g. the root's parent).
+inline constexpr NodeId InvalidNodeId = 0x7fffffffu;
+
+/// Maximum representable node id (2^31 - 2, leaving room for the sentinel).
+inline constexpr NodeId MaxNodeId = InvalidNodeId - 1;
+
+/// The three DPST node kinds.
+enum class DpstNodeKind : uint8_t {
+  /// Created when a task spawns a child and (transitively) waits for it;
+  /// parent of everything directly executed within the scope.
+  Finish,
+  /// Captures the spawning of a task; executes asynchronously with the
+  /// remainder of the parent task.
+  Async,
+  /// A maximal instruction sequence without task-management constructs.
+  /// Always a leaf; all data accesses belong to some step node.
+  Step,
+};
+
+/// Returns a short human-readable name ("finish", "async", "step").
+inline const char *dpstNodeKindName(DpstNodeKind Kind) {
+  switch (Kind) {
+  case DpstNodeKind::Finish:
+    return "finish";
+  case DpstNodeKind::Async:
+    return "async";
+  case DpstNodeKind::Step:
+    return "step";
+  }
+  return "<invalid>";
+}
+
+} // namespace avc
+
+#endif // AVC_DPST_DPSTNODEKIND_H

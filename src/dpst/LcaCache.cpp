@@ -1,0 +1,58 @@
+//===- dpst/LcaCache.cpp - Direct-mapped cache of LCA queries -------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/LcaCache.h"
+
+#include <cassert>
+
+using namespace avc;
+
+LcaCache::LcaCache(unsigned LogSlots) {
+  assert(LogSlots >= 1 && LogSlots <= 28 && "unreasonable cache size");
+  SlotCount = size_t(1) << LogSlots;
+  SlotMask = SlotCount - 1;
+  Slots = std::make_unique<std::atomic<uint64_t>[]>(SlotCount);
+  clear();
+}
+
+void LcaCache::clear() {
+  for (size_t I = 0; I < SlotCount; ++I)
+    Slots[I].store(0, std::memory_order_relaxed);
+}
+
+uint64_t LcaCache::packKey(NodeId A, NodeId B, bool Parallel) {
+  assert(A < B && "cache keys are ordered pairs");
+  assert(B <= MaxNodeId && "node id exceeds 31-bit cache key space");
+  // 31 + 31 + 1 bits, then +1 so a valid entry is never the empty slot 0.
+  uint64_t Packed = ((uint64_t(A) << 31 | uint64_t(B)) << 1) |
+                    uint64_t(Parallel);
+  return Packed + 1;
+}
+
+size_t LcaCache::slotFor(NodeId A, NodeId B) const {
+  // SplitMix64 finalizer over the pair; good avalanche for sequential ids.
+  uint64_t Z = (uint64_t(A) << 32) | uint64_t(B);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  Z = Z ^ (Z >> 31);
+  return static_cast<size_t>(Z) & SlotMask;
+}
+
+std::optional<bool> LcaCache::lookup(NodeId A, NodeId B) const {
+  uint64_t Entry = Slots[slotFor(A, B)].load(std::memory_order_relaxed);
+  if (Entry == 0)
+    return std::nullopt;
+  uint64_t Stored = Entry - 1;
+  bool Parallel = Stored & 1;
+  if (Stored >> 1 != (uint64_t(A) << 31 | uint64_t(B)))
+    return std::nullopt;
+  return Parallel;
+}
+
+void LcaCache::insert(NodeId A, NodeId B, bool Parallel) {
+  Slots[slotFor(A, B)].store(packKey(A, B, Parallel),
+                             std::memory_order_relaxed);
+}

@@ -1,0 +1,62 @@
+//===- dpst/LcaCache.h - Direct-mapped cache of LCA queries ----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper caches "frequently accessed LCA queries to reduce the overhead
+/// of repeated traversals in the DPST" (Section 4). This is a fixed-size
+/// direct-mapped cache from an ordered step-node pair to the boolean result
+/// of the logically-parallel query. Entries are single 64-bit atomics, so
+/// lookups and inserts are wait-free; a racing insert can only overwrite a
+/// slot with another *correct* entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_DPST_LCACACHE_H
+#define AVC_DPST_LCACACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dpst/DpstNodeKind.h"
+
+namespace avc {
+
+/// Direct-mapped, lossy, thread-safe cache of parallel-query results.
+///
+/// Keys are ordered pairs (A < B) of 31-bit node ids packed into one word
+/// together with the result bit, so a hit is one atomic load plus a compare.
+/// Collisions simply evict; correctness never depends on a hit.
+class LcaCache {
+public:
+  /// Creates a cache with 2^\p LogSlots slots (default 2^16 = 512 KiB).
+  explicit LcaCache(unsigned LogSlots = 16);
+
+  /// Returns the cached result for the ordered pair (\p A, \p B) with
+  /// A < B, or std::nullopt on a miss.
+  std::optional<bool> lookup(NodeId A, NodeId B) const;
+
+  /// Records the result for the ordered pair (\p A, \p B) with A < B.
+  void insert(NodeId A, NodeId B, bool Parallel);
+
+  /// Drops all entries. Not thread safe.
+  void clear();
+
+  size_t numSlots() const { return SlotCount; }
+
+private:
+  static uint64_t packKey(NodeId A, NodeId B, bool Parallel);
+  size_t slotFor(NodeId A, NodeId B) const;
+
+  std::unique_ptr<std::atomic<uint64_t>[]> Slots;
+  size_t SlotCount;
+  size_t SlotMask;
+};
+
+} // namespace avc
+
+#endif // AVC_DPST_LCACACHE_H

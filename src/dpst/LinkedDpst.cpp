@@ -1,0 +1,87 @@
+//===- dpst/LinkedDpst.cpp - Pointer-linked DPST --------------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/LinkedDpst.h"
+
+#include <cassert>
+
+#include "dpst/ParallelQueryImpl.h"
+
+using namespace avc;
+
+LinkedDpst::~LinkedDpst() {
+  for (size_t I = 0, E = Table.size(); I != E; ++I)
+    delete Table[I];
+}
+
+NodeId LinkedDpst::addNode(NodeId Parent, DpstNodeKind Kind, uint32_t TaskId) {
+  std::lock_guard<SpinLock> Guard(AppendLock);
+  Node *Record = new Node;
+  Record->NumChildren = 0;
+  Record->TaskId = TaskId;
+  Record->Kind = Kind;
+  if (Parent == InvalidNodeId) {
+    assert(Table.empty() && "only the first node may be a root");
+    assert(Kind == DpstNodeKind::Finish && "the root must be a finish node");
+    Record->Parent = nullptr;
+    Record->Depth = 0;
+    Record->SiblingIndex = 0;
+  } else {
+    assert(Parent < Table.size() && "parent id out of range");
+    Node *ParentRecord = Table[Parent];
+    assert(ParentRecord->Kind != DpstNodeKind::Step &&
+           "step nodes are leaves and cannot have children");
+    Record->Parent = ParentRecord;
+    Record->Depth = ParentRecord->Depth + 1;
+    Record->SiblingIndex = ParentRecord->NumChildren++;
+  }
+  size_t Id = Table.emplaceBack(Record);
+  assert(Id <= MaxNodeId && "DPST node count exceeds id space");
+  Record->Id = static_cast<NodeId>(Id);
+  return Record->Id;
+}
+
+const LinkedDpst::Node *LinkedDpst::nodeFor(NodeId Id) const {
+  assert(Id < Table.size() && "node id out of range");
+  return Table[Id];
+}
+
+DpstNodeKind LinkedDpst::kind(NodeId Id) const { return nodeFor(Id)->Kind; }
+
+NodeId LinkedDpst::parent(NodeId Id) const {
+  const Node *Parent = nodeFor(Id)->Parent;
+  return Parent ? Parent->Id : InvalidNodeId;
+}
+
+uint32_t LinkedDpst::depth(NodeId Id) const { return nodeFor(Id)->Depth; }
+
+uint32_t LinkedDpst::siblingIndex(NodeId Id) const {
+  return nodeFor(Id)->SiblingIndex;
+}
+
+uint32_t LinkedDpst::taskId(NodeId Id) const { return nodeFor(Id)->TaskId; }
+
+size_t LinkedDpst::numNodes() const { return Table.size(); }
+
+struct LinkedDpst::QueryAdapter {
+  uint32_t depthOf(const Node *N) const { return N->Depth; }
+  const Node *parentOf(const Node *N) const { return N->Parent; }
+  DpstNodeKind kindOf(const Node *N) const { return N->Kind; }
+  uint32_t siblingIndexOf(const Node *N) const { return N->SiblingIndex; }
+  bool sameNode(const Node *A, const Node *B) const { return A == B; }
+};
+
+bool LinkedDpst::logicallyParallelUncached(NodeId A, NodeId B) const {
+  QueryAdapter Adapter;
+  return detail::queryLogicallyParallel<QueryAdapter, const Node *>(
+      Adapter, nodeFor(A), nodeFor(B));
+}
+
+bool LinkedDpst::treeOrderedBefore(NodeId A, NodeId B) const {
+  QueryAdapter Adapter;
+  return detail::queryTreeOrderedBefore<QueryAdapter, const Node *>(
+      Adapter, nodeFor(A), nodeFor(B));
+}

@@ -1,0 +1,62 @@
+//===- dpst/LinkedDpst.h - Pointer-linked DPST ------------------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline DPST layout of the Figure 14 ablation: each node is a
+/// separate heap allocation linked to its parent by pointer, and an id-to-
+/// pointer table maps the public NodeId handles to nodes. This deliberately
+/// preserves the costs the paper attributes to a "linked data structure"
+/// DPST — per-node allocation and pointer chasing with poor locality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_DPST_LINKEDDPST_H
+#define AVC_DPST_LINKEDDPST_H
+
+#include "dpst/Dpst.h"
+#include "support/ChunkedVector.h"
+
+namespace avc {
+
+/// Pointer-linked DPST with an id-to-node translation table.
+class LinkedDpst : public Dpst {
+public:
+  ~LinkedDpst() override;
+
+  NodeId addNode(NodeId Parent, DpstNodeKind Kind, uint32_t TaskId) override;
+  DpstNodeKind kind(NodeId Id) const override;
+  NodeId parent(NodeId Id) const override;
+  uint32_t depth(NodeId Id) const override;
+  uint32_t siblingIndex(NodeId Id) const override;
+  uint32_t taskId(NodeId Id) const override;
+  size_t numNodes() const override;
+  bool logicallyParallelUncached(NodeId A, NodeId B) const override;
+  bool treeOrderedBefore(NodeId A, NodeId B) const override;
+
+private:
+  struct Node {
+    Node *Parent;
+    NodeId Id;
+    uint32_t Depth;
+    uint32_t SiblingIndex;
+    uint32_t NumChildren;
+    uint32_t TaskId;
+    DpstNodeKind Kind;
+  };
+
+  struct QueryAdapter;
+
+  const Node *nodeFor(NodeId Id) const;
+
+  /// Id -> heap node. The table itself is chunked so lookups stay valid
+  /// while other workers append.
+  ChunkedVector<Node *> Table;
+  SpinLock AppendLock;
+};
+
+} // namespace avc
+
+#endif // AVC_DPST_LINKEDDPST_H

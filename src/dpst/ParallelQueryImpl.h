@@ -1,0 +1,96 @@
+//===- dpst/ParallelQueryImpl.h - Shared LCA-parallel algorithm -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The series-parallel query shared by both DPST layouts, expressed as a
+/// template so each layout runs it over its native representation (indices
+/// for ArrayDpst, pointers for LinkedDpst) without virtual dispatch inside
+/// the LCA walk. Private to the dpst library.
+///
+/// Two distinct step nodes S1 (left) and S2 are logically parallel iff the
+/// immediate child of LCA(S1, S2) that is an ancestor of S1 is an async node
+/// (Section 2, after Raman et al.).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_DPST_PARALLELQUERYIMPL_H
+#define AVC_DPST_PARALLELQUERYIMPL_H
+
+#include <cassert>
+
+#include "dpst/DpstNodeKind.h"
+
+namespace avc {
+namespace detail {
+
+/// Runs the LCA-based logically-parallel query.
+///
+/// \p ImplT must provide, for node handles of type \p HandleT:
+///   uint32_t depthOf(HandleT), HandleT parentOf(HandleT),
+///   DpstNodeKind kindOf(HandleT), uint32_t siblingIndexOf(HandleT),
+///   bool sameNode(HandleT, HandleT).
+template <typename ImplT, typename HandleT>
+bool queryLogicallyParallel(const ImplT &Impl, HandleT A, HandleT B) {
+  if (Impl.sameNode(A, B))
+    return false;
+
+  // Raise the deeper node until both are at the same depth.
+  HandleT X = A;
+  HandleT Y = B;
+  while (Impl.depthOf(X) > Impl.depthOf(Y))
+    X = Impl.parentOf(X);
+  while (Impl.depthOf(Y) > Impl.depthOf(X))
+    Y = Impl.parentOf(Y);
+
+  // One node is an ancestor of the other: they are ordered (in series).
+  // This cannot happen for two distinct step nodes (steps are leaves), but
+  // the query is defined for any node pair.
+  if (Impl.sameNode(X, Y))
+    return false;
+
+  // Walk both paths in lockstep until they join: afterwards X and Y are the
+  // children of the LCA on the paths to A and B respectively.
+  while (!Impl.sameNode(Impl.parentOf(X), Impl.parentOf(Y))) {
+    X = Impl.parentOf(X);
+    Y = Impl.parentOf(Y);
+  }
+
+  // The leftmost of the two LCA children decides: async => parallel.
+  HandleT Left =
+      Impl.siblingIndexOf(X) < Impl.siblingIndexOf(Y) ? X : Y;
+  assert(Impl.siblingIndexOf(X) != Impl.siblingIndexOf(Y) &&
+         "distinct children of one parent must have distinct positions");
+  return Impl.kindOf(Left) == DpstNodeKind::Async;
+}
+
+/// Decides whether node A precedes node B in the DPST's left-to-right
+/// (pre-)order. An ancestor precedes its descendants; otherwise the
+/// sibling order of the two children of LCA(A, B) decides. Requires
+/// A != B.
+template <typename ImplT, typename HandleT>
+bool queryTreeOrderedBefore(const ImplT &Impl, HandleT A, HandleT B) {
+  assert(!Impl.sameNode(A, B) && "tree-order query on identical nodes");
+  HandleT X = A;
+  HandleT Y = B;
+  while (Impl.depthOf(X) > Impl.depthOf(Y))
+    X = Impl.parentOf(X);
+  while (Impl.depthOf(Y) > Impl.depthOf(X))
+    Y = Impl.parentOf(Y);
+  if (Impl.sameNode(X, Y))
+    // One is an ancestor of the other; pre-order puts the ancestor first.
+    // X == A means A was the shallower node, i.e. the ancestor.
+    return Impl.depthOf(A) < Impl.depthOf(B);
+  while (!Impl.sameNode(Impl.parentOf(X), Impl.parentOf(Y))) {
+    X = Impl.parentOf(X);
+    Y = Impl.parentOf(Y);
+  }
+  return Impl.siblingIndexOf(X) < Impl.siblingIndexOf(Y);
+}
+
+} // namespace detail
+} // namespace avc
+
+#endif // AVC_DPST_PARALLELQUERYIMPL_H

@@ -1,0 +1,83 @@
+//===- dpst/ParallelismOracle.cpp - Cached logically-parallel query -------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/ParallelismOracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+using namespace avc;
+
+ParallelismOracle::ParallelismOracle(const Dpst &Tree, Options Opts)
+    : Tree(Tree), Opts(Opts) {
+  if (Opts.EnableCache)
+    Cache = std::make_unique<LcaCache>(Opts.CacheLogSlots);
+  if (Opts.TrackUniquePairs) {
+    UniqueShards.reserve(NumUniqueShards);
+    for (unsigned I = 0; I < NumUniqueShards; ++I)
+      UniqueShards.push_back(std::make_unique<UniqueShard>());
+  }
+}
+
+void ParallelismOracle::recordUniquePair(uint64_t Key) {
+  UniqueShard &Shard = *UniqueShards[Key % NumUniqueShards];
+  std::lock_guard<SpinLock> Guard(Shard.Lock);
+  if (++Shard.Keys[Key] == 1)
+    NumUniquePairs.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+ParallelismOracle::hottestPairs(size_t N) const {
+  std::vector<std::pair<uint64_t, uint64_t>> All;
+  for (const auto &ShardPtr : UniqueShards) {
+    std::lock_guard<SpinLock> Guard(ShardPtr->Lock);
+    for (const auto &[Key, Count] : ShardPtr->Keys)
+      All.push_back({Key, Count});
+  }
+  std::sort(All.begin(), All.end(), [](const auto &A, const auto &B) {
+    return A.second > B.second;
+  });
+  if (All.size() > N)
+    All.resize(N);
+  return All;
+}
+
+bool ParallelismOracle::logicallyParallel(NodeId A, NodeId B) {
+  assert(A != InvalidNodeId && B != InvalidNodeId &&
+         "parallel query on an invalid node");
+  // A step is never parallel with itself; no LCA walk, not counted
+  // (blackscholes in Table 1 performs zero queries for this reason).
+  if (A == B)
+    return false;
+
+  NodeId Lo = A < B ? A : B;
+  NodeId Hi = A < B ? B : A;
+  NumQueries.fetch_add(1, std::memory_order_relaxed);
+  if (Opts.TrackUniquePairs)
+    recordUniquePair(uint64_t(Lo) << 31 | uint64_t(Hi));
+
+  if (Cache) {
+    if (std::optional<bool> Hit = Cache->lookup(Lo, Hi)) {
+      NumCacheHits.fetch_add(1, std::memory_order_relaxed);
+      return *Hit;
+    }
+  }
+
+  bool Parallel = Tree.logicallyParallelUncached(Lo, Hi);
+  if (Cache)
+    Cache->insert(Lo, Hi, Parallel);
+  return Parallel;
+}
+
+LcaQueryStats ParallelismOracle::stats() const {
+  LcaQueryStats Stats;
+  Stats.NumQueries = NumQueries.load(std::memory_order_relaxed);
+  Stats.NumCacheHits = NumCacheHits.load(std::memory_order_relaxed);
+  Stats.NumUniquePairs = NumUniquePairs.load(std::memory_order_relaxed);
+  Stats.UniquePairsTracked = Opts.TrackUniquePairs;
+  return Stats;
+}

@@ -1,0 +1,108 @@
+//===- dpst/ParallelismOracle.h - Cached logically-parallel query -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Front end for the Par(S_i, S_j) query of the paper's algorithms: wraps a
+/// DPST with the LCA cache and the query statistics reported in Table 1
+/// (number of LCA queries, percentage of unique queries) plus the cache hit
+/// rate used in the evaluation discussion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_DPST_PARALLELISMORACLE_H
+#define AVC_DPST_PARALLELISMORACLE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dpst/Dpst.h"
+#include "dpst/LcaCache.h"
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// Counters for the LCA-query columns of Table 1.
+struct LcaQueryStats {
+  /// Total LCA queries performed (distinct-node pairs reaching the walk or
+  /// the cache; trivial same-node queries are free and not counted,
+  /// matching the paper's observation that first accesses cost no query).
+  uint64_t NumQueries = 0;
+  /// Queries answered by the LCA cache.
+  uint64_t NumCacheHits = 0;
+  /// Number of distinct (unordered) node pairs ever queried. Only
+  /// meaningful when unique-pair tracking is enabled.
+  uint64_t NumUniquePairs = 0;
+  /// True if NumUniquePairs was collected.
+  bool UniquePairsTracked = false;
+
+  /// Percentage of queries that were unique pairs (Table 1 rightmost
+  /// column); 0 when not tracked or no queries ran.
+  double percentUnique() const {
+    if (!UniquePairsTracked || NumQueries == 0)
+      return 0.0;
+    return 100.0 * static_cast<double>(NumUniquePairs) /
+           static_cast<double>(NumQueries);
+  }
+};
+
+/// Answers logically-parallel queries against a DPST, with optional caching
+/// and statistics. Thread safe.
+class ParallelismOracle {
+public:
+  struct Options {
+    /// Use the LCA cache (the paper's default; disable for ablation).
+    bool EnableCache = true;
+    /// log2 of the number of cache slots.
+    unsigned CacheLogSlots = 16;
+    /// Exactly count distinct queried pairs (Table 1). Costs a sharded
+    /// hash-set insert per query; enable for characterization runs only.
+    bool TrackUniquePairs = false;
+  };
+
+  ParallelismOracle(const Dpst &Tree, Options Opts);
+  explicit ParallelismOracle(const Dpst &Tree)
+      : ParallelismOracle(Tree, Options()) {}
+
+  /// Returns true if step nodes \p A and \p B can logically execute in
+  /// parallel. A == B returns false without touching the tree.
+  bool logicallyParallel(NodeId A, NodeId B);
+
+  /// Snapshot of the query counters.
+  LcaQueryStats stats() const;
+
+  /// When unique-pair tracking is on, returns the \p N most frequently
+  /// queried pairs as ((A << 31) | B, count), hottest first. Diagnostic
+  /// aid for understanding a workload's query-repetition profile.
+  std::vector<std::pair<uint64_t, uint64_t>> hottestPairs(size_t N) const;
+
+  const Dpst &tree() const { return Tree; }
+
+private:
+  void recordUniquePair(uint64_t Key);
+
+  static constexpr unsigned NumUniqueShards = 16;
+
+  const Dpst &Tree;
+  Options Opts;
+  std::unique_ptr<LcaCache> Cache;
+  std::atomic<uint64_t> NumQueries{0};
+  std::atomic<uint64_t> NumCacheHits{0};
+  std::atomic<uint64_t> NumUniquePairs{0};
+
+  struct UniqueShard {
+    SpinLock Lock;
+    std::unordered_map<uint64_t, uint64_t> Keys; // pair key -> query count
+  };
+  std::vector<std::unique_ptr<UniqueShard>> UniqueShards;
+};
+
+} // namespace avc
+
+#endif // AVC_DPST_PARALLELISMORACLE_H

@@ -1,0 +1,139 @@
+//===- instrument/ToolContext.cpp - One-stop tool front end ---------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/ToolContext.h"
+
+#include "support/Compiler.h"
+
+using namespace avc;
+
+const char *avc::toolKindName(ToolKind Kind) {
+  switch (Kind) {
+  case ToolKind::None:
+    return "none";
+  case ToolKind::Atomicity:
+    return "atomicity";
+  case ToolKind::Basic:
+    return "basic";
+  case ToolKind::Velodrome:
+    return "velodrome";
+  case ToolKind::Race:
+    return "race";
+  case ToolKind::Determinism:
+    return "determinism";
+  }
+  avc_unreachable("unknown tool kind");
+}
+
+static TaskRuntime::Options runtimeOptions(unsigned NumThreads) {
+  TaskRuntime::Options Opts;
+  Opts.NumThreads = NumThreads;
+  return Opts;
+}
+
+ToolContext::ToolContext(Options Opts)
+    : Kind(Opts.Tool), RT(runtimeOptions(Opts.NumThreads)) {
+  switch (Kind) {
+  case ToolKind::None:
+    break;
+  case ToolKind::Atomicity:
+    Atomicity = std::make_unique<AtomicityChecker>(Opts.Checker);
+    RT.addObserver(Atomicity.get());
+    break;
+  case ToolKind::Basic: {
+    BasicChecker::Options BasicOpts;
+    BasicOpts.Layout = Opts.Checker.Layout;
+    BasicOpts.EnableLcaCache = Opts.Checker.EnableLcaCache;
+    Basic = std::make_unique<BasicChecker>(BasicOpts);
+    RT.addObserver(Basic.get());
+    break;
+  }
+  case ToolKind::Velodrome:
+    Velodrome = std::make_unique<VelodromeChecker>();
+    RT.addObserver(Velodrome.get());
+    break;
+  case ToolKind::Race: {
+    RaceDetector::Options RaceOpts;
+    RaceOpts.Layout = Opts.Checker.Layout;
+    RaceOpts.EnableLcaCache = Opts.Checker.EnableLcaCache;
+    Races = std::make_unique<RaceDetector>(RaceOpts);
+    RT.addObserver(Races.get());
+    break;
+  }
+  case ToolKind::Determinism: {
+    DeterminismChecker::Options DetOpts;
+    DetOpts.Layout = Opts.Checker.Layout;
+    DetOpts.EnableLcaCache = Opts.Checker.EnableLcaCache;
+    Determinism = std::make_unique<DeterminismChecker>(DetOpts);
+    RT.addObserver(Determinism.get());
+    break;
+  }
+  }
+}
+
+ToolContext::ToolContext(ToolKind Kind, unsigned NumThreads)
+    : ToolContext([&] {
+        Options Opts;
+        Opts.Tool = Kind;
+        Opts.NumThreads = NumThreads;
+        return Opts;
+      }()) {}
+
+ToolContext::~ToolContext() = default;
+
+void ToolContext::run(std::function<void()> Root) { RT.run(std::move(Root)); }
+
+void ToolContext::registerAtomicGroup(const MemAddr *Members, size_t Count) {
+  if (Atomicity)
+    Atomicity->registerAtomicGroup(Members, Count);
+  if (Basic)
+    Basic->registerAtomicGroup(Members, Count);
+  // Velodrome and None have no notion of grouped metadata.
+}
+
+size_t ToolContext::numViolations() const {
+  switch (Kind) {
+  case ToolKind::None:
+    return 0;
+  case ToolKind::Atomicity:
+    return Atomicity->violations().size();
+  case ToolKind::Basic:
+    return Basic->violations().size();
+  case ToolKind::Velodrome:
+    return Velodrome->numViolations();
+  case ToolKind::Race:
+    return Races->numRaces();
+  case ToolKind::Determinism:
+    return Determinism->numViolations();
+  }
+  avc_unreachable("unknown tool kind");
+}
+
+void ToolContext::printReport(std::FILE *Out) const {
+  std::fprintf(Out, "[%s] %zu violation(s)\n", toolKindName(Kind),
+               numViolations());
+  auto PrintLog = [&](const ViolationLog &Log) {
+    for (const Violation &V : Log.snapshot())
+      std::fprintf(Out, "  %s\n", V.toString().c_str());
+  };
+  if (Atomicity)
+    PrintLog(Atomicity->violations());
+  if (Basic)
+    PrintLog(Basic->violations());
+  if (Races)
+    for (const Race &R : Races->races())
+      std::fprintf(Out, "  %s\n", R.toString().c_str());
+  if (Determinism)
+    for (const DeterminismViolation &V : Determinism->violations())
+      std::fprintf(Out, "  %s\n", V.toString().c_str());
+  if (Velodrome)
+    for (const VelodromeCycle &Cycle : Velodrome->cycles())
+      std::fprintf(Out,
+                   "  unserializable transaction in observed trace: edge "
+                   "S%u -> S%u closed a cycle (location 0x%llx)\n",
+                   Cycle.Source, Cycle.Target,
+                   static_cast<unsigned long long>(Cycle.Addr));
+}

@@ -1,0 +1,127 @@
+//===- instrument/ToolContext.h - One-stop tool front end ------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bundles a task runtime with a selected analysis tool, the way the
+/// paper's build pipeline links an instrumented binary against the checker
+/// runtime library. This is the recommended entry point for applications:
+///
+/// \code
+///   avc::ToolContext Tool(avc::ToolKind::Atomicity);
+///   Tool.run([&] { ...spawn tasks, access Tracked<T> data... });
+///   Tool.printReport();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_INSTRUMENT_TOOLCONTEXT_H
+#define AVC_INSTRUMENT_TOOLCONTEXT_H
+
+#include <cstdio>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+
+#include "checker/AtomicityChecker.h"
+#include "checker/BasicChecker.h"
+#include "checker/DeterminismChecker.h"
+#include "checker/RaceDetector.h"
+#include "checker/Velodrome.h"
+#include "instrument/Tracked.h"
+#include "runtime/TaskRuntime.h"
+
+namespace avc {
+
+/// Selects the analysis attached to the runtime.
+enum class ToolKind : uint8_t {
+  None,      ///< Uninstrumented baseline (overhead denominator).
+  Atomicity, ///< The paper's optimized checker.
+  Basic,     ///< The unbounded-history reference checker.
+  Velodrome, ///< The trace-bound baseline.
+  Race,      ///< The All-Sets data race detector (the paper's substrate).
+  Determinism, ///< Tardis-style internal-determinism checker (Section 5).
+};
+
+/// Returns a short name for \p Kind.
+const char *toolKindName(ToolKind Kind);
+
+/// A runtime plus the selected tool, wired together.
+class ToolContext {
+public:
+  struct Options {
+    ToolKind Tool = ToolKind::Atomicity;
+    unsigned NumThreads = 1;
+    AtomicityChecker::Options Checker;
+  };
+
+  ToolContext(Options Opts);
+  explicit ToolContext(ToolKind Kind, unsigned NumThreads = 1);
+  ~ToolContext();
+
+  ToolContext(const ToolContext &) = delete;
+  ToolContext &operator=(const ToolContext &) = delete;
+
+  /// Executes \p Root under the runtime with the tool observing. One-shot.
+  void run(std::function<void()> Root);
+
+  /// Declares that the given tracked locations form a multi-variable
+  /// atomic group (they share checker metadata). Call before run().
+  template <typename T>
+  void atomicGroup(std::initializer_list<const Tracked<T> *> Members) {
+    std::vector<MemAddr> Addrs;
+    Addrs.reserve(Members.size());
+    for (const Tracked<T> *Member : Members)
+      Addrs.push_back(Member->address());
+    registerAtomicGroup(Addrs.data(), Addrs.size());
+  }
+
+  /// Address-based overload of atomicGroup.
+  void registerAtomicGroup(const MemAddr *Members, size_t Count);
+
+  /// Gives \p Location a display name used in reports.
+  template <typename T>
+  void nameLocation(const Tracked<T> &Location, std::string Name) {
+    if (Atomicity)
+      Atomicity->nameLocation(Location.address(), std::move(Name));
+  }
+
+  /// Violations found (atomicity/basic report triples; Velodrome reports
+  /// cycles; None reports zero).
+  size_t numViolations() const;
+
+  /// Writes a human-readable summary of the findings to \p Out.
+  void printReport(std::FILE *Out = stdout) const;
+
+  ToolKind kind() const { return Kind; }
+  TaskRuntime &runtime() { return RT; }
+
+  /// The active checkers (null unless that tool was selected).
+  AtomicityChecker *atomicityChecker() { return Atomicity.get(); }
+  const AtomicityChecker *atomicityChecker() const { return Atomicity.get(); }
+  BasicChecker *basicChecker() { return Basic.get(); }
+  const BasicChecker *basicChecker() const { return Basic.get(); }
+  VelodromeChecker *velodromeChecker() { return Velodrome.get(); }
+  const VelodromeChecker *velodromeChecker() const { return Velodrome.get(); }
+  RaceDetector *raceDetector() { return Races.get(); }
+  const RaceDetector *raceDetector() const { return Races.get(); }
+  DeterminismChecker *determinismChecker() { return Determinism.get(); }
+  const DeterminismChecker *determinismChecker() const {
+    return Determinism.get();
+  }
+
+private:
+  ToolKind Kind;
+  std::unique_ptr<AtomicityChecker> Atomicity;
+  std::unique_ptr<BasicChecker> Basic;
+  std::unique_ptr<VelodromeChecker> Velodrome;
+  std::unique_ptr<RaceDetector> Races;
+  std::unique_ptr<DeterminismChecker> Determinism;
+  TaskRuntime RT;
+};
+
+} // namespace avc
+
+#endif // AVC_INSTRUMENT_TOOLCONTEXT_H

@@ -1,0 +1,118 @@
+//===- instrument/Tracked.h - Annotated (tracked) locations ----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-level stand-in for the paper's annotation + LLVM instrumentation
+/// pipeline: the paper's programmers mark locations with type qualifiers
+/// and a compiler pass inserts checker calls on every access to them
+/// (Section 4). Here, wrapping a value in Tracked<T> plays the role of the
+/// annotation, and the wrapper's accessors emit exactly the events the
+/// pass would insert. Unwrapped data is invisible to the checker, matching
+/// the annotation-driven (not whole-program) instrumentation model.
+///
+/// Storage is a relaxed std::atomic so that programs containing the very
+/// data races the checker analyzes remain well-defined C++.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_INSTRUMENT_TRACKED_H
+#define AVC_INSTRUMENT_TRACKED_H
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "runtime/TaskRuntime.h"
+
+namespace avc {
+
+/// A memory location whose accesses are reported to the checker.
+template <typename T> class Tracked {
+public:
+  Tracked() : Value(T()) {}
+  explicit Tracked(T Initial) : Value(Initial) {}
+
+  Tracked(const Tracked &) = delete;
+  Tracked &operator=(const Tracked &) = delete;
+
+  /// Instrumented read.
+  T load() const {
+    TaskRuntime::notifyRead(&Value);
+    return Value.load(std::memory_order_relaxed);
+  }
+
+  /// Instrumented write.
+  void store(T NewValue) {
+    TaskRuntime::notifyWrite(&Value);
+    Value.store(NewValue, std::memory_order_relaxed);
+  }
+
+  operator T() const { return load(); }
+
+  Tracked &operator=(T NewValue) {
+    store(NewValue);
+    return *this;
+  }
+
+  /// Instrumented read-modify-write (one read event + one write event,
+  /// exactly what the compiler pass emits for `x = x + d`).
+  T operator+=(T Delta) {
+    T NewValue = load() + Delta;
+    store(NewValue);
+    return NewValue;
+  }
+
+  T operator-=(T Delta) {
+    T NewValue = load() - Delta;
+    store(NewValue);
+    return NewValue;
+  }
+
+  T operator++() { return *this += T(1); }
+  T operator--() { return *this -= T(1); }
+
+  /// The identity the checker tracks this location under.
+  MemAddr address() const { return reinterpret_cast<MemAddr>(&Value); }
+
+  /// Uninstrumented peek, for test assertions about final values.
+  T raw() const { return Value.load(std::memory_order_relaxed); }
+
+  /// Uninstrumented poke, for (re-)initialization outside checked code.
+  void rawStore(T NewValue) {
+    Value.store(NewValue, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<T> Value;
+};
+
+/// A fixed-size array of tracked locations (one checker location per
+/// element), the shape of most of the paper's benchmark data.
+template <typename T> class TrackedArray {
+public:
+  explicit TrackedArray(size_t Count)
+      : Count(Count), Elements(std::make_unique<Tracked<T>[]>(Count)) {}
+
+  Tracked<T> &operator[](size_t Index) {
+    assert(Index < Count && "tracked array index out of range");
+    return Elements[Index];
+  }
+
+  const Tracked<T> &operator[](size_t Index) const {
+    assert(Index < Count && "tracked array index out of range");
+    return Elements[Index];
+  }
+
+  size_t size() const { return Count; }
+
+private:
+  size_t Count;
+  std::unique_ptr<Tracked<T>[]> Elements;
+};
+
+} // namespace avc
+
+#endif // AVC_INSTRUMENT_TRACKED_H

@@ -1,0 +1,23 @@
+//===- runtime/ExecutionObserver.cpp - Instrumentation hook API -----------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ExecutionObserver.h"
+
+using namespace avc;
+
+// Default implementations ignore every event so observers override only what
+// they need; the out-of-line definitions also anchor the vtable.
+ExecutionObserver::~ExecutionObserver() = default;
+void ExecutionObserver::onProgramStart(TaskId) {}
+void ExecutionObserver::onProgramEnd() {}
+void ExecutionObserver::onTaskSpawn(TaskId, const void *, TaskId) {}
+void ExecutionObserver::onTaskEnd(TaskId) {}
+void ExecutionObserver::onSync(TaskId) {}
+void ExecutionObserver::onGroupWait(TaskId, const void *) {}
+void ExecutionObserver::onLockAcquire(TaskId, LockId) {}
+void ExecutionObserver::onLockRelease(TaskId, LockId) {}
+void ExecutionObserver::onRead(TaskId, MemAddr) {}
+void ExecutionObserver::onWrite(TaskId, MemAddr) {}

@@ -1,0 +1,83 @@
+//===- runtime/ExecutionObserver.h - Instrumentation hook API --*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The callback interface between the task runtime and dynamic-analysis
+/// tools. The paper modified the Intel TBB library "to add calls to our
+/// instrumentation functions on task creation, task completion,
+/// synchronization, and to pass task and thread identifiers" (Section 4);
+/// this interface is the equivalent seam in our runtime. Memory-access
+/// callbacks are emitted by the instrumentation layer (src/instrument) for
+/// annotated locations only, mirroring the paper's annotation-driven
+/// LLVM instrumentation pass.
+///
+/// All callbacks may fire concurrently from different worker threads, but
+/// callbacks carrying the same task id are totally ordered (a task executes
+/// on one worker at a time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_RUNTIME_EXECUTIONOBSERVER_H
+#define AVC_RUNTIME_EXECUTIONOBSERVER_H
+
+#include <cstdint>
+
+namespace avc {
+
+/// Dense task identifier assigned at spawn time; the root task is 0.
+using TaskId = uint32_t;
+
+/// Identifier of a lock object, unique per lock for the program lifetime.
+using LockId = uint64_t;
+
+/// Identifier of a tracked memory location (its address).
+using MemAddr = uint64_t;
+
+/// Receives the execution events of a task-parallel program.
+class ExecutionObserver {
+public:
+  ExecutionObserver() = default;
+  ExecutionObserver(const ExecutionObserver &) = delete;
+  ExecutionObserver &operator=(const ExecutionObserver &) = delete;
+  virtual ~ExecutionObserver();
+
+  /// The root task is about to start executing.
+  virtual void onProgramStart(TaskId RootTask);
+
+  /// All tasks have completed.
+  virtual void onProgramEnd();
+
+  /// \p Parent spawned \p Child. \p GroupTag identifies the explicit task
+  /// group (finish scope) the child was spawned into, or nullptr for a
+  /// Cilk-style spawn into the implicit scope. Fires in the parent's
+  /// program order, before the child can run.
+  virtual void onTaskSpawn(TaskId Parent, const void *GroupTag, TaskId Child);
+
+  /// \p Task finished executing (after its implicit end-of-task sync).
+  virtual void onTaskEnd(TaskId Task);
+
+  /// \p Task completed a Cilk-style sync (implicit scope closed).
+  virtual void onSync(TaskId Task);
+
+  /// \p Task completed an explicit group wait for \p GroupTag.
+  virtual void onGroupWait(TaskId Task, const void *GroupTag);
+
+  /// \p Task acquired lock \p Lock (fires while the lock is held).
+  virtual void onLockAcquire(TaskId Task, LockId Lock);
+
+  /// \p Task is about to release lock \p Lock (fires while still held).
+  virtual void onLockRelease(TaskId Task, LockId Lock);
+
+  /// \p Task read the tracked location \p Addr.
+  virtual void onRead(TaskId Task, MemAddr Addr);
+
+  /// \p Task wrote the tracked location \p Addr.
+  virtual void onWrite(TaskId Task, MemAddr Addr);
+};
+
+} // namespace avc
+
+#endif // AVC_RUNTIME_EXECUTIONOBSERVER_H

@@ -1,0 +1,61 @@
+//===- runtime/Finish.h - Habanero-style finish scopes ---------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Async-finish programming on top of TaskGroup, for programs written in
+/// the Habanero/X10 style the paper's DPST also models ("DPST can handle
+/// both spawn-sync constructs in Cilk/Intel TBB and async-finish
+/// constructs in Habanero Java", Section 2):
+///
+/// \code
+///   finish([&] {          // a finish scope
+///     async([&] { ... }); // runs asynchronously within it
+///     async([&] { ... });
+///   });                   // joins every async (transitively) here
+/// \endcode
+///
+/// Each finish() maps to one explicit finish node in the DPST; async()
+/// outside any finish() falls back to the Cilk-style implicit scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_RUNTIME_FINISH_H
+#define AVC_RUNTIME_FINISH_H
+
+#include <cassert>
+#include <functional>
+
+#include "runtime/TaskRuntime.h"
+
+namespace avc {
+
+/// Spawns \p Fn inside the innermost finish scope, or the task's implicit
+/// Cilk-style scope when no finish is open. The scope pointer lives in the
+/// task's context (not thread-local state), so a worker helping with an
+/// unrelated task while blocked in wait() cannot leak its scope into it;
+/// a spawned child task starts with no open finish, and its own asyncs are
+/// still joined transitively through its implicit end-of-task sync.
+inline void async(std::function<void()> Fn) {
+  if (TaskGroup *Scope = TaskRuntime::currentFinishScope()) {
+    Scope->run(std::move(Fn));
+    return;
+  }
+  spawn(std::move(Fn));
+}
+
+/// Runs \p Body inside a new finish scope and joins all asyncs spawned
+/// within it (directly or by nested tasks of this scope) before returning.
+template <typename BodyT> void finish(BodyT &&Body) {
+  TaskGroup Scope;
+  TaskGroup *Previous = TaskRuntime::swapCurrentFinishScope(&Scope);
+  Body();
+  TaskRuntime::swapCurrentFinishScope(Previous);
+  Scope.wait();
+}
+
+} // namespace avc
+
+#endif // AVC_RUNTIME_FINISH_H

@@ -1,0 +1,67 @@
+//===- runtime/Mutex.h - Observer-instrumented mutex ------------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lock type checked programs use (the analogue of TBB's mutexes with
+/// the paper's instrumentation inserted). Acquire events fire while the
+/// lock is held and release events before it is dropped, so a task's
+/// lockset — which the checker's local metadata snapshots at each access
+/// (Section 3.3) — always reflects locks actually held.
+///
+/// Lock ids come from a global counter, not the object address, so a mutex
+/// allocated at a reused address is never confused with its predecessor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_RUNTIME_MUTEX_H
+#define AVC_RUNTIME_MUTEX_H
+
+#include <atomic>
+#include <mutex>
+
+#include "runtime/TaskRuntime.h"
+
+namespace avc {
+
+/// A mutual-exclusion lock whose operations are visible to observers.
+class Mutex {
+public:
+  Mutex() : Id(NextLockId.fetch_add(1, std::memory_order_relaxed)) {}
+
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() {
+    Impl.lock();
+    TaskRuntime::notifyLockAcquire(Id);
+  }
+
+  void unlock() {
+    TaskRuntime::notifyLockRelease(Id);
+    Impl.unlock();
+  }
+
+  bool try_lock() {
+    if (!Impl.try_lock())
+      return false;
+    TaskRuntime::notifyLockAcquire(Id);
+    return true;
+  }
+
+  LockId lockId() const { return Id; }
+
+private:
+  static inline std::atomic<LockId> NextLockId{1};
+  std::mutex Impl;
+  const LockId Id;
+};
+
+/// RAII guard for avc::Mutex.
+using MutexGuard = std::lock_guard<Mutex>;
+
+} // namespace avc
+
+#endif // AVC_RUNTIME_MUTEX_H

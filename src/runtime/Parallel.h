@@ -1,0 +1,109 @@
+//===- runtime/Parallel.h - parallel_for/reduce/invoke ---------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TBB-style parallel algorithms built on TaskGroup with recursive binary
+/// range splitting, the same divide-and-conquer structure TBB's
+/// parallel_for produces. Each split level is one finish scope with an
+/// async child, so these algorithms generate the deep series-parallel trees
+/// the paper's benchmarks exhibit (e.g. blackscholes is "just" a
+/// parallel_for).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_RUNTIME_PARALLEL_H
+#define AVC_RUNTIME_PARALLEL_H
+
+#include <cassert>
+#include <utility>
+
+#include "runtime/TaskRuntime.h"
+
+namespace avc {
+
+/// Applies \p Body(Lo, Hi) over [Begin, End) in parallel chunks of at most
+/// \p Grain elements. \p Body must be safe to copy and to invoke
+/// concurrently on disjoint subranges.
+template <typename IndexT, typename BodyT>
+void parallelFor(IndexT Begin, IndexT End, IndexT Grain, BodyT Body) {
+  assert(Grain > 0 && "grain must be positive");
+  if (Begin >= End)
+    return;
+  if (End - Begin <= Grain) {
+    Body(Begin, End);
+    return;
+  }
+  IndexT Mid = Begin + (End - Begin) / 2;
+  TaskGroup Group;
+  Group.run([=] { parallelFor(Mid, End, Grain, Body); });
+  parallelFor(Begin, Mid, Grain, Body);
+  Group.wait();
+}
+
+/// Convenience overload invoking \p Body once per index.
+template <typename IndexT, typename BodyT>
+void parallelForEach(IndexT Begin, IndexT End, IndexT Grain, BodyT Body) {
+  parallelFor(Begin, End, Grain, [Body](IndexT Lo, IndexT Hi) {
+    for (IndexT I = Lo; I < Hi; ++I)
+      Body(I);
+  });
+}
+
+/// Parallel map-reduce over [Begin, End): \p Map(Lo, Hi) produces a partial
+/// value per leaf chunk; \p Combine folds two partial values. \p Combine
+/// must be associative; \p Identity is its neutral element.
+template <typename IndexT, typename ValueT, typename MapT, typename CombineT>
+ValueT parallelReduce(IndexT Begin, IndexT End, IndexT Grain, ValueT Identity,
+                      MapT Map, CombineT Combine) {
+  assert(Grain > 0 && "grain must be positive");
+  if (Begin >= End)
+    return Identity;
+  if (End - Begin <= Grain)
+    return Map(Begin, End);
+  IndexT Mid = Begin + (End - Begin) / 2;
+  ValueT Right = Identity;
+  TaskGroup Group;
+  Group.run([=, &Right] {
+    Right = parallelReduce(Mid, End, Grain, Identity, Map, Combine);
+  });
+  ValueT Left = parallelReduce(Begin, Mid, Grain, Identity, Map, Combine);
+  Group.wait();
+  return Combine(std::move(Left), std::move(Right));
+}
+
+/// Runs \p F1 and \p F2 in parallel (the last callable executes on the
+/// calling worker; overloads below extend to three and four callables).
+template <typename F1T, typename F2T> void parallelInvoke(F1T &&F1, F2T &&F2) {
+  TaskGroup Group;
+  Group.run(std::forward<F1T>(F1));
+  F2();
+  Group.wait();
+}
+
+/// Runs three callables in parallel.
+template <typename F1T, typename F2T, typename F3T>
+void parallelInvoke(F1T &&F1, F2T &&F2, F3T &&F3) {
+  TaskGroup Group;
+  Group.run(std::forward<F1T>(F1));
+  Group.run(std::forward<F2T>(F2));
+  F3();
+  Group.wait();
+}
+
+/// Runs four callables in parallel.
+template <typename F1T, typename F2T, typename F3T, typename F4T>
+void parallelInvoke(F1T &&F1, F2T &&F2, F3T &&F3, F4T &&F4) {
+  TaskGroup Group;
+  Group.run(std::forward<F1T>(F1));
+  Group.run(std::forward<F2T>(F2));
+  Group.run(std::forward<F3T>(F3));
+  F4();
+  Group.wait();
+}
+
+} // namespace avc
+
+#endif // AVC_RUNTIME_PARALLEL_H

@@ -1,0 +1,313 @@
+//===- runtime/TaskRuntime.cpp - Work-stealing task runtime ----------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TaskRuntime.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "runtime/WorkStealingDeque.h"
+#include "support/Compiler.h"
+#include "support/Random.h"
+
+using namespace avc;
+
+namespace avc {
+namespace detail {
+
+struct Worker {
+  explicit Worker(TaskRuntime *RT) : Runtime(RT) {}
+  TaskRuntime *Runtime;
+  WorkStealingDeque<TaskNode> Deque;
+  SplitMix64 StealRng{0x6b79a3f2d15e4c01ULL};
+};
+
+} // namespace detail
+} // namespace avc
+
+namespace {
+
+/// The worker servicing this thread (for the current runtime), if any.
+thread_local detail::Worker *CurWorker = nullptr;
+
+/// The task executing on this thread, if any.
+thread_local detail::TaskContext *CurCtx = nullptr;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TaskGroup
+//===----------------------------------------------------------------------===//
+
+static detail::TaskContext &currentContextChecked() {
+  assert(CurCtx && "operation requires a running task");
+  return *CurCtx;
+}
+
+TaskGroup::TaskGroup(TaskRuntime &RT, bool Implicit)
+    : RT(RT), Implicit(Implicit) {}
+
+TaskGroup::TaskGroup()
+    : TaskGroup(*[] {
+        TaskRuntime *RT = TaskRuntime::current();
+        assert(RT && "TaskGroup created outside a running task");
+        return RT;
+      }(), /*Implicit=*/false) {}
+
+TaskGroup::~TaskGroup() {
+  if (Pending.load(std::memory_order_acquire) != 0)
+    wait();
+}
+
+void TaskGroup::run(std::function<void()> Fn) {
+  detail::TaskContext &Ctx = currentContextChecked();
+  assert(&RT == Ctx.Runtime && "TaskGroup used from a foreign runtime");
+  TaskId Child = RT.allocateTaskId();
+  // The async node must exist before the child can be stolen, so the spawn
+  // event fires before the task is published.
+  RT.notifyAll([&](ExecutionObserver &Obs) {
+    Obs.onTaskSpawn(Ctx.Id, Implicit ? nullptr : this, Child);
+  });
+  auto *Node = new detail::TaskNode{std::move(Fn), this, Child};
+  Pending.fetch_add(1, std::memory_order_acq_rel);
+  RT.pushTask(Node);
+}
+
+void TaskGroup::wait() {
+  RT.waitUntilZero(Pending);
+  // The finish scope closes only once all children are done; tools see the
+  // completion event in that order.
+  detail::TaskContext &Ctx = currentContextChecked();
+  RT.notifyAll([&](ExecutionObserver &Obs) {
+    if (Implicit)
+      Obs.onSync(Ctx.Id);
+    else
+      Obs.onGroupWait(Ctx.Id, this);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// TaskRuntime
+//===----------------------------------------------------------------------===//
+
+TaskRuntime::TaskRuntime(Options Opts) {
+  NumThreads = Opts.NumThreads;
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  // Workers beyond the run() caller start immediately and idle until work
+  // appears.
+  for (unsigned I = 1; I < NumThreads; ++I) {
+    detail::Worker &W = registerWorker();
+    Threads.emplace_back([this, &W] { workerMain(W); });
+  }
+}
+
+TaskRuntime::~TaskRuntime() {
+  Stop.store(true, std::memory_order_release);
+  IdleCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void TaskRuntime::addObserver(ExecutionObserver *Obs) {
+  assert(!Started && "observers must be registered before run()");
+  assert(Obs && "null observer");
+  Observers.push_back(Obs);
+}
+
+detail::Worker &TaskRuntime::registerWorker() {
+  size_t Index = Workers.emplaceBack(std::make_unique<detail::Worker>(this));
+  return *Workers[Index];
+}
+
+TaskId TaskRuntime::allocateTaskId() {
+  return NextTaskId.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TaskRuntime::pushTask(detail::TaskNode *Node) {
+  assert(CurWorker && CurWorker->Runtime == this &&
+         "tasks can only be spawned from a worker of this runtime");
+  CurWorker->Deque.push(Node);
+  if (NumSleeping.load(std::memory_order_relaxed) > 0)
+    IdleCv.notify_one();
+}
+
+detail::TaskNode *TaskRuntime::findWork(detail::Worker &W) {
+  if (detail::TaskNode *Node = W.Deque.pop())
+    return Node;
+  // Steal scan: start at a random victim, visit each worker once.
+  size_t N = Workers.size();
+  if (N <= 1)
+    return nullptr;
+  size_t Start = W.StealRng.nextBelow(N);
+  for (size_t I = 0; I < N; ++I) {
+    detail::Worker &Victim = *Workers[(Start + I) % N];
+    if (&Victim == &W)
+      continue;
+    if (detail::TaskNode *Node = Victim.Deque.steal())
+      return Node;
+  }
+  return nullptr;
+}
+
+void TaskRuntime::execute(detail::TaskNode *Node) {
+  detail::TaskContext Ctx{Node->Id, this, nullptr, nullptr};
+  detail::TaskContext *Prev = CurCtx;
+  CurCtx = &Ctx;
+  Node->Fn();
+  // Cilk semantics: implicit sync of outstanding children at task end.
+  if (Ctx.ImplicitGroup) {
+    Ctx.ImplicitGroup->wait();
+    delete Ctx.ImplicitGroup;
+    Ctx.ImplicitGroup = nullptr;
+  }
+  notifyAll([&](ExecutionObserver &Obs) { Obs.onTaskEnd(Ctx.Id); });
+  CurCtx = Prev;
+  TaskGroup *Group = Node->Group;
+  delete Node;
+  // Last: once Pending drops, a waiting parent may proceed and tear down
+  // anything the task referenced.
+  Group->Pending.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void TaskRuntime::waitUntilZero(std::atomic<int64_t> &Pending) {
+  while (Pending.load(std::memory_order_acquire) != 0) {
+    if (CurWorker && CurWorker->Runtime == this) {
+      if (detail::TaskNode *Node = findWork(*CurWorker)) {
+        execute(Node);
+        continue;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+void TaskRuntime::workerMain(detail::Worker &W) {
+  CurWorker = &W;
+  unsigned IdleSpins = 0;
+  while (true) {
+    if (detail::TaskNode *Node = findWork(W)) {
+      execute(Node);
+      IdleSpins = 0;
+      continue;
+    }
+    if (Stop.load(std::memory_order_acquire))
+      break;
+    if (++IdleSpins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    NumSleeping.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> Lock(IdleMutex);
+      IdleCv.wait_for(Lock, std::chrono::microseconds(200));
+    }
+    NumSleeping.fetch_sub(1, std::memory_order_relaxed);
+    IdleSpins = 0;
+  }
+  CurWorker = nullptr;
+}
+
+void TaskRuntime::run(std::function<void()> Root) {
+  assert(!Started && "TaskRuntime::run is one-shot");
+  Started = true;
+
+  detail::Worker &Caller = registerWorker();
+  detail::Worker *PrevWorker = CurWorker;
+  CurWorker = &Caller;
+
+  TaskId RootId = allocateTaskId();
+  assert(RootId == 0 && "root task must have id 0");
+  notifyAll([&](ExecutionObserver &Obs) { Obs.onProgramStart(RootId); });
+
+  TaskGroup RootGroup(*this, /*Implicit=*/false);
+  auto *Node = new detail::TaskNode{std::move(Root), &RootGroup, RootId};
+  RootGroup.Pending.store(1, std::memory_order_relaxed);
+  execute(Node);
+  assert(RootGroup.Pending.load(std::memory_order_relaxed) == 0 &&
+         "root group must be drained by execute");
+
+  notifyAll([&](ExecutionObserver &Obs) { Obs.onProgramEnd(); });
+  CurWorker = PrevWorker;
+}
+
+TaskRuntime *TaskRuntime::current() {
+  return CurCtx ? CurCtx->Runtime : nullptr;
+}
+
+TaskId TaskRuntime::currentTaskId() {
+  return currentContextChecked().Id;
+}
+
+void TaskRuntime::notifyRead(const void *Addr) {
+  detail::TaskContext *Ctx = CurCtx;
+  if (AVC_UNLIKELY(!Ctx))
+    return; // untracked sequential context (e.g. setup before run())
+  Ctx->Runtime->notifyAll([&](ExecutionObserver &Obs) {
+    Obs.onRead(Ctx->Id, reinterpret_cast<MemAddr>(Addr));
+  });
+}
+
+void TaskRuntime::notifyWrite(const void *Addr) {
+  detail::TaskContext *Ctx = CurCtx;
+  if (AVC_UNLIKELY(!Ctx))
+    return;
+  Ctx->Runtime->notifyAll([&](ExecutionObserver &Obs) {
+    Obs.onWrite(Ctx->Id, reinterpret_cast<MemAddr>(Addr));
+  });
+}
+
+void TaskRuntime::notifyLockAcquire(LockId Lock) {
+  detail::TaskContext *Ctx = CurCtx;
+  if (AVC_UNLIKELY(!Ctx))
+    return;
+  Ctx->Runtime->notifyAll(
+      [&](ExecutionObserver &Obs) { Obs.onLockAcquire(Ctx->Id, Lock); });
+}
+
+void TaskRuntime::notifyLockRelease(LockId Lock) {
+  detail::TaskContext *Ctx = CurCtx;
+  if (AVC_UNLIKELY(!Ctx))
+    return;
+  Ctx->Runtime->notifyAll(
+      [&](ExecutionObserver &Obs) { Obs.onLockRelease(Ctx->Id, Lock); });
+}
+
+//===----------------------------------------------------------------------===//
+// Cilk-style free functions
+//===----------------------------------------------------------------------===//
+
+TaskGroup *TaskRuntime::currentFinishScope() {
+  return currentContextChecked().CurrentFinish;
+}
+
+TaskGroup *TaskRuntime::swapCurrentFinishScope(TaskGroup *Scope) {
+  detail::TaskContext &Ctx = currentContextChecked();
+  TaskGroup *Previous = Ctx.CurrentFinish;
+  Ctx.CurrentFinish = Scope;
+  return Previous;
+}
+
+void avc::spawn(std::function<void()> Fn) {
+  detail::TaskContext &Ctx = currentContextChecked();
+  if (!Ctx.ImplicitGroup)
+    Ctx.ImplicitGroup = new TaskGroup(*Ctx.Runtime, /*Implicit=*/true);
+  Ctx.ImplicitGroup->run(std::move(Fn));
+}
+
+void avc::sync() {
+  detail::TaskContext &Ctx = currentContextChecked();
+  if (Ctx.ImplicitGroup) {
+    Ctx.ImplicitGroup->wait();
+    return;
+  }
+  // No spawn since the last sync: structurally a no-op, but tools still see
+  // the region boundary.
+  Ctx.Runtime->notifyAll([&](ExecutionObserver &Obs) { Obs.onSync(Ctx.Id); });
+}

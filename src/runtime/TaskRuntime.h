@@ -1,0 +1,188 @@
+//===- runtime/TaskRuntime.h - Work-stealing task runtime ------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TBB-like task-parallel runtime: programmers express *tasks* (spawn/sync
+/// in the Cilk style, or TaskGroup run/wait in the TBB task_group style) and
+/// the runtime maps them onto worker threads with work stealing. This is
+/// the substrate the paper instruments; every task-management operation and
+/// every lock operation is reported to the registered ExecutionObservers,
+/// which is where the atomicity checker plugs in.
+///
+/// Model restrictions (documented, asserted where cheap): a TaskGroup is
+/// used only by the task that created it; groups obey stack discipline
+/// within a task; a task implicitly syncs its outstanding children when it
+/// returns (Cilk semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_RUNTIME_TASKRUNTIME_H
+#define AVC_RUNTIME_TASKRUNTIME_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/ExecutionObserver.h"
+#include "support/ChunkedVector.h"
+
+namespace avc {
+
+class TaskRuntime;
+class TaskGroup;
+
+namespace detail {
+
+/// A spawned-but-not-finished task: the closure, the group it joins, and
+/// the task id assigned at spawn.
+struct TaskNode {
+  std::function<void()> Fn;
+  TaskGroup *Group;
+  TaskId Id;
+};
+
+/// Per-worker scheduling state (deque lives behind a pimpl in the .cpp).
+struct Worker;
+
+/// Execution state of the task currently running on a thread.
+struct TaskContext {
+  TaskId Id;
+  TaskRuntime *Runtime;
+  TaskGroup *ImplicitGroup; // lazily created for Cilk-style spawn/sync
+  TaskGroup *CurrentFinish; // innermost open finish() scope of this task
+};
+
+} // namespace detail
+
+/// A set of tasks that can be waited on together; equivalent to TBB's
+/// task_group and, through the observers, to one finish scope in the DPST.
+class TaskGroup {
+public:
+  /// Creates a group owned by the currently executing task.
+  TaskGroup();
+
+  /// Waits for outstanding tasks (a safety net mirroring task_group's
+  /// "must be waited" contract).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+
+  /// Spawns \p Fn as a child task of the current task into this group.
+  void run(std::function<void()> Fn);
+
+  /// Blocks until every task run() into this group has completed. The
+  /// waiting worker executes other pending tasks meanwhile (TBB-style
+  /// helping), so wait() never wastes the thread.
+  void wait();
+
+private:
+  friend class TaskRuntime;
+  friend void spawn(std::function<void()> Fn);
+  TaskGroup(TaskRuntime &RT, bool Implicit);
+
+  TaskRuntime &RT;
+  std::atomic<int64_t> Pending{0};
+  const bool Implicit;
+};
+
+/// The scheduler. One instance per checked program execution.
+class TaskRuntime {
+public:
+  struct Options {
+    /// Total worker count including the thread that calls run().
+    /// 1 executes everything on the caller (deterministic; the default for
+    /// tests), 0 means std::thread::hardware_concurrency().
+    unsigned NumThreads = 1;
+  };
+
+  TaskRuntime(Options Opts);
+  TaskRuntime() : TaskRuntime(Options()) {}
+  ~TaskRuntime();
+
+  TaskRuntime(const TaskRuntime &) = delete;
+  TaskRuntime &operator=(const TaskRuntime &) = delete;
+
+  /// Registers \p Obs to receive execution events. Must be called before
+  /// run(). Not owned.
+  void addObserver(ExecutionObserver *Obs);
+
+  /// Executes \p Root as the root task (id 0) on the calling thread and
+  /// returns when it and all of its descendants have completed. One-shot.
+  void run(std::function<void()> Root);
+
+  /// Number of workers (including the run() caller).
+  unsigned numThreads() const { return NumThreads; }
+
+  /// The runtime executing the current task, or nullptr outside run().
+  static TaskRuntime *current();
+
+  /// The id of the task executing on this thread; asserts inside a task.
+  static TaskId currentTaskId();
+
+  /// Reports a read/write of a tracked location by the current task to the
+  /// observers. No-ops outside a task (e.g. global initialization),
+  /// mirroring the paper's instrumentation which only covers task code.
+  static void notifyRead(const void *Addr);
+  static void notifyWrite(const void *Addr);
+
+  /// Reports lock operations for the current task (used by avc::Mutex).
+  static void notifyLockAcquire(LockId Lock);
+  static void notifyLockRelease(LockId Lock);
+
+  /// The current task's innermost open finish() scope, or nullptr
+  /// (supports runtime/Finish.h; asserts inside a task).
+  static TaskGroup *currentFinishScope();
+  static TaskGroup *swapCurrentFinishScope(TaskGroup *Scope);
+
+private:
+  friend class TaskGroup;
+  friend void sync();
+  friend void spawn(std::function<void()> Fn);
+
+  TaskId allocateTaskId();
+  void pushTask(detail::TaskNode *Node);
+  detail::TaskNode *findWork(detail::Worker &W);
+  void execute(detail::TaskNode *Node);
+  void waitUntilZero(std::atomic<int64_t> &Pending);
+  void workerMain(detail::Worker &W);
+  detail::Worker &registerWorker();
+
+  template <typename FnT> void notifyAll(FnT Fn) {
+    for (ExecutionObserver *Obs : Observers)
+      Fn(*Obs);
+  }
+
+  std::vector<ExecutionObserver *> Observers;
+  unsigned NumThreads;
+  std::atomic<uint32_t> NextTaskId{0};
+  std::atomic<bool> Stop{false};
+  bool Started = false;
+
+  ChunkedVector<std::unique_ptr<detail::Worker>> Workers;
+  std::vector<std::thread> Threads;
+
+  std::mutex IdleMutex;
+  std::condition_variable IdleCv;
+  std::atomic<int> NumSleeping{0};
+};
+
+/// Cilk-style spawn: runs \p Fn as a child task of the current task in its
+/// implicit group. Must be called from inside a task.
+void spawn(std::function<void()> Fn);
+
+/// Cilk-style sync: waits for all children spawned by the current task
+/// since the last sync (or task start).
+void sync();
+
+} // namespace avc
+
+#endif // AVC_RUNTIME_TASKRUNTIME_H

@@ -1,0 +1,146 @@
+//===- runtime/WorkStealingDeque.h - Chase-Lev deque ------------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Growable Chase-Lev work-stealing deque, memory orders per Lê, Pop,
+/// Cocchini, Nguyễn & Zappa Nardelli, "Correct and Efficient Work-Stealing
+/// for Weak Memory Models" (PPoPP'13). The owner pushes/pops at the bottom
+/// (LIFO, cache-friendly for divide-and-conquer tasks); thieves steal from
+/// the top (FIFO, steals the largest remaining subtree first). This is the
+/// load-balancing substrate the paper relies on TBB for: work stealing is
+/// what makes DPST-based detection schedule-independent rather than
+/// trace-bound.
+///
+/// Retired ring buffers are kept alive until the deque is destroyed, the
+/// standard safe reclamation for this structure (a thief may still be
+/// reading an old buffer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_RUNTIME_WORKSTEALINGDEQUE_H
+#define AVC_RUNTIME_WORKSTEALINGDEQUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace avc {
+
+/// Single-owner, multi-thief lock-free deque of pointers.
+template <typename T> class WorkStealingDeque {
+public:
+  explicit WorkStealingDeque(int64_t InitialCapacity = 64) {
+    assert(InitialCapacity > 0 &&
+           (InitialCapacity & (InitialCapacity - 1)) == 0 &&
+           "capacity must be a positive power of two");
+    Buffer.store(new Ring(InitialCapacity), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque &) = delete;
+  WorkStealingDeque &operator=(const WorkStealingDeque &) = delete;
+
+  ~WorkStealingDeque() {
+    delete Buffer.load(std::memory_order_relaxed);
+    for (Ring *Old : Retired)
+      delete Old;
+  }
+
+  /// Owner only: pushes \p Item at the bottom.
+  void push(T *Item) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t Ti = Top.load(std::memory_order_acquire);
+    Ring *R = Buffer.load(std::memory_order_relaxed);
+    if (B - Ti > R->Capacity - 1)
+      R = grow(R, B, Ti);
+    R->put(B, Item);
+    // Release store publishes the slot; the fence-free formulation keeps
+    // the deque analyzable by TSan (which does not model fences).
+    Bottom.store(B + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pops the most recently pushed item, or nullptr.
+  T *pop() {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Ring *R = Buffer.load(std::memory_order_relaxed);
+    // The seq_cst store/load pair replaces the classic seq_cst fence: the
+    // owner's Bottom decrement and a thief's Top increment take a total
+    // order, so at most one of them can win the last item.
+    Bottom.store(B, std::memory_order_seq_cst);
+    int64_t Ti = Top.load(std::memory_order_seq_cst);
+    if (Ti > B) {
+      // Deque was already empty; restore.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T *Item = R->get(B);
+    if (Ti != B)
+      return Item; // more than one item left: no race with thieves
+    // Single item: race with thieves via CAS on Top.
+    if (!Top.compare_exchange_strong(Ti, Ti + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      Item = nullptr; // a thief got it
+    Bottom.store(B + 1, std::memory_order_relaxed);
+    return Item;
+  }
+
+  /// Any thread: steals the oldest item, or nullptr if empty or lost race.
+  T *steal() {
+    int64_t Ti = Top.load(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_seq_cst);
+    if (Ti >= B)
+      return nullptr;
+    Ring *R = Buffer.load(std::memory_order_acquire);
+    T *Item = R->get(Ti);
+    if (!Top.compare_exchange_strong(Ti, Ti + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return nullptr; // lost the race
+    return Item;
+  }
+
+  /// Approximate size; exact only when quiescent.
+  int64_t sizeHint() const {
+    return Bottom.load(std::memory_order_relaxed) -
+           Top.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Ring {
+    explicit Ring(int64_t Cap)
+        : Capacity(Cap), Mask(Cap - 1),
+          Slots(new std::atomic<T *>[static_cast<size_t>(Cap)]) {}
+    ~Ring() { delete[] Slots; }
+
+    T *get(int64_t Index) const {
+      return Slots[Index & Mask].load(std::memory_order_relaxed);
+    }
+    void put(int64_t Index, T *Item) {
+      Slots[Index & Mask].store(Item, std::memory_order_relaxed);
+    }
+
+    const int64_t Capacity;
+    const int64_t Mask;
+    std::atomic<T *> *Slots;
+  };
+
+  Ring *grow(Ring *Old, int64_t B, int64_t Ti) {
+    Ring *Fresh = new Ring(Old->Capacity * 2);
+    for (int64_t I = Ti; I < B; ++I)
+      Fresh->put(I, Old->get(I));
+    Buffer.store(Fresh, std::memory_order_release);
+    Retired.push_back(Old); // thieves may still read it; free at destruction
+    return Fresh;
+  }
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Ring *> Buffer{nullptr};
+  std::vector<Ring *> Retired; // owner-only
+};
+
+} // namespace avc
+
+#endif // AVC_RUNTIME_WORKSTEALINGDEQUE_H

@@ -1,0 +1,154 @@
+//===- support/ChunkedVector.h - Stable-address growable array -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector-of-fixed-chunks container whose elements never move on growth.
+/// The DPST needs this: the paper observes that "the path from a node to the
+/// root ... do[es] not change" once a node exists, so concurrent LCA queries
+/// may read nodes while other workers append — which a reallocating
+/// std::vector would break. Indexing is O(1) (shift + mask).
+///
+/// The chunk-pointer table itself grows by copy-and-publish: the old table
+/// is retired (not freed) until destruction, so a reader holding the old
+/// table still sees valid chunk pointers for every index it could have
+/// legitimately obtained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_SUPPORT_CHUNKEDVECTOR_H
+#define AVC_SUPPORT_CHUNKEDVECTOR_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// Growable array with pointer-stable elements, organized as fixed-size
+/// chunks of 2^ChunkBits elements.
+///
+/// Concurrency contract (exactly what the DPST needs):
+///  - emplaceBack() calls are serialized by an internal lock;
+///  - operator[] / unsafeAt() on an index < size() is safe concurrently
+///    with appends;
+///  - size() uses acquire ordering so a reader that obtained an index from
+///    another thread sees the fully constructed element.
+template <typename T, unsigned ChunkBits = 12> class ChunkedVector {
+  static constexpr size_t ChunkSize = size_t(1) << ChunkBits;
+  static constexpr size_t ChunkMask = ChunkSize - 1;
+  static constexpr size_t InitialTableCapacity = 16;
+
+public:
+  ChunkedVector() {
+    Table.store(newTable(InitialTableCapacity), std::memory_order_relaxed);
+  }
+
+  ChunkedVector(const ChunkedVector &) = delete;
+  ChunkedVector &operator=(const ChunkedVector &) = delete;
+
+  ~ChunkedVector() {
+    clear();
+    delete[] Table.load(std::memory_order_relaxed)->Slots;
+    delete Table.load(std::memory_order_relaxed);
+    for (PtrTable *Old : Retired) {
+      delete[] Old->Slots;
+      delete Old;
+    }
+  }
+
+  /// Appends a new element and returns its index.
+  template <typename... ArgTs> size_t emplaceBack(ArgTs &&...Args) {
+    std::lock_guard<SpinLock> Guard(GrowLock);
+    size_t Index = Count.load(std::memory_order_relaxed);
+    size_t Chunk = Index >> ChunkBits;
+    PtrTable *Current = Table.load(std::memory_order_relaxed);
+    if (Chunk == NumChunks) {
+      if (Chunk == Current->Capacity)
+        Current = growTable(Current);
+      Current->Slots[Chunk] = static_cast<T *>(::operator new(
+          sizeof(T) * ChunkSize, std::align_val_t(alignof(T))));
+      ++NumChunks;
+    }
+    ::new (&Current->Slots[Chunk][Index & ChunkMask])
+        T(std::forward<ArgTs>(Args)...);
+    Count.store(Index + 1, std::memory_order_release);
+    return Index;
+  }
+
+  T &operator[](size_t Index) {
+    assert(Index < size() && "ChunkedVector index out of range");
+    return slotsAcquire()[Index >> ChunkBits][Index & ChunkMask];
+  }
+
+  const T &operator[](size_t Index) const {
+    assert(Index < size() && "ChunkedVector index out of range");
+    return slotsAcquire()[Index >> ChunkBits][Index & ChunkMask];
+  }
+
+  /// Unchecked access for hot read paths (an LCA walk dereferences a
+  /// parent chain whose indices are valid by construction; the checked
+  /// operator[] pays an extra acquire load of the size per hop).
+  const T &unsafeAt(size_t Index) const {
+    return slotsAcquire()[Index >> ChunkBits][Index & ChunkMask];
+  }
+
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+
+  bool empty() const { return size() == 0; }
+
+  /// Destroys all elements and releases chunk storage. Not thread safe.
+  void clear() {
+    size_t N = Count.load(std::memory_order_relaxed);
+    PtrTable *Current = Table.load(std::memory_order_relaxed);
+    for (size_t I = 0; I < N; ++I)
+      Current->Slots[I >> ChunkBits][I & ChunkMask].~T();
+    for (size_t C = 0; C < NumChunks; ++C)
+      ::operator delete(Current->Slots[C], std::align_val_t(alignof(T)));
+    NumChunks = 0;
+    Count.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  struct PtrTable {
+    size_t Capacity;
+    T **Slots;
+  };
+
+  static PtrTable *newTable(size_t Capacity) {
+    PtrTable *Fresh = new PtrTable;
+    Fresh->Capacity = Capacity;
+    Fresh->Slots = new T *[Capacity]();
+    return Fresh;
+  }
+
+  PtrTable *growTable(PtrTable *Current) {
+    PtrTable *Bigger = newTable(Current->Capacity * 2);
+    for (size_t C = 0; C < NumChunks; ++C)
+      Bigger->Slots[C] = Current->Slots[C];
+    Table.store(Bigger, std::memory_order_release);
+    Retired.push_back(Current); // readers may still hold it
+    return Bigger;
+  }
+
+  T *const *slotsAcquire() const {
+    return Table.load(std::memory_order_acquire)->Slots;
+  }
+
+  std::atomic<PtrTable *> Table{nullptr};
+  std::vector<PtrTable *> Retired; // guarded by GrowLock
+  size_t NumChunks = 0;            // guarded by GrowLock
+  std::atomic<size_t> Count{0};
+  SpinLock GrowLock;
+};
+
+} // namespace avc
+
+#endif // AVC_SUPPORT_CHUNKEDVECTOR_H

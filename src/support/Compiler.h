@@ -1,0 +1,47 @@
+//===- support/Compiler.h - Portable compiler annotations -------*- C++ -*-===//
+//
+// Part of TaskCheck, a reproduction of "Atomicity Violation Checker for Task
+// Parallel Programs" (Yoga & Nagarakatte, CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros used throughout the library. The library avoids
+/// exceptions and RTTI; programmatic errors abort via avc_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_SUPPORT_COMPILER_H
+#define AVC_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AVC_LIKELY(X) __builtin_expect(!!(X), 1)
+#define AVC_UNLIKELY(X) __builtin_expect(!!(X), 0)
+#define AVC_NOINLINE __attribute__((noinline))
+#define AVC_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define AVC_LIKELY(X) (X)
+#define AVC_UNLIKELY(X) (X)
+#define AVC_NOINLINE
+#define AVC_ALWAYS_INLINE inline
+#endif
+
+namespace avc {
+
+/// Prints \p Msg with source location and aborts. Used to document control
+/// flow that must be unreachable when the library's invariants hold.
+[[noreturn]] inline void unreachableInternal(const char *Msg, const char *File,
+                                             unsigned Line) {
+  std::fprintf(stderr, "fatal: unreachable executed at %s:%u: %s\n", File,
+               Line, Msg);
+  std::abort();
+}
+
+} // namespace avc
+
+#define avc_unreachable(MSG) ::avc::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // AVC_SUPPORT_COMPILER_H

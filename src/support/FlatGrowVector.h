@@ -1,0 +1,107 @@
+//===- support/FlatGrowVector.h - Flat array with retiring growth -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A truly *flat* growable array for the DPST's hot node records: one
+/// contiguous block, indexed with a single load per element — the layout
+/// the paper's "DPST overlaid in a linear array of nodes" optimization
+/// describes. Growth copies into a larger block and publishes it; the old
+/// block is retired (not freed) until destruction, so a reader that
+/// snapshotted the previous block still sees valid data for every index it
+/// could legitimately know about.
+///
+/// Element addresses are NOT stable across growth (unlike ChunkedVector);
+/// readers must go through indices and may cache a snapshot() pointer for
+/// the duration of one query. Requires trivially copyable elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_SUPPORT_FLATGROWVECTOR_H
+#define AVC_SUPPORT_FLATGROWVECTOR_H
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// Contiguous growable array with copy-and-retire growth.
+template <typename T> class FlatGrowVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "growth memcpys elements into the larger block");
+  static constexpr size_t InitialCapacity = 1024;
+
+public:
+  FlatGrowVector() {
+    Base.store(new T[InitialCapacity], std::memory_order_relaxed);
+    Capacity = InitialCapacity;
+  }
+
+  FlatGrowVector(const FlatGrowVector &) = delete;
+  FlatGrowVector &operator=(const FlatGrowVector &) = delete;
+
+  ~FlatGrowVector() {
+    delete[] Base.load(std::memory_order_relaxed);
+    for (T *Old : Retired)
+      delete[] Old;
+  }
+
+  /// Appends a copy of \p Value; returns its index. Serialized internally.
+  size_t pushBack(const T &Value) {
+    std::lock_guard<SpinLock> Guard(GrowLock);
+    size_t Index = Count.load(std::memory_order_relaxed);
+    T *Block = Base.load(std::memory_order_relaxed);
+    if (Index == Capacity) {
+      T *Bigger = new T[Capacity * 2];
+      std::memcpy(Bigger, Block, sizeof(T) * Capacity);
+      Base.store(Bigger, std::memory_order_release);
+      Retired.push_back(Block);
+      Block = Bigger;
+      Capacity *= 2;
+    }
+    Block[Index] = Value;
+    Count.store(Index + 1, std::memory_order_release);
+    return Index;
+  }
+
+  /// Mutates an existing element under the growth lock (rare, e.g. a
+  /// parent's child counter); safe against concurrent growth.
+  template <typename FnT> void update(size_t Index, FnT Fn) {
+    std::lock_guard<SpinLock> Guard(GrowLock);
+    assert(Index < Count.load(std::memory_order_relaxed) &&
+           "update out of range");
+    Fn(Base.load(std::memory_order_relaxed)[Index]);
+  }
+
+  /// Read access; safe concurrently with appends.
+  T operator[](size_t Index) const {
+    assert(Index < size() && "FlatGrowVector index out of range");
+    return Base.load(std::memory_order_acquire)[Index];
+  }
+
+  /// Snapshot of the current block for batched reads (one query's walk).
+  /// Valid for every index published before the snapshot was taken.
+  const T *snapshot() const { return Base.load(std::memory_order_acquire); }
+
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+private:
+  std::atomic<T *> Base{nullptr};
+  std::vector<T *> Retired; // guarded by GrowLock
+  size_t Capacity = 0;      // guarded by GrowLock
+  std::atomic<size_t> Count{0};
+  SpinLock GrowLock;
+};
+
+} // namespace avc
+
+#endif // AVC_SUPPORT_FLATGROWVECTOR_H

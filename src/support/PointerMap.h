@@ -1,0 +1,106 @@
+//===- support/PointerMap.h - Open-addressing pointer-keyed map -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A linear-probing hash map keyed by non-null pointers, tuned for the
+/// checker's per-task local metadata: one lookup per tracked memory access
+/// is the hot path of the entire tool, and std::unordered_map's node
+/// allocation and bucket indirection cost several times more than this
+/// flat table. Not thread safe (each task's map has a single owner).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_SUPPORT_POINTERMAP_H
+#define AVC_SUPPORT_POINTERMAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace avc {
+
+/// Flat hash map from non-null pointers to values.
+template <typename KeyT, typename ValueT> class PointerMap {
+  static_assert(std::is_pointer_v<KeyT>, "keys must be pointers");
+
+public:
+  PointerMap() { Slots.resize(InitialSlots); }
+
+  /// Returns the value for \p Key, default-constructing it on first use.
+  ValueT &operator[](KeyT Key) {
+    assert(Key != nullptr && "null keys are reserved for empty slots");
+    if ((Count + 1) * 4 > Slots.size() * 3)
+      grow();
+    size_t Index = probeFor(Key);
+    if (Slots[Index].Key == nullptr) {
+      Slots[Index].Key = Key;
+      ++Count;
+    }
+    return Slots[Index].Value;
+  }
+
+  /// Returns the value for \p Key or nullptr if absent.
+  ValueT *lookup(KeyT Key) {
+    size_t Index = probeFor(Key);
+    return Slots[Index].Key == Key ? &Slots[Index].Value : nullptr;
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Drops all entries (keeps the table storage).
+  void clear() {
+    for (Slot &S : Slots) {
+      S.Key = nullptr;
+      S.Value = ValueT();
+    }
+    Count = 0;
+  }
+
+private:
+  static constexpr size_t InitialSlots = 16;
+
+  struct Slot {
+    KeyT Key = nullptr;
+    ValueT Value;
+  };
+
+  static size_t hashPointer(KeyT Key) {
+    // Fibonacci hash over the address; low bits of heap pointers repeat.
+    return static_cast<size_t>(
+        (reinterpret_cast<uintptr_t>(Key) >> 4) * 0x9e3779b97f4a7c15ULL);
+  }
+
+  size_t probeFor(KeyT Key) const {
+    size_t Mask = Slots.size() - 1;
+    size_t Index = hashPointer(Key) & Mask;
+    while (Slots[Index].Key != nullptr && Slots[Index].Key != Key)
+      Index = (Index + 1) & Mask;
+    return Index;
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.clear();
+    Slots.resize(Old.size() * 2);
+    Count = 0;
+    for (Slot &S : Old)
+      if (S.Key != nullptr) {
+        size_t Index = probeFor(S.Key);
+        Slots[Index].Key = S.Key;
+        Slots[Index].Value = std::move(S.Value);
+        ++Count;
+      }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Count = 0;
+};
+
+} // namespace avc
+
+#endif // AVC_SUPPORT_POINTERMAP_H

@@ -1,0 +1,87 @@
+//===- support/RadixTable.h - Concurrent two-level radix table -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free-on-read two-level radix table mapping dense integer keys to
+/// default-constructed slots. Used for the task-id -> checker-state table:
+/// task ids are assigned densely by the runtime but spawn callbacks can
+/// arrive out of order across workers, so an append-only vector does not
+/// work, and a hash map on the memory-access hot path would be too slow.
+///
+/// Leaves are allocated on demand with a CAS; a losing allocator deletes its
+/// copy. Existing slots never move, so references remain valid for the table
+/// lifetime. Two threads may touch the *same* slot only under their own
+/// synchronization (our usage gives each task id a single owner at a time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_SUPPORT_RADIXTABLE_H
+#define AVC_SUPPORT_RADIXTABLE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace avc {
+
+/// Concurrent radix table over keys in [0, 2^(TopBits + LeafBits)).
+template <typename T, unsigned TopBits = 14, unsigned LeafBits = 12>
+class RadixTable {
+  static constexpr size_t TopSize = size_t(1) << TopBits;
+  static constexpr size_t LeafSize = size_t(1) << LeafBits;
+  static constexpr size_t LeafMask = LeafSize - 1;
+
+public:
+  RadixTable() {
+    Top = std::make_unique<std::atomic<T *>[]>(TopSize);
+    for (size_t I = 0; I < TopSize; ++I)
+      Top[I].store(nullptr, std::memory_order_relaxed);
+  }
+
+  RadixTable(const RadixTable &) = delete;
+  RadixTable &operator=(const RadixTable &) = delete;
+
+  ~RadixTable() {
+    for (size_t I = 0; I < TopSize; ++I)
+      delete[] Top[I].load(std::memory_order_relaxed);
+  }
+
+  /// Returns the slot for \p Key, allocating its leaf if needed.
+  T &getOrCreate(uint64_t Key) {
+    assert(Key < (uint64_t(1) << (TopBits + LeafBits)) &&
+           "radix table key out of range");
+    size_t TopIndex = Key >> LeafBits;
+    T *Leaf = Top[TopIndex].load(std::memory_order_acquire);
+    if (!Leaf) {
+      T *Fresh = new T[LeafSize]();
+      if (Top[TopIndex].compare_exchange_strong(Leaf, Fresh,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        Leaf = Fresh;
+      } else {
+        delete[] Fresh; // another thread won the race
+      }
+    }
+    return Leaf[Key & LeafMask];
+  }
+
+  /// Returns the slot for \p Key, or nullptr if its leaf was never created.
+  T *lookup(uint64_t Key) {
+    size_t TopIndex = Key >> LeafBits;
+    if (TopIndex >= TopSize)
+      return nullptr;
+    T *Leaf = Top[TopIndex].load(std::memory_order_acquire);
+    return Leaf ? &Leaf[Key & LeafMask] : nullptr;
+  }
+
+private:
+  std::unique_ptr<std::atomic<T *>[]> Top;
+};
+
+} // namespace avc
+
+#endif // AVC_SUPPORT_RADIXTABLE_H

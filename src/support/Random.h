@@ -1,0 +1,68 @@
+//===- support/Random.h - Deterministic PRNG for tests/benches -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based pseudo-random generator. The trace generator, property
+/// tests, and workload input synthesis all need *reproducible* randomness so
+/// a failing seed can be replayed; std::mt19937 would work but this is
+/// smaller, faster, and trivially seedable per test case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_SUPPORT_RANDOM_H
+#define AVC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace avc {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Never returns the same stream for
+/// two different seeds in practice and passes basic statistical tests; good
+/// enough for workload synthesis, not for cryptography.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Multiply-shift trick; bias is negligible for our bounds (<< 2^32).
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a value in the inclusive range [Lo, Hi].
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability \p Num / \p Den.
+  bool nextChance(uint64_t Num, uint64_t Den) {
+    assert(Den > 0 && "zero denominator");
+    return nextBelow(Den) < Num;
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace avc
+
+#endif // AVC_SUPPORT_RANDOM_H

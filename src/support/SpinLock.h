@@ -1,0 +1,60 @@
+//===- support/SpinLock.h - Tiny test-and-test-and-set lock -----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A one-byte spin lock used to protect per-location checker metadata, where
+/// critical sections are a handful of loads and stores and a full std::mutex
+/// (40 bytes, futex syscalls under contention) would dominate the metadata
+/// footprint the paper is trying to keep fixed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_SUPPORT_SPINLOCK_H
+#define AVC_SUPPORT_SPINLOCK_H
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace avc {
+
+/// Pauses the CPU briefly inside a spin-wait loop.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// A test-and-test-and-set spin lock. Satisfies BasicLockable so it works
+/// with std::lock_guard.
+class SpinLock {
+public:
+  SpinLock() = default;
+  SpinLock(const SpinLock &) = delete;
+  SpinLock &operator=(const SpinLock &) = delete;
+
+  void lock() {
+    while (Flag.exchange(true, std::memory_order_acquire)) {
+      while (Flag.load(std::memory_order_relaxed))
+        cpuRelax();
+    }
+  }
+
+  bool try_lock() { return !Flag.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { Flag.store(false, std::memory_order_release); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+} // namespace avc
+
+#endif // AVC_SUPPORT_SPINLOCK_H

@@ -1,0 +1,59 @@
+//===- support/Statistics.h - Aggregation helpers --------------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small numeric aggregation helpers used by the benchmark harnesses: the
+/// paper reports per-benchmark averages over five runs and a geometric-mean
+/// slowdown summary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_SUPPORT_STATISTICS_H
+#define AVC_SUPPORT_STATISTICS_H
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace avc {
+
+/// Returns the arithmetic mean of \p Values; 0 for an empty vector.
+inline double arithmeticMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+/// Returns the geometric mean of \p Values, which must all be positive;
+/// 0 for an empty vector. Used for the Figure 13/14 slowdown summaries.
+inline double geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Returns the minimum of \p Values; 0 for an empty vector.
+inline double minimum(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Min = Values.front();
+  for (double V : Values)
+    Min = V < Min ? V : Min;
+  return Min;
+}
+
+} // namespace avc
+
+#endif // AVC_SUPPORT_STATISTICS_H

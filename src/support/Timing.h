@@ -1,0 +1,47 @@
+//===- support/Timing.h - Monotonic wall-clock timer -----------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing helpers for the overhead experiments (Figures 13/14).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_SUPPORT_TIMING_H
+#define AVC_SUPPORT_TIMING_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace avc {
+
+/// Returns a monotonic timestamp in nanoseconds.
+inline uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Measures elapsed wall-clock time from construction.
+class Timer {
+public:
+  Timer() : Start(nowNanos()) {}
+
+  uint64_t elapsedNanos() const { return nowNanos() - Start; }
+
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+  }
+
+  void reset() { Start = nowNanos(); }
+
+private:
+  uint64_t Start;
+};
+
+} // namespace avc
+
+#endif // AVC_SUPPORT_TIMING_H

@@ -1,0 +1,64 @@
+//===- trace/TraceEvent.h - Execution trace event model --------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A linearized execution trace: the sequence of observer events one run
+/// produced (or one the generator synthesized). Traces decouple the
+/// checkers from live execution — the paper's trace generator "takes the
+/// number of tasks and memory accesses as parameter and generates execution
+/// traces" to validate that the checker finds all violations from a single
+/// observed trace (Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_TRACE_TRACEEVENT_H
+#define AVC_TRACE_TRACEEVENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/ExecutionObserver.h"
+
+namespace avc {
+
+/// Kinds of trace events, mirroring ExecutionObserver callbacks.
+enum class TraceEventKind : uint8_t {
+  ProgramStart, ///< Arg1 unused; Task = root task id.
+  ProgramEnd,   ///< No operands.
+  TaskSpawn,    ///< Task = parent, Arg1 = child id, Arg2 = group id (0 =
+                ///< implicit Cilk-style scope).
+  TaskEnd,      ///< Task completed.
+  Sync,         ///< Cilk-style sync by Task.
+  GroupWait,    ///< Task waited on group Arg1.
+  LockAcquire,  ///< Task acquired lock Arg1.
+  LockRelease,  ///< Task released lock Arg1.
+  Read,         ///< Task read address Arg1.
+  Write,        ///< Task wrote address Arg1.
+};
+
+/// Returns a short mnemonic ("spawn", "read", ...).
+const char *traceEventKindName(TraceEventKind Kind);
+
+/// One trace event. Group tags are opaque non-zero integers in traces and
+/// are mapped to distinct pointers on replay.
+struct TraceEvent {
+  TraceEventKind Kind;
+  TaskId Task = 0;
+  uint64_t Arg1 = 0;
+  uint64_t Arg2 = 0;
+
+  bool operator==(const TraceEvent &Other) const {
+    return Kind == Other.Kind && Task == Other.Task && Arg1 == Other.Arg1 &&
+           Arg2 == Other.Arg2;
+  }
+};
+
+/// An execution trace.
+using Trace = std::vector<TraceEvent>;
+
+} // namespace avc
+
+#endif // AVC_TRACE_TRACEEVENT_H

@@ -1,0 +1,320 @@
+//===- trace/TraceGenerator.cpp - Random task-parallel programs -----------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceGenerator.h"
+
+#include <cassert>
+#include <cstddef>
+
+#include "support/Compiler.h"
+#include "support/Random.h"
+
+using namespace avc;
+
+//===----------------------------------------------------------------------===//
+// Program generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Emits one access to a random location.
+void emitAccess(std::vector<GenOp> &Ops, SplitMix64 &Rng,
+                const TraceGenOptions &Opts) {
+  GenOp Op;
+  Op.K = Rng.nextDouble() < Opts.WriteFraction ? GenOp::Kind::Write
+                                               : GenOp::Kind::Read;
+  Op.Index = static_cast<uint32_t>(Rng.nextBelow(Opts.NumLocations));
+  Ops.push_back(Op);
+}
+
+} // namespace
+
+GenProgram avc::generateProgram(const TraceGenOptions &Opts) {
+  assert(Opts.NumTasks >= 1 && "program needs a root task");
+  assert(Opts.NumLocations >= 1 && "program needs a location");
+  assert(Opts.MinOpsPerTask <= Opts.MaxOpsPerTask && "bad op range");
+
+  SplitMix64 Rng(Opts.Seed);
+  GenProgram Program;
+  Program.NumLocations = Opts.NumLocations;
+  Program.NumLocks = Opts.NumLocks;
+  Program.Tasks.resize(Opts.NumTasks);
+
+  // Per-task body: a sequence of units (bare access or critical section),
+  // optionally followed by syncs. Critical sections are well nested by
+  // construction (generated as a block) and never span a spawn.
+  for (GenTask &Task : Program.Tasks) {
+    uint32_t NumUnits = static_cast<uint32_t>(
+        Rng.nextInRange(Opts.MinOpsPerTask, Opts.MaxOpsPerTask));
+    for (uint32_t U = 0; U < NumUnits; ++U) {
+      bool Locked =
+          Opts.NumLocks > 0 && Rng.nextDouble() < Opts.LockedFraction;
+      if (Locked) {
+        uint32_t Lock = static_cast<uint32_t>(Rng.nextBelow(Opts.NumLocks));
+        Task.Ops.push_back({GenOp::Kind::Acquire, Lock});
+        uint64_t Inner = Rng.nextInRange(1, 3);
+        for (uint64_t I = 0; I < Inner; ++I)
+          emitAccess(Task.Ops, Rng, Opts);
+        Task.Ops.push_back({GenOp::Kind::Release, Lock});
+      } else {
+        emitAccess(Task.Ops, Rng, Opts);
+      }
+      if (Rng.nextDouble() < Opts.SyncFraction)
+        Task.Ops.push_back({GenOp::Kind::Sync, 0});
+    }
+  }
+
+  // Spawn edges: task I is spawned by a random earlier task, with the spawn
+  // inserted at a random top-level position (outside critical sections).
+  for (uint32_t I = 1; I < Opts.NumTasks; ++I) {
+    uint32_t Parent = static_cast<uint32_t>(Rng.nextBelow(I));
+    std::vector<GenOp> &Ops = Program.Tasks[Parent].Ops;
+
+    std::vector<size_t> TopLevel; // insertion points at lock depth 0
+    TopLevel.push_back(0);
+    int Depth = 0;
+    for (size_t P = 0; P < Ops.size(); ++P) {
+      if (Ops[P].K == GenOp::Kind::Acquire)
+        ++Depth;
+      else if (Ops[P].K == GenOp::Kind::Release)
+        --Depth;
+      if (Depth == 0)
+        TopLevel.push_back(P + 1);
+    }
+    size_t At = TopLevel[Rng.nextBelow(TopLevel.size())];
+    Ops.insert(Ops.begin() + static_cast<ptrdiff_t>(At),
+               GenOp{GenOp::Kind::Spawn, I});
+  }
+
+  return Program;
+}
+
+//===----------------------------------------------------------------------===//
+// Serial (depth-first) linearization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SerialLinearizer {
+  const GenProgram &Program;
+  Trace Events;
+  TaskId NextId = 0;
+
+  explicit SerialLinearizer(const GenProgram &Program) : Program(Program) {}
+
+  void runTask(uint32_t GenIndex, TaskId Tid) {
+    bool EverSpawned = false;
+    for (const GenOp &Op : Program.Tasks[GenIndex].Ops) {
+      switch (Op.K) {
+      case GenOp::Kind::Read:
+        Events.push_back({TraceEventKind::Read, Tid,
+                          GenProgram::addressOf(Op.Index), 0});
+        break;
+      case GenOp::Kind::Write:
+        Events.push_back({TraceEventKind::Write, Tid,
+                          GenProgram::addressOf(Op.Index), 0});
+        break;
+      case GenOp::Kind::Acquire:
+        Events.push_back({TraceEventKind::LockAcquire, Tid,
+                          GenProgram::lockIdOf(Op.Index), 0});
+        break;
+      case GenOp::Kind::Release:
+        Events.push_back({TraceEventKind::LockRelease, Tid,
+                          GenProgram::lockIdOf(Op.Index), 0});
+        break;
+      case GenOp::Kind::Sync:
+        Events.push_back({TraceEventKind::Sync, Tid, 0, 0});
+        break;
+      case GenOp::Kind::Spawn: {
+        TaskId Child = ++NextId;
+        EverSpawned = true;
+        Events.push_back({TraceEventKind::TaskSpawn, Tid, Child, 0});
+        runTask(Op.Index, Child); // depth-first: child runs immediately
+        break;
+      }
+      }
+    }
+    // Mirror the live runtime: a task that ever spawned performs an
+    // implicit end-of-task sync, which surfaces as a Sync event.
+    if (EverSpawned)
+      Events.push_back({TraceEventKind::Sync, Tid, 0, 0});
+    Events.push_back({TraceEventKind::TaskEnd, Tid, 0, 0});
+  }
+};
+
+} // namespace
+
+Trace avc::linearizeSerial(const GenProgram &Program) {
+  SerialLinearizer Linearizer(Program);
+  Linearizer.Events.push_back({TraceEventKind::ProgramStart, 0, 0, 0});
+  Linearizer.runTask(0, 0);
+  Linearizer.Events.push_back({TraceEventKind::ProgramEnd, 0, 0, 0});
+  return std::move(Linearizer.Events);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized-scheduler linearization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SimTask {
+  uint32_t GenIndex = 0;
+  TaskId Tid = 0;
+  size_t Pc = 0;
+  size_t Parent = SIZE_MAX;
+  uint32_t LiveChildren = 0; ///< spawned descendants not yet ended
+  bool EverSpawned = false;
+  bool WaitingSync = false; ///< blocked in an explicit sync op
+  bool BodyDone = false;    ///< all ops executed; waiting implicit sync
+  bool Ended = false;
+};
+
+struct RandomLinearizer {
+  const GenProgram &Program;
+  SplitMix64 Rng;
+  Trace Events;
+  std::vector<SimTask> Sim;
+  std::vector<size_t> LockOwner; ///< SIZE_MAX = free
+  TaskId NextId = 0;
+  size_t NumEnded = 0;
+
+  RandomLinearizer(const GenProgram &Program, uint64_t Seed)
+      : Program(Program), Rng(Seed),
+        LockOwner(Program.NumLocks, SIZE_MAX) {}
+
+  /// A task is eligible if it can make progress right now.
+  bool eligible(const SimTask &Task) const {
+    if (Task.Ended)
+      return false;
+    if (Task.WaitingSync || Task.BodyDone)
+      return Task.LiveChildren == 0;
+    const GenOp &Op = Program.Tasks[Task.GenIndex].Ops[Task.Pc];
+    if (Op.K == GenOp::Kind::Acquire)
+      return LockOwner[Op.Index] == SIZE_MAX;
+    return true;
+  }
+
+  void finishTask(size_t Index) {
+    SimTask &Task = Sim[Index];
+    if (Task.EverSpawned)
+      Events.push_back({TraceEventKind::Sync, Task.Tid, 0, 0});
+    Events.push_back({TraceEventKind::TaskEnd, Task.Tid, 0, 0});
+    Task.Ended = true;
+    ++NumEnded;
+    if (Task.Parent != SIZE_MAX) {
+      assert(Sim[Task.Parent].LiveChildren > 0 && "child count underflow");
+      --Sim[Task.Parent].LiveChildren;
+    }
+  }
+
+  void step(size_t Index) {
+    SimTask &Task = Sim[Index];
+    if (Task.BodyDone) {
+      assert(Task.LiveChildren == 0 && "stepping a blocked task");
+      finishTask(Index);
+      return;
+    }
+    if (Task.WaitingSync) {
+      assert(Task.LiveChildren == 0 && "stepping a blocked task");
+      // The sync completes now; the runtime emits the event on unblock.
+      Events.push_back({TraceEventKind::Sync, Task.Tid, 0, 0});
+      Task.WaitingSync = false;
+      ++Task.Pc;
+      checkBodyEnd(Index);
+      return;
+    }
+
+    const GenOp &Op = Program.Tasks[Task.GenIndex].Ops[Task.Pc];
+    switch (Op.K) {
+    case GenOp::Kind::Read:
+      Events.push_back({TraceEventKind::Read, Task.Tid,
+                        GenProgram::addressOf(Op.Index), 0});
+      break;
+    case GenOp::Kind::Write:
+      Events.push_back({TraceEventKind::Write, Task.Tid,
+                        GenProgram::addressOf(Op.Index), 0});
+      break;
+    case GenOp::Kind::Acquire:
+      assert(LockOwner[Op.Index] == SIZE_MAX && "acquire of an owned lock");
+      LockOwner[Op.Index] = Index;
+      Events.push_back({TraceEventKind::LockAcquire, Task.Tid,
+                        GenProgram::lockIdOf(Op.Index), 0});
+      break;
+    case GenOp::Kind::Release:
+      assert(LockOwner[Op.Index] == Index && "release by a non-owner");
+      LockOwner[Op.Index] = SIZE_MAX;
+      Events.push_back({TraceEventKind::LockRelease, Task.Tid,
+                        GenProgram::lockIdOf(Op.Index), 0});
+      break;
+    case GenOp::Kind::Sync:
+      if (Task.LiveChildren != 0) {
+        Task.WaitingSync = true;
+        return; // pc advances when the sync completes
+      }
+      Events.push_back({TraceEventKind::Sync, Task.Tid, 0, 0});
+      break;
+    case GenOp::Kind::Spawn: {
+      TaskId ChildTid = ++NextId;
+      Task.EverSpawned = true;
+      ++Task.LiveChildren;
+      Events.push_back({TraceEventKind::TaskSpawn, Task.Tid, ChildTid, 0});
+      SimTask Child;
+      Child.GenIndex = Op.Index;
+      Child.Tid = ChildTid;
+      Child.Parent = Index;
+      Sim.push_back(Child); // note: may invalidate Task; done last
+      checkBodyEndAfterSpawn(Index);
+      return;
+    }
+    }
+    ++Task.Pc;
+    checkBodyEnd(Index);
+  }
+
+  void checkBodyEndAfterSpawn(size_t Index) {
+    // Re-acquire the reference after the push_back above.
+    SimTask &Task = Sim[Index];
+    ++Task.Pc;
+    if (Task.Pc >= Program.Tasks[Task.GenIndex].Ops.size())
+      Task.BodyDone = true;
+  }
+
+  void checkBodyEnd(size_t Index) {
+    SimTask &Task = Sim[Index];
+    if (Task.Pc >= Program.Tasks[Task.GenIndex].Ops.size())
+      Task.BodyDone = true;
+  }
+
+  Trace run() {
+    Events.push_back({TraceEventKind::ProgramStart, 0, 0, 0});
+    SimTask Root;
+    Root.GenIndex = 0;
+    Root.Tid = 0;
+    Sim.push_back(Root);
+    checkBodyEnd(0);
+
+    std::vector<size_t> Eligible;
+    while (NumEnded < Sim.size()) {
+      Eligible.clear();
+      for (size_t I = 0; I < Sim.size(); ++I)
+        if (eligible(Sim[I]))
+          Eligible.push_back(I);
+      assert(!Eligible.empty() &&
+             "scheduler deadlock in generated program (generator bug)");
+      step(Eligible[Rng.nextBelow(Eligible.size())]);
+    }
+    Events.push_back({TraceEventKind::ProgramEnd, 0, 0, 0});
+    return std::move(Events);
+  }
+};
+
+} // namespace
+
+Trace avc::linearizeRandom(const GenProgram &Program, uint64_t Seed) {
+  RandomLinearizer Linearizer(Program, Seed);
+  return Linearizer.run();
+}

@@ -1,0 +1,94 @@
+//===- trace/TraceGenerator.h - Random task-parallel programs --*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's trace generator (Section 4): synthesizes random task
+/// parallel programs — a spawn tree with per-task sequences of tracked
+/// accesses, well-nested critical sections, and sync points — parameterized
+/// by the number of tasks and memory accesses. A generated program can be
+/// linearized into a trace either serially (depth-first, the schedule a
+/// single worker produces) or under a randomized scheduler. Because the
+/// checker judges parallelism structurally, its verdicts must not depend on
+/// which linearization it observes; the property tests exploit exactly
+/// that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_TRACE_TRACEGENERATOR_H
+#define AVC_TRACE_TRACEGENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/TraceEvent.h"
+
+namespace avc {
+
+/// One operation of a generated task.
+struct GenOp {
+  enum class Kind : uint8_t { Read, Write, Acquire, Release, Spawn, Sync };
+  Kind K;
+  /// Location index (Read/Write), lock index (Acquire/Release), or child
+  /// task index (Spawn).
+  uint32_t Index = 0;
+};
+
+/// One generated task: a straight-line sequence of operations.
+struct GenTask {
+  std::vector<GenOp> Ops;
+};
+
+/// A generated task-parallel program. Tasks[0] is the root; every other
+/// task is spawned by exactly one Spawn op.
+struct GenProgram {
+  std::vector<GenTask> Tasks;
+  uint32_t NumLocations = 0;
+  uint32_t NumLocks = 0;
+
+  /// Synthetic tracked address of location \p Location.
+  static MemAddr addressOf(uint32_t Location) {
+    return 0x100000ULL + uint64_t(Location) * 8;
+  }
+
+  /// Lock id of lock index \p Lock (ids are 1-based in traces).
+  static LockId lockIdOf(uint32_t Lock) { return LockId(Lock) + 1; }
+};
+
+/// Knobs of the generator.
+struct TraceGenOptions {
+  uint64_t Seed = 1;
+  /// Total tasks including the root.
+  uint32_t NumTasks = 8;
+  uint32_t NumLocations = 4;
+  uint32_t NumLocks = 2;
+  /// Accesses (plus lock blocks/syncs) per task, uniform in this range.
+  uint32_t MinOpsPerTask = 4;
+  uint32_t MaxOpsPerTask = 12;
+  /// Probability that an access is a write.
+  double WriteFraction = 0.5;
+  /// Probability that a generated unit is a critical section (1-3 accesses
+  /// under a lock) instead of a bare access.
+  double LockedFraction = 0.3;
+  /// Probability of a sync after each top-level unit.
+  double SyncFraction = 0.1;
+};
+
+/// Generates a random program. Deterministic in Opts.Seed.
+GenProgram generateProgram(const TraceGenOptions &Opts);
+
+/// Linearizes \p Program depth-first: each child runs to completion at its
+/// spawn point (the schedule of a single-worker execution).
+Trace linearizeSerial(const GenProgram &Program);
+
+/// Linearizes \p Program under a randomized scheduler: at every step a
+/// random eligible task executes one operation; Acquire blocks while
+/// another task owns the lock, sync blocks until the children complete.
+/// Deterministic in \p Seed.
+Trace linearizeRandom(const GenProgram &Program, uint64_t Seed);
+
+} // namespace avc
+
+#endif // AVC_TRACE_TRACEGENERATOR_H

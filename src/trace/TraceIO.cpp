@@ -1,0 +1,141 @@
+//===- trace/TraceIO.cpp - Text serialization of traces -------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+using namespace avc;
+
+const char *avc::traceEventKindName(TraceEventKind Kind) {
+  switch (Kind) {
+  case TraceEventKind::ProgramStart:
+    return "start";
+  case TraceEventKind::ProgramEnd:
+    return "stop";
+  case TraceEventKind::TaskSpawn:
+    return "spawn";
+  case TraceEventKind::TaskEnd:
+    return "end";
+  case TraceEventKind::Sync:
+    return "sync";
+  case TraceEventKind::GroupWait:
+    return "wait";
+  case TraceEventKind::LockAcquire:
+    return "acq";
+  case TraceEventKind::LockRelease:
+    return "rel";
+  case TraceEventKind::Read:
+    return "rd";
+  case TraceEventKind::Write:
+    return "wr";
+  }
+  return "<invalid>";
+}
+
+std::string avc::traceToText(const Trace &Events) {
+  std::string Out;
+  char Line[128];
+  for (const TraceEvent &Event : Events) {
+    switch (Event.Kind) {
+    case TraceEventKind::ProgramStart:
+      std::snprintf(Line, sizeof(Line), "start %u\n", Event.Task);
+      break;
+    case TraceEventKind::ProgramEnd:
+      std::snprintf(Line, sizeof(Line), "stop\n");
+      break;
+    case TraceEventKind::TaskSpawn:
+      std::snprintf(Line, sizeof(Line), "spawn %u %" PRIu64 " %" PRIu64 "\n",
+                    Event.Task, Event.Arg1, Event.Arg2);
+      break;
+    case TraceEventKind::TaskEnd:
+      std::snprintf(Line, sizeof(Line), "end %u\n", Event.Task);
+      break;
+    case TraceEventKind::Sync:
+      std::snprintf(Line, sizeof(Line), "sync %u\n", Event.Task);
+      break;
+    case TraceEventKind::GroupWait:
+      std::snprintf(Line, sizeof(Line), "wait %u %" PRIu64 "\n", Event.Task,
+                    Event.Arg1);
+      break;
+    case TraceEventKind::LockAcquire:
+      std::snprintf(Line, sizeof(Line), "acq %u %#" PRIx64 "\n", Event.Task,
+                    Event.Arg1);
+      break;
+    case TraceEventKind::LockRelease:
+      std::snprintf(Line, sizeof(Line), "rel %u %#" PRIx64 "\n", Event.Task,
+                    Event.Arg1);
+      break;
+    case TraceEventKind::Read:
+      std::snprintf(Line, sizeof(Line), "rd %u %#" PRIx64 "\n", Event.Task,
+                    Event.Arg1);
+      break;
+    case TraceEventKind::Write:
+      std::snprintf(Line, sizeof(Line), "wr %u %#" PRIx64 "\n", Event.Task,
+                    Event.Arg1);
+      break;
+    }
+    Out += Line;
+  }
+  return Out;
+}
+
+std::optional<Trace> avc::traceFromText(const std::string &Text,
+                                        size_t *ErrorLine) {
+  Trace Events;
+  std::istringstream Stream(Text);
+  std::string Line;
+  size_t LineNo = 0;
+
+  auto Fail = [&]() -> std::optional<Trace> {
+    if (ErrorLine)
+      *ErrorLine = LineNo;
+    return std::nullopt;
+  };
+
+  while (std::getline(Stream, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+
+    char Mnemonic[16] = {0};
+    unsigned Task = 0;
+    uint64_t Arg1 = 0, Arg2 = 0;
+    int Fields = std::sscanf(Line.c_str(), "%15s %u %" SCNi64 " %" SCNi64,
+                             Mnemonic, &Task, &Arg1, &Arg2);
+    TraceEvent Event;
+    Event.Task = Task;
+    Event.Arg1 = Arg1;
+    Event.Arg2 = Arg2;
+    if (std::strcmp(Mnemonic, "start") == 0 && Fields >= 2)
+      Event.Kind = TraceEventKind::ProgramStart;
+    else if (std::strcmp(Mnemonic, "stop") == 0 && Fields >= 1)
+      Event.Kind = TraceEventKind::ProgramEnd;
+    else if (std::strcmp(Mnemonic, "spawn") == 0 && Fields >= 3)
+      Event.Kind = TraceEventKind::TaskSpawn;
+    else if (std::strcmp(Mnemonic, "end") == 0 && Fields >= 2)
+      Event.Kind = TraceEventKind::TaskEnd;
+    else if (std::strcmp(Mnemonic, "sync") == 0 && Fields >= 2)
+      Event.Kind = TraceEventKind::Sync;
+    else if (std::strcmp(Mnemonic, "wait") == 0 && Fields >= 3)
+      Event.Kind = TraceEventKind::GroupWait;
+    else if (std::strcmp(Mnemonic, "acq") == 0 && Fields >= 3)
+      Event.Kind = TraceEventKind::LockAcquire;
+    else if (std::strcmp(Mnemonic, "rel") == 0 && Fields >= 3)
+      Event.Kind = TraceEventKind::LockRelease;
+    else if (std::strcmp(Mnemonic, "rd") == 0 && Fields >= 3)
+      Event.Kind = TraceEventKind::Read;
+    else if (std::strcmp(Mnemonic, "wr") == 0 && Fields >= 3)
+      Event.Kind = TraceEventKind::Write;
+    else
+      return Fail();
+    Events.push_back(Event);
+  }
+  return Events;
+}

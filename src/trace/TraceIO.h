@@ -1,0 +1,47 @@
+//===- trace/TraceIO.h - Text serialization of traces ----------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-text trace format, one event per line:
+///
+///   start <task>
+///   spawn <task> <child> <group>
+///   end <task>
+///   sync <task>
+///   wait <task> <group>
+///   acq <task> <lock>
+///   rel <task> <lock>
+///   rd <task> <addr>
+///   wr <task> <addr>
+///   stop
+///
+/// Addresses and locks print in hex. Lines starting with '#' and blank
+/// lines are ignored on parse. Used by the trace explorer example and for
+/// persisting generator output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_TRACE_TRACEIO_H
+#define AVC_TRACE_TRACEIO_H
+
+#include <optional>
+#include <string>
+
+#include "trace/TraceEvent.h"
+
+namespace avc {
+
+/// Serializes \p Events to the text format.
+std::string traceToText(const Trace &Events);
+
+/// Parses the text format. Returns std::nullopt and sets \p ErrorLine (when
+/// non-null, 1-based) on malformed input.
+std::optional<Trace> traceFromText(const std::string &Text,
+                                   size_t *ErrorLine = nullptr);
+
+} // namespace avc
+
+#endif // AVC_TRACE_TRACEIO_H

@@ -1,0 +1,73 @@
+//===- trace/TraceRecorder.cpp - Observer that records traces -------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceRecorder.h"
+
+#include <mutex>
+
+using namespace avc;
+
+TraceRecorder::~TraceRecorder() = default;
+
+void TraceRecorder::append(TraceEvent Event) {
+  std::lock_guard<SpinLock> Guard(Lock);
+  Events.push_back(Event);
+}
+
+uint64_t TraceRecorder::groupIdFor(const void *GroupTag) {
+  if (!GroupTag)
+    return 0;
+  // Called with Lock *not* held; group ids are only created on spawn and
+  // wait events, which are rare next to accesses.
+  std::lock_guard<SpinLock> Guard(Lock);
+  auto [It, Inserted] = GroupIds.try_emplace(GroupTag, NextGroupId);
+  if (Inserted)
+    ++NextGroupId;
+  return It->second;
+}
+
+void TraceRecorder::onProgramStart(TaskId RootTask) {
+  append({TraceEventKind::ProgramStart, RootTask, 0, 0});
+}
+
+void TraceRecorder::onProgramEnd() {
+  append({TraceEventKind::ProgramEnd, 0, 0, 0});
+}
+
+void TraceRecorder::onTaskSpawn(TaskId Parent, const void *GroupTag,
+                                TaskId Child) {
+  uint64_t Group = groupIdFor(GroupTag);
+  append({TraceEventKind::TaskSpawn, Parent, Child, Group});
+}
+
+void TraceRecorder::onTaskEnd(TaskId Task) {
+  append({TraceEventKind::TaskEnd, Task, 0, 0});
+}
+
+void TraceRecorder::onSync(TaskId Task) {
+  append({TraceEventKind::Sync, Task, 0, 0});
+}
+
+void TraceRecorder::onGroupWait(TaskId Task, const void *GroupTag) {
+  uint64_t Group = groupIdFor(GroupTag);
+  append({TraceEventKind::GroupWait, Task, Group, 0});
+}
+
+void TraceRecorder::onLockAcquire(TaskId Task, LockId Lock) {
+  append({TraceEventKind::LockAcquire, Task, Lock, 0});
+}
+
+void TraceRecorder::onLockRelease(TaskId Task, LockId Lock) {
+  append({TraceEventKind::LockRelease, Task, Lock, 0});
+}
+
+void TraceRecorder::onRead(TaskId Task, MemAddr Addr) {
+  append({TraceEventKind::Read, Task, Addr, 0});
+}
+
+void TraceRecorder::onWrite(TaskId Task, MemAddr Addr) {
+  append({TraceEventKind::Write, Task, Addr, 0});
+}

@@ -1,0 +1,58 @@
+//===- trace/TraceRecorder.h - Observer that records traces ----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An ExecutionObserver that appends every event to a trace. The recorder
+/// serializes concurrent events with a lock, producing one valid
+/// linearization of the run (per-task order is preserved, which is all the
+/// checkers require).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_TRACE_TRACERECORDER_H
+#define AVC_TRACE_TRACERECORDER_H
+
+#include <unordered_map>
+
+#include "runtime/ExecutionObserver.h"
+#include "support/SpinLock.h"
+#include "trace/TraceEvent.h"
+
+namespace avc {
+
+/// Records the event stream of a run.
+class TraceRecorder : public ExecutionObserver {
+public:
+  TraceRecorder() = default;
+  ~TraceRecorder() override;
+
+  void onProgramStart(TaskId RootTask) override;
+  void onProgramEnd() override;
+  void onTaskSpawn(TaskId Parent, const void *GroupTag, TaskId Child) override;
+  void onTaskEnd(TaskId Task) override;
+  void onSync(TaskId Task) override;
+  void onGroupWait(TaskId Task, const void *GroupTag) override;
+  void onLockAcquire(TaskId Task, LockId Lock) override;
+  void onLockRelease(TaskId Task, LockId Lock) override;
+  void onRead(TaskId Task, MemAddr Addr) override;
+  void onWrite(TaskId Task, MemAddr Addr) override;
+
+  /// The recorded trace (valid once the run has finished).
+  const Trace &trace() const { return Events; }
+
+private:
+  void append(TraceEvent Event);
+  uint64_t groupIdFor(const void *GroupTag);
+
+  SpinLock Lock;
+  Trace Events;
+  std::unordered_map<const void *, uint64_t> GroupIds;
+  uint64_t NextGroupId = 1;
+};
+
+} // namespace avc
+
+#endif // AVC_TRACE_TRACERECORDER_H

@@ -1,0 +1,64 @@
+//===- trace/TraceReplayer.cpp - Feed traces into observers ---------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceReplayer.h"
+
+#include "support/Compiler.h"
+
+using namespace avc;
+
+void avc::replayTrace(const Trace &Events,
+                      const std::vector<ExecutionObserver *> &Observers) {
+  // Group ids are small dense integers; turn each into a distinct pointer
+  // by indexing into a static-lifetime-free dummy block: the values only
+  // need to be distinct and stable during this replay.
+  auto TagFor = [](uint64_t GroupId) -> const void * {
+    return GroupId == 0 ? nullptr
+                        : reinterpret_cast<const void *>(GroupId);
+  };
+
+  for (const TraceEvent &Event : Events) {
+    for (ExecutionObserver *Obs : Observers) {
+      switch (Event.Kind) {
+      case TraceEventKind::ProgramStart:
+        Obs->onProgramStart(Event.Task);
+        break;
+      case TraceEventKind::ProgramEnd:
+        Obs->onProgramEnd();
+        break;
+      case TraceEventKind::TaskSpawn:
+        Obs->onTaskSpawn(Event.Task, TagFor(Event.Arg2),
+                         static_cast<TaskId>(Event.Arg1));
+        break;
+      case TraceEventKind::TaskEnd:
+        Obs->onTaskEnd(Event.Task);
+        break;
+      case TraceEventKind::Sync:
+        Obs->onSync(Event.Task);
+        break;
+      case TraceEventKind::GroupWait:
+        Obs->onGroupWait(Event.Task, TagFor(Event.Arg1));
+        break;
+      case TraceEventKind::LockAcquire:
+        Obs->onLockAcquire(Event.Task, Event.Arg1);
+        break;
+      case TraceEventKind::LockRelease:
+        Obs->onLockRelease(Event.Task, Event.Arg1);
+        break;
+      case TraceEventKind::Read:
+        Obs->onRead(Event.Task, Event.Arg1);
+        break;
+      case TraceEventKind::Write:
+        Obs->onWrite(Event.Task, Event.Arg1);
+        break;
+      }
+    }
+  }
+}
+
+void avc::replayTrace(const Trace &Events, ExecutionObserver &Observer) {
+  replayTrace(Events, std::vector<ExecutionObserver *>{&Observer});
+}

@@ -1,0 +1,35 @@
+//===- trace/TraceReplayer.h - Feed traces into observers ------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays a linearized trace into one or more ExecutionObservers — the
+/// offline mode of the checkers. Replay is sequential; the observers see
+/// the same event order every time, which makes trace-driven tests
+/// deterministic regardless of scheduler behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_TRACE_TRACEREPLAYER_H
+#define AVC_TRACE_TRACEREPLAYER_H
+
+#include <vector>
+
+#include "runtime/ExecutionObserver.h"
+#include "trace/TraceEvent.h"
+
+namespace avc {
+
+/// Replays \p Events into \p Observers in order. Group ids are translated
+/// to stable distinct pointers (id 0 becomes the implicit nullptr tag).
+void replayTrace(const Trace &Events,
+                 const std::vector<ExecutionObserver *> &Observers);
+
+/// Convenience overload for a single observer.
+void replayTrace(const Trace &Events, ExecutionObserver &Observer);
+
+} // namespace avc
+
+#endif // AVC_TRACE_TRACEREPLAYER_H

@@ -1,0 +1,59 @@
+//===- workloads/Bodytrack.cpp - Particle filter over frames --------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PARSEC bodytrack analogue: a particle filter that re-weights a small set
+/// of particles frame after frame. Few tracked locations (the particle
+/// weights) but many task-management constructs (one parallel_for per
+/// frame), and the sequential normalization step of each frame re-reads
+/// weights written by the frame's parallel steps — the Table 1 row with
+/// ~5K locations and a modest number of LCA queries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "instrument/Tracked.h"
+#include "runtime/Parallel.h"
+#include "workloads/WorkloadCommon.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+void avc::workloads::runBodytrack(double Scale) {
+  const size_t NumParticles = scaled(800, Scale, 16);
+  const size_t NumFrames = scaled(40, Scale, 2);
+  TrackedArray<double> Weight(NumParticles);
+
+  for (size_t I = 0; I < NumParticles; ++I)
+    Weight[I].rawStore(1.0 / static_cast<double>(NumParticles));
+
+  for (size_t Frame = 0; Frame < NumFrames; ++Frame) {
+    // Parallel likelihood evaluation: each step reads and rewrites a slice
+    // of weights (read-write patterns within one step). Resampling shifts
+    // the particle-to-worker assignment every frame, so a particle's
+    // consecutive-frame steps are unrelated.
+    size_t Offset = (Frame * 97) % NumParticles;
+    parallelFor<size_t>(0, NumParticles, 1, [&, Frame, Offset](size_t Lo,
+                                                               size_t Hi) {
+      for (size_t L = Lo; L < Hi; ++L) {
+        size_t I = (L + Offset) % NumParticles;
+        double Old = Weight[I].load();
+        double Likelihood =
+            burnFlops(Old + hashToUnit(Frame * NumParticles + I), 32);
+        Weight[I].store(Old * (0.5 + Likelihood));
+      }
+    });
+
+    // Sequential normalization by the parent step: re-reads every weight
+    // written by the frame's (now joined) steps, then rescales.
+    double Total = 0.0;
+    for (size_t I = 0; I < NumParticles; ++I)
+      Total += Weight[I].load();
+    double Inv = Total > 0.0 ? 1.0 / Total : 1.0;
+    for (size_t I = 0; I < NumParticles; ++I)
+      Weight[I].store(Weight[I].load() * Inv);
+  }
+}

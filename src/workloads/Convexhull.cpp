@@ -1,0 +1,63 @@
+//===- workloads/Convexhull.cpp - Recursive quickhull ---------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PBBS convexhull analogue: quickhull-style recursive divide-and-conquer
+/// over a point set. Deep spawn recursion (a large DPST), tracked reads of
+/// the point coordinates in the leaves, and a lock-protected tracked hull
+/// accumulator shared by all leaves.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "instrument/Tracked.h"
+#include "runtime/Mutex.h"
+#include "runtime/TaskRuntime.h"
+#include "workloads/WorkloadCommon.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+namespace {
+
+struct HullState {
+  TrackedArray<double> PointX;
+  Tracked<double> HullArea;
+  Mutex HullLock;
+
+  explicit HullState(size_t NumPoints) : PointX(NumPoints) {}
+};
+
+/// Recursively partitions [Lo, Hi); leaves scan their points and fold the
+/// local extreme into the shared accumulator under the hull lock.
+void solveRange(HullState &State, size_t Lo, size_t Hi, size_t Leaf) {
+  if (Hi - Lo <= Leaf) {
+    double Extreme = -1.0;
+    for (size_t I = Lo; I < Hi; ++I) {
+      double X = State.PointX[I].load();
+      double Score = burnFlops(X, 10);
+      Extreme = Score > Extreme ? Score : Extreme;
+    }
+    MutexGuard Guard(State.HullLock);
+    State.HullArea.store(State.HullArea.load() + Extreme);
+    return;
+  }
+  size_t Mid = Lo + (Hi - Lo) / 2;
+  TaskGroup Group;
+  Group.run([&State, Mid, Hi, Leaf] { solveRange(State, Mid, Hi, Leaf); });
+  solveRange(State, Lo, Mid, Leaf);
+  Group.wait();
+}
+
+} // namespace
+
+void avc::workloads::runConvexhull(double Scale) {
+  const size_t NumPoints = scaled(120000, Scale, 128);
+  HullState State(NumPoints);
+  for (size_t I = 0; I < NumPoints; ++I)
+    State.PointX[I].rawStore(hashToUnit(I) * 2.0 - 1.0);
+  solveRange(State, 0, NumPoints, 64);
+}

@@ -1,0 +1,67 @@
+//===- workloads/Delrefine.cpp - Delaunay refinement worklist -------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PBBS delrefine analogue: repeated parallel sweeps over a triangle
+/// quality array; "bad" triangles and a neighbour are repaired under a
+/// region lock. The same tracked locations are revisited by new steps every
+/// round, producing the high LCA-query count of the Table 1 row.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <memory>
+
+#include "instrument/Tracked.h"
+#include "runtime/Mutex.h"
+#include "runtime/Parallel.h"
+#include "workloads/WorkloadCommon.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+void avc::workloads::runDelrefine(double Scale) {
+  const size_t NumTriangles = scaled(20000, Scale, 128);
+  const size_t NumRegions = 64;
+  const size_t NumRounds = 8;
+  const size_t RegionSize = (NumTriangles + NumRegions - 1) / NumRegions;
+
+  TrackedArray<double> Quality(NumTriangles);
+  auto RegionLocks = std::make_unique<Mutex[]>(NumRegions);
+
+  for (size_t I = 0; I < NumTriangles; ++I)
+    Quality[I].rawStore(hashToUnit(I));
+
+  for (size_t Round = 0; Round < NumRounds; ++Round) {
+    // The worklist is re-packed every round, shifting the triangle-to-
+    // worker assignment so re-visits pair fresh step combinations.
+    size_t Stride = coprimeStride(Round * 2473 + 5, NumTriangles);
+    parallelFor<size_t>(0, NumTriangles, 64, [&, Round, Stride](size_t Lo,
+                                                                size_t Hi) {
+      for (size_t L = Lo; L < Hi; ++L) {
+        size_t T = (L * Stride) % NumTriangles;
+        // The quality test and the repair must sit in one critical
+        // section: a neighbouring repair can rewrite Quality[T] at any
+        // time, and a check outside the lock would be the classic
+        // check-then-act atomicity bug (the checker flags it).
+        size_t Region = T / RegionSize;
+        size_t Neighbour = T + 1 < (Region + 1) * RegionSize &&
+                                   T + 1 < NumTriangles
+                               ? T + 1
+                               : T;
+        MutexGuard Guard(RegionLocks[Region]);
+        double Q = Quality[T].load();
+        if (Q + burnFlops(Q, 10) * 1e-12 >= 0.25) // well shaped
+          continue;
+        Quality[T].store(burnFlops(Q + 0.5, 20));
+        if (Neighbour != T) {
+          double NQ = Quality[Neighbour].load();
+          Quality[Neighbour].store(NQ * 0.5 + 0.5);
+        }
+      }
+    });
+  }
+}

@@ -1,0 +1,60 @@
+//===- workloads/Deltriang.cpp - Incremental Delaunay triangulation -------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PBBS deltriang analogue: vertices are inserted in sequential batches;
+/// each batch triangulates its vertices in parallel, writing fresh tracked
+/// triangle records (locations mostly touched once) while consulting a
+/// handful of shared tracked mesh roots — the Table 1 row with many
+/// locations but relatively few LCA queries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "instrument/Tracked.h"
+#include "runtime/Parallel.h"
+#include "workloads/WorkloadCommon.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+void avc::workloads::runDeltriang(double Scale) {
+  const size_t NumVertices = scaled(40000, Scale, 256);
+  const size_t NumBatches = 20;
+  const size_t NumRoots = 4;
+  const size_t BatchSize = NumVertices / NumBatches;
+
+  TrackedArray<double> Triangles(NumVertices * 2);
+  TrackedArray<double> MeshRoots(NumRoots);
+
+  for (size_t I = 0; I < NumRoots; ++I)
+    MeshRoots[I].rawStore(hashToUnit(I));
+
+  for (size_t Batch = 0; Batch < NumBatches; ++Batch) {
+    size_t Begin = Batch * BatchSize;
+    size_t End = Batch + 1 == NumBatches ? NumVertices : Begin + BatchSize;
+
+    parallelFor<size_t>(Begin, End, 128, [&](size_t Lo, size_t Hi) {
+      // The walk roots are read once per step (the real code caches the
+      // top of the mesh history DAG while inserting a batch).
+      double LocalRoots[8];
+      for (size_t R = 0; R < NumRoots; ++R)
+        LocalRoots[R] = MeshRoots[R].load();
+      for (size_t V = Lo; V < Hi; ++V) {
+        double Root = LocalRoots[V % NumRoots];
+        double Where = burnFlops(Root + hashToUnit(V), 14);
+        // ... and emit two fresh triangle records (write then read-write:
+        // the insertion fixes up the record it just created).
+        Triangles[V * 2].store(Where);
+        Triangles[V * 2 + 1].store(Triangles[V * 2].load() * 0.5);
+      }
+    });
+
+    // The sequential parent advances the mesh roots between batches.
+    for (size_t I = 0; I < NumRoots; ++I)
+      MeshRoots[I].store(MeshRoots[I].load() + 1.0);
+  }
+}

@@ -1,0 +1,88 @@
+//===- workloads/Karatsuba.cpp - Recursive big-number multiply ------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Structured Parallel Programming karatsuba analogue: the classic 3-way
+/// recursive multiplication. Each recursion level spawns two subproblems
+/// and computes the third inline; leaves read tracked digit ranges and
+/// write (then carry-fix, i.e. re-read and rewrite) tracked result digits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "instrument/Tracked.h"
+#include "runtime/TaskRuntime.h"
+#include "workloads/WorkloadCommon.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+namespace {
+
+struct KaratsubaState {
+  TrackedArray<double> DigitsA;
+  TrackedArray<double> DigitsB;
+  TrackedArray<double> Result;
+
+  explicit KaratsubaState(size_t NumDigits)
+      : DigitsA(NumDigits), DigitsB(NumDigits), Result(NumDigits * 2) {}
+};
+
+/// Multiplies the digit range [Lo, Hi) of A and B into Result[2*Lo ...).
+void multiplyRange(KaratsubaState &State, size_t Lo, size_t Hi,
+                   size_t Leaf) {
+  if (Hi - Lo <= Leaf) {
+    // Schoolbook leaf: one pass reading inputs, one pass writing partial
+    // products, one carry pass re-reading and rewriting them.
+    for (size_t I = Lo; I < Hi; ++I) {
+      double A = State.DigitsA[I].load();
+      double B = State.DigitsB[I].load();
+      State.Result[2 * I].store(burnFlops(A * B, 26));
+    }
+    for (size_t I = Lo; I < Hi; ++I) {
+      double Partial = State.Result[2 * I].load();
+      State.Result[2 * I + 1].store(Partial * 0.1 + burnFlops(Partial, 20) * 1e-12);
+    }
+    return;
+  }
+  size_t Third = (Hi - Lo) / 3;
+  TaskGroup Group;
+  Group.run([&State, Lo, Third, Leaf] {
+    multiplyRange(State, Lo, Lo + Third, Leaf);
+  });
+  Group.run([&State, Lo, Third, Leaf] {
+    multiplyRange(State, Lo + Third, Lo + 2 * Third, Leaf);
+  });
+  multiplyRange(State, Lo + 2 * Third, Hi, Leaf);
+  Group.wait();
+
+  // Karatsuba's recombination: the parent samples digits across the whole
+  // child range (the shifted additions touch every leaf's output), re-
+  // reading and rewriting what the now-joined child steps produced. These
+  // cross-step accesses are where the real benchmark's LCA queries come
+  // from, and each probe pairs the parent with a different leaf step.
+  size_t Span = Hi - Lo;
+  for (size_t K = 0; K < 32; ++K) {
+    size_t I = Lo + (K * Span) / 32 + static_cast<size_t>(hashToUnit(Lo * 31 + K) * static_cast<double>(Span / 32 ? Span / 32 : 1));
+    if (I >= Hi)
+      I = Hi - 1;
+    double Low = State.Result[2 * I].load();
+    double High = State.Result[2 * I + 1].load();
+    State.Result[2 * I].store(Low + High * 0.1);
+  }
+}
+
+} // namespace
+
+void avc::workloads::runKaratsuba(double Scale) {
+  const size_t NumDigits = scaled(30000, Scale, 81);
+  KaratsubaState State(NumDigits);
+  for (size_t I = 0; I < NumDigits; ++I) {
+    State.DigitsA[I].rawStore(hashToUnit(I * 2));
+    State.DigitsB[I].rawStore(hashToUnit(I * 2 + 1));
+  }
+  multiplyRange(State, 0, NumDigits, 128);
+}

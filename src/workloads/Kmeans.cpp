@@ -1,0 +1,101 @@
+//===- workloads/Kmeans.cpp - Iterative clustering ------------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Structured Parallel Programming kmeans analogue. Every iteration
+/// re-reads and rewrites the tracked per-point feature vector; the points
+/// are visited in an iteration-dependent coprime-stride permutation (work
+/// stealing and repartitioning shuffle point-to-worker assignment in the
+/// real benchmark), so the (previous step, current step) pairs the checker
+/// queries rarely repeat — the Table 1 kmeans row with the largest LCA
+/// query count and one of the highest unique fractions (18.29M queries,
+/// 84% unique), which is why kmeans benefits least from LCA caching.
+///
+/// The per-chunk partial sums are deliberately *unannotated* (a plain
+/// buffer under a lock): the paper's model tracks only locations the
+/// programmer marked, and reduction scratch that is trivially protected is
+/// the canonical thing one leaves unannotated. A tracked, lock-protected
+/// progress counter keeps the lockset machinery exercised.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <vector>
+
+#include "instrument/Tracked.h"
+#include "runtime/Mutex.h"
+#include "runtime/Parallel.h"
+#include "workloads/WorkloadCommon.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+void avc::workloads::runKmeans(double Scale) {
+  const size_t NumPoints = scaled(24000, Scale, 256);
+  const size_t NumClusters = 12;
+  const size_t Dims = 4;
+  const size_t NumIters = 8;
+
+  TrackedArray<double> Features(NumPoints); // folded per-point feature
+  // The centroid table is only written while the workers are joined, so
+  // it needs no atomicity annotation; the per-point features are the
+  // annotated shared state (the paper's model tracks annotated locations
+  // only).
+  std::vector<double> Centroids(NumClusters * Dims);
+  Tracked<double> Progress;
+  std::vector<double> Sums(NumClusters * Dims, 0.0); // unannotated scratch
+  Mutex SumLock;
+
+  for (size_t I = 0; I < Centroids.size(); ++I)
+    Centroids[I] = hashToUnit(I);
+  for (size_t P = 0; P < NumPoints; ++P)
+    Features[P].rawStore(hashToUnit(P * 977));
+
+  for (size_t Iter = 0; Iter < NumIters; ++Iter) {
+    for (double &Sum : Sums)
+      Sum = 0.0;
+    const size_t Stride = coprimeStride(Iter * 7919 + 3, NumPoints);
+
+    parallelFor<size_t>(0, NumPoints, 64, [&, Stride](size_t Lo,
+                                                      size_t Hi) {
+      double Partial[48] = {0.0}; // NumClusters * Dims, untracked scratch
+      for (size_t L = Lo; L < Hi; ++L) {
+        size_t P = (L * Stride) % NumPoints;
+        double Feature = Features[P].load();
+        // Affinity smoothing reads the neighbouring point's feature; the
+        // neighbour is owned by an unrelated parallel step (the stride
+        // scatters ownership), so every feature location has two parallel
+        // readers per round — a read of the latest value is racy but
+        // serializable (RRW), not an atomicity violation.
+        double Neighbour = Features[(P + 1) % NumPoints].load();
+        Feature += 1e-12 * Neighbour;
+        size_t Candidate =
+            static_cast<size_t>(hashToUnit(P + Iter) * NumClusters) %
+            NumClusters;
+        double Dist = 0.0;
+        for (size_t D = 0; D < Dims; ++D) {
+          double Coord = Centroids[Candidate * Dims + D];
+          double Delta = Coord - Feature * hashToUnit(P * Dims + D);
+          Dist += Delta * Delta + burnFlops(Delta, 4) * 1e-12;
+        }
+        Features[P].store(Feature * 0.9 + 0.1 * Dist);
+        for (size_t D = 0; D < Dims; ++D)
+          Partial[Candidate * Dims + D] += Feature;
+      }
+      // Fold the chunk's partial sums under the lock; the tracked progress
+      // counter is updated in the same critical section (atomic by lock).
+      MutexGuard Guard(SumLock);
+      for (size_t I = 0; I < NumClusters * Dims; ++I)
+        Sums[I] += Partial[I];
+      Progress.store(Progress.load() + 1.0);
+    });
+
+    // Sequential recenter.
+    for (size_t I = 0; I < Centroids.size(); ++I)
+      Centroids[I] = 0.5 * Centroids[I] +
+                     0.5 * Sums[I] / static_cast<double>(NumPoints);
+  }
+}

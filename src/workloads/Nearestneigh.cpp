@@ -1,0 +1,87 @@
+//===- workloads/Nearestneigh.cpp - kd-tree nearest neighbours ------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PBBS nearestneigh analogue: a kd-tree-like structure is built by
+/// recursive parallel splitting (each split writes one tracked record),
+/// then a parallel query phase walks the shared tracked splits — queries by
+/// many parallel steps against data written by the (serial) build steps.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "instrument/Tracked.h"
+#include "runtime/Parallel.h"
+#include "runtime/TaskRuntime.h"
+#include "workloads/WorkloadCommon.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+namespace {
+
+struct KdState {
+  TrackedArray<double> Splits;
+  size_t NumSplits;
+
+  explicit KdState(size_t NumSplits)
+      : Splits(NumSplits), NumSplits(NumSplits) {}
+};
+
+/// Builds the implicit tree node \p Node (heap order), spawning children.
+void buildNode(KdState &State, size_t Node, size_t Depth) {
+  if (Node >= State.NumSplits)
+    return;
+  State.Splits[Node].store(burnFlops(hashToUnit(Node), 8));
+  if (Depth > 3) { // deep levels build serially, as PBBS does
+    buildNode(State, 2 * Node + 1, Depth + 1);
+    buildNode(State, 2 * Node + 2, Depth + 1);
+    return;
+  }
+  TaskGroup Group;
+  Group.run([&State, Node, Depth] {
+    buildNode(State, 2 * Node + 1, Depth + 1);
+  });
+  buildNode(State, 2 * Node + 2, Depth + 1);
+  Group.wait();
+}
+
+} // namespace
+
+void avc::workloads::runNearestneigh(double Scale) {
+  const size_t NumSplits = scaled(4095, Scale, 63);
+  const size_t NumQueries = scaled(30000, Scale, 64);
+  KdState State(NumSplits);
+
+  buildNode(State, 0, 0);
+
+  TrackedArray<double> Answers(NumQueries);
+  constexpr size_t CachedTop = 127; // top 7 levels, cached per step
+  parallelFor<size_t>(0, NumQueries, 64, [&](size_t Lo, size_t Hi) {
+    // The hot top of the tree is read once per step (any real traversal
+    // keeps it in cache); deeper nodes are probed per query, and each
+    // query's path is distinct, pairing the step with varied builders.
+    double Top[CachedTop];
+    size_t TopCount =
+        State.NumSplits < CachedTop ? State.NumSplits : CachedTop;
+    for (size_t I = 0; I < TopCount; ++I)
+      Top[I] = State.Splits[I].load();
+    for (size_t Q = Lo; Q < Hi; ++Q) {
+      size_t Node = 0;
+      double Key = hashToUnit(Q);
+      double Best = 1e30;
+      while (Node < State.NumSplits) {
+        double Split =
+            Node < TopCount ? Top[Node] : State.Splits[Node].load();
+        double Dist = (Key > Split ? Key - Split : Split - Key) +
+                      burnFlops(Split, 2) * 1e-12;
+        Best = Dist < Best ? Dist : Best;
+        Node = Key < Split ? 2 * Node + 1 : 2 * Node + 2;
+      }
+      Answers[Q].store(burnFlops(Best, 12));
+    }
+  });
+}

@@ -1,0 +1,68 @@
+//===- workloads/Raycast.cpp - Ray-triangle casting -----------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PBBS raycast analogue: batches of rays traverse a large tracked
+/// triangle soup, each ray probing a pseudo-random subset; between batches
+/// a sequential refit pass rewrites a sliver of the triangles. Any given
+/// triangle is touched by few, essentially random ray steps, so the
+/// (step, step) pairs the checker queries almost never repeat — the
+/// Table 1 row with the highest unique-LCA fraction (91%), which defeats
+/// the LCA cache and makes raycast one of the most expensive benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "instrument/Tracked.h"
+#include "runtime/Parallel.h"
+#include "workloads/WorkloadCommon.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+void avc::workloads::runRaycast(double Scale) {
+  const size_t NumTriangles = scaled(48000, Scale, 64);
+  const size_t NumRays = scaled(60000, Scale, 128);
+  const size_t NumBatches = 4;
+  const size_t TrianglesPerRay = 6;
+  const size_t RaysPerBatch = NumRays / NumBatches;
+
+  TrackedArray<double> Triangles(NumTriangles);
+  TrackedArray<double> Hits(NumRays);
+
+  for (size_t I = 0; I < NumTriangles; ++I)
+    Triangles[I].rawStore(hashToUnit(I));
+
+  for (size_t Batch = 0; Batch < NumBatches; ++Batch) {
+    size_t Begin = Batch * RaysPerBatch;
+    size_t End = Batch + 1 == NumBatches ? NumRays : Begin + RaysPerBatch;
+
+    parallelFor<size_t>(Begin, End, 64, [&](size_t Lo, size_t Hi) {
+      for (size_t Ray = Lo; Ray < Hi; ++Ray) {
+        double Nearest = 1e30;
+        for (size_t K = 0; K < TrianglesPerRay; ++K) {
+          size_t T = static_cast<size_t>(
+              hashToUnit(Ray * TrianglesPerRay + K) *
+              static_cast<double>(NumTriangles));
+          if (T >= NumTriangles)
+            T = NumTriangles - 1;
+          double Plane = Triangles[T].load();
+          double Dist = burnFlops(Plane + hashToUnit(Ray), 8);
+          Nearest = Dist < Nearest ? Dist : Nearest;
+        }
+        Hits[Ray].store(Nearest);
+      }
+    });
+
+    // Sequential BVH refit between batches: rewrites a sliver of the soup
+    // so the next batch's reads pair against fresh writer steps.
+    size_t RefitBegin = (Batch * 131) % NumTriangles;
+    for (size_t I = 0; I < NumTriangles / 32; ++I) {
+      size_t T = (RefitBegin + I) % NumTriangles;
+      Triangles[T].store(Triangles[T].load() * 0.5 + 0.5);
+    }
+  }
+}

@@ -1,0 +1,69 @@
+//===- workloads/Streamcluster.cpp - Streaming k-median -------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PARSEC streamcluster analogue: points arrive in chunks; every chunk is
+/// assigned to the nearest median in parallel (all steps read the shared
+/// tracked median coordinates), then the medians are recentered
+/// sequentially. Shared read-mostly data plus per-point tracked outputs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "instrument/Tracked.h"
+#include "runtime/Parallel.h"
+#include "workloads/WorkloadCommon.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+void avc::workloads::runStreamcluster(double Scale) {
+  const size_t NumPoints = scaled(60000, Scale, 256);
+  const size_t NumChunks = 8;
+  const size_t NumMedians = 256; // streamcluster opens many local centers
+  const size_t Dims = 1;
+  const size_t ChunkSize = NumPoints / NumChunks;
+
+  TrackedArray<double> Medians(NumMedians * Dims);
+  TrackedArray<double> Cost(NumPoints);
+
+  for (size_t I = 0; I < Medians.size(); ++I)
+    Medians[I].rawStore(hashToUnit(I));
+
+  for (size_t Chunk = 0; Chunk < NumChunks; ++Chunk) {
+    size_t Begin = Chunk * ChunkSize;
+    size_t End = Chunk + 1 == NumChunks ? NumPoints : Begin + ChunkSize;
+
+    parallelFor<size_t>(Begin, End, 256, [&, Chunk](size_t Lo, size_t Hi) {
+      for (size_t I = Lo; I < Hi; ++I) {
+        // Evaluate the point against its candidate median (the real
+        // benchmark's gain computation compares against the currently
+        // assigned center, not all of them).
+        size_t M = static_cast<size_t>(hashToUnit(I + Chunk * 31) *
+                                       NumMedians) %
+                   NumMedians;
+        double Dist = 0.0;
+        for (size_t D = 0; D < Dims; ++D) {
+          double Coord = Medians[M * Dims + D].load();
+          double Delta = Coord - hashToUnit(I * Dims + D);
+          Dist += Delta * Delta + burnFlops(Delta, 16) * 1e-12;
+        }
+        Cost[I].store(burnFlops(Dist, 10));
+      }
+    });
+
+    // Sequential recenter between chunks: the parent rewrites the medians
+    // that the chunk's steps just read (write-after-parallel-reads, all in
+    // series once the group has joined).
+    for (size_t M = 0; M < NumMedians; ++M)
+      for (size_t D = 0; D < Dims; ++D) {
+        double Old = Medians[M * Dims + D].load();
+        Medians[M * Dims + D].store(Old * 0.9 +
+                                    0.1 * hashToUnit(Chunk * 131 + M * Dims +
+                                                     D));
+      }
+  }
+}

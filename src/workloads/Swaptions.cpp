@@ -1,0 +1,60 @@
+//===- workloads/Swaptions.cpp - HJM Monte-Carlo pricing ------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PARSEC swaptions analogue: nested parallelism (swaptions x Monte-Carlo
+/// trials) with per-trial tracked scratch that each trial writes and then
+/// re-reads — the Table 1 row with the largest DPST (fine-grained nested
+/// tasks) and many tracked locations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "instrument/Tracked.h"
+#include "runtime/Parallel.h"
+#include "workloads/WorkloadCommon.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+void avc::workloads::runSwaptions(double Scale) {
+  const size_t NumSwaptions = scaled(24, Scale, 2);
+  const size_t NumTrials = scaled(400, Scale, 8);
+  const size_t NumSteps = 8; // simulated HJM path length
+
+  TrackedArray<double> Params(NumSwaptions);       // shared, read by trials
+  TrackedArray<double> Scratch(NumSwaptions * NumTrials);
+  TrackedArray<double> Result(NumSwaptions);
+
+  for (size_t S = 0; S < NumSwaptions; ++S)
+    Params[S].rawStore(0.01 + 0.05 * hashToUnit(S));
+
+  parallelFor<size_t>(0, NumSwaptions, 1, [&](size_t SLo, size_t SHi) {
+    for (size_t S = SLo; S < SHi; ++S) {
+      parallelFor<size_t>(0, NumTrials, 8, [&, S](size_t TLo, size_t THi) {
+        for (size_t T = TLo; T < THi; ++T) {
+          // Every trial reads the shared swaption parameters (parallel
+          // reads of the same location across sibling trials).
+          double Rate = Params[S].load();
+          double Path = Rate;
+          for (size_t Step = 0; Step < NumSteps; ++Step)
+            Path = burnFlops(Path + hashToUnit((S * NumTrials + T) *
+                                               NumSteps + Step), 2);
+          // Write, then read-modify-write the trial's scratch slot: a
+          // write-read and a read-write pattern inside one step node.
+          Tracked<double> &Slot = Scratch[S * NumTrials + T];
+          Slot.store(Path);
+          Slot.store(Slot.load() * std::max(0.0, Path - Rate));
+        }
+      });
+      // Sequential payoff average over the trials just joined.
+      double Sum = 0.0;
+      for (size_t T = 0; T < NumTrials; ++T)
+        Sum += Scratch[S * NumTrials + T].load();
+      Result[S].store(Sum / static_cast<double>(NumTrials));
+    }
+  });
+}

@@ -1,0 +1,77 @@
+//===- workloads/WorkloadCommon.h - Shared kernel helpers ------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the benchmark kernels: deterministic input synthesis
+/// and a cheap transcendental-ish flop kernel that stands in for the real
+/// applications' per-element computation (the compute-to-tracked-access
+/// ratio is what positions the instrumentation overhead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_WORKLOADS_WORKLOADCOMMON_H
+#define AVC_WORKLOADS_WORKLOADCOMMON_H
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/Random.h"
+
+namespace avc {
+namespace workloads {
+
+/// Scales a default size, with a floor of \p Min.
+inline size_t scaled(size_t Default, double Scale, size_t Min = 1) {
+  double Value = static_cast<double>(Default) * Scale;
+  if (Value < static_cast<double>(Min))
+    return Min;
+  return static_cast<size_t>(Value);
+}
+
+/// A few dozen floating-point operations; the stand-in "real work" between
+/// tracked accesses. Returns a value derived from \p X so the compiler
+/// cannot elide the computation.
+inline double burnFlops(double X, unsigned Rounds = 4) {
+  double Acc = X;
+  for (unsigned I = 0; I < Rounds; ++I) {
+    Acc = Acc * 1.6180339887 + 0.5772156649;
+    Acc = Acc - static_cast<double>(static_cast<long long>(Acc));
+    Acc = Acc * Acc + 0.25;
+    Acc = Acc / (1.0 + Acc);
+  }
+  return Acc;
+}
+
+/// Deterministic pseudo-random double in [0, 1) from an index.
+inline double hashToUnit(uint64_t Index) {
+  SplitMix64 Rng(Index * 0x9e3779b97f4a7c15ULL + 1);
+  return Rng.nextDouble();
+}
+
+/// Smallest odd stride >= Seed coprime with N; L -> (L * Stride) % N is
+/// then a bijection on [0, N). The kernels use this to reshuffle the
+/// element-to-worker assignment between rounds, the way work stealing and
+/// repartitioning do in the real applications.
+inline size_t coprimeStride(size_t Seed, size_t N) {
+  size_t Stride = Seed | 1;
+  auto Gcd = [](size_t A, size_t B) {
+    while (B != 0) {
+      size_t T = A % B;
+      A = B;
+      B = T;
+    }
+    return A;
+  };
+  while (Gcd(Stride, N) != 1)
+    Stride += 2;
+  return Stride;
+}
+
+} // namespace workloads
+} // namespace avc
+
+#endif // AVC_WORKLOADS_WORKLOADCOMMON_H

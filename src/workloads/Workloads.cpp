@@ -1,0 +1,30 @@
+//===- workloads/Workloads.cpp - Benchmark registry ------------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace avc::workloads;
+
+const Workload *avc::workloads::allWorkloads(size_t &Count) {
+  // Table 1 order.
+  static const Workload Table[] = {
+      {"blackscholes", runBlackscholes},
+      {"bodytrack", runBodytrack},
+      {"streamcluster", runStreamcluster},
+      {"swaptions", runSwaptions},
+      {"fluidanimate", runFluidanimate},
+      {"convexhull", runConvexhull},
+      {"delrefine", runDelrefine},
+      {"deltriang", runDeltriang},
+      {"karatsuba", runKaratsuba},
+      {"kmeans", runKmeans},
+      {"nearestneigh", runNearestneigh},
+      {"raycast", runRaycast},
+      {"sort", runSort},
+  };
+  Count = sizeof(Table) / sizeof(Table[0]);
+  return Table;
+}

@@ -1,0 +1,61 @@
+//===- workloads/Workloads.h - The 13 evaluation benchmarks ----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scaled-down kernels of the paper's thirteen TBB applications (Table 1):
+/// five PARSEC applications, five PBBS geometry/graphics applications, and
+/// three applications from the Structured Parallel Programming book. Each
+/// kernel reproduces the parallel structure (parallel_for, recursive
+/// divide-and-conquer, lock-protected reductions, iterative rounds) and
+/// tracked-data access pattern of its namesake, which is what determines
+/// the Table 1 characteristics (#locations, #DPST nodes, #LCA queries,
+/// %unique) and the Figure 13/14 overhead shape. Inputs are synthetic.
+///
+/// Every kernel body runs as the root task of a TaskRuntime; tracked data
+/// is allocated inside the body and accessed through Tracked<T>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_WORKLOADS_WORKLOADS_H
+#define AVC_WORKLOADS_WORKLOADS_H
+
+#include <cstddef>
+
+namespace avc {
+namespace workloads {
+
+// PARSEC-derived kernels.
+void runBlackscholes(double Scale);  ///< parallel_for option pricing
+void runBodytrack(double Scale);     ///< particle filter over frames
+void runStreamcluster(double Scale); ///< streaming k-median clustering
+void runSwaptions(double Scale);     ///< HJM Monte-Carlo pricing
+void runFluidanimate(double Scale);  ///< grid SPH with per-cell locks
+
+// PBBS-derived kernels.
+void runConvexhull(double Scale);    ///< recursive quickhull
+void runDelrefine(double Scale);     ///< Delaunay refinement worklist
+void runDeltriang(double Scale);     ///< incremental Delaunay triangulation
+void runNearestneigh(double Scale);  ///< kd-tree nearest neighbours
+void runRaycast(double Scale);       ///< ray-triangle casting
+
+// Structured Parallel Programming kernels.
+void runKaratsuba(double Scale);     ///< recursive big-number multiply
+void runKmeans(double Scale);        ///< iterative clustering
+void runSort(double Scale);          ///< parallel mergesort
+
+/// A registered benchmark.
+struct Workload {
+  const char *Name;
+  void (*Run)(double Scale);
+};
+
+/// All thirteen benchmarks in the paper's Table 1 order.
+const Workload *allWorkloads(size_t &Count);
+
+} // namespace workloads
+} // namespace avc
+
+#endif // AVC_WORKLOADS_WORKLOADS_H

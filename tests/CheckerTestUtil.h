@@ -1,0 +1,118 @@
+//===- tests/CheckerTestUtil.h - Trace-building test helpers ----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny DSL for writing checker tests as traces:
+///
+///   TraceBuilder T;
+///   T.write(0, X).spawn(0, 1).read(1, X).write(1, X).end(1).end(0);
+///   expectViolations(T, {X});
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_TESTS_CHECKERTESTUTIL_H
+#define AVC_TESTS_CHECKERTESTUTIL_H
+
+#include <initializer_list>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "checker/AtomicityChecker.h"
+#include "checker/BasicChecker.h"
+#include "trace/TraceEvent.h"
+#include "trace/TraceReplayer.h"
+
+namespace avc {
+
+/// Builds a trace with implicit start/stop framing and auto-closed tasks.
+class TraceBuilder {
+public:
+  TraceBuilder() { Events.push_back({TraceEventKind::ProgramStart, 0, 0, 0}); }
+
+  TraceBuilder &spawn(TaskId Parent, TaskId Child, uint64_t Group = 0) {
+    Events.push_back({TraceEventKind::TaskSpawn, Parent, Child, Group});
+    return *this;
+  }
+  TraceBuilder &end(TaskId Task) {
+    Events.push_back({TraceEventKind::TaskEnd, Task, 0, 0});
+    return *this;
+  }
+  TraceBuilder &sync(TaskId Task) {
+    Events.push_back({TraceEventKind::Sync, Task, 0, 0});
+    return *this;
+  }
+  TraceBuilder &wait(TaskId Task, uint64_t Group) {
+    Events.push_back({TraceEventKind::GroupWait, Task, Group, 0});
+    return *this;
+  }
+  TraceBuilder &acq(TaskId Task, LockId Lock) {
+    Events.push_back({TraceEventKind::LockAcquire, Task, Lock, 0});
+    return *this;
+  }
+  TraceBuilder &rel(TaskId Task, LockId Lock) {
+    Events.push_back({TraceEventKind::LockRelease, Task, Lock, 0});
+    return *this;
+  }
+  TraceBuilder &read(TaskId Task, MemAddr Addr) {
+    Events.push_back({TraceEventKind::Read, Task, Addr, 0});
+    return *this;
+  }
+  TraceBuilder &write(TaskId Task, MemAddr Addr) {
+    Events.push_back({TraceEventKind::Write, Task, Addr, 0});
+    return *this;
+  }
+
+  /// The finished trace (adds the final stop).
+  Trace finish() const {
+    Trace Out = Events;
+    Out.push_back({TraceEventKind::ProgramEnd, 0, 0, 0});
+    return Out;
+  }
+
+private:
+  Trace Events;
+};
+
+/// Replays \p Builder into a fresh optimized checker with \p Opts.
+inline std::unique_ptr<AtomicityChecker>
+runOptimized(const TraceBuilder &Builder,
+             AtomicityChecker::Options Opts = AtomicityChecker::Options()) {
+  auto Checker = std::make_unique<AtomicityChecker>(Opts);
+  replayTrace(Builder.finish(), *Checker);
+  return Checker;
+}
+
+/// Replays \p Builder into a fresh basic (reference) checker.
+inline std::unique_ptr<BasicChecker>
+runBasic(const TraceBuilder &Builder,
+         BasicChecker::Options Opts = BasicChecker::Options()) {
+  auto Checker = std::make_unique<BasicChecker>(Opts);
+  replayTrace(Builder.finish(), *Checker);
+  return Checker;
+}
+
+/// Expects both checkers to find violations exactly on \p Addrs.
+inline void expectViolatingLocations(const TraceBuilder &Builder,
+                                     std::initializer_list<MemAddr> Addrs) {
+  auto Optimized = runOptimized(Builder);
+  auto Basic = runBasic(Builder);
+
+  std::set<MemAddr> Expected(Addrs);
+  std::set<MemAddr> OptimizedFound, BasicFound;
+  for (const Violation &V : Optimized->violations().snapshot())
+    OptimizedFound.insert(V.Addr);
+  for (const Violation &V : Basic->violations().snapshot())
+    BasicFound.insert(V.Addr);
+
+  EXPECT_EQ(OptimizedFound, Expected) << "optimized checker verdicts";
+  EXPECT_EQ(BasicFound, Expected) << "basic checker verdicts";
+}
+
+} // namespace avc
+
+#endif // AVC_TESTS_CHECKERTESTUTIL_H

@@ -1,0 +1,178 @@
+//===- tests/DpstBuilderTest.cpp - Event-driven tree construction ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/DpstBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include "dpst/ArrayDpst.h"
+
+using namespace avc;
+
+namespace {
+
+class DpstBuilderTest : public ::testing::Test {
+protected:
+  ArrayDpst Tree;
+  DpstBuilder Builder{Tree};
+  TaskFrame Root;
+
+  void SetUp() override { Builder.initRoot(Root, 0); }
+};
+
+TEST_F(DpstBuilderTest, RootFrame) {
+  EXPECT_EQ(Tree.numNodes(), 1u);
+  EXPECT_EQ(Tree.kind(0), DpstNodeKind::Finish);
+  EXPECT_EQ(Root.taskId(), 0u);
+  EXPECT_EQ(Root.currentStepOrInvalid(), InvalidNodeId);
+}
+
+TEST_F(DpstBuilderTest, StepsAreLazyAndSticky) {
+  // No step exists until an access asks for one.
+  EXPECT_EQ(Tree.numNodes(), 1u);
+  NodeId S = Builder.currentStep(Root);
+  EXPECT_EQ(Tree.kind(S), DpstNodeKind::Step);
+  EXPECT_EQ(Tree.parent(S), Tree.root());
+  // Repeated accesses stay in the same maximal region.
+  EXPECT_EQ(Builder.currentStep(Root), S);
+  EXPECT_EQ(Tree.numNodes(), 2u);
+}
+
+TEST_F(DpstBuilderTest, SpawnOpensImplicitFinishAndResetsStep) {
+  NodeId Before = Builder.currentStep(Root);
+  TaskFrame Child;
+  Builder.spawnTask(Root, nullptr, Child, 1);
+  // Implicit finish under root, async under it.
+  ASSERT_EQ(Tree.numNodes(), 4u);
+  NodeId Finish = 2, Async = 3;
+  EXPECT_EQ(Tree.kind(Finish), DpstNodeKind::Finish);
+  EXPECT_EQ(Tree.parent(Finish), Tree.root());
+  EXPECT_EQ(Tree.kind(Async), DpstNodeKind::Async);
+  EXPECT_EQ(Tree.parent(Async), Finish);
+  EXPECT_EQ(Tree.taskId(Async), 1u);
+
+  // The child's first step lands under the async node.
+  NodeId ChildStep = Builder.currentStep(Child);
+  EXPECT_EQ(Tree.parent(ChildStep), Async);
+
+  // The parent's continuation is a fresh step under the implicit finish,
+  // parallel with the child and serial with the pre-spawn step.
+  NodeId Cont = Builder.currentStep(Root);
+  EXPECT_NE(Cont, Before);
+  EXPECT_EQ(Tree.parent(Cont), Finish);
+  EXPECT_TRUE(Tree.logicallyParallelUncached(ChildStep, Cont));
+  EXPECT_FALSE(Tree.logicallyParallelUncached(ChildStep, Before));
+}
+
+TEST_F(DpstBuilderTest, SecondSpawnReusesOpenImplicitScope) {
+  TaskFrame C1, C2;
+  Builder.spawnTask(Root, nullptr, C1, 1);
+  size_t NodesAfterFirst = Tree.numNodes();
+  Builder.spawnTask(Root, nullptr, C2, 2);
+  // Only one new async node: the implicit finish is shared.
+  EXPECT_EQ(Tree.numNodes(), NodesAfterFirst + 1);
+  NodeId S1 = Builder.currentStep(C1);
+  NodeId S2 = Builder.currentStep(C2);
+  EXPECT_TRUE(Tree.logicallyParallelUncached(S1, S2));
+}
+
+TEST_F(DpstBuilderTest, SyncClosesImplicitScope) {
+  TaskFrame Child;
+  Builder.spawnTask(Root, nullptr, Child, 1);
+  NodeId ChildStep = Builder.currentStep(Child);
+  Builder.sync(Root);
+  NodeId After = Builder.currentStep(Root);
+  // Post-sync work is ordered after the child.
+  EXPECT_FALSE(Tree.logicallyParallelUncached(ChildStep, After));
+  EXPECT_EQ(Tree.parent(After), Tree.root());
+}
+
+TEST_F(DpstBuilderTest, SyncWithoutSpawnOnlyEndsRegion) {
+  NodeId Before = Builder.currentStep(Root);
+  size_t Nodes = Tree.numNodes();
+  Builder.sync(Root);
+  EXPECT_EQ(Tree.numNodes(), Nodes); // no structural change
+  NodeId After = Builder.currentStep(Root);
+  EXPECT_NE(Before, After); // but the maximal region ended
+  EXPECT_FALSE(Tree.logicallyParallelUncached(Before, After));
+}
+
+TEST_F(DpstBuilderTest, SpawnAfterSyncOpensFreshScope) {
+  TaskFrame C1, C2;
+  Builder.spawnTask(Root, nullptr, C1, 1);
+  NodeId S1 = Builder.currentStep(C1);
+  Builder.sync(Root);
+  Builder.spawnTask(Root, nullptr, C2, 2);
+  NodeId S2 = Builder.currentStep(C2);
+  // Children separated by a sync are ordered.
+  EXPECT_FALSE(Tree.logicallyParallelUncached(S1, S2));
+}
+
+TEST_F(DpstBuilderTest, ExplicitGroupsNestAndClose) {
+  int GroupA = 0, GroupB = 0; // addresses serve as tags
+  TaskFrame C1, C2;
+  Builder.spawnTask(Root, &GroupA, C1, 1);
+  EXPECT_EQ(Root.numOpenScopes(), 1u);
+  Builder.spawnTask(Root, &GroupB, C2, 2);
+  EXPECT_EQ(Root.numOpenScopes(), 2u);
+  NodeId S1 = Builder.currentStep(C1);
+  NodeId S2 = Builder.currentStep(C2);
+  // B nests inside A, so both children are mutually parallel.
+  EXPECT_TRUE(Tree.logicallyParallelUncached(S1, S2));
+
+  Builder.waitGroup(Root, &GroupB);
+  EXPECT_EQ(Root.numOpenScopes(), 1u);
+  NodeId Between = Builder.currentStep(Root);
+  // After B joined: serial with B's child, still parallel with A's.
+  EXPECT_FALSE(Tree.logicallyParallelUncached(S2, Between));
+  EXPECT_TRUE(Tree.logicallyParallelUncached(S1, Between));
+
+  Builder.waitGroup(Root, &GroupA);
+  EXPECT_EQ(Root.numOpenScopes(), 0u);
+  NodeId After = Builder.currentStep(Root);
+  EXPECT_FALSE(Tree.logicallyParallelUncached(S1, After));
+}
+
+TEST_F(DpstBuilderTest, WaitOnEmptyGroupIsStructuralNoop) {
+  int Group = 0;
+  size_t Nodes = Tree.numNodes();
+  Builder.waitGroup(Root, &Group);
+  EXPECT_EQ(Tree.numNodes(), Nodes);
+}
+
+TEST_F(DpstBuilderTest, EndTaskClosesOpenScopes) {
+  TaskFrame Child, Grandchild;
+  Builder.spawnTask(Root, nullptr, Child, 1);
+  Builder.spawnTask(Child, nullptr, Grandchild, 2);
+  NodeId GrandStep = Builder.currentStep(Grandchild);
+  EXPECT_EQ(Child.numOpenScopes(), 1u);
+  Builder.endTask(Child);
+  EXPECT_EQ(Child.numOpenScopes(), 0u);
+  // The grandchild joined at the child's implicit end-of-task sync, so the
+  // root's post-join work is serial with it once the root syncs too.
+  Builder.sync(Root);
+  NodeId After = Builder.currentStep(Root);
+  EXPECT_FALSE(Tree.logicallyParallelUncached(GrandStep, After));
+}
+
+TEST_F(DpstBuilderTest, GrandchildParallelWithUncle) {
+  // root spawns C1; C1 spawns G; root spawns C2. G must be parallel with
+  // C2's steps and with the root's continuation.
+  TaskFrame C1, G, C2;
+  Builder.spawnTask(Root, nullptr, C1, 1);
+  Builder.spawnTask(C1, nullptr, G, 2);
+  Builder.spawnTask(Root, nullptr, C2, 3);
+  NodeId GStep = Builder.currentStep(G);
+  NodeId C2Step = Builder.currentStep(C2);
+  NodeId RootCont = Builder.currentStep(Root);
+  EXPECT_TRUE(Tree.logicallyParallelUncached(GStep, C2Step));
+  EXPECT_TRUE(Tree.logicallyParallelUncached(GStep, RootCont));
+  NodeId C1Step = Builder.currentStep(C1);
+  // C1's continuation after spawning G is parallel with G.
+  EXPECT_TRUE(Tree.logicallyParallelUncached(GStep, C1Step));
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+//===- tests/DpstTest.cpp - DPST structure and parallel query -------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/Dpst.h"
+
+#include <gtest/gtest.h>
+
+#include "dpst/DpstDot.h"
+
+using namespace avc;
+
+namespace {
+
+/// Runs every structural test against both layouts (the Figure 14 pair).
+class DpstLayoutTest : public ::testing::TestWithParam<DpstLayout> {
+protected:
+  void SetUp() override { Tree = createDpst(GetParam()); }
+  std::unique_ptr<Dpst> Tree;
+};
+
+TEST_P(DpstLayoutTest, RootConstruction) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  EXPECT_EQ(Root, 0u);
+  EXPECT_EQ(Tree->numNodes(), 1u);
+  EXPECT_EQ(Tree->kind(Root), DpstNodeKind::Finish);
+  EXPECT_EQ(Tree->parent(Root), InvalidNodeId);
+  EXPECT_EQ(Tree->depth(Root), 0u);
+  EXPECT_EQ(Tree->siblingIndex(Root), 0u);
+  EXPECT_EQ(Tree->root(), Root);
+}
+
+TEST_P(DpstLayoutTest, ChildDepthAndSiblingOrder) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId A = Tree->addNode(Root, DpstNodeKind::Async, 1);
+  NodeId S = Tree->addNode(Root, DpstNodeKind::Step, 0);
+  NodeId B = Tree->addNode(Root, DpstNodeKind::Async, 2);
+  EXPECT_EQ(Tree->depth(A), 1u);
+  EXPECT_EQ(Tree->siblingIndex(A), 0u);
+  EXPECT_EQ(Tree->siblingIndex(S), 1u);
+  EXPECT_EQ(Tree->siblingIndex(B), 2u);
+  EXPECT_EQ(Tree->parent(B), Root);
+  EXPECT_EQ(Tree->taskId(A), 1u);
+  EXPECT_EQ(Tree->taskId(S), 0u);
+}
+
+TEST_P(DpstLayoutTest, SameNodeIsSerial) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId S = Tree->addNode(Root, DpstNodeKind::Step, 0);
+  EXPECT_FALSE(Tree->logicallyParallelUncached(S, S));
+}
+
+TEST_P(DpstLayoutTest, AncestorIsSerial) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId A = Tree->addNode(Root, DpstNodeKind::Async, 1);
+  NodeId S = Tree->addNode(A, DpstNodeKind::Step, 1);
+  EXPECT_FALSE(Tree->logicallyParallelUncached(Root, S));
+  EXPECT_FALSE(Tree->logicallyParallelUncached(S, Root));
+  EXPECT_FALSE(Tree->logicallyParallelUncached(A, S));
+}
+
+/// The paper's Figure 2 tree:
+///   F11 -> [S11, F12], F12 -> [A2, S12, A3], A2 -> S2, A3 -> S3.
+class Figure2Test : public DpstLayoutTest {
+protected:
+  void SetUp() override {
+    DpstLayoutTest::SetUp();
+    F11 = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+    S11 = Tree->addNode(F11, DpstNodeKind::Step, 0);
+    F12 = Tree->addNode(F11, DpstNodeKind::Finish, 0);
+    A2 = Tree->addNode(F12, DpstNodeKind::Async, 1);
+    S2 = Tree->addNode(A2, DpstNodeKind::Step, 1);
+    S12 = Tree->addNode(F12, DpstNodeKind::Step, 0);
+    A3 = Tree->addNode(F12, DpstNodeKind::Async, 2);
+    S3 = Tree->addNode(A3, DpstNodeKind::Step, 2);
+  }
+  NodeId F11, S11, F12, A2, S2, S12, A3, S3;
+};
+
+TEST_P(Figure2Test, PaperParallelismRelations) {
+  // "The step nodes S2 and S12 can occur in parallel since the LCA(S2, S12)
+  // is F12 and its left child is an async node."
+  EXPECT_TRUE(Tree->logicallyParallelUncached(S2, S12));
+  EXPECT_TRUE(Tree->logicallyParallelUncached(S12, S2));
+  // "Similarly, S2 and S3 can occur in parallel."
+  EXPECT_TRUE(Tree->logicallyParallelUncached(S2, S3));
+  EXPECT_TRUE(Tree->logicallyParallelUncached(S3, S2));
+  // "Step nodes S11 and S2 cannot occur in parallel."
+  EXPECT_FALSE(Tree->logicallyParallelUncached(S11, S2));
+  EXPECT_FALSE(Tree->logicallyParallelUncached(S2, S11));
+  // "Similarly, step nodes S12 and S3 cannot occur in parallel."
+  EXPECT_FALSE(Tree->logicallyParallelUncached(S12, S3));
+  EXPECT_FALSE(Tree->logicallyParallelUncached(S3, S12));
+  // S11 precedes everything.
+  EXPECT_FALSE(Tree->logicallyParallelUncached(S11, S3));
+  EXPECT_FALSE(Tree->logicallyParallelUncached(S11, S12));
+}
+
+TEST_P(Figure2Test, AncestorQueries) {
+  EXPECT_TRUE(Tree->isAncestorOrSelf(F11, S3));
+  EXPECT_TRUE(Tree->isAncestorOrSelf(F12, S2));
+  EXPECT_TRUE(Tree->isAncestorOrSelf(S2, S2));
+  EXPECT_FALSE(Tree->isAncestorOrSelf(A2, S3));
+  EXPECT_FALSE(Tree->isAncestorOrSelf(S11, S2));
+}
+
+TEST_P(Figure2Test, DotDumpMentionsEveryNode) {
+  std::string Dot = dpstToDot(*Tree);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  for (NodeId Id = 0; Id < Tree->numNodes(); ++Id) {
+    char Needle[16];
+    std::snprintf(Needle, sizeof(Needle), "n%u ", Id);
+    EXPECT_NE(Dot.find(Needle), std::string::npos) << "missing node " << Id;
+  }
+}
+
+/// Nested finish inside an async: steps after the inner finish are serial
+/// with the finish's children but parallel with outer asyncs.
+TEST_P(DpstLayoutTest, NestedFinishScopes) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId OuterAsync = Tree->addNode(Root, DpstNodeKind::Async, 1);
+  NodeId OuterStep = Tree->addNode(OuterAsync, DpstNodeKind::Step, 1);
+  NodeId InnerFinish = Tree->addNode(OuterAsync, DpstNodeKind::Finish, 1);
+  NodeId InnerAsync = Tree->addNode(InnerFinish, DpstNodeKind::Async, 2);
+  NodeId InnerStep = Tree->addNode(InnerAsync, DpstNodeKind::Step, 2);
+  NodeId AfterFinish = Tree->addNode(OuterAsync, DpstNodeKind::Step, 1);
+  NodeId RootStep = Tree->addNode(Root, DpstNodeKind::Step, 0);
+
+  EXPECT_FALSE(Tree->logicallyParallelUncached(OuterStep, InnerStep));
+  EXPECT_FALSE(Tree->logicallyParallelUncached(InnerStep, AfterFinish));
+  EXPECT_TRUE(Tree->logicallyParallelUncached(InnerStep, RootStep));
+  EXPECT_TRUE(Tree->logicallyParallelUncached(AfterFinish, RootStep));
+  EXPECT_TRUE(Tree->logicallyParallelUncached(OuterStep, RootStep));
+}
+
+/// Two asyncs under one finish are parallel with each other; a step after
+/// both (same finish) is parallel with both too.
+TEST_P(DpstLayoutTest, SiblingAsyncsAreParallel) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId Finish = Tree->addNode(Root, DpstNodeKind::Finish, 0);
+  NodeId A1 = Tree->addNode(Finish, DpstNodeKind::Async, 1);
+  NodeId S1 = Tree->addNode(A1, DpstNodeKind::Step, 1);
+  NodeId A2 = Tree->addNode(Finish, DpstNodeKind::Async, 2);
+  NodeId S2 = Tree->addNode(A2, DpstNodeKind::Step, 2);
+  NodeId Cont = Tree->addNode(Finish, DpstNodeKind::Step, 0);
+  NodeId After = Tree->addNode(Root, DpstNodeKind::Step, 0);
+
+  EXPECT_TRUE(Tree->logicallyParallelUncached(S1, S2));
+  EXPECT_TRUE(Tree->logicallyParallelUncached(S1, Cont));
+  EXPECT_TRUE(Tree->logicallyParallelUncached(S2, Cont));
+  // The finish joins its asyncs before the parent continues.
+  EXPECT_FALSE(Tree->logicallyParallelUncached(S1, After));
+  EXPECT_FALSE(Tree->logicallyParallelUncached(S2, After));
+  EXPECT_FALSE(Tree->logicallyParallelUncached(Cont, After));
+}
+
+/// Left-to-right sibling order decides: a step *before* an async (to its
+/// left) is serial with it; a step *after* (to its right) is parallel.
+TEST_P(DpstLayoutTest, StepPositionRelativeToAsync) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId Before = Tree->addNode(Root, DpstNodeKind::Step, 0);
+  NodeId Async = Tree->addNode(Root, DpstNodeKind::Async, 1);
+  NodeId Child = Tree->addNode(Async, DpstNodeKind::Step, 1);
+  NodeId After = Tree->addNode(Root, DpstNodeKind::Step, 0);
+
+  EXPECT_FALSE(Tree->logicallyParallelUncached(Before, Child));
+  EXPECT_TRUE(Tree->logicallyParallelUncached(After, Child));
+  EXPECT_TRUE(Tree->logicallyParallelUncached(Child, After));
+}
+
+TEST_P(DpstLayoutTest, DeepChainQueries) {
+  // A long spine of alternating finish/async nodes with steps hanging off:
+  // exercises the depth-equalizing walk.
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId Spine = Root;
+  NodeId FirstStep = InvalidNodeId;
+  for (int I = 0; I < 64; ++I) {
+    NodeId Async = Tree->addNode(Spine, DpstNodeKind::Async, I + 1);
+    NodeId Step = Tree->addNode(Async, DpstNodeKind::Step, I + 1);
+    if (FirstStep == InvalidNodeId)
+      FirstStep = Step;
+    Spine = Tree->addNode(Spine, DpstNodeKind::Finish, 0);
+  }
+  NodeId DeepStep = Tree->addNode(Spine, DpstNodeKind::Step, 0);
+  // The first async's step is parallel with everything spawned later in
+  // the same scope chain... including the deep step: LCA = Root, left
+  // child on the path to FirstStep is the async.
+  EXPECT_TRUE(Tree->logicallyParallelUncached(FirstStep, DeepStep));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, DpstLayoutTest,
+                         ::testing::Values(DpstLayout::Array,
+                                           DpstLayout::Linked),
+                         [](const auto &Info) {
+                           return std::string(dpstLayoutName(Info.param));
+                         });
+INSTANTIATE_TEST_SUITE_P(AllLayouts, Figure2Test,
+                         ::testing::Values(DpstLayout::Array,
+                                           DpstLayout::Linked),
+                         [](const auto &Info) {
+                           return std::string(dpstLayoutName(Info.param));
+                         });
+
+} // namespace

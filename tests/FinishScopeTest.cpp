@@ -1,0 +1,149 @@
+//===- tests/FinishScopeTest.cpp - async/finish API tests -----------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Finish.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "instrument/ToolContext.h"
+#include "trace/TraceRecorder.h"
+
+using namespace avc;
+
+namespace {
+
+class FinishTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FinishTest, FinishJoinsDirectAsyncs) {
+  TaskRuntime::Options Opts;
+  Opts.NumThreads = GetParam();
+  TaskRuntime RT(Opts);
+  std::atomic<int> Counter{0};
+  RT.run([&] {
+    finish([&] {
+      for (int I = 0; I < 32; ++I)
+        async([&] { Counter.fetch_add(1); });
+    });
+    EXPECT_EQ(Counter.load(), 32); // joined at the closing brace
+  });
+}
+
+TEST_P(FinishTest, FinishJoinsTransitively) {
+  TaskRuntime::Options Opts;
+  Opts.NumThreads = GetParam();
+  TaskRuntime RT(Opts);
+  std::atomic<int> Counter{0};
+  RT.run([&] {
+    finish([&] {
+      async([&] {
+        // Grandchildren spawned by the child are joined at the child's
+        // implicit end-of-task sync, which the finish waits for.
+        for (int I = 0; I < 8; ++I)
+          async([&] { Counter.fetch_add(1); });
+      });
+    });
+    EXPECT_EQ(Counter.load(), 8);
+  });
+}
+
+TEST_P(FinishTest, NestedFinishScopes) {
+  TaskRuntime::Options Opts;
+  Opts.NumThreads = GetParam();
+  TaskRuntime RT(Opts);
+  std::atomic<int> Inner{0}, Outer{0};
+  RT.run([&] {
+    finish([&] {
+      async([&] { Outer.fetch_add(1); });
+      finish([&] {
+        async([&] { Inner.fetch_add(1); });
+      });
+      EXPECT_EQ(Inner.load(), 1); // inner scope joined here
+      async([&] { Outer.fetch_add(1); });
+    });
+    EXPECT_EQ(Outer.load(), 2);
+  });
+}
+
+TEST_P(FinishTest, AsyncOutsideFinishUsesImplicitScope) {
+  TaskRuntime::Options Opts;
+  Opts.NumThreads = GetParam();
+  TaskRuntime RT(Opts);
+  std::atomic<int> Counter{0};
+  RT.run([&] {
+    async([&] { Counter.fetch_add(1); });
+    avc::sync();
+    EXPECT_EQ(Counter.load(), 1);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, FinishTest, ::testing::Values(1u, 4u),
+                         [](const auto &Info) {
+                           return "threads" + std::to_string(Info.param);
+                         });
+
+/// DPST shape: finish() scopes surface as explicit group events, so the
+/// checker sees proper finish nodes.
+TEST(FinishScope, ProducesGroupEvents) {
+  TaskRuntime RT;
+  TraceRecorder Recorder;
+  RT.addObserver(&Recorder);
+  RT.run([&] {
+    finish([&] { async([] {}); });
+  });
+  bool SawGroupSpawn = false, SawGroupWait = false;
+  for (const TraceEvent &Event : Recorder.trace()) {
+    if (Event.Kind == TraceEventKind::TaskSpawn && Event.Arg2 != 0)
+      SawGroupSpawn = true;
+    if (Event.Kind == TraceEventKind::GroupWait)
+      SawGroupWait = true;
+  }
+  EXPECT_TRUE(SawGroupSpawn);
+  EXPECT_TRUE(SawGroupWait);
+}
+
+/// The atomicity checker works identically across the programming styles:
+/// the Figure 1 bug expressed with async/finish.
+TEST(FinishScope, CheckerSeesThroughAsyncFinish) {
+  ToolContext Tool(ToolKind::Atomicity);
+  Tracked<int> X;
+  Tool.run([&] {
+    finish([&] {
+      async([&] {
+        int V = X.load();
+        X.store(V + 1);
+      });
+      async([&] { X.store(7); });
+    });
+  });
+  EXPECT_EQ(Tool.numViolations(), 1u);
+}
+
+/// A helping worker blocked in finish() must not leak its scope into an
+/// unrelated task it executes inline: the unrelated task's asyncs join its
+/// own implicit scope (this deadlocks or miscounts if the scope pointer
+/// were thread-local).
+TEST(FinishScope, HelpingDoesNotLeakScopes) {
+  TaskRuntime::Options Opts;
+  Opts.NumThreads = 1; // forces the finish() waiter to execute children
+  TaskRuntime RT(Opts);
+  std::atomic<int> Leaked{0};
+  RT.run([&] {
+    finish([&] {
+      async([&] {
+        // Executed inline by the worker blocked in the outer finish's
+        // wait(); its asyncs must bind to THIS task, not the outer scope.
+        async([&] { Leaked.fetch_add(1); });
+        avc::sync();
+        EXPECT_EQ(Leaked.load(), 1);
+      });
+    });
+  });
+  EXPECT_EQ(Leaked.load(), 1);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+//===- tests/FlatGrowVectorTest.cpp - Flat retiring vector tests ----------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FlatGrowVector.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "support/Timing.h"
+
+using namespace avc;
+
+namespace {
+
+TEST(FlatGrowVector, PushAndIndex) {
+  FlatGrowVector<int> Vec;
+  EXPECT_TRUE(Vec.empty());
+  for (int I = 0; I < 5000; ++I)
+    EXPECT_EQ(Vec.pushBack(I * 2), static_cast<size_t>(I));
+  EXPECT_EQ(Vec.size(), 5000u);
+  for (int I = 0; I < 5000; ++I)
+    EXPECT_EQ(Vec[I], I * 2);
+}
+
+TEST(FlatGrowVector, GrowthPreservesContents) {
+  FlatGrowVector<uint64_t> Vec;
+  // Push well past several doublings of the initial capacity.
+  for (uint64_t I = 0; I < 100000; ++I)
+    Vec.pushBack(I ^ 0xabcdef);
+  for (uint64_t I = 0; I < 100000; ++I)
+    EXPECT_EQ(Vec[I], I ^ 0xabcdef);
+}
+
+TEST(FlatGrowVector, SnapshotStaysValidAcrossGrowth) {
+  FlatGrowVector<int> Vec;
+  for (int I = 0; I < 1000; ++I)
+    Vec.pushBack(I);
+  const int *Snapshot = Vec.snapshot();
+  // Force growth: the old block is retired, not freed.
+  for (int I = 1000; I < 50000; ++I)
+    Vec.pushBack(I);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(Snapshot[I], I);
+}
+
+TEST(FlatGrowVector, UpdateMutatesInPlace) {
+  FlatGrowVector<int> Vec;
+  Vec.pushBack(5);
+  Vec.update(0, [](int &Value) { Value = 9; });
+  EXPECT_EQ(Vec[0], 9);
+}
+
+TEST(FlatGrowVector, ConcurrentReadersDuringGrowth) {
+  FlatGrowVector<size_t> Vec;
+  std::atomic<bool> Stop{false};
+  std::thread Reader([&] {
+    while (!Stop.load()) {
+      size_t N = Vec.size();
+      const size_t *Snap = Vec.snapshot();
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_EQ(Snap[I], I) << "index " << I;
+    }
+  });
+  for (size_t I = 0; I < 200000; ++I)
+    Vec.pushBack(I);
+  Stop.store(true);
+  Reader.join();
+  EXPECT_EQ(Vec.size(), 200000u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer T;
+  uint64_t Before = nowNanos();
+  volatile double Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + 1.0;
+  uint64_t Elapsed = T.elapsedNanos();
+  EXPECT_GT(Elapsed, 0u);
+  EXPECT_GE(nowNanos(), Before);
+  EXPECT_NEAR(T.elapsedSeconds(), static_cast<double>(T.elapsedNanos()) * 1e-9,
+              1e-3);
+  T.reset();
+  EXPECT_LT(T.elapsedNanos(), Elapsed + 1000000000ull);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- tests/LcaCacheTest.cpp - LCA cache and oracle tests ----------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/LcaCache.h"
+
+#include <gtest/gtest.h>
+
+#include "dpst/ArrayDpst.h"
+#include "dpst/ParallelismOracle.h"
+
+using namespace avc;
+
+namespace {
+
+TEST(LcaCache, MissThenHit) {
+  LcaCache Cache(8);
+  EXPECT_FALSE(Cache.lookup(1, 2).has_value());
+  Cache.insert(1, 2, true);
+  ASSERT_TRUE(Cache.lookup(1, 2).has_value());
+  EXPECT_TRUE(*Cache.lookup(1, 2));
+  Cache.insert(1, 3, false);
+  ASSERT_TRUE(Cache.lookup(1, 3).has_value());
+  EXPECT_FALSE(*Cache.lookup(1, 3));
+}
+
+TEST(LcaCache, ZeroIdsAreValidKeys) {
+  LcaCache Cache(4);
+  Cache.insert(0, 1, false);
+  ASSERT_TRUE(Cache.lookup(0, 1).has_value());
+  EXPECT_FALSE(*Cache.lookup(0, 1));
+}
+
+TEST(LcaCache, CollisionEvictsNotCorrupts) {
+  LcaCache Cache(1); // two slots: guaranteed collisions
+  for (NodeId A = 0; A < 100; ++A)
+    Cache.insert(A, A + 1, (A % 2) == 0);
+  // Whatever remains cached must be correct for its own key.
+  int Hits = 0;
+  for (NodeId A = 0; A < 100; ++A)
+    if (std::optional<bool> Hit = Cache.lookup(A, A + 1)) {
+      ++Hits;
+      EXPECT_EQ(*Hit, (A % 2) == 0);
+    }
+  EXPECT_GT(Hits, 0);
+  EXPECT_LE(Hits, 2);
+}
+
+TEST(LcaCache, ClearDropsEverything) {
+  LcaCache Cache(4);
+  Cache.insert(5, 9, true);
+  Cache.clear();
+  EXPECT_FALSE(Cache.lookup(5, 9).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// ParallelismOracle
+//===----------------------------------------------------------------------===//
+
+class OracleTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Root = Tree.addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+    NodeId Finish = Tree.addNode(Root, DpstNodeKind::Finish, 0);
+    NodeId A1 = Tree.addNode(Finish, DpstNodeKind::Async, 1);
+    S1 = Tree.addNode(A1, DpstNodeKind::Step, 1);
+    NodeId A2 = Tree.addNode(Finish, DpstNodeKind::Async, 2);
+    S2 = Tree.addNode(A2, DpstNodeKind::Step, 2);
+    After = Tree.addNode(Root, DpstNodeKind::Step, 0);
+  }
+  ArrayDpst Tree;
+  NodeId Root, S1, S2, After;
+};
+
+TEST_F(OracleTest, CachedQueriesCountHits) {
+  ParallelismOracle::Options Opts;
+  Opts.TrackUniquePairs = true;
+  ParallelismOracle Oracle(Tree, Opts);
+
+  EXPECT_TRUE(Oracle.logicallyParallel(S1, S2));
+  EXPECT_TRUE(Oracle.logicallyParallel(S2, S1)); // normalized: cache hit
+  EXPECT_FALSE(Oracle.logicallyParallel(S1, After));
+
+  LcaQueryStats Stats = Oracle.stats();
+  EXPECT_EQ(Stats.NumQueries, 3u);
+  EXPECT_EQ(Stats.NumCacheHits, 1u);
+  EXPECT_EQ(Stats.NumUniquePairs, 2u);
+  EXPECT_NEAR(Stats.percentUnique(), 66.67, 0.1);
+}
+
+TEST_F(OracleTest, SameNodeQueriesAreFree) {
+  ParallelismOracle Oracle(Tree);
+  EXPECT_FALSE(Oracle.logicallyParallel(S1, S1));
+  EXPECT_EQ(Oracle.stats().NumQueries, 0u);
+}
+
+TEST_F(OracleTest, CacheDisabled) {
+  ParallelismOracle::Options Opts;
+  Opts.EnableCache = false;
+  ParallelismOracle Oracle(Tree, Opts);
+  EXPECT_TRUE(Oracle.logicallyParallel(S1, S2));
+  EXPECT_TRUE(Oracle.logicallyParallel(S1, S2));
+  EXPECT_EQ(Oracle.stats().NumCacheHits, 0u);
+  EXPECT_EQ(Oracle.stats().NumQueries, 2u);
+}
+
+TEST_F(OracleTest, UniqueTrackingDisabledReportsZeroPercent) {
+  ParallelismOracle Oracle(Tree);
+  Oracle.logicallyParallel(S1, S2);
+  EXPECT_FALSE(Oracle.stats().UniquePairsTracked);
+  EXPECT_DOUBLE_EQ(Oracle.stats().percentUnique(), 0.0);
+}
+
+} // namespace

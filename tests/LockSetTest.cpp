@@ -1,0 +1,104 @@
+//===- tests/LockSetTest.cpp - Versioned lockset tests --------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/LockSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace avc;
+
+namespace {
+
+TEST(LockSet, EmptySetsAreDisjoint) {
+  LockSet A, B;
+  EXPECT_TRUE(A.empty());
+  EXPECT_TRUE(A.disjointWith(B));
+  EXPECT_TRUE(B.disjointWith(A));
+}
+
+TEST(LockSet, SharedTokenNotDisjoint) {
+  LockSet A({1, 2, 3});
+  LockSet B({3, 4});
+  EXPECT_FALSE(A.disjointWith(B));
+  EXPECT_FALSE(B.disjointWith(A));
+}
+
+TEST(LockSet, DistinctTokensDisjoint) {
+  LockSet A({1, 3, 5});
+  LockSet B({2, 4, 6});
+  EXPECT_TRUE(A.disjointWith(B));
+}
+
+TEST(LockSet, UnsortedInputIsNormalized) {
+  LockSet A({5, 1, 3});
+  EXPECT_TRUE(A.contains(1));
+  EXPECT_TRUE(A.contains(3));
+  EXPECT_TRUE(A.contains(5));
+  EXPECT_FALSE(A.contains(2));
+  LockSet B({3});
+  EXPECT_FALSE(A.disjointWith(B));
+}
+
+TEST(LockSet, EqualityIsStructural) {
+  EXPECT_EQ(LockSet({2, 1}), LockSet({1, 2}));
+  EXPECT_FALSE(LockSet({1}) == LockSet({2}));
+}
+
+TEST(HeldLocks, SnapshotReflectsStack) {
+  HeldLocks Held;
+  EXPECT_EQ(Held.depth(), 0u);
+  Held.acquire(/*Lock=*/10, /*Token=*/100);
+  Held.acquire(/*Lock=*/11, /*Token=*/101);
+  LockSet Snap = Held.snapshot();
+  EXPECT_EQ(Snap.size(), 2u);
+  EXPECT_TRUE(Snap.contains(100));
+  EXPECT_TRUE(Snap.contains(101));
+  Held.release(10);
+  EXPECT_EQ(Held.depth(), 1u);
+  EXPECT_FALSE(Held.snapshot().contains(100));
+  EXPECT_TRUE(Held.snapshot().contains(101));
+  Held.release(11);
+  EXPECT_TRUE(Held.snapshot().empty());
+}
+
+TEST(HeldLocks, OutOfOrderRelease) {
+  HeldLocks Held;
+  Held.acquire(1, 100);
+  Held.acquire(2, 200);
+  Held.release(1); // release outer first
+  EXPECT_TRUE(Held.snapshot().contains(200));
+  EXPECT_FALSE(Held.snapshot().contains(100));
+  Held.release(2);
+  EXPECT_EQ(Held.depth(), 0u);
+}
+
+/// Lock versioning (Section 3.3): the same lock re-acquired carries a new
+/// token, so snapshots from different critical-section instances are
+/// disjoint — the property that lets the checker see "two critical
+/// sections" instead of "the same lock".
+TEST(HeldLocks, ReacquisitionYieldsDisjointSnapshots) {
+  HeldLocks Held;
+  Held.acquire(7, 1000);
+  LockSet First = Held.snapshot();
+  Held.release(7);
+  Held.acquire(7, 1001); // fresh token from the checker's global counter
+  LockSet Second = Held.snapshot();
+  Held.release(7);
+  EXPECT_TRUE(First.disjointWith(Second));
+}
+
+/// Two snapshots inside the same critical section share the token.
+TEST(HeldLocks, SameCriticalSectionSharesToken) {
+  HeldLocks Held;
+  Held.acquire(7, 1000);
+  LockSet First = Held.snapshot();
+  LockSet Second = Held.snapshot();
+  Held.release(7);
+  EXPECT_FALSE(First.disjointWith(Second));
+  EXPECT_EQ(First, Second);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/PropertyTest.cpp - Randomized equivalence properties ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property-based validation on generator-produced programs:
+///
+///  1. *Reference equivalence*: on any trace, the optimized fixed-metadata
+///     checker and the unbounded-history basic checker agree, per location,
+///     on whether an atomicity violation exists (the paper's soundness +
+///     completeness claim for the 12-entry design).
+///  2. *Schedule independence*: the optimized checker's per-location
+///     verdicts are identical across different linearizations of the same
+///     program (the "detects violations in other schedules" claim).
+///  3. *Configuration independence*: DPST layout, LCA caching, and the
+///     extra interleaver checks never change verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checker/AtomicityChecker.h"
+#include "checker/BasicChecker.h"
+#include "trace/TraceGenerator.h"
+#include "trace/TraceReplayer.h"
+
+using namespace avc;
+
+namespace {
+
+/// Per-location verdict set of a replayed trace under the given options.
+std::set<MemAddr> optimizedVerdicts(const Trace &Events,
+                                    AtomicityChecker::Options Opts) {
+  AtomicityChecker Checker(Opts);
+  replayTrace(Events, Checker);
+  std::set<MemAddr> Found;
+  for (const Violation &V : Checker.violations().snapshot())
+    Found.insert(V.Addr);
+  return Found;
+}
+
+std::set<MemAddr> basicVerdicts(const Trace &Events) {
+  BasicChecker Checker;
+  replayTrace(Events, Checker);
+  std::set<MemAddr> Found;
+  for (const Violation &V : Checker.violations().snapshot())
+    Found.insert(V.Addr);
+  return Found;
+}
+
+TraceGenOptions variedOptions(uint64_t Seed) {
+  TraceGenOptions Opts;
+  Opts.Seed = Seed;
+  // Vary the program shape with the seed so the sweep covers sparse and
+  // dense sharing, lock-free and lock-heavy programs, narrow and wide
+  // spawn trees.
+  Opts.NumTasks = 3 + Seed % 14;
+  Opts.NumLocations = 1 + Seed % 5;
+  Opts.NumLocks = Seed % 3;
+  Opts.MinOpsPerTask = 2;
+  Opts.MaxOpsPerTask = 4 + Seed % 9;
+  Opts.WriteFraction = 0.3 + 0.05 * (Seed % 9);
+  Opts.LockedFraction = (Seed % 4) * 0.2;
+  Opts.SyncFraction = (Seed % 5) * 0.08;
+  return Opts;
+}
+
+class PropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySweep, OptimizedMatchesReferencePerLocation) {
+  uint64_t Seed = GetParam();
+  GenProgram Program = generateProgram(variedOptions(Seed));
+  Trace Events = linearizeSerial(Program);
+
+  std::set<MemAddr> Reference = basicVerdicts(Events);
+  std::set<MemAddr> Fixed =
+      optimizedVerdicts(Events, AtomicityChecker::Options());
+  EXPECT_EQ(Fixed, Reference) << "seed " << Seed;
+}
+
+TEST_P(PropertySweep, VerdictsAreScheduleIndependent) {
+  uint64_t Seed = GetParam();
+  GenProgram Program = generateProgram(variedOptions(Seed));
+  std::set<MemAddr> Serial = optimizedVerdicts(
+      linearizeSerial(Program), AtomicityChecker::Options());
+  for (uint64_t Schedule = 1; Schedule <= 4; ++Schedule) {
+    Trace Random = linearizeRandom(Program, Seed * 1000 + Schedule);
+    std::set<MemAddr> Verdicts =
+        optimizedVerdicts(Random, AtomicityChecker::Options());
+    EXPECT_EQ(Verdicts, Serial)
+        << "seed " << Seed << " schedule " << Schedule;
+  }
+}
+
+TEST_P(PropertySweep, BasicCheckerIsScheduleIndependentToo) {
+  uint64_t Seed = GetParam();
+  GenProgram Program = generateProgram(variedOptions(Seed));
+  std::set<MemAddr> Serial = basicVerdicts(linearizeSerial(Program));
+  Trace Random = linearizeRandom(Program, Seed * 7919 + 1);
+  EXPECT_EQ(basicVerdicts(Random), Serial) << "seed " << Seed;
+}
+
+TEST_P(PropertySweep, ConfigurationDoesNotChangeVerdicts) {
+  uint64_t Seed = GetParam();
+  GenProgram Program = generateProgram(variedOptions(Seed));
+  Trace Events = linearizeSerial(Program);
+
+  AtomicityChecker::Options Default;
+  std::set<MemAddr> Baseline = optimizedVerdicts(Events, Default);
+
+  AtomicityChecker::Options Linked = Default;
+  Linked.Layout = DpstLayout::Linked;
+  EXPECT_EQ(optimizedVerdicts(Events, Linked), Baseline)
+      << "linked layout, seed " << Seed;
+
+  AtomicityChecker::Options NoCache = Default;
+  NoCache.EnableLcaCache = false;
+  EXPECT_EQ(optimizedVerdicts(Events, NoCache), Baseline)
+      << "no cache, seed " << Seed;
+
+  // The paper-literal mode (without the interleaver-check fix) may miss
+  // violations but must never invent one: its verdicts are a subset.
+  AtomicityChecker::Options PaperLiteral = Default;
+  PaperLiteral.ExtraInterleaverChecks = false;
+  std::set<MemAddr> Literal = optimizedVerdicts(Events, PaperLiteral);
+  for (MemAddr Addr : Literal)
+    EXPECT_TRUE(Baseline.count(Addr))
+        << "paper-literal mode invented a violation, seed " << Seed;
+}
+
+TEST_P(PropertySweep, ReplayIsDeterministic) {
+  uint64_t Seed = GetParam();
+  GenProgram Program = generateProgram(variedOptions(Seed));
+  Trace Events = linearizeSerial(Program);
+  AtomicityChecker A, B;
+  replayTrace(Events, A);
+  replayTrace(Events, B);
+  EXPECT_EQ(A.violations().size(), B.violations().size());
+  EXPECT_EQ(A.stats().Lca.NumQueries, B.stats().Lca.NumQueries);
+  EXPECT_EQ(A.stats().NumDpstNodes, B.stats().NumDpstNodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep, ::testing::Range<uint64_t>(1, 81));
+
+/// Heavier adversarial sweep in one test: many seeds, violations must be a
+/// subset relationship checked both ways (kept separate from the
+/// parameterized sweep to bound ctest case count).
+TEST(PropertyBulk, FourHundredSeedsAgree) {
+  for (uint64_t Seed = 1000; Seed < 1400; ++Seed) {
+    GenProgram Program = generateProgram(variedOptions(Seed));
+    Trace Events = linearizeSerial(Program);
+    std::set<MemAddr> Reference = basicVerdicts(Events);
+    std::set<MemAddr> Fixed =
+        optimizedVerdicts(Events, AtomicityChecker::Options());
+    ASSERT_EQ(Fixed, Reference) << "seed " << Seed;
+  }
+}
+
+} // namespace

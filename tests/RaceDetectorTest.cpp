@@ -1,0 +1,290 @@
+//===- tests/RaceDetectorTest.cpp - All-Sets race detector tests ----------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/RaceDetector.h"
+
+#include "dpst/ArrayDpst.h"
+#include "workloads/Workloads.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "CheckerTestUtil.h"
+#include "instrument/ToolContext.h"
+#include "trace/TraceGenerator.h"
+
+using namespace avc;
+
+namespace {
+
+constexpr MemAddr X = 0x1000;
+constexpr MemAddr Y = 0x1008;
+constexpr LockId L1 = 1;
+constexpr LockId L2 = 2;
+
+size_t racesIn(const TraceBuilder &T) {
+  RaceDetector Detector;
+  replayTrace(T.finish(), Detector);
+  return Detector.numRaces();
+}
+
+TEST(RaceDetector, ParallelWriteWriteRaces) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.write(1, X).write(2, X);
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(racesIn(T), 1u);
+}
+
+TEST(RaceDetector, ParallelReadWriteRaces) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.read(1, X).write(2, X);
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(racesIn(T), 1u);
+}
+
+TEST(RaceDetector, ParallelReadsDoNotRace) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2).spawn(0, 3);
+  T.read(1, X).read(2, X).read(3, X);
+  T.end(1).end(2).end(3).sync(0).end(0);
+  EXPECT_EQ(racesIn(T), 0u);
+}
+
+TEST(RaceDetector, SerialAccessesDoNotRace) {
+  TraceBuilder T;
+  T.spawn(0, 1);
+  T.write(1, X);
+  T.end(1).sync(0);
+  T.spawn(0, 2);
+  T.write(2, X);
+  T.end(2).sync(0).end(0);
+  EXPECT_EQ(racesIn(T), 0u);
+}
+
+TEST(RaceDetector, CommonLockPreventsRace) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.acq(1, L1).write(1, X).rel(1, L1);
+  T.acq(2, L1).write(2, X).rel(2, L1);
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(racesIn(T), 0u);
+}
+
+/// The key difference from the atomicity checker's versioned locksets:
+/// re-acquisition of the same lock still prevents a *race* (while the main
+/// checker still reports the atomicity violation — see
+/// AtomicityChecker.PaperLockExampleStillViolates).
+TEST(RaceDetector, ReacquiredLockStillPreventsRace) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.acq(2, L1).write(2, X).rel(2, L1);
+  T.acq(1, L1).read(1, X).rel(1, L1);
+  T.acq(1, L1).write(1, X).rel(1, L1);
+  T.end(2).end(1).sync(0).end(0);
+  EXPECT_EQ(racesIn(T), 0u);
+
+  AtomicityChecker Checker;
+  replayTrace(T.finish(), Checker);
+  EXPECT_GE(Checker.violations().size(), 1u)
+      << "race-free but not atomic: the paper's Figure 11";
+}
+
+TEST(RaceDetector, DifferentLocksRace) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.acq(1, L1).write(1, X).rel(1, L1);
+  T.acq(2, L2).write(2, X).rel(2, L2);
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(racesIn(T), 1u);
+}
+
+TEST(RaceDetector, NestedLocksShareTheOuter) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.acq(1, L1).acq(1, L2).write(1, X).rel(1, L2).rel(1, L1);
+  T.acq(2, L1).write(2, X).rel(2, L1); // shares L1: no race
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(racesIn(T), 0u);
+}
+
+TEST(RaceDetector, LockedAgainstUnlockedRaces) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.acq(1, L1).write(1, X).rel(1, L1);
+  T.read(2, X); // no lock at all
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(racesIn(T), 1u);
+}
+
+TEST(RaceDetector, DistinctLocationsIndependent) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.write(1, X).write(2, Y); // different locations: no conflict
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(racesIn(T), 0u);
+}
+
+TEST(RaceDetector, ReportsCarryStepsAndKinds) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.read(1, X).write(2, X);
+  T.end(1).end(2).sync(0).end(0);
+  RaceDetector Detector;
+  replayTrace(T.finish(), Detector);
+  ASSERT_EQ(Detector.races().size(), 1u);
+  Race R = Detector.races().front();
+  EXPECT_EQ(R.Addr, X);
+  EXPECT_EQ(R.FirstKind, AccessKind::Read);
+  EXPECT_EQ(R.SecondKind, AccessKind::Write);
+  EXPECT_NE(R.toString().find("data race"), std::string::npos);
+  RaceStats Stats = Detector.stats();
+  EXPECT_EQ(Stats.NumRaces, 1u);
+  EXPECT_EQ(Stats.NumReads, 1u);
+  EXPECT_EQ(Stats.NumWrites, 1u);
+  EXPECT_EQ(Stats.NumLocations, 1u);
+}
+
+TEST(RaceDetector, ToolContextIntegration) {
+  ToolContext Tool(ToolKind::Race);
+  Tracked<int> Shared;
+  Tool.run([&] {
+    spawn([&] { Shared.store(1); });
+    spawn([&] { Shared.store(2); });
+  });
+  EXPECT_EQ(Tool.numViolations(), 1u);
+  ASSERT_NE(Tool.raceDetector(), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Property: agreement with a brute-force oracle on random traces
+//===----------------------------------------------------------------------===//
+
+/// O(n^2) reference: a race exists on a location iff two accesses by
+/// logically parallel steps conflict and share no lock identity.
+std::set<MemAddr> bruteForceRacyLocations(const Trace &Events) {
+  // Reuse the basic checker's infrastructure by replaying into a detector
+  // configured trivially... the oracle here is standalone: collect every
+  // access with (step, kind, lock-id set) via a RaceDetector-independent
+  // replay.
+  struct Collector : ExecutionObserver {
+    ArrayDpst Tree;
+    DpstBuilder Builder{Tree};
+    RadixTable<std::atomic<TaskFrame *>> Frames;
+    ChunkedVector<std::unique_ptr<TaskFrame>> Storage;
+    std::map<TaskId, HeldLocks> Locks;
+    struct Access {
+      NodeId Step;
+      AccessKind Kind;
+      LockSet Ids;
+    };
+    std::map<MemAddr, std::vector<Access>> Log;
+
+    TaskFrame &frame(TaskId Task) {
+      return *Frames.lookup(Task)->load();
+    }
+    TaskFrame &make(TaskId Task) {
+      auto Owned = std::make_unique<TaskFrame>();
+      TaskFrame *Raw = Owned.get();
+      Storage.emplaceBack(std::move(Owned));
+      Frames.getOrCreate(Task).store(Raw);
+      return *Raw;
+    }
+    void onProgramStart(TaskId Root) override {
+      Builder.initRoot(make(Root), Root);
+    }
+    void onTaskSpawn(TaskId Parent, const void *Tag, TaskId Child) override {
+      Builder.spawnTask(frame(Parent), Tag, make(Child), Child);
+    }
+    void onTaskEnd(TaskId Task) override { Builder.endTask(frame(Task)); }
+    void onSync(TaskId Task) override { Builder.sync(frame(Task)); }
+    void onGroupWait(TaskId Task, const void *Tag) override {
+      Builder.waitGroup(frame(Task), Tag);
+    }
+    void onLockAcquire(TaskId Task, LockId Lock) override {
+      Locks[Task].acquire(Lock, Lock);
+    }
+    void onLockRelease(TaskId Task, LockId Lock) override {
+      Locks[Task].release(Lock);
+    }
+    void record(TaskId Task, MemAddr Addr, AccessKind Kind) {
+      Log[Addr].push_back(
+          {Builder.currentStep(frame(Task)), Kind, Locks[Task].snapshotIds()});
+    }
+    void onRead(TaskId Task, MemAddr Addr) override {
+      record(Task, Addr, AccessKind::Read);
+    }
+    void onWrite(TaskId Task, MemAddr Addr) override {
+      record(Task, Addr, AccessKind::Write);
+    }
+  };
+
+  Collector C;
+  replayTrace(Events, C);
+  std::set<MemAddr> Racy;
+  for (const auto &[Addr, Accesses] : C.Log) {
+    for (size_t I = 0; I < Accesses.size() && !Racy.count(Addr); ++I)
+      for (size_t J = I + 1; J < Accesses.size(); ++J) {
+        const auto &A = Accesses[I];
+        const auto &B = Accesses[J];
+        if (A.Kind == AccessKind::Read && B.Kind == AccessKind::Read)
+          continue;
+        if (!A.Ids.disjointWith(B.Ids))
+          continue;
+        if (A.Step != B.Step &&
+            C.Tree.logicallyParallelUncached(A.Step, B.Step)) {
+          Racy.insert(Addr);
+          break;
+        }
+      }
+  }
+  return Racy;
+}
+
+class RaceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RaceSweep, MatchesBruteForceOracle) {
+  uint64_t Seed = GetParam();
+  TraceGenOptions Opts;
+  Opts.Seed = Seed;
+  Opts.NumTasks = 3 + Seed % 12;
+  Opts.NumLocations = 1 + Seed % 4;
+  Opts.NumLocks = Seed % 3;
+  Opts.MaxOpsPerTask = 4 + Seed % 8;
+  Opts.LockedFraction = (Seed % 4) * 0.25;
+  Opts.SyncFraction = (Seed % 5) * 0.08;
+  Trace Events = linearizeSerial(generateProgram(Opts));
+
+  std::set<MemAddr> Expected = bruteForceRacyLocations(Events);
+  RaceDetector Detector;
+  replayTrace(Events, Detector);
+  std::set<MemAddr> Found;
+  for (const Race &R : Detector.races())
+    Found.insert(R.Addr);
+  EXPECT_EQ(Found, Expected) << "seed " << Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaceSweep, ::testing::Range<uint64_t>(1, 61));
+
+/// The 13 workload kernels must also be race free (their racy-read cases
+/// are excluded by design... if this fails, a kernel regressed).
+TEST(RaceDetector, WorkloadKmeansHasOnlyTheDocumentedBenignRace) {
+  // kmeans deliberately contains a racy (but serializable) neighbour read;
+  // the race detector flags it, the atomicity checker does not. This test
+  // documents that intended difference.
+  ToolContext RaceTool(ToolKind::Race);
+  RaceTool.run([] { workloads::runKmeans(0.02); });
+  EXPECT_GE(RaceTool.numViolations(), 1u);
+
+  ToolContext AtomTool(ToolKind::Atomicity);
+  AtomTool.run([] { workloads::runKmeans(0.02); });
+  EXPECT_EQ(AtomTool.numViolations(), 0u);
+}
+
+} // namespace

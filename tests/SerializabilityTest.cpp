@@ -1,0 +1,85 @@
+//===- tests/SerializabilityTest.cpp - Figure 4 triple table --------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/AccessKind.h"
+
+#include <gtest/gtest.h>
+
+#include "CheckerTestUtil.h"
+
+using namespace avc;
+
+namespace {
+
+struct TripleCase {
+  AccessKind A1, A2, A3;
+  bool Unserializable;
+};
+
+class SerializabilityTable : public ::testing::TestWithParam<TripleCase> {};
+
+/// The eight rows of Figure 4.
+constexpr AccessKind R = AccessKind::Read;
+constexpr AccessKind W = AccessKind::Write;
+const TripleCase Figure4[] = {
+    {R, R, R, false}, // serializable
+    {R, R, W, false}, // serializable
+    {W, R, R, false}, // serializable
+    {W, R, W, true},  // two writes split by a foreign read
+    {R, W, R, true},  // two reads see different values
+    {R, W, W, true},  // foreign write lost between read and write
+    {W, W, R, true},  // read sees the foreign write, not the local one
+    {W, W, W, true},  // intermediate write observed/clobbered
+};
+
+TEST_P(SerializabilityTable, PredicateMatchesFigure4) {
+  const TripleCase &Case = GetParam();
+  EXPECT_EQ(isUnserializableTriple(Case.A1, Case.A2, Case.A3),
+            Case.Unserializable);
+}
+
+/// End-to-end: drive each triple through the full checker with two parallel
+/// tasks and confirm the verdict matches the table.
+TEST_P(SerializabilityTable, CheckerAgreesEndToEnd) {
+  const TripleCase &Case = GetParam();
+  constexpr MemAddr X = 0x2000;
+
+  auto Access = [](TraceBuilder &T, TaskId Task, AccessKind Kind) {
+    if (Kind == AccessKind::Read)
+      T.read(Task, X);
+    else
+      T.write(Task, X);
+  };
+
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  Access(T, 1, Case.A1);
+  Access(T, 2, Case.A2);
+  Access(T, 1, Case.A3);
+  T.end(1).end(2).sync(0).end(0);
+
+  if (Case.Unserializable)
+    expectViolatingLocations(T, {X});
+  else
+    expectViolatingLocations(T, {});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure4Rows, SerializabilityTable, ::testing::ValuesIn(Figure4),
+    [](const ::testing::TestParamInfo<TripleCase> &Info) {
+      auto Letter = [](AccessKind Kind) {
+        return Kind == AccessKind::Read ? "R" : "W";
+      };
+      return std::string(Letter(Info.param.A1)) + Letter(Info.param.A2) +
+             Letter(Info.param.A3);
+    });
+
+TEST(Serializability, KindNames) {
+  EXPECT_STREQ(accessKindName(AccessKind::Read), "read");
+  EXPECT_STREQ(accessKindName(AccessKind::Write), "write");
+}
+
+} // namespace

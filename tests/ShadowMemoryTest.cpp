@@ -1,0 +1,81 @@
+//===- tests/ShadowMemoryTest.cpp - Shadow map tests ----------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/ShadowMemory.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using namespace avc;
+
+namespace {
+
+TEST(ShadowMemory, SlotsDefaultConstruct) {
+  ShadowMemory<int> Shadow;
+  EXPECT_EQ(Shadow.getOrCreate(0x1234), 0);
+  Shadow.getOrCreate(0x1234) = 7;
+  EXPECT_EQ(Shadow.getOrCreate(0x1234), 7);
+}
+
+TEST(ShadowMemory, DistinctAddressesDistinctSlots) {
+  ShadowMemory<int> Shadow;
+  Shadow.getOrCreate(0x1000) = 1;
+  Shadow.getOrCreate(0x1001) = 2;
+  Shadow.getOrCreate(0xdeadbeef) = 3;
+  EXPECT_EQ(Shadow.getOrCreate(0x1000), 1);
+  EXPECT_EQ(Shadow.getOrCreate(0x1001), 2);
+  EXPECT_EQ(Shadow.getOrCreate(0xdeadbeef), 3);
+}
+
+TEST(ShadowMemory, LookupDoesNotMaterialize) {
+  ShadowMemory<int> Shadow;
+  EXPECT_EQ(Shadow.lookup(0x5000), nullptr);
+  Shadow.getOrCreate(0x5000) = 4;
+  ASSERT_NE(Shadow.lookup(0x5000), nullptr);
+  EXPECT_EQ(*Shadow.lookup(0x5000), 4);
+  // A neighbouring address in the same leaf exists (zeroed) but a far one
+  // does not.
+  EXPECT_NE(Shadow.lookup(0x5001), nullptr);
+  EXPECT_EQ(Shadow.lookup(0x500000000000ULL), nullptr);
+}
+
+TEST(ShadowMemory, SlotAddressesStable) {
+  ShadowMemory<int> Shadow;
+  int *Slot = &Shadow.getOrCreate(0x77777);
+  for (MemAddr Addr = 0; Addr < 100000; Addr += 97)
+    Shadow.getOrCreate(Addr);
+  EXPECT_EQ(Slot, &Shadow.getOrCreate(0x77777));
+}
+
+TEST(ShadowMemory, SparseAddressesAcrossLevels) {
+  ShadowMemory<uint64_t> Shadow;
+  // Addresses differing only in the top, middle, and bottom 16 bits.
+  std::vector<MemAddr> Addrs = {0x000100000000ULL, 0x000000010000ULL,
+                                0x000000000001ULL, 0xffffffffffffULL};
+  for (size_t I = 0; I < Addrs.size(); ++I)
+    Shadow.getOrCreate(Addrs[I]) = I + 1;
+  for (size_t I = 0; I < Addrs.size(); ++I)
+    EXPECT_EQ(Shadow.getOrCreate(Addrs[I]), I + 1);
+}
+
+TEST(ShadowMemory, ConcurrentFirstTouch) {
+  ShadowMemory<std::atomic<int>> Shadow;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&Shadow] {
+      for (MemAddr Addr = 0; Addr < 5000; ++Addr)
+        Shadow.getOrCreate(Addr * 64).fetch_add(1,
+                                                std::memory_order_relaxed);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (MemAddr Addr = 0; Addr < 5000; ++Addr)
+    EXPECT_EQ(Shadow.getOrCreate(Addr * 64).load(), 4);
+}
+
+} // namespace

@@ -1,0 +1,267 @@
+//===- tests/SupportTest.cpp - support/ utility tests ---------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/ChunkedVector.h"
+#include "support/PointerMap.h"
+#include "support/RadixTable.h"
+#include "support/Random.h"
+#include "support/SpinLock.h"
+#include "support/Statistics.h"
+
+using namespace avc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ChunkedVector
+//===----------------------------------------------------------------------===//
+
+TEST(ChunkedVector, AppendAndIndex) {
+  ChunkedVector<int> Vec;
+  EXPECT_TRUE(Vec.empty());
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_EQ(Vec.emplaceBack(I * 3), static_cast<size_t>(I));
+  EXPECT_EQ(Vec.size(), 10000u);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_EQ(Vec[I], I * 3);
+}
+
+TEST(ChunkedVector, ElementAddressesAreStable) {
+  ChunkedVector<int, 4> Vec; // tiny chunks to force many allocations
+  Vec.emplaceBack(42);
+  int *First = &Vec[0];
+  for (int I = 0; I < 1000; ++I)
+    Vec.emplaceBack(I);
+  EXPECT_EQ(First, &Vec[0]);
+  EXPECT_EQ(*First, 42);
+}
+
+TEST(ChunkedVector, DestroysElements) {
+  static int Live = 0;
+  struct Probe {
+    Probe() { ++Live; }
+    ~Probe() { --Live; }
+  };
+  {
+    ChunkedVector<Probe, 3> Vec;
+    for (int I = 0; I < 100; ++I)
+      Vec.emplaceBack();
+    EXPECT_EQ(Live, 100);
+  }
+  EXPECT_EQ(Live, 0);
+}
+
+TEST(ChunkedVector, ConcurrentAppendAndRead) {
+  ChunkedVector<size_t, 6> Vec;
+  std::atomic<bool> Stop{false};
+  std::thread Reader([&] {
+    while (!Stop.load()) {
+      size_t N = Vec.size();
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_EQ(Vec[I], I);
+    }
+  });
+  for (size_t I = 0; I < 20000; ++I)
+    Vec.emplaceBack(I);
+  Stop.store(true);
+  Reader.join();
+  EXPECT_EQ(Vec.size(), 20000u);
+}
+
+//===----------------------------------------------------------------------===//
+// RadixTable
+//===----------------------------------------------------------------------===//
+
+TEST(RadixTable, GetOrCreateDefaultConstructs) {
+  RadixTable<int> Table;
+  EXPECT_EQ(Table.getOrCreate(123), 0);
+  Table.getOrCreate(123) = 7;
+  EXPECT_EQ(Table.getOrCreate(123), 7);
+  EXPECT_EQ(Table.getOrCreate(124), 0); // same leaf, different slot
+}
+
+TEST(RadixTable, LookupWithoutCreate) {
+  RadixTable<int> Table;
+  EXPECT_EQ(Table.lookup(5000), nullptr);
+  Table.getOrCreate(5000) = 9;
+  ASSERT_NE(Table.lookup(5000), nullptr);
+  EXPECT_EQ(*Table.lookup(5000), 9);
+}
+
+TEST(RadixTable, SlotsAreStable) {
+  RadixTable<int, 4, 4> Table;
+  int *Slot = &Table.getOrCreate(3);
+  for (uint64_t Key = 0; Key < 200; ++Key)
+    Table.getOrCreate(Key);
+  EXPECT_EQ(Slot, &Table.getOrCreate(3));
+}
+
+TEST(RadixTable, ConcurrentCreationRaces) {
+  RadixTable<std::atomic<int>, 6, 6> Table;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&Table] {
+      for (uint64_t Key = 0; Key < 2000; ++Key)
+        Table.getOrCreate(Key).fetch_add(1, std::memory_order_relaxed);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (uint64_t Key = 0; Key < 2000; ++Key)
+    EXPECT_EQ(Table.getOrCreate(Key).load(), 4);
+}
+
+//===----------------------------------------------------------------------===//
+// PointerMap
+//===----------------------------------------------------------------------===//
+
+TEST(PointerMap, InsertLookupDefaultConstruct) {
+  int A = 0, B = 0;
+  PointerMap<int *, int> Map;
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.lookup(&A), nullptr);
+  Map[&A] = 7;
+  Map[&B] = 9;
+  EXPECT_EQ(Map.size(), 2u);
+  ASSERT_NE(Map.lookup(&A), nullptr);
+  EXPECT_EQ(*Map.lookup(&A), 7);
+  EXPECT_EQ(Map[&B], 9);
+  EXPECT_EQ(Map[&A], 7); // existing key: no duplicate
+  EXPECT_EQ(Map.size(), 2u);
+}
+
+TEST(PointerMap, GrowthKeepsAllEntries) {
+  std::vector<int> Keys(5000);
+  PointerMap<int *, size_t> Map;
+  for (size_t I = 0; I < Keys.size(); ++I)
+    Map[&Keys[I]] = I;
+  EXPECT_EQ(Map.size(), Keys.size());
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    ASSERT_NE(Map.lookup(&Keys[I]), nullptr) << I;
+    EXPECT_EQ(*Map.lookup(&Keys[I]), I);
+  }
+}
+
+TEST(PointerMap, ClearResets) {
+  int A = 0;
+  PointerMap<int *, int> Map;
+  Map[&A] = 3;
+  Map.clear();
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.lookup(&A), nullptr);
+  Map[&A] = 4;
+  EXPECT_EQ(*Map.lookup(&A), 4);
+}
+
+TEST(PointerMap, NonTrivialValues) {
+  std::vector<int> Keys(100);
+  PointerMap<int *, std::vector<int>> Map;
+  for (size_t I = 0; I < Keys.size(); ++I)
+    Map[&Keys[I]].push_back(static_cast<int>(I));
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    ASSERT_EQ(Map[&Keys[I]].size(), 1u);
+    EXPECT_EQ(Map[&Keys[I]].front(), static_cast<int>(I));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SplitMix64
+//===----------------------------------------------------------------------===//
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(SplitMix64, BoundsRespected) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I < 10000; ++I) {
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+    uint64_t V = Rng.nextInRange(5, 9);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 9u);
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(SplitMix64, RoughlyUniform) {
+  SplitMix64 Rng(99);
+  int Buckets[10] = {0};
+  for (int I = 0; I < 100000; ++I)
+    ++Buckets[Rng.nextBelow(10)];
+  for (int Count : Buckets) {
+    EXPECT_GT(Count, 9000);
+    EXPECT_LT(Count, 11000);
+  }
+}
+
+TEST(SplitMix64, ChanceEdgeCases) {
+  SplitMix64 Rng(5);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(Rng.nextChance(0, 10));
+    EXPECT_TRUE(Rng.nextChance(10, 10));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(Statistics, Means) {
+  EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(geometricMean({1.0, 4.0, 16.0}), 4.0);
+  EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(minimum({3.0, 1.0, 2.0}), 1.0);
+}
+
+TEST(Statistics, GeometricMeanMatchesPaperStyle) {
+  // A 4.2x-ish slowdown set: the geomean sits between min and max.
+  std::vector<double> Slowdowns = {1.5, 3.0, 4.0, 5.0, 11.0};
+  double G = geometricMean(Slowdowns);
+  EXPECT_GT(G, 1.5);
+  EXPECT_LT(G, 11.0);
+  EXPECT_NEAR(G, 3.88, 0.1);
+}
+
+//===----------------------------------------------------------------------===//
+// SpinLock
+//===----------------------------------------------------------------------===//
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock Lock;
+  int Counter = 0;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 10000; ++I) {
+        std::lock_guard<SpinLock> Guard(Lock);
+        ++Counter;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Counter, 40000);
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock Lock;
+  EXPECT_TRUE(Lock.try_lock());
+  EXPECT_FALSE(Lock.try_lock());
+  Lock.unlock();
+  EXPECT_TRUE(Lock.try_lock());
+  Lock.unlock();
+}
+
+} // namespace

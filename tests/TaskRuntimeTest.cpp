@@ -1,0 +1,289 @@
+//===- tests/TaskRuntimeTest.cpp - Scheduler and parallel algorithms ------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TaskRuntime.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/Mutex.h"
+#include "runtime/Parallel.h"
+#include "trace/TraceRecorder.h"
+
+using namespace avc;
+
+namespace {
+
+/// Every behavioural test runs single- and multi-threaded.
+class RuntimeTest : public ::testing::TestWithParam<unsigned> {
+protected:
+  TaskRuntime::Options options() const {
+    TaskRuntime::Options Opts;
+    Opts.NumThreads = GetParam();
+    return Opts;
+  }
+};
+
+TEST_P(RuntimeTest, RootRunsOnCaller) {
+  TaskRuntime RT(options());
+  bool Ran = false;
+  RT.run([&] {
+    Ran = true;
+    EXPECT_EQ(TaskRuntime::current(), &RT);
+    EXPECT_EQ(TaskRuntime::currentTaskId(), 0u);
+  });
+  EXPECT_TRUE(Ran);
+  EXPECT_EQ(TaskRuntime::current(), nullptr);
+}
+
+TEST_P(RuntimeTest, SpawnSyncCompletesChildren) {
+  TaskRuntime RT(options());
+  std::atomic<int> Counter{0};
+  RT.run([&] {
+    for (int I = 0; I < 100; ++I)
+      spawn([&] { Counter.fetch_add(1); });
+    avc::sync();
+    EXPECT_EQ(Counter.load(), 100);
+  });
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST_P(RuntimeTest, ImplicitSyncAtTaskEnd) {
+  TaskRuntime RT(options());
+  std::atomic<int> Counter{0};
+  RT.run([&] {
+    for (int I = 0; I < 50; ++I)
+      spawn([&] { Counter.fetch_add(1); });
+    // No explicit sync: run() must still wait for everything.
+  });
+  EXPECT_EQ(Counter.load(), 50);
+}
+
+TEST_P(RuntimeTest, NestedSpawns) {
+  TaskRuntime RT(options());
+  std::atomic<int> Counter{0};
+  RT.run([&] {
+    for (int I = 0; I < 8; ++I)
+      spawn([&] {
+        for (int J = 0; J < 8; ++J)
+          spawn([&] { Counter.fetch_add(1); });
+      });
+  });
+  EXPECT_EQ(Counter.load(), 64);
+}
+
+TEST_P(RuntimeTest, TaskGroupWait) {
+  TaskRuntime RT(options());
+  std::atomic<int> Counter{0};
+  RT.run([&] {
+    TaskGroup Group;
+    for (int I = 0; I < 20; ++I)
+      Group.run([&] { Counter.fetch_add(1); });
+    Group.wait();
+    EXPECT_EQ(Counter.load(), 20);
+    // A group is reusable after wait.
+    Group.run([&] { Counter.fetch_add(1); });
+    Group.wait();
+    EXPECT_EQ(Counter.load(), 21);
+  });
+}
+
+TEST_P(RuntimeTest, TaskIdsAreDenseAndUnique) {
+  TaskRuntime RT(options());
+  std::vector<std::atomic<int>> Seen(101);
+  for (auto &S : Seen)
+    S.store(0);
+  RT.run([&] {
+    for (int I = 0; I < 100; ++I)
+      spawn([&] { Seen[TaskRuntime::currentTaskId()].fetch_add(1); });
+  });
+  // Ids 1..100 each executed exactly once (0 is the root).
+  for (int I = 1; I <= 100; ++I)
+    EXPECT_EQ(Seen[I].load(), 1) << "task id " << I;
+}
+
+TEST_P(RuntimeTest, ParallelForCoversRangeOnce) {
+  TaskRuntime RT(options());
+  std::vector<std::atomic<int>> Hits(1000);
+  for (auto &H : Hits)
+    H.store(0);
+  RT.run([&] {
+    parallelFor<size_t>(0, Hits.size(), 16, [&](size_t Lo, size_t Hi) {
+      for (size_t I = Lo; I < Hi; ++I)
+        Hits[I].fetch_add(1);
+    });
+  });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST_P(RuntimeTest, ParallelForEmptyAndTinyRanges) {
+  TaskRuntime RT(options());
+  std::atomic<int> Calls{0};
+  RT.run([&] {
+    parallelFor<int>(5, 5, 4, [&](int, int) { Calls.fetch_add(1); });
+    EXPECT_EQ(Calls.load(), 0);
+    parallelFor<int>(5, 6, 4, [&](int Lo, int Hi) {
+      EXPECT_EQ(Lo, 5);
+      EXPECT_EQ(Hi, 6);
+      Calls.fetch_add(1);
+    });
+    EXPECT_EQ(Calls.load(), 1);
+  });
+}
+
+TEST_P(RuntimeTest, ParallelReduceSums) {
+  TaskRuntime RT(options());
+  long Result = 0;
+  RT.run([&] {
+    Result = parallelReduce<size_t, long>(
+        0, 10000, 64, 0L,
+        [](size_t Lo, size_t Hi) {
+          long Sum = 0;
+          for (size_t I = Lo; I < Hi; ++I)
+            Sum += static_cast<long>(I);
+          return Sum;
+        },
+        [](long A, long B) { return A + B; });
+  });
+  EXPECT_EQ(Result, 10000L * 9999L / 2);
+}
+
+TEST_P(RuntimeTest, ParallelInvokeRunsAll) {
+  TaskRuntime RT(options());
+  std::atomic<int> Mask{0};
+  RT.run([&] {
+    parallelInvoke([&] { Mask.fetch_or(1); }, [&] { Mask.fetch_or(2); },
+                   [&] { Mask.fetch_or(4); }, [&] { Mask.fetch_or(8); });
+  });
+  EXPECT_EQ(Mask.load(), 15);
+}
+
+TEST_P(RuntimeTest, MutexProtectsCounter) {
+  TaskRuntime RT(options());
+  Mutex Lock;
+  int Unguarded = 0;
+  RT.run([&] {
+    parallelForEach<int>(0, 1000, 8, [&](int) {
+      MutexGuard Guard(Lock);
+      ++Unguarded;
+    });
+  });
+  EXPECT_EQ(Unguarded, 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RuntimeTest, ::testing::Values(1u, 4u),
+                         [](const auto &Info) {
+                           return "threads" + std::to_string(Info.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Observer event sequences (single-threaded for determinism)
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeObserver, SpawnSyncEventOrder) {
+  TaskRuntime RT;
+  TraceRecorder Recorder;
+  RT.addObserver(&Recorder);
+  RT.run([&] {
+    spawn([] {});
+    avc::sync();
+  });
+  const Trace &Events = Recorder.trace();
+  ASSERT_GE(Events.size(), 6u);
+  EXPECT_EQ(Events.front().Kind, TraceEventKind::ProgramStart);
+  EXPECT_EQ(Events.back().Kind, TraceEventKind::ProgramEnd);
+
+  // Spawn precedes the child's end; the explicit sync follows the child's
+  // end; the runtime then emits the trailing implicit sync and root end.
+  size_t SpawnAt = 0, ChildEndAt = 0, SyncAt = 0, RootEndAt = 0;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    if (Events[I].Kind == TraceEventKind::TaskSpawn)
+      SpawnAt = I;
+    if (Events[I].Kind == TraceEventKind::TaskEnd && Events[I].Task == 1)
+      ChildEndAt = I;
+    if (Events[I].Kind == TraceEventKind::Sync && SyncAt == 0)
+      SyncAt = I;
+    if (Events[I].Kind == TraceEventKind::TaskEnd && Events[I].Task == 0)
+      RootEndAt = I;
+  }
+  EXPECT_LT(SpawnAt, ChildEndAt);
+  EXPECT_LT(ChildEndAt, SyncAt);
+  EXPECT_LT(SyncAt, RootEndAt);
+
+  // The spawn used the implicit scope.
+  EXPECT_EQ(Events[SpawnAt].Arg2, 0u);
+}
+
+TEST(RuntimeObserver, GroupWaitCarriesTag) {
+  TaskRuntime RT;
+  TraceRecorder Recorder;
+  RT.addObserver(&Recorder);
+  RT.run([&] {
+    TaskGroup Group;
+    Group.run([] {});
+    Group.wait();
+  });
+  bool SawSpawnWithGroup = false, SawWait = false;
+  uint64_t SpawnGroup = 0, WaitGroup = 0;
+  for (const TraceEvent &Event : Recorder.trace()) {
+    if (Event.Kind == TraceEventKind::TaskSpawn && Event.Arg2 != 0) {
+      SawSpawnWithGroup = true;
+      SpawnGroup = Event.Arg2;
+    }
+    if (Event.Kind == TraceEventKind::GroupWait) {
+      SawWait = true;
+      WaitGroup = Event.Arg1;
+    }
+  }
+  EXPECT_TRUE(SawSpawnWithGroup);
+  EXPECT_TRUE(SawWait);
+  EXPECT_EQ(SpawnGroup, WaitGroup);
+}
+
+TEST(RuntimeObserver, LockEventsBracketCriticalSection) {
+  TaskRuntime RT;
+  TraceRecorder Recorder;
+  RT.addObserver(&Recorder);
+  Mutex Lock;
+  RT.run([&] {
+    MutexGuard Guard(Lock);
+    TaskRuntime::notifyWrite(&Lock); // any address; order marker
+  });
+  const Trace &Events = Recorder.trace();
+  size_t AcqAt = 0, WriteAt = 0, RelAt = 0;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    if (Events[I].Kind == TraceEventKind::LockAcquire)
+      AcqAt = I;
+    if (Events[I].Kind == TraceEventKind::Write)
+      WriteAt = I;
+    if (Events[I].Kind == TraceEventKind::LockRelease)
+      RelAt = I;
+  }
+  EXPECT_LT(AcqAt, WriteAt);
+  EXPECT_LT(WriteAt, RelAt);
+  EXPECT_EQ(Events[AcqAt].Arg1, Lock.lockId());
+}
+
+TEST(RuntimeObserver, NotifyOutsideTaskIsIgnored) {
+  int Dummy = 0;
+  // Outside any runtime: must not crash, must not require a runtime.
+  TaskRuntime::notifyRead(&Dummy);
+  TaskRuntime::notifyWrite(&Dummy);
+  TaskRuntime::notifyLockAcquire(1);
+  TaskRuntime::notifyLockRelease(1);
+  SUCCEED();
+}
+
+TEST(RuntimeObserver, DistinctMutexesGetDistinctIds) {
+  Mutex A, B;
+  EXPECT_NE(A.lockId(), B.lockId());
+}
+
+} // namespace

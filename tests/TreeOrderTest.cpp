@@ -1,0 +1,84 @@
+//===- tests/TreeOrderTest.cpp - DPST left-to-right order queries ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "dpst/Dpst.h"
+
+using namespace avc;
+
+namespace {
+
+class TreeOrderTest : public ::testing::TestWithParam<DpstLayout> {
+protected:
+  void SetUp() override { Tree = createDpst(GetParam()); }
+  std::unique_ptr<Dpst> Tree;
+};
+
+TEST_P(TreeOrderTest, SiblingOrder) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId A = Tree->addNode(Root, DpstNodeKind::Step, 0);
+  NodeId B = Tree->addNode(Root, DpstNodeKind::Step, 0);
+  EXPECT_TRUE(Tree->treeOrderedBefore(A, B));
+  EXPECT_FALSE(Tree->treeOrderedBefore(B, A));
+}
+
+TEST_P(TreeOrderTest, AncestorPrecedesDescendant) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId Async = Tree->addNode(Root, DpstNodeKind::Async, 1);
+  NodeId Step = Tree->addNode(Async, DpstNodeKind::Step, 1);
+  EXPECT_TRUE(Tree->treeOrderedBefore(Root, Step));
+  EXPECT_FALSE(Tree->treeOrderedBefore(Step, Root));
+  EXPECT_TRUE(Tree->treeOrderedBefore(Async, Step));
+}
+
+TEST_P(TreeOrderTest, CrossSubtreeOrderFollowsSiblingOrder) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId A1 = Tree->addNode(Root, DpstNodeKind::Async, 1);
+  NodeId A2 = Tree->addNode(Root, DpstNodeKind::Async, 2);
+  // Steps created in an order *opposite* to the subtree order: creation id
+  // must not leak into the answer.
+  NodeId SUnderA2 = Tree->addNode(A2, DpstNodeKind::Step, 2);
+  NodeId SUnderA1 = Tree->addNode(A1, DpstNodeKind::Step, 1);
+  EXPECT_GT(SUnderA1, SUnderA2); // created later...
+  EXPECT_TRUE(Tree->treeOrderedBefore(SUnderA1, SUnderA2)); // ...but left
+  EXPECT_FALSE(Tree->treeOrderedBefore(SUnderA2, SUnderA1));
+}
+
+TEST_P(TreeOrderTest, DifferentDepths) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId Finish = Tree->addNode(Root, DpstNodeKind::Finish, 0);
+  NodeId Async = Tree->addNode(Finish, DpstNodeKind::Async, 1);
+  NodeId Deep = Tree->addNode(Async, DpstNodeKind::Step, 1);
+  NodeId Shallow = Tree->addNode(Root, DpstNodeKind::Step, 0);
+  // Deep lives under the finish (sibling index 0), Shallow after it.
+  EXPECT_TRUE(Tree->treeOrderedBefore(Deep, Shallow));
+  EXPECT_FALSE(Tree->treeOrderedBefore(Shallow, Deep));
+}
+
+TEST_P(TreeOrderTest, TotalOrderOverLeaves) {
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  std::vector<NodeId> Steps;
+  for (int I = 0; I < 8; ++I) {
+    NodeId Async = Tree->addNode(Root, DpstNodeKind::Async, I + 1);
+    Steps.push_back(Tree->addNode(Async, DpstNodeKind::Step, I + 1));
+  }
+  for (size_t I = 0; I < Steps.size(); ++I)
+    for (size_t J = 0; J < Steps.size(); ++J) {
+      if (I == J)
+        continue;
+      EXPECT_EQ(Tree->treeOrderedBefore(Steps[I], Steps[J]), I < J);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, TreeOrderTest,
+                         ::testing::Values(DpstLayout::Array,
+                                           DpstLayout::Linked),
+                         [](const auto &Info) {
+                           return std::string(dpstLayoutName(Info.param));
+                         });
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/VelodromeTest.cpp - Trace-bound baseline tests ---------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Velodrome.h"
+
+#include <gtest/gtest.h>
+
+#include "CheckerTestUtil.h"
+
+using namespace avc;
+
+namespace {
+
+constexpr MemAddr X = 0x1000;
+constexpr MemAddr Y = 0x1008;
+
+size_t velodromeViolations(const TraceBuilder &T) {
+  VelodromeChecker Checker;
+  replayTrace(T.finish(), Checker);
+  return Checker.numViolations();
+}
+
+/// W-W-W interleaving observed in the trace: edge 1->2 then 2->1, a cycle.
+TEST(Velodrome, ObservedWWWInterleavingIsACycle) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.write(1, X); // txn S1 writes first
+  T.write(2, X); // S2 interleaves: edge S1 -> S2
+  T.write(1, X); // S1 again: edge S2 -> S1 => cycle
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(velodromeViolations(T), 1u);
+}
+
+/// The same program observed *without* the interleaving: no cycle — this is
+/// exactly the schedule-sensitivity the paper contrasts with the DPST
+/// approach, which flags this trace (see AtomicityCheckerTest).
+TEST(Velodrome, SerialObservationHidesTheViolation) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.write(1, X);
+  T.write(1, X); // S1's accesses adjacent in the observed trace
+  T.write(2, X);
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(velodromeViolations(T), 0u);
+}
+
+/// R-W-R: two reads by one step observing different writes.
+TEST(Velodrome, ObservedRWRInterleaving) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.write(2, X); // S2 writes (last writer)
+  T.read(1, X);  // edge S2 -> S1
+  T.write(2, X); // reader S1 -> writer S2: edge S1 -> S2 => cycle
+  T.read(1, X);
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(velodromeViolations(T), 1u);
+}
+
+/// Cross-variable cycle: S1 and S2 conflict on X in one order and on Y in
+/// the other.
+TEST(Velodrome, CrossVariableCycle) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.write(1, X);
+  T.write(2, X); // S1 -> S2 on X
+  T.write(2, Y);
+  T.write(1, Y); // S2 -> S1 on Y => cycle
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(velodromeViolations(T), 1u);
+}
+
+TEST(Velodrome, ForwardOnlyConflictsAreSerializable) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.write(1, X);
+  T.write(1, Y);
+  T.write(2, X); // S1 -> S2
+  T.write(2, Y); // S1 -> S2 again: same direction, no cycle
+  T.end(1).end(2).sync(0).end(0);
+  EXPECT_EQ(velodromeViolations(T), 0u);
+}
+
+TEST(Velodrome, ReadersDoNotConflictWithEachOther) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2).spawn(0, 3);
+  T.read(1, X).read(2, X).read(3, X);
+  T.read(1, X).read(2, X);
+  T.end(1).end(2).end(3).sync(0).end(0);
+  EXPECT_EQ(velodromeViolations(T), 0u);
+}
+
+TEST(Velodrome, StatsCountEdgesAndTransactions) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.write(1, X);
+  T.write(2, X);
+  T.write(1, X);
+  T.end(1).end(2).sync(0).end(0);
+  VelodromeChecker Checker;
+  replayTrace(T.finish(), Checker);
+  VelodromeStats Stats = Checker.stats();
+  EXPECT_EQ(Stats.NumWrites, 3u);
+  EXPECT_EQ(Stats.NumEdges, 2u);
+  EXPECT_EQ(Stats.NumCycles, 1u);
+  ASSERT_EQ(Checker.cycles().size(), 1u);
+  EXPECT_EQ(Checker.cycles().front().Addr, X);
+}
+
+/// A step's accesses to itself never create edges.
+TEST(Velodrome, SelfConflictsIgnored) {
+  TraceBuilder T;
+  T.spawn(0, 1);
+  T.write(1, X).read(1, X).write(1, X);
+  T.end(1).sync(0).end(0);
+  EXPECT_EQ(velodromeViolations(T), 0u);
+}
+
+} // namespace

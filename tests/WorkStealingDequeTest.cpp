@@ -1,0 +1,121 @@
+//===- tests/WorkStealingDequeTest.cpp - Chase-Lev deque tests ------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/WorkStealingDeque.h"
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using namespace avc;
+
+namespace {
+
+TEST(WorkStealingDeque, LifoForOwner) {
+  WorkStealingDeque<int> Deque;
+  int A = 1, B = 2, C = 3;
+  Deque.push(&A);
+  Deque.push(&B);
+  Deque.push(&C);
+  EXPECT_EQ(Deque.pop(), &C);
+  EXPECT_EQ(Deque.pop(), &B);
+  EXPECT_EQ(Deque.pop(), &A);
+  EXPECT_EQ(Deque.pop(), nullptr);
+}
+
+TEST(WorkStealingDeque, FifoForThieves) {
+  WorkStealingDeque<int> Deque;
+  int A = 1, B = 2, C = 3;
+  Deque.push(&A);
+  Deque.push(&B);
+  Deque.push(&C);
+  EXPECT_EQ(Deque.steal(), &A);
+  EXPECT_EQ(Deque.steal(), &B);
+  EXPECT_EQ(Deque.steal(), &C);
+  EXPECT_EQ(Deque.steal(), nullptr);
+}
+
+TEST(WorkStealingDeque, GrowthPreservesContents) {
+  WorkStealingDeque<int> Deque(2); // force several growths
+  std::vector<int> Values(1000);
+  for (int I = 0; I < 1000; ++I) {
+    Values[I] = I;
+    Deque.push(&Values[I]);
+  }
+  EXPECT_EQ(Deque.sizeHint(), 1000);
+  for (int I = 999; I >= 0; --I)
+    EXPECT_EQ(Deque.pop(), &Values[I]);
+}
+
+TEST(WorkStealingDeque, MixedPopAndSteal) {
+  WorkStealingDeque<int> Deque;
+  int Items[6] = {0, 1, 2, 3, 4, 5};
+  for (int &Item : Items)
+    Deque.push(&Item);
+  EXPECT_EQ(Deque.steal(), &Items[0]); // oldest
+  EXPECT_EQ(Deque.pop(), &Items[5]);   // newest
+  EXPECT_EQ(Deque.steal(), &Items[1]);
+  EXPECT_EQ(Deque.pop(), &Items[4]);
+  EXPECT_EQ(Deque.pop(), &Items[3]);
+  EXPECT_EQ(Deque.pop(), &Items[2]);
+  EXPECT_EQ(Deque.pop(), nullptr);
+  EXPECT_EQ(Deque.steal(), nullptr);
+}
+
+/// Stress: one owner pushing/popping, three thieves stealing. Every item
+/// must be taken exactly once (no loss, no duplication).
+TEST(WorkStealingDeque, ConcurrentStealStress) {
+  constexpr int NumItems = 50000;
+  WorkStealingDeque<int> Deque(8);
+  std::vector<int> Values(NumItems);
+  std::atomic<int> Taken{0};
+  std::vector<std::atomic<int>> SeenCount(NumItems);
+  for (auto &Count : SeenCount)
+    Count.store(0);
+
+  std::atomic<bool> Done{false};
+  auto Thief = [&] {
+    while (!Done.load(std::memory_order_acquire)) {
+      if (int *Item = Deque.steal()) {
+        SeenCount[Item - Values.data()].fetch_add(1);
+        Taken.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T < 3; ++T)
+    Thieves.emplace_back(Thief);
+
+  for (int I = 0; I < NumItems; ++I) {
+    Values[I] = I;
+    Deque.push(&Values[I]);
+    if (I % 3 == 0) {
+      if (int *Item = Deque.pop()) {
+        SeenCount[Item - Values.data()].fetch_add(1);
+        Taken.fetch_add(1);
+      }
+    }
+  }
+  while (int *Item = Deque.pop()) {
+    SeenCount[Item - Values.data()].fetch_add(1);
+    Taken.fetch_add(1);
+  }
+  // Let thieves drain any remainder, then stop them.
+  while (Taken.load() < NumItems)
+    std::this_thread::yield();
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Thieves)
+    T.join();
+
+  EXPECT_EQ(Taken.load(), NumItems);
+  for (int I = 0; I < NumItems; ++I)
+    EXPECT_EQ(SeenCount[I].load(), 1) << "item " << I;
+}
+
+} // namespace

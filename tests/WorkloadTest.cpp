@@ -1,0 +1,108 @@
+//===- tests/WorkloadTest.cpp - Benchmark kernel smoke tests --------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Each of the thirteen Table 1 kernels must (a) run to completion under
+/// every tool, (b) perform tracked accesses, and (c) be free of atomicity
+/// violations — the paper measures overhead on these applications and
+/// reports detection results separately, so a violation here would be a
+/// kernel bug.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "instrument/ToolContext.h"
+
+using namespace avc;
+using namespace avc::workloads;
+
+namespace {
+
+constexpr double TestScale = 0.02; // tiny inputs; structure is what matters
+
+class WorkloadSmoke : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadSmoke, CleanUnderOptimizedChecker) {
+  const Workload &W = GetParam();
+  ToolContext Tool(ToolKind::Atomicity);
+  Tool.run([&] { W.Run(TestScale); });
+  EXPECT_EQ(Tool.numViolations(), 0u) << W.Name;
+  CheckerStats Stats = Tool.atomicityChecker()->stats();
+  EXPECT_GT(Stats.NumReads + Stats.NumWrites, 0u) << W.Name;
+  EXPECT_GT(Stats.NumLocations, 0u) << W.Name;
+  EXPECT_GT(Stats.NumDpstNodes, 1u) << W.Name;
+}
+
+TEST_P(WorkloadSmoke, CleanUnderVelodrome) {
+  const Workload &W = GetParam();
+  ToolContext Tool(ToolKind::Velodrome);
+  Tool.run([&] { W.Run(TestScale); });
+  EXPECT_EQ(Tool.numViolations(), 0u) << W.Name;
+}
+
+TEST_P(WorkloadSmoke, RunsUninstrumentedMultithreaded) {
+  const Workload &W = GetParam();
+  ToolContext Tool(ToolKind::None, /*NumThreads=*/4);
+  Tool.run([&] { W.Run(TestScale); });
+  EXPECT_EQ(Tool.numViolations(), 0u) << W.Name;
+}
+
+TEST_P(WorkloadSmoke, CheckerDeterministicAcrossRuns) {
+  const Workload &W = GetParam();
+  CheckerStats First, Second;
+  for (int Round = 0; Round < 2; ++Round) {
+    ToolContext Tool(ToolKind::Atomicity);
+    Tool.run([&] { W.Run(TestScale); });
+    (Round == 0 ? First : Second) = Tool.atomicityChecker()->stats();
+  }
+  // Addresses differ between runs, but structural counters must not.
+  EXPECT_EQ(First.NumLocations, Second.NumLocations) << W.Name;
+  EXPECT_EQ(First.NumReads, Second.NumReads) << W.Name;
+  EXPECT_EQ(First.NumWrites, Second.NumWrites) << W.Name;
+  EXPECT_EQ(First.NumDpstNodes, Second.NumDpstNodes) << W.Name;
+  EXPECT_EQ(First.Lca.NumQueries, Second.Lca.NumQueries) << W.Name;
+}
+
+std::vector<Workload> workloadList() {
+  size_t Count = 0;
+  const Workload *Table = allWorkloads(Count);
+  return std::vector<Workload>(Table, Table + Count);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllThirteen, WorkloadSmoke,
+                         ::testing::ValuesIn(workloadList()),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+TEST(WorkloadRegistry, ThirteenBenchmarksInTableOrder) {
+  size_t Count = 0;
+  const Workload *Table = allWorkloads(Count);
+  ASSERT_EQ(Count, 13u);
+  EXPECT_STREQ(Table[0].Name, "blackscholes");
+  EXPECT_STREQ(Table[12].Name, "sort");
+}
+
+/// blackscholes' defining Table 1 property: zero LCA queries (every
+/// location is touched by exactly one step).
+TEST(WorkloadCharacteristics, BlackscholesPerformsNoLcaQueries) {
+  ToolContext Tool(ToolKind::Atomicity);
+  Tool.run([] { runBlackscholes(TestScale); });
+  EXPECT_EQ(Tool.atomicityChecker()->stats().Lca.NumQueries, 0u);
+}
+
+/// kmeans' defining property: LCA queries vastly outnumber locations
+/// (shared centroids are re-read by every step).
+TEST(WorkloadCharacteristics, KmeansIsLcaQueryHeavy) {
+  ToolContext Tool(ToolKind::Atomicity);
+  Tool.run([] { runKmeans(TestScale); });
+  CheckerStats Stats = Tool.atomicityChecker()->stats();
+  EXPECT_GT(Stats.Lca.NumQueries, Stats.NumLocations);
+}
+
+} // namespace

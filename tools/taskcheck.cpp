@@ -1,0 +1,297 @@
+//===- tools/taskcheck.cpp - Command-line front end ------------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// One binary that drives everything in the repository:
+//
+//   taskcheck --list
+//       enumerate tools and built-in workloads
+//   taskcheck --tool=atomicity --workload=kmeans [--scale=1] [--threads=4]
+//       run a benchmark kernel under a tool, print findings + statistics
+//   taskcheck --tool=race --trace=trace.txt
+//       replay a recorded/generated trace file into a tool
+//   taskcheck --generate --seed=7 --tasks=12 [--random-schedule]
+//       print a generated program's trace (pipe into --trace=- later)
+//   taskcheck --tool=atomicity --trace=trace.txt --dot
+//       additionally dump the DPST as Graphviz
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "checker/AtomicityChecker.h"
+#include "checker/BasicChecker.h"
+#include "checker/DeterminismChecker.h"
+#include "checker/RaceDetector.h"
+#include "checker/Velodrome.h"
+#include "dpst/DpstDot.h"
+#include "instrument/ToolContext.h"
+#include "support/Timing.h"
+#include "trace/TraceGenerator.h"
+#include "trace/TraceIO.h"
+#include "trace/TraceReplayer.h"
+#include "workloads/Workloads.h"
+
+using namespace avc;
+
+namespace {
+
+struct CliOptions {
+  std::string Tool = "atomicity";
+  std::string Workload;
+  std::string TraceFile;
+  bool List = false;
+  bool Generate = false;
+  bool RandomSchedule = false;
+  bool Dot = false;
+  double Scale = 1.0;
+  unsigned Threads = 1;
+  uint64_t Seed = 1;
+  uint32_t Tasks = 10;
+};
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--list]\n"
+      "       %s --tool=<t> --workload=<w> [--scale=S] [--threads=N]\n"
+      "       %s --tool=<t> --trace=<file> [--dot]\n"
+      "       %s --generate [--seed=K] [--tasks=N] [--random-schedule]\n"
+      "tools: atomicity (default), basic, velodrome, race, determinism, "
+      "none\n",
+      Prog, Prog, Prog, Prog);
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return std::strncmp(Arg, Prefix, Len) == 0 ? Arg + Len : nullptr;
+    };
+    if (const char *V = Value("--tool="))
+      Opts.Tool = V;
+    else if (const char *V = Value("--workload="))
+      Opts.Workload = V;
+    else if (const char *V = Value("--trace="))
+      Opts.TraceFile = V;
+    else if (const char *V = Value("--scale="))
+      Opts.Scale = std::atof(V);
+    else if (const char *V = Value("--threads="))
+      Opts.Threads = static_cast<unsigned>(std::atoi(V));
+    else if (const char *V = Value("--seed="))
+      Opts.Seed = std::strtoull(V, nullptr, 10);
+    else if (const char *V = Value("--tasks="))
+      Opts.Tasks = static_cast<uint32_t>(std::atoi(V));
+    else if (std::strcmp(Arg, "--list") == 0)
+      Opts.List = true;
+    else if (std::strcmp(Arg, "--generate") == 0)
+      Opts.Generate = true;
+    else if (std::strcmp(Arg, "--random-schedule") == 0)
+      Opts.RandomSchedule = true;
+    else if (std::strcmp(Arg, "--dot") == 0)
+      Opts.Dot = true;
+    else
+      return false;
+  }
+  return true;
+}
+
+bool toolKindFor(const std::string &Name, ToolKind &Kind) {
+  if (Name == "atomicity")
+    Kind = ToolKind::Atomicity;
+  else if (Name == "basic")
+    Kind = ToolKind::Basic;
+  else if (Name == "velodrome")
+    Kind = ToolKind::Velodrome;
+  else if (Name == "race")
+    Kind = ToolKind::Race;
+  else if (Name == "determinism")
+    Kind = ToolKind::Determinism;
+  else if (Name == "none")
+    Kind = ToolKind::None;
+  else
+    return false;
+  return true;
+}
+
+int listEverything() {
+  std::printf("tools:\n"
+              "  atomicity    the paper's schedule-generalizing checker\n"
+              "  basic        unbounded-history reference checker\n"
+              "  velodrome    trace-bound baseline (observed schedule only)\n"
+              "  race         All-Sets data race detector\n"
+              "  determinism  Tardis-style internal-determinism checker\n"
+              "  none         uninstrumented baseline\n\n");
+  std::printf("workloads (Table 1 order):\n");
+  size_t Count = 0;
+  const workloads::Workload *Table = workloads::allWorkloads(Count);
+  for (size_t I = 0; I < Count; ++I)
+    std::printf("  %s\n", Table[I].Name);
+  return 0;
+}
+
+int generateTrace(const CliOptions &Opts) {
+  TraceGenOptions GenOpts;
+  GenOpts.Seed = Opts.Seed;
+  GenOpts.NumTasks = Opts.Tasks;
+  GenOpts.NumLocations = 3;
+  GenOpts.NumLocks = 2;
+  GenOpts.LockedFraction = 0.3;
+  GenProgram Program = generateProgram(GenOpts);
+  Trace Events = Opts.RandomSchedule
+                     ? linearizeRandom(Program, Opts.Seed * 31 + 1)
+                     : linearizeSerial(Program);
+  std::fputs(traceToText(Events).c_str(), stdout);
+  return 0;
+}
+
+void printAtomicityStats(const AtomicityChecker &Checker) {
+  CheckerStats Stats = Checker.stats();
+  std::printf("\nstatistics: %llu locations, %llu reads, %llu writes, "
+              "%llu DPST nodes, %llu LCA queries (%llu cache hits)\n",
+              static_cast<unsigned long long>(Stats.NumLocations),
+              static_cast<unsigned long long>(Stats.NumReads),
+              static_cast<unsigned long long>(Stats.NumWrites),
+              static_cast<unsigned long long>(Stats.NumDpstNodes),
+              static_cast<unsigned long long>(Stats.Lca.NumQueries),
+              static_cast<unsigned long long>(Stats.Lca.NumCacheHits));
+}
+
+int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
+  std::string Text;
+  if (Opts.TraceFile == "-") {
+    std::stringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Text = Buffer.str();
+  } else {
+    std::ifstream Input(Opts.TraceFile);
+    if (!Input) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   Opts.TraceFile.c_str());
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << Input.rdbuf();
+    Text = Buffer.str();
+  }
+  size_t ErrorLine = 0;
+  std::optional<Trace> Events = traceFromText(Text, &ErrorLine);
+  if (!Events) {
+    std::fprintf(stderr, "error: %s:%zu: malformed trace line\n",
+                 Opts.TraceFile.c_str(), ErrorLine);
+    return 1;
+  }
+
+  // Offline replay: instantiate the selected tool directly.
+  switch (Kind) {
+  case ToolKind::Atomicity: {
+    AtomicityChecker Checker;
+    replayTrace(*Events, Checker);
+    std::printf("[atomicity] %zu violation(s)\n",
+                Checker.violations().size());
+    for (const Violation &V : Checker.violations().snapshot())
+      std::printf("  %s\n", V.toString().c_str());
+    printAtomicityStats(Checker);
+    if (Opts.Dot)
+      std::printf("\n%s", dpstToDot(Checker.dpst()).c_str());
+    return Checker.violations().empty() ? 0 : 1;
+  }
+  case ToolKind::Basic: {
+    BasicChecker Checker;
+    replayTrace(*Events, Checker);
+    std::printf("[basic] %zu violation(s)\n", Checker.violations().size());
+    for (const Violation &V : Checker.violations().snapshot())
+      std::printf("  %s\n", V.toString().c_str());
+    return Checker.violations().empty() ? 0 : 1;
+  }
+  case ToolKind::Velodrome: {
+    VelodromeChecker Checker;
+    replayTrace(*Events, Checker);
+    std::printf("[velodrome] %zu cycle(s) in the observed trace\n",
+                Checker.numViolations());
+    return Checker.numViolations() == 0 ? 0 : 1;
+  }
+  case ToolKind::Race: {
+    RaceDetector Detector;
+    replayTrace(*Events, Detector);
+    std::printf("[race] %zu race(s)\n", Detector.numRaces());
+    for (const Race &R : Detector.races())
+      std::printf("  %s\n", R.toString().c_str());
+    return Detector.numRaces() == 0 ? 0 : 1;
+  }
+  case ToolKind::Determinism: {
+    DeterminismChecker Checker;
+    replayTrace(*Events, Checker);
+    std::printf("[determinism] %zu violation(s)\n",
+                Checker.numViolations());
+    for (const DeterminismViolation &V : Checker.violations())
+      std::printf("  %s\n", V.toString().c_str());
+    return Checker.numViolations() == 0 ? 0 : 1;
+  }
+  case ToolKind::None:
+    std::printf("[none] trace parsed: %zu events\n", Events->size());
+    return 0;
+  }
+  return 0;
+}
+
+int runWorkload(const CliOptions &Opts, ToolKind Kind) {
+  size_t Count = 0;
+  const workloads::Workload *Table = workloads::allWorkloads(Count);
+  const workloads::Workload *Chosen = nullptr;
+  for (size_t I = 0; I < Count; ++I)
+    if (Opts.Workload == Table[I].Name)
+      Chosen = &Table[I];
+  if (!Chosen) {
+    std::fprintf(stderr, "error: unknown workload '%s' (see --list)\n",
+                 Opts.Workload.c_str());
+    return 1;
+  }
+
+  ToolContext::Options ToolOpts;
+  ToolOpts.Tool = Kind;
+  ToolOpts.NumThreads = Opts.Threads;
+  ToolContext Tool(ToolOpts);
+  Timer T;
+  Tool.run([&] { Chosen->Run(Opts.Scale); });
+  double Seconds = T.elapsedSeconds();
+
+  Tool.printReport();
+  std::printf("wall time: %.1f ms (%s, scale %.2f, %u thread(s))\n",
+              Seconds * 1e3, toolKindName(Kind), Opts.Scale, Opts.Threads);
+  if (const AtomicityChecker *Checker = Tool.atomicityChecker())
+    printAtomicityStats(*Checker);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Opts;
+  if (!parseArgs(argc, argv, Opts))
+    return usage(argv[0]);
+  if (Opts.List)
+    return listEverything();
+  if (Opts.Generate)
+    return generateTrace(Opts);
+
+  ToolKind Kind;
+  if (!toolKindFor(Opts.Tool, Kind)) {
+    std::fprintf(stderr, "error: unknown tool '%s'\n", Opts.Tool.c_str());
+    return usage(argv[0]);
+  }
+  if (!Opts.TraceFile.empty())
+    return runTraceFile(Opts, Kind);
+  if (!Opts.Workload.empty())
+    return runWorkload(Opts, Kind);
+  return usage(argv[0]);
+}
