@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_suite.dir/detection_suite.cpp.o"
+  "CMakeFiles/detection_suite.dir/detection_suite.cpp.o.d"
+  "detection_suite"
+  "detection_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

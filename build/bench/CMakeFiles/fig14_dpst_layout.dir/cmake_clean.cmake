@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dpst_layout.dir/fig14_dpst_layout.cpp.o"
+  "CMakeFiles/fig14_dpst_layout.dir/fig14_dpst_layout.cpp.o.d"
+  "fig14_dpst_layout"
+  "fig14_dpst_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dpst_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

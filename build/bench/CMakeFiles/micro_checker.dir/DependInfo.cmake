@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_checker.cpp" "bench/CMakeFiles/micro_checker.dir/micro_checker.cpp.o" "gcc" "bench/CMakeFiles/micro_checker.dir/micro_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/avc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/avc_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/avc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/avc_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpst/CMakeFiles/avc_dpst.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/avc_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

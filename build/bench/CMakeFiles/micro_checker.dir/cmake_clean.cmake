@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_checker.dir/micro_checker.cpp.o"
+  "CMakeFiles/micro_checker.dir/micro_checker.cpp.o.d"
+  "micro_checker"
+  "micro_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_exploration.dir/schedule_exploration.cpp.o"
+  "CMakeFiles/schedule_exploration.dir/schedule_exploration.cpp.o.d"
+  "schedule_exploration"
+  "schedule_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

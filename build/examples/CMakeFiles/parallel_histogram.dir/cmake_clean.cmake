@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_histogram.dir/parallel_histogram.cpp.o"
+  "CMakeFiles/parallel_histogram.dir/parallel_histogram.cpp.o.d"
+  "parallel_histogram"
+  "parallel_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/AtomicityChecker.cpp" "src/checker/CMakeFiles/avc_checker.dir/AtomicityChecker.cpp.o" "gcc" "src/checker/CMakeFiles/avc_checker.dir/AtomicityChecker.cpp.o.d"
+  "/root/repo/src/checker/BasicChecker.cpp" "src/checker/CMakeFiles/avc_checker.dir/BasicChecker.cpp.o" "gcc" "src/checker/CMakeFiles/avc_checker.dir/BasicChecker.cpp.o.d"
+  "/root/repo/src/checker/DeterminismChecker.cpp" "src/checker/CMakeFiles/avc_checker.dir/DeterminismChecker.cpp.o" "gcc" "src/checker/CMakeFiles/avc_checker.dir/DeterminismChecker.cpp.o.d"
+  "/root/repo/src/checker/RaceDetector.cpp" "src/checker/CMakeFiles/avc_checker.dir/RaceDetector.cpp.o" "gcc" "src/checker/CMakeFiles/avc_checker.dir/RaceDetector.cpp.o.d"
+  "/root/repo/src/checker/Velodrome.cpp" "src/checker/CMakeFiles/avc_checker.dir/Velodrome.cpp.o" "gcc" "src/checker/CMakeFiles/avc_checker.dir/Velodrome.cpp.o.d"
+  "/root/repo/src/checker/ViolationReport.cpp" "src/checker/CMakeFiles/avc_checker.dir/ViolationReport.cpp.o" "gcc" "src/checker/CMakeFiles/avc_checker.dir/ViolationReport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpst/CMakeFiles/avc_dpst.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/avc_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avc_checker.dir/AtomicityChecker.cpp.o"
+  "CMakeFiles/avc_checker.dir/AtomicityChecker.cpp.o.d"
+  "CMakeFiles/avc_checker.dir/BasicChecker.cpp.o"
+  "CMakeFiles/avc_checker.dir/BasicChecker.cpp.o.d"
+  "CMakeFiles/avc_checker.dir/DeterminismChecker.cpp.o"
+  "CMakeFiles/avc_checker.dir/DeterminismChecker.cpp.o.d"
+  "CMakeFiles/avc_checker.dir/RaceDetector.cpp.o"
+  "CMakeFiles/avc_checker.dir/RaceDetector.cpp.o.d"
+  "CMakeFiles/avc_checker.dir/Velodrome.cpp.o"
+  "CMakeFiles/avc_checker.dir/Velodrome.cpp.o.d"
+  "CMakeFiles/avc_checker.dir/ViolationReport.cpp.o"
+  "CMakeFiles/avc_checker.dir/ViolationReport.cpp.o.d"
+  "libavc_checker.a"
+  "libavc_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avc_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpst/ArrayDpst.cpp" "src/dpst/CMakeFiles/avc_dpst.dir/ArrayDpst.cpp.o" "gcc" "src/dpst/CMakeFiles/avc_dpst.dir/ArrayDpst.cpp.o.d"
+  "/root/repo/src/dpst/Dpst.cpp" "src/dpst/CMakeFiles/avc_dpst.dir/Dpst.cpp.o" "gcc" "src/dpst/CMakeFiles/avc_dpst.dir/Dpst.cpp.o.d"
+  "/root/repo/src/dpst/DpstBuilder.cpp" "src/dpst/CMakeFiles/avc_dpst.dir/DpstBuilder.cpp.o" "gcc" "src/dpst/CMakeFiles/avc_dpst.dir/DpstBuilder.cpp.o.d"
+  "/root/repo/src/dpst/DpstDot.cpp" "src/dpst/CMakeFiles/avc_dpst.dir/DpstDot.cpp.o" "gcc" "src/dpst/CMakeFiles/avc_dpst.dir/DpstDot.cpp.o.d"
+  "/root/repo/src/dpst/LcaCache.cpp" "src/dpst/CMakeFiles/avc_dpst.dir/LcaCache.cpp.o" "gcc" "src/dpst/CMakeFiles/avc_dpst.dir/LcaCache.cpp.o.d"
+  "/root/repo/src/dpst/LinkedDpst.cpp" "src/dpst/CMakeFiles/avc_dpst.dir/LinkedDpst.cpp.o" "gcc" "src/dpst/CMakeFiles/avc_dpst.dir/LinkedDpst.cpp.o.d"
+  "/root/repo/src/dpst/ParallelismOracle.cpp" "src/dpst/CMakeFiles/avc_dpst.dir/ParallelismOracle.cpp.o" "gcc" "src/dpst/CMakeFiles/avc_dpst.dir/ParallelismOracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avc_dpst.dir/ArrayDpst.cpp.o"
+  "CMakeFiles/avc_dpst.dir/ArrayDpst.cpp.o.d"
+  "CMakeFiles/avc_dpst.dir/Dpst.cpp.o"
+  "CMakeFiles/avc_dpst.dir/Dpst.cpp.o.d"
+  "CMakeFiles/avc_dpst.dir/DpstBuilder.cpp.o"
+  "CMakeFiles/avc_dpst.dir/DpstBuilder.cpp.o.d"
+  "CMakeFiles/avc_dpst.dir/DpstDot.cpp.o"
+  "CMakeFiles/avc_dpst.dir/DpstDot.cpp.o.d"
+  "CMakeFiles/avc_dpst.dir/LcaCache.cpp.o"
+  "CMakeFiles/avc_dpst.dir/LcaCache.cpp.o.d"
+  "CMakeFiles/avc_dpst.dir/LinkedDpst.cpp.o"
+  "CMakeFiles/avc_dpst.dir/LinkedDpst.cpp.o.d"
+  "CMakeFiles/avc_dpst.dir/ParallelismOracle.cpp.o"
+  "CMakeFiles/avc_dpst.dir/ParallelismOracle.cpp.o.d"
+  "libavc_dpst.a"
+  "libavc_dpst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avc_dpst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for avc_dpst.
+# This may be replaced when dependencies are built.

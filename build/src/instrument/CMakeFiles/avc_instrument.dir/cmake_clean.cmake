@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avc_instrument.dir/ToolContext.cpp.o"
+  "CMakeFiles/avc_instrument.dir/ToolContext.cpp.o.d"
+  "libavc_instrument.a"
+  "libavc_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avc_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avc_runtime.dir/ExecutionObserver.cpp.o"
+  "CMakeFiles/avc_runtime.dir/ExecutionObserver.cpp.o.d"
+  "CMakeFiles/avc_runtime.dir/TaskRuntime.cpp.o"
+  "CMakeFiles/avc_runtime.dir/TaskRuntime.cpp.o.d"
+  "libavc_runtime.a"
+  "libavc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for avc_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/TraceGenerator.cpp" "src/trace/CMakeFiles/avc_trace.dir/TraceGenerator.cpp.o" "gcc" "src/trace/CMakeFiles/avc_trace.dir/TraceGenerator.cpp.o.d"
+  "/root/repo/src/trace/TraceIO.cpp" "src/trace/CMakeFiles/avc_trace.dir/TraceIO.cpp.o" "gcc" "src/trace/CMakeFiles/avc_trace.dir/TraceIO.cpp.o.d"
+  "/root/repo/src/trace/TraceRecorder.cpp" "src/trace/CMakeFiles/avc_trace.dir/TraceRecorder.cpp.o" "gcc" "src/trace/CMakeFiles/avc_trace.dir/TraceRecorder.cpp.o.d"
+  "/root/repo/src/trace/TraceReplayer.cpp" "src/trace/CMakeFiles/avc_trace.dir/TraceReplayer.cpp.o" "gcc" "src/trace/CMakeFiles/avc_trace.dir/TraceReplayer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/avc_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

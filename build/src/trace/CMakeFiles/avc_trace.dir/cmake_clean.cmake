@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avc_trace.dir/TraceGenerator.cpp.o"
+  "CMakeFiles/avc_trace.dir/TraceGenerator.cpp.o.d"
+  "CMakeFiles/avc_trace.dir/TraceIO.cpp.o"
+  "CMakeFiles/avc_trace.dir/TraceIO.cpp.o.d"
+  "CMakeFiles/avc_trace.dir/TraceRecorder.cpp.o"
+  "CMakeFiles/avc_trace.dir/TraceRecorder.cpp.o.d"
+  "CMakeFiles/avc_trace.dir/TraceReplayer.cpp.o"
+  "CMakeFiles/avc_trace.dir/TraceReplayer.cpp.o.d"
+  "libavc_trace.a"
+  "libavc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Blackscholes.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Blackscholes.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Blackscholes.cpp.o.d"
+  "/root/repo/src/workloads/Bodytrack.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Bodytrack.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Bodytrack.cpp.o.d"
+  "/root/repo/src/workloads/Convexhull.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Convexhull.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Convexhull.cpp.o.d"
+  "/root/repo/src/workloads/Delrefine.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Delrefine.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Delrefine.cpp.o.d"
+  "/root/repo/src/workloads/Deltriang.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Deltriang.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Deltriang.cpp.o.d"
+  "/root/repo/src/workloads/Fluidanimate.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Fluidanimate.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Fluidanimate.cpp.o.d"
+  "/root/repo/src/workloads/Karatsuba.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Karatsuba.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Karatsuba.cpp.o.d"
+  "/root/repo/src/workloads/Kmeans.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Kmeans.cpp.o.d"
+  "/root/repo/src/workloads/Nearestneigh.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Nearestneigh.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Nearestneigh.cpp.o.d"
+  "/root/repo/src/workloads/Raycast.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Raycast.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Raycast.cpp.o.d"
+  "/root/repo/src/workloads/Sort.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Sort.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Sort.cpp.o.d"
+  "/root/repo/src/workloads/Streamcluster.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Streamcluster.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Streamcluster.cpp.o.d"
+  "/root/repo/src/workloads/Swaptions.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Swaptions.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Swaptions.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/avc_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/avc_workloads.dir/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/avc_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/avc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/avc_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpst/CMakeFiles/avc_dpst.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

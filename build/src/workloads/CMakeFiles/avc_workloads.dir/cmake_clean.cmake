@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avc_workloads.dir/Blackscholes.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Blackscholes.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Bodytrack.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Bodytrack.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Convexhull.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Convexhull.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Delrefine.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Delrefine.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Deltriang.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Deltriang.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Fluidanimate.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Fluidanimate.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Karatsuba.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Karatsuba.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Kmeans.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Kmeans.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Nearestneigh.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Nearestneigh.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Raycast.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Raycast.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Sort.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Sort.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Streamcluster.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Streamcluster.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Swaptions.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Swaptions.cpp.o.d"
+  "CMakeFiles/avc_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/avc_workloads.dir/Workloads.cpp.o.d"
+  "libavc_workloads.a"
+  "libavc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

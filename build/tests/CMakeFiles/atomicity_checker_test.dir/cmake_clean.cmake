@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomicity_checker_test.dir/AtomicityCheckerTest.cpp.o"
+  "CMakeFiles/atomicity_checker_test.dir/AtomicityCheckerTest.cpp.o.d"
+  "atomicity_checker_test"
+  "atomicity_checker_test.pdb"
+  "atomicity_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomicity_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_checker_test.dir/BasicCheckerTest.cpp.o"
+  "CMakeFiles/basic_checker_test.dir/BasicCheckerTest.cpp.o.d"
+  "basic_checker_test"
+  "basic_checker_test.pdb"
+  "basic_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_checker_test.dir/DeterminismCheckerTest.cpp.o"
+  "CMakeFiles/determinism_checker_test.dir/DeterminismCheckerTest.cpp.o.d"
+  "determinism_checker_test"
+  "determinism_checker_test.pdb"
+  "determinism_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpst_builder_test.dir/DpstBuilderTest.cpp.o"
+  "CMakeFiles/dpst_builder_test.dir/DpstBuilderTest.cpp.o.d"
+  "dpst_builder_test"
+  "dpst_builder_test.pdb"
+  "dpst_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpst_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

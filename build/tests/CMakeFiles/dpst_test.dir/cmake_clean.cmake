@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpst_test.dir/DpstTest.cpp.o"
+  "CMakeFiles/dpst_test.dir/DpstTest.cpp.o.d"
+  "dpst_test"
+  "dpst_test.pdb"
+  "dpst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

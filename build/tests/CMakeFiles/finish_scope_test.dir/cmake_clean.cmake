@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finish_scope_test.dir/FinishScopeTest.cpp.o"
+  "CMakeFiles/finish_scope_test.dir/FinishScopeTest.cpp.o.d"
+  "finish_scope_test"
+  "finish_scope_test.pdb"
+  "finish_scope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finish_scope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

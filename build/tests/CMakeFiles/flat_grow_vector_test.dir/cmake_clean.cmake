@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_grow_vector_test.dir/FlatGrowVectorTest.cpp.o"
+  "CMakeFiles/flat_grow_vector_test.dir/FlatGrowVectorTest.cpp.o.d"
+  "flat_grow_vector_test"
+  "flat_grow_vector_test.pdb"
+  "flat_grow_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_grow_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

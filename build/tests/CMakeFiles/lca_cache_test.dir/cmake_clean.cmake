@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lca_cache_test.dir/LcaCacheTest.cpp.o"
+  "CMakeFiles/lca_cache_test.dir/LcaCacheTest.cpp.o.d"
+  "lca_cache_test"
+  "lca_cache_test.pdb"
+  "lca_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lca_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_execution_test.dir/LiveExecutionTest.cpp.o"
+  "CMakeFiles/live_execution_test.dir/LiveExecutionTest.cpp.o.d"
+  "live_execution_test"
+  "live_execution_test.pdb"
+  "live_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_runtime_test.dir/TaskRuntimeTest.cpp.o"
+  "CMakeFiles/task_runtime_test.dir/TaskRuntimeTest.cpp.o.d"
+  "task_runtime_test"
+  "task_runtime_test.pdb"
+  "task_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_context_test.dir/ToolContextTest.cpp.o"
+  "CMakeFiles/tool_context_test.dir/ToolContextTest.cpp.o.d"
+  "tool_context_test"
+  "tool_context_test.pdb"
+  "tool_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

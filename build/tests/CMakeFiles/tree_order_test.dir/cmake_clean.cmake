@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_order_test.dir/TreeOrderTest.cpp.o"
+  "CMakeFiles/tree_order_test.dir/TreeOrderTest.cpp.o.d"
+  "tree_order_test"
+  "tree_order_test.pdb"
+  "tree_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velodrome_test.dir/VelodromeTest.cpp.o"
+  "CMakeFiles/velodrome_test.dir/VelodromeTest.cpp.o.d"
+  "velodrome_test"
+  "velodrome_test.pdb"
+  "velodrome_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velodrome_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

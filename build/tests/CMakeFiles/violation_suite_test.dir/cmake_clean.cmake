@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/violation_suite_test.dir/ViolationSuiteTest.cpp.o"
+  "CMakeFiles/violation_suite_test.dir/ViolationSuiteTest.cpp.o.d"
+  "violation_suite_test"
+  "violation_suite_test.pdb"
+  "violation_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/violation_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

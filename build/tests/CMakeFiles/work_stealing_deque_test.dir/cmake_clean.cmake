@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_stealing_deque_test.dir/WorkStealingDequeTest.cpp.o"
+  "CMakeFiles/work_stealing_deque_test.dir/WorkStealingDequeTest.cpp.o.d"
+  "work_stealing_deque_test"
+  "work_stealing_deque_test.pdb"
+  "work_stealing_deque_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_stealing_deque_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dpst_test[1]_include.cmake")
+include("/root/repo/build/tests/dpst_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/atomicity_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/serializability_test[1]_include.cmake")
+include("/root/repo/build/tests/lockset_test[1]_include.cmake")
+include("/root/repo/build/tests/shadow_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/lca_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/work_stealing_deque_test[1]_include.cmake")
+include("/root/repo/build/tests/task_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/velodrome_test[1]_include.cmake")
+include("/root/repo/build/tests/basic_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/violation_suite_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_order_test[1]_include.cmake")
+include("/root/repo/build/tests/tool_context_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/flat_grow_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/race_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/live_execution_test[1]_include.cmake")
+include("/root/repo/build/tests/finish_scope_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_checker_test[1]_include.cmake")

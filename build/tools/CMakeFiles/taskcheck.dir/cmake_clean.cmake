@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskcheck.dir/taskcheck.cpp.o"
+  "CMakeFiles/taskcheck.dir/taskcheck.cpp.o.d"
+  "taskcheck"
+  "taskcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
