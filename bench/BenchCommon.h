@@ -84,6 +84,17 @@ inline double timeAverage(const workloads::Workload &W,
   return arithmeticMean(Times);
 }
 
+/// Runs \p W once under a fresh atomicity-checker context and returns the
+/// checker's statistics snapshot (e.g. to report filter hit rates next to
+/// the timing columns). \p Opts must select ToolKind::Atomicity.
+inline CheckerStats statsOnce(const workloads::Workload &W,
+                              ToolContext::Options Opts, double Scale) {
+  ToolContext Tool(Opts);
+  Tool.run([&] { W.Run(Scale); });
+  const AtomicityChecker *Checker = Tool.atomicityChecker();
+  return Checker ? Checker->stats() : CheckerStats();
+}
+
 /// Convenience builders for the standard tool configurations.
 inline ToolContext::Options baselineOptions(const BenchConfig &Config) {
   ToolContext::Options Opts;

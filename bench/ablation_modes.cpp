@@ -7,6 +7,8 @@
 /// Ablations for the design decisions DESIGN.md calls out, measured as
 /// geomean slowdowns across the 13 benchmarks:
 ///   - LCA caching on/off (the Section 4 optimization);
+///   - the per-task redundant-access filter on/off (DESIGN.md "Access
+///     filtering");
 ///   - complete metadata (20 entries + the interleaver-check fix) vs the
 ///     paper-literal 12-entry configuration;
 ///   - the unbounded-history basic checker (Section 3.1) as the upper
@@ -42,6 +44,12 @@ ToolContext::Options makePaperLiteral(const BenchConfig &Config) {
   return Opts;
 }
 
+ToolContext::Options makeNoFilter(const BenchConfig &Config) {
+  ToolContext::Options Opts = checkerOptions(Config, DpstLayout::Array);
+  Opts.Checker.EnableAccessFilter = false;
+  return Opts;
+}
+
 ToolContext::Options makeBasic(const BenchConfig &Config) {
   ToolContext::Options Opts;
   Opts.Tool = ToolKind::Basic;
@@ -59,6 +67,7 @@ ToolContext::Options makeRace(const BenchConfig &Config) {
 const ModeSpec Modes[] = {
     {"default(complete+cache)", makeDefault},
     {"paper-literal(12-entry)", makePaperLiteral},
+    {"no-access-filter", makeNoFilter},
     {"no-lca-cache", makeNoCache},
     {"basic(unbounded)", makeBasic},
     {"race-detector(all-sets)", makeRace},

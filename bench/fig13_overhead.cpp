@@ -10,6 +10,10 @@
 /// means of 4.2x (ours) and 4.6x (Velodrome) over five runs each, with
 /// kmeans, raycast, and swaptions as the high-overhead outliers.
 ///
+/// Additionally times the checker with the redundant-access fast path
+/// disabled (nofilt) and reports the filter hit rate per benchmark, so the
+/// filter's contribution to the overhead reduction is visible directly.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -24,32 +28,49 @@ int main(int argc, char **argv) {
   std::printf("Figure 13: slowdown vs uninstrumented baseline "
               "(scale=%.2f, reps=%u, threads=%u)\n",
               Config.Scale, Config.Reps, Config.Threads);
-  std::printf("%-14s %12s %12s %12s %12s %12s\n", "benchmark", "base(ms)",
-              "ours(ms)", "velo(ms)", "ours(x)", "velodrome(x)");
+  std::printf("%-14s %10s %10s %10s %10s %9s %9s %9s %8s\n", "benchmark",
+              "base(ms)", "ours(ms)", "nofilt(ms)", "velo(ms)", "ours(x)",
+              "nofilt(x)", "velo(x)", "filt-hit");
 
   size_t Count = 0;
   const Workload *Table = allWorkloads(Count);
-  std::vector<double> OursSlowdowns, VeloSlowdowns;
+  std::vector<double> OursSlowdowns, NoFiltSlowdowns, VeloSlowdowns;
 
   for (size_t I = 0; I < Count; ++I) {
     const Workload &W = Table[I];
-    double Base =
-        timeAverage(W, baselineOptions(Config), Config.Scale, Config.Reps);
-    double Ours = timeAverage(W, checkerOptions(Config, DpstLayout::Array),
-                              Config.Scale, Config.Reps);
-    double Velo =
-        timeAverage(W, velodromeOptions(Config), Config.Scale, Config.Reps);
+    ToolContext::Options OursOpts = checkerOptions(Config, DpstLayout::Array);
+    ToolContext::Options NoFiltOpts = OursOpts;
+    NoFiltOpts.Checker.EnableAccessFilter = false;
+    // Interleave the configurations across repetitions: slow machine drift
+    // then shifts every column equally instead of biasing whichever config
+    // happened to run its block of reps during a slow phase.
+    double Base = 0, Ours = 0, NoFilt = 0, Velo = 0;
+    for (unsigned R = 0; R < Config.Reps; ++R) {
+      Base += timeOnce(W, baselineOptions(Config), Config.Scale);
+      Ours += timeOnce(W, OursOpts, Config.Scale);
+      NoFilt += timeOnce(W, NoFiltOpts, Config.Scale);
+      Velo += timeOnce(W, velodromeOptions(Config), Config.Scale);
+    }
+    Base /= Config.Reps;
+    Ours /= Config.Reps;
+    NoFilt /= Config.Reps;
+    Velo /= Config.Reps;
+    CheckerStats Stats = statsOnce(W, OursOpts, Config.Scale);
     double OursX = Ours / Base;
+    double NoFiltX = NoFilt / Base;
     double VeloX = Velo / Base;
     OursSlowdowns.push_back(OursX);
+    NoFiltSlowdowns.push_back(NoFiltX);
     VeloSlowdowns.push_back(VeloX);
-    std::printf("%-14s %12.2f %12.2f %12.2f %11.2fx %11.2fx\n", W.Name,
-                Base * 1e3, Ours * 1e3, Velo * 1e3, OursX, VeloX);
+    std::printf("%-14s %10.2f %10.2f %10.2f %10.2f %8.2fx %8.2fx %8.2fx "
+                "%7.1f%%\n",
+                W.Name, Base * 1e3, Ours * 1e3, NoFilt * 1e3, Velo * 1e3,
+                OursX, NoFiltX, VeloX, Stats.filterHitRate());
   }
 
-  std::printf("%-14s %12s %12s %12s %11.2fx %11.2fx\n", "geomean", "", "",
-              "", geometricMean(OursSlowdowns),
-              geometricMean(VeloSlowdowns));
+  std::printf("%-14s %10s %10s %10s %10s %8.2fx %8.2fx %8.2fx\n", "geomean",
+              "", "", "", "", geometricMean(OursSlowdowns),
+              geometricMean(NoFiltSlowdowns), geometricMean(VeloSlowdowns));
   std::printf("\nPaper reports: ours 4.2x, Velodrome 4.6x (geomean); "
               "kmeans/raycast/swaptions highest.\n");
   std::printf("Reminder: Velodrome checks only the observed schedule; our "

@@ -1,0 +1,116 @@
+//===- checker/AccessFilter.h - Per-task redundant-access filter -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checker's per-access fast path: a small per-task direct-mapped filter
+/// that remembers, for the current step node and critical-section epoch,
+/// that further reads/writes of a location are provably redundant — the
+/// Figure 7-9 metadata state machine cannot change and no new violation can
+/// surface, so the access returns before the shadow-map walk, the local-map
+/// lookup, the lockset snapshot, and the per-location spin lock.
+///
+/// An entry's verdict is computed by the slow path *under the location's
+/// metadata lock* (see AtomicityChecker::onAccess): an access of kind K is
+/// marked redundant once (a) the step's interim buffer for K is populated,
+/// (b) the step is retained in the corresponding global single-access entry
+/// pair, and (c) every two-access pattern the next K-access would re-form
+/// (a pattern forms iff the interim lockset is disjoint from the current
+/// lockset, Section 3.3) has already been promoted into the global pattern
+/// slots. Under those conditions a repeated access only re-runs checks that
+/// the promoted metadata already exposes to every future interleaver and
+/// re-offers retention decisions that cannot change — see DESIGN.md
+/// ("Access filtering") for the idempotence argument.
+///
+/// Invalidation is implicit: entries are keyed by (address, step, lock
+/// epoch). A new step never matches an old entry, and the owning task bumps
+/// its epoch on every lock *release* (releases can shrink the held lockset
+/// and make a previously impossible pattern form; acquires only add fresh
+/// tokens, which can never intersect an older interim lockset, so verdicts
+/// survive them — the "equal-or-smaller lockset" condition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_ACCESSFILTER_H
+#define AVC_CHECKER_ACCESSFILTER_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "checker/AccessKind.h"
+#include "dpst/DpstNodeKind.h"
+#include "runtime/ExecutionObserver.h"
+
+namespace avc {
+
+/// Direct-mapped, task-private filter of provably redundant accesses.
+/// Lossy by design: a collision evicts, which only costs a slow-path trip.
+/// Not thread safe — one instance per task, touched only by the worker
+/// currently executing that task.
+class AccessFilter {
+public:
+  /// Slots in the table; small enough that a per-task instance is cheap
+  /// (tasks number in the thousands), large enough for the handful of hot
+  /// locations a step's inner loop typically touches.
+  static constexpr size_t NumSlots = 64;
+
+  /// Returns true if an access of \p Kind to \p Addr by step \p Step at
+  /// lock epoch \p Epoch was proven redundant by an earlier slow-path trip.
+  bool isRedundant(MemAddr Addr, NodeId Step, uint32_t Epoch,
+                   AccessKind Kind) const {
+    const Entry &E = Entries[slotFor(Addr)];
+    return E.Addr == Addr && E.Step == Step && E.Epoch == Epoch &&
+           (E.Bits & bitFor(Kind)) != 0;
+  }
+
+  /// Records the slow path's verdict for \p Addr at (\p Step, \p Epoch).
+  /// Both bits are recomputed on every slow-path access because an access
+  /// of one kind can un-prove the other kind's redundancy (a first write
+  /// arms the WR/WW patterns a future read/write would form).
+  void record(MemAddr Addr, NodeId Step, uint32_t Epoch, bool ReadRedundant,
+              bool WriteRedundant) {
+    Entry &E = Entries[slotFor(Addr)];
+    uint8_t Bits = (ReadRedundant ? ReadBit : 0u) |
+                   (WriteRedundant ? WriteBit : 0u);
+    // Never evict a neighbor for a verdict that cannot produce a hit.
+    if (Bits == 0 && E.Addr != Addr)
+      return;
+    E = {Addr, Step, Epoch, Bits};
+  }
+
+  /// Drops every entry (task end; also handy in tests).
+  void clear() {
+    for (Entry &E : Entries)
+      E = Entry();
+  }
+
+private:
+  static constexpr uint8_t ReadBit = 1;
+  static constexpr uint8_t WriteBit = 2;
+
+  struct Entry {
+    MemAddr Addr = 0; ///< 0 = empty (address 0 is never tracked).
+    NodeId Step = InvalidNodeId;
+    uint32_t Epoch = 0;
+    uint8_t Bits = 0;
+  };
+
+  static uint8_t bitFor(AccessKind Kind) {
+    return Kind == AccessKind::Read ? ReadBit : WriteBit;
+  }
+
+  static size_t slotFor(MemAddr Addr) {
+    // Fibonacci hash; tracked addresses share low alignment bits.
+    return static_cast<size_t>(((Addr >> 3) * 0x9e3779b97f4a7c15ULL) >>
+                               (64 - 6)) &
+           (NumSlots - 1);
+  }
+
+  Entry Entries[NumSlots];
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_ACCESSFILTER_H

@@ -76,6 +76,7 @@ void AtomicityChecker::onTaskEnd(TaskId Task) {
   assert(State.Locks.depth() == 0 && "task ended while holding locks");
   // The task's interim buffers can never pair up again; drop them.
   State.Local.clear();
+  State.Filter.clear();
 }
 
 void AtomicityChecker::onSync(TaskId Task) {
@@ -94,7 +95,13 @@ void AtomicityChecker::onLockAcquire(TaskId Task, LockId Lock) {
 }
 
 void AtomicityChecker::onLockRelease(TaskId Task, LockId Lock) {
-  stateFor(Task).Locks.release(Lock);
+  TaskState &State = stateFor(Task);
+  State.Locks.release(Lock);
+  // A shrunken lockset can make a pattern form that previously could not
+  // (interim and current locksets may become disjoint); recorded redundancy
+  // verdicts are stale. Acquires need no bump: fresh tokens never intersect
+  // an interim lockset, so verdicts survive them.
+  ++State.FilterEpoch;
 }
 
 //===----------------------------------------------------------------------===//
@@ -115,21 +122,53 @@ GlobalMetadata &AtomicityChecker::metadataFor(MemAddr Addr, ShadowSlot &Slot) {
   return *Meta; // lost the race; the pool entry stays unused
 }
 
-void AtomicityChecker::registerAtomicGroup(const MemAddr *Members,
+bool AtomicityChecker::registerAtomicGroup(const MemAddr *Members,
                                            size_t Count) {
   assert(Count > 0 && "empty atomic group");
   ShadowSlot &First = Shadow.getOrCreate(Members[0]);
   GlobalMetadata &Meta = metadataFor(Members[0], First);
+  {
+    std::lock_guard<SpinLock> Guard(Meta.Lock);
+    if (!Meta.Grouped && !Meta.isEmpty()) {
+      // The representative itself was accessed before the group existed;
+      // its history is private and the group's shared history would start
+      // from a lie. Refuse the whole registration.
+      std::fprintf(stderr,
+                   "taskcheck: atomic group rejected: member %#llx was "
+                   "accessed before registerAtomicGroup\n",
+                   static_cast<unsigned long long>(Members[0]));
+      return false;
+    }
+    Meta.Grouped = true;
+  }
+
+  bool Ok = true;
   for (size_t I = 1; I < Count; ++I) {
     ShadowSlot &Slot = Shadow.getOrCreate(Members[I]);
     GlobalMetadata *Expected = nullptr;
-    bool Installed = Slot.Meta.compare_exchange_strong(
-        Expected, &Meta, std::memory_order_acq_rel,
-        std::memory_order_acquire);
-    assert((Installed || Expected == &Meta) &&
-           "atomic group member already tracked with separate metadata");
-    (void)Installed;
+    if (Slot.Meta.compare_exchange_strong(Expected, &Meta,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+      continue;
+    if (Expected == &Meta)
+      continue; // idempotent re-registration
+    // The member is already tracked with separate metadata. A release
+    // build used to keep the split silently and miss every cross-member
+    // pattern; merge when that is provably lossless, report otherwise.
+    std::lock_guard<SpinLock> Guard(Expected->Lock);
+    if (!Expected->Grouped && Expected->isEmpty() &&
+        Slot.Meta.compare_exchange_strong(Expected, &Meta,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+      continue; // empty private metadata: merged into the group
+    std::fprintf(stderr,
+                 "taskcheck: atomic group conflict: member %#llx is already "
+                 "tracked with %s metadata; member keeps its old metadata\n",
+                 static_cast<unsigned long long>(Members[I]),
+                 Expected->Grouped ? "another group's" : "populated private");
+    Ok = false;
   }
+  return Ok;
 }
 
 //===----------------------------------------------------------------------===//
@@ -137,12 +176,10 @@ void AtomicityChecker::registerAtomicGroup(const MemAddr *Members,
 //===----------------------------------------------------------------------===//
 
 void AtomicityChecker::onRead(TaskId Task, MemAddr Addr) {
-  NumReads.fetch_add(1, std::memory_order_relaxed);
   onAccess(Task, Addr, AccessKind::Read);
 }
 
 void AtomicityChecker::onWrite(TaskId Task, MemAddr Addr) {
-  NumWrites.fetch_add(1, std::memory_order_relaxed);
   onAccess(Task, Addr, AccessKind::Write);
 }
 
@@ -150,10 +187,27 @@ void AtomicityChecker::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
   TaskState &State = stateFor(Task);
   NodeId Si = Builder.currentStep(State.Frame);
 
+  if (Kind == AccessKind::Read)
+    State.NumReads.fetch_add(1, std::memory_order_relaxed);
+  else
+    State.NumWrites.fetch_add(1, std::memory_order_relaxed);
+
+  // Fast path: a previous slow-path trip proved that this access cannot
+  // change any metadata or surface a new violation. Purely task-local —
+  // no shadow-map walk, no lockset snapshot, no per-location lock.
+  if (Opts.EnableAccessFilter &&
+      State.Filter.isRedundant(Addr, Si, State.FilterEpoch, Kind)) {
+    if (Kind == AccessKind::Read)
+      State.FilterHitReads.fetch_add(1, std::memory_order_relaxed);
+    else
+      State.FilterHitWrites.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   ShadowSlot &Slot = Shadow.getOrCreate(Addr);
   if (AVC_UNLIKELY(!Slot.Accessed.load(std::memory_order_relaxed)))
     if (!Slot.Accessed.exchange(1, std::memory_order_relaxed))
-      NumLocations.fetch_add(1, std::memory_order_relaxed);
+      State.NumLocations.fetch_add(1, std::memory_order_relaxed);
   GlobalMetadata &GS = metadataFor(Addr, Slot);
 
   LockSet Locks = State.Locks.snapshot();
@@ -173,15 +227,61 @@ void AtomicityChecker::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
 
   std::lock_guard<SpinLock> Guard(GS.Lock);
   bool LocalEmpty = LS.RStep == InvalidNodeId && LS.WStep == InvalidNodeId;
-  if (GS.isEmpty() && LocalEmpty) {
+  if (GS.isEmpty() && LocalEmpty)
     handleFirstAccess(GS, LS, Si, Kind, Locks);
-    return;
-  }
-  if (LocalEmpty) {
+  else if (LocalEmpty)
     handleFirstAccessCurrentTask(GS, LS, Si, Kind, Locks);
-    return;
-  }
-  handleNonFirstAccess(GS, LS, Si, Kind, Locks);
+  else
+    handleNonFirstAccess(GS, LS, Si, Kind, Locks);
+
+  // Both verdicts are recomputed while GS.Lock is still held: an access of
+  // one kind can un-prove the other kind's redundancy (a first write arms
+  // the WR/WW patterns a future read/write would form).
+  if (Opts.EnableAccessFilter)
+    State.Filter.record(Addr, Si, State.FilterEpoch,
+                        readIsRedundant(GS, LS, Si, Locks),
+                        writeIsRedundant(GS, LS, Si, Locks));
+}
+
+/// A further read by \p Si at lockset \p Locks is redundant iff the interim
+/// read buffer is populated, the step is retained as a global read entry
+/// (so every later-formed WW pattern tests it as an interleaver), and each
+/// pattern the read would re-form (RR always, WR when the interim write
+/// exists; a pattern forms iff the locksets are disjoint, Section 3.3) is
+/// already promoted into the global pattern slots (so every later write
+/// tests it at Figure 8's Check() sites).
+bool AtomicityChecker::readIsRedundant(const GlobalMetadata &GS,
+                                       const LocalLoc &LS, NodeId Si,
+                                       const LockSet &Locks) {
+  if (LS.RStep != Si)
+    return false;
+  if (GS.R1 != Si && GS.R2 != Si)
+    return false;
+  if (LS.RLocks.disjointWith(Locks) && GS.RR != Si && GS.RRb != Si)
+    return false;
+  if (LS.WStep == Si && LS.WLocks.disjointWith(Locks) && GS.WR != Si &&
+      GS.WRb != Si)
+    return false;
+  return true;
+}
+
+/// Mirror of readIsRedundant for writes: interim write buffer populated,
+/// step retained as a global write entry (every pattern formation tests
+/// W1/W2 as interleavers), and the RW/WW patterns a further write would
+/// re-form already promoted.
+bool AtomicityChecker::writeIsRedundant(const GlobalMetadata &GS,
+                                        const LocalLoc &LS, NodeId Si,
+                                        const LockSet &Locks) {
+  if (LS.WStep != Si)
+    return false;
+  if (GS.W1 != Si && GS.W2 != Si)
+    return false;
+  if (LS.WLocks.disjointWith(Locks) && GS.WW != Si && GS.WWb != Si)
+    return false;
+  if (LS.RStep == Si && LS.RLocks.disjointWith(Locks) && GS.RW != Si &&
+      GS.RWb != Si)
+    return false;
+  return true;
 }
 
 /// Figure 7: the very first access to the location by any task.
@@ -398,13 +498,24 @@ void AtomicityChecker::retainPattern(NodeId &P1, NodeId &P2, NodeId Si) {
 
 CheckerStats AtomicityChecker::stats() const {
   CheckerStats Stats;
-  Stats.NumLocations = NumLocations.load(std::memory_order_relaxed);
   Stats.NumDpstNodes = Tree->numNodes();
   Stats.Lca = Oracle->stats();
-  Stats.NumReads = NumReads.load(std::memory_order_relaxed);
-  Stats.NumWrites = NumWrites.load(std::memory_order_relaxed);
   Stats.NumViolations = Log.size();
   Stats.NumViolatingLocations =
       NumViolatingLocations.load(std::memory_order_relaxed);
+  Stats.AccessFilterEnabled = Opts.EnableAccessFilter;
+  // Access counters live with their owning task (the hot path never touches
+  // a shared counter); fold them here.
+  for (size_t I = 0, N = TaskStorage.size(); I < N; ++I) {
+    const TaskState &State = *TaskStorage[I];
+    Stats.NumLocations += State.NumLocations.load(std::memory_order_relaxed);
+    Stats.NumReads += State.NumReads.load(std::memory_order_relaxed);
+    Stats.NumWrites += State.NumWrites.load(std::memory_order_relaxed);
+    Stats.NumFilterHitReads +=
+        State.FilterHitReads.load(std::memory_order_relaxed);
+    Stats.NumFilterHitWrites +=
+        State.FilterHitWrites.load(std::memory_order_relaxed);
+  }
+  Stats.NumFilterHits = Stats.NumFilterHitReads + Stats.NumFilterHitWrites;
   return Stats;
 }

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <memory>
 
+#include "checker/AccessFilter.h"
 #include "checker/AccessKind.h"
 #include "checker/CheckerStats.h"
 #include "checker/GlobalMetadata.h"
@@ -37,6 +38,7 @@
 #include "dpst/ParallelismOracle.h"
 #include "runtime/ExecutionObserver.h"
 #include "support/ChunkedVector.h"
+#include "support/Compiler.h"
 #include "support/PointerMap.h"
 #include "support/RadixTable.h"
 
@@ -65,6 +67,14 @@ public:
     /// as a correctness fix — still O(1) checks per access; disable for a
     /// paper-literal reproduction.
     bool ExtraInterleaverChecks = true;
+    /// Per-task redundant-access fast path: once the slow path proves that
+    /// further same-step accesses to a location cannot change the metadata
+    /// state machine or surface a new violation, they return before the
+    /// shadow-map walk, the lockset snapshot, and the per-location spin
+    /// lock (see AccessFilter.h and DESIGN.md "Access filtering").
+    /// Disable for ablation (bench/ablation_modes) or to cross-check
+    /// detection parity.
+    bool EnableAccessFilter = true;
     /// Keep *two* records per two-access-pattern kind and retain the
     /// leftmost and rightmost (tree-order) parallel owners in every
     /// entry pair. The paper's single pattern record and first-fit
@@ -87,7 +97,11 @@ public:
   /// objects) must be accessed atomically *together*: they share one
   /// metadata instance ("we provide the same metadata to all those
   /// locations", Section 3). Must be called before any member is accessed.
-  void registerAtomicGroup(const MemAddr *Members, size_t Count);
+  /// A member already tracked with *empty* private metadata is merged into
+  /// the group; a member with recorded accesses or one belonging to another
+  /// group cannot be merged — the conflict is reported on stderr, that
+  /// member keeps its old metadata, and false is returned.
+  bool registerAtomicGroup(const MemAddr *Members, size_t Count);
 
   /// Registers a display name for a tracked location; reports mentioning
   /// it then print the name instead of the raw address.
@@ -130,11 +144,28 @@ private:
   };
 
   /// Per-task checker state; owned by the checker, mutated only by the
-  /// worker currently executing the task.
-  struct TaskState {
+  /// worker currently executing the task. Cache-line aligned so one task's
+  /// hot counters never share a line with another's.
+  struct alignas(AVC_CACHELINE_SIZE) TaskState {
     TaskFrame Frame;
     PointerMap<GlobalMetadata *, LocalLoc> Local;
     HeldLocks Locks;
+    /// The redundant-access fast path for this task.
+    AccessFilter Filter;
+    /// Critical-section epoch: bumped on every lock release, which is the
+    /// only lock event that can widen the set of patterns a future access
+    /// forms (acquires add fresh tokens that never intersect an interim
+    /// lockset). Filter entries from older epochs never hit.
+    uint32_t FilterEpoch = 0;
+    /// Per-task access/statistics counters, replacing the former global
+    /// per-access fetch_adds (two contended atomics per access on the hot
+    /// path). Owner-written with relaxed order, aggregated in stats();
+    /// atomics keep concurrent stats() snapshots race-free.
+    std::atomic<uint64_t> NumReads{0};
+    std::atomic<uint64_t> NumWrites{0};
+    std::atomic<uint64_t> NumLocations{0};
+    std::atomic<uint64_t> FilterHitReads{0};
+    std::atomic<uint64_t> FilterHitWrites{0};
   };
 
   /// Shadow slot per tracked address: the (possibly shared) global
@@ -153,6 +184,16 @@ private:
   bool par(NodeId Entry, NodeId Si);
 
   void onAccess(TaskId Task, MemAddr Addr, AccessKind Kind);
+
+  /// Redundancy proofs for the access filter, evaluated under GS.Lock after
+  /// an access was handled: true iff a further access of that kind by step
+  /// \p Si at the current lockset provably re-derives metadata that is
+  /// already promoted (see DESIGN.md "Access filtering").
+  static bool readIsRedundant(const GlobalMetadata &GS, const LocalLoc &LS,
+                              NodeId Si, const LockSet &Locks);
+  static bool writeIsRedundant(const GlobalMetadata &GS, const LocalLoc &LS,
+                               NodeId Si, const LockSet &Locks);
+
   void handleFirstAccess(GlobalMetadata &GS, LocalLoc &LS, NodeId Si,
                          AccessKind Kind, const LockSet &Locks);
   void handleFirstAccessCurrentTask(GlobalMetadata &GS, LocalLoc &LS,
@@ -198,9 +239,6 @@ private:
   ChunkedVector<std::unique_ptr<TaskState>> TaskStorage;
 
   std::atomic<LockToken> NextLockToken{1};
-  std::atomic<uint64_t> NumLocations{0};
-  std::atomic<uint64_t> NumReads{0};
-  std::atomic<uint64_t> NumWrites{0};
   std::atomic<uint64_t> NumViolatingLocations{0};
   LocationNames Names;
   ViolationLog Log;

@@ -34,6 +34,23 @@ struct CheckerStats {
   /// Distinct violations recorded and distinct locations they involve.
   uint64_t NumViolations = 0;
   uint64_t NumViolatingLocations = 0;
+  /// Accesses retired by the per-task redundant-access fast path before
+  /// touching the shadow map or any shared state (included in
+  /// NumReads/NumWrites). Split by kind for workload characterization.
+  uint64_t NumFilterHits = 0;
+  uint64_t NumFilterHitReads = 0;
+  uint64_t NumFilterHitWrites = 0;
+  /// True if the access filter was enabled for the run.
+  bool AccessFilterEnabled = false;
+
+  /// Percentage of tracked accesses answered by the fast path.
+  double filterHitRate() const {
+    uint64_t Total = NumReads + NumWrites;
+    if (Total == 0)
+      return 0.0;
+    return 100.0 * static_cast<double>(NumFilterHits) /
+           static_cast<double>(Total);
+  }
 };
 
 } // namespace avc

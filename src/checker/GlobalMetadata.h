@@ -68,6 +68,11 @@ struct GlobalMetadata {
   /// count distinct violating locations.
   bool Reported = false;
 
+  /// True if this instance is shared by a registered multi-variable atomic
+  /// group. Lets registerAtomicGroup distinguish a location's mergeable
+  /// private metadata from another group's (which must not be split).
+  bool Grouped = false;
+
   /// True if no access has been recorded yet (GS(l) == 0 in Figure 6).
   /// Every recorded access updates R1/W1 first, so testing the primary
   /// slots suffices.

@@ -26,8 +26,11 @@ void LcaCache::clear() {
 uint64_t LcaCache::packKey(NodeId A, NodeId B, bool Parallel) {
   assert(A < B && "cache keys are ordered pairs");
   assert(B <= MaxNodeId && "node id exceeds 31-bit cache key space");
-  // 31 + 31 + 1 bits, then +1 so a valid entry is never the empty slot 0.
-  uint64_t Packed = ((uint64_t(A) << 31 | uint64_t(B)) << 1) |
+  // A full 32-bit shift keeps the halves disjoint (a 31-bit shift would
+  // alias distinct pairs); A <= MaxNodeId < 2^31 so the 31+1(A) + 31(B) +
+  // 1(result) bits still fit, and +1 marks the entry as non-empty without
+  // overflowing.
+  uint64_t Packed = ((uint64_t(A) << 32 | uint64_t(B)) << 1) |
                     uint64_t(Parallel);
   return Packed + 1;
 }
@@ -47,7 +50,7 @@ std::optional<bool> LcaCache::lookup(NodeId A, NodeId B) const {
     return std::nullopt;
   uint64_t Stored = Entry - 1;
   bool Parallel = Stored & 1;
-  if (Stored >> 1 != (uint64_t(A) << 31 | uint64_t(B)))
+  if (Stored >> 1 != (uint64_t(A) << 32 | uint64_t(B)))
     return std::nullopt;
   return Parallel;
 }

@@ -23,7 +23,12 @@ ParallelismOracle::ParallelismOracle(const Dpst &Tree, Options Opts)
   }
 }
 
-void ParallelismOracle::recordUniquePair(uint64_t Key) {
+void ParallelismOracle::recordUniquePair(NodeId Lo, NodeId Hi) {
+  // Ids are 31-bit by design (DpstNodeKind.h); a 32-bit shift keeps the
+  // halves disjoint where the previous 31-bit shift aliased distinct pairs.
+  assert(Lo < Hi && Hi <= MaxNodeId &&
+         "node id exceeds the 31-bit pair-key space");
+  uint64_t Key = uint64_t(Lo) << 32 | uint64_t(Hi);
   UniqueShard &Shard = *UniqueShards[Key % NumUniqueShards];
   std::lock_guard<SpinLock> Guard(Shard.Lock);
   if (++Shard.Keys[Key] == 1)
@@ -49,16 +54,21 @@ ParallelismOracle::hottestPairs(size_t N) const {
 bool ParallelismOracle::logicallyParallel(NodeId A, NodeId B) {
   assert(A != InvalidNodeId && B != InvalidNodeId &&
          "parallel query on an invalid node");
-  // A step is never parallel with itself; no LCA walk, not counted
-  // (blackscholes in Table 1 performs zero queries for this reason).
-  if (A == B)
+  // A step is never parallel with itself; no LCA walk, not counted as a
+  // query (blackscholes in Table 1 performs zero queries for this reason).
+  if (A == B) {
+    NumTrivialSame.fetch_add(1, std::memory_order_relaxed);
     return false;
+  }
 
   NodeId Lo = A < B ? A : B;
   NodeId Hi = A < B ? B : A;
+  // Ids are 31-bit by design (see DpstNodeKind.h) so an ordered pair packs
+  // into one 64-bit key; a 31-bit shift would alias distinct pairs.
+  assert(Hi <= MaxNodeId && "node id exceeds the 31-bit pair-key space");
   NumQueries.fetch_add(1, std::memory_order_relaxed);
   if (Opts.TrackUniquePairs)
-    recordUniquePair(uint64_t(Lo) << 31 | uint64_t(Hi));
+    recordUniquePair(Lo, Hi);
 
   if (Cache) {
     if (std::optional<bool> Hit = Cache->lookup(Lo, Hi)) {
@@ -78,6 +88,7 @@ LcaQueryStats ParallelismOracle::stats() const {
   Stats.NumQueries = NumQueries.load(std::memory_order_relaxed);
   Stats.NumCacheHits = NumCacheHits.load(std::memory_order_relaxed);
   Stats.NumUniquePairs = NumUniquePairs.load(std::memory_order_relaxed);
+  Stats.NumTrivialSame = NumTrivialSame.load(std::memory_order_relaxed);
   Stats.UniquePairsTracked = Opts.TrackUniquePairs;
   return Stats;
 }

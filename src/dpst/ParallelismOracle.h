@@ -39,6 +39,9 @@ struct LcaQueryStats {
   /// Number of distinct (unordered) node pairs ever queried. Only
   /// meaningful when unique-pair tracking is enabled.
   uint64_t NumUniquePairs = 0;
+  /// Same-node queries answered by the oracle's trivial fast path without
+  /// touching the cache or the tree (never included in NumQueries).
+  uint64_t NumTrivialSame = 0;
   /// True if NumUniquePairs was collected.
   bool UniquePairsTracked = false;
 
@@ -48,6 +51,14 @@ struct LcaQueryStats {
     if (!UniquePairsTracked || NumQueries == 0)
       return 0.0;
     return 100.0 * static_cast<double>(NumUniquePairs) /
+           static_cast<double>(NumQueries);
+  }
+
+  /// Percentage of counted queries the LCA cache answered.
+  double percentCacheHits() const {
+    if (NumQueries == 0)
+      return 0.0;
+    return 100.0 * static_cast<double>(NumCacheHits) /
            static_cast<double>(NumQueries);
   }
 };
@@ -78,14 +89,14 @@ public:
   LcaQueryStats stats() const;
 
   /// When unique-pair tracking is on, returns the \p N most frequently
-  /// queried pairs as ((A << 31) | B, count), hottest first. Diagnostic
+  /// queried pairs as ((A << 32) | B, count), hottest first. Diagnostic
   /// aid for understanding a workload's query-repetition profile.
   std::vector<std::pair<uint64_t, uint64_t>> hottestPairs(size_t N) const;
 
   const Dpst &tree() const { return Tree; }
 
 private:
-  void recordUniquePair(uint64_t Key);
+  void recordUniquePair(NodeId Lo, NodeId Hi);
 
   static constexpr unsigned NumUniqueShards = 16;
 
@@ -95,6 +106,7 @@ private:
   std::atomic<uint64_t> NumQueries{0};
   std::atomic<uint64_t> NumCacheHits{0};
   std::atomic<uint64_t> NumUniquePairs{0};
+  std::atomic<uint64_t> NumTrivialSame{0};
 
   struct UniqueShard {
     SpinLock Lock;

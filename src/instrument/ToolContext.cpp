@@ -86,12 +86,14 @@ ToolContext::~ToolContext() = default;
 
 void ToolContext::run(std::function<void()> Root) { RT.run(std::move(Root)); }
 
-void ToolContext::registerAtomicGroup(const MemAddr *Members, size_t Count) {
+bool ToolContext::registerAtomicGroup(const MemAddr *Members, size_t Count) {
+  bool Ok = true;
   if (Atomicity)
-    Atomicity->registerAtomicGroup(Members, Count);
+    Ok = Atomicity->registerAtomicGroup(Members, Count);
   if (Basic)
     Basic->registerAtomicGroup(Members, Count);
   // Velodrome and None have no notion of grouped metadata.
+  return Ok;
 }
 
 size_t ToolContext::numViolations() const {

@@ -69,17 +69,20 @@ public:
 
   /// Declares that the given tracked locations form a multi-variable
   /// atomic group (they share checker metadata). Call before run().
+  /// Returns false if any member could not be merged into the group (it was
+  /// accessed before registration or belongs to another group); see
+  /// AtomicityChecker::registerAtomicGroup.
   template <typename T>
-  void atomicGroup(std::initializer_list<const Tracked<T> *> Members) {
+  bool atomicGroup(std::initializer_list<const Tracked<T> *> Members) {
     std::vector<MemAddr> Addrs;
     Addrs.reserve(Members.size());
     for (const Tracked<T> *Member : Members)
       Addrs.push_back(Member->address());
-    registerAtomicGroup(Addrs.data(), Addrs.size());
+    return registerAtomicGroup(Addrs.data(), Addrs.size());
   }
 
   /// Address-based overload of atomicGroup.
-  void registerAtomicGroup(const MemAddr *Members, size_t Count);
+  bool registerAtomicGroup(const MemAddr *Members, size_t Count);
 
   /// Gives \p Location a display name used in reports.
   template <typename T>

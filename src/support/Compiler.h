@@ -29,6 +29,11 @@
 #define AVC_ALWAYS_INLINE inline
 #endif
 
+/// Presumed cache-line size for alignment of per-worker / per-task hot
+/// state (std::hardware_destructive_interference_size is still flaky
+/// across standard libraries).
+#define AVC_CACHELINE_SIZE 64
+
 namespace avc {
 
 /// Prints \p Msg with source location and aborts. Used to document control

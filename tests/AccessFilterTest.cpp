@@ -1,0 +1,315 @@
+//===- tests/AccessFilterTest.cpp - Redundant-access fast path ------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The per-task redundant-access filter (AccessFilter.h): unit tests for
+/// the table itself, checker-level tests pinning down exactly which
+/// accesses may take the fast path (and that step changes and lock
+/// releases invalidate recorded verdicts), a randomized equivalence sweep
+/// proving the filter never changes detection verdicts, and a
+/// multi-threaded live regression covering concurrent first accesses
+/// (the metadataFor lost-CAS path) with the fast path active.
+///
+//===----------------------------------------------------------------------===//
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checker/AccessFilter.h"
+#include "instrument/ToolContext.h"
+#include "trace/TraceGenerator.h"
+#include "CheckerTestUtil.h"
+
+using namespace avc;
+
+namespace {
+
+constexpr MemAddr X = 0x1000;
+constexpr MemAddr Y = 0x2000;
+constexpr LockId L1 = 1;
+
+//===----------------------------------------------------------------------===//
+// AccessFilter unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(AccessFilter, RecordsAndHitsPerKind) {
+  AccessFilter Filter;
+  EXPECT_FALSE(Filter.isRedundant(X, 5, 0, AccessKind::Read));
+
+  Filter.record(X, 5, 0, /*ReadRedundant=*/true, /*WriteRedundant=*/false);
+  EXPECT_TRUE(Filter.isRedundant(X, 5, 0, AccessKind::Read));
+  EXPECT_FALSE(Filter.isRedundant(X, 5, 0, AccessKind::Write));
+  EXPECT_FALSE(Filter.isRedundant(Y, 5, 0, AccessKind::Read));
+
+  Filter.record(X, 5, 0, true, true);
+  EXPECT_TRUE(Filter.isRedundant(X, 5, 0, AccessKind::Read));
+  EXPECT_TRUE(Filter.isRedundant(X, 5, 0, AccessKind::Write));
+}
+
+TEST(AccessFilter, LaterVerdictOverwritesEarlier) {
+  AccessFilter Filter;
+  Filter.record(X, 5, 0, true, true);
+  // An access of one kind can un-prove the other kind (see record() docs);
+  // the latest verdict wins.
+  Filter.record(X, 5, 0, true, false);
+  EXPECT_TRUE(Filter.isRedundant(X, 5, 0, AccessKind::Read));
+  EXPECT_FALSE(Filter.isRedundant(X, 5, 0, AccessKind::Write));
+}
+
+TEST(AccessFilter, StepChangeInvalidates) {
+  AccessFilter Filter;
+  Filter.record(X, 5, 0, true, true);
+  EXPECT_FALSE(Filter.isRedundant(X, 6, 0, AccessKind::Read));
+  EXPECT_FALSE(Filter.isRedundant(X, 6, 0, AccessKind::Write));
+  // The old step's entry is still intact until overwritten.
+  EXPECT_TRUE(Filter.isRedundant(X, 5, 0, AccessKind::Read));
+}
+
+TEST(AccessFilter, EpochChangeInvalidates) {
+  AccessFilter Filter;
+  Filter.record(X, 5, /*Epoch=*/3, true, true);
+  EXPECT_TRUE(Filter.isRedundant(X, 5, 3, AccessKind::Read));
+  EXPECT_FALSE(Filter.isRedundant(X, 5, 4, AccessKind::Read));
+  EXPECT_FALSE(Filter.isRedundant(X, 5, 2, AccessKind::Write));
+}
+
+TEST(AccessFilter, NoHitVerdictNeverEvicts) {
+  AccessFilter Filter;
+  Filter.record(X, 5, 0, true, true);
+  // Both-false verdicts for other (possibly colliding) addresses must not
+  // evict a useful entry: they can never produce a hit themselves.
+  for (MemAddr Addr = 0x8000; Addr < 0x8000 + 8 * 1024; Addr += 8)
+    Filter.record(Addr, 5, 0, false, false);
+  EXPECT_TRUE(Filter.isRedundant(X, 5, 0, AccessKind::Read));
+  EXPECT_TRUE(Filter.isRedundant(X, 5, 0, AccessKind::Write));
+}
+
+TEST(AccessFilter, ClearDropsEverything) {
+  AccessFilter Filter;
+  Filter.record(X, 5, 0, true, true);
+  Filter.record(Y, 5, 0, true, false);
+  Filter.clear();
+  EXPECT_FALSE(Filter.isRedundant(X, 5, 0, AccessKind::Read));
+  EXPECT_FALSE(Filter.isRedundant(Y, 5, 0, AccessKind::Read));
+}
+
+//===----------------------------------------------------------------------===//
+// Checker-level fast-path behavior
+//===----------------------------------------------------------------------===//
+
+/// Unlocked repeated accesses: the second access of a kind forms and
+/// promotes the same-step pattern (RR/WW), after which further accesses of
+/// that kind are redundant. 5 writes then 5 reads by one step: writes 3-5
+/// and reads 3-5 take the fast path.
+TEST(CheckerFastPath, RepeatedAccessesHitOncePatternPromoted) {
+  TraceBuilder T;
+  for (int I = 0; I < 5; ++I)
+    T.write(0, X);
+  for (int I = 0; I < 5; ++I)
+    T.read(0, X);
+  T.end(0);
+
+  auto Checker = runOptimized(T);
+  CheckerStats Stats = Checker->stats();
+  EXPECT_TRUE(Stats.AccessFilterEnabled);
+  EXPECT_EQ(Stats.NumWrites, 5u); // filtered accesses still count
+  EXPECT_EQ(Stats.NumReads, 5u);
+  EXPECT_EQ(Stats.NumLocations, 1u);
+  EXPECT_EQ(Stats.NumFilterHitWrites, 3u);
+  EXPECT_EQ(Stats.NumFilterHitReads, 3u);
+  EXPECT_EQ(Stats.NumFilterHits, 6u);
+  EXPECT_DOUBLE_EQ(Stats.filterHitRate(), 60.0);
+  EXPECT_TRUE(Checker->violations().empty());
+}
+
+/// With the filter disabled every access walks the slow path and the hit
+/// counters stay zero, but the access counters are identical.
+TEST(CheckerFastPath, DisabledFilterCountsNoHits) {
+  TraceBuilder T;
+  for (int I = 0; I < 5; ++I)
+    T.write(0, X);
+  T.end(0);
+
+  AtomicityChecker::Options Opts;
+  Opts.EnableAccessFilter = false;
+  auto Checker = runOptimized(T, Opts);
+  CheckerStats Stats = Checker->stats();
+  EXPECT_FALSE(Stats.AccessFilterEnabled);
+  EXPECT_EQ(Stats.NumWrites, 5u);
+  EXPECT_EQ(Stats.NumFilterHits, 0u);
+  EXPECT_DOUBLE_EQ(Stats.filterHitRate(), 0.0);
+}
+
+/// Inside one critical section a repeated access is redundant immediately
+/// (the interim and current locksets share the acquire token, so no
+/// pattern can form between them): writes 2-5 hit.
+TEST(CheckerFastPath, LockedRepeatsRedundantImmediately) {
+  TraceBuilder T;
+  T.acq(0, L1);
+  for (int I = 0; I < 5; ++I)
+    T.write(0, X);
+  T.rel(0, L1).end(0);
+
+  CheckerStats Stats = runOptimized(T)->stats();
+  EXPECT_EQ(Stats.NumWrites, 5u);
+  EXPECT_EQ(Stats.NumFilterHitWrites, 4u);
+}
+
+/// A sync starts a new step node; verdicts recorded for the previous step
+/// must not match. Three writes before and after a sync: only the third
+/// write of each step is redundant.
+TEST(CheckerFastPath, StepChangeForcesSlowPath) {
+  TraceBuilder T;
+  T.write(0, X).write(0, X).write(0, X);
+  T.sync(0);
+  T.write(0, X).write(0, X).write(0, X);
+  T.end(0);
+
+  CheckerStats Stats = runOptimized(T)->stats();
+  EXPECT_EQ(Stats.NumWrites, 6u);
+  EXPECT_EQ(Stats.NumFilterHitWrites, 2u);
+}
+
+/// Releasing a lock bumps the task's filter epoch: the write after rel()
+/// must take the slow path (its lockset is now disjoint from the interim
+/// write's, forming the WW pattern a parallel reader then violates). With
+/// a stale filter verdict the pattern would never form and the violation
+/// would be lost.
+TEST(CheckerFastPath, LockReleaseInvalidatesAndPatternStillForms) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.acq(1, L1).write(1, X).write(1, X).rel(1, L1).write(1, X);
+  T.read(2, X);
+  T.end(1).end(2).sync(0).end(0);
+
+  auto Checker = runOptimized(T);
+  CheckerStats Stats = Checker->stats();
+  // write2 hits (locked repeat); write3 misses (epoch bumped by rel).
+  EXPECT_EQ(Stats.NumFilterHitWrites, 1u);
+  std::set<MemAddr> Found;
+  for (const Violation &V : Checker->violations().snapshot())
+    Found.insert(V.Addr);
+  EXPECT_EQ(Found, std::set<MemAddr>{X}) << "WRW across the release";
+}
+
+/// Acquiring a lock does NOT invalidate: fresh tokens can never intersect
+/// an older interim lockset, so redundancy verdicts survive acquires.
+TEST(CheckerFastPath, LockAcquirePreservesHits) {
+  TraceBuilder T;
+  T.write(0, X).write(0, X).write(0, X); // third write is redundant
+  T.acq(0, L1);
+  T.write(0, X); // still redundant: WW already promoted, acquire is free
+  T.rel(0, L1).end(0);
+
+  CheckerStats Stats = runOptimized(T)->stats();
+  EXPECT_EQ(Stats.NumWrites, 4u);
+  EXPECT_EQ(Stats.NumFilterHitWrites, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized equivalence: the filter never changes detection verdicts
+//===----------------------------------------------------------------------===//
+
+std::set<MemAddr> verdicts(const Trace &Events, bool EnableFilter) {
+  AtomicityChecker::Options Opts;
+  Opts.EnableAccessFilter = EnableFilter;
+  AtomicityChecker Checker(Opts);
+  replayTrace(Events, Checker);
+  std::set<MemAddr> Out;
+  for (const Violation &V : Checker.violations().snapshot())
+    Out.insert(V.Addr);
+  return Out;
+}
+
+class FilterEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FilterEquivalence, SameViolationsWithAndWithoutFilter) {
+  uint64_t Seed = GetParam();
+  TraceGenOptions Opts;
+  Opts.Seed = Seed;
+  Opts.NumTasks = 4 + Seed % 12;
+  Opts.NumLocations = 1 + Seed % 4;
+  Opts.NumLocks = Seed % 3;
+  Opts.MinOpsPerTask = 3;
+  Opts.MaxOpsPerTask = 6 + Seed % 10; // long op runs: repeats are common
+  Opts.LockedFraction = (Seed % 5) * 0.2;
+  Opts.SyncFraction = (Seed % 4) * 0.1;
+  GenProgram Program = generateProgram(Opts);
+
+  for (const Trace &Events :
+       {linearizeSerial(Program), linearizeRandom(Program, Seed * 31 + 1)}) {
+    std::set<MemAddr> WithFilter = verdicts(Events, true);
+    std::set<MemAddr> WithoutFilter = verdicts(Events, false);
+    EXPECT_EQ(WithFilter, WithoutFilter) << "seed " << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterEquivalence,
+                         ::testing::Range<uint64_t>(1, 41),
+                         [](const auto &Info) {
+                           return "seed" + std::to_string(Info.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Multi-threaded live regression: concurrent first accesses + fast path
+//===----------------------------------------------------------------------===//
+
+/// Many parallel tasks perform their first accesses to the same tracked
+/// locations at once — racing metadataFor's install CAS (the loser must
+/// adopt the winner's metadata, not its own dead pool entry) — and then
+/// repeat accesses so the fast path engages while other workers mutate the
+/// same GlobalMetadata. Every location carries a WW pattern and parallel
+/// interleaving writes, so the full violation set must be reported under
+/// every schedule, with the filter on and off.
+TEST(LiveConcurrency, ConcurrentFirstAccessesKeepFullDetection) {
+  constexpr unsigned NumTasks = 16;
+  constexpr unsigned NumLocations = 8;
+  constexpr unsigned Iters = 4; // repeats make the fast path engage
+  constexpr unsigned Threads = 4;
+
+  for (bool Filter : {true, false}) {
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      ToolContext::Options ToolOpts;
+      ToolOpts.Tool = ToolKind::Atomicity;
+      ToolOpts.NumThreads = Threads;
+      ToolOpts.Checker.EnableAccessFilter = Filter;
+      ToolContext Tool(ToolOpts);
+
+      TrackedArray<int> Data(NumLocations);
+      Tool.run([&] {
+        for (unsigned T = 0; T < NumTasks; ++T)
+          spawn([&Data] {
+            for (unsigned I = 0; I < Iters; ++I)
+              for (unsigned L = 0; L < NumLocations; ++L) {
+                Data[L].store(1);
+                Data[L].load();
+                Data[L].load();
+                Data[L].store(2);
+              }
+          });
+      });
+
+      std::set<MemAddr> Expected;
+      for (unsigned L = 0; L < NumLocations; ++L)
+        Expected.insert(Data[L].address());
+      std::set<MemAddr> Found;
+      for (const Violation &V :
+           Tool.atomicityChecker()->violations().snapshot())
+        Found.insert(V.Addr);
+      EXPECT_EQ(Found, Expected)
+          << "filter " << (Filter ? "on" : "off") << " rep " << Rep;
+
+      CheckerStats Stats = Tool.atomicityChecker()->stats();
+      EXPECT_EQ(Stats.NumReads, uint64_t(NumTasks) * Iters * NumLocations * 2);
+      EXPECT_EQ(Stats.NumWrites,
+                uint64_t(NumTasks) * Iters * NumLocations * 2);
+      EXPECT_EQ(Stats.NumFilterHits > 0, Filter);
+    }
+  }
+}
+
+} // namespace

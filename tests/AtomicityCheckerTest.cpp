@@ -228,13 +228,51 @@ TEST(AtomicityChecker, MultiVariableGroupViolation) {
 
   AtomicityChecker Checker;
   MemAddr Members[] = {X, Y};
-  Checker.registerAtomicGroup(Members, 2);
+  EXPECT_TRUE(Checker.registerAtomicGroup(Members, 2));
   replayTrace(T.finish(), Checker);
   EXPECT_EQ(Checker.violations().size(), 1u);
 
   // Without the grouping there is no violation (different locations).
   auto Ungrouped = runOptimized(T);
   EXPECT_EQ(Ungrouped->violations().size(), 0u);
+}
+
+/// Re-registering a group is idempotent, and a fresh (never accessed)
+/// location merges into an existing group losslessly.
+TEST(AtomicityChecker, GroupRegistrationIdempotentAndMergesEmpty) {
+  constexpr MemAddr Z = 0x1010;
+  AtomicityChecker Checker;
+  MemAddr Members[] = {X, Y};
+  EXPECT_TRUE(Checker.registerAtomicGroup(Members, 2));
+  EXPECT_TRUE(Checker.registerAtomicGroup(Members, 2));
+  MemAddr Extended[] = {X, Z};
+  EXPECT_TRUE(Checker.registerAtomicGroup(Extended, 2));
+}
+
+/// A member with recorded accesses cannot join a group: its private history
+/// would be silently discarded. Both directions — member accessed before
+/// registration, and representative accessed before registration — must be
+/// rejected (not just assert in debug builds).
+TEST(AtomicityChecker, GroupRegistrationRejectsAccessedMember) {
+  TraceBuilder T;
+  T.write(0, Y).end(0);
+
+  AtomicityChecker Checker;
+  replayTrace(T.finish(), Checker);
+  MemAddr Members[] = {X, Y};
+  EXPECT_FALSE(Checker.registerAtomicGroup(Members, 2));
+  MemAddr Reversed[] = {Y, X};
+  EXPECT_FALSE(Checker.registerAtomicGroup(Reversed, 2));
+}
+
+/// A location already belonging to one group cannot be claimed by another.
+TEST(AtomicityChecker, GroupRegistrationRejectsCrossGroupClaim) {
+  constexpr MemAddr Z = 0x1010;
+  AtomicityChecker Checker;
+  MemAddr First[] = {X, Y};
+  EXPECT_TRUE(Checker.registerAtomicGroup(First, 2));
+  MemAddr Second[] = {Z, Y};
+  EXPECT_FALSE(Checker.registerAtomicGroup(Second, 2));
 }
 
 TEST(AtomicityChecker, StatsCountLocationsAndAccesses) {

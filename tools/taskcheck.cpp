@@ -51,6 +51,7 @@ struct CliOptions {
   bool Generate = false;
   bool RandomSchedule = false;
   bool Dot = false;
+  bool NoFilter = false;
   double Scale = 1.0;
   unsigned Threads = 1;
   uint64_t Seed = 1;
@@ -62,6 +63,7 @@ int usage(const char *Prog) {
       stderr,
       "usage: %s [--list]\n"
       "       %s --tool=<t> --workload=<w> [--scale=S] [--threads=N]\n"
+      "           [--no-filter]  disable the redundant-access fast path\n"
       "       %s --tool=<t> --trace=<file> [--dot]\n"
       "       %s --generate [--seed=K] [--tasks=N] [--random-schedule]\n"
       "tools: atomicity (default), basic, velodrome, race, determinism, "
@@ -99,6 +101,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.RandomSchedule = true;
     else if (std::strcmp(Arg, "--dot") == 0)
       Opts.Dot = true;
+    else if (std::strcmp(Arg, "--no-filter") == 0)
+      Opts.NoFilter = true;
     else
       return false;
   }
@@ -157,13 +161,22 @@ int generateTrace(const CliOptions &Opts) {
 void printAtomicityStats(const AtomicityChecker &Checker) {
   CheckerStats Stats = Checker.stats();
   std::printf("\nstatistics: %llu locations, %llu reads, %llu writes, "
-              "%llu DPST nodes, %llu LCA queries (%llu cache hits)\n",
+              "%llu DPST nodes, %llu LCA queries (%.1f%% cache hits, "
+              "%llu trivial same-step)\n",
               static_cast<unsigned long long>(Stats.NumLocations),
               static_cast<unsigned long long>(Stats.NumReads),
               static_cast<unsigned long long>(Stats.NumWrites),
               static_cast<unsigned long long>(Stats.NumDpstNodes),
               static_cast<unsigned long long>(Stats.Lca.NumQueries),
-              static_cast<unsigned long long>(Stats.Lca.NumCacheHits));
+              Stats.Lca.percentCacheHits(),
+              static_cast<unsigned long long>(Stats.Lca.NumTrivialSame));
+  if (Stats.AccessFilterEnabled)
+    std::printf("access filter: %llu hits (%llu reads, %llu writes), "
+                "%.1f%% of accesses\n",
+                static_cast<unsigned long long>(Stats.NumFilterHits),
+                static_cast<unsigned long long>(Stats.NumFilterHitReads),
+                static_cast<unsigned long long>(Stats.NumFilterHitWrites),
+                Stats.filterHitRate());
 }
 
 int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
@@ -194,7 +207,9 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
   // Offline replay: instantiate the selected tool directly.
   switch (Kind) {
   case ToolKind::Atomicity: {
-    AtomicityChecker Checker;
+    AtomicityChecker::Options CheckerOpts;
+    CheckerOpts.EnableAccessFilter = !Opts.NoFilter;
+    AtomicityChecker Checker(CheckerOpts);
     replayTrace(*Events, Checker);
     std::printf("[atomicity] %zu violation(s)\n",
                 Checker.violations().size());
@@ -260,6 +275,7 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
   ToolContext::Options ToolOpts;
   ToolOpts.Tool = Kind;
   ToolOpts.NumThreads = Opts.Threads;
+  ToolOpts.Checker.EnableAccessFilter = !Opts.NoFilter;
   ToolContext Tool(ToolOpts);
   Timer T;
   Tool.run([&] { Chosen->Run(Opts.Scale); });
