@@ -20,11 +20,16 @@
 #ifndef AVC_BENCH_BENCHCOMMON_H
 #define AVC_BENCH_BENCHCOMMON_H
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include <benchmark/benchmark.h>
 
 #include "instrument/ToolContext.h"
 #include "support/Statistics.h"
@@ -39,10 +44,35 @@ struct BenchConfig {
   double Scale = 1.0;  ///< workload input scale (1.0 = default size)
   unsigned Reps = 3;   ///< timed repetitions per configuration
   unsigned Threads = 1;///< worker threads (1 = deterministic)
+  /// Parallelism-query algorithm for the checker configurations.
+  QueryMode Query = QueryMode::Label;
+  /// Destination for machine-readable results; empty = table output only.
+  std::string JsonPath;
 };
+
+/// Peels `--json=PATH` / `--json PATH` off \p Argv (compacting it in
+/// place) and returns the path, or "" if absent. Separate from parseArgs
+/// so the google-benchmark binaries can strip our flag before handing the
+/// remaining argv to benchmark::Initialize, which rejects unknown flags.
+inline std::string extractJsonPath(int &Argc, char **Argv) {
+  std::string Path;
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) == 0) {
+      Path = Argv[I] + 7;
+    } else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+      Path = Argv[++I];
+    } else {
+      Argv[Out++] = Argv[I];
+    }
+  }
+  Argc = Out;
+  return Path;
+}
 
 inline BenchConfig parseArgs(int Argc, char **Argv) {
   BenchConfig Config;
+  Config.JsonPath = extractJsonPath(Argc, Argv);
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (std::strncmp(Arg, "--scale=", 8) == 0)
@@ -51,8 +81,14 @@ inline BenchConfig parseArgs(int Argc, char **Argv) {
       Config.Reps = static_cast<unsigned>(std::atoi(Arg + 7));
     else if (std::strncmp(Arg, "--threads=", 10) == 0)
       Config.Threads = static_cast<unsigned>(std::atoi(Arg + 10));
-    else if (std::strcmp(Arg, "--help") == 0) {
-      std::printf("usage: %s [--scale=S] [--reps=N] [--threads=T]\n",
+    else if (std::strncmp(Arg, "--query-mode=", 13) == 0) {
+      if (!parseQueryMode(Arg + 13, Config.Query)) {
+        std::fprintf(stderr, "error: unknown query mode '%s'\n", Arg + 13);
+        std::exit(2);
+      }
+    } else if (std::strcmp(Arg, "--help") == 0) {
+      std::printf("usage: %s [--scale=S] [--reps=N] [--threads=T]\n"
+                  "          [--query-mode=walk|lift|label] [--json=PATH]\n",
                   Argv[0]);
       std::exit(0);
     }
@@ -110,6 +146,7 @@ inline ToolContext::Options checkerOptions(const BenchConfig &Config,
   Opts.Tool = ToolKind::Atomicity;
   Opts.NumThreads = Config.Threads;
   Opts.Checker.Layout = Layout;
+  Opts.Checker.Query = Config.Query;
   Opts.Checker.EnableLcaCache = EnableCache;
   return Opts;
 }
@@ -129,6 +166,130 @@ inline std::string humanCount(double Value) {
   else
     std::snprintf(Buffer, sizeof(Buffer), "%.0f", Value);
   return std::string(Buffer);
+}
+
+//===----------------------------------------------------------------------===//
+// Machine-readable output (--json=PATH)
+//===----------------------------------------------------------------------===//
+
+/// Renders a JSON string literal. Quotes, backslashes, and control bytes
+/// are the only escapes our identifiers can need.
+inline std::string jsonQuote(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      (Out += '\\') += C;
+    else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buffer[8];
+      std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+      Out += Buffer;
+    } else
+      Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Renders a JSON number; non-finite values (a zero-time baseline makes a
+/// slowdown infinite) become null rather than invalid JSON.
+inline std::string jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.6g", V);
+  return std::string(Buffer);
+}
+
+/// Accumulates one experiment's results as {"meta": {...}, "rows": [...]}
+/// and writes them to the path given via --json. One shape across
+/// fig13/fig14/micro binaries so downstream tooling parses them uniformly.
+class JsonReport {
+public:
+  class Row {
+  public:
+    Row &field(const std::string &Key, const std::string &Value) {
+      Fields.push_back({Key, jsonQuote(Value)});
+      return *this;
+    }
+    Row &field(const std::string &Key, const char *Value) {
+      return field(Key, std::string(Value));
+    }
+    Row &field(const std::string &Key, double Value) {
+      Fields.push_back({Key, jsonNumber(Value)});
+      return *this;
+    }
+
+  private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> Fields;
+  };
+
+  void meta(const std::string &Key, const std::string &Value) {
+    Meta.push_back({Key, jsonQuote(Value)});
+  }
+  void meta(const std::string &Key, double Value) {
+    Meta.push_back({Key, jsonNumber(Value)});
+  }
+
+  /// Starts a new result row; fill it with chained field() calls.
+  Row &row() {
+    Rows.emplace_back();
+    return Rows.back();
+  }
+
+  /// Writes the report; returns false (with a message on stderr) if the
+  /// file cannot be created.
+  bool write(const std::string &Path) const {
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    Out << "{\n  \"meta\": {";
+    for (size_t I = 0; I < Meta.size(); ++I)
+      Out << (I ? ", " : "") << jsonQuote(Meta[I].first) << ": "
+          << Meta[I].second;
+    Out << "},\n  \"rows\": [\n";
+    for (size_t R = 0; R < Rows.size(); ++R) {
+      Out << "    {";
+      const auto &Fields = Rows[R].Fields;
+      for (size_t I = 0; I < Fields.size(); ++I)
+        Out << (I ? ", " : "") << jsonQuote(Fields[I].first) << ": "
+            << Fields[I].second;
+      Out << (R + 1 < Rows.size() ? "},\n" : "}\n");
+    }
+    Out << "  ]\n}\n";
+    std::printf("wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::vector<std::pair<std::string, std::string>> Meta;
+  std::vector<Row> Rows;
+};
+
+/// main() body shared by the google-benchmark micro binaries: peels our
+/// --json flag off argv and rewrites it into the library's own
+/// --benchmark_out flags (console table still prints; the file gets
+/// google-benchmark's JSON format). Replaces BENCHMARK_MAIN().
+inline int runMicroBenchmarks(int Argc, char **Argv) {
+  std::string JsonPath = extractJsonPath(Argc, Argv);
+  std::vector<char *> Args(Argv, Argv + Argc);
+  std::string OutFlag = "--benchmark_out=" + JsonPath;
+  std::string FormatFlag = "--benchmark_out_format=json";
+  if (!JsonPath.empty()) {
+    Args.push_back(OutFlag.data());
+    Args.push_back(FormatFlag.data());
+  }
+  int NewArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&NewArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(NewArgc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (!JsonPath.empty())
+    std::printf("wrote %s\n", JsonPath.c_str());
+  benchmark::Shutdown();
+  return 0;
 }
 
 } // namespace bench

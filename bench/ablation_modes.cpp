@@ -6,7 +6,9 @@
 ///
 /// Ablations for the design decisions DESIGN.md calls out, measured as
 /// geomean slowdowns across the 13 benchmarks:
-///   - LCA caching on/off (the Section 4 optimization);
+///   - the parallelism-query algorithm: fork-path labels (default) vs
+///     binary lifting vs the paper's LCA walk with and without the
+///     Section 4 cache (DESIGN.md "Constant-time parallelism queries");
 ///   - the per-task redundant-access filter on/off (DESIGN.md "Access
 ///     filtering");
 ///   - complete metadata (20 entries + the interleaver-check fix) vs the
@@ -33,8 +35,23 @@ ToolContext::Options makeDefault(const BenchConfig &Config) {
   return checkerOptions(Config, DpstLayout::Array);
 }
 
-ToolContext::Options makeNoCache(const BenchConfig &Config) {
-  return checkerOptions(Config, DpstLayout::Array, /*EnableCache=*/false);
+ToolContext::Options makeLift(const BenchConfig &Config) {
+  ToolContext::Options Opts = checkerOptions(Config, DpstLayout::Array);
+  Opts.Checker.Query = QueryMode::Lift;
+  return Opts;
+}
+
+ToolContext::Options makeWalkCached(const BenchConfig &Config) {
+  ToolContext::Options Opts = checkerOptions(Config, DpstLayout::Array);
+  Opts.Checker.Query = QueryMode::Walk;
+  return Opts;
+}
+
+ToolContext::Options makeWalkNoCache(const BenchConfig &Config) {
+  ToolContext::Options Opts =
+      checkerOptions(Config, DpstLayout::Array, /*EnableCache=*/false);
+  Opts.Checker.Query = QueryMode::Walk;
+  return Opts;
 }
 
 ToolContext::Options makePaperLiteral(const BenchConfig &Config) {
@@ -65,10 +82,12 @@ ToolContext::Options makeRace(const BenchConfig &Config) {
 }
 
 const ModeSpec Modes[] = {
-    {"default(complete+cache)", makeDefault},
+    {"default(label-queries)", makeDefault},
+    {"query-lift", makeLift},
+    {"query-walk(+lca-cache)", makeWalkCached},
+    {"query-walk(no-cache)", makeWalkNoCache},
     {"paper-literal(12-entry)", makePaperLiteral},
     {"no-access-filter", makeNoFilter},
-    {"no-lca-cache", makeNoCache},
     {"basic(unbounded)", makeBasic},
     {"race-detector(all-sets)", makeRace},
 };
@@ -113,10 +132,11 @@ int main(int argc, char **argv) {
                 geometricMean(Slowdowns), Worst, WorstName);
   }
 
-  std::printf("\nExpected shape: caching and the array layout pay off most "
-              "on LCA-heavy benchmarks; the complete-metadata checks cost "
-              "little over the paper-literal configuration; the unbounded "
-              "basic checker is the most expensive (it is quadratic per "
-              "location) — the cost the paper's fixed metadata removes.\n");
+  std::printf("\nExpected shape: label and lift queries match or beat the "
+              "cached walk and clearly beat the uncached walk on LCA-heavy "
+              "benchmarks; the complete-metadata checks cost little over "
+              "the paper-literal configuration; the unbounded basic checker "
+              "is the most expensive (it is quadratic per location) — the "
+              "cost the paper's fixed metadata removes.\n");
   return 0;
 }

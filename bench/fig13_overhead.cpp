@@ -26,8 +26,15 @@ int main(int argc, char **argv) {
   BenchConfig Config = parseArgs(argc, argv);
 
   std::printf("Figure 13: slowdown vs uninstrumented baseline "
-              "(scale=%.2f, reps=%u, threads=%u)\n",
-              Config.Scale, Config.Reps, Config.Threads);
+              "(scale=%.2f, reps=%u, threads=%u, query-mode=%s)\n",
+              Config.Scale, Config.Reps, Config.Threads,
+              queryModeName(Config.Query));
+  JsonReport Report;
+  Report.meta("experiment", "fig13_overhead");
+  Report.meta("scale", Config.Scale);
+  Report.meta("reps", static_cast<double>(Config.Reps));
+  Report.meta("threads", static_cast<double>(Config.Threads));
+  Report.meta("query_mode", queryModeName(Config.Query));
   std::printf("%-14s %10s %10s %10s %10s %9s %9s %9s %8s\n", "benchmark",
               "base(ms)", "ours(ms)", "nofilt(ms)", "velo(ms)", "ours(x)",
               "nofilt(x)", "velo(x)", "filt-hit");
@@ -66,11 +73,26 @@ int main(int argc, char **argv) {
                 "%7.1f%%\n",
                 W.Name, Base * 1e3, Ours * 1e3, NoFilt * 1e3, Velo * 1e3,
                 OursX, NoFiltX, VeloX, Stats.filterHitRate());
+    Report.row()
+        .field("benchmark", W.Name)
+        .field("base_ms", Base * 1e3)
+        .field("ours_ms", Ours * 1e3)
+        .field("nofilter_ms", NoFilt * 1e3)
+        .field("velodrome_ms", Velo * 1e3)
+        .field("ours_x", OursX)
+        .field("nofilter_x", NoFiltX)
+        .field("velodrome_x", VeloX)
+        .field("filter_hit_pct", Stats.filterHitRate());
   }
 
   std::printf("%-14s %10s %10s %10s %10s %8.2fx %8.2fx %8.2fx\n", "geomean",
               "", "", "", "", geometricMean(OursSlowdowns),
               geometricMean(NoFiltSlowdowns), geometricMean(VeloSlowdowns));
+  Report.meta("geomean_ours_x", geometricMean(OursSlowdowns));
+  Report.meta("geomean_nofilter_x", geometricMean(NoFiltSlowdowns));
+  Report.meta("geomean_velodrome_x", geometricMean(VeloSlowdowns));
+  if (!Config.JsonPath.empty() && !Report.write(Config.JsonPath))
+    return 1;
   std::printf("\nPaper reports: ours 4.2x, Velodrome 4.6x (geomean); "
               "kmeans/raycast/swaptions highest.\n");
   std::printf("Reminder: Velodrome checks only the observed schedule; our "

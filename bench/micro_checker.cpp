@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchCommon.h"
 #include "checker/AtomicityChecker.h"
 #include "checker/LockSet.h"
 #include "checker/ShadowMemory.h"
@@ -150,6 +151,30 @@ void BM_PaperLiteralVsComplete(benchmark::State &State) {
 }
 BENCHMARK(BM_PaperLiteralVsComplete)->Arg(0)->Arg(1)->ArgNames({"complete"});
 
+/// Per-access checker cost under each parallelism-query mode: two parallel
+/// tasks hammering one shared location, so every access runs a Par()
+/// query end to end through the configured algorithm.
+void BM_SharedReadByQueryMode(benchmark::State &State) {
+  AtomicityChecker::Options Opts;
+  Opts.Query = static_cast<QueryMode>(State.range(0));
+  AtomicityChecker Checker(Opts);
+  Checker.onProgramStart(0);
+  Checker.onTaskSpawn(0, nullptr, 1);
+  Checker.onTaskSpawn(0, nullptr, 2);
+  for (auto _ : State) {
+    Checker.onRead(1, 0x700000);
+    Checker.onRead(2, 0x700000);
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_SharedReadByQueryMode)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"mode"});
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return avc::bench::runMicroBenchmarks(argc, argv);
+}

@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchCommon.h"
 #include "dpst/Dpst.h"
 #include "dpst/LcaCache.h"
 #include "dpst/ParallelismOracle.h"
@@ -145,6 +146,101 @@ BENCHMARK(BM_LcaQueryHugeTree)
     ->Args({1, 1 << 21})
     ->ArgNames({"layout", "nodes"});
 
+//===----------------------------------------------------------------------===//
+// Query-mode depth sweep (the query-acceleration ablation)
+//===----------------------------------------------------------------------===//
+
+QueryMode modeFor(int64_t Arg) { return static_cast<QueryMode>(Arg); }
+
+/// Degenerate-deep sweep: the comb from buildDeepPair puts the LCA at the
+/// root, so Walk pays the full `depth` pointer chase while Label resolves
+/// at the first packed-word compare. The acceptance shape: Label flat
+/// across 10..10k, Walk linear.
+void BM_QueryModeDeepComb(benchmark::State &State) {
+  QueryMode Mode = modeFor(State.range(0));
+  DeepPair Pair = buildDeepPair(DpstLayout::Array,
+                                static_cast<int>(State.range(1)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Pair.Tree->logicallyParallel(Pair.Left, Pair.Right, Mode));
+}
+BENCHMARK(BM_QueryModeDeepComb)
+    ->Args({0, 10})
+    ->Args({0, 100})
+    ->Args({0, 1000})
+    ->Args({0, 10000})
+    ->Args({1, 10})
+    ->Args({1, 100})
+    ->Args({1, 1000})
+    ->Args({1, 10000})
+    ->Args({2, 10})
+    ->Args({2, 100})
+    ->Args({2, 1000})
+    ->Args({2, 10000})
+    ->ArgNames({"mode", "depth"});
+
+/// Worst case for labels: two sibling steps at the *bottom* of the chain,
+/// so the fork paths agree for `depth` entries before diverging. Label
+/// degrades to a word-compare scan (8 bytes/step), Lift stays O(log d).
+void BM_QueryModeDeepLca(benchmark::State &State) {
+  QueryMode Mode = modeFor(State.range(0));
+  int Depth = static_cast<int>(State.range(1));
+  std::unique_ptr<Dpst> Tree = createDpst(DpstLayout::Array);
+  NodeId Spine = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  for (int I = 0; I < Depth; ++I)
+    Spine = Tree->addNode(Spine, DpstNodeKind::Finish, 0);
+  NodeId Async = Tree->addNode(Spine, DpstNodeKind::Async, 1);
+  NodeId Left = Tree->addNode(Async, DpstNodeKind::Step, 1);
+  NodeId Right = Tree->addNode(Spine, DpstNodeKind::Step, 0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Tree->logicallyParallel(Left, Right, Mode));
+}
+BENCHMARK(BM_QueryModeDeepLca)
+    ->Args({0, 1000})
+    ->Args({1, 1000})
+    ->Args({2, 1000})
+    ->ArgNames({"mode", "depth"});
+
+/// Balanced case: random leaf pairs in a bushy tree (depth ~ log nodes),
+/// the shape real task-parallel programs produce. All modes are fast here;
+/// the sweep shows none of them regresses the common case.
+void BM_QueryModeBushyTree(benchmark::State &State) {
+  QueryMode Mode = modeFor(State.range(0));
+  size_t NumNodes = static_cast<size_t>(State.range(1));
+  std::unique_ptr<Dpst> Tree = createDpst(DpstLayout::Array);
+  SplitMix64 Rng(7);
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  std::vector<NodeId> Scopes{Root};
+  std::vector<NodeId> Steps;
+  while (Tree->numNodes() < NumNodes) {
+    NodeId Scope = Scopes[Rng.nextBelow(Scopes.size())];
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      Scopes.push_back(Tree->addNode(Scope, DpstNodeKind::Finish, 0));
+      break;
+    case 1:
+      Scopes.push_back(Tree->addNode(Scope, DpstNodeKind::Async, 0));
+      break;
+    default:
+      Steps.push_back(Tree->addNode(Scope, DpstNodeKind::Step, 0));
+      break;
+    }
+  }
+  SplitMix64 Query(13);
+  for (auto _ : State) {
+    NodeId A = Steps[Query.nextBelow(Steps.size())];
+    NodeId B = Steps[Query.nextBelow(Steps.size())];
+    if (A == B)
+      continue;
+    benchmark::DoNotOptimize(Tree->logicallyParallel(A, B, Mode));
+  }
+}
+BENCHMARK(BM_QueryModeBushyTree)
+    ->Args({0, 1 << 16})
+    ->Args({1, 1 << 16})
+    ->Args({2, 1 << 16})
+    ->ArgNames({"mode", "nodes"});
+
 void BM_LcaCacheLookup(benchmark::State &State) {
   LcaCache Cache(16);
   SplitMix64 Rng(42);
@@ -164,4 +260,6 @@ BENCHMARK(BM_LcaCacheLookup);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return avc::bench::runMicroBenchmarks(argc, argv);
+}

@@ -30,6 +30,7 @@ AtomicityChecker::AtomicityChecker(Options Opts)
     : Opts(Opts), Tree(createDpst(Opts.Layout)),
       Builder(*Tree), Log(Opts.MaxRetainedViolations) {
   ParallelismOracle::Options OracleOpts;
+  OracleOpts.Mode = Opts.Query;
   OracleOpts.EnableCache = Opts.EnableLcaCache;
   OracleOpts.CacheLogSlots = Opts.CacheLogSlots;
   OracleOpts.TrackUniquePairs = Opts.TrackUniquePairs;
@@ -478,7 +479,7 @@ void AtomicityChecker::retainEntry(NodeId &E1, NodeId &E2, NodeId Si) {
 
   // Complete mode: dominated-entry replacement plus leftmost/rightmost
   // retention (shared with the race detector; see RetentionPolicy.h).
-  retainParallelPair(*Oracle, *Tree, E1, E2, Si);
+  retainParallelPair(*Oracle, E1, E2, Si);
 }
 
 void AtomicityChecker::retainPattern(NodeId &P1, NodeId &P2, NodeId Si) {

@@ -50,7 +50,13 @@ public:
   struct Options {
     /// DPST data layout (the Figure 14 ablation).
     DpstLayout Layout = DpstLayout::Array;
-    /// Cache LCA query results (Section 4 optimization).
+    /// Parallelism-query algorithm (the query-acceleration ablation, see
+    /// DpstQueryIndex.h): Label answers the common step-vs-step query in
+    /// O(1) by fork-path comparison, Lift in O(log depth) by binary
+    /// lifting, Walk is the paper's O(depth) LCA walk.
+    QueryMode Query = QueryMode::Label;
+    /// Cache LCA query results (Section 4 optimization; Walk mode only —
+    /// Lift/Label queries are cheaper than a cache probe).
     bool EnableLcaCache = true;
     /// log2 of LCA cache slots.
     unsigned CacheLogSlots = 16;

@@ -143,9 +143,9 @@ void DeterminismChecker::onAccess(TaskId Task, MemAddr Addr,
       report(Loc, Writer, AccessKind::Write, Si, Kind);
 
   if (Kind == AccessKind::Read)
-    retainParallelPair(*Oracle, *Tree, Loc.R1, Loc.R2, Si);
+    retainParallelPair(*Oracle, Loc.R1, Loc.R2, Si);
   else
-    retainParallelPair(*Oracle, *Tree, Loc.W1, Loc.W2, Si);
+    retainParallelPair(*Oracle, Loc.W1, Loc.W2, Si);
 }
 
 size_t DeterminismChecker::numViolations() const {

@@ -112,7 +112,7 @@ bool RaceDetector::par(NodeId Entry, NodeId Si) {
 }
 
 void RaceDetector::retainEntry(NodeId &E1, NodeId &E2, NodeId Si) {
-  retainParallelPair(*Oracle, *Tree, E1, E2, Si);
+  retainParallelPair(*Oracle, E1, E2, Si);
 }
 
 void RaceDetector::report(LocationState &Loc, NodeId Prior,

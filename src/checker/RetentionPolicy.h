@@ -27,10 +27,10 @@
 namespace avc {
 
 /// Records \p Si into the entry pair (\p E1, \p E2) under the complete
-/// retention policy. Uses \p Oracle for (counted, cached) parallelism
-/// queries and \p Tree for (uncounted) tree-order comparisons.
-inline void retainParallelPair(ParallelismOracle &Oracle, const Dpst &Tree,
-                               NodeId &E1, NodeId &E2, NodeId Si) {
+/// retention policy. Uses \p Oracle for (counted) parallelism queries and
+/// (uncounted) tree-order comparisons, both under the oracle's query mode.
+inline void retainParallelPair(ParallelismOracle &Oracle, NodeId &E1,
+                               NodeId &E2, NodeId Si) {
   if (E1 == Si || E2 == Si)
     return;
   bool Dominated1 = E1 != InvalidNodeId && !Oracle.logicallyParallel(E1, Si);
@@ -57,12 +57,12 @@ inline void retainParallelPair(ParallelismOracle &Oracle, const Dpst &Tree,
     return;
   }
   NodeId Lo = E1, Hi = E2;
-  if (Tree.treeOrderedBefore(Hi, Lo))
+  if (Oracle.treeOrderedBefore(Hi, Lo))
     std::swap(Lo, Hi);
-  if (Tree.treeOrderedBefore(Si, Lo)) {
+  if (Oracle.treeOrderedBefore(Si, Lo)) {
     E1 = Si;
     E2 = Hi;
-  } else if (Tree.treeOrderedBefore(Hi, Si)) {
+  } else if (Oracle.treeOrderedBefore(Hi, Si)) {
     E1 = Lo;
     E2 = Si;
   }

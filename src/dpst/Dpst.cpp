@@ -21,6 +21,30 @@ NodeId Dpst::root() const {
   return 0;
 }
 
+bool Dpst::logicallyParallel(NodeId A, NodeId B, QueryMode Mode) const {
+  switch (Mode) {
+  case QueryMode::Walk:
+    return logicallyParallelUncached(A, B);
+  case QueryMode::Lift:
+    return Index.logicallyParallelLifted(A, B);
+  case QueryMode::Label:
+    return Index.logicallyParallelLabeled(A, B);
+  }
+  avc_unreachable("unknown query mode");
+}
+
+bool Dpst::treeOrderedBefore(NodeId A, NodeId B, QueryMode Mode) const {
+  switch (Mode) {
+  case QueryMode::Walk:
+    return treeOrderedBefore(A, B);
+  case QueryMode::Lift:
+    return Index.treeOrderedBeforeLifted(A, B);
+  case QueryMode::Label:
+    return Index.treeOrderedBeforeLabeled(A, B);
+  }
+  avc_unreachable("unknown query mode");
+}
+
 bool Dpst::isAncestorOrSelf(NodeId Ancestor, NodeId Id) const {
   uint32_t TargetDepth = depth(Ancestor);
   while (depth(Id) > TargetDepth)

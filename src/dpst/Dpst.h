@@ -27,6 +27,7 @@
 #include <memory>
 
 #include "dpst/DpstNodeKind.h"
+#include "dpst/DpstQueryIndex.h"
 
 namespace avc {
 
@@ -85,12 +86,29 @@ public:
   /// parallel entries; see AtomicityChecker) relies on this order.
   virtual bool treeOrderedBefore(NodeId A, NodeId B) const = 0;
 
+  /// Mode-dispatched logically-parallel query: Walk runs the layout's
+  /// O(depth) LCA walk; Lift and Label run against the query-acceleration
+  /// index (DpstQueryIndex.h), whose cost is independent of the layout.
+  bool logicallyParallel(NodeId A, NodeId B, QueryMode Mode) const;
+
+  /// Mode-dispatched tree-order query (same dispatch as above).
+  bool treeOrderedBefore(NodeId A, NodeId B, QueryMode Mode) const;
+
   /// Returns the root node id (0 by construction), asserting the tree is
   /// non-empty.
   NodeId root() const;
 
   /// Returns true if \p Ancestor is \p Id or a proper ancestor of \p Id.
   bool isAncestorOrSelf(NodeId Ancestor, NodeId Id) const;
+
+  /// The query-acceleration index (for tests and memory accounting).
+  DpstQueryIndex &queryIndex() { return Index; }
+  const DpstQueryIndex &queryIndex() const { return Index; }
+
+protected:
+  /// Lift/Label acceleration structures, fed by every addNode
+  /// implementation under its append serialization.
+  DpstQueryIndex Index;
 };
 
 /// Creates an empty DPST with the requested data \p Layout.

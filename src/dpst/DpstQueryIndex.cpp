@@ -1,0 +1,227 @@
+//===- dpst/DpstQueryIndex.cpp - Constant-time parallelism queries --------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/DpstQueryIndex.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+#include "dpst/ParallelQueryImpl.h"
+
+using namespace avc;
+
+const char *avc::queryModeName(QueryMode Mode) {
+  switch (Mode) {
+  case QueryMode::Walk:
+    return "walk";
+  case QueryMode::Lift:
+    return "lift";
+  case QueryMode::Label:
+    return "label";
+  }
+  return "<invalid>";
+}
+
+bool avc::parseQueryMode(const char *Name, QueryMode &Mode) {
+  if (std::strcmp(Name, "walk") == 0)
+    Mode = QueryMode::Walk;
+  else if (std::strcmp(Name, "lift") == 0)
+    Mode = QueryMode::Lift;
+  else if (std::strcmp(Name, "label") == 0)
+    Mode = QueryMode::Label;
+  else
+    return false;
+  return true;
+}
+
+DpstQueryIndex::DpstQueryIndex() = default;
+DpstQueryIndex::~DpstQueryIndex() = default;
+
+/// Number of binary-lifting levels a node at \p Depth stores: one per
+/// power of two not exceeding the depth (level K holds the ancestor at
+/// distance 2^K; the root stores none).
+static unsigned jumpLevels(uint32_t Depth) {
+  return static_cast<unsigned>(std::bit_width(Depth));
+}
+
+uint32_t *DpstQueryIndex::allocateLabel(uint32_t Len) {
+  if (LabelWordsUsed + Len > LabelWordsCap)
+    return nullptr; // arena budget exhausted: this node falls back to Lift
+  if (LabelChunkUsed + Len > LabelChunkWords) {
+    // Oversized labels get a dedicated exact-size chunk so the common
+    // chunk's tail is not wasted on them.
+    if (Len > LabelChunkWords) {
+      LabelChunks.push_back(std::make_unique<uint32_t[]>(Len));
+      LabelWordsUsed += Len;
+      return LabelChunks.back().get();
+    }
+    LabelChunks.push_back(std::make_unique<uint32_t[]>(LabelChunkWords));
+    LabelChunkUsed = 0;
+  }
+  uint32_t *Out = LabelChunks.back().get() + LabelChunkUsed;
+  LabelChunkUsed += Len;
+  LabelWordsUsed += Len;
+  return Out;
+}
+
+void DpstQueryIndex::onNodeAdded([[maybe_unused]] NodeId Id, NodeId Parent,
+                                 DpstNodeKind Kind, uint32_t Depth,
+                                 uint32_t SiblingIndex) {
+  assert(Id == Meta.size() && "index must be fed in id order");
+  assert((Depth == 0) == (Parent == InvalidNodeId) &&
+         "only the root has no parent");
+
+  // Binary-lifting row: Row[0] is the parent; Row[K] is Row[K-1]'s
+  // ancestor at distance 2^(K-1), read from the already-published rows.
+  // 31 levels cover the whole 31-bit id space.
+  NodeId Row[32];
+  unsigned Levels = jumpLevels(Depth);
+  uint64_t JumpOffset = 0;
+  if (Levels > 0) {
+    Row[0] = Parent;
+    const NodeMeta *M = Meta.snapshot();
+    const NodeId *J = Jumps.snapshot();
+    for (unsigned K = 1; K < Levels; ++K)
+      Row[K] = J[M[Row[K - 1]].JumpOffset + (K - 1)];
+    JumpOffset = Jumps.pushBackSpan(Row, Levels);
+  }
+
+  // Fork-path label (steps only): entry I describes the path's node at
+  // depth I+1, filled leaf-to-root by walking the published parent meta.
+  LabelRef Label{nullptr, 0};
+  if (Kind == DpstNodeKind::Step && Depth > 0) {
+    if (uint32_t *Data = allocateLabel(Depth)) {
+      const NodeMeta *M = Meta.snapshot();
+      Data[Depth - 1] = (SiblingIndex << 1) | 0u; // the step itself
+      NodeId Walk = Parent;
+      for (uint32_t I = Depth - 1; I > 0; --I) {
+        const NodeMeta &WalkMeta = M[Walk];
+        uint32_t IsAsync =
+            (WalkMeta.DepthKind & 3) ==
+                    static_cast<uint32_t>(DpstNodeKind::Async)
+                ? 1u
+                : 0u;
+        Data[I - 1] = (WalkMeta.SiblingIndex << 1) | IsAsync;
+        Walk = Jumps[WalkMeta.JumpOffset]; // level 0 = parent
+      }
+      Label = {Data, Depth};
+    }
+  }
+
+  NodeMeta Record;
+  Record.JumpOffset = JumpOffset;
+  Record.DepthKind = (Depth << 2) | static_cast<uint32_t>(Kind);
+  Record.SiblingIndex = SiblingIndex;
+  Meta.pushBack(Record);
+  Labels.pushBack(Label);
+}
+
+bool DpstQueryIndex::hasLabel(NodeId Id) const {
+  assert(Id < Labels.size() && "node id out of range");
+  return Labels[Id].Data != nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Lift mode: ParallelQueryImpl's lifted algorithms over the flat arrays
+//===----------------------------------------------------------------------===//
+
+/// Adapter handing the lifted query templates snapshots of the two flat
+/// arrays; one snapshot pair serves a whole query (every reachable node
+/// was published before the queried ids escaped addNode).
+struct DpstQueryIndex::LiftView {
+  const NodeMeta *M;
+  const NodeId *J;
+
+  uint32_t depthOf(NodeId Id) const { return M[Id].DepthKind >> 2; }
+  DpstNodeKind kindOf(NodeId Id) const {
+    return static_cast<DpstNodeKind>(M[Id].DepthKind & 3);
+  }
+  uint32_t siblingIndexOf(NodeId Id) const { return M[Id].SiblingIndex; }
+  NodeId parentOf(NodeId Id) const { return J[M[Id].JumpOffset]; }
+  NodeId jumpOf(NodeId Id, unsigned K) const {
+    return J[M[Id].JumpOffset + K];
+  }
+  bool sameNode(NodeId A, NodeId B) const { return A == B; }
+};
+
+bool DpstQueryIndex::logicallyParallelLifted(NodeId A, NodeId B) const {
+  assert(A < Meta.size() && B < Meta.size() && "node id out of range");
+  LiftView View{Meta.snapshot(), Jumps.snapshot()};
+  return detail::queryLogicallyParallelLifted(View, A, B);
+}
+
+bool DpstQueryIndex::treeOrderedBeforeLifted(NodeId A, NodeId B) const {
+  assert(A < Meta.size() && B < Meta.size() && "node id out of range");
+  LiftView View{Meta.snapshot(), Jumps.snapshot()};
+  return detail::queryTreeOrderedBeforeLifted(View, A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// Label mode: fork-path comparison
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Index of the first differing entry between two labels, or MinLen if one
+/// is a prefix of the other. Compares two packed entries per 64-bit load;
+/// label starts are 4-byte aligned, so the loads use memcpy (free on
+/// x86/arm) instead of assuming 8-byte alignment.
+uint32_t firstDivergence(const uint32_t *LA, const uint32_t *LB,
+                         uint32_t MinLen) {
+  uint32_t I = 0;
+  while (I + 2 <= MinLen) {
+    uint64_t WA, WB;
+    std::memcpy(&WA, LA + I, sizeof(WA));
+    std::memcpy(&WB, LB + I, sizeof(WB));
+    if (WA != WB)
+      break;
+    I += 2;
+  }
+  while (I < MinLen && LA[I] == LB[I])
+    ++I;
+  return I;
+}
+
+} // namespace
+
+bool DpstQueryIndex::logicallyParallelLabeled(NodeId A, NodeId B) const {
+  assert(A < Labels.size() && B < Labels.size() && "node id out of range");
+  if (A == B)
+    return false;
+  LabelRef LA = Labels[A];
+  LabelRef LB = Labels[B];
+  if (LA.Data == nullptr || LB.Data == nullptr)
+    return logicallyParallelLifted(A, B);
+  uint32_t MinLen = LA.Len < LB.Len ? LA.Len : LB.Len;
+  uint32_t I = firstDivergence(LA.Data, LB.Data, MinLen);
+  if (I == MinLen)
+    return false; // one path is a prefix of the other: ancestor, in series
+  // The divergent entries are the two children of the LCA; the leftmost
+  // (smaller sibling index) decides: async => parallel. The is-async bit
+  // sits below the sibling index, so comparing the packed words compares
+  // sibling order whenever the indices differ — and they do diverge here.
+  uint32_t EA = LA.Data[I];
+  uint32_t EB = LB.Data[I];
+  assert((EA >> 1) != (EB >> 1) &&
+         "distinct children of one parent must have distinct positions");
+  uint32_t Left = (EA >> 1) < (EB >> 1) ? EA : EB;
+  return (Left & 1u) != 0;
+}
+
+bool DpstQueryIndex::treeOrderedBeforeLabeled(NodeId A, NodeId B) const {
+  assert(A < Labels.size() && B < Labels.size() && "node id out of range");
+  assert(A != B && "tree-order query on identical nodes");
+  LabelRef LA = Labels[A];
+  LabelRef LB = Labels[B];
+  if (LA.Data == nullptr || LB.Data == nullptr)
+    return treeOrderedBeforeLifted(A, B);
+  uint32_t MinLen = LA.Len < LB.Len ? LA.Len : LB.Len;
+  uint32_t I = firstDivergence(LA.Data, LB.Data, MinLen);
+  if (I == MinLen)
+    return LA.Len < LB.Len; // ancestor precedes descendant in pre-order
+  return (LA.Data[I] >> 1) < (LB.Data[I] >> 1);
+}

@@ -1,0 +1,155 @@
+//===- dpst/DpstQueryIndex.h - Constant-time parallelism queries -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Query-acceleration layer for the DPST. The baseline logically-parallel
+/// query (ParallelQueryImpl.h) walks parent links to the LCA and costs
+/// O(depth) per uncached query — for deep recursive workloads (sort,
+/// karatsuba, convexhull) that walk dominates checker overhead, and the
+/// exact-pair LcaCache cannot help when step pairs rarely repeat. The DPST
+/// is append-only with immutable parents, so acceleration structures can be
+/// computed once at insertion and never touched again:
+///
+///  - **Binary-lifting jump tables** (Lift mode): per node, the ancestors
+///    at distance 2^k, built in O(log depth) at insertion. Equal-depth
+///    lifting and LCA-child location become O(log depth) flat-array reads.
+///
+///  - **Fork-path labels** (Label mode, after DePa, Westrick et al.
+///    PPoPP'22): per *step* node, the packed (sibling-index, is-async)
+///    sequence of its ancestors root-to-leaf, stored contiguously in a
+///    chunked side arena. A step-vs-step query compares the two labels:
+///    the first divergent entry names the two children of the LCA
+///    directly, so the common query (steps whose LCA sits near the root)
+///    resolves in O(1) word operations with no pointer chasing at all.
+///    Steps without a label (non-leaf nodes, or nodes past the arena
+///    budget of a pathological deep-and-wide tree) fall back to Lift.
+///
+/// The index stores its own packed per-node record, so Lift/Label queries
+/// never touch the owning layout — the linked layout gets the same
+/// acceleration as the array layout (the Figure 14 ablation stays
+/// meaningful through Walk mode).
+///
+/// Thread safety matches the Dpst contract: onNodeAdded() is called under
+/// the owning layout's append lock in id order; all queries are safe
+/// concurrently with appends (FlatGrowVector publication plus
+/// never-deallocated label chunks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_DPST_DPSTQUERYINDEX_H
+#define AVC_DPST_DPSTQUERYINDEX_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dpst/DpstNodeKind.h"
+#include "support/FlatGrowVector.h"
+
+namespace avc {
+
+/// Selects the algorithm answering parallelism and tree-order queries
+/// (the query-acceleration ablation; Walk is the paper's algorithm).
+enum class QueryMode : uint8_t {
+  /// O(depth) lockstep parent walk to the LCA (ParallelQueryImpl.h).
+  Walk,
+  /// O(log depth) binary-lifting jumps over the index's flat arrays.
+  Lift,
+  /// O(1) fork-path label comparison for step pairs; falls back to Lift
+  /// when a label is missing.
+  Label,
+};
+
+/// Returns a short name for \p Mode ("walk", "lift", "label").
+const char *queryModeName(QueryMode Mode);
+
+/// Parses a query-mode name; returns false if \p Name is not recognized.
+bool parseQueryMode(const char *Name, QueryMode &Mode);
+
+/// Side structure answering Lift/Label queries for one DPST instance.
+class DpstQueryIndex {
+public:
+  DpstQueryIndex();
+  DpstQueryIndex(const DpstQueryIndex &) = delete;
+  DpstQueryIndex &operator=(const DpstQueryIndex &) = delete;
+  ~DpstQueryIndex();
+
+  /// Records node \p Id. Must be called in id order (0, 1, 2, ...) under
+  /// the owning layout's append serialization, with the parent already
+  /// recorded. Builds the jump row in O(log \p Depth); for step nodes also
+  /// builds the fork-path label (O(\p Depth) one-time ancestor walk,
+  /// amortized over every query that later hits the label).
+  void onNodeAdded(NodeId Id, NodeId Parent, DpstNodeKind Kind,
+                   uint32_t Depth, uint32_t SiblingIndex);
+
+  /// Lift/Label implementations of Dpst::logicallyParallelUncached.
+  bool logicallyParallelLifted(NodeId A, NodeId B) const;
+  bool logicallyParallelLabeled(NodeId A, NodeId B) const;
+
+  /// Lift/Label implementations of Dpst::treeOrderedBefore.
+  bool treeOrderedBeforeLifted(NodeId A, NodeId B) const;
+  bool treeOrderedBeforeLabeled(NodeId A, NodeId B) const;
+
+  /// True if \p Id carries a fork-path label (step within the arena
+  /// budget). Exposed for tests and memory accounting.
+  bool hasLabel(NodeId Id) const;
+
+  /// Words currently used by the label arena (4 bytes each).
+  size_t labelArenaWords() const { return LabelWordsUsed; }
+
+  /// Caps the label arena (in 4-byte words); nodes added after the cap is
+  /// reached get no label and fall back to Lift. Tests use a tiny cap to
+  /// force the fallback path; the default bounds the O(steps * depth)
+  /// label memory of pathological deep-and-wide trees.
+  void setLabelCapacityWords(size_t Words) { LabelWordsCap = Words; }
+
+  size_t numNodes() const { return Meta.size(); }
+
+private:
+  /// Per-node hot record: everything a Lift query reads, 16 bytes so a
+  /// cache line holds four. JumpOffset indexes the node's lifting row in
+  /// the jump arena (row length derives from the depth).
+  struct alignas(16) NodeMeta {
+    uint64_t JumpOffset;
+    uint32_t DepthKind; ///< (Depth << 2) | DpstNodeKind
+    uint32_t SiblingIndex;
+  };
+
+  /// Fork-path label: Len packed entries, one per ancestor level
+  /// (root-to-node), each (SiblingIndex << 1) | is-async. Data points into
+  /// a label-arena chunk and stays valid for the index's lifetime;
+  /// nullptr means "no label, use Lift".
+  struct LabelRef {
+    const uint32_t *Data;
+    uint32_t Len;
+  };
+
+  struct LiftView; // adapter over Meta/Jumps snapshots (DpstQueryIndex.cpp)
+
+  uint32_t *allocateLabel(uint32_t Len);
+
+  static constexpr size_t LabelChunkWords = size_t(1) << 16;
+  /// Default label budget: 16M words = 64 MiB. Real workloads (balanced
+  /// recursion, depth O(log n)) use a tiny fraction; the cap only engages
+  /// for adversarial deep-and-wide trees.
+  static constexpr size_t DefaultLabelCapWords = size_t(1) << 24;
+
+  FlatGrowVector<NodeMeta> Meta; ///< hot per-node records, indexed by id
+  FlatGrowVector<NodeId> Jumps;  ///< concatenated binary-lifting rows
+  FlatGrowVector<LabelRef> Labels; ///< per-node label refs, indexed by id
+
+  /// Label arena chunks; grown only by onNodeAdded (serialized), never
+  /// read by queries (they hold direct Data pointers), never deallocated
+  /// before destruction.
+  std::vector<std::unique_ptr<uint32_t[]>> LabelChunks;
+  size_t LabelChunkUsed = LabelChunkWords; // force first allocation
+  size_t LabelWordsUsed = 0;
+  size_t LabelWordsCap = DefaultLabelCapWords;
+};
+
+} // namespace avc
+
+#endif // AVC_DPST_DPSTQUERYINDEX_H

@@ -19,7 +19,9 @@
 #ifndef AVC_DPST_PARALLELQUERYIMPL_H
 #define AVC_DPST_PARALLELQUERYIMPL_H
 
+#include <bit>
 #include <cassert>
+#include <cstdint>
 
 #include "dpst/DpstNodeKind.h"
 
@@ -87,6 +89,84 @@ bool queryTreeOrderedBefore(const ImplT &Impl, HandleT A, HandleT B) {
     X = Impl.parentOf(X);
     Y = Impl.parentOf(Y);
   }
+  return Impl.siblingIndexOf(X) < Impl.siblingIndexOf(Y);
+}
+
+//===----------------------------------------------------------------------===//
+// Binary-lifting variants (QueryMode::Lift)
+//===----------------------------------------------------------------------===//
+//
+// Same queries in O(log depth) instead of O(depth). \p ImplT must provide,
+// in addition to the walk requirements above,
+//   HandleT jumpOf(HandleT, unsigned K)  -- ancestor at distance 2^K,
+// defined whenever 2^K <= depthOf(HandleT). The DPST is append-only with
+// immutable parents, so the jump rows are built once at insertion
+// (DpstQueryIndex) and these queries read only published rows.
+
+/// Returns the ancestor of \p X at depth \p TargetDepth in O(log depth).
+template <typename ImplT, typename HandleT>
+HandleT liftToDepth(const ImplT &Impl, HandleT X, uint32_t TargetDepth) {
+  uint32_t D = Impl.depthOf(X);
+  assert(D >= TargetDepth && "cannot lift downwards");
+  while (D > TargetDepth) {
+    // Largest jump that does not overshoot the target.
+    unsigned K = static_cast<unsigned>(std::bit_width(D - TargetDepth)) - 1;
+    X = Impl.jumpOf(X, K);
+    D -= 1u << K;
+  }
+  return X;
+}
+
+/// Lifts two distinct equal-depth nodes, neither an ancestor of the other,
+/// to the two children of their LCA in O(log depth).
+template <typename ImplT, typename HandleT>
+void liftToLcaChildren(const ImplT &Impl, HandleT &X, HandleT &Y) {
+  assert(Impl.depthOf(X) == Impl.depthOf(Y) && !Impl.sameNode(X, Y) &&
+         "lift requires distinct equal-depth nodes");
+  uint32_t D = Impl.depthOf(X);
+  for (unsigned K = static_cast<unsigned>(std::bit_width(D)); K-- > 0;) {
+    if ((1u << K) > D)
+      continue; // jump row shrank below this level after an earlier jump
+    HandleT XUp = Impl.jumpOf(X, K);
+    HandleT YUp = Impl.jumpOf(Y, K);
+    if (!Impl.sameNode(XUp, YUp)) {
+      X = XUp;
+      Y = YUp;
+      D -= 1u << K;
+    }
+  }
+  // All differing jumps taken: the parents must now coincide (the LCA).
+  assert(Impl.sameNode(Impl.parentOf(X), Impl.parentOf(Y)) &&
+         "lifting must stop at the children of the LCA");
+}
+
+/// QueryMode::Lift version of queryLogicallyParallel.
+template <typename ImplT, typename HandleT>
+bool queryLogicallyParallelLifted(const ImplT &Impl, HandleT A, HandleT B) {
+  if (Impl.sameNode(A, B))
+    return false;
+  uint32_t DA = Impl.depthOf(A);
+  uint32_t DB = Impl.depthOf(B);
+  HandleT X = DA > DB ? liftToDepth(Impl, A, DB) : A;
+  HandleT Y = DB > DA ? liftToDepth(Impl, B, DA) : B;
+  if (Impl.sameNode(X, Y))
+    return false; // ancestor relation: in series
+  liftToLcaChildren(Impl, X, Y);
+  HandleT Left = Impl.siblingIndexOf(X) < Impl.siblingIndexOf(Y) ? X : Y;
+  return Impl.kindOf(Left) == DpstNodeKind::Async;
+}
+
+/// QueryMode::Lift version of queryTreeOrderedBefore.
+template <typename ImplT, typename HandleT>
+bool queryTreeOrderedBeforeLifted(const ImplT &Impl, HandleT A, HandleT B) {
+  assert(!Impl.sameNode(A, B) && "tree-order query on identical nodes");
+  uint32_t DA = Impl.depthOf(A);
+  uint32_t DB = Impl.depthOf(B);
+  HandleT X = DA > DB ? liftToDepth(Impl, A, DB) : A;
+  HandleT Y = DB > DA ? liftToDepth(Impl, B, DA) : B;
+  if (Impl.sameNode(X, Y))
+    return DA < DB; // pre-order puts the ancestor first
+  liftToLcaChildren(Impl, X, Y);
   return Impl.siblingIndexOf(X) < Impl.siblingIndexOf(Y);
 }
 

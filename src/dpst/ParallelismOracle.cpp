@@ -13,14 +13,24 @@
 using namespace avc;
 
 ParallelismOracle::ParallelismOracle(const Dpst &Tree, Options Opts)
-    : Tree(Tree), Opts(Opts) {
-  if (Opts.EnableCache)
+    : Tree(Tree), Opts(Opts),
+      StatShards(std::make_unique<StatShard[]>(NumStatShards)) {
+  if (Opts.EnableCache && Opts.Mode == QueryMode::Walk)
     Cache = std::make_unique<LcaCache>(Opts.CacheLogSlots);
   if (Opts.TrackUniquePairs) {
     UniqueShards.reserve(NumUniqueShards);
     for (unsigned I = 0; I < NumUniqueShards; ++I)
       UniqueShards.push_back(std::make_unique<UniqueShard>());
   }
+}
+
+ParallelismOracle::StatShard &ParallelismOracle::statShard() {
+  // Process-wide thread ordinal: stable for a thread's lifetime, dense, so
+  // up to NumStatShards concurrent workers land on distinct cache lines.
+  static std::atomic<uint32_t> NextOrdinal{0};
+  thread_local uint32_t Ordinal =
+      NextOrdinal.fetch_add(1, std::memory_order_relaxed);
+  return StatShards[Ordinal & (NumStatShards - 1)];
 }
 
 void ParallelismOracle::recordUniquePair(NodeId Lo, NodeId Hi) {
@@ -43,8 +53,13 @@ ParallelismOracle::hottestPairs(size_t N) const {
     for (const auto &[Key, Count] : ShardPtr->Keys)
       All.push_back({Key, Count});
   }
+  // Deterministic tiebreak (count desc, key asc): std::sort is unstable
+  // and the shard iteration order varies run to run, so sorting on count
+  // alone made Table-1 characterization output irreproducible.
   std::sort(All.begin(), All.end(), [](const auto &A, const auto &B) {
-    return A.second > B.second;
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
   });
   if (All.size() > N)
     All.resize(N);
@@ -54,10 +69,11 @@ ParallelismOracle::hottestPairs(size_t N) const {
 bool ParallelismOracle::logicallyParallel(NodeId A, NodeId B) {
   assert(A != InvalidNodeId && B != InvalidNodeId &&
          "parallel query on an invalid node");
+  StatShard &Shard = statShard();
   // A step is never parallel with itself; no LCA walk, not counted as a
   // query (blackscholes in Table 1 performs zero queries for this reason).
   if (A == B) {
-    NumTrivialSame.fetch_add(1, std::memory_order_relaxed);
+    Shard.NumTrivialSame.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
@@ -66,13 +82,16 @@ bool ParallelismOracle::logicallyParallel(NodeId A, NodeId B) {
   // Ids are 31-bit by design (see DpstNodeKind.h) so an ordered pair packs
   // into one 64-bit key; a 31-bit shift would alias distinct pairs.
   assert(Hi <= MaxNodeId && "node id exceeds the 31-bit pair-key space");
-  NumQueries.fetch_add(1, std::memory_order_relaxed);
+  Shard.NumQueries.fetch_add(1, std::memory_order_relaxed);
   if (Opts.TrackUniquePairs)
     recordUniquePair(Lo, Hi);
 
+  if (Opts.Mode != QueryMode::Walk)
+    return Tree.logicallyParallel(Lo, Hi, Opts.Mode);
+
   if (Cache) {
     if (std::optional<bool> Hit = Cache->lookup(Lo, Hi)) {
-      NumCacheHits.fetch_add(1, std::memory_order_relaxed);
+      Shard.NumCacheHits.fetch_add(1, std::memory_order_relaxed);
       return *Hit;
     }
   }
@@ -85,10 +104,15 @@ bool ParallelismOracle::logicallyParallel(NodeId A, NodeId B) {
 
 LcaQueryStats ParallelismOracle::stats() const {
   LcaQueryStats Stats;
-  Stats.NumQueries = NumQueries.load(std::memory_order_relaxed);
-  Stats.NumCacheHits = NumCacheHits.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I < NumStatShards; ++I) {
+    const StatShard &Shard = StatShards[I];
+    Stats.NumQueries += Shard.NumQueries.load(std::memory_order_relaxed);
+    Stats.NumCacheHits += Shard.NumCacheHits.load(std::memory_order_relaxed);
+    Stats.NumTrivialSame +=
+        Shard.NumTrivialSame.load(std::memory_order_relaxed);
+  }
   Stats.NumUniquePairs = NumUniquePairs.load(std::memory_order_relaxed);
-  Stats.NumTrivialSame = NumTrivialSame.load(std::memory_order_relaxed);
   Stats.UniquePairsTracked = Opts.TrackUniquePairs;
+  Stats.Mode = Opts.Mode;
   return Stats;
 }

@@ -24,6 +24,7 @@
 
 #include "dpst/Dpst.h"
 #include "dpst/LcaCache.h"
+#include "support/Compiler.h"
 #include "support/SpinLock.h"
 
 namespace avc {
@@ -44,6 +45,8 @@ struct LcaQueryStats {
   uint64_t NumTrivialSame = 0;
   /// True if NumUniquePairs was collected.
   bool UniquePairsTracked = false;
+  /// The query mode the oracle ran with.
+  QueryMode Mode = QueryMode::Label;
 
   /// Percentage of queries that were unique pairs (Table 1 rightmost
   /// column); 0 when not tracked or no queries ran.
@@ -68,7 +71,13 @@ struct LcaQueryStats {
 class ParallelismOracle {
 public:
   struct Options {
-    /// Use the LCA cache (the paper's default; disable for ablation).
+    /// Query algorithm (see DpstQueryIndex.h). Label resolves the common
+    /// step-vs-step query in O(1) with no pointer chasing; Walk is the
+    /// paper's O(depth) LCA walk.
+    QueryMode Mode = QueryMode::Label;
+    /// Use the LCA cache. Only consulted in Walk mode: a Lift/Label query
+    /// is cheaper than the cache's hash-and-probe, so caching there would
+    /// be pure overhead.
     bool EnableCache = true;
     /// log2 of the number of cache slots.
     unsigned CacheLogSlots = 16;
@@ -85,28 +94,51 @@ public:
   /// parallel. A == B returns false without touching the tree.
   bool logicallyParallel(NodeId A, NodeId B);
 
+  /// Tree-order query under the oracle's mode (uncounted: retention-policy
+  /// bookkeeping, not a Par() query of the algorithms).
+  bool treeOrderedBefore(NodeId A, NodeId B) const {
+    return Tree.treeOrderedBefore(A, B, Opts.Mode);
+  }
+
   /// Snapshot of the query counters.
   LcaQueryStats stats() const;
 
   /// When unique-pair tracking is on, returns the \p N most frequently
-  /// queried pairs as ((A << 32) | B, count), hottest first. Diagnostic
-  /// aid for understanding a workload's query-repetition profile.
+  /// queried pairs as ((A << 32) | B, count), hottest first; equal counts
+  /// order by ascending key so characterization output is reproducible
+  /// across runs. Diagnostic aid for understanding a workload's
+  /// query-repetition profile.
   std::vector<std::pair<uint64_t, uint64_t>> hottestPairs(size_t N) const;
 
+  QueryMode mode() const { return Opts.Mode; }
   const Dpst &tree() const { return Tree; }
 
 private:
   void recordUniquePair(NodeId Lo, NodeId Hi);
 
   static constexpr unsigned NumUniqueShards = 16;
+  /// Power of two; threads hash to shards by a process-wide ordinal, so
+  /// with up to 16 workers each typically owns a shard.
+  static constexpr unsigned NumStatShards = 16;
+
+  /// Per-thread-striped query counters. The former single atomics were
+  /// all-thread contended on every tracked access (two fetch_adds on one
+  /// cache line); striping makes the common case an uncontended RMW on a
+  /// line owned by the current core (mirrors the checker's per-task
+  /// counters from PR 1). Aggregated in stats().
+  struct alignas(AVC_CACHELINE_SIZE) StatShard {
+    std::atomic<uint64_t> NumQueries{0};
+    std::atomic<uint64_t> NumCacheHits{0};
+    std::atomic<uint64_t> NumTrivialSame{0};
+  };
+
+  StatShard &statShard();
 
   const Dpst &Tree;
   Options Opts;
   std::unique_ptr<LcaCache> Cache;
-  std::atomic<uint64_t> NumQueries{0};
-  std::atomic<uint64_t> NumCacheHits{0};
+  std::unique_ptr<StatShard[]> StatShards;
   std::atomic<uint64_t> NumUniquePairs{0};
-  std::atomic<uint64_t> NumTrivialSame{0};
 
   struct UniqueShard {
     SpinLock Lock;

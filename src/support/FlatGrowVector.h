@@ -72,6 +72,30 @@ public:
     return Index;
   }
 
+  /// Appends \p N contiguous elements from \p Data in one locked section;
+  /// returns the index of the first. The elements are published together,
+  /// so a reader never observes a partial row (the DPST query index stores
+  /// variable-length binary-lifting rows this way).
+  size_t pushBackSpan(const T *Data, size_t N) {
+    std::lock_guard<SpinLock> Guard(GrowLock);
+    size_t Index = Count.load(std::memory_order_relaxed);
+    T *Block = Base.load(std::memory_order_relaxed);
+    if (Index + N > Capacity) {
+      size_t NewCapacity = Capacity;
+      while (Index + N > NewCapacity)
+        NewCapacity *= 2;
+      T *Bigger = new T[NewCapacity];
+      std::memcpy(Bigger, Block, sizeof(T) * Index);
+      Base.store(Bigger, std::memory_order_release);
+      Retired.push_back(Block);
+      Block = Bigger;
+      Capacity = NewCapacity;
+    }
+    std::memcpy(Block + Index, Data, sizeof(T) * N);
+    Count.store(Index + N, std::memory_order_release);
+    return Index;
+  }
+
   /// Mutates an existing element under the growth lock (rare, e.g. a
   /// parent's child counter); safe against concurrent growth.
   template <typename FnT> void update(size_t Index, FnT Fn) {

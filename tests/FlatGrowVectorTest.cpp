@@ -48,6 +48,50 @@ TEST(FlatGrowVector, SnapshotStaysValidAcrossGrowth) {
     EXPECT_EQ(Snapshot[I], I);
 }
 
+TEST(FlatGrowVector, PushBackSpanAppendsContiguously) {
+  FlatGrowVector<uint32_t> Vec;
+  Vec.pushBack(7);
+  uint32_t Row[5] = {10, 11, 12, 13, 14};
+  size_t Offset = Vec.pushBackSpan(Row, 5);
+  EXPECT_EQ(Offset, 1u);
+  EXPECT_EQ(Vec.size(), 6u);
+  for (uint32_t I = 0; I < 5; ++I)
+    EXPECT_EQ(Vec[Offset + I], Row[I]);
+}
+
+TEST(FlatGrowVector, PushBackSpanAcrossGrowth) {
+  FlatGrowVector<uint64_t> Vec;
+  // Variable-length rows, sized to straddle several capacity doublings;
+  // each row must stay contiguous and intact afterwards.
+  std::vector<size_t> Offsets;
+  std::vector<size_t> Lengths;
+  uint64_t Value = 0;
+  for (size_t Round = 0; Round < 2000; ++Round) {
+    size_t Len = (Round % 31) + 1;
+    std::vector<uint64_t> Row(Len);
+    for (size_t I = 0; I < Len; ++I)
+      Row[I] = Value++;
+    Offsets.push_back(Vec.pushBackSpan(Row.data(), Len));
+    Lengths.push_back(Len);
+  }
+  uint64_t Expected = 0;
+  for (size_t Round = 0; Round < Offsets.size(); ++Round)
+    for (size_t I = 0; I < Lengths[Round]; ++I)
+      EXPECT_EQ(Vec[Offsets[Round] + I], Expected++);
+  EXPECT_EQ(Vec.size(), static_cast<size_t>(Expected));
+}
+
+TEST(FlatGrowVector, PushBackSpanSnapshotSurvivesGrowth) {
+  FlatGrowVector<int> Vec;
+  int Row[3] = {1, 2, 3};
+  size_t Offset = Vec.pushBackSpan(Row, 3);
+  const int *Snap = Vec.snapshot();
+  for (int I = 0; I < 50000; ++I)
+    Vec.pushBack(I);
+  EXPECT_EQ(Snap[Offset], 1);
+  EXPECT_EQ(Snap[Offset + 2], 3);
+}
+
 TEST(FlatGrowVector, UpdateMutatesInPlace) {
   FlatGrowVector<int> Vec;
   Vec.pushBack(5);

@@ -76,6 +76,9 @@ protected:
 
 TEST_F(OracleTest, CachedQueriesCountHits) {
   ParallelismOracle::Options Opts;
+  // The cache only exists in Walk mode (Lift/Label queries are cheaper
+  // than a cache probe), so request it explicitly.
+  Opts.Mode = QueryMode::Walk;
   Opts.TrackUniquePairs = true;
   ParallelismOracle Oracle(Tree, Opts);
 

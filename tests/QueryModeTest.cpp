@@ -1,0 +1,210 @@
+//===- tests/QueryModeTest.cpp - Walk/Lift/Label equivalence --------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Randomized cross-checks of the query-acceleration index
+/// (DpstQueryIndex.h): on trees of every shape the builder can produce —
+/// bushy 100k-node trees, degenerate deep chains, label-arena overflow —
+/// the three query modes must agree on both logicallyParallel and
+/// treeOrderedBefore for every sampled pair. Walk (the paper's LCA walk
+/// over the layout) is the reference; Lift and Label answer from the side
+/// index and must be behaviorally indistinguishable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dpst/DpstQueryIndex.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dpst/Dpst.h"
+#include "support/Random.h"
+
+using namespace avc;
+
+namespace {
+
+struct TreeSample {
+  std::unique_ptr<Dpst> Tree;
+  std::vector<NodeId> Nodes; ///< every node, any kind
+  std::vector<NodeId> Steps; ///< step leaves only
+};
+
+/// Random bushy tree (the shape real nested-parallel programs produce;
+/// depth grows logarithmically with size).
+TreeSample buildBushy(DpstLayout Layout, uint64_t Seed, size_t NumNodes) {
+  TreeSample Sample;
+  Sample.Tree = createDpst(Layout);
+  SplitMix64 Rng(Seed);
+  NodeId Root = Sample.Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  Sample.Nodes.push_back(Root);
+  std::vector<NodeId> Scopes{Root};
+  while (Sample.Tree->numNodes() < NumNodes) {
+    NodeId Scope = Scopes[Rng.nextBelow(Scopes.size())];
+    NodeId Added;
+    switch (Rng.nextBelow(4)) {
+    case 0:
+      Added = Sample.Tree->addNode(Scope, DpstNodeKind::Finish, 0);
+      Scopes.push_back(Added);
+      break;
+    case 1:
+      Added = Sample.Tree->addNode(Scope, DpstNodeKind::Async, 0);
+      Scopes.push_back(Added);
+      break;
+    default:
+      Added = Sample.Tree->addNode(Scope, DpstNodeKind::Step, 0);
+      Sample.Steps.push_back(Added);
+      break;
+    }
+    Sample.Nodes.push_back(Added);
+  }
+  return Sample;
+}
+
+/// Degenerate deep chain: a finish spine of the requested depth with an
+/// async/step fork sprinkled every \p ForkEvery levels. Step count stays
+/// small, so total label memory is bounded even though each label is long.
+TreeSample buildDeepSpine(DpstLayout Layout, uint32_t Depth,
+                          uint32_t ForkEvery) {
+  TreeSample Sample;
+  Sample.Tree = createDpst(Layout);
+  NodeId Spine = Sample.Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  Sample.Nodes.push_back(Spine);
+  for (uint32_t I = 0; I < Depth; ++I) {
+    if (I % ForkEvery == 0) {
+      NodeId Async = Sample.Tree->addNode(Spine, DpstNodeKind::Async, 1);
+      NodeId Forked = Sample.Tree->addNode(Async, DpstNodeKind::Step, 1);
+      NodeId Serial = Sample.Tree->addNode(Spine, DpstNodeKind::Step, 0);
+      Sample.Nodes.push_back(Async);
+      Sample.Nodes.push_back(Forked);
+      Sample.Nodes.push_back(Serial);
+      Sample.Steps.push_back(Forked);
+      Sample.Steps.push_back(Serial);
+    }
+    Spine = Sample.Tree->addNode(Spine, DpstNodeKind::Finish, 0);
+    Sample.Nodes.push_back(Spine);
+  }
+  NodeId Bottom = Sample.Tree->addNode(Spine, DpstNodeKind::Step, 0);
+  Sample.Nodes.push_back(Bottom);
+  Sample.Steps.push_back(Bottom);
+  return Sample;
+}
+
+/// Asserts all three modes agree on \p NumPairs random pairs from \p Pool,
+/// for both the parallelism and the tree-order query.
+void crossCheckPairs(const Dpst &Tree, const std::vector<NodeId> &Pool,
+                     uint64_t Seed, int NumPairs) {
+  SplitMix64 Rng(Seed);
+  for (int I = 0; I < NumPairs; ++I) {
+    NodeId A = Pool[Rng.nextBelow(Pool.size())];
+    NodeId B = Pool[Rng.nextBelow(Pool.size())];
+    if (A == B)
+      continue;
+    bool Walk = Tree.logicallyParallel(A, B, QueryMode::Walk);
+    ASSERT_EQ(Walk, Tree.logicallyParallel(A, B, QueryMode::Lift))
+        << "lift parallel mismatch: " << A << " vs " << B;
+    ASSERT_EQ(Walk, Tree.logicallyParallel(A, B, QueryMode::Label))
+        << "label parallel mismatch: " << A << " vs " << B;
+    bool Order = Tree.treeOrderedBefore(A, B, QueryMode::Walk);
+    ASSERT_EQ(Order, Tree.treeOrderedBefore(A, B, QueryMode::Lift))
+        << "lift order mismatch: " << A << " vs " << B;
+    ASSERT_EQ(Order, Tree.treeOrderedBefore(A, B, QueryMode::Label))
+        << "label order mismatch: " << A << " vs " << B;
+  }
+}
+
+TEST(QueryMode, ParseAndName) {
+  QueryMode Mode = QueryMode::Walk;
+  EXPECT_TRUE(parseQueryMode("label", Mode));
+  EXPECT_EQ(Mode, QueryMode::Label);
+  EXPECT_TRUE(parseQueryMode("lift", Mode));
+  EXPECT_EQ(Mode, QueryMode::Lift);
+  EXPECT_TRUE(parseQueryMode("walk", Mode));
+  EXPECT_EQ(Mode, QueryMode::Walk);
+  EXPECT_FALSE(parseQueryMode("bogus", Mode));
+  EXPECT_STREQ(queryModeName(QueryMode::Walk), "walk");
+  EXPECT_STREQ(queryModeName(QueryMode::Lift), "lift");
+  EXPECT_STREQ(queryModeName(QueryMode::Label), "label");
+}
+
+TEST(QueryMode, RandomizedCrossCheckManySeeds) {
+  // 56 seeds, alternating layouts; moderate trees so the sweep covers many
+  // random shapes quickly. The 100k-node shapes get their own tests below.
+  for (uint64_t Seed = 1; Seed <= 56; ++Seed) {
+    DpstLayout Layout =
+        (Seed % 2 == 0) ? DpstLayout::Array : DpstLayout::Linked;
+    TreeSample Sample = buildBushy(Layout, Seed * 977, 2000);
+    crossCheckPairs(*Sample.Tree, Sample.Nodes, Seed * 31 + 7, 400);
+    crossCheckPairs(*Sample.Tree, Sample.Steps, Seed * 31 + 8, 400);
+  }
+}
+
+TEST(QueryMode, HundredThousandNodeBushyTree) {
+  for (DpstLayout Layout : {DpstLayout::Array, DpstLayout::Linked}) {
+    TreeSample Sample = buildBushy(Layout, 4242, 120000);
+    ASSERT_GE(Sample.Tree->numNodes(), 100000u);
+    crossCheckPairs(*Sample.Tree, Sample.Nodes, 99, 3000);
+    crossCheckPairs(*Sample.Tree, Sample.Steps, 100, 3000);
+  }
+}
+
+TEST(QueryMode, DegenerateDeepChain) {
+  // 100k-node spine; forks every 2048 levels keep the total label arena
+  // bounded (~100 steps) while each label spans tens of thousands of
+  // entries — the Label worst case, and the Walk worst case too.
+  for (DpstLayout Layout : {DpstLayout::Array, DpstLayout::Linked}) {
+    TreeSample Sample = buildDeepSpine(Layout, 100000, 2048);
+    ASSERT_GE(Sample.Tree->numNodes(), 100000u);
+    crossCheckPairs(*Sample.Tree, Sample.Steps, 7, 500);
+    crossCheckPairs(*Sample.Tree, Sample.Nodes, 8, 500);
+  }
+}
+
+TEST(QueryMode, LabelArenaCapFallsBackToLift) {
+  // A tiny label budget starves later steps of labels; Label mode must
+  // transparently fall back to lifting and still agree with Walk.
+  std::unique_ptr<Dpst> Tree = createDpst(DpstLayout::Array);
+  Tree->queryIndex().setLabelCapacityWords(8);
+  SplitMix64 Rng(5);
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  std::vector<NodeId> Scopes{Root};
+  std::vector<NodeId> Steps;
+  while (Tree->numNodes() < 4000) {
+    NodeId Scope = Scopes[Rng.nextBelow(Scopes.size())];
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      Scopes.push_back(Tree->addNode(Scope, DpstNodeKind::Finish, 0));
+      break;
+    case 1:
+      Scopes.push_back(Tree->addNode(Scope, DpstNodeKind::Async, 0));
+      break;
+    default:
+      Steps.push_back(Tree->addNode(Scope, DpstNodeKind::Step, 0));
+      break;
+    }
+  }
+  size_t Unlabeled = 0;
+  for (NodeId Step : Steps)
+    if (!Tree->queryIndex().hasLabel(Step))
+      ++Unlabeled;
+  EXPECT_GT(Unlabeled, Steps.size() / 2) << "cap did not engage";
+  EXPECT_LE(Tree->queryIndex().labelArenaWords(), 8u);
+  crossCheckPairs(*Tree, Steps, 11, 2000);
+}
+
+TEST(QueryMode, LabelMemoryAccounting) {
+  // A balanced-ish tree's arena stays near (steps * avg depth) words and
+  // far below the default cap.
+  TreeSample Sample = buildBushy(DpstLayout::Array, 17, 10000);
+  size_t Words = Sample.Tree->queryIndex().labelArenaWords();
+  EXPECT_GT(Words, Sample.Steps.size()); // every step labeled, depth >= 1
+  EXPECT_LT(Words, (size_t(1) << 24));
+  for (NodeId Step : Sample.Steps)
+    EXPECT_TRUE(Sample.Tree->queryIndex().hasLabel(Step));
+}
+
+} // namespace

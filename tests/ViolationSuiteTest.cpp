@@ -439,31 +439,37 @@ class CleanSuite : public ::testing::TestWithParam<Scenario> {};
 void runScenario(const Scenario &S) {
   TraceBuilder T = S.Build();
 
-  // Every scenario runs under both DPST layouts and with the redundant-
-  // access fast path both on and off: the filter must never change which
-  // locations are reported.
+  // Every scenario runs under both DPST layouts, with the redundant-access
+  // fast path both on and off, and under all three parallelism-query modes:
+  // none of these knobs may change which locations are reported.
   for (DpstLayout Layout : {DpstLayout::Array, DpstLayout::Linked}) {
     for (bool Filter : {true, false}) {
-      AtomicityChecker::Options Opts;
-      Opts.Layout = Layout;
-      Opts.EnableAccessFilter = Filter;
-      AtomicityChecker Optimized(Opts);
-      if (!S.Group.empty()) {
-        EXPECT_TRUE(
-            Optimized.registerAtomicGroup(S.Group.data(), S.Group.size()));
-      }
-      replayTrace(T.finish(), Optimized);
+      for (QueryMode Query :
+           {QueryMode::Walk, QueryMode::Lift, QueryMode::Label}) {
+        AtomicityChecker::Options Opts;
+        Opts.Layout = Layout;
+        Opts.EnableAccessFilter = Filter;
+        Opts.Query = Query;
+        AtomicityChecker Optimized(Opts);
+        if (!S.Group.empty()) {
+          EXPECT_TRUE(
+              Optimized.registerAtomicGroup(S.Group.data(), S.Group.size()));
+        }
+        replayTrace(T.finish(), Optimized);
 
-      std::set<MemAddr> Found;
-      for (const Violation &V : Optimized.violations().snapshot())
-        Found.insert(V.Addr);
-      // Grouped locations report under the group's representative address.
-      std::set<MemAddr> Expected = S.ViolatingLocations;
-      if (!S.Group.empty() && !Expected.empty())
-        Expected = {S.Group.front()};
-      EXPECT_EQ(Found, Expected)
-          << S.Name << " with " << dpstLayoutName(Layout) << " DPST, filter "
-          << (Filter ? "on" : "off");
+        std::set<MemAddr> Found;
+        for (const Violation &V : Optimized.violations().snapshot())
+          Found.insert(V.Addr);
+        // Grouped locations report under the group's representative
+        // address.
+        std::set<MemAddr> Expected = S.ViolatingLocations;
+        if (!S.Group.empty() && !Expected.empty())
+          Expected = {S.Group.front()};
+        EXPECT_EQ(Found, Expected)
+            << S.Name << " with " << dpstLayoutName(Layout)
+            << " DPST, filter " << (Filter ? "on" : "off") << ", "
+            << queryModeName(Query) << " queries";
+      }
     }
   }
 

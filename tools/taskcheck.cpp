@@ -56,6 +56,7 @@ struct CliOptions {
   unsigned Threads = 1;
   uint64_t Seed = 1;
   uint32_t Tasks = 10;
+  QueryMode Query = QueryMode::Label;
 };
 
 int usage(const char *Prog) {
@@ -64,6 +65,8 @@ int usage(const char *Prog) {
       "usage: %s [--list]\n"
       "       %s --tool=<t> --workload=<w> [--scale=S] [--threads=N]\n"
       "           [--no-filter]  disable the redundant-access fast path\n"
+      "           [--query-mode=walk|lift|label]  parallelism-query "
+      "algorithm\n"
       "       %s --tool=<t> --trace=<file> [--dot]\n"
       "       %s --generate [--seed=K] [--tasks=N] [--random-schedule]\n"
       "tools: atomicity (default), basic, velodrome, race, determinism, "
@@ -93,6 +96,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Seed = std::strtoull(V, nullptr, 10);
     else if (const char *V = Value("--tasks="))
       Opts.Tasks = static_cast<uint32_t>(std::atoi(V));
+    else if (const char *V = Value("--query-mode=")) {
+      if (!parseQueryMode(V, Opts.Query)) {
+        std::fprintf(stderr, "error: unknown query mode '%s'\n", V);
+        return false;
+      }
+    }
     else if (std::strcmp(Arg, "--list") == 0)
       Opts.List = true;
     else if (std::strcmp(Arg, "--generate") == 0)
@@ -161,14 +170,14 @@ int generateTrace(const CliOptions &Opts) {
 void printAtomicityStats(const AtomicityChecker &Checker) {
   CheckerStats Stats = Checker.stats();
   std::printf("\nstatistics: %llu locations, %llu reads, %llu writes, "
-              "%llu DPST nodes, %llu LCA queries (%.1f%% cache hits, "
-              "%llu trivial same-step)\n",
+              "%llu DPST nodes, %llu parallelism queries via %s "
+              "(%.1f%% cache hits, %llu trivial same-step)\n",
               static_cast<unsigned long long>(Stats.NumLocations),
               static_cast<unsigned long long>(Stats.NumReads),
               static_cast<unsigned long long>(Stats.NumWrites),
               static_cast<unsigned long long>(Stats.NumDpstNodes),
               static_cast<unsigned long long>(Stats.Lca.NumQueries),
-              Stats.Lca.percentCacheHits(),
+              queryModeName(Stats.Lca.Mode), Stats.Lca.percentCacheHits(),
               static_cast<unsigned long long>(Stats.Lca.NumTrivialSame));
   if (Stats.AccessFilterEnabled)
     std::printf("access filter: %llu hits (%llu reads, %llu writes), "
@@ -209,6 +218,7 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
   case ToolKind::Atomicity: {
     AtomicityChecker::Options CheckerOpts;
     CheckerOpts.EnableAccessFilter = !Opts.NoFilter;
+    CheckerOpts.Query = Opts.Query;
     AtomicityChecker Checker(CheckerOpts);
     replayTrace(*Events, Checker);
     std::printf("[atomicity] %zu violation(s)\n",
@@ -276,6 +286,7 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
   ToolOpts.Tool = Kind;
   ToolOpts.NumThreads = Opts.Threads;
   ToolOpts.Checker.EnableAccessFilter = !Opts.NoFilter;
+  ToolOpts.Checker.Query = Opts.Query;
   ToolContext Tool(ToolOpts);
   Timer T;
   Tool.run([&] { Chosen->Run(Opts.Scale); });
