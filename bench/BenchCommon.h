@@ -60,7 +60,11 @@ inline std::string extractJsonPath(int &Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     if (std::strncmp(Argv[I], "--json=", 7) == 0) {
       Path = Argv[I] + 7;
-    } else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+    } else if (std::strcmp(Argv[I], "--json") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --json requires a path argument\n");
+        std::exit(2);
+      }
       Path = Argv[++I];
     } else {
       Argv[Out++] = Argv[I];

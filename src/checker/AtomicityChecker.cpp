@@ -27,7 +27,7 @@
 using namespace avc;
 
 AtomicityChecker::AtomicityChecker(Options Opts)
-    : Opts(Opts), Tree(createDpst(Opts.Layout)),
+    : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)),
       Builder(*Tree), Log(Opts.MaxRetainedViolations) {
   ParallelismOracle::Options OracleOpts;
   OracleOpts.Mode = Opts.Query;

@@ -12,9 +12,10 @@
 using namespace avc;
 
 BasicChecker::BasicChecker(Options Opts)
-    : Opts(Opts), Tree(createDpst(Opts.Layout)), Builder(*Tree),
+    : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree),
       Log(Opts.MaxRetainedViolations) {
   ParallelismOracle::Options OracleOpts;
+  OracleOpts.Mode = Opts.Query;
   OracleOpts.EnableCache = Opts.EnableLcaCache;
   Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
 }

@@ -27,8 +27,9 @@ std::string DeterminismViolation::toString() const {
 }
 
 DeterminismChecker::DeterminismChecker(Options Opts)
-    : Opts(Opts), Tree(createDpst(Opts.Layout)), Builder(*Tree) {
+    : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree) {
   ParallelismOracle::Options OracleOpts;
+  OracleOpts.Mode = Opts.Query;
   OracleOpts.EnableCache = Opts.EnableLcaCache;
   Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
 }

@@ -75,6 +75,9 @@ class RaceDetector : public ExecutionObserver {
 public:
   struct Options {
     DpstLayout Layout = DpstLayout::Array;
+    /// Parallelism-query algorithm (see DpstQueryIndex.h). Walk runs the
+    /// paper's LCA walk; only then is the LCA cache consulted.
+    QueryMode Query = QueryMode::Label;
     bool EnableLcaCache = true;
     size_t MaxRetainedRaces = 4096;
   };

@@ -39,9 +39,10 @@ NodeId ArrayDpst::addNode(NodeId Parent, DpstNodeKind Kind, uint32_t TaskId) {
   size_t Id = Hot.pushBack(Record);
   Cold.emplaceBack(Extra);
   assert(Id <= MaxNodeId && "DPST node count exceeds id space");
-  Index.onNodeAdded(static_cast<NodeId>(Id), Parent,
-                    static_cast<DpstNodeKind>(Record.DepthKind & 3),
-                    Record.DepthKind >> 2, Record.SiblingIndex);
+  if (IndexEnabled)
+    Index.onNodeAdded(static_cast<NodeId>(Id), Parent,
+                      static_cast<DpstNodeKind>(Record.DepthKind & 3),
+                      Record.DepthKind >> 2, Record.SiblingIndex);
   return static_cast<NodeId>(Id);
 }
 

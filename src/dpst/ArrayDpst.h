@@ -30,6 +30,8 @@ namespace avc {
 /// Array-backed DPST: contiguous (chunked) node records indexed by id.
 class ArrayDpst : public Dpst {
 public:
+  using Dpst::Dpst;
+
   NodeId addNode(NodeId Parent, DpstNodeKind Kind, uint32_t TaskId) override;
   DpstNodeKind kind(NodeId Id) const override;
   NodeId parent(NodeId Id) const override;

@@ -22,6 +22,8 @@ NodeId Dpst::root() const {
 }
 
 bool Dpst::logicallyParallel(NodeId A, NodeId B, QueryMode Mode) const {
+  if (!IndexEnabled)
+    Mode = QueryMode::Walk; // no index was built: only Walk can answer
   switch (Mode) {
   case QueryMode::Walk:
     return logicallyParallelUncached(A, B);
@@ -34,6 +36,8 @@ bool Dpst::logicallyParallel(NodeId A, NodeId B, QueryMode Mode) const {
 }
 
 bool Dpst::treeOrderedBefore(NodeId A, NodeId B, QueryMode Mode) const {
+  if (!IndexEnabled)
+    Mode = QueryMode::Walk; // no index was built: only Walk can answer
   switch (Mode) {
   case QueryMode::Walk:
     return treeOrderedBefore(A, B);
@@ -58,6 +62,17 @@ std::unique_ptr<Dpst> avc::createDpst(DpstLayout Layout) {
     return std::make_unique<ArrayDpst>();
   case DpstLayout::Linked:
     return std::make_unique<LinkedDpst>();
+  }
+  avc_unreachable("unknown DPST layout");
+}
+
+std::unique_ptr<Dpst> avc::createDpst(DpstLayout Layout, QueryMode Query) {
+  bool BuildIndex = Query != QueryMode::Walk;
+  switch (Layout) {
+  case DpstLayout::Array:
+    return std::make_unique<ArrayDpst>(BuildIndex);
+  case DpstLayout::Linked:
+    return std::make_unique<LinkedDpst>(BuildIndex);
   }
   avc_unreachable("unknown DPST layout");
 }

@@ -43,6 +43,9 @@ enum class DpstLayout : uint8_t {
 class Dpst {
 public:
   Dpst() = default;
+  /// \p BuildIndex false skips query-index construction entirely (see
+  /// createDpst(DpstLayout, QueryMode)).
+  explicit Dpst(bool BuildIndex) : IndexEnabled(BuildIndex) {}
   Dpst(const Dpst &) = delete;
   Dpst &operator=(const Dpst &) = delete;
   virtual ~Dpst();
@@ -89,6 +92,8 @@ public:
   /// Mode-dispatched logically-parallel query: Walk runs the layout's
   /// O(depth) LCA walk; Lift and Label run against the query-acceleration
   /// index (DpstQueryIndex.h), whose cost is independent of the layout.
+  /// On a tree built without the index (hasQueryIndex() false), Lift and
+  /// Label degrade to Walk.
   bool logicallyParallel(NodeId A, NodeId B, QueryMode Mode) const;
 
   /// Mode-dispatched tree-order query (same dispatch as above).
@@ -105,14 +110,27 @@ public:
   DpstQueryIndex &queryIndex() { return Index; }
   const DpstQueryIndex &queryIndex() const { return Index; }
 
+  /// True if this tree maintains the Lift/Label query index.
+  bool hasQueryIndex() const { return IndexEnabled; }
+
 protected:
   /// Lift/Label acceleration structures, fed by every addNode
-  /// implementation under its append serialization.
+  /// implementation under its append serialization — only while
+  /// IndexEnabled; a Walk-only tree (the paper's baseline configuration)
+  /// must not pay the index's construction time or memory.
   DpstQueryIndex Index;
+  const bool IndexEnabled = true;
 };
 
-/// Creates an empty DPST with the requested data \p Layout.
+/// Creates an empty DPST with the requested data \p Layout, maintaining
+/// the Lift/Label query index.
 std::unique_ptr<Dpst> createDpst(DpstLayout Layout);
+
+/// Creates an empty DPST with the requested data \p Layout for a run whose
+/// parallelism queries use \p Query: Walk-mode trees skip query-index
+/// construction entirely so the baseline ablation measures the paper's
+/// cost, not the index's.
+std::unique_ptr<Dpst> createDpst(DpstLayout Layout, QueryMode Query);
 
 /// Returns a short name for \p Layout ("array" or "linked").
 const char *dpstLayoutName(DpstLayout Layout);

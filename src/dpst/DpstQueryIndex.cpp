@@ -51,18 +51,21 @@ static unsigned jumpLevels(uint32_t Depth) {
 uint32_t *DpstQueryIndex::allocateLabel(uint32_t Len) {
   if (LabelWordsUsed + Len > LabelWordsCap)
     return nullptr; // arena budget exhausted: this node falls back to Lift
-  if (LabelChunkUsed + Len > LabelChunkWords) {
+  if (Len > LabelChunkWords) {
     // Oversized labels get a dedicated exact-size chunk so the common
-    // chunk's tail is not wasted on them.
-    if (Len > LabelChunkWords) {
-      LabelChunks.push_back(std::make_unique<uint32_t[]>(Len));
-      LabelWordsUsed += Len;
-      return LabelChunks.back().get();
-    }
+    // chunk's tail is not wasted on them. CurChunk/LabelChunkUsed are left
+    // alone: the active bump chunk keeps serving later small labels
+    // (LabelChunks.back() is NOT the bump chunk after this push).
+    LabelChunks.push_back(std::make_unique<uint32_t[]>(Len));
+    LabelWordsUsed += Len;
+    return LabelChunks.back().get();
+  }
+  if (!CurChunk || LabelChunkUsed + Len > LabelChunkWords) {
     LabelChunks.push_back(std::make_unique<uint32_t[]>(LabelChunkWords));
+    CurChunk = LabelChunks.back().get();
     LabelChunkUsed = 0;
   }
-  uint32_t *Out = LabelChunks.back().get() + LabelChunkUsed;
+  uint32_t *Out = CurChunk + LabelChunkUsed;
   LabelChunkUsed += Len;
   LabelWordsUsed += Len;
   return Out;

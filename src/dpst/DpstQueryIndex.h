@@ -145,7 +145,11 @@ private:
   /// read by queries (they hold direct Data pointers), never deallocated
   /// before destruction.
   std::vector<std::unique_ptr<uint32_t[]>> LabelChunks;
-  size_t LabelChunkUsed = LabelChunkWords; // force first allocation
+  /// Active bump-allocation chunk. Tracked separately from
+  /// LabelChunks.back() because oversized labels push dedicated chunks
+  /// without retiring the current bump chunk.
+  uint32_t *CurChunk = nullptr;
+  size_t LabelChunkUsed = 0; ///< words used in CurChunk
   size_t LabelWordsUsed = 0;
   size_t LabelWordsCap = DefaultLabelCapWords;
 };

@@ -41,9 +41,10 @@ NodeId LinkedDpst::addNode(NodeId Parent, DpstNodeKind Kind, uint32_t TaskId) {
   size_t Id = Table.emplaceBack(Record);
   assert(Id <= MaxNodeId && "DPST node count exceeds id space");
   Record->Id = static_cast<NodeId>(Id);
-  Index.onNodeAdded(Record->Id,
-                    Record->Parent ? Record->Parent->Id : InvalidNodeId,
-                    Kind, Record->Depth, Record->SiblingIndex);
+  if (IndexEnabled)
+    Index.onNodeAdded(Record->Id,
+                      Record->Parent ? Record->Parent->Id : InvalidNodeId,
+                      Kind, Record->Depth, Record->SiblingIndex);
   return Record->Id;
 }
 

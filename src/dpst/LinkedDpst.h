@@ -24,6 +24,7 @@ namespace avc {
 /// Pointer-linked DPST with an id-to-node translation table.
 class LinkedDpst : public Dpst {
 public:
+  using Dpst::Dpst;
   ~LinkedDpst() override;
 
   NodeId addNode(NodeId Parent, DpstNodeKind Kind, uint32_t TaskId) override;

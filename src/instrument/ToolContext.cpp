@@ -46,6 +46,7 @@ ToolContext::ToolContext(Options Opts)
   case ToolKind::Basic: {
     BasicChecker::Options BasicOpts;
     BasicOpts.Layout = Opts.Checker.Layout;
+    BasicOpts.Query = Opts.Checker.Query;
     BasicOpts.EnableLcaCache = Opts.Checker.EnableLcaCache;
     Basic = std::make_unique<BasicChecker>(BasicOpts);
     RT.addObserver(Basic.get());
@@ -58,6 +59,7 @@ ToolContext::ToolContext(Options Opts)
   case ToolKind::Race: {
     RaceDetector::Options RaceOpts;
     RaceOpts.Layout = Opts.Checker.Layout;
+    RaceOpts.Query = Opts.Checker.Query;
     RaceOpts.EnableLcaCache = Opts.Checker.EnableLcaCache;
     Races = std::make_unique<RaceDetector>(RaceOpts);
     RT.addObserver(Races.get());
@@ -66,6 +68,7 @@ ToolContext::ToolContext(Options Opts)
   case ToolKind::Determinism: {
     DeterminismChecker::Options DetOpts;
     DetOpts.Layout = Opts.Checker.Layout;
+    DetOpts.Query = Opts.Checker.Query;
     DetOpts.EnableLcaCache = Opts.Checker.EnableLcaCache;
     Determinism = std::make_unique<DeterminismChecker>(DetOpts);
     RT.addObserver(Determinism.get());

@@ -196,6 +196,75 @@ TEST(QueryMode, LabelArenaCapFallsBackToLift) {
   crossCheckPairs(*Tree, Steps, 11, 2000);
 }
 
+TEST(QueryMode, OversizedLabelThenSmallLabelsDoNotAlias) {
+  // Regression: an oversized label (depth > the 65536-word label chunk)
+  // gets a dedicated arena chunk, but the allocator used to keep bump-
+  // allocating from LabelChunks.back() — which after the push IS the
+  // dedicated chunk — so the next small labels overwrote the oversized
+  // label's words and Label mode silently answered from corrupted data.
+  std::unique_ptr<Dpst> Tree = createDpst(DpstLayout::Array);
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  std::vector<NodeId> Steps;
+
+  // A small label first, so the common bump chunk is active.
+  NodeId Async0 = Tree->addNode(Root, DpstNodeKind::Async, 1);
+  Steps.push_back(Tree->addNode(Async0, DpstNodeKind::Step, 1));
+
+  // Finish spine past the chunk size, with an (initially childless) async
+  // fork planted at depth 1000 to the *left* of the spine continuation.
+  NodeId Spine = Tree->addNode(Root, DpstNodeKind::Finish, 0);
+  NodeId AsyncFork = InvalidNodeId;
+  for (uint32_t Depth = 1; Depth < 70000; ++Depth) {
+    if (Depth == 1000)
+      AsyncFork = Tree->addNode(Spine, DpstNodeKind::Async, 2);
+    Spine = Tree->addNode(Spine, DpstNodeKind::Finish, 0);
+  }
+  NodeId AsyncDeep = Tree->addNode(Spine, DpstNodeKind::Async, 3);
+  NodeId DeepStep = Tree->addNode(AsyncDeep, DpstNodeKind::Step, 3);
+  Steps.push_back(DeepStep);
+  ASSERT_TRUE(Tree->queryIndex().hasLabel(DeepStep))
+      << "oversized label not built: the regression is not exercised";
+
+  // Small labels allocated *after* the oversized one; under the bug these
+  // landed inside the oversized chunk, corrupting DeepStep's label.
+  NodeId ForkStep = Tree->addNode(AsyncFork, DpstNodeKind::Step, 2);
+  Steps.push_back(ForkStep);
+  for (int I = 0; I < 32; ++I) {
+    NodeId Async = Tree->addNode(Root, DpstNodeKind::Async, 4);
+    Steps.push_back(Tree->addNode(Async, DpstNodeKind::Step, 4));
+  }
+
+  // ForkStep forked off the spine, so it runs parallel to DeepStep; the
+  // corrupted label used to report them serial.
+  EXPECT_TRUE(Tree->logicallyParallel(DeepStep, ForkStep, QueryMode::Walk));
+  EXPECT_TRUE(Tree->logicallyParallel(DeepStep, ForkStep, QueryMode::Label));
+  crossCheckPairs(*Tree, Steps, 21, 500);
+}
+
+TEST(QueryMode, WalkModeTreeSkipsIndexConstruction) {
+  // A tree created for a Walk-only run must not build the query index (the
+  // fig13/fig14 Walk ablation measures the paper's baseline cost); Lift
+  // and Label queries against it degrade to Walk.
+  std::unique_ptr<Dpst> Tree = createDpst(DpstLayout::Array, QueryMode::Walk);
+  EXPECT_FALSE(Tree->hasQueryIndex());
+  NodeId Root = Tree->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  NodeId Async = Tree->addNode(Root, DpstNodeKind::Async, 1);
+  NodeId A = Tree->addNode(Async, DpstNodeKind::Step, 1);
+  NodeId B = Tree->addNode(Root, DpstNodeKind::Step, 0);
+  EXPECT_EQ(Tree->queryIndex().numNodes(), 0u);
+  EXPECT_EQ(Tree->queryIndex().labelArenaWords(), 0u);
+  for (QueryMode Mode : {QueryMode::Walk, QueryMode::Lift, QueryMode::Label}) {
+    EXPECT_TRUE(Tree->logicallyParallel(A, B, Mode));
+    EXPECT_TRUE(Tree->treeOrderedBefore(A, B, Mode));
+  }
+
+  std::unique_ptr<Dpst> Labeled =
+      createDpst(DpstLayout::Linked, QueryMode::Label);
+  EXPECT_TRUE(Labeled->hasQueryIndex());
+  Labeled->addNode(InvalidNodeId, DpstNodeKind::Finish, 0);
+  EXPECT_EQ(Labeled->queryIndex().numNodes(), 1u);
+}
+
 TEST(QueryMode, LabelMemoryAccounting) {
   // A balanced-ish tree's arena stays near (steps * avg depth) words and
   // far below the default cap.

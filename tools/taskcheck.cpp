@@ -231,7 +231,9 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     return Checker.violations().empty() ? 0 : 1;
   }
   case ToolKind::Basic: {
-    BasicChecker Checker;
+    BasicChecker::Options BasicOpts;
+    BasicOpts.Query = Opts.Query;
+    BasicChecker Checker(BasicOpts);
     replayTrace(*Events, Checker);
     std::printf("[basic] %zu violation(s)\n", Checker.violations().size());
     for (const Violation &V : Checker.violations().snapshot())
@@ -246,7 +248,9 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     return Checker.numViolations() == 0 ? 0 : 1;
   }
   case ToolKind::Race: {
-    RaceDetector Detector;
+    RaceDetector::Options RaceOpts;
+    RaceOpts.Query = Opts.Query;
+    RaceDetector Detector(RaceOpts);
     replayTrace(*Events, Detector);
     std::printf("[race] %zu race(s)\n", Detector.numRaces());
     for (const Race &R : Detector.races())
@@ -254,7 +258,9 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     return Detector.numRaces() == 0 ? 0 : 1;
   }
   case ToolKind::Determinism: {
-    DeterminismChecker Checker;
+    DeterminismChecker::Options DetOpts;
+    DetOpts.Query = Opts.Query;
+    DeterminismChecker Checker(DetOpts);
     replayTrace(*Events, Checker);
     std::printf("[determinism] %zu violation(s)\n",
                 Checker.numViolations());
