@@ -32,6 +32,7 @@
 #include <benchmark/benchmark.h>
 
 #include "instrument/ToolContext.h"
+#include "support/JsonReport.h"
 #include "support/Statistics.h"
 #include "support/Timing.h"
 #include "workloads/Workloads.h"
@@ -176,101 +177,11 @@ inline std::string humanCount(double Value) {
 // Machine-readable output (--json=PATH)
 //===----------------------------------------------------------------------===//
 
-/// Renders a JSON string literal. Quotes, backslashes, and control bytes
-/// are the only escapes our identifiers can need.
-inline std::string jsonQuote(const std::string &S) {
-  std::string Out = "\"";
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      (Out += '\\') += C;
-    else if (static_cast<unsigned char>(C) < 0x20) {
-      char Buffer[8];
-      std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
-      Out += Buffer;
-    } else
-      Out += C;
-  }
-  Out += '"';
-  return Out;
-}
-
-/// Renders a JSON number; non-finite values (a zero-time baseline makes a
-/// slowdown infinite) become null rather than invalid JSON.
-inline std::string jsonNumber(double V) {
-  if (!std::isfinite(V))
-    return "null";
-  char Buffer[40];
-  std::snprintf(Buffer, sizeof(Buffer), "%.6g", V);
-  return std::string(Buffer);
-}
-
-/// Accumulates one experiment's results as {"meta": {...}, "rows": [...]}
-/// and writes them to the path given via --json. One shape across
-/// fig13/fig14/micro binaries so downstream tooling parses them uniformly.
-class JsonReport {
-public:
-  class Row {
-  public:
-    Row &field(const std::string &Key, const std::string &Value) {
-      Fields.push_back({Key, jsonQuote(Value)});
-      return *this;
-    }
-    Row &field(const std::string &Key, const char *Value) {
-      return field(Key, std::string(Value));
-    }
-    Row &field(const std::string &Key, double Value) {
-      Fields.push_back({Key, jsonNumber(Value)});
-      return *this;
-    }
-
-  private:
-    friend class JsonReport;
-    std::vector<std::pair<std::string, std::string>> Fields;
-  };
-
-  void meta(const std::string &Key, const std::string &Value) {
-    Meta.push_back({Key, jsonQuote(Value)});
-  }
-  void meta(const std::string &Key, double Value) {
-    Meta.push_back({Key, jsonNumber(Value)});
-  }
-
-  /// Starts a new result row; fill it with chained field() calls.
-  Row &row() {
-    Rows.emplace_back();
-    return Rows.back();
-  }
-
-  /// Writes the report; returns false (with a message on stderr) if the
-  /// file cannot be created.
-  bool write(const std::string &Path) const {
-    std::ofstream Out(Path);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
-      return false;
-    }
-    Out << "{\n  \"meta\": {";
-    for (size_t I = 0; I < Meta.size(); ++I)
-      Out << (I ? ", " : "") << jsonQuote(Meta[I].first) << ": "
-          << Meta[I].second;
-    Out << "},\n  \"rows\": [\n";
-    for (size_t R = 0; R < Rows.size(); ++R) {
-      Out << "    {";
-      const auto &Fields = Rows[R].Fields;
-      for (size_t I = 0; I < Fields.size(); ++I)
-        Out << (I ? ", " : "") << jsonQuote(Fields[I].first) << ": "
-            << Fields[I].second;
-      Out << (R + 1 < Rows.size() ? "},\n" : "}\n");
-    }
-    Out << "  ]\n}\n";
-    std::printf("wrote %s\n", Path.c_str());
-    return true;
-  }
-
-private:
-  std::vector<std::pair<std::string, std::string>> Meta;
-  std::vector<Row> Rows;
-};
+// The emitter itself lives in support/JsonReport.h (shared with taskcheck
+// --json); re-exported here for the bench binaries.
+using avc::JsonReport;
+using avc::jsonNumber;
+using avc::jsonQuote;
 
 /// main() body shared by the google-benchmark micro binaries: peels our
 /// --json flag off argv and rewrites it into the library's own

@@ -9,8 +9,8 @@
 ///   - the parallelism-query algorithm: fork-path labels (default) vs
 ///     binary lifting vs the paper's LCA walk with and without the
 ///     Section 4 cache (DESIGN.md "Constant-time parallelism queries");
-///   - the per-task redundant-access filter on/off (DESIGN.md "Access
-///     filtering");
+///   - the per-task access-path cache on/off (DESIGN.md "Access-path
+///     cache");
 ///   - complete metadata (20 entries + the interleaver-check fix) vs the
 ///     paper-literal 12-entry configuration;
 ///   - the unbounded-history basic checker (Section 3.1) as the upper
@@ -61,9 +61,9 @@ ToolContext::Options makePaperLiteral(const BenchConfig &Config) {
   return Opts;
 }
 
-ToolContext::Options makeNoFilter(const BenchConfig &Config) {
+ToolContext::Options makeNoCache(const BenchConfig &Config) {
   ToolContext::Options Opts = checkerOptions(Config, DpstLayout::Array);
-  Opts.Checker.EnableAccessFilter = false;
+  Opts.Checker.EnableAccessCache = false;
   return Opts;
 }
 
@@ -87,7 +87,7 @@ const ModeSpec Modes[] = {
     {"query-walk(+lca-cache)", makeWalkCached},
     {"query-walk(no-cache)", makeWalkNoCache},
     {"paper-literal(12-entry)", makePaperLiteral},
-    {"no-access-filter", makeNoFilter},
+    {"no-access-cache", makeNoCache},
     {"basic(unbounded)", makeBasic},
     {"race-detector(all-sets)", makeRace},
 };
@@ -104,6 +104,11 @@ int main(int argc, char **argv) {
   std::printf("Ablation: checker configuration vs slowdown "
               "(scale=%.2f, reps=%u)\n",
               Config.Scale, Config.Reps);
+  JsonReport Report;
+  Report.meta("experiment", "ablation_modes");
+  Report.meta("scale", Config.Scale);
+  Report.meta("reps", static_cast<double>(Config.Reps));
+  Report.meta("threads", static_cast<double>(Config.Threads));
 
   size_t Count = 0;
   const Workload *Table = allWorkloads(Count);
@@ -130,7 +135,14 @@ int main(int argc, char **argv) {
     }
     std::printf("%-26s %11.2fx %9.2fx (%s)\n", Mode.Name,
                 geometricMean(Slowdowns), Worst, WorstName);
+    Report.row()
+        .field("configuration", Mode.Name)
+        .field("geomean_x", geometricMean(Slowdowns))
+        .field("worst_x", Worst)
+        .field("worst_benchmark", WorstName);
   }
+  if (!Config.JsonPath.empty() && !Report.write(Config.JsonPath))
+    return 1;
 
   std::printf("\nExpected shape: label and lift queries match or beat the "
               "cached walk and clearly beat the uncached walk on LCA-heavy "

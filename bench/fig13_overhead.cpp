@@ -10,9 +10,10 @@
 /// means of 4.2x (ours) and 4.6x (Velodrome) over five runs each, with
 /// kmeans, raycast, and swaptions as the high-overhead outliers.
 ///
-/// Additionally times the checker with the redundant-access fast path
-/// disabled (nofilt) and reports the filter hit rate per benchmark, so the
-/// filter's contribution to the overhead reduction is visible directly.
+/// Additionally times the checker with the per-task access-path cache
+/// disabled (nocache) and reports the verdict/path hit rates per benchmark,
+/// so the cache's contribution to the overhead reduction is visible
+/// directly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,61 +36,65 @@ int main(int argc, char **argv) {
   Report.meta("reps", static_cast<double>(Config.Reps));
   Report.meta("threads", static_cast<double>(Config.Threads));
   Report.meta("query_mode", queryModeName(Config.Query));
-  std::printf("%-14s %10s %10s %10s %10s %9s %9s %9s %8s\n", "benchmark",
-              "base(ms)", "ours(ms)", "nofilt(ms)", "velo(ms)", "ours(x)",
-              "nofilt(x)", "velo(x)", "filt-hit");
+  std::printf("%-14s %9s %9s %10s %9s %8s %9s %8s %7s %7s\n", "benchmark",
+              "base(ms)", "ours(ms)", "nocache(ms)", "velo(ms)", "ours(x)",
+              "nocache(x)", "velo(x)", "hit%", "path%");
 
   size_t Count = 0;
   const Workload *Table = allWorkloads(Count);
-  std::vector<double> OursSlowdowns, NoFiltSlowdowns, VeloSlowdowns;
+  std::vector<double> OursSlowdowns, NoCacheSlowdowns, VeloSlowdowns;
 
   for (size_t I = 0; I < Count; ++I) {
     const Workload &W = Table[I];
     ToolContext::Options OursOpts = checkerOptions(Config, DpstLayout::Array);
-    ToolContext::Options NoFiltOpts = OursOpts;
-    NoFiltOpts.Checker.EnableAccessFilter = false;
+    ToolContext::Options NoCacheOpts = OursOpts;
+    NoCacheOpts.Checker.EnableAccessCache = false;
     // Interleave the configurations across repetitions: slow machine drift
     // then shifts every column equally instead of biasing whichever config
     // happened to run its block of reps during a slow phase.
-    double Base = 0, Ours = 0, NoFilt = 0, Velo = 0;
+    double Base = 0, Ours = 0, NoCache = 0, Velo = 0;
     for (unsigned R = 0; R < Config.Reps; ++R) {
       Base += timeOnce(W, baselineOptions(Config), Config.Scale);
       Ours += timeOnce(W, OursOpts, Config.Scale);
-      NoFilt += timeOnce(W, NoFiltOpts, Config.Scale);
+      NoCache += timeOnce(W, NoCacheOpts, Config.Scale);
       Velo += timeOnce(W, velodromeOptions(Config), Config.Scale);
     }
     Base /= Config.Reps;
     Ours /= Config.Reps;
-    NoFilt /= Config.Reps;
+    NoCache /= Config.Reps;
     Velo /= Config.Reps;
     CheckerStats Stats = statsOnce(W, OursOpts, Config.Scale);
     double OursX = Ours / Base;
-    double NoFiltX = NoFilt / Base;
+    double NoCacheX = NoCache / Base;
     double VeloX = Velo / Base;
     OursSlowdowns.push_back(OursX);
-    NoFiltSlowdowns.push_back(NoFiltX);
+    NoCacheSlowdowns.push_back(NoCacheX);
     VeloSlowdowns.push_back(VeloX);
-    std::printf("%-14s %10.2f %10.2f %10.2f %10.2f %8.2fx %8.2fx %8.2fx "
-                "%7.1f%%\n",
-                W.Name, Base * 1e3, Ours * 1e3, NoFilt * 1e3, Velo * 1e3,
-                OursX, NoFiltX, VeloX, Stats.filterHitRate());
+    std::printf("%-14s %9.2f %9.2f %10.2f %9.2f %7.2fx %8.2fx %7.2fx "
+                "%6.1f%% %6.1f%%\n",
+                W.Name, Base * 1e3, Ours * 1e3, NoCache * 1e3, Velo * 1e3,
+                OursX, NoCacheX, VeloX, Stats.cacheHitRate(),
+                Stats.cachePathHitRate());
     Report.row()
         .field("benchmark", W.Name)
         .field("base_ms", Base * 1e3)
         .field("ours_ms", Ours * 1e3)
-        .field("nofilter_ms", NoFilt * 1e3)
+        .field("nocache_ms", NoCache * 1e3)
         .field("velodrome_ms", Velo * 1e3)
         .field("ours_x", OursX)
-        .field("nofilter_x", NoFiltX)
+        .field("nocache_x", NoCacheX)
         .field("velodrome_x", VeloX)
-        .field("filter_hit_pct", Stats.filterHitRate());
+        .field("cache_hit_pct", Stats.cacheHitRate())
+        .field("cache_path_hit_pct", Stats.cachePathHitRate())
+        .field("cache_evictions", double(Stats.NumCacheEvictions))
+        .field("lockset_snapshots", double(Stats.NumLockSnapshots));
   }
 
-  std::printf("%-14s %10s %10s %10s %10s %8.2fx %8.2fx %8.2fx\n", "geomean",
+  std::printf("%-14s %9s %9s %10s %9s %7.2fx %8.2fx %7.2fx\n", "geomean",
               "", "", "", "", geometricMean(OursSlowdowns),
-              geometricMean(NoFiltSlowdowns), geometricMean(VeloSlowdowns));
+              geometricMean(NoCacheSlowdowns), geometricMean(VeloSlowdowns));
   Report.meta("geomean_ours_x", geometricMean(OursSlowdowns));
-  Report.meta("geomean_nofilter_x", geometricMean(NoFiltSlowdowns));
+  Report.meta("geomean_nocache_x", geometricMean(NoCacheSlowdowns));
   Report.meta("geomean_velodrome_x", geometricMean(VeloSlowdowns));
   if (!Config.JsonPath.empty() && !Report.write(Config.JsonPath))
     return 1;

@@ -151,6 +151,48 @@ void BM_PaperLiteralVsComplete(benchmark::State &State) {
 }
 BENCHMARK(BM_PaperLiteralVsComplete)->Arg(0)->Arg(1)->ArgNames({"complete"});
 
+/// The access-path cache's verdict tier head to head with the full slow
+/// path: one step re-reading a promoted location, with the cache on
+/// (verdict hit, no shadow walk / snapshot / location lock) vs off.
+void BM_RepeatedAccessCacheOnOff(benchmark::State &State) {
+  AtomicityChecker::Options Opts;
+  Opts.EnableAccessCache = State.range(0) != 0;
+  AtomicityChecker Checker(Opts);
+  Checker.onProgramStart(0);
+  Checker.onTaskSpawn(0, nullptr, 1);
+  Checker.onRead(1, 0x800000);
+  Checker.onRead(1, 0x800000); // promotes RR: further reads are redundant
+  for (auto _ : State)
+    Checker.onRead(1, 0x800000);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RepeatedAccessCacheOnOff)->Arg(0)->Arg(1)->ArgNames({"cache"});
+
+/// Worst case for the direct-mapped cache: two addresses fighting over one
+/// slot of a deliberately tiny table. The claim() aging policy keeps the
+/// resident entry in place while the neighbor's conflicts stay store-free,
+/// so the measured cost is the probe plus the periodic displacement.
+void BM_AccessCacheCollisionThrash(benchmark::State &State) {
+  AtomicityChecker::Options Opts;
+  Opts.AccessCacheSlots = 2;
+  AtomicityChecker Checker(Opts);
+  Checker.onProgramStart(0);
+  Checker.onTaskSpawn(0, nullptr, 1);
+  // Find two tracked addresses that share a slot in a 2-slot table.
+  AccessCache<int, int> Probe;
+  Probe.init(2);
+  MemAddr A = 0x900000;
+  MemAddr B = A + 8;
+  while (Probe.slotIndexFor(B) != Probe.slotIndexFor(A))
+    B += 8;
+  for (auto _ : State) {
+    Checker.onWrite(1, A);
+    Checker.onWrite(1, B);
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_AccessCacheCollisionThrash);
+
 /// Per-access checker cost under each parallelism-query mode: two parallel
 /// tasks hammering one shared location, so every access runs a Par()
 /// query end to end through the configured algorithm.

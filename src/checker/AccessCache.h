@@ -1,0 +1,297 @@
+//===- checker/AccessCache.h - Per-task access-path cache -------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checker's per-access fast path: a direct-mapped, cacheline-aligned,
+/// task-private table keyed by address that memoizes the *fully resolved
+/// access path* for recently touched locations — the location's global
+/// metadata, the task's local interim buffer, the owning step node, and the
+/// redundancy verdicts last computed by the slow path. It absorbs and
+/// replaces the PR 1 AccessFilter (which cached only the verdicts): one
+/// probe now answers in two tiers.
+///
+///   1. *Verdict hit*: the entry matches (address, step, lock epoch) and the
+///      access kind's redundancy bit is set. A previous slow-path trip
+///      proved, under the location's metadata lock, that a further access of
+///      this kind cannot change the Figure 7-9 metadata state machine or
+///      surface a new violation (see AtomicityChecker::readIsRedundant /
+///      writeIsRedundant and DESIGN.md "Access filtering"). The access
+///      returns immediately — no shadow-map walk, no lockset snapshot, no
+///      per-location lock.
+///
+///   2. *Path hit*: the verdict is stale (new step, new lock epoch, or never
+///      proven) but the resolved pointers are still valid. The access skips
+///      the 3-level ShadowMemory radix walk and the PointerMap probe and
+///      goes straight to the per-location lock with the memoized
+///      GlobalMetadata* / LocalLoc*.
+///
+/// Pointer validity is the new invariant the two-tier design depends on:
+///   - GlobalMetadata* is stable for the shadow map's lifetime: a shadow
+///     slot's metadata pointer only ever transitions null -> non-null
+///     (atomic groups must be registered before any member is accessed).
+///   - LocalLoc* points into the task's PointerMap, which *rehashes* when it
+///     grows; each entry therefore records the map's generation() at stamp
+///     time and a path hit requires an exact match. A rehash (or clear)
+///     silently invalidates every memoized pointer at the cost of one
+///     re-resolve per entry.
+///
+/// Verdict validity keeps the AccessFilter key: a new step never matches,
+/// and the owning task bumps its epoch on every lock *release* (a shrunken
+/// lockset can make a previously impossible pattern form; acquires add
+/// fresh tokens that never intersect an older interim lockset, so verdicts
+/// survive them — the "equal-or-smaller lockset" condition).
+///
+/// Lossy by design: a collision eventually evicts (see claim()'s aging
+/// policy), which only costs a slow-path trip.
+/// Not thread safe — one instance per task, touched only by the worker
+/// currently executing that task. Storage is heap-allocated on task start
+/// and released on task end (task states outlive their tasks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_ACCESSCACHE_H
+#define AVC_CHECKER_ACCESSCACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "checker/AccessKind.h"
+#include "dpst/DpstNodeKind.h"
+#include "runtime/ExecutionObserver.h"
+#include "support/Compiler.h"
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// Default slot count: large enough that a step's inner-loop working set
+/// rarely thrashes one slot, small enough (64 B/slot) that thousands of
+/// live tasks stay cheap. Runtime-configurable via
+/// AtomicityChecker::Options::AccessCacheSlots / --access-cache=N.
+inline constexpr unsigned DefaultAccessCacheSlots = 256;
+
+/// Direct-mapped per-task cache of resolved access paths and redundancy
+/// verdicts. Templated on the checker's metadata types so the header stays
+/// free of AtomicityChecker internals.
+template <typename GlobalT, typename LocalT> class AccessCache {
+public:
+  static constexpr uint8_t ReadBit = 1;
+  static constexpr uint8_t WriteBit = 2;
+
+  /// One cache line per entry: a probe never touches a second line and
+  /// never splits a field across lines.
+  struct alignas(AVC_CACHELINE_SIZE) Entry {
+    MemAddr Addr = 0; ///< 0 = empty (address 0 is never tracked).
+    GlobalT *Meta = nullptr;
+    LocalT *Local = nullptr;
+    NodeId Step = InvalidNodeId;
+    uint32_t Epoch = 0;  ///< owning task's lock epoch at stamp time
+    uint32_t MapGen = 0; ///< local PointerMap generation at stamp time
+    uint32_t Gen = 0;    ///< table generation at stamp time (see Pool)
+    uint8_t Bits = 0;    ///< redundancy verdicts (ReadBit | WriteBit)
+  };
+
+  /// Recycles table storage across tasks. Zero-initializing a fresh table
+  /// on every task start is the dominant cache cost for programs that
+  /// spawn many short tasks (thousands of 16 KiB memsets); a pooled table
+  /// is re-issued *without* clearing — each entry records the table
+  /// generation that stamped it, the generation is bumped per reuse, and a
+  /// probe only honors entries of the current generation. Stale entries
+  /// (which hold dangling LocalT pointers into an ended task's map) can
+  /// therefore never match. Thread safe; one pool per checker.
+  class Pool {
+    friend AccessCache;
+    struct Storage {
+      std::unique_ptr<Entry[]> Table;
+      unsigned NumSlots = 0;
+      uint32_t Gen = 0;
+    };
+    SpinLock Lock;
+    std::vector<Storage> Free;
+  };
+
+  static uint8_t bitFor(AccessKind Kind) {
+    return Kind == AccessKind::Read ? ReadBit : WriteBit;
+  }
+
+  /// \p Slots rounded to the power of two a table would actually use.
+  static unsigned roundedSlots(unsigned Slots) {
+    unsigned Log = 1;
+    while ((1u << Log) < Slots && Log < 20)
+      ++Log;
+    return 1u << Log;
+  }
+
+  /// Allocates \p Slots entries (rounded up to a power of two); 0 disables
+  /// the cache (enabled() goes false, the checker takes the full slow path).
+  void init(unsigned Slots) {
+    if (Slots == 0) {
+      releaseStorage();
+      return;
+    }
+    NumSlots = roundedSlots(Slots);
+    Shift = 64 - log2Of(NumSlots);
+    Table = std::make_unique<Entry[]>(NumSlots);
+    TableGen = 0;
+    ConflictTick = 0;
+  }
+
+  /// Takes a table from \p P (or allocates one if the pool is dry / holds
+  /// tables of another size). Pooled tables come back dirty: the bumped
+  /// generation invalidates every stale entry without touching it.
+  void acquire(Pool &P, unsigned Slots) {
+    if (Slots == 0) {
+      releaseStorage();
+      return;
+    }
+    unsigned Want = roundedSlots(Slots);
+    {
+      std::lock_guard<SpinLock> Guard(P.Lock);
+      while (!P.Free.empty()) {
+        typename Pool::Storage S = std::move(P.Free.back());
+        P.Free.pop_back();
+        if (S.NumSlots != Want)
+          continue; // slot config changed; let the stray table die
+        Table = std::move(S.Table);
+        NumSlots = S.NumSlots;
+        Shift = 64 - log2Of(NumSlots);
+        TableGen = S.Gen + 1;
+        ConflictTick = 0;
+        break;
+      }
+    }
+    if (!Table) {
+      init(Slots);
+      return;
+    }
+    if (AVC_UNLIKELY(TableGen == 0)) {
+      // Generation wrapped (one reuse per task, ~4G tasks): entries from
+      // generation 0 of this storage could alias, so clear once.
+      clear();
+    }
+  }
+
+  /// Returns the table to \p P for the next task; the cache reads as
+  /// disabled afterwards. No-op when no table is held.
+  void release(Pool &P) {
+    if (!Table)
+      return;
+    typename Pool::Storage S;
+    S.Table = std::move(Table);
+    S.NumSlots = NumSlots;
+    S.Gen = TableGen;
+    NumSlots = 0;
+    Shift = 64;
+    std::lock_guard<SpinLock> Guard(P.Lock);
+    P.Free.push_back(std::move(S));
+  }
+
+  bool enabled() const { return Table != nullptr; }
+  size_t numSlots() const { return Table ? NumSlots : 0; }
+
+  /// The current table generation; only entries stamped with it are valid
+  /// (a pooled table's stale entries carry older generations).
+  uint32_t generation() const { return TableGen; }
+
+  /// The unique slot \p Addr maps to. Exposed so tests and benchmarks can
+  /// construct colliding addresses deliberately.
+  size_t slotIndexFor(MemAddr Addr) const {
+    // Fibonacci hash; tracked addresses share low alignment bits.
+    return static_cast<size_t>(((Addr >> 3) * 0x9e3779b97f4a7c15ULL) >> Shift);
+  }
+
+  Entry &entryFor(MemAddr Addr) { return Table[slotIndexFor(Addr)]; }
+
+  /// Records the slow path's resolution and verdicts for \p Addr,
+  /// unconditionally overwriting the slot. Used on path-tier re-touches,
+  /// where the slot already belongs to \p Addr and the stamp upgrades it
+  /// with fresh verdicts. Returns true if a live neighbor (a different
+  /// address with a current \p MapGen) was evicted.
+  bool stamp(MemAddr Addr, GlobalT *Meta, LocalT *Local, NodeId Step,
+             uint32_t Epoch, uint32_t MapGen, bool ReadRedundant,
+             bool WriteRedundant) {
+    Entry &E = Table[slotIndexFor(Addr)];
+    bool Evicted = E.Gen == TableGen && E.Addr != 0 && E.Addr != Addr &&
+                   E.MapGen == MapGen;
+    E.Addr = Addr;
+    E.Meta = Meta;
+    E.Local = Local;
+    E.Step = Step;
+    E.Epoch = Epoch;
+    E.MapGen = MapGen;
+    E.Gen = TableGen;
+    E.Bits = static_cast<uint8_t>((ReadRedundant ? ReadBit : 0u) |
+                                  (WriteRedundant ? WriteBit : 0u));
+    return Evicted;
+  }
+
+  /// Miss-path insert policy. A slot that is empty, stale (its MapGen no
+  /// longer matches), or already owned by \p Addr is stamped immediately
+  /// (no verdicts — proofs are deferred to the first re-touch). A *live*
+  /// conflicting entry is displaced only every ClaimPeriod-th conflict:
+  /// streaming access patterns (fresh address per access, the blackscholes
+  /// profile) would otherwise dirty one cache line per access for entries
+  /// that are never probed again — the dominant cost of an always-stamp
+  /// policy — while the aging tick still lets a newly hot address take the
+  /// slot within a bounded number of touches. Returns true when a live
+  /// entry was displaced (an eviction).
+  bool claim(MemAddr Addr, GlobalT *Meta, LocalT *Local, NodeId Step,
+             uint32_t Epoch, uint32_t MapGen) {
+    Entry &E = Table[slotIndexFor(Addr)];
+    bool Live = E.Gen == TableGen && E.Addr != 0 && E.Addr != Addr &&
+                E.MapGen == MapGen;
+    if (Live && (++ConflictTick & (ClaimPeriod - 1)) != 0)
+      return false;
+    E.Addr = Addr;
+    E.Meta = Meta;
+    E.Local = Local;
+    E.Step = Step;
+    E.Epoch = Epoch;
+    E.MapGen = MapGen;
+    E.Gen = TableGen;
+    E.Bits = 0;
+    return Live;
+  }
+
+  /// Drops every entry but keeps the storage (tests).
+  void clear() {
+    for (size_t I = 0; I < NumSlots && Table; ++I)
+      Table[I] = Entry();
+  }
+
+  /// Frees the table (a finished task can never probe again, and task
+  /// states are retained for the program's lifetime). Prefer release():
+  /// pooled storage spares the next task the allocation and the memset.
+  void releaseStorage() {
+    Table.reset();
+    NumSlots = 0;
+    Shift = 64;
+  }
+
+  /// A live conflicting entry survives this many claim() attempts before
+  /// the newcomer displaces it (power of two; see claim()).
+  static constexpr uint32_t ClaimPeriod = 8;
+
+private:
+  static unsigned log2Of(unsigned PowerOfTwo) {
+    unsigned Log = 0;
+    while ((1u << Log) < PowerOfTwo)
+      ++Log;
+    return Log;
+  }
+
+  std::unique_ptr<Entry[]> Table;
+  unsigned NumSlots = 0;
+  unsigned Shift = 64; ///< 64 - log2(NumSlots)
+  uint32_t TableGen = 0;
+  uint32_t ConflictTick = 0;
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_ACCESSCACHE_H

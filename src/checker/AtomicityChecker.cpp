@@ -46,17 +46,11 @@ AtomicityChecker::~AtomicityChecker() = default;
 AtomicityChecker::TaskState &AtomicityChecker::createState(TaskId Task) {
   auto State = std::make_unique<TaskState>();
   TaskState *Raw = State.get();
+  // The access cache is acquired lazily on the task's first access (see
+  // accessMiss): spawn-and-sync tasks never pay for a table.
   TaskStorage.emplaceBack(std::move(State));
   Tasks.getOrCreate(Task).store(Raw, std::memory_order_release);
   return *Raw;
-}
-
-AtomicityChecker::TaskState &AtomicityChecker::stateFor(TaskId Task) {
-  std::atomic<TaskState *> *Slot = Tasks.lookup(Task);
-  assert(Slot && "event for a task that was never spawned");
-  TaskState *State = Slot->load(std::memory_order_acquire);
-  assert(State && "event for a task that was never spawned");
-  return *State;
 }
 
 void AtomicityChecker::onProgramStart(TaskId RootTask) {
@@ -75,9 +69,33 @@ void AtomicityChecker::onTaskEnd(TaskId Task) {
   TaskState &State = stateFor(Task);
   Builder.endTask(State.Frame);
   assert(State.Locks.depth() == 0 && "task ended while holding locks");
-  // The task's interim buffers can never pair up again; drop them.
+  // The task's interim buffers can never pair up again; drop them, return
+  // the access-path cache table to the pool (task states outlive their
+  // tasks), and fold the plain counters into the checker-wide totals.
   State.Local.clear();
-  State.Filter.clear();
+  State.Cache.release(CachePool);
+  flushCounters(State);
+}
+
+void AtomicityChecker::flushCounters(TaskState &State) {
+  Totals.NumReads.fetch_add(State.NumReads, std::memory_order_relaxed);
+  Totals.NumWrites.fetch_add(State.NumWrites, std::memory_order_relaxed);
+  Totals.NumLocations.fetch_add(State.NumLocations,
+                                std::memory_order_relaxed);
+  Totals.NumCacheHitReads.fetch_add(State.NumCacheHitReads,
+                                    std::memory_order_relaxed);
+  Totals.NumCacheHitWrites.fetch_add(State.NumCacheHitWrites,
+                                     std::memory_order_relaxed);
+  Totals.NumCachePathHits.fetch_add(State.NumCachePathHits,
+                                    std::memory_order_relaxed);
+  Totals.NumCacheEvictions.fetch_add(State.NumCacheEvictions,
+                                     std::memory_order_relaxed);
+  Totals.NumLockSnapshots.fetch_add(State.NumLockSnapshots,
+                                    std::memory_order_relaxed);
+  State.NumReads = State.NumWrites = State.NumLocations = 0;
+  State.NumCacheHitReads = State.NumCacheHitWrites = 0;
+  State.NumCachePathHits = State.NumCacheEvictions = 0;
+  State.NumLockSnapshots = 0;
 }
 
 void AtomicityChecker::onSync(TaskId Task) {
@@ -101,8 +119,9 @@ void AtomicityChecker::onLockRelease(TaskId Task, LockId Lock) {
   // A shrunken lockset can make a pattern form that previously could not
   // (interim and current locksets may become disjoint); recorded redundancy
   // verdicts are stale. Acquires need no bump: fresh tokens never intersect
-  // an interim lockset, so verdicts survive them.
-  ++State.FilterEpoch;
+  // an interim lockset, so verdicts survive them. (The *snapshot* view is
+  // versioned separately by Locks.version(), which moves on both events.)
+  ++State.CacheEpoch;
 }
 
 //===----------------------------------------------------------------------===//
@@ -176,43 +195,31 @@ bool AtomicityChecker::registerAtomicGroup(const MemAddr *Members,
 // Core access handling (Figure 6)
 //===----------------------------------------------------------------------===//
 
-void AtomicityChecker::onRead(TaskId Task, MemAddr Addr) {
-  onAccess(Task, Addr, AccessKind::Read);
-}
-
-void AtomicityChecker::onWrite(TaskId Task, MemAddr Addr) {
-  onAccess(Task, Addr, AccessKind::Write);
-}
-
-void AtomicityChecker::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
-  TaskState &State = stateFor(Task);
-  NodeId Si = Builder.currentStep(State.Frame);
-
-  if (Kind == AccessKind::Read)
-    State.NumReads.fetch_add(1, std::memory_order_relaxed);
-  else
-    State.NumWrites.fetch_add(1, std::memory_order_relaxed);
-
-  // Fast path: a previous slow-path trip proved that this access cannot
-  // change any metadata or surface a new violation. Purely task-local —
-  // no shadow-map walk, no lockset snapshot, no per-location lock.
-  if (Opts.EnableAccessFilter &&
-      State.Filter.isRedundant(Addr, Si, State.FilterEpoch, Kind)) {
-    if (Kind == AccessKind::Read)
-      State.FilterHitReads.fetch_add(1, std::memory_order_relaxed);
-    else
-      State.FilterHitWrites.fetch_add(1, std::memory_order_relaxed);
-    return;
+const LockSet &AtomicityChecker::heldLockView(TaskState &State) {
+  if (AVC_UNLIKELY(State.LockViewVersion != State.Locks.version())) {
+    State.LockView = State.Locks.snapshot();
+    State.LockViewVersion = State.Locks.version();
+    ++State.NumLockSnapshots;
   }
+  return State.LockView;
+}
 
+AVC_NOINLINE void AtomicityChecker::accessMiss(TaskState &State, MemAddr Addr,
+                                               NodeId Si, AccessKind Kind) {
+  if (AVC_UNLIKELY(!State.Cache.enabled() && Opts.EnableAccessCache &&
+                   Opts.AccessCacheSlots > 0))
+    State.Cache.acquire(CachePool, Opts.AccessCacheSlots);
   ShadowSlot &Slot = Shadow.getOrCreate(Addr);
-  if (AVC_UNLIKELY(!Slot.Accessed.load(std::memory_order_relaxed)))
-    if (!Slot.Accessed.exchange(1, std::memory_order_relaxed))
-      State.NumLocations.fetch_add(1, std::memory_order_relaxed);
   GlobalMetadata &GS = metadataFor(Addr, Slot);
-
-  LockSet Locks = State.Locks.snapshot();
   LocalLoc &LS = State.Local[&GS];
+  accessResolved(State, Addr, GS, LS, Si, Kind, /*ComputeVerdicts=*/false);
+}
+
+void AtomicityChecker::accessResolved(TaskState &State, MemAddr Addr,
+                                      GlobalMetadata &GS, LocalLoc &LS,
+                                      NodeId Si, AccessKind Kind,
+                                      bool ComputeVerdicts) {
+  const LockSet &Locks = heldLockView(State);
 
   // A new maximal region invalidates the interim buffers: two-access
   // patterns pair accesses of one step node (Figure 4), so entries from an
@@ -227,6 +234,12 @@ void AtomicityChecker::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
   }
 
   std::lock_guard<SpinLock> Guard(GS.Lock);
+  if (AVC_UNLIKELY(!GS.Counted)) {
+    // First recorded access to this location (or atomic group), counted
+    // under the lock that already serializes it.
+    GS.Counted = true;
+    ++State.NumLocations;
+  }
   bool LocalEmpty = LS.RStep == InvalidNodeId && LS.WStep == InvalidNodeId;
   if (GS.isEmpty() && LocalEmpty)
     handleFirstAccess(GS, LS, Si, Kind, Locks);
@@ -235,13 +248,25 @@ void AtomicityChecker::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
   else
     handleNonFirstAccess(GS, LS, Si, Kind, Locks);
 
-  // Both verdicts are recomputed while GS.Lock is still held: an access of
-  // one kind can un-prove the other kind's redundancy (a first write arms
-  // the WR/WW patterns a future read/write would form).
-  if (Opts.EnableAccessFilter)
-    State.Filter.record(Addr, Si, State.FilterEpoch,
-                        readIsRedundant(GS, LS, Si, Locks),
-                        writeIsRedundant(GS, LS, Si, Locks));
+  // A path-tier re-touch recomputes both verdicts while GS.Lock is still
+  // held — an access of one kind can un-prove the other kind's redundancy
+  // (a first write arms the WR/WW patterns a future read/write would
+  // form) — and stamps them unconditionally. A plain miss only *claims*
+  // the slot under the cache's aging policy, with no proofs: most
+  // first-touched addresses are never probed again, so both the proofs
+  // and the line-dirtying store are deferred until an address shows reuse.
+  if (State.Cache.enabled()) {
+    if (ComputeVerdicts) {
+      if (State.Cache.stamp(Addr, &GS, &LS, Si, State.CacheEpoch,
+                            State.Local.generation(),
+                            readIsRedundant(GS, LS, Si, Locks),
+                            writeIsRedundant(GS, LS, Si, Locks)))
+        ++State.NumCacheEvictions;
+    } else if (State.Cache.claim(Addr, &GS, &LS, Si, State.CacheEpoch,
+                                 State.Local.generation())) {
+      ++State.NumCacheEvictions;
+    }
+  }
 }
 
 /// A further read by \p Si at lockset \p Locks is redundant iff the interim
@@ -504,19 +529,34 @@ CheckerStats AtomicityChecker::stats() const {
   Stats.NumViolations = Log.size();
   Stats.NumViolatingLocations =
       NumViolatingLocations.load(std::memory_order_relaxed);
-  Stats.AccessFilterEnabled = Opts.EnableAccessFilter;
-  // Access counters live with their owning task (the hot path never touches
-  // a shared counter); fold them here.
+  Stats.AccessCacheEnabled = Opts.EnableAccessCache;
+  // Finished tasks folded their counters into Totals; tasks that never saw
+  // onTaskEnd still hold theirs (zeroed by the fold, so nothing is counted
+  // twice). Exact under quiescence — see the TaskState counter invariant.
+  Stats.NumReads = Totals.NumReads.load(std::memory_order_relaxed);
+  Stats.NumWrites = Totals.NumWrites.load(std::memory_order_relaxed);
+  Stats.NumLocations = Totals.NumLocations.load(std::memory_order_relaxed);
+  Stats.NumCacheHitReads =
+      Totals.NumCacheHitReads.load(std::memory_order_relaxed);
+  Stats.NumCacheHitWrites =
+      Totals.NumCacheHitWrites.load(std::memory_order_relaxed);
+  Stats.NumCachePathHits =
+      Totals.NumCachePathHits.load(std::memory_order_relaxed);
+  Stats.NumCacheEvictions =
+      Totals.NumCacheEvictions.load(std::memory_order_relaxed);
+  Stats.NumLockSnapshots =
+      Totals.NumLockSnapshots.load(std::memory_order_relaxed);
   for (size_t I = 0, N = TaskStorage.size(); I < N; ++I) {
     const TaskState &State = *TaskStorage[I];
-    Stats.NumLocations += State.NumLocations.load(std::memory_order_relaxed);
-    Stats.NumReads += State.NumReads.load(std::memory_order_relaxed);
-    Stats.NumWrites += State.NumWrites.load(std::memory_order_relaxed);
-    Stats.NumFilterHitReads +=
-        State.FilterHitReads.load(std::memory_order_relaxed);
-    Stats.NumFilterHitWrites +=
-        State.FilterHitWrites.load(std::memory_order_relaxed);
+    Stats.NumLocations += State.NumLocations;
+    Stats.NumReads += State.NumReads;
+    Stats.NumWrites += State.NumWrites;
+    Stats.NumCacheHitReads += State.NumCacheHitReads;
+    Stats.NumCacheHitWrites += State.NumCacheHitWrites;
+    Stats.NumCachePathHits += State.NumCachePathHits;
+    Stats.NumCacheEvictions += State.NumCacheEvictions;
+    Stats.NumLockSnapshots += State.NumLockSnapshots;
   }
-  Stats.NumFilterHits = Stats.NumFilterHitReads + Stats.NumFilterHitWrites;
+  Stats.NumCacheHits = Stats.NumCacheHitReads + Stats.NumCacheHitWrites;
   return Stats;
 }

@@ -23,9 +23,10 @@
 #define AVC_CHECKER_ATOMICITYCHECKER_H
 
 #include <atomic>
+#include <cassert>
 #include <memory>
 
-#include "checker/AccessFilter.h"
+#include "checker/AccessCache.h"
 #include "checker/AccessKind.h"
 #include "checker/CheckerStats.h"
 #include "checker/GlobalMetadata.h"
@@ -73,14 +74,17 @@ public:
     /// as a correctness fix — still O(1) checks per access; disable for a
     /// paper-literal reproduction.
     bool ExtraInterleaverChecks = true;
-    /// Per-task redundant-access fast path: once the slow path proves that
-    /// further same-step accesses to a location cannot change the metadata
-    /// state machine or surface a new violation, they return before the
-    /// shadow-map walk, the lockset snapshot, and the per-location spin
-    /// lock (see AccessFilter.h and DESIGN.md "Access filtering").
-    /// Disable for ablation (bench/ablation_modes) or to cross-check
-    /// detection parity.
-    bool EnableAccessFilter = true;
+    /// Per-task access-path cache: memoizes the resolved lookup chain
+    /// (global metadata, local buffer, step, redundancy verdicts) per
+    /// address, so a hit either returns immediately (provably redundant
+    /// access) or goes straight to the per-location lock, skipping the
+    /// shadow radix walk, the local-map probe, and the lockset snapshot
+    /// (see AccessCache.h and DESIGN.md "Access-path cache"). Disable for
+    /// ablation (bench/ablation_modes) or to cross-check detection parity.
+    bool EnableAccessCache = true;
+    /// Slots in the per-task cache (rounded up to a power of two; one
+    /// cache line each).
+    unsigned AccessCacheSlots = DefaultAccessCacheSlots;
     /// Keep *two* records per two-access-pattern kind and retain the
     /// leftmost and rightmost (tree-order) parallel owners in every
     /// entry pair. The paper's single pattern record and first-fit
@@ -123,8 +127,12 @@ public:
   void onGroupWait(TaskId Task, const void *GroupTag) override;
   void onLockAcquire(TaskId Task, LockId Lock) override;
   void onLockRelease(TaskId Task, LockId Lock) override;
-  void onRead(TaskId Task, MemAddr Addr) override;
-  void onWrite(TaskId Task, MemAddr Addr) override;
+  void onRead(TaskId Task, MemAddr Addr) override {
+    onAccess(Task, Addr, AccessKind::Read);
+  }
+  void onWrite(TaskId Task, MemAddr Addr) override {
+    onAccess(Task, Addr, AccessKind::Write);
+  }
 
   /// The detected violations.
   const ViolationLog &violations() const { return Log; }
@@ -149,39 +157,77 @@ private:
     LockSet WLocks;
   };
 
+  using CacheT = AccessCache<GlobalMetadata, LocalLoc>;
+
   /// Per-task checker state; owned by the checker, mutated only by the
   /// worker currently executing the task. Cache-line aligned so one task's
-  /// hot counters never share a line with another's.
+  /// hot state never shares a line with another's.
+  ///
+  /// Single-owner counter invariant: a task executes on exactly one worker
+  /// at a time, so the statistics counters below are *plain* integers
+  /// written only by that worker — no per-access fetch_add. onTaskEnd()
+  /// folds them into the checker-wide atomic Totals and zeroes them;
+  /// stats() returns Totals plus the counters of tasks that have not ended
+  /// yet, which is exact whenever no task is mid-execution (ToolContext::
+  /// run guarantees quiescence on return, and every in-tree stats() caller
+  /// runs after it returns).
   struct alignas(AVC_CACHELINE_SIZE) TaskState {
     TaskFrame Frame;
     PointerMap<GlobalMetadata *, LocalLoc> Local;
     HeldLocks Locks;
-    /// The redundant-access fast path for this task.
-    AccessFilter Filter;
+    /// The access-path cache for this task (see AccessCache.h).
+    AccessCache<GlobalMetadata, LocalLoc> Cache;
     /// Critical-section epoch: bumped on every lock release, which is the
     /// only lock event that can widen the set of patterns a future access
     /// forms (acquires add fresh tokens that never intersect an interim
-    /// lockset). Filter entries from older epochs never hit.
-    uint32_t FilterEpoch = 0;
-    /// Per-task access/statistics counters, replacing the former global
-    /// per-access fetch_adds (two contended atomics per access on the hot
-    /// path). Owner-written with relaxed order, aggregated in stats();
-    /// atomics keep concurrent stats() snapshots race-free.
+    /// lockset). Cache entries from older epochs never give a verdict hit.
+    uint32_t CacheEpoch = 0;
+    /// Version-cached lockset snapshot: exact while LockViewVersion ==
+    /// Locks.version(). Both start at zero with an empty held set, so the
+    /// initial view is valid without ever materializing a snapshot.
+    LockSet LockView;
+    uint32_t LockViewVersion = 0;
+    // Plain owner-written statistics (see the invariant above).
+    uint64_t NumReads = 0;
+    uint64_t NumWrites = 0;
+    uint64_t NumLocations = 0;
+    uint64_t NumCacheHitReads = 0;
+    uint64_t NumCacheHitWrites = 0;
+    uint64_t NumCachePathHits = 0;
+    uint64_t NumCacheEvictions = 0;
+    uint64_t NumLockSnapshots = 0;
+  };
+
+  /// Checker-wide counter totals, folded from TaskState at task end (the
+  /// only shared-counter writes left; one batch per task, not per access).
+  struct CounterTotals {
     std::atomic<uint64_t> NumReads{0};
     std::atomic<uint64_t> NumWrites{0};
     std::atomic<uint64_t> NumLocations{0};
-    std::atomic<uint64_t> FilterHitReads{0};
-    std::atomic<uint64_t> FilterHitWrites{0};
+    std::atomic<uint64_t> NumCacheHitReads{0};
+    std::atomic<uint64_t> NumCacheHitWrites{0};
+    std::atomic<uint64_t> NumCachePathHits{0};
+    std::atomic<uint64_t> NumCacheEvictions{0};
+    std::atomic<uint64_t> NumLockSnapshots{0};
   };
 
   /// Shadow slot per tracked address: the (possibly shared) global
-  /// metadata and a first-touch flag for the unique-location count.
+  /// metadata. First-touch accounting lives in GlobalMetadata::Counted,
+  /// taken under the per-location lock — no extra per-access atomic here.
   struct ShadowSlot {
     std::atomic<GlobalMetadata *> Meta{nullptr};
-    std::atomic<uint8_t> Accessed{0};
   };
 
-  TaskState &stateFor(TaskId Task);
+  /// Hot-path task lookup; header-inline so onAccess stays call-free until
+  /// the slow path.
+  TaskState &stateFor(TaskId Task) {
+    std::atomic<TaskState *> *Slot = Tasks.lookup(Task);
+    assert(Slot && "event for a task that was never spawned");
+    TaskState *State = Slot->load(std::memory_order_acquire);
+    assert(State && "event for a task that was never spawned");
+    return *State;
+  }
+
   TaskState &createState(TaskId Task);
   GlobalMetadata &metadataFor(MemAddr Addr, ShadowSlot &Slot);
 
@@ -189,7 +235,78 @@ private:
   /// can logically execute in parallel.
   bool par(NodeId Entry, NodeId Si);
 
-  void onAccess(TaskId Task, MemAddr Addr, AccessKind Kind);
+  /// The per-access hot path, header-inline: resolve the current step from
+  /// the task frame's cache (refreshed by the builder on task-management
+  /// events), bump a plain counter, and probe the access-path cache. A
+  /// verdict hit returns here; everything else is a single out-of-line
+  /// call.
+  AVC_ALWAYS_INLINE void onAccess(TaskId Task, MemAddr Addr,
+                                  AccessKind Kind) {
+    TaskState &State = stateFor(Task);
+    NodeId Si = State.Frame.currentStepOrInvalid();
+    if (AVC_UNLIKELY(Si == InvalidNodeId))
+      Si = Builder.currentStep(State.Frame);
+
+    if (Kind == AccessKind::Read)
+      ++State.NumReads;
+    else
+      ++State.NumWrites;
+
+    if (AVC_LIKELY(State.Cache.enabled())) {
+      CacheT::Entry &E = State.Cache.entryFor(Addr);
+      if (AVC_LIKELY(E.Addr == Addr && E.Gen == State.Cache.generation())) {
+        if (E.Step == Si && E.Epoch == State.CacheEpoch &&
+            (E.Bits & CacheT::bitFor(Kind)) != 0) {
+          // Verdict tier: a previous slow-path trip proved this access
+          // redundant — no shadow walk, no snapshot, no location lock.
+          if (Kind == AccessKind::Read)
+            ++State.NumCacheHitReads;
+          else
+            ++State.NumCacheHitWrites;
+          return;
+        }
+        if (AVC_LIKELY(E.MapGen == State.Local.generation())) {
+          // Path tier: the memoized pointers are still valid; skip the
+          // radix walk and the local-map probe. The redundancy proofs are
+          // worth computing only when the previous touch was by this same
+          // step and epoch — only then can a verdict stamped now be served
+          // to a further repeat; cross-step re-touches (the kmeans
+          // profile) would pay for proofs that expire before use.
+          ++State.NumCachePathHits;
+          accessResolved(State, Addr, *E.Meta, *E.Local, Si, Kind,
+                         /*ComputeVerdicts=*/E.Step == Si &&
+                             E.Epoch == State.CacheEpoch);
+          return;
+        }
+      }
+    }
+    accessMiss(State, Addr, Si, Kind);
+  }
+
+  /// Cache miss (or cache disabled): resolve the full access path — shadow
+  /// radix walk, metadata materialization, local-map probe — then hand off
+  /// to accessResolved.
+  void accessMiss(TaskState &State, MemAddr Addr, NodeId Si,
+                  AccessKind Kind);
+
+  /// The common slow path with the access path in hand: stale-buffer
+  /// invalidation, the Figure 6 dispatch under the location lock, and the
+  /// cache re-stamp. Verdict proofs are lazy: a first touch of a slot
+  /// (\p ComputeVerdicts false) stamps the resolved pointers only — most
+  /// addresses are never re-touched in the same step window, so running
+  /// the proofs there is pure overhead. A path-tier re-touch passes true
+  /// and pays for the proofs, which then serve every further repeat from
+  /// the verdict tier.
+  void accessResolved(TaskState &State, MemAddr Addr, GlobalMetadata &GS,
+                      LocalLoc &LS, NodeId Si, AccessKind Kind,
+                      bool ComputeVerdicts);
+
+  /// The task's current lockset, re-snapshotted only when Locks.version()
+  /// moved since the cached view was taken.
+  const LockSet &heldLockView(TaskState &State);
+
+  /// Folds a finished task's plain counters into Totals and zeroes them.
+  void flushCounters(TaskState &State);
 
   /// Redundancy proofs for the access filter, evaluated under GS.Lock after
   /// an access was handled: true iff a further access of that kind by step
@@ -240,9 +357,15 @@ private:
 
   ShadowMemory<ShadowSlot> Shadow;
   ChunkedVector<GlobalMetadata> MetaPool;
+  /// Recycled access-cache tables: a task's table is acquired lazily on
+  /// its first access (tasks that never touch memory pay nothing) and
+  /// returned at task end with its entries left dirty — the table
+  /// generation invalidates them (see AccessCache::Pool).
+  CacheT::Pool CachePool;
 
   RadixTable<std::atomic<TaskState *>> Tasks;
   ChunkedVector<std::unique_ptr<TaskState>> TaskStorage;
+  CounterTotals Totals;
 
   std::atomic<LockToken> NextLockToken{1};
   std::atomic<uint64_t> NumViolatingLocations{0};

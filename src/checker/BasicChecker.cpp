@@ -54,7 +54,15 @@ void BasicChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
 }
 
 void BasicChecker::onTaskEnd(TaskId Task) {
-  Builder.endTask(stateFor(Task).Frame);
+  TaskState &State = stateFor(Task);
+  Builder.endTask(State.Frame);
+  // Fold the task's plain counters into the shared totals (single-owner
+  // invariant: this worker is the only writer of State's counters).
+  Totals.NumReads.fetch_add(State.NumReads, std::memory_order_relaxed);
+  Totals.NumWrites.fetch_add(State.NumWrites, std::memory_order_relaxed);
+  Totals.NumLocations.fetch_add(State.NumLocations,
+                                std::memory_order_relaxed);
+  State.NumReads = State.NumWrites = State.NumLocations = 0;
 }
 
 void BasicChecker::onSync(TaskId Task) { Builder.sync(stateFor(Task).Frame); }
@@ -124,26 +132,30 @@ bool BasicChecker::locationHasViolation(MemAddr Addr) const {
 //===----------------------------------------------------------------------===//
 
 void BasicChecker::onRead(TaskId Task, MemAddr Addr) {
-  NumReads.fetch_add(1, std::memory_order_relaxed);
   onAccess(Task, Addr, AccessKind::Read);
 }
 
 void BasicChecker::onWrite(TaskId Task, MemAddr Addr) {
-  NumWrites.fetch_add(1, std::memory_order_relaxed);
   onAccess(Task, Addr, AccessKind::Write);
 }
 
 void BasicChecker::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
   TaskState &State = stateFor(Task);
+  if (Kind == AccessKind::Read)
+    ++State.NumReads;
+  else
+    ++State.NumWrites;
   NodeId Si = Builder.currentStep(State.Frame);
 
   ShadowSlot &Slot = Shadow.getOrCreate(Addr);
-  if (!Slot.Accessed.exchange(1, std::memory_order_relaxed))
-    NumLocations.fetch_add(1, std::memory_order_relaxed);
   LocationHistory &History = historyFor(Addr, Slot);
 
   LockSet Locks = State.Locks.snapshot();
   std::lock_guard<SpinLock> Guard(History.Lock);
+  if (!History.Counted) {
+    History.Counted = true;
+    ++State.NumLocations;
+  }
   const std::vector<Entry> &Entries = History.Entries;
 
   // Role A3: a prior access P by the current step plus the current access
@@ -203,11 +215,17 @@ void BasicChecker::report(LocationHistory &History, NodeId PatternStep,
 
 CheckerStats BasicChecker::stats() const {
   CheckerStats Stats;
-  Stats.NumLocations = NumLocations.load(std::memory_order_relaxed);
+  Stats.NumLocations = Totals.NumLocations.load(std::memory_order_relaxed);
+  Stats.NumReads = Totals.NumReads.load(std::memory_order_relaxed);
+  Stats.NumWrites = Totals.NumWrites.load(std::memory_order_relaxed);
+  for (size_t I = 0, N = TaskStorage.size(); I < N; ++I) {
+    const TaskState &State = *TaskStorage[I];
+    Stats.NumLocations += State.NumLocations;
+    Stats.NumReads += State.NumReads;
+    Stats.NumWrites += State.NumWrites;
+  }
   Stats.NumDpstNodes = Tree->numNodes();
   Stats.Lca = Oracle->stats();
-  Stats.NumReads = NumReads.load(std::memory_order_relaxed);
-  Stats.NumWrites = NumWrites.load(std::memory_order_relaxed);
   Stats.NumViolations = Log.size();
   Stats.NumViolatingLocations =
       NumViolatingLocations.load(std::memory_order_relaxed);

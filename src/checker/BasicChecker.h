@@ -95,16 +95,30 @@ private:
     std::vector<Entry> Entries;
     MemAddr ReportAddr = 0;
     bool Reported = false;
+    /// Set under Lock when the unique-location statistic counts this
+    /// history (first recorded access; an atomic group counts once).
+    bool Counted = false;
   };
 
+  /// Per-task state. Counters are plain integers under the single-owner
+  /// invariant (see AtomicityChecker::TaskState): folded into Totals at
+  /// task end, exact under quiescence.
   struct TaskState {
     TaskFrame Frame;
     HeldLocks Locks;
+    uint64_t NumReads = 0;
+    uint64_t NumWrites = 0;
+    uint64_t NumLocations = 0;
+  };
+
+  struct CounterTotals {
+    std::atomic<uint64_t> NumReads{0};
+    std::atomic<uint64_t> NumWrites{0};
+    std::atomic<uint64_t> NumLocations{0};
   };
 
   struct ShadowSlot {
     std::atomic<LocationHistory *> History{nullptr};
-    std::atomic<uint8_t> Accessed{0};
   };
 
   TaskState &stateFor(TaskId Task);
@@ -124,11 +138,9 @@ private:
 
   RadixTable<std::atomic<TaskState *>> Tasks;
   ChunkedVector<std::unique_ptr<TaskState>> TaskStorage;
+  CounterTotals Totals;
 
   std::atomic<LockToken> NextLockToken{1};
-  std::atomic<uint64_t> NumLocations{0};
-  std::atomic<uint64_t> NumReads{0};
-  std::atomic<uint64_t> NumWrites{0};
   std::atomic<uint64_t> NumViolatingLocations{0};
   ViolationLog Log;
 };

@@ -34,21 +34,41 @@ struct CheckerStats {
   /// Distinct violations recorded and distinct locations they involve.
   uint64_t NumViolations = 0;
   uint64_t NumViolatingLocations = 0;
-  /// Accesses retired by the per-task redundant-access fast path before
-  /// touching the shadow map or any shared state (included in
-  /// NumReads/NumWrites). Split by kind for workload characterization.
-  uint64_t NumFilterHits = 0;
-  uint64_t NumFilterHitReads = 0;
-  uint64_t NumFilterHitWrites = 0;
-  /// True if the access filter was enabled for the run.
-  bool AccessFilterEnabled = false;
+  /// Accesses retired by the access-path cache's *verdict* tier — provably
+  /// redundant, returned before touching the shadow map or any shared state
+  /// (included in NumReads/NumWrites). Split by kind for characterization.
+  uint64_t NumCacheHits = 0;
+  uint64_t NumCacheHitReads = 0;
+  uint64_t NumCacheHitWrites = 0;
+  /// Slow-path accesses that skipped the shadow radix walk and the local
+  /// map probe because the cache still held valid resolved pointers (the
+  /// *path* tier).
+  uint64_t NumCachePathHits = 0;
+  /// Stamps that displaced a live entry for a different address (the
+  /// direct-mapped collision cost).
+  uint64_t NumCacheEvictions = 0;
+  /// LockSet snapshots actually materialized; every other slow-path access
+  /// reused the version-cached snapshot.
+  uint64_t NumLockSnapshots = 0;
+  /// True if the access-path cache was enabled for the run.
+  bool AccessCacheEnabled = false;
 
-  /// Percentage of tracked accesses answered by the fast path.
-  double filterHitRate() const {
+  /// Percentage of tracked accesses answered by the verdict tier.
+  double cacheHitRate() const {
     uint64_t Total = NumReads + NumWrites;
     if (Total == 0)
       return 0.0;
-    return 100.0 * static_cast<double>(NumFilterHits) /
+    return 100.0 * static_cast<double>(NumCacheHits) /
+           static_cast<double>(Total);
+  }
+
+  /// Percentage of tracked accesses that skipped resolution via the path
+  /// tier (disjoint from cacheHitRate's accesses).
+  double cachePathHitRate() const {
+    uint64_t Total = NumReads + NumWrites;
+    if (Total == 0)
+      return 0.0;
+    return 100.0 * static_cast<double>(NumCachePathHits) /
            static_cast<double>(Total);
   }
 };

@@ -64,7 +64,15 @@ void DeterminismChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
 }
 
 void DeterminismChecker::onTaskEnd(TaskId Task) {
-  Builder.endTask(stateFor(Task).Frame);
+  TaskState &State = stateFor(Task);
+  Builder.endTask(State.Frame);
+  // Fold the task's plain counters into the shared totals (single-owner
+  // invariant: this worker is the only writer of State's counters).
+  Totals.NumReads.fetch_add(State.NumReads, std::memory_order_relaxed);
+  Totals.NumWrites.fetch_add(State.NumWrites, std::memory_order_relaxed);
+  Totals.NumLocations.fetch_add(State.NumLocations,
+                                std::memory_order_relaxed);
+  State.NumReads = State.NumWrites = State.NumLocations = 0;
 }
 
 void DeterminismChecker::onSync(TaskId Task) {
@@ -128,10 +136,18 @@ void DeterminismChecker::onWrite(TaskId Task, MemAddr Addr) {
 void DeterminismChecker::onAccess(TaskId Task, MemAddr Addr,
                                   AccessKind Kind) {
   TaskState &State = stateFor(Task);
+  if (Kind == AccessKind::Read)
+    ++State.NumReads;
+  else
+    ++State.NumWrites;
   NodeId Si = Builder.currentStep(State.Frame);
   LocationState &Loc = locationFor(Addr, Shadow.getOrCreate(Addr));
 
   std::lock_guard<SpinLock> Guard(Loc.Lock);
+  if (!Loc.Counted) {
+    Loc.Counted = true;
+    ++State.NumLocations;
+  }
   // A conflict between logically parallel steps is nondeterministic no
   // matter what synchronization orders it at run time.
   if (Kind == AccessKind::Write) {
@@ -157,4 +173,20 @@ size_t DeterminismChecker::numViolations() const {
 std::vector<DeterminismViolation> DeterminismChecker::violations() const {
   std::lock_guard<SpinLock> Guard(ReportLock);
   return Reports;
+}
+
+DeterminismStats DeterminismChecker::stats() const {
+  DeterminismStats Stats;
+  Stats.NumLocations = Totals.NumLocations.load(std::memory_order_relaxed);
+  Stats.NumReads = Totals.NumReads.load(std::memory_order_relaxed);
+  Stats.NumWrites = Totals.NumWrites.load(std::memory_order_relaxed);
+  for (size_t I = 0, N = TaskStorage.size(); I < N; ++I) {
+    const TaskState &State = *TaskStorage[I];
+    Stats.NumLocations += State.NumLocations;
+    Stats.NumReads += State.NumReads;
+    Stats.NumWrites += State.NumWrites;
+  }
+  Stats.NumDpstNodes = Tree->numNodes();
+  Stats.NumViolations = numViolations();
+  return Stats;
 }

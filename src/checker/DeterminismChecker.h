@@ -62,6 +62,16 @@ struct DeterminismViolation {
   std::string toString() const;
 };
 
+/// Statistics of a determinism-checking run (mirrors RaceStats so all four
+/// tools report a uniform counter surface).
+struct DeterminismStats {
+  uint64_t NumLocations = 0;
+  uint64_t NumReads = 0;
+  uint64_t NumWrites = 0;
+  uint64_t NumViolations = 0;
+  uint64_t NumDpstNodes = 0;
+};
+
 /// Tardis-style internal-determinism checker over the DPST.
 class DeterminismChecker : public ExecutionObserver {
 public:
@@ -90,6 +100,7 @@ public:
 
   size_t numViolations() const;
   std::vector<DeterminismViolation> violations() const;
+  DeterminismStats stats() const;
   const Dpst &dpst() const { return *Tree; }
 
 private:
@@ -100,10 +111,25 @@ private:
     NodeId W1 = InvalidNodeId;
     NodeId W2 = InvalidNodeId;
     MemAddr ReportAddr = 0;
+    /// Set under Lock when the unique-location statistic counts this
+    /// location (first recorded access).
+    bool Counted = false;
   };
 
+  /// Per-task state. Counters are plain integers under the single-owner
+  /// invariant (see AtomicityChecker::TaskState): folded into Totals at
+  /// task end, exact under quiescence.
   struct TaskState {
     TaskFrame Frame;
+    uint64_t NumReads = 0;
+    uint64_t NumWrites = 0;
+    uint64_t NumLocations = 0;
+  };
+
+  struct CounterTotals {
+    std::atomic<uint64_t> NumReads{0};
+    std::atomic<uint64_t> NumWrites{0};
+    std::atomic<uint64_t> NumLocations{0};
   };
 
   struct ShadowSlot {
@@ -128,6 +154,7 @@ private:
 
   RadixTable<std::atomic<TaskState *>> Tasks;
   ChunkedVector<std::unique_ptr<TaskState>> TaskStorage;
+  CounterTotals Totals;
 
   mutable SpinLock ReportLock;
   std::vector<DeterminismViolation> Reports;

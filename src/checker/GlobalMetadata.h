@@ -73,6 +73,11 @@ struct GlobalMetadata {
   /// private metadata from another group's (which must not be split).
   bool Grouped = false;
 
+  /// True once the unique-location statistic counted this instance; set
+  /// under Lock on the first recorded access, replacing the former
+  /// per-slot atomic first-touch flag (an atomic group counts once).
+  bool Counted = false;
+
   /// True if no access has been recorded yet (GS(l) == 0 in Figure 6).
   /// Every recorded access updates R1/W1 first, so testing the primary
   /// slots suffices.

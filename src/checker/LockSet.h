@@ -80,6 +80,7 @@ public:
   /// Records the acquisition of \p Lock with the fresh token \p Token.
   void acquire(LockId Lock, LockToken Token) {
     Held.push_back({Lock, Token});
+    ++Version;
   }
 
   /// Records the release of \p Lock (the most recent acquisition wins, so
@@ -88,11 +89,18 @@ public:
     for (auto I = Held.rbegin(), E = Held.rend(); I != E; ++I) {
       if (I->first == Lock) {
         Held.erase(std::next(I).base());
+        ++Version;
         return;
       }
     }
     assert(false && "release of a lock that is not held");
   }
+
+  /// Monotonic mutation counter: bumped on every acquire and release. A
+  /// snapshot taken at version V stays exact while version() == V, so the
+  /// checker re-snapshots only when the held set actually changed — the
+  /// common no-locks case degenerates to one integer compare per access.
+  uint32_t version() const { return Version; }
 
   /// Snapshots the currently held tokens (versioned names; two snapshots
   /// share a token iff taken inside the same critical-section instance).
@@ -119,6 +127,7 @@ public:
 
 private:
   std::vector<std::pair<LockId, LockToken>> Held;
+  uint32_t Version = 0;
 };
 
 } // namespace avc

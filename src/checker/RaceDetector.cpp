@@ -68,7 +68,15 @@ void RaceDetector::onTaskSpawn(TaskId Parent, const void *GroupTag,
 }
 
 void RaceDetector::onTaskEnd(TaskId Task) {
-  Builder.endTask(stateFor(Task).Frame);
+  TaskState &State = stateFor(Task);
+  Builder.endTask(State.Frame);
+  // Fold the task's plain counters into the shared totals (single-owner
+  // invariant: this worker is the only writer of State's counters).
+  Totals.NumReads.fetch_add(State.NumReads, std::memory_order_relaxed);
+  Totals.NumWrites.fetch_add(State.NumWrites, std::memory_order_relaxed);
+  Totals.NumLocations.fetch_add(State.NumLocations,
+                                std::memory_order_relaxed);
+  State.NumReads = State.NumWrites = State.NumLocations = 0;
 }
 
 void RaceDetector::onSync(TaskId Task) {
@@ -141,25 +149,29 @@ void RaceDetector::report(LocationState &Loc, NodeId Prior,
 }
 
 void RaceDetector::onRead(TaskId Task, MemAddr Addr) {
-  NumReads.fetch_add(1, std::memory_order_relaxed);
   onAccess(Task, Addr, AccessKind::Read);
 }
 
 void RaceDetector::onWrite(TaskId Task, MemAddr Addr) {
-  NumWrites.fetch_add(1, std::memory_order_relaxed);
   onAccess(Task, Addr, AccessKind::Write);
 }
 
 void RaceDetector::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
   TaskState &State = stateFor(Task);
+  if (Kind == AccessKind::Read)
+    ++State.NumReads;
+  else
+    ++State.NumWrites;
   NodeId Si = Builder.currentStep(State.Frame);
   ShadowSlot &Slot = Shadow.getOrCreate(Addr);
-  if (!Slot.Accessed.exchange(1, std::memory_order_relaxed))
-    NumLocations.fetch_add(1, std::memory_order_relaxed);
   LocationState &Loc = locationFor(Addr, Slot);
   LockSet Held = State.Locks.snapshotIds();
 
   std::lock_guard<SpinLock> Guard(Loc.Lock);
+  if (!Loc.Counted) {
+    Loc.Counted = true;
+    ++State.NumLocations;
+  }
 
   // Check against every record whose lockset shares no lock with ours: a
   // logically parallel conflicting access there is a race. (Records with a
@@ -213,9 +225,17 @@ std::vector<Race> RaceDetector::races() const {
 
 RaceStats RaceDetector::stats() const {
   RaceStats Stats;
-  Stats.NumLocations = NumLocations.load(std::memory_order_relaxed);
-  Stats.NumReads = NumReads.load(std::memory_order_relaxed);
-  Stats.NumWrites = NumWrites.load(std::memory_order_relaxed);
+  Stats.NumLocations = Totals.NumLocations.load(std::memory_order_relaxed);
+  Stats.NumReads = Totals.NumReads.load(std::memory_order_relaxed);
+  Stats.NumWrites = Totals.NumWrites.load(std::memory_order_relaxed);
+  // Tasks that never ended still hold their counters (exact under
+  // quiescence; ended tasks folded and zeroed theirs).
+  for (size_t I = 0, N = TaskStorage.size(); I < N; ++I) {
+    const TaskState &State = *TaskStorage[I];
+    Stats.NumLocations += State.NumLocations;
+    Stats.NumReads += State.NumReads;
+    Stats.NumWrites += State.NumWrites;
+  }
   Stats.NumDpstNodes = Tree->numNodes();
   Stats.Lca = Oracle->stats();
   {

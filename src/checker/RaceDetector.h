@@ -121,16 +121,32 @@ private:
     SpinLock Lock;
     std::vector<LocksetRecord> Records; ///< one per distinct lockset
     MemAddr ReportAddr = 0;
+    /// Set under Lock when the unique-location statistic counts this
+    /// location (first recorded access); replaces the per-slot atomic
+    /// first-touch flag.
+    bool Counted = false;
   };
 
+  /// Per-task state. The counters are plain integers under the same
+  /// single-owner invariant as the atomicity checker's: a task runs on one
+  /// worker at a time, onTaskEnd folds them into the atomic Totals, and
+  /// stats() is exact under quiescence.
   struct TaskState {
     TaskFrame Frame;
     HeldLocks Locks;
+    uint64_t NumReads = 0;
+    uint64_t NumWrites = 0;
+    uint64_t NumLocations = 0;
+  };
+
+  struct CounterTotals {
+    std::atomic<uint64_t> NumReads{0};
+    std::atomic<uint64_t> NumWrites{0};
+    std::atomic<uint64_t> NumLocations{0};
   };
 
   struct ShadowSlot {
     std::atomic<LocationState *> Loc{nullptr};
-    std::atomic<uint8_t> Accessed{0};
   };
 
   TaskState &stateFor(TaskId Task);
@@ -152,10 +168,7 @@ private:
 
   RadixTable<std::atomic<TaskState *>> Tasks;
   ChunkedVector<std::unique_ptr<TaskState>> TaskStorage;
-
-  std::atomic<uint64_t> NumLocations{0};
-  std::atomic<uint64_t> NumReads{0};
-  std::atomic<uint64_t> NumWrites{0};
+  CounterTotals Totals;
 
   mutable SpinLock RaceLock;
   std::vector<Race> Races;

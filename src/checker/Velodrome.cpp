@@ -48,7 +48,13 @@ void VelodromeChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
 }
 
 void VelodromeChecker::onTaskEnd(TaskId Task) {
-  Builder.endTask(stateFor(Task).Frame);
+  TaskState &State = stateFor(Task);
+  Builder.endTask(State.Frame);
+  // Fold the task's plain counters into the shared totals (single-owner
+  // invariant: this worker is the only writer of State's counters).
+  Totals.NumReads.fetch_add(State.NumReads, std::memory_order_relaxed);
+  Totals.NumWrites.fetch_add(State.NumWrites, std::memory_order_relaxed);
+  State.NumReads = State.NumWrites = 0;
 }
 
 void VelodromeChecker::onSync(TaskId Task) {
@@ -115,17 +121,19 @@ void VelodromeChecker::addEdge(NodeId From, NodeId To, MemAddr Addr) {
 }
 
 void VelodromeChecker::onRead(TaskId Task, MemAddr Addr) {
-  NumReads.fetch_add(1, std::memory_order_relaxed);
   onAccess(Task, Addr, /*IsWrite=*/false);
 }
 
 void VelodromeChecker::onWrite(TaskId Task, MemAddr Addr) {
-  NumWrites.fetch_add(1, std::memory_order_relaxed);
   onAccess(Task, Addr, /*IsWrite=*/true);
 }
 
 void VelodromeChecker::onAccess(TaskId Task, MemAddr Addr, bool IsWrite) {
   TaskState &State = stateFor(Task);
+  if (IsWrite)
+    ++State.NumWrites;
+  else
+    ++State.NumReads;
   NodeId Txn = Builder.currentStep(State.Frame);
   VeloLoc &Loc = locFor(Shadow.getOrCreate(Addr));
 
@@ -153,8 +161,13 @@ void VelodromeChecker::onAccess(TaskId Task, MemAddr Addr, bool IsWrite) {
 
 VelodromeStats VelodromeChecker::stats() const {
   VelodromeStats Stats;
-  Stats.NumReads = NumReads.load(std::memory_order_relaxed);
-  Stats.NumWrites = NumWrites.load(std::memory_order_relaxed);
+  Stats.NumReads = Totals.NumReads.load(std::memory_order_relaxed);
+  Stats.NumWrites = Totals.NumWrites.load(std::memory_order_relaxed);
+  for (size_t I = 0, N = TaskStorage.size(); I < N; ++I) {
+    const TaskState &State = *TaskStorage[I];
+    Stats.NumReads += State.NumReads;
+    Stats.NumWrites += State.NumWrites;
+  }
   std::lock_guard<SpinLock> Guard(GraphLock);
   Stats.NumEdges = EdgeSet.size();
   Stats.NumCycles = NumCyclesTotal;

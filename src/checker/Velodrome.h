@@ -93,8 +93,18 @@ private:
     std::atomic<VeloLoc *> Loc{nullptr};
   };
 
+  /// Per-task state. Counters are plain integers under the single-owner
+  /// invariant (see AtomicityChecker::TaskState): folded into Totals at
+  /// task end, exact under quiescence.
   struct TaskState {
     TaskFrame Frame;
+    uint64_t NumReads = 0;
+    uint64_t NumWrites = 0;
+  };
+
+  struct CounterTotals {
+    std::atomic<uint64_t> NumReads{0};
+    std::atomic<uint64_t> NumWrites{0};
   };
 
   TaskState &stateFor(TaskId Task);
@@ -126,8 +136,7 @@ private:
   std::vector<VelodromeCycle> Cycles;
   uint64_t NumCyclesTotal = 0;
 
-  std::atomic<uint64_t> NumReads{0};
-  std::atomic<uint64_t> NumWrites{0};
+  CounterTotals Totals;
 };
 
 } // namespace avc

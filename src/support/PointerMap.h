@@ -52,6 +52,12 @@ public:
   size_t size() const { return Count; }
   bool empty() const { return Count == 0; }
 
+  /// Storage generation: bumped whenever value references may have been
+  /// invalidated (a rehashing grow() or a clear()). Callers that memoize
+  /// `&map[key]` (the checker's access-path cache) compare generations
+  /// instead of re-probing; a stale generation costs one re-lookup.
+  uint32_t generation() const { return Gen; }
+
   /// Drops all entries (keeps the table storage).
   void clear() {
     for (Slot &S : Slots) {
@@ -59,6 +65,7 @@ public:
       S.Value = ValueT();
     }
     Count = 0;
+    ++Gen;
   }
 
 private:
@@ -84,6 +91,7 @@ private:
   }
 
   void grow() {
+    ++Gen; // every value reference moves
     std::vector<Slot> Old = std::move(Slots);
     Slots.clear();
     Slots.resize(Old.size() * 2);
@@ -99,6 +107,7 @@ private:
 
   std::vector<Slot> Slots;
   size_t Count = 0;
+  uint32_t Gen = 0;
 };
 
 } // namespace avc

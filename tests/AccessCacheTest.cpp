@@ -1,0 +1,600 @@
+//===- tests/AccessCacheTest.cpp - Per-task access-path cache -------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The per-task access-path cache (AccessCache.h): unit tests for the
+/// direct-mapped table itself (two-tier probe fields, the claim() aging
+/// policy, pooled-table generation invalidation, deliberate slot
+/// collisions), checker-level tests pinning down exactly which accesses
+/// take the verdict tier (and that step changes and lock releases
+/// invalidate recorded verdicts while acquires do not), the
+/// version-cached lockset snapshot, PointerMap-growth invalidation of the
+/// path tier, a randomized equivalence matrix proving the cache never
+/// changes detection verdicts at any slot count, and a multi-threaded live
+/// regression covering concurrent first accesses with the cache active.
+///
+//===----------------------------------------------------------------------===//
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checker/AccessCache.h"
+#include "instrument/ToolContext.h"
+#include "support/PointerMap.h"
+#include "trace/TraceGenerator.h"
+#include "CheckerTestUtil.h"
+
+using namespace avc;
+
+namespace {
+
+constexpr MemAddr X = 0x1000;
+constexpr MemAddr Y = 0x2000;
+constexpr LockId L1 = 1;
+
+/// Concrete instantiation for the unit tests; the metadata types only have
+/// to be distinct pointer targets.
+struct FakeGlobal {
+  int Tag = 0;
+};
+struct FakeLocal {
+  int Tag = 0;
+};
+using TestCache = AccessCache<FakeGlobal, FakeLocal>;
+
+/// Finds an address != Addr that maps to the same direct-mapped slot.
+MemAddr collidingAddress(const TestCache &Cache, MemAddr Addr) {
+  size_t Want = Cache.slotIndexFor(Addr);
+  for (MemAddr Candidate = Addr + 8;; Candidate += 8)
+    if (Cache.slotIndexFor(Candidate) == Want)
+      return Candidate;
+}
+
+//===----------------------------------------------------------------------===//
+// AccessCache unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(AccessCache, InitRoundsUpAndDisables) {
+  TestCache Cache;
+  EXPECT_FALSE(Cache.enabled());
+  EXPECT_EQ(Cache.numSlots(), 0u);
+
+  Cache.init(3);
+  EXPECT_TRUE(Cache.enabled());
+  EXPECT_EQ(Cache.numSlots(), 4u); // next power of two
+
+  Cache.init(256);
+  EXPECT_EQ(Cache.numSlots(), 256u);
+
+  Cache.init(0); // 0 disables
+  EXPECT_FALSE(Cache.enabled());
+  EXPECT_EQ(Cache.numSlots(), 0u);
+}
+
+TEST(AccessCache, StampRecordsBothTiers) {
+  TestCache Cache;
+  Cache.init(16);
+  FakeGlobal Meta;
+  FakeLocal Local;
+
+  EXPECT_FALSE(Cache.stamp(X, &Meta, &Local, /*Step=*/5, /*Epoch=*/3,
+                           /*MapGen=*/7, /*ReadRedundant=*/true,
+                           /*WriteRedundant=*/false));
+  TestCache::Entry &E = Cache.entryFor(X);
+  EXPECT_EQ(E.Addr, X);
+  EXPECT_EQ(E.Meta, &Meta);
+  EXPECT_EQ(E.Local, &Local);
+  EXPECT_EQ(E.Step, 5u);
+  EXPECT_EQ(E.Epoch, 3u);
+  EXPECT_EQ(E.MapGen, 7u);
+  EXPECT_EQ(E.Bits, TestCache::ReadBit);
+
+  // The later verdict overwrites the earlier one wholesale.
+  Cache.stamp(X, &Meta, &Local, 5, 3, 7, false, true);
+  EXPECT_EQ(Cache.entryFor(X).Bits, TestCache::WriteBit);
+  Cache.stamp(X, &Meta, &Local, 5, 3, 7, true, true);
+  EXPECT_EQ(Cache.entryFor(X).Bits, TestCache::ReadBit | TestCache::WriteBit);
+}
+
+TEST(AccessCache, AlwaysStampEvictsCollidingNeighbor) {
+  TestCache Cache;
+  Cache.init(4);
+  FakeGlobal Meta;
+  FakeLocal Local;
+  MemAddr Other = collidingAddress(Cache, X);
+  ASSERT_EQ(Cache.slotIndexFor(X), Cache.slotIndexFor(Other));
+
+  Cache.stamp(X, &Meta, &Local, 5, 0, 0, true, true);
+  // stamp() (the path-tier upgrade) takes the slot unconditionally — a
+  // no-verdict stamp still keeps the resolved pointers — and reports the
+  // displaced live neighbor as an eviction.
+  EXPECT_TRUE(Cache.stamp(Other, &Meta, &Local, 5, 0, 0, false, false));
+  EXPECT_EQ(Cache.entryFor(X).Addr, Other);
+  // Re-stamping the same address is not an eviction.
+  EXPECT_FALSE(Cache.stamp(Other, &Meta, &Local, 6, 0, 0, false, false));
+}
+
+TEST(AccessCache, ClaimAgesLiveConflicts) {
+  TestCache Cache;
+  Cache.init(4);
+  FakeGlobal Meta;
+  FakeLocal Local;
+  MemAddr Other = collidingAddress(Cache, X);
+
+  // First touch of an empty slot is stored immediately, with no verdicts
+  // and no eviction.
+  EXPECT_FALSE(Cache.claim(X, &Meta, &Local, 5, 0, 0));
+  EXPECT_EQ(Cache.entryFor(X).Addr, X);
+  EXPECT_EQ(Cache.entryFor(X).Bits, 0u);
+
+  // A live conflicting entry survives ClaimPeriod-1 claim attempts (a
+  // streaming neighbor must not dirty the line per access)...
+  for (uint32_t I = 1; I < TestCache::ClaimPeriod; ++I) {
+    EXPECT_FALSE(Cache.claim(Other, &Meta, &Local, 5, 0, 0));
+    EXPECT_EQ(Cache.entryFor(X).Addr, X) << "conflict " << I;
+  }
+  // ...and the ClaimPeriod-th displaces it: an eviction.
+  EXPECT_TRUE(Cache.claim(Other, &Meta, &Local, 5, 0, 0));
+  EXPECT_EQ(Cache.entryFor(X).Addr, Other);
+
+  // Re-claiming the resident address refreshes it at once, no eviction.
+  EXPECT_FALSE(Cache.claim(Other, &Meta, &Local, 6, 0, 0));
+  EXPECT_EQ(Cache.entryFor(X).Step, 6u);
+}
+
+TEST(AccessCache, ClaimReplacesStaleEntryImmediately) {
+  TestCache Cache;
+  Cache.init(4);
+  FakeGlobal Meta;
+  FakeLocal Local;
+  MemAddr Other = collidingAddress(Cache, X);
+
+  // An entry whose MapGen no longer matches is dead weight: the newcomer
+  // takes the slot without waiting out the aging tick, and it does not
+  // count as an eviction.
+  Cache.stamp(X, &Meta, &Local, 5, 0, /*MapGen=*/1, true, true);
+  EXPECT_FALSE(Cache.claim(Other, &Meta, &Local, 5, 0, /*MapGen=*/2));
+  EXPECT_EQ(Cache.entryFor(X).Addr, Other);
+}
+
+TEST(AccessCache, PoolReuseInvalidatesWithoutClearing) {
+  TestCache::Pool Pool;
+  FakeGlobal Meta;
+  FakeLocal Local;
+
+  TestCache Cache;
+  Cache.acquire(Pool, 8);
+  ASSERT_TRUE(Cache.enabled());
+  uint32_t Gen0 = Cache.generation();
+  Cache.stamp(X, &Meta, &Local, 5, 0, 0, true, true);
+  EXPECT_EQ(Cache.entryFor(X).Gen, Gen0);
+  Cache.release(Pool);
+  EXPECT_FALSE(Cache.enabled());
+
+  // The next owner gets the same dirty table back with a bumped
+  // generation: the stale entry is physically present but can never
+  // satisfy a probe, and displacing it is not an eviction.
+  TestCache Next;
+  Next.acquire(Pool, 8);
+  ASSERT_TRUE(Next.enabled());
+  EXPECT_NE(Next.generation(), Gen0);
+  EXPECT_EQ(Next.entryFor(X).Addr, X);
+  EXPECT_NE(Next.entryFor(X).Gen, Next.generation());
+  EXPECT_FALSE(Next.stamp(collidingAddress(Next, X), &Meta, &Local, 6, 0, 0,
+                          false, false));
+  Next.release(Pool);
+}
+
+TEST(AccessCache, ClearAndReleaseDropEntries) {
+  TestCache Cache;
+  Cache.init(8);
+  FakeGlobal Meta;
+  FakeLocal Local;
+  Cache.stamp(X, &Meta, &Local, 5, 0, 0, true, true);
+  Cache.stamp(Y, &Meta, &Local, 5, 0, 0, true, true);
+
+  Cache.clear();
+  EXPECT_TRUE(Cache.enabled());
+  EXPECT_EQ(Cache.entryFor(X).Addr, 0u);
+  EXPECT_EQ(Cache.entryFor(Y).Addr, 0u);
+
+  Cache.releaseStorage();
+  EXPECT_FALSE(Cache.enabled());
+}
+
+//===----------------------------------------------------------------------===//
+// Checker-level verdict-tier behavior
+//===----------------------------------------------------------------------===//
+
+/// Unlocked repeated accesses: the second access of a kind forms and
+/// promotes the same-step pattern (RR/WW), after which further accesses of
+/// that kind are provably redundant. 5 writes then 5 reads by one step:
+/// writes 3-5 and reads 3-5 take the verdict tier; write 2 and reads 1-2
+/// miss the verdict but reuse the resolved pointers (path tier).
+TEST(CheckerFastPath, RepeatedAccessesHitOncePatternPromoted) {
+  TraceBuilder T;
+  for (int I = 0; I < 5; ++I)
+    T.write(0, X);
+  for (int I = 0; I < 5; ++I)
+    T.read(0, X);
+  T.end(0);
+
+  auto Checker = runOptimized(T);
+  CheckerStats Stats = Checker->stats();
+  EXPECT_TRUE(Stats.AccessCacheEnabled);
+  EXPECT_EQ(Stats.NumWrites, 5u); // cached accesses still count
+  EXPECT_EQ(Stats.NumReads, 5u);
+  EXPECT_EQ(Stats.NumLocations, 1u);
+  EXPECT_EQ(Stats.NumCacheHitWrites, 3u);
+  EXPECT_EQ(Stats.NumCacheHitReads, 3u);
+  EXPECT_EQ(Stats.NumCacheHits, 6u);
+  EXPECT_EQ(Stats.NumCachePathHits, 3u); // write 2, reads 1-2
+  EXPECT_EQ(Stats.NumCacheEvictions, 0u);
+  EXPECT_DOUBLE_EQ(Stats.cacheHitRate(), 60.0);
+  EXPECT_TRUE(Checker->violations().empty());
+}
+
+/// With the cache disabled every access walks the full slow path and the
+/// hit counters stay zero, but the access counters are identical.
+TEST(CheckerFastPath, DisabledCacheCountsNoHits) {
+  TraceBuilder T;
+  for (int I = 0; I < 5; ++I)
+    T.write(0, X);
+  T.end(0);
+
+  AtomicityChecker::Options Opts;
+  Opts.EnableAccessCache = false;
+  auto Checker = runOptimized(T, Opts);
+  CheckerStats Stats = Checker->stats();
+  EXPECT_FALSE(Stats.AccessCacheEnabled);
+  EXPECT_EQ(Stats.NumWrites, 5u);
+  EXPECT_EQ(Stats.NumCacheHits, 0u);
+  EXPECT_EQ(Stats.NumCachePathHits, 0u);
+  EXPECT_DOUBLE_EQ(Stats.cacheHitRate(), 0.0);
+}
+
+/// Inside one critical section a repeated access is redundant (the interim
+/// and current locksets share the acquire token, so no pattern can form
+/// between them). Write 1 claims the slot with no verdicts (proofs are
+/// lazy), write 2 re-touches via the path tier and proves redundancy, and
+/// writes 3-5 take the verdict tier.
+TEST(CheckerFastPath, LockedRepeatsRedundantImmediately) {
+  TraceBuilder T;
+  T.acq(0, L1);
+  for (int I = 0; I < 5; ++I)
+    T.write(0, X);
+  T.rel(0, L1).end(0);
+
+  CheckerStats Stats = runOptimized(T)->stats();
+  EXPECT_EQ(Stats.NumWrites, 5u);
+  EXPECT_EQ(Stats.NumCacheHitWrites, 3u);
+  EXPECT_EQ(Stats.NumCachePathHits, 1u); // write 2
+}
+
+/// A sync starts a new step node; verdicts recorded for the previous step
+/// must not match. Three writes before and after a sync: only the third
+/// write of each step takes the verdict tier, but the stale-step probe
+/// still reuses the resolved pointers.
+TEST(CheckerFastPath, StepChangeForcesSlowPath) {
+  TraceBuilder T;
+  T.write(0, X).write(0, X).write(0, X);
+  T.sync(0);
+  T.write(0, X).write(0, X).write(0, X);
+  T.end(0);
+
+  CheckerStats Stats = runOptimized(T)->stats();
+  EXPECT_EQ(Stats.NumWrites, 6u);
+  EXPECT_EQ(Stats.NumCacheHitWrites, 2u);
+  EXPECT_EQ(Stats.NumCachePathHits, 3u); // writes 2, 4, 5
+}
+
+/// Releasing a lock bumps the task's cache epoch: the write after rel()
+/// must take the slow path (its lockset is now disjoint from the interim
+/// write's, forming the WW pattern a parallel reader then violates). With
+/// a stale cached verdict the pattern would never form and the violation
+/// would be lost.
+TEST(CheckerFastPath, LockReleaseInvalidatesAndPatternStillForms) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.acq(1, L1).write(1, X).write(1, X).write(1, X).rel(1, L1).write(1, X);
+  T.read(2, X);
+  T.end(1).end(2).sync(0).end(0);
+
+  auto Checker = runOptimized(T);
+  CheckerStats Stats = Checker->stats();
+  // write1 claims, write2 proves redundancy (path tier), write3 hits the
+  // verdict tier; write4's epoch no longer matches (bumped by rel), so it
+  // re-enters the slow path and forms the WW pattern.
+  EXPECT_EQ(Stats.NumCacheHitWrites, 1u);
+  std::set<MemAddr> Found;
+  for (const Violation &V : Checker->violations().snapshot())
+    Found.insert(V.Addr);
+  EXPECT_EQ(Found, std::set<MemAddr>{X}) << "WRW across the release";
+}
+
+/// Acquiring a lock does NOT invalidate: fresh tokens can never intersect
+/// an older interim lockset, so redundancy verdicts survive acquires.
+TEST(CheckerFastPath, LockAcquirePreservesHits) {
+  TraceBuilder T;
+  T.write(0, X).write(0, X).write(0, X); // third write is redundant
+  T.acq(0, L1);
+  T.write(0, X); // still redundant: WW already promoted, acquire is free
+  T.rel(0, L1).end(0);
+
+  CheckerStats Stats = runOptimized(T)->stats();
+  EXPECT_EQ(Stats.NumWrites, 4u);
+  EXPECT_EQ(Stats.NumCacheHitWrites, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Version-cached lockset snapshots
+//===----------------------------------------------------------------------===//
+
+/// The initial empty lockset view is valid without ever materializing a
+/// snapshot (both versions start at zero), and a snapshot is taken only
+/// when the held set actually changed since the last slow-path access —
+/// not once per access.
+TEST(LockSnapshots, OnlyOnVersionChange) {
+  TraceBuilder T;
+  T.write(0, X).write(0, Y).read(0, X); // lock-free: no snapshots at all
+  T.end(0);
+  EXPECT_EQ(runOptimized(T)->stats().NumLockSnapshots, 0u);
+
+  TraceBuilder U;
+  U.write(0, X);      // version 0: initial view, no snapshot
+  U.acq(0, L1);       // version 1
+  U.write(0, X);      // snapshot #1
+  U.write(0, Y);      // same version: no snapshot
+  U.write(0, Y);      // path-tier re-touch, still no snapshot
+  U.rel(0, L1);       // version 2
+  U.write(0, X);      // snapshot #2
+  U.write(0, Y);      // same version: no snapshot
+  U.end(0);
+  EXPECT_EQ(runOptimized(U)->stats().NumLockSnapshots, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Direct-mapped collisions and eviction
+//===----------------------------------------------------------------------===//
+
+/// Two addresses aliasing one slot of a deliberately tiny cache. The
+/// claim() aging policy keeps the first claimant resident — it hits the
+/// verdict tier while the colliding neighbor stays store-free on the slow
+/// path — until the neighbor's ClaimPeriod-th conflict finally displaces
+/// it (counted as an eviction). Detection still matches a spacious run.
+TEST(CheckerCollisions, AliasedSlotThrashesButStaysCorrect) {
+  TestCache Probe;
+  Probe.init(2);
+  TestCache Wide;
+  Wide.init(DefaultAccessCacheSlots);
+  MemAddr A = 0x8000;
+  // Collides with A in the tiny table but not in the default-sized one,
+  // so the spacious control run is collision-free by construction.
+  MemAddr B = collidingAddress(Probe, A);
+  while (Wide.slotIndexFor(B) == Wide.slotIndexFor(A))
+    B = collidingAddress(Probe, B);
+
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  for (int I = 0; I < 8; ++I)
+    T.write(1, A).write(1, B); // alternate: A and B fight over one slot
+  T.read(2, A).read(2, B);
+  T.end(1).end(2).sync(0).end(0);
+
+  AtomicityChecker::Options Tiny;
+  Tiny.AccessCacheSlots = 2;
+  auto Thrashed = runOptimized(T, Tiny);
+  CheckerStats Stats = Thrashed->stats();
+  // A claims the slot, write 2 of A proves WW redundancy (path tier), A's
+  // writes 3-8 hit; B's eight conflicts age the resident entry out on the
+  // last one (B's 8th write — ClaimPeriod = 8).
+  EXPECT_EQ(Stats.NumCacheEvictions, 1u);
+  EXPECT_EQ(Stats.NumCacheHits, 6u);
+
+  // With separate slots both addresses promote and hit from write 3 on,
+  // and nothing is ever displaced.
+  auto Spacious = runOptimized(T);
+  EXPECT_EQ(Spacious->stats().NumCacheEvictions, 0u);
+  EXPECT_EQ(Spacious->stats().NumCacheHits, 12u);
+
+  std::set<MemAddr> ThrashedFound, SpaciousFound;
+  for (const Violation &V : Thrashed->violations().snapshot())
+    ThrashedFound.insert(V.Addr);
+  for (const Violation &V : Spacious->violations().snapshot())
+    SpaciousFound.insert(V.Addr);
+  EXPECT_EQ(ThrashedFound, SpaciousFound);
+  EXPECT_EQ(ThrashedFound, (std::set<MemAddr>{A, B}));
+}
+
+/// Runs of repeated accesses between collisions still earn verdict hits:
+/// eviction only costs the next probe, not the whole run.
+TEST(CheckerCollisions, HitsBetweenEvictions) {
+  TestCache Probe;
+  Probe.init(2);
+  MemAddr A = 0x8000;
+  MemAddr B = collidingAddress(Probe, A);
+
+  TraceBuilder T;
+  for (int Block = 0; Block < 3; ++Block) {
+    for (int I = 0; I < 4; ++I)
+      T.write(0, A);
+    for (int I = 0; I < 4; ++I)
+      T.write(0, B);
+  }
+  T.end(0);
+
+  AtomicityChecker::Options Tiny;
+  Tiny.AccessCacheSlots = 2;
+  CheckerStats Stats = runOptimized(T, Tiny)->stats();
+  // A claims the slot in block 1 (A2 proves WW via the path tier; A3-A4
+  // hit) and stays resident through block 2 (A5-A8 hit: the aging policy
+  // kept B out store-free). B's 8th conflicting claim — its block-2 run —
+  // displaces A: the single eviction. Block 3: A's four conflicts are
+  // waited out, B re-proves on its first re-touch (WW is still promoted
+  // globally) and hits from write 2 of the block on.
+  EXPECT_EQ(Stats.NumCacheEvictions, 1u);
+  EXPECT_EQ(Stats.NumCacheHitWrites, 2u + 4u + 3u);
+  EXPECT_EQ(Stats.NumCachePathHits, 2u); // A's write 2, B's block-3 write 1
+}
+
+//===----------------------------------------------------------------------===//
+// PointerMap growth invalidates the path tier
+//===----------------------------------------------------------------------===//
+
+TEST(PointerMapGeneration, GrowAndClearBumpGeneration) {
+  PointerMap<int *, int> Map;
+  uint32_t Gen = Map.generation();
+  std::vector<int> Keys(256);
+  for (int &K : Keys) {
+    Map[&K] = 1;
+    if (Map.generation() != Gen)
+      break;
+  }
+  EXPECT_NE(Map.generation(), Gen) << "growth must bump the generation";
+  uint32_t Grown = Map.generation();
+  Map.clear();
+  EXPECT_NE(Map.generation(), Grown) << "clear must bump the generation";
+}
+
+/// Touching many fresh locations forces the task's local PointerMap to
+/// rehash, which silently invalidates every memoized LocalLoc*. The stale
+/// entry for the first address must then miss the path tier (MapGen
+/// mismatch) and re-resolve — returning to the first address after the
+/// churn must neither crash nor change verdicts.
+TEST(PointerMapGeneration, GrowthInvalidatesCachedPaths) {
+  TraceBuilder T;
+  T.write(0, X).write(0, X);
+  for (MemAddr Addr = 0x90000; Addr < 0x90000 + 8 * 512; Addr += 8)
+    T.write(0, Addr); // forces PointerMap growth mid-task
+  T.write(0, X).write(0, X).write(0, X);
+  T.end(0);
+
+  auto Checker = runOptimized(T);
+  CheckerStats Stats = Checker->stats();
+  EXPECT_EQ(Stats.NumLocations, 513u); // X plus 512 distinct addresses
+  EXPECT_TRUE(Checker->violations().empty());
+
+  // Same trace, cache off: identical verdicts and counters.
+  AtomicityChecker::Options Off;
+  Off.EnableAccessCache = false;
+  CheckerStats OffStats = runOptimized(T, Off)->stats();
+  EXPECT_EQ(OffStats.NumLocations, Stats.NumLocations);
+  EXPECT_EQ(OffStats.NumWrites, Stats.NumWrites);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized equivalence: the cache never changes detection verdicts
+//===----------------------------------------------------------------------===//
+
+std::set<MemAddr> verdicts(const Trace &Events, bool EnableCache,
+                           unsigned Slots) {
+  AtomicityChecker::Options Opts;
+  Opts.EnableAccessCache = EnableCache;
+  Opts.AccessCacheSlots = Slots;
+  AtomicityChecker Checker(Opts);
+  replayTrace(Events, Checker);
+  std::set<MemAddr> Out;
+  for (const Violation &V : Checker.violations().snapshot())
+    Out.insert(V.Addr);
+  return Out;
+}
+
+class CacheEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheEquivalence, SameViolationsAcrossCacheConfigurations) {
+  uint64_t Seed = GetParam();
+  TraceGenOptions Opts;
+  Opts.Seed = Seed;
+  Opts.NumTasks = 4 + Seed % 12;
+  Opts.NumLocations = 1 + Seed % 4;
+  Opts.NumLocks = Seed % 3;
+  Opts.MinOpsPerTask = 3;
+  Opts.MaxOpsPerTask = 6 + Seed % 10; // long op runs: repeats are common
+  Opts.LockedFraction = (Seed % 5) * 0.2;
+  Opts.SyncFraction = (Seed % 4) * 0.1;
+  GenProgram Program = generateProgram(Opts);
+
+  for (const Trace &Events :
+       {linearizeSerial(Program), linearizeRandom(Program, Seed * 31 + 1)}) {
+    std::set<MemAddr> Reference =
+        verdicts(Events, false, DefaultAccessCacheSlots);
+    // The matrix: default cache, a 2-slot cache (maximal collisions), and
+    // an oversized one must all agree with the uncached reference.
+    EXPECT_EQ(verdicts(Events, true, DefaultAccessCacheSlots), Reference)
+        << "seed " << Seed << " (default slots)";
+    EXPECT_EQ(verdicts(Events, true, 2), Reference)
+        << "seed " << Seed << " (2 slots)";
+    EXPECT_EQ(verdicts(Events, true, 4096), Reference)
+        << "seed " << Seed << " (4096 slots)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheEquivalence,
+                         ::testing::Range<uint64_t>(1, 41),
+                         [](const auto &Info) {
+                           return "seed" + std::to_string(Info.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Multi-threaded live regression: concurrent first accesses + fast path
+//===----------------------------------------------------------------------===//
+
+/// Many parallel tasks perform their first accesses to the same tracked
+/// locations at once — racing metadataFor's install CAS (the loser must
+/// adopt the winner's metadata, not its own dead pool entry) — and then
+/// repeat accesses so the fast path engages while other workers mutate the
+/// same GlobalMetadata. Every location carries a WW pattern and parallel
+/// interleaving writes, so the full violation set must be reported under
+/// every schedule, with the cache on and off.
+TEST(LiveConcurrency, ConcurrentFirstAccessesKeepFullDetection) {
+  constexpr unsigned NumTasks = 16;
+  constexpr unsigned NumLocations = 8;
+  constexpr unsigned Iters = 4; // repeats make the fast path engage
+  constexpr unsigned Threads = 4;
+
+  for (bool Cache : {true, false}) {
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      ToolContext::Options ToolOpts;
+      ToolOpts.Tool = ToolKind::Atomicity;
+      ToolOpts.NumThreads = Threads;
+      ToolOpts.Checker.EnableAccessCache = Cache;
+      ToolContext Tool(ToolOpts);
+
+      TrackedArray<int> Data(NumLocations);
+      Tool.run([&] {
+        for (unsigned T = 0; T < NumTasks; ++T)
+          spawn([&Data] {
+            for (unsigned I = 0; I < Iters; ++I)
+              for (unsigned L = 0; L < NumLocations; ++L) {
+                Data[L].store(1);
+                Data[L].load();
+                Data[L].load();
+                Data[L].store(2);
+              }
+          });
+      });
+
+      std::set<MemAddr> Expected;
+      for (unsigned L = 0; L < NumLocations; ++L)
+        Expected.insert(Data[L].address());
+      std::set<MemAddr> Found;
+      for (const Violation &V :
+           Tool.atomicityChecker()->violations().snapshot())
+        Found.insert(V.Addr);
+      EXPECT_EQ(Found, Expected)
+          << "cache " << (Cache ? "on" : "off") << " rep " << Rep;
+
+      CheckerStats Stats = Tool.atomicityChecker()->stats();
+      EXPECT_EQ(Stats.NumReads, uint64_t(NumTasks) * Iters * NumLocations * 2);
+      EXPECT_EQ(Stats.NumWrites,
+                uint64_t(NumTasks) * Iters * NumLocations * 2);
+      EXPECT_EQ(Stats.NumCacheHits > 0, Cache);
+    }
+  }
+}
+
+} // namespace

@@ -439,16 +439,16 @@ class CleanSuite : public ::testing::TestWithParam<Scenario> {};
 void runScenario(const Scenario &S) {
   TraceBuilder T = S.Build();
 
-  // Every scenario runs under both DPST layouts, with the redundant-access
-  // fast path both on and off, and under all three parallelism-query modes:
+  // Every scenario runs under both DPST layouts, with the access-path
+  // cache both on and off, and under all three parallelism-query modes:
   // none of these knobs may change which locations are reported.
   for (DpstLayout Layout : {DpstLayout::Array, DpstLayout::Linked}) {
-    for (bool Filter : {true, false}) {
+    for (bool Cache : {true, false}) {
       for (QueryMode Query :
            {QueryMode::Walk, QueryMode::Lift, QueryMode::Label}) {
         AtomicityChecker::Options Opts;
         Opts.Layout = Layout;
-        Opts.EnableAccessFilter = Filter;
+        Opts.EnableAccessCache = Cache;
         Opts.Query = Query;
         AtomicityChecker Optimized(Opts);
         if (!S.Group.empty()) {
@@ -467,7 +467,7 @@ void runScenario(const Scenario &S) {
           Expected = {S.Group.front()};
         EXPECT_EQ(Found, Expected)
             << S.Name << " with " << dpstLayoutName(Layout)
-            << " DPST, filter " << (Filter ? "on" : "off") << ", "
+            << " DPST, cache " << (Cache ? "on" : "off") << ", "
             << queryModeName(Query) << " queries";
       }
     }

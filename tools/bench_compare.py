@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark JSON against a committed baseline.
+
+Reads two reports in the repository's {"meta": {...}, "rows": [...]} shape
+(support/JsonReport.h) and fails (exit 1) if the watched metric regressed
+by more than the allowed fraction. Used by the CI bench-regression smoke:
+
+    bench_compare.py BENCH_fig13_overhead.json fresh.json \
+        --key geomean_ours_x --max-regression 0.20
+
+Higher metric values are assumed to be worse (slowdown factors); pass
+--lower-is-better=no for throughput-style metrics.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metric(path, key):
+    with open(path) as f:
+        data = json.load(f)
+    meta = data.get("meta", {})
+    if key not in meta:
+        sys.exit(f"error: {path}: no meta key '{key}' "
+                 f"(has: {', '.join(sorted(meta)) or 'none'})")
+    value = meta[key]
+    if not isinstance(value, (int, float)):
+        sys.exit(f"error: {path}: meta.{key} is not numeric: {value!r}")
+    return float(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly generated JSON")
+    parser.add_argument("--key", default="geomean_ours_x",
+                        help="meta key to compare (default: geomean_ours_x)")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional regression (default: 0.20)")
+    parser.add_argument("--lower-is-better", choices=["yes", "no"],
+                        default="yes",
+                        help="whether smaller metric values are better")
+    args = parser.parse_args()
+
+    baseline = load_metric(args.baseline, args.key)
+    fresh = load_metric(args.fresh, args.key)
+    if baseline <= 0:
+        sys.exit(f"error: baseline {args.key} is non-positive: {baseline}")
+
+    if args.lower_is_better == "yes":
+        change = fresh / baseline - 1.0  # positive = got slower = regression
+    else:
+        change = baseline / fresh - 1.0 if fresh > 0 else float("inf")
+
+    print(f"{args.key}: baseline {baseline:.4g}, fresh {fresh:.4g}, "
+          f"change {change:+.1%} (limit +{args.max_regression:.0%})")
+    if change > args.max_regression:
+        print(f"FAIL: {args.key} regressed beyond the allowed margin",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

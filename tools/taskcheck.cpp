@@ -33,6 +33,7 @@
 #include "checker/Velodrome.h"
 #include "dpst/DpstDot.h"
 #include "instrument/ToolContext.h"
+#include "support/JsonReport.h"
 #include "support/Timing.h"
 #include "trace/TraceGenerator.h"
 #include "trace/TraceIO.h"
@@ -51,7 +52,11 @@ struct CliOptions {
   bool Generate = false;
   bool RandomSchedule = false;
   bool Dot = false;
-  bool NoFilter = false;
+  /// Access-path cache configuration (--access-cache=on|off|<slots>).
+  bool CacheEnabled = true;
+  unsigned CacheSlots = DefaultAccessCacheSlots;
+  /// Machine-readable per-run counters destination (--json=PATH).
+  std::string JsonPath;
   double Scale = 1.0;
   unsigned Threads = 1;
   uint64_t Seed = 1;
@@ -64,9 +69,11 @@ int usage(const char *Prog) {
       stderr,
       "usage: %s [--list]\n"
       "       %s --tool=<t> --workload=<w> [--scale=S] [--threads=N]\n"
-      "           [--no-filter]  disable the redundant-access fast path\n"
+      "           [--access-cache=on|off|<slots>]  per-task access-path "
+      "cache\n"
       "           [--query-mode=walk|lift|label]  parallelism-query "
       "algorithm\n"
+      "           [--json=PATH]  write per-run counters as JSON\n"
       "       %s --tool=<t> --trace=<file> [--dot]\n"
       "       %s --generate [--seed=K] [--tasks=N] [--random-schedule]\n"
       "tools: atomicity (default), basic, velodrome, race, determinism, "
@@ -101,7 +108,27 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         std::fprintf(stderr, "error: unknown query mode '%s'\n", V);
         return false;
       }
-    }
+    } else if (const char *V = Value("--access-cache=")) {
+      if (std::strcmp(V, "on") == 0) {
+        Opts.CacheEnabled = true;
+        Opts.CacheSlots = DefaultAccessCacheSlots;
+      } else if (std::strcmp(V, "off") == 0) {
+        Opts.CacheEnabled = false;
+      } else {
+        char *End = nullptr;
+        unsigned long Slots = std::strtoul(V, &End, 10);
+        if (End == V || *End != '\0' || Slots == 0) {
+          std::fprintf(stderr,
+                       "error: --access-cache wants on, off, or a slot "
+                       "count, got '%s'\n",
+                       V);
+          return false;
+        }
+        Opts.CacheEnabled = true;
+        Opts.CacheSlots = static_cast<unsigned>(Slots);
+      }
+    } else if (const char *V = Value("--json="))
+      Opts.JsonPath = V;
     else if (std::strcmp(Arg, "--list") == 0)
       Opts.List = true;
     else if (std::strcmp(Arg, "--generate") == 0)
@@ -111,7 +138,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     else if (std::strcmp(Arg, "--dot") == 0)
       Opts.Dot = true;
     else if (std::strcmp(Arg, "--no-filter") == 0)
-      Opts.NoFilter = true;
+      Opts.CacheEnabled = false; // deprecated alias for --access-cache=off
     else
       return false;
   }
@@ -179,13 +206,60 @@ void printAtomicityStats(const AtomicityChecker &Checker) {
               static_cast<unsigned long long>(Stats.Lca.NumQueries),
               queryModeName(Stats.Lca.Mode), Stats.Lca.percentCacheHits(),
               static_cast<unsigned long long>(Stats.Lca.NumTrivialSame));
-  if (Stats.AccessFilterEnabled)
-    std::printf("access filter: %llu hits (%llu reads, %llu writes), "
-                "%.1f%% of accesses\n",
-                static_cast<unsigned long long>(Stats.NumFilterHits),
-                static_cast<unsigned long long>(Stats.NumFilterHitReads),
-                static_cast<unsigned long long>(Stats.NumFilterHitWrites),
-                Stats.filterHitRate());
+  if (Stats.AccessCacheEnabled)
+    std::printf("access cache: %llu verdict hits (%llu reads, %llu writes, "
+                "%.1f%% of accesses), %llu path hits (%.1f%%), "
+                "%llu evictions, %llu lockset snapshots\n",
+                static_cast<unsigned long long>(Stats.NumCacheHits),
+                static_cast<unsigned long long>(Stats.NumCacheHitReads),
+                static_cast<unsigned long long>(Stats.NumCacheHitWrites),
+                Stats.cacheHitRate(),
+                static_cast<unsigned long long>(Stats.NumCachePathHits),
+                Stats.cachePathHitRate(),
+                static_cast<unsigned long long>(Stats.NumCacheEvictions),
+                static_cast<unsigned long long>(Stats.NumLockSnapshots));
+}
+
+//===----------------------------------------------------------------------===//
+// Machine-readable per-run counters (--json=PATH)
+//===----------------------------------------------------------------------===//
+
+/// Shared meta block for every taskcheck JSON report.
+void jsonMeta(JsonReport &Report, const CliOptions &Opts, ToolKind Kind,
+              const char *Source) {
+  Report.meta("experiment", "taskcheck");
+  Report.meta("tool", toolKindName(Kind));
+  Report.meta("source", Source);
+  Report.meta("query_mode", queryModeName(Opts.Query));
+  Report.meta("access_cache", Opts.CacheEnabled ? "on" : "off");
+  Report.meta("access_cache_slots",
+              Opts.CacheEnabled ? double(Opts.CacheSlots) : 0.0);
+}
+
+/// One row of CheckerStats counters (atomicity and basic share the type).
+void jsonCheckerRow(JsonReport::Row &Row, const CheckerStats &Stats,
+                    size_t Violations) {
+  Row.field("violations", double(Violations))
+      .field("violating_locations", double(Stats.NumViolatingLocations))
+      .field("locations", double(Stats.NumLocations))
+      .field("reads", double(Stats.NumReads))
+      .field("writes", double(Stats.NumWrites))
+      .field("dpst_nodes", double(Stats.NumDpstNodes))
+      .field("lca_queries", double(Stats.Lca.NumQueries))
+      .field("cache_hits", double(Stats.NumCacheHits))
+      .field("cache_hit_reads", double(Stats.NumCacheHitReads))
+      .field("cache_hit_writes", double(Stats.NumCacheHitWrites))
+      .field("cache_path_hits", double(Stats.NumCachePathHits))
+      .field("cache_evictions", double(Stats.NumCacheEvictions))
+      .field("lockset_snapshots", double(Stats.NumLockSnapshots))
+      .field("cache_hit_pct", Stats.cacheHitRate())
+      .field("cache_path_hit_pct", Stats.cachePathHitRate());
+}
+
+bool writeJsonIfRequested(const CliOptions &Opts, JsonReport &Report) {
+  if (Opts.JsonPath.empty())
+    return true;
+  return Report.write(Opts.JsonPath);
 }
 
 int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
@@ -217,7 +291,8 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
   switch (Kind) {
   case ToolKind::Atomicity: {
     AtomicityChecker::Options CheckerOpts;
-    CheckerOpts.EnableAccessFilter = !Opts.NoFilter;
+    CheckerOpts.EnableAccessCache = Opts.CacheEnabled;
+    CheckerOpts.AccessCacheSlots = Opts.CacheSlots;
     CheckerOpts.Query = Opts.Query;
     AtomicityChecker Checker(CheckerOpts);
     replayTrace(*Events, Checker);
@@ -228,6 +303,12 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     printAtomicityStats(Checker);
     if (Opts.Dot)
       std::printf("\n%s", dpstToDot(Checker.dpst()).c_str());
+    JsonReport Report;
+    jsonMeta(Report, Opts, Kind, "trace");
+    jsonCheckerRow(Report.row(), Checker.stats(),
+                   Checker.violations().size());
+    if (!writeJsonIfRequested(Opts, Report))
+      return 1;
     return Checker.violations().empty() ? 0 : 1;
   }
   case ToolKind::Basic: {
@@ -238,6 +319,12 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     std::printf("[basic] %zu violation(s)\n", Checker.violations().size());
     for (const Violation &V : Checker.violations().snapshot())
       std::printf("  %s\n", V.toString().c_str());
+    JsonReport Report;
+    jsonMeta(Report, Opts, Kind, "trace");
+    jsonCheckerRow(Report.row(), Checker.stats(),
+                   Checker.violations().size());
+    if (!writeJsonIfRequested(Opts, Report))
+      return 1;
     return Checker.violations().empty() ? 0 : 1;
   }
   case ToolKind::Velodrome: {
@@ -245,6 +332,17 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     replayTrace(*Events, Checker);
     std::printf("[velodrome] %zu cycle(s) in the observed trace\n",
                 Checker.numViolations());
+    VelodromeStats Stats = Checker.stats();
+    JsonReport Report;
+    jsonMeta(Report, Opts, Kind, "trace");
+    Report.row()
+        .field("violations", double(Stats.NumCycles))
+        .field("transactions", double(Stats.NumTransactions))
+        .field("edges", double(Stats.NumEdges))
+        .field("reads", double(Stats.NumReads))
+        .field("writes", double(Stats.NumWrites));
+    if (!writeJsonIfRequested(Opts, Report))
+      return 1;
     return Checker.numViolations() == 0 ? 0 : 1;
   }
   case ToolKind::Race: {
@@ -255,6 +353,17 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     std::printf("[race] %zu race(s)\n", Detector.numRaces());
     for (const Race &R : Detector.races())
       std::printf("  %s\n", R.toString().c_str());
+    RaceStats Stats = Detector.stats();
+    JsonReport Report;
+    jsonMeta(Report, Opts, Kind, "trace");
+    Report.row()
+        .field("violations", double(Stats.NumRaces))
+        .field("locations", double(Stats.NumLocations))
+        .field("reads", double(Stats.NumReads))
+        .field("writes", double(Stats.NumWrites))
+        .field("dpst_nodes", double(Stats.NumDpstNodes));
+    if (!writeJsonIfRequested(Opts, Report))
+      return 1;
     return Detector.numRaces() == 0 ? 0 : 1;
   }
   case ToolKind::Determinism: {
@@ -266,11 +375,28 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
                 Checker.numViolations());
     for (const DeterminismViolation &V : Checker.violations())
       std::printf("  %s\n", V.toString().c_str());
+    DeterminismStats Stats = Checker.stats();
+    JsonReport Report;
+    jsonMeta(Report, Opts, Kind, "trace");
+    Report.row()
+        .field("violations", double(Stats.NumViolations))
+        .field("locations", double(Stats.NumLocations))
+        .field("reads", double(Stats.NumReads))
+        .field("writes", double(Stats.NumWrites))
+        .field("dpst_nodes", double(Stats.NumDpstNodes));
+    if (!writeJsonIfRequested(Opts, Report))
+      return 1;
     return Checker.numViolations() == 0 ? 0 : 1;
   }
-  case ToolKind::None:
+  case ToolKind::None: {
     std::printf("[none] trace parsed: %zu events\n", Events->size());
+    JsonReport Report;
+    jsonMeta(Report, Opts, Kind, "trace");
+    Report.row().field("events", double(Events->size()));
+    if (!writeJsonIfRequested(Opts, Report))
+      return 1;
     return 0;
+  }
   }
   return 0;
 }
@@ -291,7 +417,8 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
   ToolContext::Options ToolOpts;
   ToolOpts.Tool = Kind;
   ToolOpts.NumThreads = Opts.Threads;
-  ToolOpts.Checker.EnableAccessFilter = !Opts.NoFilter;
+  ToolOpts.Checker.EnableAccessCache = Opts.CacheEnabled;
+  ToolOpts.Checker.AccessCacheSlots = Opts.CacheSlots;
   ToolOpts.Checker.Query = Opts.Query;
   ToolContext Tool(ToolOpts);
   Timer T;
@@ -303,6 +430,47 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
               Seconds * 1e3, toolKindName(Kind), Opts.Scale, Opts.Threads);
   if (const AtomicityChecker *Checker = Tool.atomicityChecker())
     printAtomicityStats(*Checker);
+
+  if (!Opts.JsonPath.empty()) {
+    JsonReport Report;
+    jsonMeta(Report, Opts, Kind, "workload");
+    Report.meta("workload", Opts.Workload);
+    Report.meta("scale", Opts.Scale);
+    Report.meta("threads", double(Opts.Threads));
+    JsonReport::Row &Row = Report.row();
+    Row.field("wall_ms", Seconds * 1e3);
+    if (const AtomicityChecker *Checker = Tool.atomicityChecker())
+      jsonCheckerRow(Row, Checker->stats(),
+                     Checker->violations().size());
+    else if (const BasicChecker *Checker = Tool.basicChecker())
+      jsonCheckerRow(Row, Checker->stats(),
+                     Checker->violations().size());
+    else if (const VelodromeChecker *Checker = Tool.velodromeChecker()) {
+      VelodromeStats Stats = Checker->stats();
+      Row.field("violations", double(Stats.NumCycles))
+          .field("transactions", double(Stats.NumTransactions))
+          .field("edges", double(Stats.NumEdges))
+          .field("reads", double(Stats.NumReads))
+          .field("writes", double(Stats.NumWrites));
+    } else if (const RaceDetector *Detector = Tool.raceDetector()) {
+      RaceStats Stats = Detector->stats();
+      Row.field("violations", double(Stats.NumRaces))
+          .field("locations", double(Stats.NumLocations))
+          .field("reads", double(Stats.NumReads))
+          .field("writes", double(Stats.NumWrites))
+          .field("dpst_nodes", double(Stats.NumDpstNodes));
+    } else if (const DeterminismChecker *Checker =
+                   Tool.determinismChecker()) {
+      DeterminismStats Stats = Checker->stats();
+      Row.field("violations", double(Stats.NumViolations))
+          .field("locations", double(Stats.NumLocations))
+          .field("reads", double(Stats.NumReads))
+          .field("writes", double(Stats.NumWrites))
+          .field("dpst_nodes", double(Stats.NumDpstNodes));
+    }
+    if (!Report.write(Opts.JsonPath))
+      return 1;
+  }
   return 0;
 }
 
