@@ -23,7 +23,6 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -32,6 +31,7 @@
 #include <benchmark/benchmark.h>
 
 #include "instrument/ToolContext.h"
+#include "support/ArgParse.h"
 #include "support/JsonReport.h"
 #include "support/Statistics.h"
 #include "support/Timing.h"
@@ -55,48 +55,44 @@ struct BenchConfig {
 /// place) and returns the path, or "" if absent. Separate from parseArgs
 /// so the google-benchmark binaries can strip our flag before handing the
 /// remaining argv to benchmark::Initialize, which rejects unknown flags.
+/// Fails fast (exit 2) on a parse error or an unwritable destination.
 inline std::string extractJsonPath(int &Argc, char **Argv) {
   std::string Path;
-  int Out = 1;
-  for (int I = 1; I < Argc; ++I) {
-    if (std::strncmp(Argv[I], "--json=", 7) == 0) {
-      Path = Argv[I] + 7;
-    } else if (std::strcmp(Argv[I], "--json") == 0) {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: --json requires a path argument\n");
-        std::exit(2);
-      }
-      Path = Argv[++I];
-    } else {
-      Argv[Out++] = Argv[I];
-    }
+  ArgParser Parser;
+  Parser.stringOption("json", Path);
+  if (!Parser.parseKnown(Argc, Argv))
+    std::exit(2);
+  if (!Path.empty() && !ensureWritableFile(Path)) {
+    std::fprintf(stderr, "error: --json path '%s' is not writable\n",
+                 Path.c_str());
+    std::exit(2);
   }
-  Argc = Out;
   return Path;
 }
 
 inline BenchConfig parseArgs(int Argc, char **Argv) {
   BenchConfig Config;
   Config.JsonPath = extractJsonPath(Argc, Argv);
-  for (int I = 1; I < Argc; ++I) {
-    const char *Arg = Argv[I];
-    if (std::strncmp(Arg, "--scale=", 8) == 0)
-      Config.Scale = std::atof(Arg + 8);
-    else if (std::strncmp(Arg, "--reps=", 7) == 0)
-      Config.Reps = static_cast<unsigned>(std::atoi(Arg + 7));
-    else if (std::strncmp(Arg, "--threads=", 10) == 0)
-      Config.Threads = static_cast<unsigned>(std::atoi(Arg + 10));
-    else if (std::strncmp(Arg, "--query-mode=", 13) == 0) {
-      if (!parseQueryMode(Arg + 13, Config.Query)) {
-        std::fprintf(stderr, "error: unknown query mode '%s'\n", Arg + 13);
-        std::exit(2);
-      }
-    } else if (std::strcmp(Arg, "--help") == 0) {
-      std::printf("usage: %s [--scale=S] [--reps=N] [--threads=T]\n"
-                  "          [--query-mode=walk|lift|label] [--json=PATH]\n",
-                  Argv[0]);
-      std::exit(0);
-    }
+  bool Help = false;
+  ArgParser Parser;
+  Parser.doubleOption("scale", Config.Scale)
+      .unsignedOption("reps", Config.Reps)
+      .unsignedOption("threads", Config.Threads)
+      .option("query-mode",
+              [&Config](const char *V) {
+                if (parseQueryMode(V, Config.Query))
+                  return true;
+                std::fprintf(stderr, "error: unknown query mode '%s'\n", V);
+                return false;
+              })
+      .flag("help", Help);
+  if (!Parser.parse(Argc, Argv))
+    std::exit(2);
+  if (Help) {
+    std::printf("usage: %s [--scale=S] [--reps=N] [--threads=T]\n"
+                "          [--query-mode=walk|lift|label] [--json=PATH]\n",
+                Argv[0]);
+    std::exit(0);
   }
   if (Config.Reps == 0)
     Config.Reps = 1;

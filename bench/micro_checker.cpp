@@ -18,6 +18,7 @@
 #include "checker/LockSet.h"
 #include "checker/ShadowMemory.h"
 #include "checker/Velodrome.h"
+#include "obs/Obs.h"
 #include "trace/TraceEvent.h"
 #include "trace/TraceReplayer.h"
 
@@ -214,6 +215,36 @@ BENCHMARK(BM_SharedReadByQueryMode)
     ->Arg(1)
     ->Arg(2)
     ->ArgNames({"mode"});
+
+/// The disabled-instrumentation contract (DESIGN.md §9): with no session
+/// active a span site costs one relaxed load and one predicted branch, so
+/// this should be indistinguishable from an empty loop.
+void BM_ObsSpanDisabled(benchmark::State &State) {
+  for (auto _ : State) {
+    AVC_OBS_SPAN(obs::Cat::Checker, "bench/span");
+    benchmark::ClobberMemory();
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+/// Enabled cost per span (two clock reads + two ring pushes); the tiny
+/// ring wraps constantly, which is the steady state of an over-long run.
+void BM_ObsSpanEnabled(benchmark::State &State) {
+  obs::SessionOptions Opts;
+  Opts.RingCapacity = size_t(1) << 12;
+  if (!obs::beginSession(Opts)) {
+    State.SkipWithError("an obs session was already active");
+    return;
+  }
+  for (auto _ : State) {
+    AVC_OBS_SPAN(obs::Cat::Checker, "bench/span");
+    benchmark::ClobberMemory();
+  }
+  State.SetItemsProcessed(State.iterations());
+  obs::abandonSession();
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 } // namespace
 

@@ -16,14 +16,18 @@
 // the same lock, and the multi-variable atomic group extends the
 // single-location analysis to the (accountA, accountB) pair.
 //
-// Build & run:  ./build/examples/bank_audit
+// Build & run:  ./build/examples/bank_audit [--profile=trace.json]
+// (--profile records the buggy run's observability session as a
+// Perfetto-loadable trace; CI validates it with tools/validate_trace.py.)
 //
 //===----------------------------------------------------------------------===//
 
 #include <cstdio>
+#include <string>
 
 #include "instrument/ToolContext.h"
 #include "runtime/Mutex.h"
+#include "support/ArgParse.h"
 
 using namespace avc;
 
@@ -60,8 +64,11 @@ void transferFixed(Bank &Bank, long Amount) {
   Bank.AccountB += Amount;
 }
 
-size_t auditRun(bool Buggy) {
-  ToolContext Tool(ToolKind::Atomicity);
+size_t auditRun(bool Buggy, const std::string &ProfilePath = "") {
+  ToolContext::Options Opts;
+  Opts.Tool = ToolKind::Atomicity;
+  Opts.Checker.ProfilePath = ProfilePath;
+  ToolContext Tool(Opts);
   Bank Bank;
   // The two balances must be consistent *together*: declare the group so
   // the checker shares one metadata instance across both locations, and
@@ -87,10 +94,23 @@ size_t auditRun(bool Buggy) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string ProfilePath;
+  ArgParser Parser;
+  Parser.stringOption("profile", ProfilePath);
+  if (!Parser.parse(argc, argv))
+    return 2;
+  if (!ProfilePath.empty() && !ensureWritableFile(ProfilePath)) {
+    std::fprintf(stderr, "error: --profile path '%s' is not writable\n",
+                 ProfilePath.c_str());
+    return 2;
+  }
+
   std::printf("bank_audit: check-then-act under a lock is race-free and "
               "still broken\n\n");
-  size_t BuggyFindings = auditRun(/*Buggy=*/true);
+  // Only the buggy run is profiled: sessions are one-at-a-time and the
+  // interesting trace is the one with violations in it.
+  size_t BuggyFindings = auditRun(/*Buggy=*/true, ProfilePath);
   size_t FixedFindings = auditRun(/*Buggy=*/false);
 
   std::printf("\nburied lede: the buggy variant produced %zu report(s), the "

@@ -69,11 +69,8 @@
 
 namespace avc {
 
-/// Default slot count: large enough that a step's inner-loop working set
-/// rarely thrashes one slot, small enough (64 B/slot) that thousands of
-/// live tasks stay cheap. Runtime-configurable via
-/// AtomicityChecker::Options::AccessCacheSlots / --access-cache=N.
-inline constexpr unsigned DefaultAccessCacheSlots = 256;
+// The default slot count (DefaultAccessCacheSlots) lives in
+// checker/ToolOptions.h with the rest of the shared tool configuration.
 
 /// Direct-mapped per-task cache of resolved access paths and redundancy
 /// verdicts. Templated on the checker's metadata types so the header stays

@@ -22,19 +22,53 @@
 #include <mutex>
 
 #include "checker/RetentionPolicy.h"
+#include "obs/Obs.h"
 #include "support/Compiler.h"
 
 using namespace avc;
 
 AtomicityChecker::AtomicityChecker(Options Opts)
     : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)),
-      Builder(*Tree), Log(Opts.MaxRetainedViolations) {
-  ParallelismOracle::Options OracleOpts;
-  OracleOpts.Mode = Opts.Query;
-  OracleOpts.EnableCache = Opts.EnableLcaCache;
-  OracleOpts.CacheLogSlots = Opts.CacheLogSlots;
-  OracleOpts.TrackUniquePairs = Opts.TrackUniquePairs;
-  Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
+      Builder(*Tree), Log(Opts.MaxRetainedReports) {
+  Oracle = std::make_unique<ParallelismOracle>(*Tree, Opts.oracleOptions());
+}
+
+void AtomicityChecker::registerObsGauges() {
+  if (!obs::sessionActive())
+    return;
+  obs::addGauge("gauge/dpst-nodes",
+                [this] { return double(Tree->numNodes()); });
+  obs::addGauge("gauge/shadow-bytes",
+                [this] { return double(Shadow.footprintBytes()); });
+  obs::addGauge("gauge/violations", [this] { return double(Log.size()); });
+  // Hit rates read only the atomic Totals, which fold in at task end; the
+  // series advances at task granularity, which is what a profile can
+  // attribute anyway (mid-task counters are owner-private by design).
+  obs::addGauge("gauge/accesses", [this] {
+    return double(Totals.NumReads.load(std::memory_order_relaxed) +
+                  Totals.NumWrites.load(std::memory_order_relaxed));
+  });
+  obs::addGauge("gauge/cache-verdict-hit-pct", [this] {
+    double Accesses =
+        double(Totals.NumReads.load(std::memory_order_relaxed) +
+               Totals.NumWrites.load(std::memory_order_relaxed));
+    if (Accesses == 0)
+      return 0.0;
+    double Hits =
+        double(Totals.NumCacheHitReads.load(std::memory_order_relaxed) +
+               Totals.NumCacheHitWrites.load(std::memory_order_relaxed));
+    return 100.0 * Hits / Accesses;
+  });
+  obs::addGauge("gauge/cache-path-hit-pct", [this] {
+    double Accesses =
+        double(Totals.NumReads.load(std::memory_order_relaxed) +
+               Totals.NumWrites.load(std::memory_order_relaxed));
+    if (Accesses == 0)
+      return 0.0;
+    return 100.0 *
+           double(Totals.NumCachePathHits.load(std::memory_order_relaxed)) /
+           Accesses;
+  });
 }
 
 AtomicityChecker::~AtomicityChecker() = default;
@@ -206,6 +240,9 @@ const LockSet &AtomicityChecker::heldLockView(TaskState &State) {
 
 AVC_NOINLINE void AtomicityChecker::accessMiss(TaskState &State, MemAddr Addr,
                                                NodeId Si, AccessKind Kind) {
+  // Sampled: a full span per miss would double the cost of the path it
+  // measures; every 64th miss at this site is timed instead.
+  AVC_OBS_SPAN_SAMPLED(obs::Cat::Checker, "checker/shadow-walk", 64);
   if (AVC_UNLIKELY(!State.Cache.enabled() && Opts.EnableAccessCache &&
                    Opts.AccessCacheSlots > 0))
     State.Cache.acquire(CachePool, Opts.AccessCacheSlots);
@@ -481,9 +518,12 @@ void AtomicityChecker::check(GlobalMetadata &GS, NodeId PatternStep,
   V.PatternTask = Tree->taskId(PatternStep);
   V.InterleaverTask = Tree->taskId(InterleaverStep);
   V.LocationName = Names.get(GS.ReportAddr);
-  if (Log.record(V) && !GS.Reported) {
-    GS.Reported = true;
-    NumViolatingLocations.fetch_add(1, std::memory_order_relaxed);
+  if (Log.record(V)) {
+    obs::instant(obs::Cat::Checker, "checker/violation", GS.ReportAddr);
+    if (!GS.Reported) {
+      GS.Reported = true;
+      NumViolatingLocations.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -508,6 +548,7 @@ void AtomicityChecker::retainEntry(NodeId &E1, NodeId &E2, NodeId Si) {
 }
 
 void AtomicityChecker::retainPattern(NodeId &P1, NodeId &P2, NodeId Si) {
+  AVC_OBS_INSTANT_SAMPLED(obs::Cat::Checker, "checker/pattern-promote", 16);
   if (!Opts.CompleteMetadata) {
     // Figure 9: store the pattern when the slot is empty or in series with
     // the current step; the secondary slot stays unused.

@@ -33,6 +33,7 @@
 #include "checker/LocationNames.h"
 #include "checker/LockSet.h"
 #include "checker/ShadowMemory.h"
+#include "checker/ToolOptions.h"
 #include "checker/ViolationReport.h"
 #include "dpst/Dpst.h"
 #include "dpst/DpstBuilder.h"
@@ -48,22 +49,9 @@ namespace avc {
 /// Optimized atomicity violation checker with fixed-size metadata.
 class AtomicityChecker : public ExecutionObserver {
 public:
-  struct Options {
-    /// DPST data layout (the Figure 14 ablation).
-    DpstLayout Layout = DpstLayout::Array;
-    /// Parallelism-query algorithm (the query-acceleration ablation, see
-    /// DpstQueryIndex.h): Label answers the common step-vs-step query in
-    /// O(1) by fork-path comparison, Lift in O(log depth) by binary
-    /// lifting, Walk is the paper's O(depth) LCA walk.
-    QueryMode Query = QueryMode::Label;
-    /// Cache LCA query results (Section 4 optimization; Walk mode only —
-    /// Lift/Label queries are cheaper than a cache probe).
-    bool EnableLcaCache = true;
-    /// log2 of LCA cache slots.
-    unsigned CacheLogSlots = 16;
-    /// Exactly count unique LCA query pairs (Table 1; characterization
-    /// runs only — costs a hash insert per query).
-    bool TrackUniquePairs = false;
+  /// Shared tool configuration (ToolOptions) plus the knobs only this
+  /// checker has.
+  struct Options : ToolOptions {
     /// Also test every repeated access as an interleaver (A2) against the
     /// global two-access patterns. The paper's Figure 9 checks a repeated
     /// access only as a pattern-former (A1/A3), which misses triples where
@@ -74,17 +62,6 @@ public:
     /// as a correctness fix — still O(1) checks per access; disable for a
     /// paper-literal reproduction.
     bool ExtraInterleaverChecks = true;
-    /// Per-task access-path cache: memoizes the resolved lookup chain
-    /// (global metadata, local buffer, step, redundancy verdicts) per
-    /// address, so a hit either returns immediately (provably redundant
-    /// access) or goes straight to the per-location lock, skipping the
-    /// shadow radix walk, the local-map probe, and the lockset snapshot
-    /// (see AccessCache.h and DESIGN.md "Access-path cache"). Disable for
-    /// ablation (bench/ablation_modes) or to cross-check detection parity.
-    bool EnableAccessCache = true;
-    /// Slots in the per-task cache (rounded up to a power of two; one
-    /// cache line each).
-    unsigned AccessCacheSlots = DefaultAccessCacheSlots;
     /// Keep *two* records per two-access-pattern kind and retain the
     /// leftmost and rightmost (tree-order) parallel owners in every
     /// entry pair. The paper's single pattern record and first-fit
@@ -95,8 +72,6 @@ public:
     /// Still fixed-size metadata (20 entries vs the paper's 12). Enabled
     /// by default; disable for a paper-literal reproduction.
     bool CompleteMetadata = true;
-    /// Maximum violation reports retained verbatim (all are counted).
-    size_t MaxRetainedViolations = 4096;
   };
 
   AtomicityChecker(Options Opts);
@@ -139,6 +114,13 @@ public:
 
   /// Statistics snapshot (Table 1 columns and more).
   CheckerStats stats() const;
+
+  /// Registers this checker's gauges with the active observability session
+  /// (DPST node count, shadow-memory footprint, access totals, cache hit
+  /// rates, violation count). Every callback reads only atomics or
+  /// internally locked counters, so sampling is safe while tasks run.
+  /// No-op without an active session.
+  void registerObsGauges();
 
   /// The DPST built from the execution (for inspection and tests).
   const Dpst &dpst() const { return *Tree; }

@@ -9,18 +9,24 @@
 #include <cassert>
 #include <mutex>
 
+#include "obs/Obs.h"
+
 using namespace avc;
 
 BasicChecker::BasicChecker(Options Opts)
     : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree),
-      Log(Opts.MaxRetainedViolations) {
-  ParallelismOracle::Options OracleOpts;
-  OracleOpts.Mode = Opts.Query;
-  OracleOpts.EnableCache = Opts.EnableLcaCache;
-  Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
+      Log(Opts.MaxRetainedReports) {
+  Oracle = std::make_unique<ParallelismOracle>(*Tree, Opts.oracleOptions());
 }
 
 BasicChecker::~BasicChecker() = default;
+
+void BasicChecker::registerObsGauges() {
+  if (!obs::sessionActive())
+    return;
+  obs::addGauge("gauge/dpst-nodes",
+                [this] { return double(Tree->numNodes()); });
+}
 
 //===----------------------------------------------------------------------===//
 // Task lifecycle (shared shape with AtomicityChecker)

@@ -32,6 +32,7 @@
 #include "checker/CheckerStats.h"
 #include "checker/LockSet.h"
 #include "checker/ShadowMemory.h"
+#include "checker/ToolOptions.h"
 #include "checker/ViolationReport.h"
 #include "dpst/Dpst.h"
 #include "dpst/DpstBuilder.h"
@@ -45,14 +46,9 @@ namespace avc {
 /// Sound-and-complete reference checker with unbounded access histories.
 class BasicChecker : public ExecutionObserver {
 public:
-  struct Options {
-    DpstLayout Layout = DpstLayout::Array;
-    /// Parallelism-query algorithm (see DpstQueryIndex.h). Walk runs the
-    /// paper's LCA walk; only then is the LCA cache consulted.
-    QueryMode Query = QueryMode::Label;
-    bool EnableLcaCache = true;
-    size_t MaxRetainedViolations = 4096;
-  };
+  /// All configuration is the shared ToolOptions surface; the reference
+  /// checker has no tool-specific knobs.
+  struct Options : ToolOptions {};
 
   BasicChecker(Options Opts);
   BasicChecker() : BasicChecker(Options()) {}
@@ -82,6 +78,10 @@ public:
 
   CheckerStats stats() const;
   const Dpst &dpst() const { return *Tree; }
+
+  /// Registers this tool's gauges (DPST node count) with the active
+  /// observability session; no-op without one.
+  void registerObsGauges();
 
 private:
   struct Entry {

@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "checker/RetentionPolicy.h"
+#include "obs/Obs.h"
 
 using namespace avc;
 
@@ -28,13 +29,17 @@ std::string DeterminismViolation::toString() const {
 
 DeterminismChecker::DeterminismChecker(Options Opts)
     : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree) {
-  ParallelismOracle::Options OracleOpts;
-  OracleOpts.Mode = Opts.Query;
-  OracleOpts.EnableCache = Opts.EnableLcaCache;
-  Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
+  Oracle = std::make_unique<ParallelismOracle>(*Tree, Opts.oracleOptions());
 }
 
 DeterminismChecker::~DeterminismChecker() = default;
+
+void DeterminismChecker::registerObsGauges() {
+  if (!obs::sessionActive())
+    return;
+  obs::addGauge("gauge/dpst-nodes",
+                [this] { return double(Tree->numNodes()); });
+}
 
 DeterminismChecker::TaskState &DeterminismChecker::createState(TaskId Task) {
   auto State = std::make_unique<TaskState>();
@@ -114,7 +119,7 @@ void DeterminismChecker::report(LocationState &Loc, NodeId Prior,
   if (!Seen.insert(Key).second)
     return;
   ++NumTotal;
-  if (Reports.size() >= Opts.MaxRetainedViolations)
+  if (Reports.size() >= Opts.MaxRetainedReports)
     return;
   DeterminismViolation V;
   V.Addr = Loc.ReportAddr;

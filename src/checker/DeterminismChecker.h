@@ -41,6 +41,7 @@
 
 #include "checker/AccessKind.h"
 #include "checker/ShadowMemory.h"
+#include "checker/ToolOptions.h"
 #include "dpst/Dpst.h"
 #include "dpst/DpstBuilder.h"
 #include "dpst/ParallelismOracle.h"
@@ -75,14 +76,9 @@ struct DeterminismStats {
 /// Tardis-style internal-determinism checker over the DPST.
 class DeterminismChecker : public ExecutionObserver {
 public:
-  struct Options {
-    DpstLayout Layout = DpstLayout::Array;
-    /// Parallelism-query algorithm (see DpstQueryIndex.h). Walk runs the
-    /// paper's LCA walk; only then is the LCA cache consulted.
-    QueryMode Query = QueryMode::Label;
-    bool EnableLcaCache = true;
-    size_t MaxRetainedViolations = 4096;
-  };
+  /// All configuration is the shared ToolOptions surface; the determinism
+  /// checker has no tool-specific knobs (locks are deliberately ignored).
+  struct Options : ToolOptions {};
 
   DeterminismChecker(Options Opts);
   DeterminismChecker() : DeterminismChecker(Options()) {}
@@ -102,6 +98,10 @@ public:
   std::vector<DeterminismViolation> violations() const;
   DeterminismStats stats() const;
   const Dpst &dpst() const { return *Tree; }
+
+  /// Registers this tool's gauges (DPST node count) with the active
+  /// observability session; no-op without one.
+  void registerObsGauges();
 
 private:
   struct LocationState {

@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "checker/RetentionPolicy.h"
+#include "obs/Obs.h"
 
 using namespace avc;
 
@@ -28,13 +29,17 @@ std::string Race::toString() const {
 
 RaceDetector::RaceDetector(Options Opts)
     : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree) {
-  ParallelismOracle::Options OracleOpts;
-  OracleOpts.Mode = Opts.Query;
-  OracleOpts.EnableCache = Opts.EnableLcaCache;
-  Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
+  Oracle = std::make_unique<ParallelismOracle>(*Tree, Opts.oracleOptions());
 }
 
 RaceDetector::~RaceDetector() = default;
+
+void RaceDetector::registerObsGauges() {
+  if (!obs::sessionActive())
+    return;
+  obs::addGauge("gauge/dpst-nodes",
+                [this] { return double(Tree->numNodes()); });
+}
 
 //===----------------------------------------------------------------------===//
 // Task lifecycle (shared shape with the checkers)
@@ -135,7 +140,7 @@ void RaceDetector::report(LocationState &Loc, NodeId Prior,
   if (!SeenRaces.insert(Key).second)
     return;
   ++NumRacesTotal;
-  if (Races.size() >= Opts.MaxRetainedRaces)
+  if (Races.size() >= Opts.MaxRetainedReports)
     return;
   Race R;
   R.Addr = Loc.ReportAddr;

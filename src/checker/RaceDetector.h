@@ -36,6 +36,7 @@
 #include "checker/AccessKind.h"
 #include "checker/LockSet.h"
 #include "checker/ShadowMemory.h"
+#include "checker/ToolOptions.h"
 #include "checker/ViolationReport.h"
 #include "dpst/Dpst.h"
 #include "dpst/DpstBuilder.h"
@@ -73,14 +74,9 @@ struct RaceStats {
 /// DPST-based All-Sets data race detector.
 class RaceDetector : public ExecutionObserver {
 public:
-  struct Options {
-    DpstLayout Layout = DpstLayout::Array;
-    /// Parallelism-query algorithm (see DpstQueryIndex.h). Walk runs the
-    /// paper's LCA walk; only then is the LCA cache consulted.
-    QueryMode Query = QueryMode::Label;
-    bool EnableLcaCache = true;
-    size_t MaxRetainedRaces = 4096;
-  };
+  /// All configuration is the shared ToolOptions surface; the detector has
+  /// no tool-specific knobs.
+  struct Options : ToolOptions {};
 
   RaceDetector(Options Opts);
   RaceDetector() : RaceDetector(Options()) {}
@@ -105,6 +101,10 @@ public:
 
   RaceStats stats() const;
   const Dpst &dpst() const { return *Tree; }
+
+  /// Registers this tool's gauges (DPST node count) with the active
+  /// observability session; no-op without one.
+  void registerObsGauges();
 
 private:
   /// Access records for one (location, lockset) combination: the leftmost

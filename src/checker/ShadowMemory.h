@@ -53,6 +53,13 @@ public:
     delete Root;
   }
 
+  /// Bytes of shadow tables materialized so far (top, mid, and leaf
+  /// levels). Relaxed-atomic accounting, so the observability layer can
+  /// sample it as a gauge while tasks run.
+  uint64_t footprintBytes() const {
+    return FootprintBytes.load(std::memory_order_relaxed);
+  }
+
   /// Returns the slot for \p Addr, materializing intermediate tables and
   /// the leaf as needed. Thread safe.
   SlotT &getOrCreate(MemAddr Addr) {
@@ -90,31 +97,39 @@ private:
   };
 
   template <typename TableT>
-  static TableT *loadOrCreate(std::atomic<TableT *> &Cell) {
+  TableT *loadOrCreate(std::atomic<TableT *> &Cell) {
     TableT *Table = Cell.load(std::memory_order_acquire);
     if (Table)
       return Table;
     TableT *Fresh = new TableT();
     if (Cell.compare_exchange_strong(Table, Fresh, std::memory_order_acq_rel,
-                                     std::memory_order_acquire))
+                                     std::memory_order_acquire)) {
+      FootprintBytes.fetch_add(LevelSize * sizeof(std::atomic<SlotT *>),
+                               std::memory_order_relaxed);
       return Fresh;
+    }
     delete Fresh;
     return Table;
   }
 
-  static SlotT *loadOrCreateLeaf(std::atomic<SlotT *> &Cell) {
+  SlotT *loadOrCreateLeaf(std::atomic<SlotT *> &Cell) {
     SlotT *Leaf = Cell.load(std::memory_order_acquire);
     if (Leaf)
       return Leaf;
     SlotT *Fresh = new SlotT[LevelSize]();
     if (Cell.compare_exchange_strong(Leaf, Fresh, std::memory_order_acq_rel,
-                                     std::memory_order_acquire))
+                                     std::memory_order_acquire)) {
+      FootprintBytes.fetch_add(LevelSize * sizeof(SlotT),
+                               std::memory_order_relaxed);
       return Fresh;
+    }
     delete[] Fresh;
     return Leaf;
   }
 
   TopTable *Root;
+  std::atomic<uint64_t> FootprintBytes{LevelSize *
+                                       sizeof(std::atomic<void *>)};
 };
 
 } // namespace avc

@@ -1,0 +1,88 @@
+//===- checker/ToolOptions.h - Shared checker-tool options -----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The options every checker tool shares. All five tools (AtomicityChecker,
+/// BasicChecker, RaceDetector, DeterminismChecker, VelodromeChecker) derive
+/// their Options struct from ToolOptions, so ToolContext and taskcheck can
+/// configure the DPST layout, the parallelism-query algorithm, the caches,
+/// and report retention in exactly one place instead of copying fields
+/// tool by tool. Tool-specific knobs (e.g. the atomicity checker's
+/// CompleteMetadata) stay in the derived struct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_TOOLOPTIONS_H
+#define AVC_CHECKER_TOOLOPTIONS_H
+
+#include <cstddef>
+#include <string>
+
+#include "dpst/Dpst.h"
+#include "dpst/ParallelismOracle.h"
+
+namespace avc {
+
+/// Default access-path cache slot count: large enough that a step's
+/// inner-loop working set rarely thrashes one slot, small enough (64 B per
+/// slot) that thousands of live tasks stay cheap. Runtime-configurable via
+/// ToolOptions::AccessCacheSlots / --access-cache=N.
+inline constexpr unsigned DefaultAccessCacheSlots = 256;
+
+/// Options common to every checker tool. Not every tool consults every
+/// field (only the atomicity checker has an access cache; Velodrome has no
+/// parallelism oracle), but the *configuration surface* is uniform: any
+/// ToolOptions configures any tool.
+struct ToolOptions {
+  /// DPST data layout (the Figure 14 ablation).
+  DpstLayout Layout = DpstLayout::Array;
+  /// Parallelism-query algorithm (the query-acceleration ablation, see
+  /// DpstQueryIndex.h): Label answers the common step-vs-step query in
+  /// O(1) by fork-path comparison, Lift in O(log depth) by binary lifting,
+  /// Walk is the paper's O(depth) LCA walk.
+  QueryMode Query = QueryMode::Label;
+  /// Cache LCA query results (Section 4 optimization; Walk mode only —
+  /// Lift/Label queries are cheaper than a cache probe).
+  bool EnableLcaCache = true;
+  /// log2 of LCA cache slots.
+  unsigned CacheLogSlots = 16;
+  /// Exactly count unique LCA query pairs (Table 1; characterization runs
+  /// only — costs a hash insert per query).
+  bool TrackUniquePairs = false;
+  /// Per-task access-path cache: memoizes the resolved lookup chain
+  /// (global metadata, local buffer, step, redundancy verdicts) per
+  /// address, so a hit either returns immediately (provably redundant
+  /// access) or goes straight to the per-location lock, skipping the
+  /// shadow radix walk, the local-map probe, and the lockset snapshot
+  /// (see AccessCache.h and DESIGN.md "Access-path cache"). Disable for
+  /// ablation (bench/ablation_modes) or to cross-check detection parity.
+  bool EnableAccessCache = true;
+  /// Slots in the per-task cache (rounded up to a power of two; one cache
+  /// line each).
+  unsigned AccessCacheSlots = DefaultAccessCacheSlots;
+  /// Maximum reports (violations, races, cycles — the tool's finding kind)
+  /// retained verbatim; all findings are counted.
+  size_t MaxRetainedReports = 4096;
+  /// When non-empty, ToolContext profiles the run with the observability
+  /// layer (src/obs/) and writes a Chrome trace-event JSON file here
+  /// (taskcheck --profile=PATH; see DESIGN.md §9).
+  std::string ProfilePath;
+
+  /// The oracle configuration every DPST-based tool derives from these
+  /// options (previously copied field-by-field in each tool's ctor).
+  ParallelismOracle::Options oracleOptions() const {
+    ParallelismOracle::Options O;
+    O.Mode = Query;
+    O.EnableCache = EnableLcaCache;
+    O.CacheLogSlots = CacheLogSlots;
+    O.TrackUniquePairs = TrackUniquePairs;
+    return O;
+  }
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_TOOLOPTIONS_H

@@ -9,12 +9,21 @@
 #include <cassert>
 #include <mutex>
 
+#include "obs/Obs.h"
+
 using namespace avc;
 
 VelodromeChecker::VelodromeChecker(Options Opts)
-    : Opts(Opts), Tree(createDpst(DpstLayout::Array)), Builder(*Tree) {}
+    : Opts(Opts), Tree(createDpst(Opts.Layout)), Builder(*Tree) {}
 
 VelodromeChecker::~VelodromeChecker() = default;
+
+void VelodromeChecker::registerObsGauges() {
+  if (!obs::sessionActive())
+    return;
+  obs::addGauge("gauge/dpst-nodes",
+                [this] { return double(Tree->numNodes()); });
+}
 
 //===----------------------------------------------------------------------===//
 // Task lifecycle: step nodes delimit transactions
@@ -114,7 +123,7 @@ void VelodromeChecker::addEdge(NodeId From, NodeId To, MemAddr Addr) {
   // directions and the trace is not conflict serializable.
   if (reaches(To, From)) {
     ++NumCyclesTotal;
-    if (Cycles.size() < Opts.MaxRetainedCycles)
+    if (Cycles.size() < Opts.MaxRetainedReports)
       Cycles.push_back(VelodromeCycle{From, To, Addr});
   }
   Successors[From].push_back(To);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "checker/ShadowMemory.h"
+#include "checker/ToolOptions.h"
 #include "dpst/Dpst.h"
 #include "dpst/DpstBuilder.h"
 #include "runtime/ExecutionObserver.h"
@@ -60,9 +61,10 @@ struct VelodromeCycle {
 /// The trace-bound atomicity checker used as the Figure 13 baseline.
 class VelodromeChecker : public ExecutionObserver {
 public:
-  struct Options {
-    size_t MaxRetainedCycles = 4096;
-  };
+  /// All configuration is the shared ToolOptions surface. Velodrome has no
+  /// parallelism oracle, so the query/cache fields are unused, but Layout
+  /// picks its DPST implementation like every other tool.
+  struct Options : ToolOptions {};
 
   VelodromeChecker(Options Opts);
   VelodromeChecker() : VelodromeChecker(Options()) {}
@@ -80,6 +82,10 @@ public:
   VelodromeStats stats() const;
   std::vector<VelodromeCycle> cycles() const;
   size_t numViolations() const;
+
+  /// Registers this tool's gauges (DPST node count) with the active
+  /// observability session; no-op without one.
+  void registerObsGauges();
 
 private:
   /// Last-writer transaction and readers-since-last-write per location.

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "dpst/ParallelQueryImpl.h"
+#include "obs/Obs.h"
 
 using namespace avc;
 
@@ -56,11 +57,13 @@ uint32_t *DpstQueryIndex::allocateLabel(uint32_t Len) {
     // chunk's tail is not wasted on them. CurChunk/LabelChunkUsed are left
     // alone: the active bump chunk keeps serving later small labels
     // (LabelChunks.back() is NOT the bump chunk after this push).
+    obs::instant(obs::Cat::Dpst, "dpst/label-arena-grow", Len);
     LabelChunks.push_back(std::make_unique<uint32_t[]>(Len));
     LabelWordsUsed += Len;
     return LabelChunks.back().get();
   }
   if (!CurChunk || LabelChunkUsed + Len > LabelChunkWords) {
+    obs::instant(obs::Cat::Dpst, "dpst/label-arena-grow", LabelChunkWords);
     LabelChunks.push_back(std::make_unique<uint32_t[]>(LabelChunkWords));
     CurChunk = LabelChunks.back().get();
     LabelChunkUsed = 0;

@@ -10,6 +10,8 @@
 #include <cassert>
 #include <mutex>
 
+#include "obs/Obs.h"
+
 using namespace avc;
 
 ParallelismOracle::ParallelismOracle(const Dpst &Tree, Options Opts)
@@ -69,6 +71,9 @@ ParallelismOracle::hottestPairs(size_t N) const {
 bool ParallelismOracle::logicallyParallel(NodeId A, NodeId B) {
   assert(A != InvalidNodeId && B != InvalidNodeId &&
          "parallel query on an invalid node");
+  // Sampled: a query is tens of nanoseconds in Label mode, so timing each
+  // one would measure the tracer, not the oracle.
+  AVC_OBS_SPAN_SAMPLED(obs::Cat::Dpst, "dpst/par-query", 64);
   StatShard &Shard = statShard();
   // A step is never parallel with itself; no LCA walk, not counted as a
   // query (blackscholes in Table 1 performs zero queries for this reason).

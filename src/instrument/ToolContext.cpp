@@ -6,6 +6,7 @@
 
 #include "instrument/ToolContext.h"
 
+#include "obs/Obs.h"
 #include "support/Compiler.h"
 
 using namespace avc;
@@ -34,8 +35,20 @@ static TaskRuntime::Options runtimeOptions(unsigned NumThreads) {
   return Opts;
 }
 
+/// Every tool's Options derives from ToolOptions, so configuring any tool
+/// is one slice-assignment — the single place shared configuration flows
+/// from the front end into a tool.
+template <typename OptionsT>
+static OptionsT toolOptionsFor(const ToolOptions &Shared) {
+  OptionsT Opts;
+  static_cast<ToolOptions &>(Opts) = Shared;
+  return Opts;
+}
+
 ToolContext::ToolContext(Options Opts)
-    : Kind(Opts.Tool), RT(runtimeOptions(Opts.NumThreads)) {
+    : Kind(Opts.Tool), ProfilePath(Opts.Checker.ProfilePath),
+      RT(runtimeOptions(Opts.NumThreads)) {
+  const ToolOptions &Shared = Opts.Checker;
   switch (Kind) {
   case ToolKind::None:
     break;
@@ -43,37 +56,26 @@ ToolContext::ToolContext(Options Opts)
     Atomicity = std::make_unique<AtomicityChecker>(Opts.Checker);
     RT.addObserver(Atomicity.get());
     break;
-  case ToolKind::Basic: {
-    BasicChecker::Options BasicOpts;
-    BasicOpts.Layout = Opts.Checker.Layout;
-    BasicOpts.Query = Opts.Checker.Query;
-    BasicOpts.EnableLcaCache = Opts.Checker.EnableLcaCache;
-    Basic = std::make_unique<BasicChecker>(BasicOpts);
+  case ToolKind::Basic:
+    Basic = std::make_unique<BasicChecker>(
+        toolOptionsFor<BasicChecker::Options>(Shared));
     RT.addObserver(Basic.get());
     break;
-  }
   case ToolKind::Velodrome:
-    Velodrome = std::make_unique<VelodromeChecker>();
+    Velodrome = std::make_unique<VelodromeChecker>(
+        toolOptionsFor<VelodromeChecker::Options>(Shared));
     RT.addObserver(Velodrome.get());
     break;
-  case ToolKind::Race: {
-    RaceDetector::Options RaceOpts;
-    RaceOpts.Layout = Opts.Checker.Layout;
-    RaceOpts.Query = Opts.Checker.Query;
-    RaceOpts.EnableLcaCache = Opts.Checker.EnableLcaCache;
-    Races = std::make_unique<RaceDetector>(RaceOpts);
+  case ToolKind::Race:
+    Races = std::make_unique<RaceDetector>(
+        toolOptionsFor<RaceDetector::Options>(Shared));
     RT.addObserver(Races.get());
     break;
-  }
-  case ToolKind::Determinism: {
-    DeterminismChecker::Options DetOpts;
-    DetOpts.Layout = Opts.Checker.Layout;
-    DetOpts.Query = Opts.Checker.Query;
-    DetOpts.EnableLcaCache = Opts.Checker.EnableLcaCache;
-    Determinism = std::make_unique<DeterminismChecker>(DetOpts);
+  case ToolKind::Determinism:
+    Determinism = std::make_unique<DeterminismChecker>(
+        toolOptionsFor<DeterminismChecker::Options>(Shared));
     RT.addObserver(Determinism.get());
     break;
-  }
   }
 }
 
@@ -87,7 +89,35 @@ ToolContext::ToolContext(ToolKind Kind, unsigned NumThreads)
 
 ToolContext::~ToolContext() = default;
 
-void ToolContext::run(std::function<void()> Root) { RT.run(std::move(Root)); }
+void ToolContext::registerObsGauges() {
+  if (Atomicity)
+    Atomicity->registerObsGauges();
+  if (Basic)
+    Basic->registerObsGauges();
+  if (Velodrome)
+    Velodrome->registerObsGauges();
+  if (Races)
+    Races->registerObsGauges();
+  if (Determinism)
+    Determinism->registerObsGauges();
+}
+
+void ToolContext::run(std::function<void()> Root) {
+  if (ProfilePath.empty()) {
+    RT.run(std::move(Root));
+    return;
+  }
+  // Profiled run: record between session begin and end. RT.run returns
+  // only after the root group drains and onProgramEnd fires, so the drain
+  // in endSession happens at task quiescence (workers may still spin for
+  // work, but record nothing — steal *attempts* are not instrumented).
+  bool Recording = obs::beginSession();
+  if (Recording)
+    registerObsGauges();
+  RT.run(std::move(Root));
+  if (Recording)
+    obs::endSession(ProfilePath);
+}
 
 bool ToolContext::registerAtomicGroup(const MemAddr *Members, size_t Count) {
   bool Ok = true;

@@ -54,6 +54,11 @@ public:
   struct Options {
     ToolKind Tool = ToolKind::Atomicity;
     unsigned NumThreads = 1;
+    /// Tool configuration. The shared ToolOptions slice of this struct
+    /// configures whichever tool is selected (the ctor slices it into the
+    /// other tools' Options); the atomicity-specific extras only matter
+    /// for ToolKind::Atomicity. Checker.ProfilePath, when set, makes run()
+    /// record an observability session and export a Perfetto trace there.
     AtomicityChecker::Options Checker;
   };
 
@@ -116,7 +121,11 @@ public:
   }
 
 private:
+  /// Registers the selected tool's gauges with the active obs session.
+  void registerObsGauges();
+
   ToolKind Kind;
+  std::string ProfilePath;
   std::unique_ptr<AtomicityChecker> Atomicity;
   std::unique_ptr<BasicChecker> Basic;
   std::unique_ptr<VelodromeChecker> Velodrome;

@@ -1,0 +1,222 @@
+//===- obs/Obs.cpp - Session lifecycle and event recording ----------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include <bit>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/ObsExport.h"
+#include "support/SpinLock.h"
+#include "support/Timing.h"
+
+using namespace avc;
+using namespace avc::obs;
+
+std::atomic<uint32_t> avc::obs::GEnabled{0};
+
+const char *avc::obs::catName(Cat C) {
+  switch (C) {
+  case Cat::Runtime:
+    return "runtime";
+  case Cat::Checker:
+    return "checker";
+  case Cat::Dpst:
+    return "dpst";
+  case Cat::Gauge:
+    return "gauge";
+  case Cat::Obs:
+    return "obs";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One profiling session: the thread rings, the gauge registry, and the
+/// self-accounting calibration.
+struct Session {
+  SessionOptions Opts;
+  uint64_t Id = 0;
+  uint64_t EpochNs = 0;
+  double RecordNsPerEvent = 0;
+  /// Guards ring registration (rare: once per participating thread) and
+  /// gauge registration (setup time only).
+  SpinLock Lock;
+  std::vector<std::unique_ptr<Ring>> Rings;
+  std::vector<std::pair<std::string, std::function<double()>>> Gauges;
+  std::atomic<uint64_t> Ticks{0};
+};
+
+/// The active session. Ended sessions move to GRetired instead of being
+/// freed: a thread that loaded the session pointer just before the end
+/// transition may still complete one record() into a retired ring, which
+/// must stay valid memory. One small leak per profiled run, reclaimed at
+/// process exit.
+std::atomic<Session *> GActive{nullptr};
+std::mutex GLifecycleMutex;
+std::vector<std::unique_ptr<Session>> GRetired;
+uint64_t GNextSessionId = 1;
+
+thread_local Ring *TlsRing = nullptr;
+thread_local uint64_t TlsSessionId = 0;
+
+/// Times a batch of representative record operations (clock read + ring
+/// push) so the export can state the tracer's own overhead.
+double calibrateRecordCost() {
+  Ring Scratch(1024, /*Tid=*/0);
+  constexpr int Batch = 4096;
+  uint64_t T0 = nowNanos();
+  for (int I = 0; I < Batch; ++I) {
+    Event E;
+    E.Ts = nowNanos() - T0;
+    E.Name = "obs/calibrate";
+    E.Value = static_cast<uint64_t>(I);
+    E.Ph = Phase::Instant;
+    E.Category = Cat::Obs;
+    Scratch.push(E);
+  }
+  uint64_t T1 = nowNanos();
+  return double(T1 - T0) / Batch;
+}
+
+/// Samples every registered gauge once into the calling thread's ring.
+void sampleGauges(Session &S) {
+  for (const auto &G : S.Gauges)
+    record(Phase::Gauge, Cat::Gauge, G.first.c_str(),
+           std::bit_cast<uint64_t>(G.second()));
+}
+
+} // namespace
+
+void avc::obs::record(Phase Ph, Cat Category, const char *Name,
+                      uint64_t Value) {
+  Session *S = GActive.load(std::memory_order_acquire);
+  if (AVC_UNLIKELY(S == nullptr))
+    return; // raced with session end; drop
+  if (AVC_UNLIKELY(TlsSessionId != S->Id)) {
+    std::lock_guard<SpinLock> Guard(S->Lock);
+    S->Rings.push_back(std::make_unique<Ring>(
+        S->Opts.RingCapacity, static_cast<uint32_t>(S->Rings.size() + 1)));
+    TlsRing = S->Rings.back().get();
+    TlsSessionId = S->Id;
+  }
+  Event E;
+  E.Ts = nowNanos() - S->EpochNs;
+  E.Name = Name;
+  E.Value = Value;
+  E.Ph = Ph;
+  E.Category = Category;
+  TlsRing->push(E);
+}
+
+bool avc::obs::beginSession(const SessionOptions &Opts) {
+  std::lock_guard<std::mutex> Guard(GLifecycleMutex);
+  if (GActive.load(std::memory_order_relaxed) != nullptr) {
+    std::fprintf(stderr,
+                 "obs: beginSession while a session is active; ignored\n");
+    return false;
+  }
+  auto S = std::make_unique<Session>();
+  S->Opts = Opts;
+  S->Id = GNextSessionId++;
+  S->RecordNsPerEvent = calibrateRecordCost();
+  S->EpochNs = nowNanos();
+  GActive.store(S.get(), std::memory_order_release);
+  GRetired.push_back(std::move(S)); // owner of record; active until ended
+  GEnabled.store(1, std::memory_order_release);
+  return true;
+}
+
+bool avc::obs::sessionActive() {
+  return GActive.load(std::memory_order_acquire) != nullptr;
+}
+
+void avc::obs::addGauge(std::string Name, std::function<double()> Fn) {
+  Session *S = GActive.load(std::memory_order_acquire);
+  if (!S)
+    return;
+  std::lock_guard<SpinLock> Guard(S->Lock);
+  S->Gauges.emplace_back(std::move(Name), std::move(Fn));
+}
+
+void avc::obs::tick() {
+  Session *S = GActive.load(std::memory_order_acquire);
+  if (AVC_UNLIKELY(S == nullptr) || S->Gauges.empty())
+    return;
+  uint64_t T = S->Ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (T % S->Opts.GaugePeriod != 0)
+    return;
+  sampleGauges(*S);
+}
+
+uint64_t avc::obs::sessionEventCount() {
+  Session *S = GActive.load(std::memory_order_acquire);
+  if (!S)
+    return 0;
+  std::lock_guard<SpinLock> Guard(S->Lock);
+  uint64_t Total = 0;
+  for (const auto &R : S->Rings)
+    Total += R->pushed();
+  return Total;
+}
+
+bool avc::obs::endSession(const std::string &Path) {
+  std::lock_guard<std::mutex> Guard(GLifecycleMutex);
+  Session *S = GActive.load(std::memory_order_acquire);
+  if (!S) {
+    std::fprintf(stderr, "obs: endSession without an active session\n");
+    return false;
+  }
+  // Final gauge sample while recording is still live, so every gauge series
+  // covers the whole run.
+  sampleGauges(*S);
+  uint64_t WallNs = nowNanos() - S->EpochNs;
+
+  // Stop recording, then detach. The caller guarantees task quiescence, so
+  // after this no ring gains events we would miss.
+  GEnabled.store(0, std::memory_order_release);
+  GActive.store(nullptr, std::memory_order_release);
+
+  Timer DrainTimer;
+  std::vector<ExportEvent> Events;
+  ExportSummary Summary;
+  Summary.WallNs = WallNs;
+  Summary.RecordNsPerEvent = S->RecordNsPerEvent;
+  {
+    std::lock_guard<SpinLock> RingGuard(S->Lock);
+    for (auto &R : S->Rings) {
+      uint32_t Tid = R->Tid;
+      R->drain([&](const Event &E) { Events.push_back({E, Tid}); });
+      Summary.EventsRecorded += R->pushed();
+      Summary.EventsDropped += R->dropped();
+    }
+  }
+  Summary.EventsOrphaned = sanitizeSpans(Events);
+  Summary.DrainNs = DrainTimer.elapsedNanos();
+
+  if (!writeChromeTrace(Path, Events, Summary))
+    return false;
+  std::printf("profile: wrote %s (%llu events, %llu dropped, ~%.2f%% "
+              "estimated tracing overhead)\n",
+              Path.c_str(),
+              static_cast<unsigned long long>(Summary.EventsRecorded),
+              static_cast<unsigned long long>(Summary.EventsDropped),
+              Summary.estimatedOverheadPct());
+  return true;
+}
+
+void avc::obs::abandonSession() {
+  std::lock_guard<std::mutex> Guard(GLifecycleMutex);
+  if (GActive.load(std::memory_order_relaxed) == nullptr)
+    return;
+  GEnabled.store(0, std::memory_order_release);
+  GActive.store(nullptr, std::memory_order_release);
+}

@@ -1,0 +1,219 @@
+//===- obs/Obs.h - Runtime-gated tracing front end -------------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Always-compiled, runtime-gated observability: span/counter/gauge tracing
+/// for the task runtime, the checker hot phases, and DPST/arena growth,
+/// exported as Chrome trace-event JSON loadable in Perfetto
+/// (`taskcheck --profile=PATH`).
+///
+/// Design constraints (DESIGN.md §9):
+///  - With no session active, every instrumentation site must cost exactly
+///    one relaxed load and one predicted-not-taken branch — no TLS lookup,
+///    no clock read, no call.
+///  - With a session active, a thread writes plain stores into its *own*
+///    lock-free ring (obs/ObsRing.h); rings are drained only at
+///    task-quiescent points, so the writer never synchronizes beyond one
+///    release store per event.
+///  - Per-access checker phases are too hot for two clock reads each, so
+///    they use *sampled* spans: every Nth occurrence is timed, the rest
+///    cost one thread-local counter increment; the exported span carries
+///    its sampling factor.
+///
+/// Usage:
+/// \code
+///   obs::beginSession({});
+///   obs::addGauge("gauge/dpst-nodes", [&] { return double(Tree.size()); });
+///   { AVC_OBS_SPAN(obs::Cat::Runtime, "task/execute", Id); ...work... }
+///   obs::endSession("run.trace.json"); // drain + Perfetto export
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_OBS_OBS_H
+#define AVC_OBS_OBS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/ObsRing.h"
+#include "support/Compiler.h"
+
+namespace avc {
+namespace obs {
+
+//===----------------------------------------------------------------------===//
+// Gating
+//===----------------------------------------------------------------------===//
+
+/// Nonzero while a session is recording. Relaxed loads are sufficient:
+/// events racing a begin/end transition are either captured or not, and
+/// session teardown only drains at task quiescence.
+extern std::atomic<uint32_t> GEnabled;
+
+/// The whole disabled-mode cost: one relaxed load + one predicted branch.
+AVC_ALWAYS_INLINE bool enabled() {
+  return AVC_UNLIKELY(GEnabled.load(std::memory_order_relaxed) != 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Recording (out of line; called only when enabled)
+//===----------------------------------------------------------------------===//
+
+/// Binds this thread to the active session on first use (allocating its
+/// ring) and appends one event. Safe to call when the session raced to an
+/// end — the event lands in a retired ring and is ignored.
+void record(Phase Ph, Cat Category, const char *Name, uint64_t Value = 0);
+
+/// Integer counter sample (Chrome "C" event).
+AVC_ALWAYS_INLINE void counter(Cat Category, const char *Name,
+                               uint64_t Value) {
+  if (enabled())
+    record(Phase::Counter, Category, Name, Value);
+}
+
+/// Point event (Chrome "i" event).
+AVC_ALWAYS_INLINE void instant(Cat Category, const char *Name,
+                               uint64_t Value = 0) {
+  if (enabled())
+    record(Phase::Instant, Category, Name, Value);
+}
+
+/// RAII span: Begin on construction, End on destruction. The constructor
+/// decides once; the destructor branches on a local, so a session ending
+/// mid-span still emits the matching End (into a retired ring at worst).
+class SpanGuard {
+public:
+  AVC_ALWAYS_INLINE SpanGuard(Cat Category, const char *Name,
+                              uint64_t Value = 0) {
+    if (AVC_LIKELY(!enabled()))
+      return;
+    this->Name = Name;
+    this->Category = Category;
+    record(Phase::Begin, Category, Name, Value);
+  }
+
+  AVC_ALWAYS_INLINE ~SpanGuard() {
+    if (AVC_UNLIKELY(Name != nullptr))
+      record(Phase::End, Category, Name);
+  }
+
+  SpanGuard(const SpanGuard &) = delete;
+  SpanGuard &operator=(const SpanGuard &) = delete;
+
+private:
+  const char *Name = nullptr;
+  Cat Category = Cat::Runtime;
+};
+
+/// Sampled span for per-access hot phases: times every \p SampleEvery-th
+/// occurrence (a power of two) at this call site on this thread; the other
+/// occurrences cost one thread-local counter increment. The Begin event's
+/// Value carries the sampling factor so the exporter can label the span.
+class SampledSpanGuard {
+public:
+  AVC_ALWAYS_INLINE SampledSpanGuard(Cat Category, const char *Name,
+                                     uint32_t &SiteCounter,
+                                     uint32_t SampleEvery) {
+    if (AVC_LIKELY(!enabled()))
+      return;
+    if ((SiteCounter++ & (SampleEvery - 1)) != 0)
+      return;
+    this->Name = Name;
+    this->Category = Category;
+    record(Phase::Begin, Category, Name, SampleEvery);
+  }
+
+  AVC_ALWAYS_INLINE ~SampledSpanGuard() {
+    if (AVC_UNLIKELY(Name != nullptr))
+      record(Phase::End, Category, Name);
+  }
+
+  SampledSpanGuard(const SampledSpanGuard &) = delete;
+  SampledSpanGuard &operator=(const SampledSpanGuard &) = delete;
+
+private:
+  const char *Name = nullptr;
+  Cat Category = Cat::Checker;
+};
+
+// Unique local names per call site (two-step expansion so __LINE__ pastes).
+#define AVC_OBS_CONCAT_IMPL(A, B) A##B
+#define AVC_OBS_CONCAT(A, B) AVC_OBS_CONCAT_IMPL(A, B)
+
+/// Full span covering the enclosing scope.
+#define AVC_OBS_SPAN(CATEGORY, NAME, ...)                                      \
+  ::avc::obs::SpanGuard AVC_OBS_CONCAT(AvcObsSpan, __LINE__)(                  \
+      CATEGORY, NAME, ##__VA_ARGS__)
+
+/// Sampled span covering the enclosing scope; EVERY must be a power of two.
+#define AVC_OBS_SPAN_SAMPLED(CATEGORY, NAME, EVERY)                            \
+  static thread_local uint32_t AVC_OBS_CONCAT(AvcObsCtr, __LINE__) = 0;        \
+  ::avc::obs::SampledSpanGuard AVC_OBS_CONCAT(AvcObsSpan, __LINE__)(           \
+      CATEGORY, NAME, AVC_OBS_CONCAT(AvcObsCtr, __LINE__), EVERY)
+
+/// Sampled point event: records every EVERY-th occurrence at this site.
+#define AVC_OBS_INSTANT_SAMPLED(CATEGORY, NAME, EVERY)                         \
+  do {                                                                         \
+    if (::avc::obs::enabled()) {                                               \
+      static thread_local uint32_t AVC_OBS_CONCAT(AvcObsCtr, __LINE__) = 0;    \
+      if ((AVC_OBS_CONCAT(AvcObsCtr, __LINE__)++ & ((EVERY)-1)) == 0)          \
+        ::avc::obs::record(::avc::obs::Phase::Instant, CATEGORY, NAME,         \
+                           (EVERY));                                           \
+    }                                                                          \
+  } while (false)
+
+//===----------------------------------------------------------------------===//
+// Session lifecycle
+//===----------------------------------------------------------------------===//
+
+struct SessionOptions {
+  /// Events retained per thread ring (rounded up to a power of two). At 32
+  /// bytes per slot the default is 2 MiB per participating thread.
+  size_t RingCapacity = size_t(1) << 16;
+  /// Sample every registered gauge once per this many tick() calls
+  /// (ToolContext ticks once per finished task, so single-threaded runs
+  /// sample at deterministic points).
+  uint32_t GaugePeriod = 64;
+};
+
+/// Starts recording. Returns false (with a message on stderr) if a session
+/// is already active. Calibrates the per-event recording cost first so the
+/// export can state its own overhead.
+bool beginSession(const SessionOptions &Opts = SessionOptions());
+
+/// True between beginSession and endSession/abandonSession.
+bool sessionActive();
+
+/// Registers a gauge sampled periodically into the profile as a counter
+/// time series. The callback must be cheap and safe to run concurrently
+/// with task execution (read atomics, not locked structures). Register
+/// before tasks run; no-op without an active session.
+void addGauge(std::string Name, std::function<double()> Fn);
+
+/// Deterministic gauge-sampling tick (one per finished task). Samples all
+/// gauges every SessionOptions::GaugePeriod ticks. Callers gate on
+/// enabled() so the disabled cost stays a single branch.
+void tick();
+
+/// Stops recording, drains every ring at what must be a task-quiescent
+/// point, and writes Chrome trace-event JSON to \p Path. Returns false
+/// (with a message on stderr) on I/O failure or if no session is active.
+bool endSession(const std::string &Path);
+
+/// Stops recording and discards all buffered events (failure paths).
+void abandonSession();
+
+/// Events recorded so far across all rings of the active session (0 when
+/// inactive). For tests and self-accounting.
+uint64_t sessionEventCount();
+
+} // namespace obs
+} // namespace avc
+
+#endif // AVC_OBS_OBS_H

@@ -1,0 +1,162 @@
+//===- obs/ObsExport.cpp - Chrome trace-event JSON export -----------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ObsExport.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "support/JsonReport.h"
+
+using namespace avc;
+using namespace avc::obs;
+
+uint64_t avc::obs::sanitizeSpans(std::vector<ExportEvent> &Events) {
+  // Per tid, match B/E in stream order (drain order is chronological per
+  // ring). Wraparound can only cut a prefix of a ring, so mismatches are
+  // End events whose Begin was overwritten, plus any Begin left open.
+  std::vector<char> Keep(Events.size(), 1);
+  std::map<uint32_t, std::vector<size_t>> OpenByTid;
+  uint64_t Removed = 0;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const ExportEvent &EE = Events[I];
+    if (EE.E.Ph == Phase::Begin) {
+      OpenByTid[EE.Tid].push_back(I);
+    } else if (EE.E.Ph == Phase::End) {
+      std::vector<size_t> &Open = OpenByTid[EE.Tid];
+      if (!Open.empty() && Events[Open.back()].E.Name == EE.E.Name) {
+        Open.pop_back();
+      } else {
+        Keep[I] = 0; // orphan End: its Begin fell off the ring
+        ++Removed;
+      }
+    }
+  }
+  for (const auto &Entry : OpenByTid)
+    for (size_t I : Entry.second) {
+      Keep[I] = 0; // Begin still open at drain
+      ++Removed;
+    }
+  if (Removed == 0)
+    return 0;
+  size_t Out = 0;
+  for (size_t I = 0; I < Events.size(); ++I)
+    if (Keep[I])
+      Events[Out++] = Events[I];
+  Events.resize(Out);
+  return Removed;
+}
+
+namespace {
+
+/// Timestamp in microseconds, the unit the trace-event format expects.
+std::string formatTs(uint64_t Ns) {
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.3f", double(Ns) / 1e3);
+  return std::string(Buffer);
+}
+
+void writeEvent(std::ofstream &Out, const ExportEvent &EE) {
+  const Event &E = EE.E;
+  Out << "    {\"name\": " << jsonQuote(E.Name) << ", \"cat\": \""
+      << catName(E.Category) << "\", \"ph\": \"";
+  switch (E.Ph) {
+  case Phase::Begin:
+    Out << 'B';
+    break;
+  case Phase::End:
+    Out << 'E';
+    break;
+  case Phase::Counter:
+  case Phase::Gauge:
+    Out << 'C';
+    break;
+  case Phase::Instant:
+    Out << 'i';
+    break;
+  }
+  Out << "\", \"ts\": " << formatTs(E.Ts) << ", \"pid\": 1, \"tid\": "
+      << EE.Tid;
+  switch (E.Ph) {
+  case Phase::Begin:
+  case Phase::Instant:
+    if (E.Ph == Phase::Instant)
+      Out << ", \"s\": \"t\"";
+    if (E.Value != 0)
+      Out << ", \"args\": {\"value\": " << E.Value << "}";
+    break;
+  case Phase::Counter:
+    Out << ", \"args\": {\"value\": " << E.Value << "}";
+    break;
+  case Phase::Gauge:
+    Out << ", \"args\": {\"value\": "
+        << jsonNumber(std::bit_cast<double>(E.Value)) << "}";
+    break;
+  case Phase::End:
+    break;
+  }
+  Out << "},\n";
+}
+
+} // namespace
+
+bool avc::obs::writeChromeTrace(const std::string &Path,
+                                std::vector<ExportEvent> &Events,
+                                const ExportSummary &Summary) {
+  // Perfetto does not require global timestamp order, but a sorted file is
+  // trivially diffable and lets the validator check monotonicity. Stable:
+  // drain order breaks ties, preserving per-thread B/E nesting.
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const ExportEvent &A, const ExportEvent &B) {
+                     return A.E.Ts < B.E.Ts;
+                   });
+
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+
+  Out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  // Metadata: process name plus one thread_name row per ring tid.
+  Out << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"taskcheck\"}},\n";
+  uint32_t MaxTid = 0;
+  for (const ExportEvent &EE : Events)
+    MaxTid = std::max(MaxTid, EE.Tid);
+  for (uint32_t Tid = 1; Tid <= MaxTid; ++Tid)
+    Out << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": "
+        << Tid << ", \"args\": {\"name\": \"worker-" << Tid << "\"}},\n";
+
+  for (const ExportEvent &EE : Events)
+    writeEvent(Out, EE);
+
+  // Self-accounting span: where the tracer itself spent time, and its
+  // estimate of the recording overhead paid *during* the run. Complete
+  // ("X") event on tid 0 so it never perturbs worker tracks.
+  Out << "    {\"name\": \"obs/self-accounting\", \"cat\": \"obs\", "
+         "\"ph\": \"X\", \"ts\": "
+      << formatTs(Summary.WallNs) << ", \"dur\": "
+      << formatTs(Summary.DrainNs) << ", \"pid\": 1, \"tid\": 0, "
+      << "\"args\": {\"events_recorded\": " << Summary.EventsRecorded
+      << ", \"events_dropped\": " << Summary.EventsDropped
+      << ", \"events_orphaned\": " << Summary.EventsOrphaned
+      << ", \"record_ns_per_event\": "
+      << jsonNumber(Summary.RecordNsPerEvent)
+      << ", \"estimated_overhead_pct\": "
+      << jsonNumber(Summary.estimatedOverheadPct()) << "}}\n";
+
+  Out << "  ],\n  \"otherData\": {\"events\": " << Summary.EventsRecorded
+      << ", \"dropped\": " << Summary.EventsDropped
+      << ", \"wall_ms\": " << jsonNumber(double(Summary.WallNs) / 1e6)
+      << ", \"estimated_overhead_pct\": "
+      << jsonNumber(Summary.estimatedOverheadPct()) << "}\n}\n";
+  return Out.good();
+}

@@ -1,0 +1,71 @@
+//===- obs/ObsExport.h - Chrome trace-event JSON export --------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns drained ring events into a Chrome trace-event JSON file loadable
+/// in Perfetto (ui.perfetto.dev) or chrome://tracing. Split from the
+/// session logic so the sanitizer/writer can be unit-tested on synthetic
+/// event streams (tests/ObsTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_OBS_OBSEXPORT_H
+#define AVC_OBS_OBSEXPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/ObsRing.h"
+
+namespace avc {
+namespace obs {
+
+/// A drained event tagged with its ring's thread ordinal.
+struct ExportEvent {
+  Event E;
+  uint32_t Tid;
+};
+
+/// Self-accounting attached to the exported file (the "obs/self-accounting"
+/// span plus the otherData block).
+struct ExportSummary {
+  uint64_t EventsRecorded = 0; ///< pushes across all rings (incl. dropped)
+  uint64_t EventsDropped = 0;  ///< lost to ring wraparound
+  uint64_t EventsOrphaned = 0; ///< B/E halves discarded by the sanitizer
+  uint64_t WallNs = 0;         ///< session duration
+  uint64_t DrainNs = 0;        ///< post-run drain + sanitize + sort time
+  double RecordNsPerEvent = 0; ///< calibrated at session start
+
+  /// The tracer's estimate of how much it slowed the traced run: recording
+  /// cost over session wall time (drain/export happen after the run and
+  /// are reported separately).
+  double estimatedOverheadPct() const {
+    if (WallNs == 0)
+      return 0.0;
+    return 100.0 * (RecordNsPerEvent * double(EventsRecorded)) /
+           double(WallNs);
+  }
+};
+
+/// Repairs streams truncated by ring wraparound: per tid, End events with
+/// no matching Begin (the Begin was overwritten) and Begins left open at
+/// drain are removed, so every exported B has its E. Counters, gauges, and
+/// instants pass through. Returns the number of events removed.
+uint64_t sanitizeSpans(std::vector<ExportEvent> &Events);
+
+/// Stable-sorts by timestamp (drain order is kept among equal stamps, so
+/// per-thread B/E nesting survives) and writes the trace-event JSON file.
+/// Sanitize first. Returns false with a message on stderr if \p Path
+/// cannot be written.
+bool writeChromeTrace(const std::string &Path,
+                      std::vector<ExportEvent> &Events,
+                      const ExportSummary &Summary);
+
+} // namespace obs
+} // namespace avc
+
+#endif // AVC_OBS_OBSEXPORT_H

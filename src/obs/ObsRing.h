@@ -1,0 +1,137 @@
+//===- obs/ObsRing.h - Per-thread lossy event ring buffer ------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage substrate of the observability layer (see obs/Obs.h): one
+/// fixed-capacity ring of trivially-copyable trace events per thread. The
+/// owning thread appends with plain stores and publishes with a single
+/// release store of the head index; no CAS, no lock, no allocation on the
+/// hot path (cxxtrace's per-thread ring design). The collector drains at
+/// task-quiescent points only — after ToolContext::run has joined all task
+/// work — so an acquire load of the head is the only synchronization a
+/// drain needs (see DESIGN.md §9 "Drain protocol").
+///
+/// Lossy by design: when the writer laps the reader the *oldest* events are
+/// overwritten and counted as dropped, so a profile of an over-long run
+/// degrades into a suffix window instead of stalling the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_OBS_OBSRING_H
+#define AVC_OBS_OBSRING_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "support/Compiler.h"
+
+namespace avc {
+namespace obs {
+
+/// Span/counter event phases, mirroring the Chrome trace-event "ph" field
+/// they export to.
+enum class Phase : uint8_t {
+  Begin,   ///< span open ("B")
+  End,     ///< span close ("E")
+  Counter, ///< integer counter sample ("C")
+  Gauge,   ///< double-valued gauge sample ("C"; Value holds the bit pattern)
+  Instant, ///< point event ("i")
+};
+
+/// Event categories, one per instrumented subsystem (the Chrome "cat"
+/// field; Perfetto lets you filter on it).
+enum class Cat : uint8_t {
+  Runtime, ///< task spawn/steal/execute/finish-scope events
+  Checker, ///< checker hot phases (shadow walk, promotion, violations)
+  Dpst,    ///< parallelism queries and tree/arena growth
+  Gauge,   ///< periodic gauge samples (footprints, hit rates)
+  Obs,     ///< the tracer's own self-accounting
+};
+
+const char *catName(Cat C);
+
+/// One trace event. Trivial and 32 bytes so a ring slot write is a handful
+/// of plain stores; names are interned static strings (or session-owned
+/// gauge names), never owned by the event.
+struct Event {
+  uint64_t Ts;      ///< nanoseconds since the session epoch
+  const char *Name; ///< static (or session-lifetime) display name
+  uint64_t Value;   ///< counter value / span argument / gauge double bits
+  Phase Ph;
+  Cat Category;
+};
+
+static_assert(sizeof(Event) <= 32, "ring slots should stay cache-lean");
+
+/// Single-writer lossy ring of Events. The writer is the owning thread;
+/// the reader is the collector, which must only drain while the writer is
+/// quiescent (the release/acquire pair on Head then covers the slots).
+class Ring {
+public:
+  /// \p Capacity is rounded up to a power of two.
+  explicit Ring(size_t Capacity, uint32_t Tid) : Tid(Tid) {
+    size_t Cap = 16;
+    while (Cap < Capacity)
+      Cap <<= 1;
+    Slots.resize(Cap);
+    Mask = Cap - 1;
+  }
+
+  Ring(const Ring &) = delete;
+  Ring &operator=(const Ring &) = delete;
+
+  /// Owner thread only: appends \p E, overwriting the oldest event when
+  /// full. Plain slot stores, one release store to publish.
+  AVC_ALWAYS_INLINE void push(const Event &E) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    Slots[H & Mask] = E;
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  /// Collector only, at writer quiescence: invokes \p Sink(Event) for every
+  /// retained event since the last drain, oldest first, and returns the
+  /// number of events that were overwritten before this drain could see
+  /// them.
+  template <typename SinkT> uint64_t drain(SinkT &&Sink) {
+    uint64_t H = Head.load(std::memory_order_acquire);
+    uint64_t Capacity = Mask + 1;
+    uint64_t Begin = Tail;
+    if (H > Capacity && H - Capacity > Begin)
+      Begin = H - Capacity; // writer lapped the reader: oldest events lost
+    uint64_t DroppedNow = Begin - Tail;
+    for (uint64_t I = Begin; I < H; ++I)
+      Sink(Slots[I & Mask]);
+    Tail = H;
+    Dropped += DroppedNow;
+    return DroppedNow;
+  }
+
+  /// Total events ever pushed (drained, pending, and dropped).
+  uint64_t pushed() const { return Head.load(std::memory_order_acquire); }
+
+  /// Cumulative events lost to wraparound across all drains.
+  uint64_t dropped() const { return Dropped; }
+
+  size_t capacity() const { return Mask + 1; }
+
+  /// Small dense thread ordinal assigned at registration (the exported
+  /// "tid" field).
+  const uint32_t Tid;
+
+private:
+  std::vector<Event> Slots;
+  uint64_t Mask = 0;
+  std::atomic<uint64_t> Head{0};
+  uint64_t Tail = 0;    // collector-owned read cursor
+  uint64_t Dropped = 0; // collector-owned loss accounting
+};
+
+} // namespace obs
+} // namespace avc
+
+#endif // AVC_OBS_OBSRING_H

@@ -9,6 +9,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/Obs.h"
 #include "runtime/WorkStealingDeque.h"
 #include "support/Compiler.h"
 #include "support/Random.h"
@@ -71,12 +72,15 @@ void TaskGroup::run(std::function<void()> Fn) {
   RT.notifyAll([&](ExecutionObserver &Obs) {
     Obs.onTaskSpawn(Ctx.Id, Implicit ? nullptr : this, Child);
   });
+  obs::instant(obs::Cat::Runtime, "task/spawn", Child);
   auto *Node = new detail::TaskNode{std::move(Fn), this, Child};
   Pending.fetch_add(1, std::memory_order_acq_rel);
   RT.pushTask(Node);
 }
 
 void TaskGroup::wait() {
+  AVC_OBS_SPAN(obs::Cat::Runtime,
+               Implicit ? "task/sync" : "task/group-wait");
   RT.waitUntilZero(Pending);
   // The finish scope closes only once all children are done; tools see the
   // completion event in that order.
@@ -150,8 +154,12 @@ detail::TaskNode *TaskRuntime::findWork(detail::Worker &W) {
     detail::Worker &Victim = *Workers[(Start + I) % N];
     if (&Victim == &W)
       continue;
-    if (detail::TaskNode *Node = Victim.Deque.steal())
+    if (detail::TaskNode *Node = Victim.Deque.steal()) {
+      // Only successful steals are recorded; failed scans would keep idle
+      // workers producing events after the run goes quiescent.
+      obs::instant(obs::Cat::Runtime, "task/steal", Node->Id);
       return Node;
+    }
   }
   return nullptr;
 }
@@ -160,14 +168,19 @@ void TaskRuntime::execute(detail::TaskNode *Node) {
   detail::TaskContext Ctx{Node->Id, this, nullptr, nullptr};
   detail::TaskContext *Prev = CurCtx;
   CurCtx = &Ctx;
-  Node->Fn();
-  // Cilk semantics: implicit sync of outstanding children at task end.
-  if (Ctx.ImplicitGroup) {
-    Ctx.ImplicitGroup->wait();
-    delete Ctx.ImplicitGroup;
-    Ctx.ImplicitGroup = nullptr;
+  {
+    AVC_OBS_SPAN(obs::Cat::Runtime, "task/execute", Ctx.Id);
+    Node->Fn();
+    // Cilk semantics: implicit sync of outstanding children at task end.
+    if (Ctx.ImplicitGroup) {
+      Ctx.ImplicitGroup->wait();
+      delete Ctx.ImplicitGroup;
+      Ctx.ImplicitGroup = nullptr;
+    }
   }
   notifyAll([&](ExecutionObserver &Obs) { Obs.onTaskEnd(Ctx.Id); });
+  if (obs::enabled())
+    obs::tick();
   CurCtx = Prev;
   TaskGroup *Group = Node->Group;
   delete Node;

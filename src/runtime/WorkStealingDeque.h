@@ -28,6 +28,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/Obs.h"
+
 namespace avc {
 
 /// Single-owner, multi-thief lock-free deque of pointers.
@@ -127,6 +129,8 @@ private:
   };
 
   Ring *grow(Ring *Old, int64_t B, int64_t Ti) {
+    obs::instant(obs::Cat::Runtime, "deque/grow",
+                 static_cast<uint64_t>(Old->Capacity * 2));
     Ring *Fresh = new Ring(Old->Capacity * 2);
     for (int64_t I = Ti; I < B; ++I)
       Fresh->put(I, Old->get(I));

@@ -1,0 +1,230 @@
+//===- support/ArgParse.h - Tiny command-line parser ------------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared `--name=value` / `--name value` parsing for the front-end
+/// binaries (taskcheck and the bench harness). Two modes:
+///
+///   - parse():      strict; an unregistered argument is an error.
+///   - parseKnown(): extraction; registered arguments are consumed and
+///                   argv is compacted in place, everything else is left
+///                   for a downstream parser (google-benchmark rejects
+///                   flags it does not know, so ours must not reach it).
+///
+/// Options registered with removed() produce a hard error pointing the
+/// user at the replacement — the one-release migration path for renamed
+/// flags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_SUPPORT_ARGPARSE_H
+#define AVC_SUPPORT_ARGPARSE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace avc {
+
+/// Returns true if \p Path can be opened for writing. Probes in append
+/// mode so an existing file is not truncated by the check itself; the
+/// point is to let --json/--profile fail before a long run, not after.
+inline bool ensureWritableFile(const std::string &Path) {
+  std::ofstream Probe(Path, std::ios::app);
+  return Probe.good();
+}
+
+class ArgParser {
+public:
+  /// Receives the option's value; returns false to abort parsing after
+  /// printing its own diagnostic.
+  using ValueHandler = std::function<bool(const char *Value)>;
+
+  /// Registers `--name` (no value); presence sets \p Out to true.
+  ArgParser &flag(std::string Name, bool &Out) {
+    Specs.push_back({std::move(Name), Kind::Flag, &Out, nullptr, {}});
+    return *this;
+  }
+
+  /// Registers `--name=V` / `--name V` with a custom handler.
+  ArgParser &option(std::string Name, ValueHandler Handler) {
+    Specs.push_back(
+        {std::move(Name), Kind::Value, nullptr, std::move(Handler), {}});
+    return *this;
+  }
+
+  /// Registers a removed option: any use errors with \p Message appended
+  /// after the option name (e.g. "was removed; use --access-cache=off").
+  ArgParser &removed(std::string Name, std::string Message) {
+    Specs.push_back(
+        {std::move(Name), Kind::Removed, nullptr, nullptr,
+         std::move(Message)});
+    return *this;
+  }
+
+  /// Typed conveniences over option().
+  ArgParser &stringOption(std::string Name, std::string &Out) {
+    return option(std::move(Name), [&Out](const char *V) {
+      Out = V;
+      return true;
+    });
+  }
+
+  ArgParser &doubleOption(std::string Name, double &Out) {
+    std::string Diag = Name;
+    return option(std::move(Name), [Diag, &Out](const char *V) {
+      char *End = nullptr;
+      double Parsed = std::strtod(V, &End);
+      if (End == V || *End != '\0') {
+        std::fprintf(stderr, "error: --%s wants a number, got '%s'\n",
+                     Diag.c_str(), V);
+        return false;
+      }
+      Out = Parsed;
+      return true;
+    });
+  }
+
+  ArgParser &unsignedOption(std::string Name, unsigned &Out) {
+    std::string Diag = Name;
+    return option(std::move(Name), [Diag, &Out](const char *V) {
+      uint64_t Parsed;
+      if (!parseUint(Diag.c_str(), V, UINT32_MAX, Parsed))
+        return false;
+      Out = static_cast<unsigned>(Parsed);
+      return true;
+    });
+  }
+
+  ArgParser &u32Option(std::string Name, uint32_t &Out) {
+    std::string Diag = Name;
+    return option(std::move(Name), [Diag, &Out](const char *V) {
+      uint64_t Parsed;
+      if (!parseUint(Diag.c_str(), V, UINT32_MAX, Parsed))
+        return false;
+      Out = static_cast<uint32_t>(Parsed);
+      return true;
+    });
+  }
+
+  ArgParser &u64Option(std::string Name, uint64_t &Out) {
+    std::string Diag = Name;
+    return option(std::move(Name), [Diag, &Out](const char *V) {
+      return parseUint(Diag.c_str(), V, UINT64_MAX, Out);
+    });
+  }
+
+  /// Strict parse: every argument must match a registered option.
+  bool parse(int Argc, char **Argv) {
+    for (int I = 1; I < Argc; ++I) {
+      int Result = consume(Argc, Argv, I);
+      if (Result < 0)
+        return false;
+      if (Result == 0) {
+        std::fprintf(stderr, "error: unknown argument '%s'\n", Argv[I]);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Extraction parse: consumes registered options, compacting \p Argv in
+  /// place so unmatched arguments survive for a downstream parser.
+  bool parseKnown(int &Argc, char **Argv) {
+    int Out = 1;
+    for (int I = 1; I < Argc; ++I) {
+      int Start = I;
+      int Result = consume(Argc, Argv, I);
+      if (Result < 0)
+        return false;
+      if (Result == 0)
+        Argv[Out++] = Argv[Start];
+    }
+    Argc = Out;
+    return true;
+  }
+
+private:
+  enum class Kind : uint8_t { Flag, Value, Removed };
+
+  struct Spec {
+    std::string Name; ///< without the leading "--"
+    Kind K;
+    bool *FlagOut;
+    ValueHandler Handler;
+    std::string RemovedMessage;
+  };
+
+  static bool parseUint(const char *Name, const char *V, uint64_t Max,
+                        uint64_t &Out) {
+    char *End = nullptr;
+    unsigned long long Parsed = std::strtoull(V, &End, 10);
+    if (End == V || *End != '\0' || V[0] == '-' || Parsed > Max) {
+      std::fprintf(stderr,
+                   "error: --%s wants a non-negative integer, got '%s'\n",
+                   Name, V);
+      return false;
+    }
+    Out = Parsed;
+    return true;
+  }
+
+  /// Tries to match Argv[I] (advancing I past a detached value). Returns
+  /// 1 on match, 0 if unregistered, -1 on a reported error.
+  int consume(int Argc, char **Argv, int &I) {
+    const char *Arg = Argv[I];
+    if (Arg[0] != '-' || Arg[1] != '-')
+      return 0;
+    const char *Body = Arg + 2;
+    const char *Eq = std::strchr(Body, '=');
+    size_t NameLen = Eq ? static_cast<size_t>(Eq - Body) : std::strlen(Body);
+    for (const Spec &S : Specs) {
+      if (S.Name.size() != NameLen ||
+          std::memcmp(S.Name.data(), Body, NameLen) != 0)
+        continue;
+      switch (S.K) {
+      case Kind::Removed:
+        std::fprintf(stderr, "error: --%s %s\n", S.Name.c_str(),
+                     S.RemovedMessage.c_str());
+        return -1;
+      case Kind::Flag:
+        if (Eq) {
+          std::fprintf(stderr, "error: --%s does not take a value\n",
+                       S.Name.c_str());
+          return -1;
+        }
+        *S.FlagOut = true;
+        return 1;
+      case Kind::Value: {
+        const char *Value;
+        if (Eq) {
+          Value = Eq + 1;
+        } else if (I + 1 < Argc) {
+          Value = Argv[++I];
+        } else {
+          std::fprintf(stderr, "error: --%s requires a value\n",
+                       S.Name.c_str());
+          return -1;
+        }
+        return S.Handler(Value) ? 1 : -1;
+      }
+      }
+    }
+    return 0;
+  }
+
+  std::vector<Spec> Specs;
+};
+
+} // namespace avc
+
+#endif // AVC_SUPPORT_ARGPARSE_H

@@ -1,0 +1,308 @@
+//===- tests/ObsTest.cpp - Observability layer ----------------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The observability layer (obs/): the lossy per-thread ring (wraparound
+/// keeps the newest events, incremental drains are loss-free), session
+/// lifecycle (inert when disabled, begin/end pairing, cross-thread
+/// recording drained at quiescence — the test the TSan job leans on),
+/// Chrome-trace export validity (structure, B/E balance after
+/// sanitization, timestamp monotonicity, double-valued gauges), and
+/// deterministic gauge sampling across identical runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/Obs.h"
+#include "obs/ObsExport.h"
+#include "obs/ObsRing.h"
+
+using namespace avc;
+using namespace avc::obs;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return testing::TempDir() + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+size_t countOccurrences(const std::string &Text, const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Text.find(Needle); Pos != std::string::npos;
+       Pos = Text.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
+
+/// Values of every exported sample of the named counter/gauge, in file
+/// order (the file is timestamp-sorted, so this is the time series).
+std::vector<std::string> valueSeries(const std::string &Text,
+                                     const std::string &Name) {
+  std::vector<std::string> Values;
+  std::string Needle = "\"name\": \"" + Name + "\"";
+  for (size_t Pos = Text.find(Needle); Pos != std::string::npos;
+       Pos = Text.find(Needle, Pos + Needle.size())) {
+    size_t LineEnd = Text.find('\n', Pos);
+    size_t ValPos = Text.find("\"value\": ", Pos);
+    if (ValPos == std::string::npos || ValPos > LineEnd)
+      continue;
+    ValPos += 9;
+    size_t ValEnd = Text.find_first_of("},", ValPos);
+    Values.push_back(Text.substr(ValPos, ValEnd - ValPos));
+  }
+  return Values;
+}
+
+//===----------------------------------------------------------------------===//
+// Ring
+//===----------------------------------------------------------------------===//
+
+Event makeEvent(uint64_t Seq) {
+  Event E;
+  E.Ts = Seq;
+  E.Name = "ring/test";
+  E.Value = Seq;
+  E.Ph = Phase::Instant;
+  E.Category = Cat::Runtime;
+  return E;
+}
+
+TEST(ObsRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(Ring(1, 1).capacity(), 16u);
+  EXPECT_EQ(Ring(16, 1).capacity(), 16u);
+  EXPECT_EQ(Ring(20, 1).capacity(), 32u);
+  EXPECT_EQ(Ring(1024, 1).capacity(), 1024u);
+}
+
+TEST(ObsRingTest, WraparoundKeepsNewestEvents) {
+  Ring R(16, 1);
+  for (uint64_t I = 0; I < 40; ++I)
+    R.push(makeEvent(I));
+  std::vector<uint64_t> Seen;
+  uint64_t DroppedNow = R.drain([&](const Event &E) {
+    Seen.push_back(E.Value);
+  });
+  EXPECT_EQ(DroppedNow, 24u);
+  EXPECT_EQ(R.dropped(), 24u);
+  EXPECT_EQ(R.pushed(), 40u);
+  ASSERT_EQ(Seen.size(), 16u);
+  for (uint64_t I = 0; I < 16; ++I)
+    EXPECT_EQ(Seen[I], 24 + I) << "oldest-first suffix window";
+}
+
+TEST(ObsRingTest, IncrementalDrainsAreLossFree) {
+  Ring R(16, 1);
+  for (uint64_t I = 0; I < 10; ++I)
+    R.push(makeEvent(I));
+  std::vector<uint64_t> Seen;
+  EXPECT_EQ(R.drain([&](const Event &E) { Seen.push_back(E.Value); }), 0u);
+  EXPECT_EQ(Seen.size(), 10u);
+  // The second batch alone would overflow a 16-slot ring if the cursor did
+  // not advance; after a drain it fits with no loss.
+  for (uint64_t I = 10; I < 24; ++I)
+    R.push(makeEvent(I));
+  EXPECT_EQ(R.drain([&](const Event &E) { Seen.push_back(E.Value); }), 0u);
+  ASSERT_EQ(Seen.size(), 24u);
+  for (uint64_t I = 0; I < 24; ++I)
+    EXPECT_EQ(Seen[I], I);
+  EXPECT_EQ(R.dropped(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Session lifecycle
+//===----------------------------------------------------------------------===//
+
+TEST(ObsSessionTest, DisabledInstrumentationIsInert) {
+  ASSERT_FALSE(sessionActive());
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(sessionEventCount(), 0u);
+  // All front-end entry points must be safe no-ops with no session.
+  instant(Cat::Runtime, "noop", 1);
+  counter(Cat::Runtime, "noop", 2);
+  tick();
+  addGauge("noop", [] { return 0.0; });
+  { AVC_OBS_SPAN(Cat::Runtime, "noop/span"); }
+  { AVC_OBS_SPAN_SAMPLED(Cat::Checker, "noop/sampled", 8); }
+  EXPECT_EQ(sessionEventCount(), 0u);
+}
+
+TEST(ObsSessionTest, SecondBeginIsRejected) {
+  ASSERT_TRUE(beginSession());
+  EXPECT_TRUE(sessionActive());
+  EXPECT_TRUE(enabled());
+  EXPECT_FALSE(beginSession()) << "nested sessions are not supported";
+  abandonSession();
+  EXPECT_FALSE(sessionActive());
+  EXPECT_FALSE(enabled());
+}
+
+TEST(ObsSessionTest, EndWithoutBeginFails) {
+  ASSERT_FALSE(sessionActive());
+  EXPECT_FALSE(endSession(tempPath("obs_no_session.json")));
+}
+
+// The drain-protocol test the TSan configuration exercises: many threads
+// record into their own rings while the collector stays out, then a single
+// post-join endSession drains everything.
+TEST(ObsSessionTest, CrossThreadRecordingDrainsAtQuiescence) {
+  SessionOptions Opts;
+  Opts.RingCapacity = size_t(1) << 12;
+  ASSERT_TRUE(beginSession(Opts));
+
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 1000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([T] {
+      for (int I = 0; I < PerThread; ++I) {
+        AVC_OBS_SPAN(Cat::Runtime, "test/span", uint64_t(T) + 1);
+        instant(Cat::Checker, "test/instant", uint64_t(I));
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  // Each iteration records Begin + Instant + End; nothing was dropped at
+  // this ring size, and only the four worker threads own rings.
+  EXPECT_EQ(sessionEventCount(), uint64_t(NumThreads) * PerThread * 3);
+
+  std::string Path = tempPath("obs_cross_thread.json");
+  ASSERT_TRUE(endSession(Path));
+  std::string Text = slurp(Path);
+  EXPECT_EQ(countOccurrences(Text, "\"ph\": \"B\""),
+            size_t(NumThreads) * PerThread);
+  EXPECT_EQ(countOccurrences(Text, "\"ph\": \"E\""),
+            size_t(NumThreads) * PerThread);
+  EXPECT_EQ(countOccurrences(Text, "\"name\": \"test/instant\""),
+            size_t(NumThreads) * PerThread);
+  EXPECT_NE(Text.find("\"events_dropped\": 0"), std::string::npos);
+  // One thread_name metadata row per ring.
+  EXPECT_EQ(countOccurrences(Text, "\"name\": \"thread_name\""),
+            size_t(NumThreads));
+}
+
+//===----------------------------------------------------------------------===//
+// Export
+//===----------------------------------------------------------------------===//
+
+TEST(ObsExportTest, TraceJsonIsStructurallyValid) {
+  ASSERT_TRUE(beginSession());
+  {
+    AVC_OBS_SPAN(Cat::Runtime, "outer", 7);
+    { AVC_OBS_SPAN(Cat::Checker, "inner"); }
+    instant(Cat::Dpst, "point", 3);
+    counter(Cat::Runtime, "count", 42);
+  }
+  // A gauge sample with a non-integral double exercises the bit-cast
+  // encoding end to end.
+  record(Phase::Gauge, Cat::Gauge, "gauge/direct",
+         std::bit_cast<uint64_t>(2.5));
+  // An unmatched Begin must be sanitized away, not emitted.
+  record(Phase::Begin, Cat::Runtime, "orphan/begin");
+
+  std::string Path = tempPath("obs_export.json");
+  ASSERT_TRUE(endSession(Path));
+  std::string Text = slurp(Path);
+
+  ASSERT_FALSE(Text.empty());
+  EXPECT_EQ(Text.front(), '{');
+  EXPECT_EQ(Text.substr(Text.size() - 2), "}\n");
+  EXPECT_NE(Text.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(Text.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(Text.find("\"name\": \"process_name\""), std::string::npos);
+  EXPECT_NE(Text.find("\"name\": \"obs/self-accounting\""),
+            std::string::npos);
+  EXPECT_NE(Text.find("\"otherData\""), std::string::npos);
+
+  // Spans balance after sanitization; the orphan Begin is gone and counted.
+  EXPECT_EQ(countOccurrences(Text, "\"ph\": \"B\""),
+            countOccurrences(Text, "\"ph\": \"E\""));
+  EXPECT_EQ(Text.find("orphan/begin"), std::string::npos);
+  EXPECT_NE(Text.find("\"events_orphaned\": 1"), std::string::npos);
+
+  // Span argument, instant, counter, and double-gauge payloads.
+  EXPECT_NE(Text.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(Text.find("\"args\": {\"value\": 7}"), std::string::npos);
+  EXPECT_NE(Text.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(Text.find("\"args\": {\"value\": 42}"), std::string::npos);
+  EXPECT_EQ(valueSeries(Text, "gauge/direct"),
+            std::vector<std::string>{"2.5"});
+
+  // Timestamps are non-decreasing in file order (the exporter sorts; the
+  // validator script checks the same invariant in CI).
+  double LastTs = -1.0;
+  for (size_t Pos = Text.find("\"ts\": "); Pos != std::string::npos;
+       Pos = Text.find("\"ts\": ", Pos + 6)) {
+    double Ts = std::atof(Text.c_str() + Pos + 6);
+    EXPECT_GE(Ts, LastTs);
+    LastTs = Ts;
+  }
+  EXPECT_GE(LastTs, 0.0);
+}
+
+TEST(ObsExportTest, SampledSpanCarriesSamplingFactor) {
+  ASSERT_TRUE(beginSession());
+  for (int I = 0; I < 20; ++I) {
+    AVC_OBS_SPAN_SAMPLED(Cat::Checker, "sampled/span", 8);
+  }
+  std::string Path = tempPath("obs_sampled.json");
+  ASSERT_TRUE(endSession(Path));
+  std::string Text = slurp(Path);
+  // 20 occurrences at every-8th sampling: iterations 0, 8, 16 are timed.
+  EXPECT_EQ(countOccurrences(Text, "\"name\": \"sampled/span\""), 6u);
+  EXPECT_EQ(valueSeries(Text, "sampled/span"),
+            (std::vector<std::string>{"8", "8", "8"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Gauges
+//===----------------------------------------------------------------------===//
+
+TEST(ObsGaugeTest, SamplingIsDeterministic) {
+  auto RunOnce = [](const std::string &Path) {
+    SessionOptions Opts;
+    Opts.GaugePeriod = 4;
+    ASSERT_TRUE(beginSession(Opts));
+    std::atomic<int> Finished{0};
+    addGauge("gauge/test-ticks",
+             [&] { return double(Finished.load(std::memory_order_relaxed)); });
+    for (int I = 0; I < 20; ++I) {
+      Finished.fetch_add(1, std::memory_order_relaxed);
+      tick();
+    }
+    ASSERT_TRUE(endSession(Path));
+  };
+
+  std::string PathA = tempPath("obs_gauge_a.json");
+  std::string PathB = tempPath("obs_gauge_b.json");
+  RunOnce(PathA);
+  RunOnce(PathB);
+
+  // Sampled on ticks 4, 8, 12, 16, 20, plus the final end-of-session
+  // sample — identical runs produce identical series.
+  std::vector<std::string> Expected{"4", "8", "12", "16", "20", "20"};
+  EXPECT_EQ(valueSeries(slurp(PathA), "gauge/test-ticks"), Expected);
+  EXPECT_EQ(valueSeries(slurp(PathB), "gauge/test-ticks"), Expected);
+}
+
+} // namespace

@@ -4,12 +4,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <cstdio>
+#include <fstream>
+#include <initializer_list>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "support/ArgParse.h"
 #include "support/ChunkedVector.h"
 #include "support/PointerMap.h"
 #include "support/RadixTable.h"
@@ -262,6 +267,145 @@ TEST(SpinLock, TryLock) {
   Lock.unlock();
   EXPECT_TRUE(Lock.try_lock());
   Lock.unlock();
+}
+
+//===----------------------------------------------------------------------===//
+// ArgParse
+//===----------------------------------------------------------------------===//
+
+/// Builds a mutable argv from literals (parseKnown compacts in place).
+struct ArgvFixture {
+  explicit ArgvFixture(std::initializer_list<const char *> Args) {
+    Storage.emplace_back("prog");
+    for (const char *Arg : Args)
+      Storage.emplace_back(Arg);
+    for (std::string &S : Storage)
+      Pointers.push_back(S.data());
+    Argc = static_cast<int>(Pointers.size());
+  }
+
+  std::vector<std::string> Storage;
+  std::vector<char *> Pointers;
+  int Argc;
+
+  char **argv() { return Pointers.data(); }
+};
+
+TEST(ArgParse, TypedOptionsBothSpellings) {
+  std::string Name;
+  double Scale = 0;
+  unsigned Threads = 0;
+  uint64_t Seed = 0;
+  bool Flag = false;
+  ArgvFixture Args{"--name=alpha", "--scale", "2.5", "--threads=8",
+                   "--seed", "12345678901", "--flag"};
+  ArgParser Parser;
+  Parser.stringOption("name", Name)
+      .doubleOption("scale", Scale)
+      .unsignedOption("threads", Threads)
+      .u64Option("seed", Seed)
+      .flag("flag", Flag);
+  ASSERT_TRUE(Parser.parse(Args.Argc, Args.argv()));
+  EXPECT_EQ(Name, "alpha");
+  EXPECT_EQ(Scale, 2.5);
+  EXPECT_EQ(Threads, 8u);
+  EXPECT_EQ(Seed, 12345678901ull);
+  EXPECT_TRUE(Flag);
+}
+
+TEST(ArgParse, StrictParseRejectsUnknownArguments) {
+  bool Flag = false;
+  ArgvFixture Args{"--flag", "--bogus"};
+  ArgParser Parser;
+  Parser.flag("flag", Flag);
+  EXPECT_FALSE(Parser.parse(Args.Argc, Args.argv()));
+}
+
+TEST(ArgParse, ParseErrors) {
+  {
+    double Out = 0;
+    ArgvFixture Args{"--scale=abc"};
+    ArgParser Parser;
+    Parser.doubleOption("scale", Out);
+    EXPECT_FALSE(Parser.parse(Args.Argc, Args.argv()));
+  }
+  {
+    unsigned Out = 0;
+    ArgvFixture Args{"--threads=-3"};
+    ArgParser Parser;
+    Parser.unsignedOption("threads", Out);
+    EXPECT_FALSE(Parser.parse(Args.Argc, Args.argv()));
+  }
+  {
+    std::string Out;
+    ArgvFixture Args{"--json"}; // detached value missing
+    ArgParser Parser;
+    Parser.stringOption("json", Out);
+    EXPECT_FALSE(Parser.parse(Args.Argc, Args.argv()));
+  }
+  {
+    bool Out = false;
+    ArgvFixture Args{"--flag=yes"}; // flags take no value
+    ArgParser Parser;
+    Parser.flag("flag", Out);
+    EXPECT_FALSE(Parser.parse(Args.Argc, Args.argv()));
+  }
+}
+
+TEST(ArgParse, RemovedOptionIsAHardError) {
+  bool Cache = true;
+  ArgvFixture Equals{"--no-filter"};
+  ArgParser Parser;
+  Parser.flag("unused", Cache).removed("no-filter",
+                                       "was removed; use --access-cache=off");
+  EXPECT_FALSE(Parser.parse(Equals.Argc, Equals.argv()));
+  // Removed options error in extraction mode too — a silent pass-through
+  // would hand the flag to a downstream parser that knows even less.
+  ArgvFixture Known{"--no-filter", "--other"};
+  EXPECT_FALSE(Parser.parseKnown(Known.Argc, Known.argv()));
+}
+
+TEST(ArgParse, ParseKnownExtractsAndCompacts) {
+  std::string Json;
+  ArgvFixture Args{"--alpha", "--json=out.json", "--beta", "b", "--json",
+                   "final.json"};
+  ArgParser Parser;
+  Parser.stringOption("json", Json);
+  ASSERT_TRUE(Parser.parseKnown(Args.Argc, Args.argv()));
+  EXPECT_EQ(Json, "final.json") << "later occurrences win";
+  ASSERT_EQ(Args.Argc, 4);
+  EXPECT_STREQ(Args.argv()[1], "--alpha");
+  EXPECT_STREQ(Args.argv()[2], "--beta");
+  EXPECT_STREQ(Args.argv()[3], "b");
+}
+
+TEST(ArgParse, CustomHandlerFailureStopsParsing) {
+  int Calls = 0;
+  ArgvFixture Args{"--mode=bad", "--mode=good"};
+  ArgParser Parser;
+  Parser.option("mode", [&Calls](const char *V) {
+    ++Calls;
+    return std::string(V) == "good";
+  });
+  EXPECT_FALSE(Parser.parse(Args.Argc, Args.argv()));
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(ArgParse, EnsureWritableFile) {
+  std::string Good = testing::TempDir() + "argparse_probe.json";
+  EXPECT_TRUE(ensureWritableFile(Good));
+  EXPECT_FALSE(ensureWritableFile("/nonexistent-dir/trace.json"));
+  // The probe must not truncate an existing file.
+  {
+    std::ofstream Out(Good);
+    Out << "content";
+  }
+  EXPECT_TRUE(ensureWritableFile(Good));
+  std::ifstream In(Good);
+  std::string Line;
+  std::getline(In, Line);
+  EXPECT_EQ(Line, "content");
+  std::remove(Good.c_str());
 }
 
 } // namespace

@@ -33,6 +33,8 @@
 #include "checker/Velodrome.h"
 #include "dpst/DpstDot.h"
 #include "instrument/ToolContext.h"
+#include "obs/Obs.h"
+#include "support/ArgParse.h"
 #include "support/JsonReport.h"
 #include "support/Timing.h"
 #include "trace/TraceGenerator.h"
@@ -57,6 +59,8 @@ struct CliOptions {
   unsigned CacheSlots = DefaultAccessCacheSlots;
   /// Machine-readable per-run counters destination (--json=PATH).
   std::string JsonPath;
+  /// Observability-trace destination (--profile=PATH, Perfetto-loadable).
+  std::string ProfilePath;
   double Scale = 1.0;
   unsigned Threads = 1;
   uint64_t Seed = 1;
@@ -74,6 +78,8 @@ int usage(const char *Prog) {
       "           [--query-mode=walk|lift|label]  parallelism-query "
       "algorithm\n"
       "           [--json=PATH]  write per-run counters as JSON\n"
+      "           [--profile=PATH]  record a tracing session as a "
+      "Perfetto-loadable Chrome trace\n"
       "       %s --tool=<t> --trace=<file> [--dot]\n"
       "       %s --generate [--seed=K] [--tasks=N] [--random-schedule]\n"
       "tools: atomicity (default), basic, velodrome, race, determinism, "
@@ -83,66 +89,53 @@ int usage(const char *Prog) {
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
-  for (int I = 1; I < Argc; ++I) {
-    const char *Arg = Argv[I];
-    auto Value = [&](const char *Prefix) -> const char * {
-      size_t Len = std::strlen(Prefix);
-      return std::strncmp(Arg, Prefix, Len) == 0 ? Arg + Len : nullptr;
-    };
-    if (const char *V = Value("--tool="))
-      Opts.Tool = V;
-    else if (const char *V = Value("--workload="))
-      Opts.Workload = V;
-    else if (const char *V = Value("--trace="))
-      Opts.TraceFile = V;
-    else if (const char *V = Value("--scale="))
-      Opts.Scale = std::atof(V);
-    else if (const char *V = Value("--threads="))
-      Opts.Threads = static_cast<unsigned>(std::atoi(V));
-    else if (const char *V = Value("--seed="))
-      Opts.Seed = std::strtoull(V, nullptr, 10);
-    else if (const char *V = Value("--tasks="))
-      Opts.Tasks = static_cast<uint32_t>(std::atoi(V));
-    else if (const char *V = Value("--query-mode=")) {
-      if (!parseQueryMode(V, Opts.Query)) {
-        std::fprintf(stderr, "error: unknown query mode '%s'\n", V);
-        return false;
-      }
-    } else if (const char *V = Value("--access-cache=")) {
-      if (std::strcmp(V, "on") == 0) {
-        Opts.CacheEnabled = true;
-        Opts.CacheSlots = DefaultAccessCacheSlots;
-      } else if (std::strcmp(V, "off") == 0) {
-        Opts.CacheEnabled = false;
-      } else {
-        char *End = nullptr;
-        unsigned long Slots = std::strtoul(V, &End, 10);
-        if (End == V || *End != '\0' || Slots == 0) {
-          std::fprintf(stderr,
-                       "error: --access-cache wants on, off, or a slot "
-                       "count, got '%s'\n",
-                       V);
-          return false;
-        }
-        Opts.CacheEnabled = true;
-        Opts.CacheSlots = static_cast<unsigned>(Slots);
-      }
-    } else if (const char *V = Value("--json="))
-      Opts.JsonPath = V;
-    else if (std::strcmp(Arg, "--list") == 0)
-      Opts.List = true;
-    else if (std::strcmp(Arg, "--generate") == 0)
-      Opts.Generate = true;
-    else if (std::strcmp(Arg, "--random-schedule") == 0)
-      Opts.RandomSchedule = true;
-    else if (std::strcmp(Arg, "--dot") == 0)
-      Opts.Dot = true;
-    else if (std::strcmp(Arg, "--no-filter") == 0)
-      Opts.CacheEnabled = false; // deprecated alias for --access-cache=off
-    else
-      return false;
-  }
-  return true;
+  ArgParser Parser;
+  Parser.stringOption("tool", Opts.Tool)
+      .stringOption("workload", Opts.Workload)
+      .stringOption("trace", Opts.TraceFile)
+      .doubleOption("scale", Opts.Scale)
+      .unsignedOption("threads", Opts.Threads)
+      .u64Option("seed", Opts.Seed)
+      .u32Option("tasks", Opts.Tasks)
+      .stringOption("json", Opts.JsonPath)
+      .stringOption("profile", Opts.ProfilePath)
+      .flag("list", Opts.List)
+      .flag("generate", Opts.Generate)
+      .flag("random-schedule", Opts.RandomSchedule)
+      .flag("dot", Opts.Dot)
+      .option("query-mode",
+              [&Opts](const char *V) {
+                if (parseQueryMode(V, Opts.Query))
+                  return true;
+                std::fprintf(stderr, "error: unknown query mode '%s'\n", V);
+                return false;
+              })
+      .option("access-cache",
+              [&Opts](const char *V) {
+                if (std::strcmp(V, "on") == 0) {
+                  Opts.CacheEnabled = true;
+                  Opts.CacheSlots = DefaultAccessCacheSlots;
+                  return true;
+                }
+                if (std::strcmp(V, "off") == 0) {
+                  Opts.CacheEnabled = false;
+                  return true;
+                }
+                char *End = nullptr;
+                unsigned long Slots = std::strtoul(V, &End, 10);
+                if (End == V || *End != '\0' || Slots == 0) {
+                  std::fprintf(stderr,
+                               "error: --access-cache wants on, off, or a "
+                               "slot count, got '%s'\n",
+                               V);
+                  return false;
+                }
+                Opts.CacheEnabled = true;
+                Opts.CacheSlots = static_cast<unsigned>(Slots);
+                return true;
+              })
+      .removed("no-filter", "was removed; use --access-cache=off");
+  return Parser.parse(Argc, Argv);
 }
 
 bool toolKindFor(const std::string &Name, ToolKind &Kind) {
@@ -262,6 +255,28 @@ bool writeJsonIfRequested(const CliOptions &Opts, JsonReport &Report) {
   return Report.write(Opts.JsonPath);
 }
 
+/// RAII observability session for offline trace replay. Workload runs go
+/// through ToolContext::run, which manages its own session; the replay
+/// path drives a checker directly, so the session brackets the whole
+/// replay and the trace is written when this leaves scope (replay is
+/// single-threaded, so the drain point is trivially quiescent).
+/// Must be declared AFTER the checker it profiles: the end-of-session
+/// gauge sample calls into the checker, so the session has to unwind
+/// first.
+struct ProfileSession {
+  std::string Path;
+  bool Recording = false;
+
+  explicit ProfileSession(std::string P) : Path(std::move(P)) {
+    if (!Path.empty())
+      Recording = obs::beginSession();
+  }
+  ~ProfileSession() {
+    if (Recording)
+      obs::endSession(Path);
+  }
+};
+
 int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
   std::string Text;
   if (Opts.TraceFile == "-") {
@@ -295,6 +310,8 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     CheckerOpts.AccessCacheSlots = Opts.CacheSlots;
     CheckerOpts.Query = Opts.Query;
     AtomicityChecker Checker(CheckerOpts);
+    ProfileSession Profile(Opts.ProfilePath);
+    Checker.registerObsGauges();
     replayTrace(*Events, Checker);
     std::printf("[atomicity] %zu violation(s)\n",
                 Checker.violations().size());
@@ -315,6 +332,8 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     BasicChecker::Options BasicOpts;
     BasicOpts.Query = Opts.Query;
     BasicChecker Checker(BasicOpts);
+    ProfileSession Profile(Opts.ProfilePath);
+    Checker.registerObsGauges();
     replayTrace(*Events, Checker);
     std::printf("[basic] %zu violation(s)\n", Checker.violations().size());
     for (const Violation &V : Checker.violations().snapshot())
@@ -329,6 +348,8 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
   }
   case ToolKind::Velodrome: {
     VelodromeChecker Checker;
+    ProfileSession Profile(Opts.ProfilePath);
+    Checker.registerObsGauges();
     replayTrace(*Events, Checker);
     std::printf("[velodrome] %zu cycle(s) in the observed trace\n",
                 Checker.numViolations());
@@ -349,6 +370,8 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     RaceDetector::Options RaceOpts;
     RaceOpts.Query = Opts.Query;
     RaceDetector Detector(RaceOpts);
+    ProfileSession Profile(Opts.ProfilePath);
+    Detector.registerObsGauges();
     replayTrace(*Events, Detector);
     std::printf("[race] %zu race(s)\n", Detector.numRaces());
     for (const Race &R : Detector.races())
@@ -370,6 +393,8 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     DeterminismChecker::Options DetOpts;
     DetOpts.Query = Opts.Query;
     DeterminismChecker Checker(DetOpts);
+    ProfileSession Profile(Opts.ProfilePath);
+    Checker.registerObsGauges();
     replayTrace(*Events, Checker);
     std::printf("[determinism] %zu violation(s)\n",
                 Checker.numViolations());
@@ -389,6 +414,7 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     return Checker.numViolations() == 0 ? 0 : 1;
   }
   case ToolKind::None: {
+    ProfileSession Profile(Opts.ProfilePath);
     std::printf("[none] trace parsed: %zu events\n", Events->size());
     JsonReport Report;
     jsonMeta(Report, Opts, Kind, "trace");
@@ -420,6 +446,7 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
   ToolOpts.Checker.EnableAccessCache = Opts.CacheEnabled;
   ToolOpts.Checker.AccessCacheSlots = Opts.CacheSlots;
   ToolOpts.Checker.Query = Opts.Query;
+  ToolOpts.Checker.ProfilePath = Opts.ProfilePath;
   ToolContext Tool(ToolOpts);
   Timer T;
   Tool.run([&] { Chosen->Run(Opts.Scale); });
@@ -484,6 +511,18 @@ int main(int argc, char **argv) {
     return listEverything();
   if (Opts.Generate)
     return generateTrace(Opts);
+
+  // Output destinations fail before the run, not after it.
+  if (!Opts.JsonPath.empty() && !ensureWritableFile(Opts.JsonPath)) {
+    std::fprintf(stderr, "error: --json path '%s' is not writable\n",
+                 Opts.JsonPath.c_str());
+    return 1;
+  }
+  if (!Opts.ProfilePath.empty() && !ensureWritableFile(Opts.ProfilePath)) {
+    std::fprintf(stderr, "error: --profile path '%s' is not writable\n",
+                 Opts.ProfilePath.c_str());
+    return 1;
+  }
 
   ToolKind Kind;
   if (!toolKindFor(Opts.Tool, Kind)) {

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by `taskcheck --profile`.
+
+Checks the invariants the exporter (src/obs/ObsExport.cpp) promises, so CI
+catches a malformed profile before anyone loads it into Perfetto:
+
+  - the file parses as JSON and traceEvents is a non-empty array,
+  - every event uses an allowed phase (M, X, C, i, B, E),
+  - per tid, B/E events balance as a properly nested name-matched stack
+    (sanitizeSpans must have removed every orphan),
+  - timestamps are non-decreasing in file order,
+  - exactly one obs/self-accounting event exists, and its estimated
+    overhead is below --max-overhead-pct when given.
+
+    validate_trace.py run.trace.json [--max-overhead-pct 10]
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PHASES = {"M", "X", "C", "i", "B", "E"}
+
+
+def fail(path, message):
+    sys.exit(f"error: {path}: {message}")
+
+
+def validate(path, max_overhead_pct):
+    with open(path) as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(path, f"not valid JSON: {e}")
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents is missing or empty")
+
+    open_spans = {}  # tid -> stack of open Begin names
+    last_ts = None
+    self_accounting = []
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase not in ALLOWED_PHASES:
+            fail(path, f"event {index}: disallowed phase {phase!r}")
+        if phase == "M":
+            continue  # metadata rows carry no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(path, f"event {index}: missing numeric ts")
+        if last_ts is not None and ts < last_ts:
+            fail(path, f"event {index}: ts {ts} decreases from {last_ts}")
+        last_ts = ts
+        tid = event.get("tid")
+        name = event.get("name")
+        if phase == "B":
+            open_spans.setdefault(tid, []).append(name)
+        elif phase == "E":
+            stack = open_spans.get(tid, [])
+            if not stack:
+                fail(path, f"event {index}: E {name!r} with no open span "
+                           f"on tid {tid}")
+            if stack[-1] != name:
+                fail(path, f"event {index}: E {name!r} closes B "
+                           f"{stack[-1]!r} on tid {tid}")
+            stack.pop()
+        if name == "obs/self-accounting":
+            self_accounting.append(event)
+
+    for tid, stack in open_spans.items():
+        if stack:
+            fail(path, f"tid {tid}: {len(stack)} span(s) left open "
+                       f"({', '.join(repr(n) for n in stack)})")
+
+    if len(self_accounting) != 1:
+        fail(path, f"expected exactly one obs/self-accounting event, "
+                   f"found {len(self_accounting)}")
+    args = self_accounting[0].get("args", {})
+    overhead = args.get("estimated_overhead_pct")
+    if not isinstance(overhead, (int, float)):
+        fail(path, "self-accounting event lacks estimated_overhead_pct")
+    if max_overhead_pct is not None and overhead > max_overhead_pct:
+        fail(path, f"estimated tracing overhead {overhead:.2f}% exceeds "
+                   f"the allowed {max_overhead_pct:.2f}%")
+
+    spans = sum(1 for e in events if e.get("ph") == "B")
+    print(f"{path} ok: {len(events)} events, {spans} spans, "
+          f"~{overhead:.2f}% estimated tracing overhead")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--max-overhead-pct", type=float, default=None,
+                        help="fail if the self-reported tracing overhead "
+                             "exceeds this percentage")
+    args = parser.parse_args()
+    validate(args.trace, args.max_overhead_pct)
+
+
+if __name__ == "__main__":
+    main()
