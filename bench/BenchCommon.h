@@ -136,7 +136,7 @@ inline CheckerStats statsOnce(const workloads::Workload &W,
 inline ToolContext::Options baselineOptions(const BenchConfig &Config) {
   ToolContext::Options Opts;
   Opts.Tool = ToolKind::None;
-  Opts.NumThreads = Config.Threads;
+  Opts.Checker.NumThreads = Config.Threads;
   return Opts;
 }
 
@@ -145,7 +145,7 @@ inline ToolContext::Options checkerOptions(const BenchConfig &Config,
                                            bool EnableCache = true) {
   ToolContext::Options Opts;
   Opts.Tool = ToolKind::Atomicity;
-  Opts.NumThreads = Config.Threads;
+  Opts.Checker.NumThreads = Config.Threads;
   Opts.Checker.Layout = Layout;
   Opts.Checker.Query = Config.Query;
   Opts.Checker.EnableLcaCache = EnableCache;
@@ -155,7 +155,7 @@ inline ToolContext::Options checkerOptions(const BenchConfig &Config,
 inline ToolContext::Options velodromeOptions(const BenchConfig &Config) {
   ToolContext::Options Opts;
   Opts.Tool = ToolKind::Velodrome;
-  Opts.NumThreads = Config.Threads;
+  Opts.Checker.NumThreads = Config.Threads;
   return Opts;
 }
 

@@ -70,14 +70,14 @@ ToolContext::Options makeNoCache(const BenchConfig &Config) {
 ToolContext::Options makeBasic(const BenchConfig &Config) {
   ToolContext::Options Opts;
   Opts.Tool = ToolKind::Basic;
-  Opts.NumThreads = Config.Threads;
+  Opts.Checker.NumThreads = Config.Threads;
   return Opts;
 }
 
 ToolContext::Options makeRace(const BenchConfig &Config) {
   ToolContext::Options Opts;
   Opts.Tool = ToolKind::Race;
-  Opts.NumThreads = Config.Threads;
+  Opts.Checker.NumThreads = Config.Threads;
   return Opts;
 }
 

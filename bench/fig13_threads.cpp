@@ -1,0 +1,91 @@
+//===- bench/fig13_threads.cpp - Fig 13 overhead across worker counts -----===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The multicore companion to fig13_overhead: per benchmark and per worker
+/// count (1/2/4/8), the checker's slowdown over an uninstrumented run *at
+/// the same worker count*. The ratio isolates the checker's own
+/// synchronization cost from the runtime's parallel speedup (or
+/// oversubscription cost): if the sharded metadata, the seqlock probe, and
+/// the thread-private fast paths do their job, the overhead column stays
+/// flat as workers are added; a checker that funnels its accesses through
+/// contended locks shows a rising curve instead. The per-count geomeans
+/// and their 8-vs-1 ratio are exported for the CI scaling gate
+/// (tools/bench_compare.py --key=scaling_t8_over_t1 --max-value=1.5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace avc;
+using namespace avc::bench;
+using namespace avc::workloads;
+
+int main(int argc, char **argv) {
+  BenchConfig Config = parseArgs(argc, argv);
+  constexpr unsigned ThreadCounts[] = {1, 2, 4, 8};
+
+  std::printf("Figure 13 across workers: checker slowdown vs uninstrumented "
+              "baseline at the same worker count (scale=%.2f, reps=%u, "
+              "query-mode=%s)\n",
+              Config.Scale, Config.Reps, queryModeName(Config.Query));
+  JsonReport Report;
+  Report.meta("experiment", "fig13_threads");
+  Report.meta("scale", Config.Scale);
+  Report.meta("reps", static_cast<double>(Config.Reps));
+  Report.meta("query_mode", queryModeName(Config.Query));
+  std::printf("%-14s %8s %10s %10s %8s\n", "benchmark", "threads", "base(ms)",
+              "ours(ms)", "ours(x)");
+
+  size_t Count = 0;
+  const Workload *Table = allWorkloads(Count);
+  std::vector<double> Slowdowns[4];
+
+  for (size_t I = 0; I < Count; ++I) {
+    const Workload &W = Table[I];
+    for (unsigned TI = 0; TI < 4; ++TI) {
+      BenchConfig ThreadConfig = Config;
+      ThreadConfig.Threads = ThreadCounts[TI];
+      // Interleave the two configurations across repetitions: slow machine
+      // drift then shifts both columns equally instead of biasing one.
+      double Base = 0, Ours = 0;
+      for (unsigned R = 0; R < Config.Reps; ++R) {
+        Base += timeOnce(W, baselineOptions(ThreadConfig), Config.Scale);
+        Ours += timeOnce(W, checkerOptions(ThreadConfig, DpstLayout::Array),
+                         Config.Scale);
+      }
+      Base /= Config.Reps;
+      Ours /= Config.Reps;
+      double OursX = Ours / Base;
+      Slowdowns[TI].push_back(OursX);
+      std::printf("%-14s %8u %10.2f %10.2f %7.2fx\n", W.Name,
+                  ThreadCounts[TI], Base * 1e3, Ours * 1e3, OursX);
+      Report.row()
+          .field("benchmark", W.Name)
+          .field("threads", static_cast<double>(ThreadCounts[TI]))
+          .field("base_ms", Base * 1e3)
+          .field("ours_ms", Ours * 1e3)
+          .field("ours_x", OursX);
+    }
+  }
+
+  double Geomeans[4];
+  for (unsigned TI = 0; TI < 4; ++TI) {
+    Geomeans[TI] = geometricMean(Slowdowns[TI]);
+    char Key[32];
+    std::snprintf(Key, sizeof(Key), "geomean_t%u_x", ThreadCounts[TI]);
+    Report.meta(Key, Geomeans[TI]);
+    std::printf("%-14s %8u %10s %10s %7.2fx\n", "geomean", ThreadCounts[TI],
+                "", "", Geomeans[TI]);
+  }
+  double Scaling = Geomeans[3] / Geomeans[0];
+  Report.meta("scaling_t8_over_t1", Scaling);
+  std::printf("\n8-worker vs 1-worker overhead ratio: %.2fx "
+              "(flat = 1.0; the CI gate requires <= 1.5)\n",
+              Scaling);
+  if (!Config.JsonPath.empty() && !Report.write(Config.JsonPath))
+    return 1;
+  return 0;
+}

@@ -63,7 +63,7 @@ int main(int argc, char **argv) {
   for (size_t I = 0; I < Count; ++I) {
     ToolContext::Options Opts;
     Opts.Tool = ToolKind::Atomicity;
-    Opts.NumThreads = Config.Threads;
+    Opts.Checker.NumThreads = Config.Threads;
     Opts.Checker.TrackUniquePairs = true;
     ToolContext Tool(Opts);
     Tool.run([&] { Table[I].Run(Config.Scale); });

@@ -86,8 +86,11 @@ public:
     MemAddr Addr = 0; ///< 0 = empty (address 0 is never tracked).
     GlobalT *Meta = nullptr;
     LocalT *Local = nullptr;
+    /// Owning task's lock epoch at stamp time. 64-bit: after 2^32 lock
+    /// releases a 32-bit epoch would wrap and a stale entry could alias a
+    /// live epoch, serving a false verdict hit.
+    uint64_t Epoch = 0;
     NodeId Step = InvalidNodeId;
-    uint32_t Epoch = 0;  ///< owning task's lock epoch at stamp time
     uint32_t MapGen = 0; ///< local PointerMap generation at stamp time
     uint32_t Gen = 0;    ///< table generation at stamp time (see Pool)
     uint8_t Bits = 0;    ///< redundancy verdicts (ReadBit | WriteBit)
@@ -210,7 +213,7 @@ public:
   /// with fresh verdicts. Returns true if a live neighbor (a different
   /// address with a current \p MapGen) was evicted.
   bool stamp(MemAddr Addr, GlobalT *Meta, LocalT *Local, NodeId Step,
-             uint32_t Epoch, uint32_t MapGen, bool ReadRedundant,
+             uint64_t Epoch, uint32_t MapGen, bool ReadRedundant,
              bool WriteRedundant) {
     Entry &E = Table[slotIndexFor(Addr)];
     bool Evicted = E.Gen == TableGen && E.Addr != 0 && E.Addr != Addr &&
@@ -238,7 +241,7 @@ public:
   /// slot within a bounded number of touches. Returns true when a live
   /// entry was displaced (an eviction).
   bool claim(MemAddr Addr, GlobalT *Meta, LocalT *Local, NodeId Step,
-             uint32_t Epoch, uint32_t MapGen) {
+             uint64_t Epoch, uint32_t MapGen) {
     Entry &E = Table[slotIndexFor(Addr)];
     bool Live = E.Gen == TableGen && E.Addr != 0 && E.Addr != Addr &&
                 E.MapGen == MapGen;

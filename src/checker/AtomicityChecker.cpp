@@ -19,6 +19,7 @@
 #include "checker/AtomicityChecker.h"
 
 #include <cassert>
+#include <cstdio>
 #include <mutex>
 
 #include "checker/RetentionPolicy.h"
@@ -28,8 +29,9 @@
 using namespace avc;
 
 AtomicityChecker::AtomicityChecker(Options Opts)
-    : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)),
-      Builder(*Tree), Log(Opts.MaxRetainedReports) {
+    : Opts(Opts), Concurrent(Opts.resolvedThreads() > 1),
+      Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree),
+      Log(Opts.MaxRetainedReports) {
   Oracle = std::make_unique<ParallelismOracle>(*Tree, Opts.oracleOptions());
 }
 
@@ -102,7 +104,19 @@ void AtomicityChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
 void AtomicityChecker::onTaskEnd(TaskId Task) {
   TaskState &State = stateFor(Task);
   Builder.endTask(State.Frame);
-  assert(State.Locks.depth() == 0 && "task ended while holding locks");
+  if (AVC_UNLIKELY(State.Locks.depth() != 0)) {
+    // Malformed program: the task ended while holding locks. Recover
+    // instead of silently carrying the stale lockset into a reused state
+    // (which would shrink no critical section but poison every cached
+    // verdict and snapshot): drop the held set and retire the verdicts
+    // proved under it.
+    std::fprintf(stderr,
+                 "taskcheck: task %u ended while holding %zu lock(s); "
+                 "clearing its lockset\n",
+                 static_cast<unsigned>(Task), State.Locks.depth());
+    State.Locks.clear();
+    ++State.CacheEpoch;
+  }
   // The task's interim buffers can never pair up again; drop them, return
   // the access-path cache table to the pool (task states outlive their
   // tasks), and fold the plain counters into the checker-wide totals.
@@ -126,10 +140,13 @@ void AtomicityChecker::flushCounters(TaskState &State) {
                                      std::memory_order_relaxed);
   Totals.NumLockSnapshots.fetch_add(State.NumLockSnapshots,
                                     std::memory_order_relaxed);
+  Totals.NumSeqlockSkips.fetch_add(State.NumSeqlockSkips,
+                                   std::memory_order_relaxed);
   State.NumReads = State.NumWrites = State.NumLocations = 0;
   State.NumCacheHitReads = State.NumCacheHitWrites = 0;
   State.NumCachePathHits = State.NumCacheEvictions = 0;
   State.NumLockSnapshots = 0;
+  State.NumSeqlockSkips = 0;
 }
 
 void AtomicityChecker::onSync(TaskId Task) {
@@ -143,8 +160,16 @@ void AtomicityChecker::onGroupWait(TaskId Task, const void *GroupTag) {
 void AtomicityChecker::onLockAcquire(TaskId Task, LockId Lock) {
   // Lock versioning (Section 3.3): every acquire gets a unique token, so
   // re-acquiring the same lock names a new critical-section instance.
-  LockToken Token = NextLockToken.fetch_add(1, std::memory_order_relaxed);
-  stateFor(Task).Locks.acquire(Lock, Token);
+  // Tokens are drawn from a task-private block refilled from the shared
+  // counter once per LockTokenBlock acquires — lock-heavy workloads on N
+  // workers would otherwise contend on one counter line per acquire.
+  TaskState &State = stateFor(Task);
+  if (AVC_UNLIKELY(State.TokenNext == State.TokenEnd)) {
+    State.TokenNext =
+        NextLockToken.fetch_add(LockTokenBlock, std::memory_order_relaxed);
+    State.TokenEnd = State.TokenNext + LockTokenBlock;
+  }
+  State.Locks.acquire(Lock, State.TokenNext++);
 }
 
 void AtomicityChecker::onLockRelease(TaskId Task, LockId Lock) {
@@ -166,14 +191,13 @@ GlobalMetadata &AtomicityChecker::metadataFor(MemAddr Addr, ShadowSlot &Slot) {
   GlobalMetadata *Meta = Slot.Meta.load(std::memory_order_acquire);
   if (AVC_LIKELY(Meta != nullptr))
     return *Meta;
-  size_t Index = MetaPool.emplaceBack();
-  GlobalMetadata *Fresh = &MetaPool[Index];
+  GlobalMetadata *Fresh = &MetaShards.allocate(Addr);
   Fresh->ReportAddr = Addr;
   if (Slot.Meta.compare_exchange_strong(Meta, Fresh,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire))
     return *Fresh;
-  return *Meta; // lost the race; the pool entry stays unused
+  return *Meta; // lost the race; the shard entry stays unused
 }
 
 bool AtomicityChecker::registerAtomicGroup(const MemAddr *Members,
@@ -209,8 +233,14 @@ bool AtomicityChecker::registerAtomicGroup(const MemAddr *Members,
     // The member is already tracked with separate metadata. A release
     // build used to keep the split silently and miss every cross-member
     // pattern; merge when that is provably lossless, report otherwise.
-    std::lock_guard<SpinLock> Guard(Expected->Lock);
-    if (!Expected->Grouped && Expected->isEmpty() &&
+    // Capture the report fields while the *locked* instance is still the
+    // one they describe: a failed CAS overwrites Expected with whatever
+    // pointer the slot now holds, which the held guard does not cover —
+    // dereferencing it would read another instance's fields unlocked.
+    GlobalMetadata *Locked = Expected;
+    std::lock_guard<SpinLock> Guard(Locked->Lock);
+    bool WasGrouped = Locked->Grouped;
+    if (!WasGrouped && Locked->isEmpty() &&
         Slot.Meta.compare_exchange_strong(Expected, &Meta,
                                           std::memory_order_acq_rel,
                                           std::memory_order_acquire))
@@ -219,7 +249,7 @@ bool AtomicityChecker::registerAtomicGroup(const MemAddr *Members,
                  "taskcheck: atomic group conflict: member %#llx is already "
                  "tracked with %s metadata; member keeps its old metadata\n",
                  static_cast<unsigned long long>(Members[I]),
-                 Expected->Grouped ? "another group's" : "populated private");
+                 WasGrouped ? "another group's" : "populated private");
     Ok = false;
   }
   return Ok;
@@ -252,6 +282,30 @@ AVC_NOINLINE void AtomicityChecker::accessMiss(TaskState &State, MemAddr Addr,
   accessResolved(State, Addr, GS, LS, Si, Kind, /*ComputeVerdicts=*/false);
 }
 
+bool AtomicityChecker::probeRedundant(const GlobalMetadata &GS,
+                                      const LocalLoc &LS, NodeId Si,
+                                      const LockSet &Locks,
+                                      bool &ReadRedundant,
+                                      bool &WriteRedundant) {
+  if (!Concurrent) {
+    // No concurrent writer can exist; the snapshot is trivially
+    // consistent (locked writers skip the Seq bumps in this mode).
+    ReadRedundant = readIsRedundant(GS, LS, Si, Locks);
+    WriteRedundant = writeIsRedundant(GS, LS, Si, Locks);
+    return true;
+  }
+  uint32_t Seq0 = GS.Seq.load(std::memory_order_acquire);
+  if (Seq0 & 1)
+    return false; // a locked writer is mid-mutation
+  ReadRedundant = readIsRedundant(GS, LS, Si, Locks);
+  WriteRedundant = writeIsRedundant(GS, LS, Si, Locks);
+  // The proofs' acquire slot loads pin this re-check after them; a torn
+  // view (a writer's odd bump or completed write) fails validation. The
+  // acquire slot loads also pair with a writer's release slot stores, so
+  // observing any mutated slot implies observing its preceding bump.
+  return GS.Seq.load(std::memory_order_relaxed) == Seq0;
+}
+
 void AtomicityChecker::accessResolved(TaskState &State, MemAddr Addr,
                                       GlobalMetadata &GS, LocalLoc &LS,
                                       NodeId Si, AccessKind Kind,
@@ -270,40 +324,87 @@ void AtomicityChecker::accessResolved(TaskState &State, MemAddr Addr,
     LS.WLocks = LockSet();
   }
 
-  std::lock_guard<SpinLock> Guard(GS.Lock);
-  if (AVC_UNLIKELY(!GS.Counted)) {
-    // First recorded access to this location (or atomic group), counted
-    // under the lock that already serializes it.
-    GS.Counted = true;
-    ++State.NumLocations;
-  }
-  bool LocalEmpty = LS.RStep == InvalidNodeId && LS.WStep == InvalidNodeId;
-  if (GS.isEmpty() && LocalEmpty)
-    handleFirstAccess(GS, LS, Si, Kind, Locks);
-  else if (LocalEmpty)
-    handleFirstAccessCurrentTask(GS, LS, Si, Kind, Locks);
-  else
-    handleNonFirstAccess(GS, LS, Si, Kind, Locks);
-
-  // A path-tier re-touch recomputes both verdicts while GS.Lock is still
-  // held — an access of one kind can un-prove the other kind's redundancy
-  // (a first write arms the WR/WW patterns a future read/write would
-  // form) — and stamps them unconditionally. A plain miss only *claims*
-  // the slot under the cache's aging policy, with no proofs: most
-  // first-touched addresses are never probed again, so both the proofs
-  // and the line-dirtying store are deferred until an address shows reuse.
-  if (State.Cache.enabled()) {
-    if (ComputeVerdicts) {
-      if (State.Cache.stamp(Addr, &GS, &LS, Si, State.CacheEpoch,
-                            State.Local.generation(),
-                            readIsRedundant(GS, LS, Si, Locks),
-                            writeIsRedundant(GS, LS, Si, Locks)))
+  // Lock-free fast path (the read-mostly probe): on a re-touch by the same
+  // step and epoch — exactly when the slow path would compute verdicts —
+  // evaluate the redundancy proofs against a seqlock-validated snapshot
+  // first. A provably redundant access cannot change the Figure 7-9 state
+  // machine or surface a violation its counterpart access would not also
+  // surface, so it completes without the location lock; the verdicts are
+  // stamped for the verdict tier exactly as the locked path would.
+  if (ComputeVerdicts) {
+    bool ReadRedundant, WriteRedundant;
+    if (probeRedundant(GS, LS, Si, Locks, ReadRedundant, WriteRedundant) &&
+        (Kind == AccessKind::Read ? ReadRedundant : WriteRedundant)) {
+      ++State.NumSeqlockSkips;
+      if (State.Cache.enabled() &&
+          State.Cache.stamp(Addr, &GS, &LS, Si, State.CacheEpoch,
+                            State.Local.generation(), ReadRedundant,
+                            WriteRedundant))
         ++State.NumCacheEvictions;
-    } else if (State.Cache.claim(Addr, &GS, &LS, Si, State.CacheEpoch,
-                                 State.Local.generation())) {
-      ++State.NumCacheEvictions;
+      return;
     }
   }
+
+  {
+    std::lock_guard<SpinLock> Guard(GS.Lock);
+    if (AVC_UNLIKELY(!GS.Counted)) {
+      // First recorded access to this location (or atomic group), counted
+      // under the lock that already serializes it.
+      GS.Counted = true;
+      ++State.NumLocations;
+    }
+    // Publish the mutation window to concurrent lock-free probers. Only
+    // worthwhile with real concurrency; single-worker runs skip the bumps.
+    if (Concurrent)
+      GS.beginWrite();
+    bool LocalEmpty = LS.RStep == InvalidNodeId && LS.WStep == InvalidNodeId;
+    if (GS.isEmpty() && LocalEmpty)
+      handleFirstAccess(GS, LS, Si, Kind, Locks);
+    else if (LocalEmpty)
+      handleFirstAccessCurrentTask(GS, LS, Si, Kind, Locks, State.Pending);
+    else
+      handleNonFirstAccess(GS, LS, Si, Kind, Locks, State.Pending);
+    if (Concurrent)
+      GS.endWrite();
+
+    // A path-tier re-touch recomputes both verdicts while GS.Lock is still
+    // held — an access of one kind can un-prove the other kind's redundancy
+    // (a first write arms the WR/WW patterns a future read/write would
+    // form) — and stamps them unconditionally. A plain miss only *claims*
+    // the slot under the cache's aging policy, with no proofs: most
+    // first-touched addresses are never probed again, so both the proofs
+    // and the line-dirtying store are deferred until an address shows reuse.
+    if (State.Cache.enabled()) {
+      if (ComputeVerdicts) {
+        if (State.Cache.stamp(Addr, &GS, &LS, Si, State.CacheEpoch,
+                              State.Local.generation(),
+                              readIsRedundant(GS, LS, Si, Locks),
+                              writeIsRedundant(GS, LS, Si, Locks)))
+          ++State.NumCacheEvictions;
+      } else if (State.Cache.claim(Addr, &GS, &LS, Si, State.CacheEpoch,
+                                   State.Local.generation())) {
+        ++State.NumCacheEvictions;
+      }
+    }
+  }
+
+  // Violations found under the lock are recorded only now: the log has its
+  // own lock, and no lock may be taken under a location lock.
+  if (AVC_UNLIKELY(!State.Pending.empty()))
+    recordPending(State, GS);
+}
+
+AVC_NOINLINE void AtomicityChecker::recordPending(TaskState &State,
+                                                  GlobalMetadata &GS) {
+  for (Violation &V : State.Pending) {
+    V.LocationName = Names.get(GS.ReportAddr);
+    if (Log.record(V)) {
+      obs::instant(obs::Cat::Checker, "checker/violation", GS.ReportAddr);
+      if (!GS.Reported.exchange(true, std::memory_order_relaxed))
+        NumViolatingLocations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  State.Pending.clear();
 }
 
 /// A further read by \p Si at lockset \p Locks is redundant iff the interim
@@ -365,55 +466,54 @@ void AtomicityChecker::handleFirstAccess(GlobalMetadata &GS, LocalLoc &LS,
 /// Figure 8: the location has history, but this is the first access by the
 /// current step node. The only possible violation has the current access as
 /// the interleaver (A2) of a recorded two-access pattern.
-void AtomicityChecker::handleFirstAccessCurrentTask(GlobalMetadata &GS,
-                                                    LocalLoc &LS, NodeId Si,
-                                                    AccessKind Kind,
-                                                    const LockSet &Locks) {
+void AtomicityChecker::handleFirstAccessCurrentTask(
+    GlobalMetadata &GS, LocalLoc &LS, NodeId Si, AccessKind Kind,
+    const LockSet &Locks, std::vector<Violation> &Pending) {
   if (Kind == AccessKind::Read) {
     LS.RStep = Si;
     LS.RLocks = Locks;
     // A read only breaks a write-write pattern (WRW); every other pattern
     // stays serializable around an interleaved read (Figure 4).
-    checkPatternsAgainstRead(GS, Si);
+    checkPatternsAgainstRead(GS, Si, Pending);
     retainEntry(GS.R1, GS.R2, Si);
     return;
   }
   LS.WStep = Si;
   LS.WLocks = Locks;
   // An interleaved write breaks all four patterns (WWW, RWW, RWR, WWR).
-  checkPatternsAgainstWrite(GS, Si);
+  checkPatternsAgainstWrite(GS, Si, Pending);
   retainEntry(GS.W1, GS.W2, Si);
 }
 
 /// Tests the recorded WW pattern(s) against an interleaving read (WRW).
-void AtomicityChecker::checkPatternsAgainstRead(GlobalMetadata &GS,
-                                                NodeId Si) {
-  check(GS, GS.WW, AccessKind::Write, AccessKind::Write, Si,
-        AccessKind::Read);
+void AtomicityChecker::checkPatternsAgainstRead(
+    GlobalMetadata &GS, NodeId Si, std::vector<Violation> &Pending) {
+  check(GS, GS.WW, AccessKind::Write, AccessKind::Write, Si, AccessKind::Read,
+        Pending);
   check(GS, GS.WWb, AccessKind::Write, AccessKind::Write, Si,
-        AccessKind::Read);
+        AccessKind::Read, Pending);
 }
 
 /// Tests all recorded pattern(s) against an interleaving write (WWW, RWW,
 /// RWR, WWR).
-void AtomicityChecker::checkPatternsAgainstWrite(GlobalMetadata &GS,
-                                                 NodeId Si) {
+void AtomicityChecker::checkPatternsAgainstWrite(
+    GlobalMetadata &GS, NodeId Si, std::vector<Violation> &Pending) {
   check(GS, GS.WW, AccessKind::Write, AccessKind::Write, Si,
-        AccessKind::Write);
+        AccessKind::Write, Pending);
   check(GS, GS.WWb, AccessKind::Write, AccessKind::Write, Si,
-        AccessKind::Write);
-  check(GS, GS.RW, AccessKind::Read, AccessKind::Write, Si,
-        AccessKind::Write);
+        AccessKind::Write, Pending);
+  check(GS, GS.RW, AccessKind::Read, AccessKind::Write, Si, AccessKind::Write,
+        Pending);
   check(GS, GS.RWb, AccessKind::Read, AccessKind::Write, Si,
-        AccessKind::Write);
-  check(GS, GS.RR, AccessKind::Read, AccessKind::Read, Si,
-        AccessKind::Write);
-  check(GS, GS.RRb, AccessKind::Read, AccessKind::Read, Si,
-        AccessKind::Write);
-  check(GS, GS.WR, AccessKind::Write, AccessKind::Read, Si,
-        AccessKind::Write);
+        AccessKind::Write, Pending);
+  check(GS, GS.RR, AccessKind::Read, AccessKind::Read, Si, AccessKind::Write,
+        Pending);
+  check(GS, GS.RRb, AccessKind::Read, AccessKind::Read, Si, AccessKind::Write,
+        Pending);
+  check(GS, GS.WR, AccessKind::Write, AccessKind::Read, Si, AccessKind::Write,
+        Pending);
   check(GS, GS.WRb, AccessKind::Write, AccessKind::Read, Si,
-        AccessKind::Write);
+        AccessKind::Write, Pending);
 }
 
 /// Figure 9: the current step node already accessed the location; together
@@ -424,7 +524,8 @@ void AtomicityChecker::checkPatternsAgainstWrite(GlobalMetadata &GS,
 /// section spans both.
 void AtomicityChecker::handleNonFirstAccess(GlobalMetadata &GS, LocalLoc &LS,
                                             NodeId Si, AccessKind Kind,
-                                            const LockSet &Locks) {
+                                            const LockSet &Locks,
+                                            std::vector<Violation> &Pending) {
   assert((LS.RStep == InvalidNodeId || LS.RStep == Si) &&
          (LS.WStep == InvalidNodeId || LS.WStep == Si) &&
          "stale local entries must have been invalidated");
@@ -432,17 +533,17 @@ void AtomicityChecker::handleNonFirstAccess(GlobalMetadata &GS, LocalLoc &LS,
     if (LS.RStep != InvalidNodeId && LS.RLocks.disjointWith(Locks)) {
       // Fresh RR pattern: vulnerable to interleaved writes (RWR).
       check(GS, Si, AccessKind::Read, AccessKind::Read, GS.W1,
-            AccessKind::Write);
+            AccessKind::Write, Pending);
       check(GS, Si, AccessKind::Read, AccessKind::Read, GS.W2,
-            AccessKind::Write);
+            AccessKind::Write, Pending);
       retainPattern(GS.RR, GS.RRb, Si);
     }
     if (LS.WStep != InvalidNodeId && LS.WLocks.disjointWith(Locks)) {
       // Fresh WR pattern: vulnerable to interleaved writes (WWR).
       check(GS, Si, AccessKind::Write, AccessKind::Read, GS.W1,
-            AccessKind::Write);
+            AccessKind::Write, Pending);
       check(GS, Si, AccessKind::Write, AccessKind::Read, GS.W2,
-            AccessKind::Write);
+            AccessKind::Write, Pending);
       retainPattern(GS.WR, GS.WRb, Si);
     }
     if (LS.RStep == InvalidNodeId) {
@@ -450,7 +551,7 @@ void AtomicityChecker::handleNonFirstAccess(GlobalMetadata &GS, LocalLoc &LS,
       LS.RLocks = Locks;
     }
     if (Opts.ExtraInterleaverChecks)
-      checkPatternsAgainstRead(GS, Si);
+      checkPatternsAgainstRead(GS, Si, Pending);
     retainEntry(GS.R1, GS.R2, Si);
     return;
   }
@@ -458,22 +559,22 @@ void AtomicityChecker::handleNonFirstAccess(GlobalMetadata &GS, LocalLoc &LS,
   if (LS.RStep != InvalidNodeId && LS.RLocks.disjointWith(Locks)) {
     // Fresh RW pattern: vulnerable to interleaved writes (RWW).
     check(GS, Si, AccessKind::Read, AccessKind::Write, GS.W1,
-          AccessKind::Write);
+          AccessKind::Write, Pending);
     check(GS, Si, AccessKind::Read, AccessKind::Write, GS.W2,
-          AccessKind::Write);
+          AccessKind::Write, Pending);
     retainPattern(GS.RW, GS.RWb, Si);
   }
   if (LS.WStep != InvalidNodeId && LS.WLocks.disjointWith(Locks)) {
     // Fresh WW pattern: vulnerable to interleaved writes (WWW) and
     // interleaved reads (WRW).
     check(GS, Si, AccessKind::Write, AccessKind::Write, GS.W1,
-          AccessKind::Write);
+          AccessKind::Write, Pending);
     check(GS, Si, AccessKind::Write, AccessKind::Write, GS.W2,
-          AccessKind::Write);
+          AccessKind::Write, Pending);
     check(GS, Si, AccessKind::Write, AccessKind::Write, GS.R1,
-          AccessKind::Read);
+          AccessKind::Read, Pending);
     check(GS, Si, AccessKind::Write, AccessKind::Write, GS.R2,
-          AccessKind::Read);
+          AccessKind::Read, Pending);
     retainPattern(GS.WW, GS.WWb, Si);
   }
   if (LS.WStep == InvalidNodeId) {
@@ -481,7 +582,7 @@ void AtomicityChecker::handleNonFirstAccess(GlobalMetadata &GS, LocalLoc &LS,
     LS.WLocks = Locks;
   }
   if (Opts.ExtraInterleaverChecks)
-    checkPatternsAgainstWrite(GS, Si);
+    checkPatternsAgainstWrite(GS, Si, Pending);
   retainEntry(GS.W1, GS.W2, Si);
 }
 
@@ -497,7 +598,8 @@ bool AtomicityChecker::par(NodeId Entry, NodeId Si) {
 
 void AtomicityChecker::check(GlobalMetadata &GS, NodeId PatternStep,
                              AccessKind K1, AccessKind K3,
-                             NodeId InterleaverStep, AccessKind K2) {
+                             NodeId InterleaverStep, AccessKind K2,
+                             std::vector<Violation> &Pending) {
   if (PatternStep == InvalidNodeId || InterleaverStep == InvalidNodeId)
     return;
   // Every Check() site pairs a pattern with an access kind that makes the
@@ -508,6 +610,9 @@ void AtomicityChecker::check(GlobalMetadata &GS, NodeId PatternStep,
   if (!par(PatternStep, InterleaverStep))
     return;
 
+  // Runs under GS.Lock, so only queue: the violation log and the location
+  // names each have their own lock, and no lock may be taken under a
+  // location lock (recordPending finishes the report after release).
   Violation V;
   V.Addr = GS.ReportAddr;
   V.PatternStep = PatternStep;
@@ -517,37 +622,39 @@ void AtomicityChecker::check(GlobalMetadata &GS, NodeId PatternStep,
   V.A3 = K3;
   V.PatternTask = Tree->taskId(PatternStep);
   V.InterleaverTask = Tree->taskId(InterleaverStep);
-  V.LocationName = Names.get(GS.ReportAddr);
-  if (Log.record(V)) {
-    obs::instant(obs::Cat::Checker, "checker/violation", GS.ReportAddr);
-    if (!GS.Reported) {
-      GS.Reported = true;
-      NumViolatingLocations.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
+  Pending.push_back(std::move(V));
 }
 
-void AtomicityChecker::retainEntry(NodeId &E1, NodeId &E2, NodeId Si) {
-  if (E1 == Si || E2 == Si)
+void AtomicityChecker::retainEntry(MetaSlot &E1, MetaSlot &E2, NodeId Si) {
+  // Slots are atomic for the lock-free probe's benefit; the retention
+  // policies below run on plain local copies (one acquire load per slot)
+  // and only changed values are stored back, keeping slot writes minimal.
+  NodeId V1 = E1, V2 = E2;
+  if (V1 == Si || V2 == Si)
     return;
   if (!Opts.CompleteMetadata) {
     // Figure 8 lines 6-9/16-19: first-fit into an empty or in-series slot;
     // drop the access when both slots hold parallel steps.
-    if (E1 == InvalidNodeId || !par(E1, Si)) {
+    if (V1 == InvalidNodeId || !par(V1, Si)) {
       E1 = Si;
       return;
     }
-    if (E2 == InvalidNodeId || !par(E2, Si))
+    if (V2 == InvalidNodeId || !par(V2, Si))
       E2 = Si;
     return;
   }
 
   // Complete mode: dominated-entry replacement plus leftmost/rightmost
   // retention (shared with the race detector; see RetentionPolicy.h).
-  retainParallelPair(*Oracle, E1, E2, Si);
+  const NodeId Orig1 = V1, Orig2 = V2;
+  retainParallelPair(*Oracle, V1, V2, Si);
+  if (V1 != Orig1)
+    E1 = V1;
+  if (V2 != Orig2)
+    E2 = V2;
 }
 
-void AtomicityChecker::retainPattern(NodeId &P1, NodeId &P2, NodeId Si) {
+void AtomicityChecker::retainPattern(MetaSlot &P1, MetaSlot &P2, NodeId Si) {
   AVC_OBS_INSTANT_SAMPLED(obs::Cat::Checker, "checker/pattern-promote", 16);
   if (!Opts.CompleteMetadata) {
     // Figure 9: store the pattern when the slot is empty or in series with
@@ -587,6 +694,8 @@ CheckerStats AtomicityChecker::stats() const {
       Totals.NumCacheEvictions.load(std::memory_order_relaxed);
   Stats.NumLockSnapshots =
       Totals.NumLockSnapshots.load(std::memory_order_relaxed);
+  Stats.NumSeqlockSkips =
+      Totals.NumSeqlockSkips.load(std::memory_order_relaxed);
   for (size_t I = 0, N = TaskStorage.size(); I < N; ++I) {
     const TaskState &State = *TaskStorage[I];
     Stats.NumLocations += State.NumLocations;
@@ -597,6 +706,7 @@ CheckerStats AtomicityChecker::stats() const {
     Stats.NumCachePathHits += State.NumCachePathHits;
     Stats.NumCacheEvictions += State.NumCacheEvictions;
     Stats.NumLockSnapshots += State.NumLockSnapshots;
+    Stats.NumSeqlockSkips += State.NumSeqlockSkips;
   }
   Stats.NumCacheHits = Stats.NumCacheHitReads + Stats.NumCacheHitWrites;
   return Stats;

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cassert>
 #include <memory>
+#include <vector>
 
 #include "checker/AccessCache.h"
 #include "checker/AccessKind.h"
@@ -32,6 +33,7 @@
 #include "checker/GlobalMetadata.h"
 #include "checker/LocationNames.h"
 #include "checker/LockSet.h"
+#include "checker/MetadataShards.h"
 #include "checker/ShadowMemory.h"
 #include "checker/ToolOptions.h"
 #include "checker/ViolationReport.h"
@@ -163,12 +165,21 @@ private:
     /// only lock event that can widen the set of patterns a future access
     /// forms (acquires add fresh tokens that never intersect an interim
     /// lockset). Cache entries from older epochs never give a verdict hit.
-    uint32_t CacheEpoch = 0;
+    /// 64-bit so a wrapped epoch can never alias a live one.
+    uint64_t CacheEpoch = 0;
     /// Version-cached lockset snapshot: exact while LockViewVersion ==
     /// Locks.version(). Both start at zero with an empty held set, so the
     /// initial view is valid without ever materializing a snapshot.
     LockSet LockView;
-    uint32_t LockViewVersion = 0;
+    uint64_t LockViewVersion = 0;
+    /// Block of pre-reserved lock tokens (see onLockAcquire): the global
+    /// token counter is touched once per block, not once per acquire.
+    LockToken TokenNext = 0;
+    LockToken TokenEnd = 0;
+    /// Violations found under the location lock, recorded into the shared
+    /// log only after the lock is released (no lock may be taken under a
+    /// location lock). Owner-private; reused across accesses.
+    std::vector<Violation> Pending;
     // Plain owner-written statistics (see the invariant above).
     uint64_t NumReads = 0;
     uint64_t NumWrites = 0;
@@ -178,6 +189,7 @@ private:
     uint64_t NumCachePathHits = 0;
     uint64_t NumCacheEvictions = 0;
     uint64_t NumLockSnapshots = 0;
+    uint64_t NumSeqlockSkips = 0;
   };
 
   /// Checker-wide counter totals, folded from TaskState at task end (the
@@ -191,6 +203,7 @@ private:
     std::atomic<uint64_t> NumCachePathHits{0};
     std::atomic<uint64_t> NumCacheEvictions{0};
     std::atomic<uint64_t> NumLockSnapshots{0};
+    std::atomic<uint64_t> NumSeqlockSkips{0};
   };
 
   /// Shadow slot per tracked address: the (possibly shared) global
@@ -290,10 +303,24 @@ private:
   /// Folds a finished task's plain counters into Totals and zeroes them.
   void flushCounters(TaskState &State);
 
-  /// Redundancy proofs for the access filter, evaluated under GS.Lock after
-  /// an access was handled: true iff a further access of that kind by step
-  /// \p Si at the current lockset provably re-derives metadata that is
-  /// already promoted (see DESIGN.md "Access filtering").
+  /// Drains \p State.Pending into the shared violation log. Called after
+  /// GS.Lock is released: the log has its own lock, and no lock may be
+  /// taken under a location lock.
+  void recordPending(TaskState &State, GlobalMetadata &GS);
+
+  /// Lock-free redundancy probe: evaluates both redundancy proofs against
+  /// a seqlock-validated snapshot of the global entries. Returns true iff
+  /// the snapshot was consistent (no concurrent locked writer); the
+  /// verdicts are then as trustworthy as ones computed under the lock.
+  bool probeRedundant(const GlobalMetadata &GS, const LocalLoc &LS,
+                      NodeId Si, const LockSet &Locks, bool &ReadRedundant,
+                      bool &WriteRedundant);
+
+  /// Redundancy proofs for the access filter, evaluated under GS.Lock (or
+  /// against a validated seqlock snapshot) after an access was handled:
+  /// true iff a further access of that kind by step \p Si at the current
+  /// lockset provably re-derives metadata that is already promoted (see
+  /// DESIGN.md "Access filtering").
   static bool readIsRedundant(const GlobalMetadata &GS, const LocalLoc &LS,
                               NodeId Si, const LockSet &Locks);
   static bool writeIsRedundant(const GlobalMetadata &GS, const LocalLoc &LS,
@@ -303,42 +330,58 @@ private:
                          AccessKind Kind, const LockSet &Locks);
   void handleFirstAccessCurrentTask(GlobalMetadata &GS, LocalLoc &LS,
                                     NodeId Si, AccessKind Kind,
-                                    const LockSet &Locks);
+                                    const LockSet &Locks,
+                                    std::vector<Violation> &Pending);
   void handleNonFirstAccess(GlobalMetadata &GS, LocalLoc &LS, NodeId Si,
-                            AccessKind Kind, const LockSet &Locks);
+                            AccessKind Kind, const LockSet &Locks,
+                            std::vector<Violation> &Pending);
 
-  /// Check(): reports a violation if \p PatternStep's (K1, K3) pattern and
-  /// the interleaving access (\p InterleaverStep, K2) form an
-  /// unserializable triple by logically parallel steps. Either step may be
-  /// InvalidNodeId (no-op).
+  /// Check(): queues a violation into \p Pending if \p PatternStep's
+  /// (K1, K3) pattern and the interleaving access (\p InterleaverStep, K2)
+  /// form an unserializable triple by logically parallel steps. Either
+  /// step may be InvalidNodeId (no-op). Runs under GS.Lock; the queued
+  /// candidates are recorded by recordPending after release.
   void check(GlobalMetadata &GS, NodeId PatternStep, AccessKind K1,
-             AccessKind K3, NodeId InterleaverStep, AccessKind K2);
+             AccessKind K3, NodeId InterleaverStep, AccessKind K2,
+             std::vector<Violation> &Pending);
 
   /// Tests the recorded two-access patterns against the current access as
   /// the interleaver (Figure 8's Check() calls, over both slots of each
   /// vulnerable kind).
-  void checkPatternsAgainstRead(GlobalMetadata &GS, NodeId Si);
-  void checkPatternsAgainstWrite(GlobalMetadata &GS, NodeId Si);
+  void checkPatternsAgainstRead(GlobalMetadata &GS, NodeId Si,
+                                std::vector<Violation> &Pending);
+  void checkPatternsAgainstWrite(GlobalMetadata &GS, NodeId Si,
+                                 std::vector<Violation> &Pending);
 
   /// Records \p Si into the entry pair (\p E1, \p E2). Paper-literal mode:
   /// first-fit into an empty or in-series slot (Figure 8 lines 6-9/16-19).
   /// Complete mode: replace dominated (in-series) entries, then keep the
-  /// leftmost and rightmost parallel entries in tree order.
-  void retainEntry(NodeId &E1, NodeId &E2, NodeId Si);
+  /// leftmost and rightmost parallel entries in tree order. Slots are only
+  /// stored when their value actually changes (concurrent probers retry on
+  /// any store's seqlock bump).
+  void retainEntry(MetaSlot &E1, MetaSlot &E2, NodeId Si);
 
   /// Records the pattern owner \p Si into the pattern slot pair. The
   /// paper-literal mode uses the single slot \p P1 with the Figure 9 rule
   /// (store when empty or in series); complete mode uses both slots with
   /// the retention policy above.
-  void retainPattern(NodeId &P1, NodeId &P2, NodeId Si);
+  void retainPattern(MetaSlot &P1, MetaSlot &P2, NodeId Si);
 
   Options Opts;
+  /// True when the runtime may execute tasks on more than one worker: the
+  /// locked writers then publish their slot mutations through the seqlock
+  /// (GlobalMetadata::beginWrite/endWrite) and the lock-free probe
+  /// validates against it. Single-worker runs skip both — no concurrent
+  /// prober can exist.
+  const bool Concurrent;
   std::unique_ptr<Dpst> Tree;
   std::unique_ptr<ParallelismOracle> Oracle;
   DpstBuilder Builder;
 
   ShadowMemory<ShadowSlot> Shadow;
-  ChunkedVector<GlobalMetadata> MetaPool;
+  /// Global-metadata allocation, sharded by address hash so concurrent
+  /// first touches do not funnel through one pool lock.
+  MetadataShards MetaShards;
   /// Recycled access-cache tables: a task's table is acquired lazily on
   /// its first access (tasks that never touch memory pay nothing) and
   /// returned at task end with its entries left dirty — the table
@@ -349,6 +392,11 @@ private:
   ChunkedVector<std::unique_ptr<TaskState>> TaskStorage;
   CounterTotals Totals;
 
+  /// Tokens handed to each task in blocks of this size, so the shared
+  /// counter below is touched once per block instead of once per acquire.
+  /// Uniqueness is all the lock-versioning scheme needs; cross-task token
+  /// order is meaningless.
+  static constexpr LockToken LockTokenBlock = 64;
   std::atomic<LockToken> NextLockToken{1};
   std::atomic<uint64_t> NumViolatingLocations{0};
   LocationNames Names;

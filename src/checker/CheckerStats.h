@@ -50,6 +50,10 @@ struct CheckerStats {
   /// LockSet snapshots actually materialized; every other slow-path access
   /// reused the version-cached snapshot.
   uint64_t NumLockSnapshots = 0;
+  /// Slow-path re-touches retired by the lock-free redundancy probe: the
+  /// seqlock-validated snapshot proved the access redundant, so it never
+  /// took the per-location lock.
+  uint64_t NumSeqlockSkips = 0;
   /// True if the access-path cache was enabled for the run.
   bool AccessCacheEnabled = false;
 

@@ -18,31 +18,72 @@
 /// twelve logical entries stores just the step node id; locks are tracked
 /// only in the local metadata space (Section 3.3), exactly as in the paper.
 ///
+/// Concurrency (multicore checking): mutation is serialized by the
+/// per-location spin lock, but the read-mostly fast path probes the entries
+/// *without* the lock, validated by a seqlock. Entries are therefore atomic
+/// (MetaSlot), and a locked writer brackets its slot stores with Seq bumps
+/// (odd = write in progress). A reader that sees an even, unchanged Seq
+/// across its loads observed a consistent snapshot. All data is atomic, so
+/// the protocol is ThreadSanitizer-clean without fences: the writer's
+/// release slot stores pair with the reader's acquire slot loads, which pin
+/// the trailing Seq re-check after them.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AVC_CHECKER_GLOBALMETADATA_H
 #define AVC_CHECKER_GLOBALMETADATA_H
 
+#include <atomic>
+#include <cstdint>
+
 #include "dpst/DpstNodeKind.h"
 #include "runtime/ExecutionObserver.h"
+#include "support/Compiler.h"
 #include "support/SpinLock.h"
 
 namespace avc {
 
+/// One global-metadata entry: an atomic NodeId that reads/writes like a
+/// plain one, so the Figure 7-9 handlers stay literal. Loads are acquire
+/// (they pair with a concurrent writer's release store, see the seqlock
+/// protocol above); stores are release. Uncontended, both compile to plain
+/// moves on x86.
+struct MetaSlot {
+  std::atomic<NodeId> Value{InvalidNodeId};
+
+  NodeId load() const { return Value.load(std::memory_order_acquire); }
+  void store(NodeId N) { Value.store(N, std::memory_order_release); }
+
+  operator NodeId() const { return load(); }
+  MetaSlot &operator=(NodeId N) {
+    store(N);
+    return *this;
+  }
+  bool operator==(NodeId N) const { return load() == N; }
+  bool operator!=(NodeId N) const { return load() != N; }
+};
+
 /// The global metadata space for one tracked location (or one multi-
 /// variable atomic group, which shares a single instance across all member
-/// locations). Guarded by its own spin lock; the checker's per-access
-/// critical section is a handful of compares.
-struct GlobalMetadata {
+/// locations). Mutated only under its own spin lock; probed without it
+/// under the Seq seqlock. Cacheline-aligned so two hot locations never
+/// false-share (instances live in pooled shard storage, MetadataShards.h).
+struct alignas(AVC_CACHELINE_SIZE) GlobalMetadata {
   /// Serializes metadata propagation and checking for this location.
   SpinLock Lock;
 
+  /// Seqlock word for lock-free probes: even = stable, odd = a locked
+  /// writer is mutating the slots. Writers bump before and after their
+  /// slot stores (beginWrite/endWrite); the single-thread configuration
+  /// skips the bumps entirely (no concurrent probers exist).
+  std::atomic<uint32_t> Seq{0};
+
   /// Single-access entries: steps that read (R1, R2) / wrote (W1, W2) the
   /// location and may interleave into a parallel step's pattern.
-  NodeId R1 = InvalidNodeId;
-  NodeId R2 = InvalidNodeId;
-  NodeId W1 = InvalidNodeId;
-  NodeId W2 = InvalidNodeId;
+  MetaSlot R1;
+  MetaSlot R2;
+  MetaSlot W1;
+  MetaSlot W2;
 
   /// Two-access patterns: the step node that performed both accesses, per
   /// kind pair (first access, second access). The paper keeps one record
@@ -51,32 +92,45 @@ struct GlobalMetadata {
   /// retains the leftmost/rightmost parallel pattern owners, which the
   /// randomized equivalence suite showed is necessary for completeness.
   /// The *b slots stay unused in paper-literal mode.
-  NodeId RR = InvalidNodeId;
-  NodeId RW = InvalidNodeId;
-  NodeId WR = InvalidNodeId;
-  NodeId WW = InvalidNodeId;
-  NodeId RRb = InvalidNodeId;
-  NodeId RWb = InvalidNodeId;
-  NodeId WRb = InvalidNodeId;
-  NodeId WWb = InvalidNodeId;
+  MetaSlot RR;
+  MetaSlot RW;
+  MetaSlot WR;
+  MetaSlot WW;
+  MetaSlot RRb;
+  MetaSlot RWb;
+  MetaSlot WRb;
+  MetaSlot WWb;
 
   /// Representative address for reports (the first address registered for
   /// the group, or the location's own address).
   MemAddr ReportAddr = 0;
 
   /// Set once a violation involving this location was recorded; used to
-  /// count distinct violating locations.
-  bool Reported = false;
+  /// count distinct violating locations. Atomic because violations are
+  /// recorded *after* the location lock is released (see
+  /// AtomicityChecker::recordPending — no lock may be taken under a
+  /// location lock, and the ViolationLog has its own).
+  std::atomic<bool> Reported{false};
 
   /// True if this instance is shared by a registered multi-variable atomic
   /// group. Lets registerAtomicGroup distinguish a location's mergeable
   /// private metadata from another group's (which must not be split).
+  /// Guarded by Lock.
   bool Grouped = false;
 
   /// True once the unique-location statistic counted this instance; set
-  /// under Lock on the first recorded access, replacing the former
-  /// per-slot atomic first-touch flag (an atomic group counts once).
+  /// under Lock on the first recorded access (an atomic group counts
+  /// once).
   bool Counted = false;
+
+  /// Marks the start of a locked slot mutation for concurrent probers.
+  /// The acq_rel bump keeps the following slot stores from being hoisted
+  /// above it.
+  void beginWrite() { Seq.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Marks the end of a locked slot mutation; the release bump keeps the
+  /// preceding slot stores from sinking below it.
+  void endWrite() { Seq.fetch_add(1, std::memory_order_release); }
 
   /// True if no access has been recorded yet (GS(l) == 0 in Figure 6).
   /// Every recorded access updates R1/W1 first, so testing the primary

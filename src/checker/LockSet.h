@@ -96,11 +96,23 @@ public:
     assert(false && "release of a lock that is not held");
   }
 
+  /// Drops every held lock at once (a task ended while still holding
+  /// locks — release-build recovery, see AtomicityChecker::onTaskEnd).
+  /// Bumps the version so cached snapshots are invalidated.
+  void clear() {
+    if (Held.empty())
+      return;
+    Held.clear();
+    ++Version;
+  }
+
   /// Monotonic mutation counter: bumped on every acquire and release. A
   /// snapshot taken at version V stays exact while version() == V, so the
   /// checker re-snapshots only when the held set actually changed — the
   /// common no-locks case degenerates to one integer compare per access.
-  uint32_t version() const { return Version; }
+  /// 64-bit: a uint32_t would wrap after 2^32 mutations and let a stale
+  /// cached snapshot alias a live version.
+  uint64_t version() const { return Version; }
 
   /// Snapshots the currently held tokens (versioned names; two snapshots
   /// share a token iff taken inside the same critical-section instance).
@@ -127,7 +139,7 @@ public:
 
 private:
   std::vector<std::pair<LockId, LockToken>> Held;
-  uint32_t Version = 0;
+  uint64_t Version = 0;
 };
 
 } // namespace avc

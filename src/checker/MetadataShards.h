@@ -1,0 +1,84 @@
+//===- checker/MetadataShards.h - Sharded metadata allocation --*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checker's global-metadata allocator, sharded by address hash. A
+/// single ChunkedVector pool serializes every first touch of every tracked
+/// location on one internal grow lock — on N workers the cold phase of a
+/// run (each benchmark's first sweep over its data) funnels through that
+/// one line. Striping the pool across cacheline-aligned shards (the same
+/// shape as ParallelismOracle's StatShards) splits both the lock and the
+/// allocation bump counter, so concurrent first touches of different
+/// addresses proceed in parallel.
+///
+/// Entries are pointer-stable (ChunkedVector never moves elements), which
+/// the shadow map and the access-path cache rely on. A CAS loser in
+/// ShadowMemory publication leaves its freshly allocated entry unused;
+/// that waste is bounded by the number of workers racing on one address
+/// and is not recycled (recycling would require knowing no stale pointer
+/// survives, which the lock-free publication path cannot).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_METADATASHARDS_H
+#define AVC_CHECKER_METADATASHARDS_H
+
+#include <cstddef>
+
+#include "checker/GlobalMetadata.h"
+#include "runtime/ExecutionObserver.h"
+#include "support/ChunkedVector.h"
+#include "support/Compiler.h"
+
+namespace avc {
+
+/// Cacheline-aligned shards of GlobalMetadata pools, indexed by address
+/// hash. Thread safe: each shard's ChunkedVector serializes its own
+/// growth; distinct shards share no state.
+class MetadataShards {
+public:
+  /// Matches ParallelismOracle::NumStatShards — enough to spread a
+  /// 16-worker allocation burst, few enough that the idle footprint stays
+  /// trivial.
+  static constexpr unsigned NumShards = 16;
+
+  /// Allocates a fresh metadata instance for \p Addr from its shard.
+  GlobalMetadata &allocate(MemAddr Addr) {
+    Shard &S = Shards[shardIndexFor(Addr)];
+    size_t Index = S.Pool.emplaceBack();
+    return S.Pool[Index];
+  }
+
+  /// The shard \p Addr hashes into (exposed for tests).
+  static unsigned shardIndexFor(MemAddr Addr) {
+    // Fibonacci hash; tracked addresses share low alignment bits.
+    return static_cast<unsigned>(((Addr >> 3) * 0x9e3779b97f4a7c15ULL) >>
+                                 (64 - ShardBits));
+  }
+
+  /// Total metadata instances allocated across all shards (includes CAS
+  /// losers; statistics use GlobalMetadata::Counted instead).
+  size_t sizeAllocated() const {
+    size_t Total = 0;
+    for (const Shard &S : Shards)
+      Total += S.Pool.size();
+    return Total;
+  }
+
+private:
+  static constexpr unsigned ShardBits = 4;
+  static_assert((1u << ShardBits) == NumShards, "shard count mismatch");
+
+  struct alignas(AVC_CACHELINE_SIZE) Shard {
+    ChunkedVector<GlobalMetadata> Pool;
+  };
+
+  Shard Shards[NumShards];
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_METADATASHARDS_H

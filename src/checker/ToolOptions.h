@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <string>
+#include <thread>
 
 #include "dpst/Dpst.h"
 #include "dpst/ParallelismOracle.h"
@@ -37,6 +38,13 @@ inline constexpr unsigned DefaultAccessCacheSlots = 256;
 /// parallelism oracle), but the *configuration surface* is uniform: any
 /// ToolOptions configures any tool.
 struct ToolOptions {
+  /// Worker threads the runtime executes tasks on (1 = caller only, 0 =
+  /// hardware concurrency). Lives here — not only in the runtime options —
+  /// because the tools themselves adapt to it: the atomicity checker skips
+  /// its seqlock publication bumps when no concurrent prober can exist.
+  /// Plumbed from --threads through ToolContext into both the runtime and
+  /// the selected tool.
+  unsigned NumThreads = 1;
   /// DPST data layout (the Figure 14 ablation).
   DpstLayout Layout = DpstLayout::Array;
   /// Parallelism-query algorithm (the query-acceleration ablation, see
@@ -70,6 +78,14 @@ struct ToolOptions {
   /// layer (src/obs/) and writes a Chrome trace-event JSON file here
   /// (taskcheck --profile=PATH; see DESIGN.md §9).
   std::string ProfilePath;
+
+  /// NumThreads with the 0 = "use the machine" convention resolved.
+  unsigned resolvedThreads() const {
+    if (NumThreads != 0)
+      return NumThreads;
+    unsigned Hardware = std::thread::hardware_concurrency();
+    return Hardware != 0 ? Hardware : 1;
+  }
 
   /// The oracle configuration every DPST-based tool derives from these
   /// options (previously copied field-by-field in each tool's ctor).

@@ -47,7 +47,7 @@ static OptionsT toolOptionsFor(const ToolOptions &Shared) {
 
 ToolContext::ToolContext(Options Opts)
     : Kind(Opts.Tool), ProfilePath(Opts.Checker.ProfilePath),
-      RT(runtimeOptions(Opts.NumThreads)) {
+      RT(runtimeOptions(Opts.Checker.NumThreads)) {
   const ToolOptions &Shared = Opts.Checker;
   switch (Kind) {
   case ToolKind::None:
@@ -83,7 +83,7 @@ ToolContext::ToolContext(ToolKind Kind, unsigned NumThreads)
     : ToolContext([&] {
         Options Opts;
         Opts.Tool = Kind;
-        Opts.NumThreads = NumThreads;
+        Opts.Checker.NumThreads = NumThreads;
         return Opts;
       }()) {}
 

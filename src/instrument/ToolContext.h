@@ -53,12 +53,14 @@ class ToolContext {
 public:
   struct Options {
     ToolKind Tool = ToolKind::Atomicity;
-    unsigned NumThreads = 1;
     /// Tool configuration. The shared ToolOptions slice of this struct
     /// configures whichever tool is selected (the ctor slices it into the
     /// other tools' Options); the atomicity-specific extras only matter
-    /// for ToolKind::Atomicity. Checker.ProfilePath, when set, makes run()
-    /// record an observability session and export a Perfetto trace there.
+    /// for ToolKind::Atomicity. Checker.NumThreads sizes the runtime's
+    /// worker pool *and* tells the tool how much concurrency to defend
+    /// against — one knob, one value, no way for them to disagree.
+    /// Checker.ProfilePath, when set, makes run() record an observability
+    /// session and export a Perfetto trace there.
     AtomicityChecker::Options Checker;
   };
 

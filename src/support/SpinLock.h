@@ -16,6 +16,7 @@
 #define AVC_SUPPORT_SPINLOCK_H
 
 #include <atomic>
+#include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -42,8 +43,18 @@ public:
 
   void lock() {
     while (Flag.exchange(true, std::memory_order_acquire)) {
-      while (Flag.load(std::memory_order_relaxed))
-        cpuRelax();
+      // Spin briefly, then yield: with more workers than cores the holder
+      // may be descheduled, and burning the holder's quantum on pause
+      // loops inverts the lock's cost model.
+      unsigned Spins = 0;
+      while (Flag.load(std::memory_order_relaxed)) {
+        if (++Spins < 64)
+          cpuRelax();
+        else {
+          Spins = 0;
+          std::this_thread::yield();
+        }
+      }
     }
   }
 

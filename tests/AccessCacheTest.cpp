@@ -560,7 +560,7 @@ TEST(LiveConcurrency, ConcurrentFirstAccessesKeepFullDetection) {
     for (int Rep = 0; Rep < 3; ++Rep) {
       ToolContext::Options ToolOpts;
       ToolOpts.Tool = ToolKind::Atomicity;
-      ToolOpts.NumThreads = Threads;
+      ToolOpts.Checker.NumThreads = Threads;
       ToolOpts.Checker.EnableAccessCache = Cache;
       ToolContext Tool(ToolOpts);
 

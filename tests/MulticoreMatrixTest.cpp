@@ -1,0 +1,387 @@
+//===- tests/MulticoreMatrixTest.cpp - Live N-worker detection parity -----===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Executes the 36-program violation suite and its clean twins *live* on
+/// the work-stealing runtime across 1/2/4/8 workers, for every tool, and
+/// asserts the detected per-location sets equal the single-worker run's.
+/// DPST-based tools judge parallelism structurally, so their verdicts must
+/// be schedule-independent — any divergence across worker counts is a
+/// concurrency bug in the checker itself (the sharded metadata, the
+/// seqlock probe, the deferred violation recording). Velodrome is the
+/// exception: it bounds detection to the observed schedule, so a 1-worker
+/// run (a total order of step transactions) never reports, and cross-count
+/// equality only holds for the clean programs, where *no* schedule can
+/// produce a cycle.
+///
+/// This matrix is the TSan target for the concurrent checker paths: the CI
+/// thread-sanitizer job runs it alongside the existing live tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ViolationSuiteData.h"
+#include "instrument/ToolContext.h"
+#include "runtime/Mutex.h"
+
+using namespace avc;
+using namespace avc::suite;
+
+namespace {
+
+/// One interpretable op of a live task body.
+struct LiveOp {
+  enum class Kind { Read, Write, Acquire, Release, Sync, Spawn } K;
+  uint32_t Index; ///< location index, lock id, or child task id
+};
+
+/// A suite scenario lowered from its trace to per-task op programs. The
+/// trace's per-task event subsequence *is* that task's program order, so
+/// the lowering preserves the spawn/sync structure exactly; only the
+/// interleaving between tasks is left to the live scheduler, which is the
+/// point of the matrix.
+struct LiveProgram {
+  std::map<TaskId, std::vector<LiveOp>> Tasks;
+  /// False for scenarios using explicit task groups (09/10): the trace
+  /// events have no portable live-API equivalent, and the grouped-wait
+  /// structure is covered by the runtime's own finish-scope tests.
+  bool Supported = true;
+};
+
+uint32_t locationIndexOf(MemAddr Addr) {
+  return static_cast<uint32_t>((Addr - X) / 8); // X, Y, Z are contiguous
+}
+
+LiveProgram compileToLive(const Trace &Tr) {
+  LiveProgram P;
+  P.Tasks.try_emplace(0);
+  for (const TraceEvent &E : Tr) {
+    switch (E.Kind) {
+    case TraceEventKind::ProgramStart:
+    case TraceEventKind::ProgramEnd:
+    case TraceEventKind::TaskEnd:
+      break; // live task bodies end when their ops run out
+    case TraceEventKind::TaskSpawn:
+      if (E.Arg2 != 0) {
+        P.Supported = false;
+        return P;
+      }
+      P.Tasks[E.Task].push_back(
+          {LiveOp::Kind::Spawn, static_cast<uint32_t>(E.Arg1)});
+      P.Tasks.try_emplace(static_cast<TaskId>(E.Arg1));
+      break;
+    case TraceEventKind::GroupWait:
+      P.Supported = false;
+      return P;
+    case TraceEventKind::Sync:
+      P.Tasks[E.Task].push_back({LiveOp::Kind::Sync, 0});
+      break;
+    case TraceEventKind::LockAcquire:
+      P.Tasks[E.Task].push_back(
+          {LiveOp::Kind::Acquire, static_cast<uint32_t>(E.Arg1)});
+      break;
+    case TraceEventKind::LockRelease:
+      P.Tasks[E.Task].push_back(
+          {LiveOp::Kind::Release, static_cast<uint32_t>(E.Arg1)});
+      break;
+    case TraceEventKind::Read:
+      P.Tasks[E.Task].push_back(
+          {LiveOp::Kind::Read, locationIndexOf(E.Arg1)});
+      break;
+    case TraceEventKind::Write:
+      P.Tasks[E.Task].push_back(
+          {LiveOp::Kind::Write, locationIndexOf(E.Arg1)});
+      break;
+    }
+  }
+  return P;
+}
+
+/// Runs a lowered scenario on the live runtime with tracked storage and
+/// real mutexes. One instance per run (addresses are fresh each time).
+class SuiteRunner {
+public:
+  SuiteRunner(const LiveProgram &P)
+      : P(P), Data(3), Locks(std::make_unique<Mutex[]>(4)) {}
+
+  void run(ToolContext &Tool) {
+    Tool.run([this] { runTask(0); });
+  }
+
+  /// The live address of the scenario location \p Synthetic (X, Y or Z).
+  MemAddr liveAddressOf(MemAddr Synthetic) const {
+    return Data[locationIndexOf(Synthetic)].address();
+  }
+
+  /// Maps the live addresses back to the scenario's synthetic ones so sets
+  /// from independent runs are comparable.
+  std::map<MemAddr, MemAddr> liveToSynthetic() const {
+    std::map<MemAddr, MemAddr> Out;
+    for (uint32_t L = 0; L < 3; ++L)
+      Out[Data[L].address()] = X + 8 * L;
+    return Out;
+  }
+
+private:
+  void runTask(TaskId Id) {
+    auto It = P.Tasks.find(Id);
+    if (It == P.Tasks.end())
+      return;
+    for (const LiveOp &Op : It->second) {
+      switch (Op.K) {
+      case LiveOp::Kind::Read:
+        Data[Op.Index].load();
+        break;
+      case LiveOp::Kind::Write:
+        Data[Op.Index].store(1);
+        break;
+      case LiveOp::Kind::Acquire:
+        Locks[Op.Index].lock();
+        break;
+      case LiveOp::Kind::Release:
+        Locks[Op.Index].unlock();
+        break;
+      case LiveOp::Kind::Sync:
+        avc::sync();
+        break;
+      case LiveOp::Kind::Spawn: {
+        uint32_t Child = Op.Index;
+        spawn([this, Child] { runTask(Child); });
+        break;
+      }
+      }
+    }
+  }
+
+  const LiveProgram &P;
+  TrackedArray<int> Data;
+  std::unique_ptr<Mutex[]> Locks;
+};
+
+/// The tool's findings as a location set (each tool's report kind carries
+/// the address of the offending location).
+std::set<MemAddr> foundLocations(ToolContext &Tool) {
+  std::set<MemAddr> Out;
+  switch (Tool.kind()) {
+  case ToolKind::None:
+    break;
+  case ToolKind::Atomicity:
+    for (const Violation &V : Tool.atomicityChecker()->violations().snapshot())
+      Out.insert(V.Addr);
+    break;
+  case ToolKind::Basic:
+    for (const Violation &V : Tool.basicChecker()->violations().snapshot())
+      Out.insert(V.Addr);
+    break;
+  case ToolKind::Race:
+    for (const Race &R : Tool.raceDetector()->races())
+      Out.insert(R.Addr);
+    break;
+  case ToolKind::Determinism:
+    for (const DeterminismViolation &V :
+         Tool.determinismChecker()->violations())
+      Out.insert(V.Addr);
+    break;
+  case ToolKind::Velodrome:
+    for (const VelodromeCycle &C : Tool.velodromeChecker()->cycles())
+      Out.insert(C.Addr);
+    break;
+  }
+  return Out;
+}
+
+/// One live run of \p S under \p Kind on \p Threads workers, returning the
+/// found locations translated to the scenario's synthetic addresses.
+std::set<MemAddr> runLive(const Scenario &S, const LiveProgram &P,
+                          ToolKind Kind, unsigned Threads) {
+  ToolContext::Options Opts;
+  Opts.Tool = Kind;
+  Opts.Checker.NumThreads = Threads;
+  ToolContext Tool(Opts);
+
+  SuiteRunner Runner(P);
+  if (!S.Group.empty()) {
+    std::vector<MemAddr> Live;
+    for (MemAddr Member : S.Group)
+      Live.push_back(Runner.liveAddressOf(Member));
+    EXPECT_TRUE(Tool.registerAtomicGroup(Live.data(), Live.size()))
+        << S.Name;
+  }
+  Runner.run(Tool);
+
+  std::map<MemAddr, MemAddr> Translate = Runner.liveToSynthetic();
+  std::set<MemAddr> Out;
+  for (MemAddr Addr : foundLocations(Tool)) {
+    auto It = Translate.find(Addr);
+    EXPECT_NE(It, Translate.end())
+        << S.Name << ": finding on an untracked location";
+    if (It != Translate.end())
+      Out.insert(It->second);
+  }
+  return Out;
+}
+
+constexpr unsigned WorkerCounts[] = {2, 4, 8};
+
+class ViolatingMatrix : public ::testing::TestWithParam<Scenario> {};
+class CleanMatrix : public ::testing::TestWithParam<Scenario> {};
+
+/// Violating programs: the four structural tools must report the same
+/// location set on every worker count as on one worker — and for the two
+/// atomicity checkers that set is the scenario's expected one (grouped
+/// locations report under the group's representative address).
+TEST_P(ViolatingMatrix, VerdictsMatchSingleWorker) {
+  const Scenario &S = GetParam();
+  LiveProgram P = compileToLive(S.Build().finish());
+  if (!P.Supported)
+    GTEST_SKIP() << "task-group events have no live lowering";
+
+  for (ToolKind Kind : {ToolKind::Atomicity, ToolKind::Basic, ToolKind::Race,
+                        ToolKind::Determinism}) {
+    std::set<MemAddr> Baseline = runLive(S, P, Kind, 1);
+    if (Kind == ToolKind::Atomicity || Kind == ToolKind::Basic) {
+      std::set<MemAddr> Expected = S.ViolatingLocations;
+      if (!S.Group.empty() && !Expected.empty())
+        Expected = {S.Group.front()};
+      EXPECT_EQ(Baseline, Expected)
+          << S.Name << " live 1-worker run, tool " << toolKindName(Kind);
+    }
+    for (unsigned Threads : WorkerCounts)
+      EXPECT_EQ(runLive(S, P, Kind, Threads), Baseline)
+          << S.Name << " on " << Threads << " workers, tool "
+          << toolKindName(Kind);
+  }
+}
+
+/// Clean twins: every tool's verdicts must match its own 1-worker run on
+/// every worker count. The atomicity checkers must additionally stay
+/// *silent* (the suite is atomicity-clean — some twins still carry real
+/// data races or nondeterminism, which the race and determinism tools
+/// rightly flag on every count). Velodrome must also stay silent: a
+/// program serializable under every schedule can never exhibit a
+/// transaction cycle, whichever interleaving the workers produce — the
+/// strongest cross-schedule statement available for a trace-bound tool.
+TEST_P(CleanMatrix, VerdictsMatchSingleWorker) {
+  const Scenario &S = GetParam();
+  LiveProgram P = compileToLive(S.Build().finish());
+  if (!P.Supported)
+    GTEST_SKIP() << "task-group events have no live lowering";
+
+  for (ToolKind Kind :
+       {ToolKind::Atomicity, ToolKind::Basic, ToolKind::Race,
+        ToolKind::Determinism, ToolKind::Velodrome}) {
+    std::set<MemAddr> Baseline = runLive(S, P, Kind, 1);
+    if (Kind != ToolKind::Race && Kind != ToolKind::Determinism) {
+      EXPECT_EQ(Baseline, std::set<MemAddr>())
+          << S.Name << " live 1-worker run, tool " << toolKindName(Kind);
+    }
+    for (unsigned Threads : WorkerCounts)
+      EXPECT_EQ(runLive(S, P, Kind, Threads), Baseline)
+          << S.Name << " on " << Threads << " workers, tool "
+          << toolKindName(Kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite36, ViolatingMatrix,
+                         ::testing::ValuesIn(buildSuite()),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+INSTANTIATE_TEST_SUITE_P(CleanTwins, CleanMatrix,
+                         ::testing::ValuesIn(buildCleanSuite()),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Atomic-group workload: many tasks hammering one multi-member group
+//===----------------------------------------------------------------------===//
+
+/// A deterministic group workload: 8 tasks touch a 4-member atomic group,
+/// half inside one shared mutex, half bare. The bare read-then-write pairs
+/// are unserializable patterns against every parallel writer, so the
+/// violating set (the group representative) is structural — identical on
+/// every worker count — while the group's shared metadata instance takes
+/// maximal cross-worker contention.
+std::set<int> runGroupWorkload(ToolKind Kind, unsigned Threads) {
+  ToolContext::Options Opts;
+  Opts.Tool = Kind;
+  Opts.Checker.NumThreads = Threads;
+  ToolContext Tool(Opts);
+
+  TrackedArray<int> Members(4);
+  MemAddr Addrs[4];
+  for (int I = 0; I < 4; ++I)
+    Addrs[I] = Members[I].address();
+  EXPECT_TRUE(Tool.registerAtomicGroup(Addrs, 4));
+
+  Mutex Gate;
+  Tool.run([&] {
+    for (int T = 0; T < 8; ++T)
+      spawn([&Members, &Gate, T] {
+        if (T % 2 == 0) {
+          Gate.lock();
+          Members[T % 4].load();
+          Members[(T + 1) % 4].store(T);
+          Gate.unlock();
+        } else {
+          Members[T % 4].load();
+          Members[(T + 1) % 4].store(T);
+        }
+      });
+  });
+
+  std::set<int> Out;
+  for (MemAddr Addr : foundLocations(Tool))
+    for (int I = 0; I < 4; ++I)
+      if (Addr == Addrs[I])
+        Out.insert(I);
+  return Out;
+}
+
+TEST(AtomicGroupWorkload, ViolationSetStableAcrossWorkerCounts) {
+  for (ToolKind Kind : {ToolKind::Atomicity, ToolKind::Basic}) {
+    std::set<int> Baseline = runGroupWorkload(Kind, 1);
+    EXPECT_FALSE(Baseline.empty())
+        << toolKindName(Kind) << " must flag the bare group accesses";
+    for (unsigned Threads : WorkerCounts)
+      EXPECT_EQ(runGroupWorkload(Kind, Threads), Baseline)
+          << toolKindName(Kind) << " on " << Threads << " workers";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Task ending while holding locks: release-build recovery
+//===----------------------------------------------------------------------===//
+
+/// A task that ends while holding a lock is a malformed program; the
+/// checker must recover (clear the lockset, keep checking) instead of
+/// crashing or poisoning later verdicts with the stale held set.
+TEST(TaskEndWithHeldLocks, RecoversAndKeepsDetecting) {
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.acq(1, L1).read(1, X);
+  T.end(1); // ends with L1 still held
+  T.read(2, X).write(2, X);
+  T.end(2);
+  T.write(0, X); // root continuation, parallel to task 2's pattern
+  T.sync(0).end(0);
+
+  AtomicityChecker Checker;
+  replayTrace(T.finish(), Checker);
+
+  std::set<MemAddr> Found;
+  for (const Violation &V : Checker.violations().snapshot())
+    Found.insert(V.Addr);
+  EXPECT_EQ(Found, std::set<MemAddr>{X});
+}
+
+} // namespace

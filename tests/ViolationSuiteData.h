@@ -1,0 +1,437 @@
+//===- tests/ViolationSuiteData.h - The 36-program violation suite -*-C++-*===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's validation suite as data: 36 violating programs covering
+/// every unserializable pattern, lock shapes, multi-variable groups, deep
+/// task structures and observation orders — plus clean twins that must stay
+/// silent. Shared between ViolationSuiteTest.cpp (trace replay through
+/// every checker configuration) and MulticoreMatrixTest.cpp (live execution
+/// on 1/2/4/8 workers, asserting the detected sets match the single-worker
+/// run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_TESTS_VIOLATIONSUITEDATA_H
+#define AVC_TESTS_VIOLATIONSUITEDATA_H
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "CheckerTestUtil.h"
+
+namespace avc {
+namespace suite {
+
+constexpr MemAddr X = 0x1000;
+constexpr MemAddr Y = 0x1008;
+constexpr MemAddr Z = 0x1010;
+constexpr LockId L1 = 1;
+constexpr LockId L2 = 2;
+constexpr LockId L3 = 3;
+
+struct Scenario {
+  const char *Name;
+  std::function<TraceBuilder()> Build;
+  std::set<MemAddr> ViolatingLocations;
+  /// Locations forming one multi-variable atomic group (empty = none).
+  std::vector<MemAddr> Group;
+};
+
+inline std::vector<Scenario> buildSuite() {
+  std::vector<Scenario> Suite;
+  auto Add = [&](const char *Name, std::set<MemAddr> Locs,
+                 std::function<TraceBuilder()> Build,
+                 std::vector<MemAddr> Group = {}) {
+    Suite.push_back({Name, std::move(Build), std::move(Locs),
+                     std::move(Group)});
+  };
+
+  // --- 1-5: the five unserializable patterns between parallel siblings ---
+  Add("01_rwr_siblings", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.read(1, X).read(1, X).write(2, X);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("02_rww_siblings", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.read(1, X).write(1, X).write(2, X);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("03_wrw_siblings", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.write(1, X).write(1, X).read(2, X);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("04_wwr_siblings", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.write(1, X).read(1, X).write(2, X);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("05_www_siblings", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.write(1, X).write(1, X).write(2, X);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+
+  // --- 6-11: task-structure variations ---
+  Add("06_interleaver_is_grandchild", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2).spawn(2, 3);
+    T.read(1, X).write(1, X).write(3, X);
+    return T.end(3).end(2).end(1).sync(0).end(0), T;
+  });
+  Add("07_interleaver_is_parent_continuation", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1);
+    T.write(1, X).write(1, X);
+    T.read(0, X); // parent's continuation step runs parallel to the child
+    return T.end(1).sync(0).end(0), T;
+  });
+  Add("08_pattern_in_parent_interleaver_in_child", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1);
+    T.read(0, X).write(0, X); // parent continuation's pattern
+    T.write(1, X);
+    return T.end(1).sync(0).end(0), T;
+  });
+  Add("09_explicit_task_group", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1, /*Group=*/7).spawn(0, 2, /*Group=*/7);
+    T.read(1, X).write(1, X).write(2, X);
+    T.end(1).end(2).wait(0, 7).end(0);
+    return T;
+  });
+  Add("10_nested_groups", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1, 7); // outer group
+    T.spawn(0, 2, 8); // inner group (nested scope)
+    T.write(2, X).write(2, X).read(1, X);
+    T.end(2).wait(0, 8).end(1).wait(0, 7).end(0);
+    return T;
+  });
+  Add("11_cross_subtree_cousins", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.spawn(1, 3).spawn(2, 4);
+    T.read(3, X).write(3, X).write(4, X);
+    return T.end(3).end(4).end(1).end(2).sync(0).end(0), T;
+  });
+
+  // --- 12-16: locks ---
+  Add("12_paper_fig11_lock_versioning", {X}, [] {
+    TraceBuilder T;
+    T.write(0, X);
+    T.spawn(0, 1).spawn(0, 2);
+    T.acq(2, L1).write(2, X).rel(2, L1);
+    T.acq(1, L1).read(1, X).rel(1, L1);
+    T.acq(1, L1).write(1, X).rel(1, L1);
+    return T.end(2).end(1).sync(0).end(0), T;
+  });
+  Add("13_www_two_critical_sections_same_lock", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.acq(1, L1).write(1, X).rel(1, L1);
+    T.acq(1, L1).write(1, X).rel(1, L1);
+    T.acq(2, L1).write(2, X).rel(2, L1);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("14_locked_interleaver_unlocked_pattern", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.read(1, X).write(1, X); // no locks in the pattern
+    T.acq(2, L1).write(2, X).rel(2, L1);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("15_pattern_under_two_different_locks", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.acq(1, L1).read(1, X).rel(1, L1);
+    T.acq(1, L2).write(1, X).rel(1, L2);
+    T.acq(2, L3).write(2, X).rel(2, L3);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("16_nested_locks_disjoint_pattern", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.acq(1, L1).acq(1, L2).read(1, X).rel(1, L2).rel(1, L1);
+    T.acq(1, L3).write(1, X).rel(1, L3);
+    T.write(2, X);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+
+  // --- 17-18: multi-variable groups ---
+  Add("17_group_rww_across_variables", {X, Y}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.read(1, X).write(1, Y).write(2, X);
+    return T.end(1).end(2).sync(0).end(0), T;
+  }, {X, Y});
+  Add("18_group_wrw_reader_on_other_member", {X, Y}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.write(1, X).write(1, Y).read(2, Y);
+    return T.end(1).end(2).sync(0).end(0), T;
+  }, {X, Y});
+
+  // --- 19-21: observation orders (schedule generalization) ---
+  Add("19_interleaver_before_pattern", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.write(2, X).read(1, X).write(1, X);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("20_interleaver_between_pattern_accesses", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.read(1, X).write(2, X).write(1, X);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("21_serial_depth_first_observation", {X}, [] {
+    // The schedule a single worker produces: each child runs to completion
+    // at its spawn; the trace itself is serializable, the structure is not.
+    TraceBuilder T;
+    T.spawn(0, 1);
+    T.read(1, X).write(1, X);
+    T.end(1);
+    T.spawn(0, 2);
+    T.write(2, X);
+    T.end(2).sync(0).end(0);
+    return T;
+  });
+
+  // --- 22-23: fixed-size metadata robustness ---
+  Add("22_three_readers_then_ww", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2).spawn(0, 3).spawn(0, 4);
+    T.read(1, X).read(2, X).read(3, X);
+    T.write(4, X).write(4, X);
+    return T.end(1).end(2).end(3).end(4).sync(0).end(0), T;
+  });
+  Add("23_three_writers_then_rr", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2).spawn(0, 3).spawn(0, 4);
+    T.write(1, X).write(2, X).write(3, X);
+    T.read(4, X).read(4, X);
+    return T.end(1).end(2).end(3).end(4).sync(0).end(0), T;
+  });
+
+  // --- 24-27: structure depth and shape ---
+  Add("24_deep_spawn_chain", {X}, [] {
+    TraceBuilder T;
+    for (TaskId Task = 0; Task < 8; ++Task)
+      T.spawn(Task, Task + 1);
+    T.read(8, X).write(8, X);
+    T.write(0, X); // the root's continuation is parallel to the whole chain
+    for (TaskId Task = 8; Task > 0; --Task)
+      T.end(Task);
+    T.sync(0).end(0);
+    return T;
+  });
+  Add("25_uncle_and_nephew", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1);      // uncle
+    T.spawn(0, 2);      // parent of the nephew
+    T.spawn(2, 3);      // nephew
+    T.write(1, X).write(1, X).read(3, X);
+    return T.end(3).end(2).end(1).sync(0).end(0), T;
+  });
+  Add("26_wide_fanout_last_child_violates", {X}, [] {
+    TraceBuilder T;
+    for (TaskId Child = 1; Child <= 12; ++Child)
+      T.spawn(0, Child);
+    T.write(12, X).write(12, X);
+    T.read(1, X);
+    for (TaskId Child = 1; Child <= 12; ++Child)
+      T.end(Child);
+    T.sync(0).end(0);
+    return T;
+  });
+  Add("27_counter_increment_race", {X}, [] {
+    // The classic lost-update: two tasks do x = x + 1 unprotected.
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.read(1, X).write(1, X);
+    T.read(2, X).write(2, X);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+
+  // --- 28-30: idiomatic bug shapes ---
+  Add("28_bank_check_then_act", {X}, [] {
+    // balance check (read) then withdraw (write) racing a deposit.
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.acq(1, L1).read(1, X).rel(1, L1); // check under lock
+    T.acq(1, L1).write(1, X).rel(1, L1); // act in a second section
+    T.acq(2, L1).write(2, X).rel(2, L1); // concurrent deposit
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("29_double_check_flag", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.read(1, X).read(1, X); // double-check idiom
+    T.write(2, X);           // flag flips in between
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("30_pattern_from_later_critical_sections", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    // First CS pair is self-contained; the *third* access pairs with the
+    // first into a vulnerable pattern.
+    T.acq(1, L1).read(1, X).write(1, X).rel(1, L1);
+    T.acq(1, L2).write(1, X).rel(1, L2);
+    T.acq(2, L3).write(2, X).rel(2, L3);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+
+  // --- 31-36: composites ---
+  Add("31_two_independent_violations", {X, Y}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.read(1, X).write(1, X).write(2, X);
+    T.write(2, Y).write(2, Y).read(1, Y);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("32_violating_and_clean_locations_mixed", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.read(1, X).write(1, X).write(2, X); // violates
+    T.read(1, Y).write(2, Z);             // single accesses: clean
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("33_root_step_is_interleaver", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1);
+    T.write(1, X).write(1, X);
+    T.read(0, X); // root continuation, still before sync
+    return T.end(1).sync(0).end(0), T;
+  });
+  Add("34_sibling_after_nested_join", {X}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1);
+    T.spawn(1, 2);
+    T.read(2, X).write(2, X); // grandchild pattern
+    T.end(2).sync(1).end(1);
+    T.spawn(0, 3);            // sibling spawned after child 1 finished...
+    T.write(3, X);            // ...but no sync between: still parallel
+    return T.end(3).sync(0).end(0), T;
+  });
+  Add("35_second_write_slot_carries_violation", {X}, [] {
+    // W1 holds a serial writer (the root); the violation is only visible
+    // through W2 — the paper's running example shape.
+    TraceBuilder T;
+    T.write(0, X);
+    T.spawn(0, 1).spawn(0, 2);
+    T.write(2, X);
+    T.read(1, X).write(1, X);
+    return T.end(2).end(1).sync(0).end(0), T;
+  });
+  Add("36_group_with_locks", {X, Y}, [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.acq(1, L1).read(1, X).rel(1, L1);
+    T.acq(1, L2).write(1, Y).rel(1, L2);
+    T.acq(2, L3).write(2, X).rel(2, L3);
+    return T.end(1).end(2).sync(0).end(0), T;
+  }, {X, Y});
+
+  return Suite;
+}
+
+/// Clean twins: programs that look like the violating ones but are safe;
+/// every checker must stay silent (the "without false positives" half).
+inline std::vector<Scenario> buildCleanSuite() {
+  std::vector<Scenario> Suite;
+  auto Add = [&](const char *Name, std::function<TraceBuilder()> Build,
+                 std::vector<MemAddr> Group = {}) {
+    Suite.push_back({Name, std::move(Build), {}, std::move(Group)});
+  };
+
+  Add("c01_serial_tasks", [] {
+    TraceBuilder T;
+    T.spawn(0, 1);
+    T.read(1, X).write(1, X);
+    T.end(1).sync(0);
+    T.spawn(0, 2);
+    T.write(2, X);
+    return T.end(2).sync(0).end(0), T;
+  });
+  Add("c02_single_critical_section", [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.acq(1, L1).read(1, X).write(1, X).rel(1, L1);
+    T.acq(2, L1).write(2, X).rel(2, L1);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("c03_parallel_reads_only", [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2).spawn(0, 3);
+    T.read(1, X).read(1, X).read(2, X).read(3, X).read(3, X);
+    return T.end(1).end(2).end(3).sync(0).end(0), T;
+  });
+  Add("c04_disjoint_locations", [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.read(1, X).write(1, X).read(2, Y).write(2, Y);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("c05_pattern_broken_by_spawn", [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.write(2, X).read(1, X);
+    T.spawn(1, 3);
+    T.write(1, X);
+    return T.end(3).end(2).end(1).sync(0).end(0), T;
+  });
+  Add("c06_pattern_broken_by_sync", [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.write(2, X).read(1, X).sync(1).write(1, X);
+    return T.end(2).end(1).sync(0).end(0), T;
+  });
+  Add("c07_shared_lock_held_across_pattern", [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.acq(1, L1).acq(1, L2).read(1, X).rel(1, L2).write(1, X).rel(1, L1);
+    T.acq(2, L1).write(2, X).rel(2, L1);
+    return T.end(1).end(2).sync(0).end(0), T;
+  });
+  Add("c08_group_accessed_atomically", [] {
+    TraceBuilder T;
+    T.spawn(0, 1).spawn(0, 2);
+    T.acq(1, L1).read(1, X).write(1, Y).rel(1, L1);
+    T.acq(2, L1).write(2, X).rel(2, L1);
+    return T.end(1).end(2).sync(0).end(0), T;
+  }, {X, Y});
+  Add("c09_interleaver_serial_with_pattern", [] {
+    TraceBuilder T;
+    T.write(0, X); // root before any spawn
+    T.spawn(0, 1);
+    T.read(1, X).write(1, X);
+    return T.end(1).sync(0).end(0), T;
+  });
+  Add("c10_write_joined_before_pattern", [] {
+    TraceBuilder T;
+    T.spawn(0, 1);
+    T.write(1, X);
+    T.end(1).sync(0);
+    T.read(0, X).write(0, X); // root pattern after the join
+    return T.end(0), T;
+  });
+
+  return Suite;
+}
+
+} // namespace suite
+} // namespace avc
+
+#endif // AVC_TESTS_VIOLATIONSUITEDATA_H

@@ -10,6 +10,14 @@ by more than the allowed fraction. Used by the CI bench-regression smoke:
 
 Higher metric values are assumed to be worse (slowdown factors); pass
 --lower-is-better=no for throughput-style metrics.
+
+A second mode validates a single report against an absolute bound instead
+of a baseline — used for invariants that must hold of the artifact itself,
+like the fig13_threads scaling gate (8-worker overhead within 1.5x of
+1-worker overhead):
+
+    bench_compare.py BENCH_fig13_threads.json \
+        --key scaling_t8_over_t1 --max-value 1.5
 """
 
 import argparse
@@ -33,15 +41,33 @@ def load_metric(path, key):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("fresh", help="freshly generated JSON")
+    parser.add_argument("fresh", nargs="?",
+                        help="freshly generated JSON (omit with --max-value)")
     parser.add_argument("--key", default="geomean_ours_x",
                         help="meta key to compare (default: geomean_ours_x)")
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed fractional regression (default: 0.20)")
+    parser.add_argument("--max-value", type=float, default=None,
+                        help="absolute bound: check meta.KEY of the single "
+                             "given report instead of comparing two reports")
     parser.add_argument("--lower-is-better", choices=["yes", "no"],
                         default="yes",
                         help="whether smaller metric values are better")
     args = parser.parse_args()
+
+    if args.max_value is not None:
+        if args.fresh is not None:
+            parser.error("--max-value takes a single report")
+        value = load_metric(args.baseline, args.key)
+        print(f"{args.key}: {value:.4g} (bound {args.max_value:.4g})")
+        if value > args.max_value:
+            print(f"FAIL: {args.key} exceeds the absolute bound",
+                  file=sys.stderr)
+            return 1
+        print("OK")
+        return 0
+    if args.fresh is None:
+        parser.error("two reports required unless --max-value is given")
 
     baseline = load_metric(args.baseline, args.key)
     fresh = load_metric(args.fresh, args.key)

@@ -442,7 +442,7 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
 
   ToolContext::Options ToolOpts;
   ToolOpts.Tool = Kind;
-  ToolOpts.NumThreads = Opts.Threads;
+  ToolOpts.Checker.NumThreads = Opts.Threads;
   ToolOpts.Checker.EnableAccessCache = Opts.CacheEnabled;
   ToolOpts.Checker.AccessCacheSlots = Opts.CacheSlots;
   ToolOpts.Checker.Query = Opts.Query;
