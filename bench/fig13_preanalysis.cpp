@@ -1,0 +1,144 @@
+//===- bench/fig13_preanalysis.cpp - Site pre-analysis ablation -----------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reruns the Figure 13 overhead experiment with the site pre-analysis
+/// gate off, on, and in profile mode, on the atomicity checker. Reports
+/// per-benchmark slowdowns versus the uninstrumented baseline, the skip
+/// counters (sequential-region and per-site tiers), the pruned-site
+/// census, and the violation count under every mode — the counts must
+/// agree, the gate only removes provably irrelevant work.
+///
+/// The committed artifact (BENCH_fig13_preanalysis.json) backs the PR 7
+/// acceptance gate: geomean_preanalysis_on_x must stay below
+/// geomean_preanalysis_off_x (see ci.yml and tools/bench_compare.py
+/// --not-above-key).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace avc;
+using namespace avc::bench;
+using namespace avc::workloads;
+
+namespace {
+
+/// Live warmup window for the profile leg: long enough that classification
+/// rests on a meaningful prefix, short enough that the classified fast
+/// path covers most of the run.
+constexpr uint32_t ProfileWarmup = 1024;
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchConfig Config = parseArgs(argc, argv);
+
+  std::printf("Figure 13 + site pre-analysis: slowdown vs uninstrumented "
+              "baseline (scale=%.2f, reps=%u, threads=%u, profile "
+              "warmup=%u)\n",
+              Config.Scale, Config.Reps, Config.Threads, ProfileWarmup);
+  JsonReport Report;
+  Report.meta("experiment", "fig13_preanalysis");
+  Report.meta("scale", Config.Scale);
+  Report.meta("reps", static_cast<double>(Config.Reps));
+  Report.meta("threads", static_cast<double>(Config.Threads));
+  Report.meta("profile_warmup", static_cast<double>(ProfileWarmup));
+  std::printf("%-14s %9s %8s %8s %8s %7s %7s %10s %10s %7s %6s\n",
+              "benchmark", "base(ms)", "off(x)", "on(x)", "prof(x)",
+              "seqskip", "sitskip", "pruned", "sites", "viol", "match");
+
+  size_t Count = 0;
+  const Workload *Table = allWorkloads(Count);
+  std::vector<double> OffSlowdowns, OnSlowdowns, ProfileSlowdowns;
+  bool AllMatch = true;
+
+  for (size_t I = 0; I < Count; ++I) {
+    const Workload &W = Table[I];
+    ToolContext::Options OffOpts = checkerOptions(Config, DpstLayout::Array);
+    ToolContext::Options OnOpts = OffOpts;
+    OnOpts.Checker.Preanalysis = PreanalysisMode::On;
+    ToolContext::Options ProfileOpts = OffOpts;
+    ProfileOpts.Checker.Preanalysis = PreanalysisMode::Profile;
+    ProfileOpts.Checker.PreanalysisWarmup = ProfileWarmup;
+
+    // Interleave the configurations across repetitions (machine drift
+    // shifts every column equally; see fig13_overhead.cpp).
+    double Base = 0, Off = 0, On = 0, Profile = 0;
+    for (unsigned R = 0; R < Config.Reps; ++R) {
+      Base += timeOnce(W, baselineOptions(Config), Config.Scale);
+      Off += timeOnce(W, OffOpts, Config.Scale);
+      On += timeOnce(W, OnOpts, Config.Scale);
+      Profile += timeOnce(W, ProfileOpts, Config.Scale);
+    }
+    Base /= Config.Reps;
+    Off /= Config.Reps;
+    On /= Config.Reps;
+    Profile /= Config.Reps;
+
+    CheckerStats OffStats = statsOnce(W, OffOpts, Config.Scale);
+    CheckerStats OnStats = statsOnce(W, OnOpts, Config.Scale);
+    CheckerStats ProfileStats = statsOnce(W, ProfileOpts, Config.Scale);
+    const PreanalysisStats &Pre = OnStats.Pre;
+    uint64_t Pruned = Pre.NumSequentialOnly + Pre.NumReadOnlyAfterInit;
+    bool Match = OffStats.NumViolations == OnStats.NumViolations &&
+                 OffStats.NumViolations == ProfileStats.NumViolations;
+    AllMatch &= Match;
+
+    double OffX = Off / Base;
+    double OnX = On / Base;
+    double ProfileX = Profile / Base;
+    OffSlowdowns.push_back(OffX);
+    OnSlowdowns.push_back(OnX);
+    ProfileSlowdowns.push_back(ProfileX);
+    std::printf("%-14s %9.2f %7.2fx %7.2fx %7.2fx %7llu %7llu %10llu "
+                "%10llu %7llu %6s\n",
+                W.Name, Base * 1e3, OffX, OnX, ProfileX,
+                static_cast<unsigned long long>(Pre.NumSeqSkips),
+                static_cast<unsigned long long>(Pre.NumSiteSkips),
+                static_cast<unsigned long long>(Pruned),
+                static_cast<unsigned long long>(Pre.NumSites),
+                static_cast<unsigned long long>(OffStats.NumViolations),
+                Match ? "yes" : "NO");
+    Report.row()
+        .field("benchmark", W.Name)
+        .field("base_ms", Base * 1e3)
+        .field("off_ms", Off * 1e3)
+        .field("on_ms", On * 1e3)
+        .field("profile_ms", Profile * 1e3)
+        .field("off_x", OffX)
+        .field("on_x", OnX)
+        .field("profile_x", ProfileX)
+        .field("pre_seq_skips", double(Pre.NumSeqSkips))
+        .field("pre_site_skips", double(Pre.NumSiteSkips))
+        .field("pre_sites", double(Pre.NumSites))
+        .field("pre_sequential_only", double(Pre.NumSequentialOnly))
+        .field("pre_read_only_after_init", double(Pre.NumReadOnlyAfterInit))
+        .field("pre_fixed_lockset", double(Pre.NumFixedLockset))
+        .field("pre_generic", double(Pre.NumGeneric))
+        .field("profile_downgrades", double(ProfileStats.Pre.NumDowngrades))
+        .field("violations_off", double(OffStats.NumViolations))
+        .field("violations_on", double(OnStats.NumViolations))
+        .field("violations_profile", double(ProfileStats.NumViolations))
+        .field("violations_match", Match ? 1.0 : 0.0);
+  }
+
+  double GeoOff = geometricMean(OffSlowdowns);
+  double GeoOn = geometricMean(OnSlowdowns);
+  double GeoProfile = geometricMean(ProfileSlowdowns);
+  std::printf("%-14s %9s %7.2fx %7.2fx %7.2fx\n", "geomean", "", GeoOff,
+              GeoOn, GeoProfile);
+  std::printf("pre-analysis on/off overhead ratio: %.3f (violation sets %s "
+              "across modes)\n",
+              GeoOn / GeoOff, AllMatch ? "identical" : "DIVERGED");
+  Report.meta("geomean_preanalysis_off_x", GeoOff);
+  Report.meta("geomean_preanalysis_on_x", GeoOn);
+  Report.meta("geomean_preanalysis_profile_x", GeoProfile);
+  Report.meta("preanalysis_on_over_off", GeoOn / GeoOff);
+  Report.meta("all_violations_match", AllMatch ? 1.0 : 0.0);
+  if (!Config.JsonPath.empty() && !Report.write(Config.JsonPath))
+    return 1;
+  return AllMatch ? 0 : 1;
+}

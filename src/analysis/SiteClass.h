@@ -1,0 +1,151 @@
+//===- analysis/SiteClass.h - Site classification lattice ------*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pre-analysis verdict lattice. Every instrumented site (a scalar
+/// Tracked<T> location or a whole TrackedArray range) is classified before
+/// or during the run; the classification compiles to a per-site *action*
+/// the checkers consult ahead of the access-path cache:
+///
+///   SequentialOnly   — every access happened while the program was
+///                      globally sequential (root task executing, zero
+///                      outstanding spawned tasks). No access of the site
+///                      can participate in a violation; the handler is a
+///                      no-op (SkipAll).
+///   ReadOnlyAfterInit — no write to the site is logically parallel with
+///                      any other access (writes happen only in sequential
+///                      init/refit phases). Reads are skipped (SkipReads);
+///                      a write observed after live-mode classification
+///                      *downgrades* the site back to the generic path.
+///   FixedLockset     — every observed access held the same non-empty lock
+///                      set. Under lock versioning same-lock critical
+///                      *sections* still produce disjoint token sets, so
+///                      this proves nothing about pattern formation; it is
+///                      a classification/reporting verdict only (the
+///                      handler stays Generic).
+///   NonGrouped       — the site was never registered into a multi-variable
+///                      atomic group, so serializability tools never merge
+///                      its metadata. Reporting verdict; grouped sites are
+///                      additionally pinned to the generic path because
+///                      group violations span member locations.
+///   Generic          — everything else: the full Figure 6-9 path.
+///
+/// Soundness: SkipAll/SkipReads handlers are violation-set-preserving by
+/// the quiescent-point barrier argument (DESIGN.md §11); live-mode warmup
+/// classification is speculative and verified by the downgrade check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_ANALYSIS_SITECLASS_H
+#define AVC_ANALYSIS_SITECLASS_H
+
+#include <cstdint>
+
+namespace avc {
+
+/// How the pre-analysis front end is driven (ToolOptions::Preanalysis,
+/// taskcheck --preanalysis=<on|off|profile:N>).
+enum class PreanalysisMode : uint8_t {
+  Off,     ///< Disabled: every access takes the generic path.
+  On,      ///< Sequential-region skip + exact trace classification when
+           ///< replaying; live runs add a conservative warmup profile with
+           ///< the high default threshold (small runs never speculate).
+  Profile, ///< Like On, with an explicit warmup threshold: a site is
+           ///< classified after its first N non-sequential accesses.
+};
+
+/// The classification lattice (see file comment). Order matters for
+/// reporting: a site reports under the strongest class that applies.
+enum class SiteClass : uint8_t {
+  SequentialOnly,
+  ReadOnlyAfterInit,
+  FixedLockset,
+  NonGrouped,
+  Generic,
+  Unclassified, ///< Live-mode site still inside its warmup window.
+};
+
+/// The compiled per-site handler consulted on the access hot path.
+enum class SiteAction : uint8_t {
+  Warmup = 0, ///< Live mode: count this access toward classification.
+  Generic,    ///< Fall through to the tool's full dispatch.
+  SkipReads,  ///< Reads return immediately; a write downgrades to Generic.
+  SkipAll,    ///< Every access returns immediately.
+};
+
+inline const char *preanalysisModeName(PreanalysisMode Mode) {
+  switch (Mode) {
+  case PreanalysisMode::Off:
+    return "off";
+  case PreanalysisMode::On:
+    return "on";
+  case PreanalysisMode::Profile:
+    return "profile";
+  }
+  return "?";
+}
+
+inline const char *siteClassName(SiteClass Class) {
+  switch (Class) {
+  case SiteClass::SequentialOnly:
+    return "sequential-only";
+  case SiteClass::ReadOnlyAfterInit:
+    return "read-only-after-init";
+  case SiteClass::FixedLockset:
+    return "fixed-lockset";
+  case SiteClass::NonGrouped:
+    return "non-grouped";
+  case SiteClass::Generic:
+    return "generic";
+  case SiteClass::Unclassified:
+    return "unclassified";
+  }
+  return "?";
+}
+
+/// Mixes a raw lock id into the XOR lockset signature the warmup profile
+/// and the trace classifier record per site (splitmix64 finalizer, so
+/// structured ids do not cancel under XOR).
+inline uint64_t mixLockId(uint64_t Lock) {
+  uint64_t X = Lock + 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Default live-mode warmup threshold (accesses per site before the site
+/// is classified). Deliberately high: programs that touch a site fewer
+/// times than this gain nothing from pruning it, and --preanalysis=on
+/// must never speculate on the small traces the test suites replay.
+inline constexpr uint32_t DefaultPreanalysisWarmup = 8192;
+
+/// Pre-analysis counters surfaced through every tool's stats.
+struct PreanalysisStats {
+  PreanalysisMode Mode = PreanalysisMode::Off;
+  /// Accesses skipped because the program was globally sequential.
+  uint64_t NumSeqSkips = 0;
+  /// Accesses skipped by a per-site SkipReads/SkipAll handler.
+  uint64_t NumSiteSkips = 0;
+  /// Live-mode sites that lost their speculative classification to a
+  /// later write, and the subset whose downgrade happened in the same
+  /// quiescent phase as an already-skipped read (the only case where a
+  /// violation involving a skipped access could be missed).
+  uint64_t NumDowngrades = 0;
+  uint64_t NumUnsafeDowngrades = 0;
+  /// Sites by final class (computed at stats time).
+  uint64_t NumSites = 0;
+  uint64_t NumSequentialOnly = 0;
+  uint64_t NumReadOnlyAfterInit = 0;
+  uint64_t NumFixedLockset = 0;
+  uint64_t NumNonGrouped = 0;
+  uint64_t NumGeneric = 0;
+
+  uint64_t numSkips() const { return NumSeqSkips + NumSiteSkips; }
+};
+
+} // namespace avc
+
+#endif // AVC_ANALYSIS_SITECLASS_H

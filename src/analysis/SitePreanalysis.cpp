@@ -1,0 +1,341 @@
+//===- analysis/SitePreanalysis.cpp - Per-site fast-path handlers ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SitePreanalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+#include "analysis/SiteRegistry.h"
+
+using namespace avc;
+
+namespace {
+/// Bytes assumed for a site discovered lazily from a bare access address
+/// (raw trace replays register nothing up front). Matches the word-sized
+/// access model of the instrumentation layer.
+constexpr uint64_t LazySiteBytes = 8;
+} // namespace
+
+SitePreanalysis::~SitePreanalysis() = default;
+
+void SitePreanalysis::noteProgramStart(TaskId RootTask) {
+  Root = RootTask;
+  SeqRegion.store(true, std::memory_order_relaxed);
+  Phase.store(0, std::memory_order_relaxed);
+  OpenByTag.clear();
+  TotalOpen = 0;
+
+  std::lock_guard<SpinLock> Guard(TableLock);
+  for (const SiteRegistry::Entry &E : SiteRegistry::instance().snapshot()) {
+    if (E.Id <= RegistrySeen)
+      continue;
+    RegistrySeen = std::max(RegistrySeen, E.Id);
+    addRangeLocked(E.Base, E.Size, E.Stride);
+  }
+  publishLocked();
+}
+
+void SitePreanalysis::registerRange(MemAddr Base, uint64_t Size,
+                                    uint32_t Stride) {
+  std::lock_guard<SpinLock> Guard(TableLock);
+  addRangeLocked(Base, Size, Stride);
+  publishLocked();
+}
+
+void SitePreanalysis::markGrouped(const MemAddr *Members, size_t Count) {
+  std::lock_guard<SpinLock> Guard(TableLock);
+  for (size_t I = 0; I < Count; ++I) {
+    MemAddr Addr = Members[I];
+    GroupedAddrs.push_back(Addr);
+    for (const TaskView::RangeRef &R : LiveRanges)
+      if (Addr - R.Base < R.Size) {
+        R.Rec->Flags.fetch_or(FlagGrouped, std::memory_order_relaxed);
+        R.Rec->Action.store(uint8_t(SiteAction::Generic),
+                            std::memory_order_relaxed);
+      }
+  }
+}
+
+void SitePreanalysis::adoptExact(const std::vector<ExactSiteClass> &Sites) {
+  std::lock_guard<SpinLock> Guard(TableLock);
+  ExactAdopted = true;
+  for (const ExactSiteClass &S : Sites) {
+    SiteRecord *Rec = addRangeLocked(S.Base, S.Size,
+                                     static_cast<uint32_t>(S.Size));
+    Rec->ExactClass.store(uint8_t(S.Class), std::memory_order_relaxed);
+    Rec->SeqReads.store(S.SeqReads, std::memory_order_relaxed);
+    Rec->SeqWrites.store(S.SeqWrites, std::memory_order_relaxed);
+    Rec->NonSeqAccesses.store(
+        static_cast<uint32_t>(
+            std::min<uint64_t>(S.NonSeqReads + S.NonSeqWrites, ~0u)),
+        std::memory_order_relaxed);
+    Rec->NonSeqWrites.store(
+        static_cast<uint32_t>(std::min<uint64_t>(S.NonSeqWrites, ~0u)),
+        std::memory_order_relaxed);
+    // Grouped sites stay pinned to the generic path regardless of the
+    // exact verdict (group violations span member locations).
+    if (!(Rec->Flags.load(std::memory_order_relaxed) & FlagGrouped))
+      Rec->Action.store(uint8_t(S.Action), std::memory_order_relaxed);
+  }
+  publishLocked();
+}
+
+SitePreanalysis::SiteRecord *
+SitePreanalysis::addRangeLocked(MemAddr Base, uint64_t Size, uint32_t Stride) {
+  // Re-registration of a live range (program restart on the same tool, or
+  // an exact adoption over registry-seeded records) reuses the record.
+  for (const TaskView::RangeRef &R : LiveRanges)
+    if (R.Base == Base && R.Size == Size)
+      return R.Rec;
+  // Address reuse: newer ranges shadow and retire overlapping older ones.
+  // The retired record's action drops to Generic so a stale MRU reference
+  // in some task falls through to the full path (always sound).
+  for (size_t I = LiveRanges.size(); I-- > 0;) {
+    TaskView::RangeRef &R = LiveRanges[I];
+    if (Base < R.Base + R.Size && R.Base < Base + Size) {
+      R.Rec->Action.store(uint8_t(SiteAction::Generic),
+                          std::memory_order_relaxed);
+      LiveRanges.erase(LiveRanges.begin() + static_cast<ptrdiff_t>(I));
+    }
+  }
+  Records.push_back(std::make_unique<SiteRecord>());
+  SiteRecord *Rec = Records.back().get();
+  Rec->Base = Base;
+  Rec->Size = Size;
+  Rec->Stride = Stride ? Stride : static_cast<uint32_t>(Size);
+  bool Grouped = groupedOverlapsLocked(Base, Size);
+  if (Grouped)
+    Rec->Flags.fetch_or(FlagGrouped, std::memory_order_relaxed);
+  // Live modes open a warmup window; after an exact adoption (or for
+  // grouped sites) the engine never speculates.
+  bool Warm = !ExactAdopted && !Grouped && enabled();
+  Rec->Action.store(uint8_t(Warm ? SiteAction::Warmup : SiteAction::Generic),
+                    std::memory_order_relaxed);
+  LiveRanges.push_back({Base, Size, Rec});
+  return Rec;
+}
+
+bool SitePreanalysis::groupedOverlapsLocked(MemAddr Base,
+                                            uint64_t Size) const {
+  for (MemAddr Addr : GroupedAddrs)
+    if (Addr - Base < Size)
+      return true;
+  return false;
+}
+
+void SitePreanalysis::publishLocked() {
+  auto Next = std::make_unique<Snapshot>();
+  Next->Ranges = LiveRanges;
+  std::sort(Next->Ranges.begin(), Next->Ranges.end(),
+            [](const TaskView::RangeRef &A, const TaskView::RangeRef &B) {
+              return A.Base < B.Base;
+            });
+  Snap.store(Next.get(), std::memory_order_release);
+  // Every published snapshot stays allocated: a concurrent resolveSlow may
+  // still be reading a superseded one. Bounded by the number of (rare)
+  // publish events.
+  RetiredSnapshots.push_back(std::move(Next));
+}
+
+SitePreanalysis::SiteRecord *SitePreanalysis::resolveSlow(TaskView &View,
+                                                          MemAddr Addr) {
+  Snapshot *S = Snap.load(std::memory_order_acquire);
+  auto It = std::upper_bound(
+      S->Ranges.begin(), S->Ranges.end(), Addr,
+      [](MemAddr A, const TaskView::RangeRef &R) { return A < R.Base; });
+  SiteRecord *Rec = nullptr;
+  if (It != S->Ranges.begin()) {
+    const TaskView::RangeRef &R = *(It - 1);
+    if (Addr - R.Base < R.Size) {
+      View.Mru[View.MruNext++ % TaskView::NumMru] = R;
+      return R.Rec;
+    }
+  }
+  // Unregistered address (raw trace replay): create a scalar site lazily.
+  {
+    std::lock_guard<SpinLock> Guard(TableLock);
+    Rec = addRangeLocked(Addr, LazySiteBytes,
+                         static_cast<uint32_t>(LazySiteBytes));
+    publishLocked();
+  }
+  View.Mru[View.MruNext++ % TaskView::NumMru] = {Rec->Base, Rec->Size, Rec};
+  return Rec;
+}
+
+bool SitePreanalysis::gateSlow(TaskView &View, SiteRecord &Rec, SiteAction Act,
+                               AccessKind Kind) {
+  switch (Act) {
+  case SiteAction::SkipAll:
+    ++View.SiteSkips;
+    return true;
+  case SiteAction::SkipReads:
+    if (Kind == AccessKind::Read) {
+      Rec.LastSkipPhase.store(Phase.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+      ++View.SiteSkips;
+      return true;
+    }
+    // Exact verdicts already proved no write is parallel with any access,
+    // so a write here is expected and keeps the classification; only the
+    // live-mode speculation has to retract on a write.
+    if (!ExactAdopted)
+      downgrade(Rec);
+    return false;
+  case SiteAction::Warmup:
+    warmupCount(View, Rec, Kind);
+    return false;
+  case SiteAction::Generic:
+    break;
+  }
+  return false;
+}
+
+void SitePreanalysis::warmupCount(TaskView &View, SiteRecord &Rec,
+                                  AccessKind Kind) {
+  // Writes count before the access total so the classifying access (the
+  // one that observes N == threshold) sees every write processed so far;
+  // the remaining race window is a single in-flight access and is part of
+  // the documented speculation boundary (DESIGN.md §11).
+  if (Kind == AccessKind::Write)
+    Rec.NonSeqWrites.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Sig = heldSignature(View);
+  uint64_t Expected = LockSigUnset;
+  if (!Rec.LockSig.compare_exchange_strong(Expected, Sig,
+                                           std::memory_order_relaxed) &&
+      Expected != Sig)
+    Rec.Flags.fetch_or(FlagLockSigMixed, std::memory_order_relaxed);
+  uint32_t N = Rec.NonSeqAccesses.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (AVC_UNLIKELY(N == Opts.WarmupThreshold))
+    classify(Rec);
+}
+
+void SitePreanalysis::classify(SiteRecord &Rec) {
+  uint8_t Expected = uint8_t(SiteAction::Warmup);
+  // Live mode can only speculate ReadOnlyAfterInit: SequentialOnly is a
+  // whole-run property no prefix can establish, and FixedLockset proves
+  // nothing under versioned lock tokens (reporting verdict only).
+  bool SkipReads =
+      Rec.NonSeqWrites.load(std::memory_order_relaxed) == 0 &&
+      !(Rec.Flags.load(std::memory_order_relaxed) & FlagGrouped);
+  if (SkipReads)
+    Rec.Flags.fetch_or(FlagSpeculativeRO, std::memory_order_relaxed);
+  Rec.Action.compare_exchange_strong(
+      Expected,
+      uint8_t(SkipReads ? SiteAction::SkipReads : SiteAction::Generic),
+      std::memory_order_relaxed);
+}
+
+void SitePreanalysis::downgrade(SiteRecord &Rec) {
+  uint8_t Expected = uint8_t(SiteAction::SkipReads);
+  if (!Rec.Action.compare_exchange_strong(Expected,
+                                          uint8_t(SiteAction::Generic),
+                                          std::memory_order_relaxed))
+    return; // Another writer already downgraded.
+  Rec.Flags.fetch_or(FlagDowngraded, std::memory_order_relaxed);
+  TotalDowngrades.fetch_add(1, std::memory_order_relaxed);
+  // Invalidate every cached verdict: entries stamped while reads were
+  // being skipped may encode "safe" against metadata those reads never
+  // reached.
+  DowngradeGen.fetch_add(1, std::memory_order_relaxed);
+  // Cross-phase downgrades are lossless (a quiescent point separates the
+  // write from every skipped read, so they are in series). A downgrade in
+  // the same phase as a skipped read is the one place live speculation
+  // can miss a violation.
+  uint32_t Last = Rec.LastSkipPhase.load(std::memory_order_relaxed);
+  if (Last != NoPhase && Last == Phase.load(std::memory_order_relaxed))
+    TotalUnsafeDowngrades.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SitePreanalysis::drainRootScope(const void *Tag) {
+  auto It = OpenByTag.find(Tag);
+  if (It != OpenByTag.end() && It->second != 0) {
+    assert(TotalOpen >= It->second && "scope accounting out of sync");
+    TotalOpen -= It->second;
+    It->second = 0;
+  }
+  if (TotalOpen == 0 && !SeqRegion.load(std::memory_order_relaxed)) {
+    // Order matters for the downgrade proof: the phase advances before
+    // any post-quiescent access can stamp or compare it.
+    Phase.fetch_add(1, std::memory_order_relaxed);
+    SeqRegion.store(true, std::memory_order_relaxed);
+  }
+}
+
+SitePreanalysis::SiteRecord *SitePreanalysis::findSite(MemAddr Addr) {
+  Snapshot *S = Snap.load(std::memory_order_acquire);
+  auto It = std::upper_bound(
+      S->Ranges.begin(), S->Ranges.end(), Addr,
+      [](MemAddr A, const TaskView::RangeRef &R) { return A < R.Base; });
+  if (It != S->Ranges.begin()) {
+    const TaskView::RangeRef &R = *(It - 1);
+    if (Addr - R.Base < R.Size)
+      return R.Rec;
+  }
+  return nullptr;
+}
+
+size_t SitePreanalysis::numSites() const {
+  std::lock_guard<SpinLock> Guard(TableLock);
+  return LiveRanges.size();
+}
+
+SiteClass SitePreanalysis::finalClassOf(const SiteRecord &Rec) const {
+  uint8_t Exact = Rec.ExactClass.load(std::memory_order_relaxed);
+  uint8_t Flags = Rec.Flags.load(std::memory_order_relaxed);
+  if (Flags & FlagGrouped)
+    return SiteClass::Generic;
+  if (ExactAdopted && Exact != uint8_t(SiteClass::Unclassified))
+    return static_cast<SiteClass>(Exact);
+  // Live mode reports the strongest verdict the observed run supports;
+  // counters are ground truth for what actually happened, so these are
+  // exact statements about this execution even for sites still inside
+  // their warmup window.
+  if (Flags & FlagDowngraded)
+    return SiteClass::Generic;
+  if (Rec.NonSeqAccesses.load(std::memory_order_relaxed) == 0)
+    return SiteClass::SequentialOnly;
+  if (Rec.NonSeqWrites.load(std::memory_order_relaxed) == 0)
+    return SiteClass::ReadOnlyAfterInit;
+  uint64_t Sig = Rec.LockSig.load(std::memory_order_relaxed);
+  if (!(Flags & FlagLockSigMixed) && Sig != LockSigUnset && Sig != LockSigNone)
+    return SiteClass::FixedLockset;
+  return SiteClass::Generic;
+}
+
+PreanalysisStats SitePreanalysis::stats() const {
+  PreanalysisStats S;
+  S.Mode = Opts.Mode;
+  S.NumSeqSkips = TotalSeqSkips.load(std::memory_order_relaxed);
+  S.NumSiteSkips = TotalSiteSkips.load(std::memory_order_relaxed);
+  S.NumDowngrades = TotalDowngrades.load(std::memory_order_relaxed);
+  S.NumUnsafeDowngrades =
+      TotalUnsafeDowngrades.load(std::memory_order_relaxed);
+  std::lock_guard<SpinLock> Guard(TableLock);
+  S.NumSites = LiveRanges.size();
+  for (const TaskView::RangeRef &R : LiveRanges) {
+    switch (finalClassOf(*R.Rec)) {
+    case SiteClass::SequentialOnly:
+      ++S.NumSequentialOnly;
+      break;
+    case SiteClass::ReadOnlyAfterInit:
+      ++S.NumReadOnlyAfterInit;
+      break;
+    case SiteClass::FixedLockset:
+      ++S.NumFixedLockset;
+      break;
+    case SiteClass::NonGrouped:
+    case SiteClass::Generic:
+    case SiteClass::Unclassified:
+      ++S.NumGeneric;
+      break;
+    }
+    if (!(R.Rec->Flags.load(std::memory_order_relaxed) & FlagGrouped))
+      ++S.NumNonGrouped;
+  }
+  return S;
+}

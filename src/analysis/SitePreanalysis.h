@@ -1,0 +1,363 @@
+//===- analysis/SitePreanalysis.h - Per-site fast-path handlers -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pre-analysis engine each checker tool embeds: a table of registered
+/// sites (SiteRegistry pulls plus live onSiteRegister events), a
+/// per-site compiled handler (SiteAction), and the sequential-region
+/// tracker that powers the cheapest skip of all.
+///
+/// The hot entry point is gate(): called at the top of every tool's
+/// onAccess, *before* the access-path cache. It answers in three tiers:
+///
+///   1. *Sequential-region skip.* When the root task executes with zero
+///      outstanding spawned tasks (a global quiescent region), its
+///      accesses are in series with every other access of the run — the
+///      runtime's Cilk semantics guarantee a task implicitly syncs its
+///      children when it returns, so no task survives a root-level join.
+///      Such accesses can be dropped without changing any tool's violation
+///      set (DESIGN.md §11 gives the replacement-identity proof for both
+///      metadata retention modes). Cost: one task-id compare and one
+///      relaxed bool load.
+///
+///   2. *Per-site handler.* The access address resolves to its site
+///      (4-entry MRU of range refs, then a lock-free snapshot binary
+///      search), and the site's compiled action dispatches: SkipAll and
+///      SkipReads return immediately, Generic falls through, Warmup counts
+///      the access toward live classification.
+///
+///   3. *Fall through* to the tool's normal dispatch (access cache,
+///      shadow walk, Figure 6-9 metadata).
+///
+/// Quiescent phases: a counter increments every time the program re-enters
+/// a sequential region. Sites speculatively classified ReadOnlyAfterInit
+/// record the phase of every skipped read; a downgrade (write to such a
+/// site) is provably lossless when it happens in a *later* phase than all
+/// skipped reads — every step before a quiescent point is in series with
+/// every step after it, so the writer cannot be logically parallel with
+/// any skipped access. Same-phase downgrades are counted separately
+/// (NumUnsafeDowngrades): they are the precise — and deliberately
+/// narrow — unsoundness boundary of live-mode speculation.
+///
+/// Thread safety: site records are shared, mutated with relaxed atomics
+/// (counters) and CAS (action transitions). The sequential-region state is
+/// only written by handlers of root-task events and only read for
+/// root-task accesses; task migration between workers is ordered by the
+/// runtime's scheduling synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_ANALYSIS_SITEPREANALYSIS_H
+#define AVC_ANALYSIS_SITEPREANALYSIS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/SiteClass.h"
+#include "checker/AccessKind.h"
+#include "runtime/ExecutionObserver.h"
+#include "support/Compiler.h"
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// One site classification produced by the exact (replay-mode) front end.
+struct ExactSiteClass {
+  MemAddr Base = 0;
+  uint64_t Size = 0;
+  SiteClass Class = SiteClass::Generic;
+  SiteAction Action = SiteAction::Generic;
+  uint64_t SeqReads = 0;
+  uint64_t SeqWrites = 0;
+  uint64_t NonSeqReads = 0;
+  uint64_t NonSeqWrites = 0;
+};
+
+/// Per-tool pre-analysis engine (see file comment).
+class SitePreanalysis {
+public:
+  struct Options {
+    PreanalysisMode Mode = PreanalysisMode::Off;
+    /// Accesses per site before live classification (Profile mode sets it
+    /// from --preanalysis=profile:N; On uses the high default).
+    uint32_t WarmupThreshold = DefaultPreanalysisWarmup;
+  };
+
+  static constexpr uint32_t NoPhase = ~0u;
+  static constexpr uint64_t LockSigUnset = ~0ull;
+  /// Sentinel for "accessed with no locks held at least once" (a real XOR
+  /// signature of held locks is never this value by construction: empty
+  /// sets map here instead of 0).
+  static constexpr uint64_t LockSigNone = ~0ull - 1;
+
+  /// Flag bits in SiteRecord::Flags.
+  static constexpr uint8_t FlagGrouped = 1;
+  static constexpr uint8_t FlagLockSigMixed = 2;
+  static constexpr uint8_t FlagDowngraded = 4;
+  static constexpr uint8_t FlagSpeculativeRO = 8;
+
+  /// Shared per-site state. Records live in a pooled arena and are never
+  /// freed, so cached pointers stay valid for the tool's lifetime.
+  struct SiteRecord {
+    MemAddr Base = 0;
+    uint64_t Size = 0;
+    uint32_t Stride = 0;
+    std::atomic<uint8_t> Action{uint8_t(SiteAction::Generic)};
+    std::atomic<uint8_t> Flags{0};
+    std::atomic<uint8_t> ExactClass{uint8_t(SiteClass::Unclassified)};
+    /// Warmup window counters (live mode; bounded by the threshold, so
+    /// the shared-line contention is transient).
+    std::atomic<uint32_t> NonSeqAccesses{0};
+    std::atomic<uint32_t> NonSeqWrites{0};
+    /// XOR lockset signature observed during warmup; LockSigUnset until
+    /// the first counted access, LockSigMixed flag once two differ.
+    std::atomic<uint64_t> LockSig{LockSigUnset};
+    /// Sequential-region accesses attributed to this site (root-written).
+    std::atomic<uint64_t> SeqReads{0};
+    std::atomic<uint64_t> SeqWrites{0};
+    /// Quiescent phase of the most recent skipped read (downgrade proof).
+    std::atomic<uint32_t> LastSkipPhase{NoPhase};
+  };
+
+  /// Task-private gate state, embedded in each tool's TaskState. Single
+  /// owner: only the worker currently executing the task touches it.
+  struct TaskView {
+    struct RangeRef {
+      MemAddr Base = 0;
+      uint64_t Size = 0;
+      SiteRecord *Rec = nullptr;
+    };
+    static constexpr unsigned NumMru = 4;
+    RangeRef Mru[NumMru];
+    unsigned MruNext = 0;
+    /// Skip counters folded into the engine totals at task end.
+    uint64_t SeqSkips = 0;
+    uint64_t SiteSkips = 0;
+    /// Raw lock ids currently held (for the warmup lockset signature;
+    /// tools that do not observe locks leave this empty).
+    std::vector<LockId> HeldLocks;
+    uint64_t HeldSig = 0; ///< XOR of mixed held lock ids; 0 = none.
+
+    void reset() {
+      for (RangeRef &R : Mru)
+        R = RangeRef();
+      MruNext = 0;
+      SeqSkips = SiteSkips = 0;
+      HeldLocks.clear();
+      HeldSig = 0;
+    }
+  };
+
+  explicit SitePreanalysis(Options Opts) : Opts(Opts) {
+    Snap.store(&EmptySnapshot, std::memory_order_relaxed);
+  }
+  SitePreanalysis() : SitePreanalysis(Options()) {}
+  ~SitePreanalysis();
+
+  SitePreanalysis(const SitePreanalysis &) = delete;
+  SitePreanalysis &operator=(const SitePreanalysis &) = delete;
+
+  bool enabled() const { return Opts.Mode != PreanalysisMode::Off; }
+  const Options &options() const { return Opts; }
+
+  // --- Event hooks (called from the owning tool's observer callbacks) ---
+
+  /// Seeds the table from the process SiteRegistry and arms the
+  /// sequential-region tracker.
+  void noteProgramStart(TaskId RootTask);
+
+  /// Root spawning ends the sequential region until the matching drain.
+  void noteSpawn(TaskId Parent, const void *GroupTag) {
+    if (AVC_LIKELY(Parent != Root))
+      return;
+    ++OpenByTag[GroupTag];
+    ++TotalOpen;
+    if (SeqRegion.load(std::memory_order_relaxed))
+      SeqRegion.store(false, std::memory_order_relaxed);
+  }
+
+  /// Root sync closes the implicit scope; re-enters the sequential region
+  /// (and advances the quiescent phase) when nothing remains outstanding.
+  void noteSync(TaskId Task) {
+    if (AVC_UNLIKELY(Task == Root))
+      drainRootScope(nullptr);
+  }
+
+  void noteGroupWait(TaskId Task, const void *GroupTag) {
+    if (AVC_UNLIKELY(Task == Root))
+      drainRootScope(GroupTag);
+  }
+
+  /// Mid-run site registration (a Tracked/TrackedArray constructed inside
+  /// a task; also used to seed from the registry snapshot).
+  void registerRange(MemAddr Base, uint64_t Size, uint32_t Stride);
+
+  /// Pins every site containing one of \p Members to the generic path:
+  /// group violations span member locations, so per-site reasoning does
+  /// not apply. Callable before program start (records the addresses and
+  /// applies them to sites created later).
+  void markGrouped(const MemAddr *Members, size_t Count);
+
+  /// Installs exact classifications computed by TraceClassifier (replay
+  /// mode). Addresses outside the adopted set fall back to Generic —
+  /// after an exact adoption the engine never speculates.
+  void adoptExact(const std::vector<ExactSiteClass> &Sites);
+
+  // --- Lock tracking (tools that observe lock events) ---
+
+  void noteLockAcquire(TaskView &View, LockId Lock) {
+    View.HeldLocks.push_back(Lock);
+    View.HeldSig ^= mixLock(Lock);
+  }
+
+  void noteLockRelease(TaskView &View, LockId Lock) {
+    for (size_t I = View.HeldLocks.size(); I-- > 0;)
+      if (View.HeldLocks[I] == Lock) {
+        View.HeldLocks.erase(View.HeldLocks.begin() +
+                             static_cast<ptrdiff_t>(I));
+        View.HeldSig ^= mixLock(Lock);
+        return;
+      }
+  }
+
+  /// Clears per-task state and folds its counters (task end; also used
+  /// when a task ends holding locks).
+  void foldView(TaskView &View) {
+    if (View.SeqSkips)
+      TotalSeqSkips.fetch_add(View.SeqSkips, std::memory_order_relaxed);
+    if (View.SiteSkips)
+      TotalSiteSkips.fetch_add(View.SiteSkips, std::memory_order_relaxed);
+    View.reset();
+  }
+
+  // --- The hot gate ---
+
+  /// Returns true when the access is fully handled (skipped); false falls
+  /// through to the tool's normal dispatch.
+  AVC_ALWAYS_INLINE bool gate(TaskView &View, TaskId Task, MemAddr Addr,
+                              AccessKind Kind) {
+    if (Task == Root && SeqRegion.load(std::memory_order_relaxed)) {
+      ++View.SeqSkips;
+      if (SiteRecord *Rec = resolve(View, Addr)) {
+        std::atomic<uint64_t> &Counter =
+            Kind == AccessKind::Read ? Rec->SeqReads : Rec->SeqWrites;
+        Counter.store(Counter.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed); // root is the only writer
+      }
+      return true;
+    }
+    SiteRecord *Rec = resolve(View, Addr);
+    if (AVC_UNLIKELY(!Rec))
+      return false;
+    uint8_t Act = Rec->Action.load(std::memory_order_relaxed);
+    if (AVC_LIKELY(Act == uint8_t(SiteAction::Generic)))
+      return false;
+    return gateSlow(View, *Rec, static_cast<SiteAction>(Act), Kind);
+  }
+
+  /// The current quiescent phase (tests, diagnostics).
+  uint32_t currentPhase() const {
+    return Phase.load(std::memory_order_relaxed);
+  }
+
+  /// Bumped whenever a site loses its speculative classification. Tools
+  /// fold this into the epoch they stamp/compare on access-cache entries,
+  /// so a downgrade invalidates every cached verdict at once (the cached
+  /// "safe" verdicts may predate metadata the skipped reads never wrote).
+  uint64_t downgradeGen() const {
+    return DowngradeGen.load(std::memory_order_relaxed);
+  }
+
+  /// True while the program is globally sequential (tests).
+  bool inSequentialRegion() const {
+    return SeqRegion.load(std::memory_order_relaxed);
+  }
+
+  /// Site lookup for tests and reporting; nullptr if \p Addr is in no
+  /// registered range.
+  SiteRecord *findSite(MemAddr Addr);
+
+  size_t numSites() const;
+
+  /// Aggregated counters plus final per-class site counts. Sites are
+  /// classified by the strongest applicable verdict: SequentialOnly >
+  /// ReadOnlyAfterInit > FixedLockset > Generic, with NonGrouped counted
+  /// orthogonally.
+  PreanalysisStats stats() const;
+
+  /// Final class of one site under the same rules as stats().
+  SiteClass finalClassOf(const SiteRecord &Rec) const;
+
+private:
+  struct Snapshot {
+    std::vector<TaskView::RangeRef> Ranges; ///< Sorted by Base.
+  };
+
+  static uint64_t mixLock(LockId Lock) { return mixLockId(Lock); }
+
+  /// The signature warmup records for the currently held lock set.
+  static uint64_t heldSignature(const TaskView &View) {
+    return View.HeldLocks.empty() ? LockSigNone : View.HeldSig;
+  }
+
+  AVC_ALWAYS_INLINE SiteRecord *resolve(TaskView &View, MemAddr Addr) {
+    for (const TaskView::RangeRef &R : View.Mru)
+      if (Addr - R.Base < R.Size)
+        return R.Rec;
+    return resolveSlow(View, Addr);
+  }
+
+  SiteRecord *resolveSlow(TaskView &View, MemAddr Addr);
+  bool gateSlow(TaskView &View, SiteRecord &Rec, SiteAction Act,
+                AccessKind Kind);
+  void warmupCount(TaskView &View, SiteRecord &Rec, AccessKind Kind);
+  void classify(SiteRecord &Rec);
+  void downgrade(SiteRecord &Rec);
+  void drainRootScope(const void *Tag);
+
+  /// Creates (or finds) the record for [Base, Base+Size) and republishes
+  /// the lookup snapshot. Newer ranges shadow overlapping older ones
+  /// (address reuse after a site was destroyed).
+  SiteRecord *addRangeLocked(MemAddr Base, uint64_t Size, uint32_t Stride);
+  void publishLocked();
+  bool groupedOverlapsLocked(MemAddr Base, uint64_t Size) const;
+
+  Options Opts;
+
+  // Sequential-region tracker. Written only by root-event handlers, read
+  // only for root accesses; atomics make the cross-worker migration of
+  // the root task explicit.
+  TaskId Root = ~0u;
+  std::atomic<bool> SeqRegion{false};
+  std::atomic<uint32_t> Phase{0};
+  std::unordered_map<const void *, uint64_t> OpenByTag;
+  uint64_t TotalOpen = 0;
+
+  // Site table: append-only record pool + copy-on-write sorted snapshot.
+  mutable SpinLock TableLock;
+  std::vector<std::unique_ptr<SiteRecord>> Records;
+  std::vector<TaskView::RangeRef> LiveRanges;
+  std::vector<std::unique_ptr<Snapshot>> RetiredSnapshots;
+  std::atomic<Snapshot *> Snap{nullptr};
+  Snapshot EmptySnapshot;
+  std::vector<MemAddr> GroupedAddrs;
+  bool ExactAdopted = false;
+  uint64_t RegistrySeen = 0; ///< Registry ids already pulled.
+
+  // Engine totals (per-task views fold in at task end).
+  std::atomic<uint64_t> TotalSeqSkips{0};
+  std::atomic<uint64_t> TotalSiteSkips{0};
+  std::atomic<uint64_t> TotalDowngrades{0};
+  std::atomic<uint64_t> TotalUnsafeDowngrades{0};
+  std::atomic<uint64_t> DowngradeGen{0};
+};
+
+} // namespace avc
+
+#endif // AVC_ANALYSIS_SITEPREANALYSIS_H

@@ -1,0 +1,73 @@
+//===- analysis/SiteRegistry.cpp - Process-wide site registration ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SiteRegistry.h"
+
+#include <mutex>
+
+using namespace avc;
+
+SiteRegistry &SiteRegistry::instance() {
+  static SiteRegistry Registry;
+  return Registry;
+}
+
+int &SiteRegistry::depth() {
+  static thread_local int Depth = 0;
+  return Depth;
+}
+
+uint64_t SiteRegistry::registerRange(MemAddr Base, uint64_t Size,
+                                     uint32_t Stride) {
+  std::lock_guard<SpinLock> Guard(Lock);
+  // Compact once tombstones dominate, so churn (benchmark reps creating
+  // and destroying workloads) keeps the registry small.
+  if (NumDead > 64 && NumDead * 2 > Entries.size()) {
+    size_t Out = 0;
+    for (Entry &E : Entries)
+      if (E.Live)
+        Entries[Out++] = E;
+    Entries.resize(Out);
+    NumDead = 0;
+  }
+  Entry E;
+  E.Base = Base;
+  E.Size = Size;
+  E.Stride = Stride;
+  E.Id = NextId++;
+  E.Live = true;
+  Entries.push_back(E);
+  return E.Id;
+}
+
+void SiteRegistry::unregisterRange(MemAddr Base) {
+  std::lock_guard<SpinLock> Guard(Lock);
+  // Newest live entry first: address reuse means the most recent
+  // registration at this base is the one being destroyed.
+  for (size_t I = Entries.size(); I-- > 0;) {
+    Entry &E = Entries[I];
+    if (E.Live && E.Base == Base) {
+      E.Live = false;
+      ++NumDead;
+      return;
+    }
+  }
+}
+
+std::vector<SiteRegistry::Entry> SiteRegistry::snapshot() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  std::vector<Entry> Live;
+  Live.reserve(Entries.size() - NumDead);
+  for (const Entry &E : Entries)
+    if (E.Live)
+      Live.push_back(E);
+  return Live;
+}
+
+size_t SiteRegistry::numLive() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return Entries.size() - NumDead;
+}

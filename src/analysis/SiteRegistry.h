@@ -1,0 +1,84 @@
+//===- analysis/SiteRegistry.h - Process-wide site registration -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registration side of the pre-analysis: every Tracked<T> constructor
+/// records its location here (one *site*), and TrackedArray records a
+/// single bulk range for the whole array instead of one site per element
+/// (the per-element constructors are suppressed with a BulkScope). Tools
+/// pull a snapshot of the live sites at program start and receive later
+/// registrations through ExecutionObserver::onSiteRegister.
+///
+/// A process-wide registry (rather than a per-run one) mirrors how the
+/// paper's instrumentation works: annotated locations exist independently
+/// of any particular checked execution, and benchmark harnesses construct
+/// workload data before the runtime starts. Destructors unregister their
+/// sites so repeated runs in one process (benchmark reps) do not
+/// accumulate stale ranges over reused heap addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_ANALYSIS_SITEREGISTRY_H
+#define AVC_ANALYSIS_SITEREGISTRY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/ExecutionObserver.h"
+#include "support/SpinLock.h"
+
+namespace avc {
+
+/// Records the tracked sites of the process. Thread safe.
+class SiteRegistry {
+public:
+  struct Entry {
+    MemAddr Base = 0;
+    uint64_t Size = 0;   ///< Bytes covered by the site.
+    uint32_t Stride = 0; ///< Element stride (== Size for scalar sites).
+    uint64_t Id = 0;
+    bool Live = false;
+  };
+
+  /// The process-wide registry.
+  static SiteRegistry &instance();
+
+  /// Registers a site covering [Base, Base + Size); returns its id.
+  uint64_t registerRange(MemAddr Base, uint64_t Size, uint32_t Stride);
+
+  /// Tombstones the live site whose base address is \p Base (no-op if
+  /// none; destruction order makes double-unregister harmless).
+  void unregisterRange(MemAddr Base);
+
+  /// The live entries, in registration order.
+  std::vector<Entry> snapshot() const;
+
+  size_t numLive() const;
+
+  /// Suppresses per-element registration while a TrackedArray constructs
+  /// or destroys its elements; the array registers one bulk range instead.
+  class BulkScope {
+  public:
+    BulkScope() { ++depth(); }
+    ~BulkScope() { --depth(); }
+    BulkScope(const BulkScope &) = delete;
+    BulkScope &operator=(const BulkScope &) = delete;
+  };
+
+  static bool bulkSuppressed() { return depth() != 0; }
+
+private:
+  static int &depth();
+
+  mutable SpinLock Lock;
+  std::vector<Entry> Entries; ///< Dead entries tombstoned, compacted lazily.
+  uint64_t NextId = 1;
+  size_t NumDead = 0;
+};
+
+} // namespace avc
+
+#endif // AVC_ANALYSIS_SITEREGISTRY_H

@@ -1,0 +1,183 @@
+//===- analysis/TraceClassifier.cpp - Exact replay classification ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TraceClassifier.h"
+
+#include <cassert>
+
+#include "dpst/Retention.h"
+
+using namespace avc;
+
+TraceClassifier::TraceClassifier(Options Opts)
+    : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree) {
+  ParallelismOracle::Options OracleOpts = Opts.Oracle;
+  OracleOpts.Mode = Opts.Query;
+  Oracle = std::make_unique<ParallelismOracle>(*Tree, OracleOpts);
+}
+
+TraceClassifier::~TraceClassifier() = default;
+
+TraceClassifier::TaskInfo &TraceClassifier::taskFor(TaskId Task) {
+  auto It = Tasks.find(Task);
+  assert(It != Tasks.end() && "event for a task that was never spawned");
+  return *It->second;
+}
+
+void TraceClassifier::onProgramStart(TaskId RootTask) {
+  Root = RootTask;
+  SeqRegion = true;
+  auto Info = std::make_unique<TaskInfo>();
+  Builder.initRoot(Info->Frame, RootTask);
+  Tasks.emplace(RootTask, std::move(Info));
+}
+
+void TraceClassifier::onTaskSpawn(TaskId Parent, const void *GroupTag,
+                                  TaskId Child) {
+  TaskInfo &ParentInfo = taskFor(Parent);
+  auto ChildInfo = std::make_unique<TaskInfo>();
+  Builder.spawnTask(ParentInfo.Frame, GroupTag, ChildInfo->Frame, Child);
+  Tasks.emplace(Child, std::move(ChildInfo));
+  if (Parent == Root) {
+    ++OpenByTag[GroupTag];
+    ++TotalOpen;
+    SeqRegion = false;
+  }
+}
+
+void TraceClassifier::onTaskEnd(TaskId Task) {
+  Builder.endTask(taskFor(Task).Frame);
+  // Ended-but-unsynced root children are still logically parallel with
+  // what follows, so task end never re-opens the sequential region; only
+  // the root's sync/wait events do.
+}
+
+void TraceClassifier::onSync(TaskId Task) {
+  Builder.sync(taskFor(Task).Frame);
+  if (Task != Root)
+    return;
+  auto It = OpenByTag.find(nullptr);
+  if (It != OpenByTag.end()) {
+    TotalOpen -= It->second;
+    It->second = 0;
+  }
+  if (TotalOpen == 0)
+    SeqRegion = true;
+}
+
+void TraceClassifier::onGroupWait(TaskId Task, const void *GroupTag) {
+  Builder.waitGroup(taskFor(Task).Frame, GroupTag);
+  if (Task != Root)
+    return;
+  auto It = OpenByTag.find(GroupTag);
+  if (It != OpenByTag.end()) {
+    TotalOpen -= It->second;
+    It->second = 0;
+  }
+  if (TotalOpen == 0)
+    SeqRegion = true;
+}
+
+void TraceClassifier::onLockAcquire(TaskId Task, LockId Lock) {
+  TaskInfo &Info = taskFor(Task);
+  Info.HeldLocks.push_back(Lock);
+  Info.HeldSig ^= mixLockId(Lock);
+}
+
+void TraceClassifier::onLockRelease(TaskId Task, LockId Lock) {
+  TaskInfo &Info = taskFor(Task);
+  for (size_t I = Info.HeldLocks.size(); I-- > 0;)
+    if (Info.HeldLocks[I] == Lock) {
+      Info.HeldLocks.erase(Info.HeldLocks.begin() +
+                           static_cast<ptrdiff_t>(I));
+      Info.HeldSig ^= mixLockId(Lock);
+      return;
+    }
+}
+
+void TraceClassifier::onRead(TaskId Task, MemAddr Addr) {
+  onAccess(Task, Addr, AccessKind::Read);
+}
+
+void TraceClassifier::onWrite(TaskId Task, MemAddr Addr) {
+  onAccess(Task, Addr, AccessKind::Write);
+}
+
+bool TraceClassifier::par(NodeId Entry, NodeId Si) {
+  return Entry != InvalidNodeId && Oracle->logicallyParallel(Entry, Si);
+}
+
+void TraceClassifier::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
+  SiteInfo &Site = Sites[Addr];
+  // Sequential-region accesses are in series with every access of the run,
+  // so they join no parallel pair; counting them (without materializing a
+  // step) keeps the sweep O(n) on init-heavy traces and mirrors the gate's
+  // tier-1 skip exactly.
+  if (Task == Root && SeqRegion) {
+    if (Kind == AccessKind::Read)
+      ++Site.SeqReads;
+    else
+      ++Site.SeqWrites;
+    return;
+  }
+  TaskInfo &Info = taskFor(Task);
+  NodeId Si = Builder.currentStep(Info.Frame);
+
+  uint64_t Sig = Info.HeldLocks.empty() ? SitePreanalysis::LockSigNone
+                                        : Info.HeldSig;
+  if (Site.LockSig == SitePreanalysis::LockSigUnset)
+    Site.LockSig = Sig;
+  else if (Site.LockSig != Sig)
+    Site.LockSigMixed = true;
+
+  if (Kind == AccessKind::Write) {
+    ++Site.NonSeqWrites;
+    for (NodeId Entry : {Site.R1, Site.R2, Site.W1, Site.W2})
+      if (par(Entry, Si))
+        Site.WriteConflict = true;
+    retainParallelPair(*Oracle, Site.W1, Site.W2, Si);
+  } else {
+    ++Site.NonSeqReads;
+    for (NodeId Writer : {Site.W1, Site.W2})
+      if (par(Writer, Si))
+        Site.WriteConflict = true;
+    retainParallelPair(*Oracle, Site.R1, Site.R2, Si);
+  }
+}
+
+std::vector<ExactSiteClass> TraceClassifier::classes() const {
+  std::vector<ExactSiteClass> Result;
+  Result.reserve(Sites.size());
+  for (const auto &[Addr, Site] : Sites) {
+    ExactSiteClass C;
+    C.Base = Addr;
+    C.Size = 8;
+    C.SeqReads = Site.SeqReads;
+    C.SeqWrites = Site.SeqWrites;
+    C.NonSeqReads = Site.NonSeqReads;
+    C.NonSeqWrites = Site.NonSeqWrites;
+    if (Site.NonSeqReads + Site.NonSeqWrites == 0) {
+      C.Class = SiteClass::SequentialOnly;
+      C.Action = SiteAction::SkipAll;
+    } else if (!Site.WriteConflict) {
+      // No write runs parallel with any access: no violation can involve
+      // this site's reads, in any of the five tools (DESIGN.md §11), so
+      // they are skipped. Writes still take the generic path.
+      C.Class = SiteClass::ReadOnlyAfterInit;
+      C.Action = SiteAction::SkipReads;
+    } else if (!Site.LockSigMixed &&
+               Site.LockSig != SitePreanalysis::LockSigUnset &&
+               Site.LockSig != SitePreanalysis::LockSigNone) {
+      C.Class = SiteClass::FixedLockset;
+      C.Action = SiteAction::Generic;
+    } else {
+      C.Class = SiteClass::Generic;
+      C.Action = SiteAction::Generic;
+    }
+    Result.push_back(C);
+  }
+  return Result;
+}

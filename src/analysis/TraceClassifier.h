@@ -1,0 +1,120 @@
+//===- analysis/TraceClassifier.h - Exact replay classification -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replay-mode front end of the pre-analysis: an O(n) first sweep over
+/// a loaded trace that computes *exact* per-site classifications before
+/// the checking replay starts (the RegionTrack-style two-pass idea — when
+/// the whole execution is known up front, classification need not be
+/// conservative).
+///
+/// The sweep builds its own DPST from the trace's structural events and
+/// answers one question per site with the standard two-entry retention:
+/// does any write to the site run logically parallel with any other
+/// access? Sites where the answer is no are ReadOnlyAfterInit (their reads
+/// can be skipped by every tool — DESIGN.md §11); sites whose every access
+/// happens while the program is globally sequential are SequentialOnly
+/// (every access skippable). The answer is exact, not speculative: the
+/// checking replay sees the identical event sequence, so adopted verdicts
+/// never downgrade.
+///
+/// Completeness of the conflict test is the retention theorem: if any
+/// parallel (write, access) pair exists, the later access's check against
+/// the retained leftmost/rightmost extremes finds one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_ANALYSIS_TRACECLASSIFIER_H
+#define AVC_ANALYSIS_TRACECLASSIFIER_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/SitePreanalysis.h"
+#include "dpst/Dpst.h"
+#include "dpst/DpstBuilder.h"
+#include "dpst/ParallelismOracle.h"
+#include "runtime/ExecutionObserver.h"
+
+namespace avc {
+
+/// Classification sweep over one trace. Drive it with replayTrace, then
+/// read classes() and adopt them into a SitePreanalysis. Single-threaded
+/// (trace replay is sequential by construction).
+class TraceClassifier : public ExecutionObserver {
+public:
+  struct Options {
+    DpstLayout Layout = DpstLayout::Array;
+    QueryMode Query = QueryMode::Label;
+    ParallelismOracle::Options Oracle;
+  };
+
+  explicit TraceClassifier(Options Opts);
+  TraceClassifier() : TraceClassifier(Options()) {}
+  ~TraceClassifier() override;
+
+  // ExecutionObserver interface.
+  void onProgramStart(TaskId RootTask) override;
+  void onTaskSpawn(TaskId Parent, const void *GroupTag, TaskId Child) override;
+  void onTaskEnd(TaskId Task) override;
+  void onSync(TaskId Task) override;
+  void onGroupWait(TaskId Task, const void *GroupTag) override;
+  void onLockAcquire(TaskId Task, LockId Lock) override;
+  void onLockRelease(TaskId Task, LockId Lock) override;
+  void onRead(TaskId Task, MemAddr Addr) override;
+  void onWrite(TaskId Task, MemAddr Addr) override;
+
+  /// The exact classification of every address the trace touched, ready
+  /// for SitePreanalysis::adoptExact.
+  std::vector<ExactSiteClass> classes() const;
+
+private:
+  struct SiteInfo {
+    uint64_t SeqReads = 0;
+    uint64_t SeqWrites = 0;
+    uint64_t NonSeqReads = 0;
+    uint64_t NonSeqWrites = 0;
+    NodeId R1 = InvalidNodeId;
+    NodeId R2 = InvalidNodeId;
+    NodeId W1 = InvalidNodeId;
+    NodeId W2 = InvalidNodeId;
+    /// True once some write is logically parallel with some other access.
+    bool WriteConflict = false;
+    uint64_t LockSig = SitePreanalysis::LockSigUnset;
+    bool LockSigMixed = false;
+  };
+
+  struct TaskInfo {
+    TaskFrame Frame;
+    std::vector<LockId> HeldLocks;
+    uint64_t HeldSig = 0;
+  };
+
+  TaskInfo &taskFor(TaskId Task);
+  void onAccess(TaskId Task, MemAddr Addr, AccessKind Kind);
+  bool par(NodeId Entry, NodeId Si);
+
+  Options Opts;
+  std::unique_ptr<Dpst> Tree;
+  std::unique_ptr<ParallelismOracle> Oracle;
+  DpstBuilder Builder;
+
+  std::unordered_map<TaskId, std::unique_ptr<TaskInfo>> Tasks;
+  std::unordered_map<MemAddr, SiteInfo> Sites;
+
+  // Sequential-region simulation, mirroring SitePreanalysis (the adopted
+  // verdicts must agree with what the gate's tier-1 skip will do during
+  // the checking replay).
+  TaskId Root = ~0u;
+  bool SeqRegion = false;
+  std::unordered_map<const void *, uint64_t> OpenByTag;
+  uint64_t TotalOpen = 0;
+};
+
+} // namespace avc
+
+#endif // AVC_ANALYSIS_TRACECLASSIFIER_H

@@ -29,7 +29,8 @@
 using namespace avc;
 
 AtomicityChecker::AtomicityChecker(Options Opts)
-    : Opts(Opts), Concurrent(Opts.resolvedThreads() > 1),
+    : Opts(Opts), Pre(Opts.preanalysisOptions()), PreEnabled(Pre.enabled()),
+      Concurrent(Opts.resolvedThreads() > 1),
       Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree),
       Log(Opts.MaxRetainedReports) {
   Oracle = std::make_unique<ParallelismOracle>(*Tree, Opts.oracleOptions());
@@ -92,6 +93,8 @@ AtomicityChecker::TaskState &AtomicityChecker::createState(TaskId Task) {
 void AtomicityChecker::onProgramStart(TaskId RootTask) {
   TaskState &Root = createState(RootTask);
   Builder.initRoot(Root.Frame, RootTask);
+  if (PreEnabled)
+    Pre.noteProgramStart(RootTask);
 }
 
 void AtomicityChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
@@ -99,6 +102,14 @@ void AtomicityChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
   TaskState &ParentState = stateFor(Parent);
   TaskState &ChildState = createState(Child);
   Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
+  if (PreEnabled)
+    Pre.noteSpawn(Parent, GroupTag);
+}
+
+void AtomicityChecker::onSiteRegister(MemAddr Base, uint64_t Size,
+                                      uint32_t Stride) {
+  if (PreEnabled)
+    Pre.registerRange(Base, Size, Stride);
 }
 
 void AtomicityChecker::onTaskEnd(TaskId Task) {
@@ -122,6 +133,8 @@ void AtomicityChecker::onTaskEnd(TaskId Task) {
   // tasks), and fold the plain counters into the checker-wide totals.
   State.Local.clear();
   State.Cache.release(CachePool);
+  if (PreEnabled)
+    Pre.foldView(State.PreView);
   flushCounters(State);
 }
 
@@ -151,10 +164,14 @@ void AtomicityChecker::flushCounters(TaskState &State) {
 
 void AtomicityChecker::onSync(TaskId Task) {
   Builder.sync(stateFor(Task).Frame);
+  if (PreEnabled)
+    Pre.noteSync(Task);
 }
 
 void AtomicityChecker::onGroupWait(TaskId Task, const void *GroupTag) {
   Builder.waitGroup(stateFor(Task).Frame, GroupTag);
+  if (PreEnabled)
+    Pre.noteGroupWait(Task, GroupTag);
 }
 
 void AtomicityChecker::onLockAcquire(TaskId Task, LockId Lock) {
@@ -170,11 +187,15 @@ void AtomicityChecker::onLockAcquire(TaskId Task, LockId Lock) {
     State.TokenEnd = State.TokenNext + LockTokenBlock;
   }
   State.Locks.acquire(Lock, State.TokenNext++);
+  if (PreEnabled)
+    Pre.noteLockAcquire(State.PreView, Lock);
 }
 
 void AtomicityChecker::onLockRelease(TaskId Task, LockId Lock) {
   TaskState &State = stateFor(Task);
   State.Locks.release(Lock);
+  if (PreEnabled)
+    Pre.noteLockRelease(State.PreView, Lock);
   // A shrunken lockset can make a pattern form that previously could not
   // (interim and current locksets may become disjoint); recorded redundancy
   // verdicts are stale. Acquires need no bump: fresh tokens never intersect
@@ -203,6 +224,11 @@ GlobalMetadata &AtomicityChecker::metadataFor(MemAddr Addr, ShadowSlot &Slot) {
 bool AtomicityChecker::registerAtomicGroup(const MemAddr *Members,
                                            size_t Count) {
   assert(Count > 0 && "empty atomic group");
+  // Group violations span member locations; the pre-analysis pins every
+  // member site to the generic path (a per-site verdict proves nothing
+  // about the merged metadata).
+  if (PreEnabled)
+    Pre.markGrouped(Members, Count);
   ShadowSlot &First = Shadow.getOrCreate(Members[0]);
   GlobalMetadata &Meta = metadataFor(Members[0], First);
   {
@@ -337,7 +363,7 @@ void AtomicityChecker::accessResolved(TaskState &State, MemAddr Addr,
         (Kind == AccessKind::Read ? ReadRedundant : WriteRedundant)) {
       ++State.NumSeqlockSkips;
       if (State.Cache.enabled() &&
-          State.Cache.stamp(Addr, &GS, &LS, Si, State.CacheEpoch,
+          State.Cache.stamp(Addr, &GS, &LS, Si, cacheEpoch(State),
                             State.Local.generation(), ReadRedundant,
                             WriteRedundant))
         ++State.NumCacheEvictions;
@@ -376,12 +402,12 @@ void AtomicityChecker::accessResolved(TaskState &State, MemAddr Addr,
     // and the line-dirtying store are deferred until an address shows reuse.
     if (State.Cache.enabled()) {
       if (ComputeVerdicts) {
-        if (State.Cache.stamp(Addr, &GS, &LS, Si, State.CacheEpoch,
+        if (State.Cache.stamp(Addr, &GS, &LS, Si, cacheEpoch(State),
                               State.Local.generation(),
                               readIsRedundant(GS, LS, Si, Locks),
                               writeIsRedundant(GS, LS, Si, Locks)))
           ++State.NumCacheEvictions;
-      } else if (State.Cache.claim(Addr, &GS, &LS, Si, State.CacheEpoch,
+      } else if (State.Cache.claim(Addr, &GS, &LS, Si, cacheEpoch(State),
                                    State.Local.generation())) {
         ++State.NumCacheEvictions;
       }
@@ -678,6 +704,7 @@ CheckerStats AtomicityChecker::stats() const {
   Stats.NumViolatingLocations =
       NumViolatingLocations.load(std::memory_order_relaxed);
   Stats.AccessCacheEnabled = Opts.EnableAccessCache;
+  Stats.Pre = Pre.stats();
   // Finished tasks folded their counters into Totals; tasks that never saw
   // onTaskEnd still hold theirs (zeroed by the fold, so nothing is counted
   // twice). Exact under quiescence — see the TaskState counter invariant.
@@ -707,6 +734,8 @@ CheckerStats AtomicityChecker::stats() const {
     Stats.NumCacheEvictions += State.NumCacheEvictions;
     Stats.NumLockSnapshots += State.NumLockSnapshots;
     Stats.NumSeqlockSkips += State.NumSeqlockSkips;
+    Stats.Pre.NumSeqSkips += State.PreView.SeqSkips;
+    Stats.Pre.NumSiteSkips += State.PreView.SiteSkips;
   }
   Stats.NumCacheHits = Stats.NumCacheHitReads + Stats.NumCacheHitWrites;
   return Stats;

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/SitePreanalysis.h"
 #include "checker/AccessCache.h"
 #include "checker/AccessKind.h"
 #include "checker/CheckerStats.h"
@@ -110,6 +111,7 @@ public:
   void onWrite(TaskId Task, MemAddr Addr) override {
     onAccess(Task, Addr, AccessKind::Write);
   }
+  void onSiteRegister(MemAddr Base, uint64_t Size, uint32_t Stride) override;
 
   /// The detected violations.
   const ViolationLog &violations() const { return Log; }
@@ -129,6 +131,9 @@ public:
 
   /// The parallel-query front end (for inspection and tests).
   ParallelismOracle &oracle() { return *Oracle; }
+
+  /// The site pre-analysis engine (two-pass replay adoption, tests).
+  SitePreanalysis &preanalysis() { return Pre; }
 
 private:
   /// Local metadata space entry for one (task, location): the first read
@@ -157,6 +162,9 @@ private:
   /// runs after it returns).
   struct alignas(AVC_CACHELINE_SIZE) TaskState {
     TaskFrame Frame;
+    /// Pre-analysis gate state (MRU site ranges, skip counters, held-lock
+    /// signature); folded and reset at task end.
+    SitePreanalysis::TaskView PreView;
     PointerMap<GlobalMetadata *, LocalLoc> Local;
     HeldLocks Locks;
     /// The access-path cache for this task (see AccessCache.h).
@@ -238,6 +246,10 @@ private:
   AVC_ALWAYS_INLINE void onAccess(TaskId Task, MemAddr Addr,
                                   AccessKind Kind) {
     TaskState &State = stateFor(Task);
+    // Pre-analysis gate, ahead of everything — the DPST step is not even
+    // materialized for a skipped access (see SitePreanalysis.h).
+    if (PreEnabled && Pre.gate(State.PreView, Task, Addr, Kind))
+      return;
     NodeId Si = State.Frame.currentStepOrInvalid();
     if (AVC_UNLIKELY(Si == InvalidNodeId))
       Si = Builder.currentStep(State.Frame);
@@ -250,7 +262,7 @@ private:
     if (AVC_LIKELY(State.Cache.enabled())) {
       CacheT::Entry &E = State.Cache.entryFor(Addr);
       if (AVC_LIKELY(E.Addr == Addr && E.Gen == State.Cache.generation())) {
-        if (E.Step == Si && E.Epoch == State.CacheEpoch &&
+        if (E.Step == Si && E.Epoch == cacheEpoch(State) &&
             (E.Bits & CacheT::bitFor(Kind)) != 0) {
           // Verdict tier: a previous slow-path trip proved this access
           // redundant — no shadow walk, no snapshot, no location lock.
@@ -270,7 +282,7 @@ private:
           ++State.NumCachePathHits;
           accessResolved(State, Addr, *E.Meta, *E.Local, Si, Kind,
                          /*ComputeVerdicts=*/E.Step == Si &&
-                             E.Epoch == State.CacheEpoch);
+                             E.Epoch == cacheEpoch(State));
           return;
         }
       }
@@ -299,6 +311,16 @@ private:
   /// The task's current lockset, re-snapshotted only when Locks.version()
   /// moved since the cached view was taken.
   const LockSet &heldLockView(TaskState &State);
+
+  /// The epoch cache entries are stamped with and compared against. The
+  /// per-task critical-section epoch plus the engine's downgrade
+  /// generation: a pre-analysis downgrade anywhere retires every cached
+  /// verdict at once (entries stamped while a site's reads were skipped
+  /// may encode "safe" against incomplete metadata). Both components are
+  /// monotonic, so the sum never revalidates an old entry.
+  uint64_t cacheEpoch(const TaskState &State) const {
+    return State.CacheEpoch + (PreEnabled ? Pre.downgradeGen() : 0);
+  }
 
   /// Folds a finished task's plain counters into Totals and zeroes them.
   void flushCounters(TaskState &State);
@@ -368,6 +390,12 @@ private:
   void retainPattern(MetaSlot &P1, MetaSlot &P2, NodeId Si);
 
   Options Opts;
+  /// Site pre-analysis engine: the gate consulted ahead of the access
+  /// cache, fed by registration events and the classification front ends.
+  SitePreanalysis Pre;
+  /// Gate enabled for this run (const so the per-access branch predicts
+  /// perfectly and dead-codes in the Off configuration).
+  const bool PreEnabled;
   /// True when the runtime may execute tasks on more than one worker: the
   /// locked writers then publish their slot mutations through the seqlock
   /// (GlobalMetadata::beginWrite/endWrite) and the lock-free probe

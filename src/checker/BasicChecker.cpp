@@ -14,7 +14,8 @@
 using namespace avc;
 
 BasicChecker::BasicChecker(Options Opts)
-    : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree),
+    : Opts(Opts), Pre(Opts.preanalysisOptions()), PreEnabled(Pre.enabled()),
+      Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree),
       Log(Opts.MaxRetainedReports) {
   Oracle = std::make_unique<ParallelismOracle>(*Tree, Opts.oracleOptions());
 }
@@ -49,11 +50,15 @@ BasicChecker::TaskState &BasicChecker::stateFor(TaskId Task) {
 }
 
 void BasicChecker::onProgramStart(TaskId RootTask) {
+  if (PreEnabled)
+    Pre.noteProgramStart(RootTask);
   Builder.initRoot(createState(RootTask).Frame, RootTask);
 }
 
 void BasicChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
                                TaskId Child) {
+  if (PreEnabled)
+    Pre.noteSpawn(Parent, GroupTag);
   TaskState &ParentState = stateFor(Parent);
   TaskState &ChildState = createState(Child);
   Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
@@ -61,6 +66,8 @@ void BasicChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
 
 void BasicChecker::onTaskEnd(TaskId Task) {
   TaskState &State = stateFor(Task);
+  if (PreEnabled)
+    Pre.foldView(State.PreView);
   Builder.endTask(State.Frame);
   // Fold the task's plain counters into the shared totals (single-owner
   // invariant: this worker is the only writer of State's counters).
@@ -71,19 +78,37 @@ void BasicChecker::onTaskEnd(TaskId Task) {
   State.NumReads = State.NumWrites = State.NumLocations = 0;
 }
 
-void BasicChecker::onSync(TaskId Task) { Builder.sync(stateFor(Task).Frame); }
+void BasicChecker::onSync(TaskId Task) {
+  if (PreEnabled)
+    Pre.noteSync(Task);
+  Builder.sync(stateFor(Task).Frame);
+}
 
 void BasicChecker::onGroupWait(TaskId Task, const void *GroupTag) {
+  if (PreEnabled)
+    Pre.noteGroupWait(Task, GroupTag);
   Builder.waitGroup(stateFor(Task).Frame, GroupTag);
 }
 
 void BasicChecker::onLockAcquire(TaskId Task, LockId Lock) {
+  TaskState &State = stateFor(Task);
   LockToken Token = NextLockToken.fetch_add(1, std::memory_order_relaxed);
-  stateFor(Task).Locks.acquire(Lock, Token);
+  State.Locks.acquire(Lock, Token);
+  if (PreEnabled)
+    Pre.noteLockAcquire(State.PreView, Lock);
 }
 
 void BasicChecker::onLockRelease(TaskId Task, LockId Lock) {
-  stateFor(Task).Locks.release(Lock);
+  TaskState &State = stateFor(Task);
+  State.Locks.release(Lock);
+  if (PreEnabled)
+    Pre.noteLockRelease(State.PreView, Lock);
+}
+
+void BasicChecker::onSiteRegister(MemAddr Base, uint64_t Size,
+                                  uint32_t Stride) {
+  if (PreEnabled)
+    Pre.registerRange(Base, Size, Stride);
 }
 
 //===----------------------------------------------------------------------===//
@@ -107,6 +132,8 @@ BasicChecker::LocationHistory &BasicChecker::historyFor(MemAddr Addr,
 
 void BasicChecker::registerAtomicGroup(const MemAddr *Members, size_t Count) {
   assert(Count > 0 && "empty atomic group");
+  if (PreEnabled)
+    Pre.markGrouped(Members, Count);
   ShadowSlot &First = Shadow.getOrCreate(Members[0]);
   LocationHistory &History = historyFor(Members[0], First);
   for (size_t I = 1; I < Count; ++I) {
@@ -147,6 +174,8 @@ void BasicChecker::onWrite(TaskId Task, MemAddr Addr) {
 
 void BasicChecker::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
   TaskState &State = stateFor(Task);
+  if (PreEnabled && Pre.gate(State.PreView, Task, Addr, Kind))
+    return;
   if (Kind == AccessKind::Read)
     ++State.NumReads;
   else
@@ -221,6 +250,7 @@ void BasicChecker::report(LocationHistory &History, NodeId PatternStep,
 
 CheckerStats BasicChecker::stats() const {
   CheckerStats Stats;
+  Stats.Pre = Pre.stats();
   Stats.NumLocations = Totals.NumLocations.load(std::memory_order_relaxed);
   Stats.NumReads = Totals.NumReads.load(std::memory_order_relaxed);
   Stats.NumWrites = Totals.NumWrites.load(std::memory_order_relaxed);
@@ -229,6 +259,8 @@ CheckerStats BasicChecker::stats() const {
     Stats.NumLocations += State.NumLocations;
     Stats.NumReads += State.NumReads;
     Stats.NumWrites += State.NumWrites;
+    Stats.Pre.NumSeqSkips += State.PreView.SeqSkips;
+    Stats.Pre.NumSiteSkips += State.PreView.SiteSkips;
   }
   Stats.NumDpstNodes = Tree->numNodes();
   Stats.Lca = Oracle->stats();

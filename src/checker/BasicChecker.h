@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/SitePreanalysis.h"
 #include "checker/AccessKind.h"
 #include "checker/CheckerStats.h"
 #include "checker/LockSet.h"
@@ -67,8 +68,12 @@ public:
   void onLockRelease(TaskId Task, LockId Lock) override;
   void onRead(TaskId Task, MemAddr Addr) override;
   void onWrite(TaskId Task, MemAddr Addr) override;
+  void onSiteRegister(MemAddr Base, uint64_t Size, uint32_t Stride) override;
 
   const ViolationLog &violations() const { return Log; }
+
+  /// The embedded pre-analysis engine (replay front end, tests).
+  SitePreanalysis &preanalysis() { return Pre; }
 
   /// True if any violation was recorded for the location tracking \p Addr.
   /// The per-location verdict is the equivalence criterion against the
@@ -105,6 +110,7 @@ private:
   /// task end, exact under quiescence.
   struct TaskState {
     TaskFrame Frame;
+    SitePreanalysis::TaskView PreView;
     HeldLocks Locks;
     uint64_t NumReads = 0;
     uint64_t NumWrites = 0;
@@ -129,6 +135,8 @@ private:
               AccessKind K3, NodeId InterleaverStep, AccessKind K2);
 
   Options Opts;
+  SitePreanalysis Pre;
+  const bool PreEnabled;
   std::unique_ptr<Dpst> Tree;
   std::unique_ptr<ParallelismOracle> Oracle;
   DpstBuilder Builder;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "analysis/SiteClass.h"
 #include "dpst/ParallelismOracle.h"
 
 namespace avc {
@@ -56,6 +57,10 @@ struct CheckerStats {
   uint64_t NumSeqlockSkips = 0;
   /// True if the access-path cache was enabled for the run.
   bool AccessCacheEnabled = false;
+  /// Site pre-analysis counters: skipped accesses (not included in
+  /// NumReads/NumWrites), downgrades, and per-class site counts. Mode is
+  /// Off when the gate was disabled.
+  PreanalysisStats Pre;
 
   /// Percentage of tracked accesses answered by the verdict tier.
   double cacheHitRate() const {

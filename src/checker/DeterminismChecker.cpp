@@ -28,7 +28,8 @@ std::string DeterminismViolation::toString() const {
 }
 
 DeterminismChecker::DeterminismChecker(Options Opts)
-    : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree) {
+    : Opts(Opts), Pre(Opts.preanalysisOptions()), PreEnabled(Pre.enabled()),
+      Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree) {
   Oracle = std::make_unique<ParallelismOracle>(*Tree, Opts.oracleOptions());
 }
 
@@ -58,11 +59,15 @@ DeterminismChecker::TaskState &DeterminismChecker::stateFor(TaskId Task) {
 }
 
 void DeterminismChecker::onProgramStart(TaskId RootTask) {
+  if (PreEnabled)
+    Pre.noteProgramStart(RootTask);
   Builder.initRoot(createState(RootTask).Frame, RootTask);
 }
 
 void DeterminismChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
                                      TaskId Child) {
+  if (PreEnabled)
+    Pre.noteSpawn(Parent, GroupTag);
   TaskState &ParentState = stateFor(Parent);
   TaskState &ChildState = createState(Child);
   Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
@@ -70,6 +75,8 @@ void DeterminismChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
 
 void DeterminismChecker::onTaskEnd(TaskId Task) {
   TaskState &State = stateFor(Task);
+  if (PreEnabled)
+    Pre.foldView(State.PreView);
   Builder.endTask(State.Frame);
   // Fold the task's plain counters into the shared totals (single-owner
   // invariant: this worker is the only writer of State's counters).
@@ -81,11 +88,21 @@ void DeterminismChecker::onTaskEnd(TaskId Task) {
 }
 
 void DeterminismChecker::onSync(TaskId Task) {
+  if (PreEnabled)
+    Pre.noteSync(Task);
   Builder.sync(stateFor(Task).Frame);
 }
 
 void DeterminismChecker::onGroupWait(TaskId Task, const void *GroupTag) {
+  if (PreEnabled)
+    Pre.noteGroupWait(Task, GroupTag);
   Builder.waitGroup(stateFor(Task).Frame, GroupTag);
+}
+
+void DeterminismChecker::onSiteRegister(MemAddr Base, uint64_t Size,
+                                        uint32_t Stride) {
+  if (PreEnabled)
+    Pre.registerRange(Base, Size, Stride);
 }
 
 DeterminismChecker::LocationState &
@@ -141,6 +158,8 @@ void DeterminismChecker::onWrite(TaskId Task, MemAddr Addr) {
 void DeterminismChecker::onAccess(TaskId Task, MemAddr Addr,
                                   AccessKind Kind) {
   TaskState &State = stateFor(Task);
+  if (PreEnabled && Pre.gate(State.PreView, Task, Addr, Kind))
+    return;
   if (Kind == AccessKind::Read)
     ++State.NumReads;
   else
@@ -182,6 +201,7 @@ std::vector<DeterminismViolation> DeterminismChecker::violations() const {
 
 DeterminismStats DeterminismChecker::stats() const {
   DeterminismStats Stats;
+  Stats.Pre = Pre.stats();
   Stats.NumLocations = Totals.NumLocations.load(std::memory_order_relaxed);
   Stats.NumReads = Totals.NumReads.load(std::memory_order_relaxed);
   Stats.NumWrites = Totals.NumWrites.load(std::memory_order_relaxed);
@@ -190,6 +210,8 @@ DeterminismStats DeterminismChecker::stats() const {
     Stats.NumLocations += State.NumLocations;
     Stats.NumReads += State.NumReads;
     Stats.NumWrites += State.NumWrites;
+    Stats.Pre.NumSeqSkips += State.PreView.SeqSkips;
+    Stats.Pre.NumSiteSkips += State.PreView.SiteSkips;
   }
   Stats.NumDpstNodes = Tree->numNodes();
   Stats.NumViolations = numViolations();

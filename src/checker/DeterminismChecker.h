@@ -39,6 +39,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/SitePreanalysis.h"
 #include "checker/AccessKind.h"
 #include "checker/ShadowMemory.h"
 #include "checker/ToolOptions.h"
@@ -71,6 +72,8 @@ struct DeterminismStats {
   uint64_t NumWrites = 0;
   uint64_t NumViolations = 0;
   uint64_t NumDpstNodes = 0;
+  /// Site pre-analysis counters (Mode is Off when the gate was disabled).
+  PreanalysisStats Pre;
 };
 
 /// Tardis-style internal-determinism checker over the DPST.
@@ -93,6 +96,12 @@ public:
   void onGroupWait(TaskId Task, const void *GroupTag) override;
   void onRead(TaskId Task, MemAddr Addr) override;
   void onWrite(TaskId Task, MemAddr Addr) override;
+  void onSiteRegister(MemAddr Base, uint64_t Size, uint32_t Stride) override;
+
+  /// The embedded pre-analysis engine (replay front end, tests). The
+  /// determinism checker ignores lock events, so warmup never observes a
+  /// lockset signature — sites classify only via the lock-free verdicts.
+  SitePreanalysis &preanalysis() { return Pre; }
 
   size_t numViolations() const;
   std::vector<DeterminismViolation> violations() const;
@@ -121,6 +130,7 @@ private:
   /// task end, exact under quiescence.
   struct TaskState {
     TaskFrame Frame;
+    SitePreanalysis::TaskView PreView;
     uint64_t NumReads = 0;
     uint64_t NumWrites = 0;
     uint64_t NumLocations = 0;
@@ -145,6 +155,8 @@ private:
               NodeId Current, AccessKind CurrentKind);
 
   Options Opts;
+  SitePreanalysis Pre;
+  const bool PreEnabled;
   std::unique_ptr<Dpst> Tree;
   std::unique_ptr<ParallelismOracle> Oracle;
   DpstBuilder Builder;

@@ -28,7 +28,8 @@ std::string Race::toString() const {
 }
 
 RaceDetector::RaceDetector(Options Opts)
-    : Opts(Opts), Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree) {
+    : Opts(Opts), Pre(Opts.preanalysisOptions()), PreEnabled(Pre.enabled()),
+      Tree(createDpst(Opts.Layout, Opts.Query)), Builder(*Tree) {
   Oracle = std::make_unique<ParallelismOracle>(*Tree, Opts.oracleOptions());
 }
 
@@ -62,11 +63,15 @@ RaceDetector::TaskState &RaceDetector::stateFor(TaskId Task) {
 }
 
 void RaceDetector::onProgramStart(TaskId RootTask) {
+  if (PreEnabled)
+    Pre.noteProgramStart(RootTask);
   Builder.initRoot(createState(RootTask).Frame, RootTask);
 }
 
 void RaceDetector::onTaskSpawn(TaskId Parent, const void *GroupTag,
                                TaskId Child) {
+  if (PreEnabled)
+    Pre.noteSpawn(Parent, GroupTag);
   TaskState &ParentState = stateFor(Parent);
   TaskState &ChildState = createState(Child);
   Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
@@ -74,6 +79,8 @@ void RaceDetector::onTaskSpawn(TaskId Parent, const void *GroupTag,
 
 void RaceDetector::onTaskEnd(TaskId Task) {
   TaskState &State = stateFor(Task);
+  if (PreEnabled)
+    Pre.foldView(State.PreView);
   Builder.endTask(State.Frame);
   // Fold the task's plain counters into the shared totals (single-owner
   // invariant: this worker is the only writer of State's counters).
@@ -85,20 +92,36 @@ void RaceDetector::onTaskEnd(TaskId Task) {
 }
 
 void RaceDetector::onSync(TaskId Task) {
+  if (PreEnabled)
+    Pre.noteSync(Task);
   Builder.sync(stateFor(Task).Frame);
 }
 
 void RaceDetector::onGroupWait(TaskId Task, const void *GroupTag) {
+  if (PreEnabled)
+    Pre.noteGroupWait(Task, GroupTag);
   Builder.waitGroup(stateFor(Task).Frame, GroupTag);
 }
 
 void RaceDetector::onLockAcquire(TaskId Task, LockId Lock) {
+  TaskState &State = stateFor(Task);
   // Unversioned: the token is the lock identity itself.
-  stateFor(Task).Locks.acquire(Lock, Lock);
+  State.Locks.acquire(Lock, Lock);
+  if (PreEnabled)
+    Pre.noteLockAcquire(State.PreView, Lock);
 }
 
 void RaceDetector::onLockRelease(TaskId Task, LockId Lock) {
-  stateFor(Task).Locks.release(Lock);
+  TaskState &State = stateFor(Task);
+  State.Locks.release(Lock);
+  if (PreEnabled)
+    Pre.noteLockRelease(State.PreView, Lock);
+}
+
+void RaceDetector::onSiteRegister(MemAddr Base, uint64_t Size,
+                                  uint32_t Stride) {
+  if (PreEnabled)
+    Pre.registerRange(Base, Size, Stride);
 }
 
 //===----------------------------------------------------------------------===//
@@ -163,6 +186,8 @@ void RaceDetector::onWrite(TaskId Task, MemAddr Addr) {
 
 void RaceDetector::onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
   TaskState &State = stateFor(Task);
+  if (PreEnabled && Pre.gate(State.PreView, Task, Addr, Kind))
+    return;
   if (Kind == AccessKind::Read)
     ++State.NumReads;
   else
@@ -230,6 +255,7 @@ std::vector<Race> RaceDetector::races() const {
 
 RaceStats RaceDetector::stats() const {
   RaceStats Stats;
+  Stats.Pre = Pre.stats();
   Stats.NumLocations = Totals.NumLocations.load(std::memory_order_relaxed);
   Stats.NumReads = Totals.NumReads.load(std::memory_order_relaxed);
   Stats.NumWrites = Totals.NumWrites.load(std::memory_order_relaxed);
@@ -240,6 +266,8 @@ RaceStats RaceDetector::stats() const {
     Stats.NumLocations += State.NumLocations;
     Stats.NumReads += State.NumReads;
     Stats.NumWrites += State.NumWrites;
+    Stats.Pre.NumSeqSkips += State.PreView.SeqSkips;
+    Stats.Pre.NumSiteSkips += State.PreView.SiteSkips;
   }
   Stats.NumDpstNodes = Tree->numNodes();
   Stats.Lca = Oracle->stats();

@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/SitePreanalysis.h"
 #include "checker/AccessKind.h"
 #include "checker/LockSet.h"
 #include "checker/ShadowMemory.h"
@@ -69,6 +70,8 @@ struct RaceStats {
   uint64_t NumRaces = 0;
   uint64_t NumDpstNodes = 0;
   LcaQueryStats Lca;
+  /// Site pre-analysis counters (Mode is Off when the gate was disabled).
+  PreanalysisStats Pre;
 };
 
 /// DPST-based All-Sets data race detector.
@@ -92,6 +95,10 @@ public:
   void onLockRelease(TaskId Task, LockId Lock) override;
   void onRead(TaskId Task, MemAddr Addr) override;
   void onWrite(TaskId Task, MemAddr Addr) override;
+  void onSiteRegister(MemAddr Base, uint64_t Size, uint32_t Stride) override;
+
+  /// The embedded pre-analysis engine (replay front end, tests).
+  SitePreanalysis &preanalysis() { return Pre; }
 
   /// Distinct races found (deduplicated by step pair and kinds).
   size_t numRaces() const;
@@ -133,6 +140,7 @@ private:
   /// stats() is exact under quiescence.
   struct TaskState {
     TaskFrame Frame;
+    SitePreanalysis::TaskView PreView;
     HeldLocks Locks;
     uint64_t NumReads = 0;
     uint64_t NumWrites = 0;
@@ -159,6 +167,8 @@ private:
               NodeId Current, AccessKind CurrentKind);
 
   Options Opts;
+  SitePreanalysis Pre;
+  const bool PreEnabled;
   std::unique_ptr<Dpst> Tree;
   std::unique_ptr<ParallelismOracle> Oracle;
   DpstBuilder Builder;

@@ -5,70 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The fixed-size access-history retention rule shared by the atomicity
-/// checker (complete-metadata mode) and the race detector: given a pair of
-/// entry slots and a new step, replace *dominated* entries (a step in
-/// series with — and therefore observed before — the new one is subsumed
-/// by it for every future parallelism query), and among three pairwise
-/// parallel candidates keep the leftmost and rightmost in DPST order
-/// (Mellor-Crummey's two-reader argument, SC'91): a future step parallel
-/// with the dropped middle candidate is parallel with one of the extremes.
+/// Historical location of retainParallelPair. The rule moved to
+/// dpst/Retention.h when the pre-analysis trace classifier (a non-checker
+/// consumer) started sharing it; this forwarder keeps existing includes
+/// working.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef AVC_CHECKER_RETENTIONPOLICY_H
 #define AVC_CHECKER_RETENTIONPOLICY_H
 
-#include <utility>
-
-#include "dpst/Dpst.h"
-#include "dpst/ParallelismOracle.h"
-
-namespace avc {
-
-/// Records \p Si into the entry pair (\p E1, \p E2) under the complete
-/// retention policy. Uses \p Oracle for (counted) parallelism queries and
-/// (uncounted) tree-order comparisons, both under the oracle's query mode.
-inline void retainParallelPair(ParallelismOracle &Oracle, NodeId &E1,
-                               NodeId &E2, NodeId Si) {
-  if (E1 == Si || E2 == Si)
-    return;
-  bool Dominated1 = E1 != InvalidNodeId && !Oracle.logicallyParallel(E1, Si);
-  bool Dominated2 = E2 != InvalidNodeId && !Oracle.logicallyParallel(E2, Si);
-  if (Dominated1 && Dominated2) {
-    E1 = Si;
-    E2 = InvalidNodeId;
-    return;
-  }
-  if (Dominated1) {
-    E1 = Si;
-    return;
-  }
-  if (Dominated2) {
-    E2 = Si;
-    return;
-  }
-  if (E1 == InvalidNodeId) {
-    E1 = Si;
-    return;
-  }
-  if (E2 == InvalidNodeId) {
-    E2 = Si;
-    return;
-  }
-  NodeId Lo = E1, Hi = E2;
-  if (Oracle.treeOrderedBefore(Hi, Lo))
-    std::swap(Lo, Hi);
-  if (Oracle.treeOrderedBefore(Si, Lo)) {
-    E1 = Si;
-    E2 = Hi;
-  } else if (Oracle.treeOrderedBefore(Hi, Si)) {
-    E1 = Lo;
-    E2 = Si;
-  }
-  // Otherwise Si lies between the extremes and is dropped.
-}
-
-} // namespace avc
+#include "dpst/Retention.h"
 
 #endif // AVC_CHECKER_RETENTIONPOLICY_H

@@ -22,6 +22,7 @@
 #include <string>
 #include <thread>
 
+#include "analysis/SitePreanalysis.h"
 #include "dpst/Dpst.h"
 #include "dpst/ParallelismOracle.h"
 
@@ -78,6 +79,16 @@ struct ToolOptions {
   /// layer (src/obs/) and writes a Chrome trace-event JSON file here
   /// (taskcheck --profile=PATH; see DESIGN.md §9).
   std::string ProfilePath;
+  /// Site pre-analysis front end (taskcheck --preanalysis=<on|off|
+  /// profile:N>; see DESIGN.md §11): classify registered Tracked sites and
+  /// consult the compiled per-site handler *before* the access cache.
+  /// Replaying tools get exact classifications from a first trace sweep;
+  /// live runs use the sequential-region skip plus an optional warmup
+  /// profile.
+  PreanalysisMode Preanalysis = PreanalysisMode::Off;
+  /// Warmup accesses per site before a live-mode site is classified
+  /// (profile:N sets N; plain "on" keeps the conservative default).
+  uint32_t PreanalysisWarmup = DefaultPreanalysisWarmup;
 
   /// NumThreads with the 0 = "use the machine" convention resolved.
   unsigned resolvedThreads() const {
@@ -95,6 +106,15 @@ struct ToolOptions {
     O.EnableCache = EnableLcaCache;
     O.CacheLogSlots = CacheLogSlots;
     O.TrackUniquePairs = TrackUniquePairs;
+    return O;
+  }
+
+  /// The pre-analysis engine configuration every tool derives from these
+  /// options.
+  SitePreanalysis::Options preanalysisOptions() const {
+    SitePreanalysis::Options O;
+    O.Mode = Preanalysis;
+    O.WarmupThreshold = PreanalysisWarmup;
     return O;
   }
 };

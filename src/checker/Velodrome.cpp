@@ -14,7 +14,8 @@
 using namespace avc;
 
 VelodromeChecker::VelodromeChecker(Options Opts)
-    : Opts(Opts), Tree(createDpst(Opts.Layout)), Builder(*Tree) {}
+    : Opts(Opts), Pre(Opts.preanalysisOptions()), PreEnabled(Pre.enabled()),
+      Tree(createDpst(Opts.Layout)), Builder(*Tree) {}
 
 VelodromeChecker::~VelodromeChecker() = default;
 
@@ -46,11 +47,15 @@ VelodromeChecker::TaskState &VelodromeChecker::stateFor(TaskId Task) {
 }
 
 void VelodromeChecker::onProgramStart(TaskId RootTask) {
+  if (PreEnabled)
+    Pre.noteProgramStart(RootTask);
   Builder.initRoot(createState(RootTask).Frame, RootTask);
 }
 
 void VelodromeChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
                                    TaskId Child) {
+  if (PreEnabled)
+    Pre.noteSpawn(Parent, GroupTag);
   TaskState &ParentState = stateFor(Parent);
   TaskState &ChildState = createState(Child);
   Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
@@ -58,6 +63,8 @@ void VelodromeChecker::onTaskSpawn(TaskId Parent, const void *GroupTag,
 
 void VelodromeChecker::onTaskEnd(TaskId Task) {
   TaskState &State = stateFor(Task);
+  if (PreEnabled)
+    Pre.foldView(State.PreView);
   Builder.endTask(State.Frame);
   // Fold the task's plain counters into the shared totals (single-owner
   // invariant: this worker is the only writer of State's counters).
@@ -67,11 +74,21 @@ void VelodromeChecker::onTaskEnd(TaskId Task) {
 }
 
 void VelodromeChecker::onSync(TaskId Task) {
+  if (PreEnabled)
+    Pre.noteSync(Task);
   Builder.sync(stateFor(Task).Frame);
 }
 
 void VelodromeChecker::onGroupWait(TaskId Task, const void *GroupTag) {
+  if (PreEnabled)
+    Pre.noteGroupWait(Task, GroupTag);
   Builder.waitGroup(stateFor(Task).Frame, GroupTag);
+}
+
+void VelodromeChecker::onSiteRegister(MemAddr Base, uint64_t Size,
+                                      uint32_t Stride) {
+  if (PreEnabled)
+    Pre.registerRange(Base, Size, Stride);
 }
 
 //===----------------------------------------------------------------------===//
@@ -139,6 +156,10 @@ void VelodromeChecker::onWrite(TaskId Task, MemAddr Addr) {
 
 void VelodromeChecker::onAccess(TaskId Task, MemAddr Addr, bool IsWrite) {
   TaskState &State = stateFor(Task);
+  if (PreEnabled &&
+      Pre.gate(State.PreView, Task, Addr,
+               IsWrite ? AccessKind::Write : AccessKind::Read))
+    return;
   if (IsWrite)
     ++State.NumWrites;
   else
@@ -176,6 +197,12 @@ VelodromeStats VelodromeChecker::stats() const {
     const TaskState &State = *TaskStorage[I];
     Stats.NumReads += State.NumReads;
     Stats.NumWrites += State.NumWrites;
+  }
+  Stats.Pre = Pre.stats();
+  for (size_t I = 0, N = TaskStorage.size(); I < N; ++I) {
+    const TaskState &State = *TaskStorage[I];
+    Stats.Pre.NumSeqSkips += State.PreView.SeqSkips;
+    Stats.Pre.NumSiteSkips += State.PreView.SiteSkips;
   }
   std::lock_guard<SpinLock> Guard(GraphLock);
   Stats.NumEdges = EdgeSet.size();

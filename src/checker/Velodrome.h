@@ -30,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/SitePreanalysis.h"
 #include "checker/ShadowMemory.h"
 #include "checker/ToolOptions.h"
 #include "dpst/Dpst.h"
@@ -47,6 +48,8 @@ struct VelodromeStats {
   uint64_t NumCycles = 0;       ///< Cycles detected (= violations in trace).
   uint64_t NumReads = 0;
   uint64_t NumWrites = 0;
+  /// Site pre-analysis counters (Mode is Off when the gate was disabled).
+  PreanalysisStats Pre;
 };
 
 /// One detected cycle: adding Source -> Target closed a cycle, i.e. Target
@@ -78,6 +81,12 @@ public:
   void onGroupWait(TaskId Task, const void *GroupTag) override;
   void onRead(TaskId Task, MemAddr Addr) override;
   void onWrite(TaskId Task, MemAddr Addr) override;
+  void onSiteRegister(MemAddr Base, uint64_t Size, uint32_t Stride) override;
+
+  /// The embedded pre-analysis engine (replay front end, tests). Skipping
+  /// is sound here too: Velodrome transactions are step nodes, so an
+  /// access in series with the whole run can close no conflict cycle.
+  SitePreanalysis &preanalysis() { return Pre; }
 
   VelodromeStats stats() const;
   std::vector<VelodromeCycle> cycles() const;
@@ -104,6 +113,7 @@ private:
   /// task end, exact under quiescence.
   struct TaskState {
     TaskFrame Frame;
+    SitePreanalysis::TaskView PreView;
     uint64_t NumReads = 0;
     uint64_t NumWrites = 0;
   };
@@ -127,6 +137,8 @@ private:
   bool reaches(NodeId From, NodeId To);
 
   Options Opts;
+  SitePreanalysis Pre;
+  const bool PreEnabled;
   std::unique_ptr<Dpst> Tree; // provides the step-node transaction ids
   DpstBuilder Builder;
 

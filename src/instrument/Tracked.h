@@ -13,6 +13,13 @@
 /// pass would insert. Unwrapped data is invisible to the checker, matching
 /// the annotation-driven (not whole-program) instrumentation model.
 ///
+/// Construction doubles as *site registration* for the pre-analysis
+/// (DESIGN.md §11): a scalar Tracked<T> registers one site; TrackedArray
+/// registers a single bulk range for the whole array (one site record, not
+/// one per element — per-element constructors are suppressed with a
+/// BulkScope), so whole arrays classify at once and the per-element
+/// metadata footprint is one registry entry total.
+///
 /// Storage is a relaxed std::atomic so that programs containing the very
 /// data races the checker analyzes remain well-defined C++.
 ///
@@ -25,6 +32,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "analysis/SiteRegistry.h"
 #include "runtime/TaskRuntime.h"
 
 namespace avc {
@@ -32,8 +40,13 @@ namespace avc {
 /// A memory location whose accesses are reported to the checker.
 template <typename T> class Tracked {
 public:
-  Tracked() : Value(T()) {}
-  explicit Tracked(T Initial) : Value(Initial) {}
+  Tracked() : Value(T()) { registerSite(); }
+  explicit Tracked(T Initial) : Value(Initial) { registerSite(); }
+
+  ~Tracked() {
+    if (!SiteRegistry::bulkSuppressed())
+      SiteRegistry::instance().unregisterRange(address());
+  }
 
   Tracked(const Tracked &) = delete;
   Tracked &operator=(const Tracked &) = delete;
@@ -86,15 +99,46 @@ public:
   }
 
 private:
+  void registerSite() {
+    // Elements of a TrackedArray register as one bulk range instead.
+    if (SiteRegistry::bulkSuppressed())
+      return;
+    SiteRegistry::instance().registerRange(address(), sizeof(Value),
+                                           sizeof(Value));
+    TaskRuntime::notifySiteRegister(&Value, sizeof(Value), sizeof(Value));
+  }
+
   std::atomic<T> Value;
 };
 
 /// A fixed-size array of tracked locations (one checker location per
-/// element), the shape of most of the paper's benchmark data.
+/// element), the shape of most of the paper's benchmark data. Registers a
+/// single bulk site covering every element.
 template <typename T> class TrackedArray {
 public:
-  explicit TrackedArray(size_t Count)
-      : Count(Count), Elements(std::make_unique<Tracked<T>[]>(Count)) {}
+  explicit TrackedArray(size_t Count) : Count(Count) {
+    {
+      SiteRegistry::BulkScope Bulk;
+      Elements = std::make_unique<Tracked<T>[]>(Count);
+    }
+    if (Count == 0)
+      return;
+    MemAddr Base = Elements[0].address();
+    uint64_t Span = Count * sizeof(Tracked<T>);
+    SiteRegistry::instance().registerRange(
+        Base, Span, static_cast<uint32_t>(sizeof(Tracked<T>)));
+    TaskRuntime::notifySiteRegister(
+        reinterpret_cast<const void *>(Base), Span,
+        static_cast<uint32_t>(sizeof(Tracked<T>)));
+  }
+
+  ~TrackedArray() {
+    if (Count != 0)
+      SiteRegistry::instance().unregisterRange(Elements[0].address());
+    // Element destructors must not tombstone the bulk range per element.
+    SiteRegistry::BulkScope Bulk;
+    Elements.reset();
+  }
 
   Tracked<T> &operator[](size_t Index) {
     assert(Index < Count && "tracked array index out of range");

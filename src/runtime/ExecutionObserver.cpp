@@ -21,3 +21,4 @@ void ExecutionObserver::onLockAcquire(TaskId, LockId) {}
 void ExecutionObserver::onLockRelease(TaskId, LockId) {}
 void ExecutionObserver::onRead(TaskId, MemAddr) {}
 void ExecutionObserver::onWrite(TaskId, MemAddr) {}
+void ExecutionObserver::onSiteRegister(MemAddr, uint64_t, uint32_t) {}

@@ -76,6 +76,13 @@ public:
 
   /// \p Task wrote the tracked location \p Addr.
   virtual void onWrite(TaskId Task, MemAddr Addr);
+
+  /// A tracked site covering [\p Base, \p Base + \p Size) was registered
+  /// while the runtime was live (a Tracked<T>/TrackedArray constructed
+  /// mid-run). \p Stride is the element stride (== Size for scalars).
+  /// Sites registered before the run are pulled from the process-wide
+  /// SiteRegistry at onProgramStart instead.
+  virtual void onSiteRegister(MemAddr Base, uint64_t Size, uint32_t Stride);
 };
 
 } // namespace avc

@@ -276,6 +276,16 @@ void TaskRuntime::notifyWrite(const void *Addr) {
   });
 }
 
+void TaskRuntime::notifySiteRegister(const void *Base, uint64_t Size,
+                                     uint32_t Stride) {
+  detail::TaskContext *Ctx = CurCtx;
+  if (AVC_UNLIKELY(!Ctx))
+    return; // pre-run construction: the SiteRegistry snapshot covers it
+  Ctx->Runtime->notifyAll([&](ExecutionObserver &Obs) {
+    Obs.onSiteRegister(reinterpret_cast<MemAddr>(Base), Size, Stride);
+  });
+}
+
 void TaskRuntime::notifyLockAcquire(LockId Lock) {
   detail::TaskContext *Ctx = CurCtx;
   if (AVC_UNLIKELY(!Ctx))

@@ -138,6 +138,13 @@ public:
   static void notifyLockAcquire(LockId Lock);
   static void notifyLockRelease(LockId Lock);
 
+  /// Reports a tracked-site registration (Tracked/TrackedArray ctor) to
+  /// the observers of the live runtime. No-op outside run(); sites that
+  /// exist before the run are pulled from the process SiteRegistry at
+  /// program start instead, so this only covers mid-run construction.
+  static void notifySiteRegister(const void *Base, uint64_t Size,
+                                 uint32_t Stride);
+
   /// The current task's innermost open finish() scope, or nullptr
   /// (supports runtime/Finish.h; asserts inside a task).
   static TaskGroup *currentFinishScope();

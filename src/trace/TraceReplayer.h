@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "analysis/TraceClassifier.h"
 #include "runtime/ExecutionObserver.h"
 #include "trace/TraceEvent.h"
 
@@ -29,6 +30,22 @@ void replayTrace(const Trace &Events,
 
 /// Convenience overload for a single observer.
 void replayTrace(const Trace &Events, ExecutionObserver &Observer);
+
+/// Two-pass replay: when \p Tool runs with --preanalysis=on, a first O(n)
+/// classification sweep (TraceClassifier) computes exact per-site verdicts
+/// and installs them before the checking replay. Profile mode deliberately
+/// skips the sweep — it exists to exercise the live warmup path on a
+/// deterministic event sequence — and Off degenerates to plain replay.
+/// \p Tool is any checker tool exposing preanalysis() (all five do).
+template <typename ToolT>
+void replayTraceTwoPass(const Trace &Events, ToolT &Tool) {
+  if (Tool.preanalysis().options().Mode == PreanalysisMode::On) {
+    TraceClassifier Classifier;
+    replayTrace(Events, Classifier);
+    Tool.preanalysis().adoptExact(Classifier.classes());
+  }
+  replayTrace(Events, Tool);
+}
 
 } // namespace avc
 

@@ -275,6 +275,35 @@ TEST(CheckerFastPath, LockedRepeatsRedundantImmediately) {
   EXPECT_EQ(Stats.NumCachePathHits, 1u); // write 2
 }
 
+/// The fig13 verdict-tier finding (EXPERIMENTS.md): blackscholes and
+/// bodytrack report thousands of evictions with *zero* verdict hits. That
+/// is correct accounting, not a priming bug — a streaming access shape
+/// touches each location once per kind per step, and the verdict tier
+/// only pays from the third same-kind same-step touch on (touch 2 is the
+/// proof that stamps the verdict). This test pins the invariant with the
+/// same shape at unit scale: read+write per location, tiny cache so the
+/// stream also evicts, and the verdict counter must stay exactly zero
+/// while the path tier and eviction counters run.
+TEST(CheckerFastPath, StreamingShapeNeverPrimesVerdictTier) {
+  TraceBuilder T;
+  for (int I = 0; I < 128; ++I) {
+    MemAddr Addr = 0x40000 + 8 * I;
+    T.read(0, Addr).write(0, Addr);
+  }
+  T.end(0);
+
+  AtomicityChecker::Options Tiny;
+  Tiny.AccessCacheSlots = 2;
+  CheckerStats Stats = runOptimized(T, Tiny)->stats();
+  EXPECT_EQ(Stats.NumReads, 128u);
+  EXPECT_EQ(Stats.NumWrites, 128u);
+  EXPECT_EQ(Stats.NumCacheHits, 0u) << "two touches per kind cannot hit";
+  EXPECT_GT(Stats.NumCacheEvictions, 0u) << "the stream must thrash slots";
+  EXPECT_GT(Stats.NumCachePathHits, 0u)
+      << "the write re-touch still rides the path tier";
+  EXPECT_DOUBLE_EQ(Stats.cacheHitRate(), 0.0);
+}
+
 /// A sync starts a new step node; verdicts recorded for the previous step
 /// must not match. Three writes before and after a sync: only the third
 /// write of each step takes the verdict tier, but the stale-step probe

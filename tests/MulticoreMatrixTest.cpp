@@ -198,13 +198,28 @@ std::set<MemAddr> foundLocations(ToolContext &Tool) {
   return Out;
 }
 
+/// Live-mode warmup for the profile leg of the pre-analysis matrix. The
+/// live site is the whole 3-element TrackedArray, so its warmup counter
+/// aggregates accesses across X, Y and Z *in scheduler order* — a small
+/// threshold could cross into speculation at a schedule-dependent point
+/// and make verdicts flicker across runs. A threshold above any
+/// scenario's total access count keeps profile mode deterministic here
+/// (seq-region skips + warmup counting, never mid-scenario speculation);
+/// the speculation and downgrade paths are covered deterministically by
+/// SitePreanalysisTest and the replay suite's profile leg.
+constexpr uint32_t LiveProfileWarmup = 64;
+
 /// One live run of \p S under \p Kind on \p Threads workers, returning the
 /// found locations translated to the scenario's synthetic addresses.
 std::set<MemAddr> runLive(const Scenario &S, const LiveProgram &P,
-                          ToolKind Kind, unsigned Threads) {
+                          ToolKind Kind, unsigned Threads,
+                          PreanalysisMode Pre = PreanalysisMode::Off) {
   ToolContext::Options Opts;
   Opts.Tool = Kind;
   Opts.Checker.NumThreads = Threads;
+  Opts.Checker.Preanalysis = Pre;
+  if (Pre == PreanalysisMode::Profile)
+    Opts.Checker.PreanalysisWarmup = LiveProfileWarmup;
   ToolContext Tool(Opts);
 
   SuiteRunner Runner(P);
@@ -258,6 +273,15 @@ TEST_P(ViolatingMatrix, VerdictsMatchSingleWorker) {
       EXPECT_EQ(runLive(S, P, Kind, Threads), Baseline)
           << S.Name << " on " << Threads << " workers, tool "
           << toolKindName(Kind);
+    // Pre-analysis parity: the live gate (seq-region skips, warmup) must
+    // not change any verdict, single-threaded or contended.
+    for (PreanalysisMode Pre :
+         {PreanalysisMode::On, PreanalysisMode::Profile})
+      for (unsigned Threads : {1u, 8u})
+        EXPECT_EQ(runLive(S, P, Kind, Threads, Pre), Baseline)
+            << S.Name << " on " << Threads << " workers, tool "
+            << toolKindName(Kind) << ", preanalysis "
+            << preanalysisModeName(Pre);
   }
 }
 
@@ -287,6 +311,16 @@ TEST_P(CleanMatrix, VerdictsMatchSingleWorker) {
       EXPECT_EQ(runLive(S, P, Kind, Threads), Baseline)
           << S.Name << " on " << Threads << " workers, tool "
           << toolKindName(Kind);
+    // Pre-analysis parity on the clean side covers all five tools
+    // (Velodrome included: a serializable-under-every-schedule program
+    // stays silent whatever the gate skips).
+    for (PreanalysisMode Pre :
+         {PreanalysisMode::On, PreanalysisMode::Profile})
+      for (unsigned Threads : {1u, 8u})
+        EXPECT_EQ(runLive(S, P, Kind, Threads, Pre), Baseline)
+            << S.Name << " on " << Threads << " workers, tool "
+            << toolKindName(Kind) << ", preanalysis "
+            << preanalysisModeName(Pre);
   }
 }
 

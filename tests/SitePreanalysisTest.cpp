@@ -1,0 +1,532 @@
+//===- tests/SitePreanalysisTest.cpp - Pre-analysis engine proofs ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the site pre-analysis (DESIGN.md §11), one per
+/// classification proof: the sequential-region skip, live warmup
+/// speculation to ReadOnlyAfterInit, the downgrade-mid-run scenario (both
+/// the lossless cross-phase case and the counted in-phase one),
+/// FixedLockset as a reporting-only verdict, grouped-site pinning, exact
+/// adoption from the trace classifier, and the registration machinery
+/// (registry tombstones, TrackedArray bulk ranges, address reuse).
+///
+//===----------------------------------------------------------------------===//
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "CheckerTestUtil.h"
+#include "analysis/SitePreanalysis.h"
+#include "analysis/SiteRegistry.h"
+#include "analysis/TraceClassifier.h"
+#include "instrument/Tracked.h"
+
+using namespace avc;
+
+namespace {
+
+constexpr MemAddr X = 0x1000;
+constexpr MemAddr Y = 0x2000;
+constexpr MemAddr Z = 0x3000;
+
+using TaskView = SitePreanalysis::TaskView;
+using SiteRecord = SitePreanalysis::SiteRecord;
+
+SitePreanalysis::Options liveOpts(uint32_t Warmup = 4) {
+  SitePreanalysis::Options O;
+  O.Mode = PreanalysisMode::Profile;
+  O.WarmupThreshold = Warmup;
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Sequential-region tracking and the tier-1 skip
+//===----------------------------------------------------------------------===//
+
+TEST(SequentialRegion, TracksRootQuiescenceAndPhases) {
+  SitePreanalysis Pre(liveOpts());
+  Pre.noteProgramStart(0);
+  EXPECT_TRUE(Pre.inSequentialRegion());
+  EXPECT_EQ(Pre.currentPhase(), 0u);
+
+  Pre.noteSpawn(0, nullptr);
+  EXPECT_FALSE(Pre.inSequentialRegion());
+
+  // Non-root spawns never touch the tracker.
+  Pre.noteSync(3);
+  EXPECT_FALSE(Pre.inSequentialRegion());
+
+  // The phase advances on every re-entry, before the region reopens.
+  Pre.noteSync(0);
+  EXPECT_TRUE(Pre.inSequentialRegion());
+  EXPECT_EQ(Pre.currentPhase(), 1u);
+
+  // Two outstanding scopes: one wait drains only its tag.
+  const int TagStorage = 0;
+  const void *Tag = &TagStorage;
+  Pre.noteSpawn(0, nullptr);
+  Pre.noteSpawn(0, Tag);
+  Pre.noteGroupWait(0, Tag);
+  EXPECT_FALSE(Pre.inSequentialRegion());
+  Pre.noteSync(0);
+  EXPECT_TRUE(Pre.inSequentialRegion());
+  EXPECT_EQ(Pre.currentPhase(), 2u);
+}
+
+TEST(SequentialRegion, GateSkipsOnlyRootAccesses) {
+  SitePreanalysis Pre(liveOpts());
+  Pre.registerRange(X, 8, 8);
+  Pre.noteProgramStart(0);
+
+  TaskView Root;
+  EXPECT_TRUE(Pre.gate(Root, 0, X, AccessKind::Read));
+  EXPECT_TRUE(Pre.gate(Root, 0, X, AccessKind::Write));
+  EXPECT_EQ(Root.SeqSkips, 2u);
+
+  // The skip is attributed to the site record for reporting.
+  SiteRecord *Rec = Pre.findSite(X);
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_EQ(Rec->SeqReads.load(), 1u);
+  EXPECT_EQ(Rec->SeqWrites.load(), 1u);
+
+  // A non-root access during the sequential region is NOT skipped (it
+  // belongs to a task already spawned in an earlier scope shape; only the
+  // root's own steps are proven in series with everything).
+  TaskView Child;
+  EXPECT_FALSE(Pre.gate(Child, 7, X, AccessKind::Read));
+  EXPECT_EQ(Child.SeqSkips, 0u);
+
+  // Once the root spawns, its accesses take the generic path too.
+  Pre.noteSpawn(0, nullptr);
+  EXPECT_FALSE(Pre.gate(Root, 0, X, AccessKind::Read));
+
+  Pre.foldView(Root);
+  EXPECT_EQ(Pre.stats().NumSeqSkips, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Live warmup speculation
+//===----------------------------------------------------------------------===//
+
+TEST(LiveWarmup, ClassifiesReadOnlySiteAndSkipsLaterReads) {
+  SitePreanalysis Pre(liveOpts(4));
+  Pre.registerRange(X, 8, 8);
+  Pre.noteProgramStart(0);
+  Pre.noteSpawn(0, nullptr);
+
+  TaskView V;
+  for (int I = 0; I < 4; ++I)
+    EXPECT_FALSE(Pre.gate(V, 1, X, AccessKind::Read)) << "warmup access " << I;
+
+  SiteRecord *Rec = Pre.findSite(X);
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_EQ(Rec->Action.load(), uint8_t(SiteAction::SkipReads));
+  EXPECT_TRUE(Rec->Flags.load() & SitePreanalysis::FlagSpeculativeRO);
+
+  // Post-classification reads retire at the gate.
+  EXPECT_TRUE(Pre.gate(V, 1, X, AccessKind::Read));
+  EXPECT_EQ(V.SiteSkips, 1u);
+
+  Pre.foldView(V);
+  PreanalysisStats S = Pre.stats();
+  EXPECT_EQ(S.NumSiteSkips, 1u);
+  EXPECT_EQ(S.NumReadOnlyAfterInit, 1u);
+  EXPECT_EQ(S.NumDowngrades, 0u);
+}
+
+TEST(LiveWarmup, WriteDuringWarmupPreventsSpeculation) {
+  SitePreanalysis Pre(liveOpts(4));
+  Pre.registerRange(X, 8, 8);
+  Pre.noteProgramStart(0);
+  Pre.noteSpawn(0, nullptr);
+
+  TaskView V;
+  EXPECT_FALSE(Pre.gate(V, 1, X, AccessKind::Read));
+  EXPECT_FALSE(Pre.gate(V, 1, X, AccessKind::Write));
+  EXPECT_FALSE(Pre.gate(V, 1, X, AccessKind::Read));
+  EXPECT_FALSE(Pre.gate(V, 1, X, AccessKind::Read)); // completes the window
+
+  SiteRecord *Rec = Pre.findSite(X);
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_EQ(Rec->Action.load(), uint8_t(SiteAction::Generic));
+  EXPECT_FALSE(Pre.gate(V, 1, X, AccessKind::Read));
+  EXPECT_EQ(V.SiteSkips, 0u);
+}
+
+/// The downgrade-mid-run scenario: a site speculated ReadOnlyAfterInit is
+/// written in the *same* quiescent phase as a skipped read — the one
+/// lossy window of live speculation, and it must be counted as such.
+TEST(LiveWarmup, InPhaseDowngradeCountsUnsafe) {
+  SitePreanalysis Pre(liveOpts(4));
+  Pre.registerRange(X, 8, 8);
+  Pre.noteProgramStart(0);
+  Pre.noteSpawn(0, nullptr);
+
+  TaskView V1;
+  for (int I = 0; I < 4; ++I)
+    Pre.gate(V1, 1, X, AccessKind::Read);
+  EXPECT_TRUE(Pre.gate(V1, 1, X, AccessKind::Read)); // stamps phase 0
+
+  uint64_t GenBefore = Pre.downgradeGen();
+  TaskView V2;
+  EXPECT_FALSE(Pre.gate(V2, 2, X, AccessKind::Write)); // write falls through
+  SiteRecord *Rec = Pre.findSite(X);
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_EQ(Rec->Action.load(), uint8_t(SiteAction::Generic));
+  EXPECT_TRUE(Rec->Flags.load() & SitePreanalysis::FlagDowngraded);
+  EXPECT_EQ(Pre.downgradeGen(), GenBefore + 1); // cache epochs invalidate
+
+  PreanalysisStats S = Pre.stats();
+  EXPECT_EQ(S.NumDowngrades, 1u);
+  EXPECT_EQ(S.NumUnsafeDowngrades, 1u);
+  // A downgraded site reports Generic whatever its counters say.
+  EXPECT_EQ(Pre.finalClassOf(*Rec), SiteClass::Generic);
+}
+
+/// The lossless variant: a quiescent point separates the skipped reads
+/// from the write, so every skipped read is in series with it and the
+/// downgrade provably misses nothing.
+TEST(LiveWarmup, CrossPhaseDowngradeIsSafe) {
+  SitePreanalysis Pre(liveOpts(4));
+  Pre.registerRange(X, 8, 8);
+  Pre.noteProgramStart(0);
+  Pre.noteSpawn(0, nullptr);
+
+  TaskView V1;
+  for (int I = 0; I < 4; ++I)
+    Pre.gate(V1, 1, X, AccessKind::Read);
+  EXPECT_TRUE(Pre.gate(V1, 1, X, AccessKind::Read)); // skip stamped in phase 0
+
+  Pre.noteSync(0); // quiescent point: phase 0 -> 1
+  Pre.noteSpawn(0, nullptr);
+
+  TaskView V2;
+  EXPECT_FALSE(Pre.gate(V2, 2, X, AccessKind::Write));
+  PreanalysisStats S = Pre.stats();
+  EXPECT_EQ(S.NumDowngrades, 1u);
+  EXPECT_EQ(S.NumUnsafeDowngrades, 0u);
+}
+
+/// FixedLockset proves nothing under versioned lock tokens, so it must
+/// never become a skipping action — it is a reporting verdict only.
+TEST(LiveWarmup, FixedLocksetIsReportingOnly) {
+  SitePreanalysis Pre(liveOpts(4));
+  Pre.registerRange(X, 8, 8);
+  Pre.noteProgramStart(0);
+  Pre.noteSpawn(0, nullptr);
+
+  TaskView V;
+  Pre.noteLockAcquire(V, 7);
+  Pre.gate(V, 1, X, AccessKind::Read);
+  Pre.gate(V, 1, X, AccessKind::Write);
+  Pre.gate(V, 1, X, AccessKind::Read);
+  Pre.gate(V, 1, X, AccessKind::Write);
+  Pre.noteLockRelease(V, 7);
+
+  SiteRecord *Rec = Pre.findSite(X);
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_EQ(Rec->Action.load(), uint8_t(SiteAction::Generic));
+  EXPECT_EQ(Pre.finalClassOf(*Rec), SiteClass::FixedLockset);
+  EXPECT_EQ(Pre.stats().NumFixedLockset, 1u);
+  EXPECT_FALSE(Pre.gate(V, 1, X, AccessKind::Read));
+}
+
+/// A mixed lockset (or a bare access) disqualifies the verdict.
+TEST(LiveWarmup, MixedLocksetsReportGeneric) {
+  SitePreanalysis Pre(liveOpts(4));
+  Pre.registerRange(X, 8, 8);
+  Pre.noteProgramStart(0);
+  Pre.noteSpawn(0, nullptr);
+
+  TaskView V;
+  Pre.noteLockAcquire(V, 7);
+  Pre.gate(V, 1, X, AccessKind::Write);
+  Pre.noteLockRelease(V, 7);
+  Pre.gate(V, 1, X, AccessKind::Write); // bare
+  Pre.gate(V, 1, X, AccessKind::Write);
+  Pre.gate(V, 1, X, AccessKind::Write);
+
+  SiteRecord *Rec = Pre.findSite(X);
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_TRUE(Rec->Flags.load() & SitePreanalysis::FlagLockSigMixed);
+  EXPECT_EQ(Pre.finalClassOf(*Rec), SiteClass::Generic);
+}
+
+TEST(LiveWarmup, GroupedSitePinnedToGeneric) {
+  SitePreanalysis Pre(liveOpts(2));
+  Pre.registerRange(X, 8, 8);
+  MemAddr Members[] = {X, Y};
+  Pre.markGrouped(Members, 2);
+  Pre.noteProgramStart(0);
+  Pre.noteSpawn(0, nullptr);
+
+  // Registered before grouping: pinned in place.
+  SiteRecord *Rec = Pre.findSite(X);
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_EQ(Rec->Action.load(), uint8_t(SiteAction::Generic));
+
+  // Registered after grouping: born pinned.
+  Pre.registerRange(Y, 8, 8);
+  SiteRecord *Late = Pre.findSite(Y);
+  ASSERT_NE(Late, nullptr);
+  EXPECT_EQ(Late->Action.load(), uint8_t(SiteAction::Generic));
+
+  // Read-only warmup traffic must not re-classify a grouped site (group
+  // violations span member locations, per-site reasoning does not apply).
+  TaskView V;
+  for (int I = 0; I < 4; ++I)
+    EXPECT_FALSE(Pre.gate(V, 1, X, AccessKind::Read));
+  EXPECT_EQ(Rec->Action.load(), uint8_t(SiteAction::Generic));
+  EXPECT_EQ(Pre.finalClassOf(*Rec), SiteClass::Generic);
+
+  PreanalysisStats S = Pre.stats();
+  EXPECT_EQ(S.NumSites, 2u);
+  EXPECT_EQ(S.NumNonGrouped, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Site table mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(SiteTable, LazyScalarSitesForUnregisteredAddresses) {
+  SitePreanalysis Pre(liveOpts(8));
+  Pre.noteProgramStart(0);
+  Pre.noteSpawn(0, nullptr);
+
+  TaskView V;
+  EXPECT_FALSE(Pre.gate(V, 1, X, AccessKind::Read));
+  SiteRecord *Rec = Pre.findSite(X);
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_EQ(Rec->Base, X);
+  EXPECT_EQ(Rec->Size, 8u);
+  // The MRU now short-circuits the repeat without growing the table.
+  size_t Sites = Pre.numSites();
+  EXPECT_FALSE(Pre.gate(V, 1, X, AccessKind::Read));
+  EXPECT_EQ(Pre.numSites(), Sites);
+}
+
+TEST(SiteTable, AddressReuseRetiresOverlappingRange) {
+  SitePreanalysis Pre(liveOpts());
+  Pre.registerRange(X, 32, 8);
+  SiteRecord *Old = Pre.findSite(X + 8);
+  ASSERT_NE(Old, nullptr);
+
+  // A fresh range over reused memory shadows the stale one; the retired
+  // record drops to Generic so stale MRU references stay sound.
+  Pre.registerRange(X + 8, 8, 8);
+  EXPECT_EQ(Old->Action.load(), uint8_t(SiteAction::Generic));
+  EXPECT_EQ(Pre.numSites(), 1u);
+  SiteRecord *Fresh = Pre.findSite(X + 8);
+  ASSERT_NE(Fresh, nullptr);
+  EXPECT_NE(Fresh, Old);
+  EXPECT_EQ(Pre.findSite(X), nullptr);
+
+  // Identical re-registration reuses the record.
+  Pre.registerRange(X + 8, 8, 8);
+  EXPECT_EQ(Pre.findSite(X + 8), Fresh);
+  EXPECT_EQ(Pre.numSites(), 1u);
+}
+
+TEST(SiteTable, FoldViewResetsTaskState) {
+  SitePreanalysis Pre(liveOpts(1));
+  Pre.registerRange(X, 8, 8);
+  Pre.noteProgramStart(0);
+  Pre.noteSpawn(0, nullptr);
+
+  TaskView V;
+  Pre.noteLockAcquire(V, 3);
+  Pre.gate(V, 1, X, AccessKind::Read); // classifies at threshold 1
+  EXPECT_TRUE(Pre.gate(V, 1, X, AccessKind::Read));
+  EXPECT_EQ(V.SiteSkips, 1u);
+
+  Pre.foldView(V);
+  EXPECT_EQ(V.SiteSkips, 0u);
+  EXPECT_TRUE(V.HeldLocks.empty());
+  EXPECT_EQ(V.HeldSig, 0u);
+  EXPECT_EQ(Pre.stats().NumSiteSkips, 1u);
+  // Folding twice adds nothing.
+  Pre.foldView(V);
+  EXPECT_EQ(Pre.stats().NumSiteSkips, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exact adoption (replay mode)
+//===----------------------------------------------------------------------===//
+
+TEST(ExactAdoption, CompilesHandlersAndNeverDowngrades) {
+  SitePreanalysis::Options O;
+  O.Mode = PreanalysisMode::On;
+  SitePreanalysis Pre(O);
+
+  std::vector<ExactSiteClass> Classes(2);
+  Classes[0].Base = X;
+  Classes[0].Size = 8;
+  Classes[0].Class = SiteClass::SequentialOnly;
+  Classes[0].Action = SiteAction::SkipAll;
+  Classes[1].Base = Y;
+  Classes[1].Size = 8;
+  Classes[1].Class = SiteClass::ReadOnlyAfterInit;
+  Classes[1].Action = SiteAction::SkipReads;
+  Classes[1].NonSeqReads = 5;
+  Pre.adoptExact(Classes);
+  Pre.noteProgramStart(0);
+  Pre.noteSpawn(0, nullptr);
+
+  TaskView V;
+  EXPECT_TRUE(Pre.gate(V, 1, X, AccessKind::Read));
+  EXPECT_TRUE(Pre.gate(V, 1, X, AccessKind::Write));
+  EXPECT_TRUE(Pre.gate(V, 1, Y, AccessKind::Read));
+  EXPECT_EQ(V.SiteSkips, 3u);
+
+  // The exact sweep proved no write is parallel with any access, so a
+  // write keeps the classification (unlike live speculation).
+  EXPECT_FALSE(Pre.gate(V, 1, Y, AccessKind::Write));
+  SiteRecord *Rec = Pre.findSite(Y);
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_EQ(Rec->Action.load(), uint8_t(SiteAction::SkipReads));
+  EXPECT_TRUE(Pre.gate(V, 1, Y, AccessKind::Read));
+
+  PreanalysisStats S = Pre.stats();
+  EXPECT_EQ(S.NumSequentialOnly, 1u);
+  EXPECT_EQ(S.NumReadOnlyAfterInit, 1u);
+  EXPECT_EQ(S.NumDowngrades, 0u);
+
+  // Addresses outside the adopted set never speculate after adoption.
+  EXPECT_FALSE(Pre.gate(V, 1, Z, AccessKind::Read));
+  SiteRecord *Lazy = Pre.findSite(Z);
+  ASSERT_NE(Lazy, nullptr);
+  EXPECT_EQ(Lazy->Action.load(), uint8_t(SiteAction::Generic));
+}
+
+TEST(TraceClassifierSweep, ComputesExactClassesFromTrace) {
+  TraceBuilder T;
+  T.write(0, X).write(0, X); // root init, globally sequential
+  T.write(0, Z);
+  T.spawn(0, 1).spawn(0, 2);
+  T.read(1, X).read(2, X); // parallel reads, never written in parallel
+  T.write(1, Y).read(2, Y); // genuine parallel write/read conflict
+  T.end(1).end(2).sync(0).end(0);
+
+  TraceClassifier Classifier;
+  replayTrace(T.finish(), Classifier);
+
+  std::vector<ExactSiteClass> Classes = Classifier.classes();
+  ASSERT_EQ(Classes.size(), 3u);
+  SiteClass ByAddr[3] = {SiteClass::Unclassified, SiteClass::Unclassified,
+                         SiteClass::Unclassified};
+  SiteAction ActByAddr[3] = {SiteAction::Generic, SiteAction::Generic,
+                             SiteAction::Generic};
+  for (const ExactSiteClass &C : Classes) {
+    int I = C.Base == X ? 0 : C.Base == Y ? 1 : 2;
+    ByAddr[I] = C.Class;
+    ActByAddr[I] = C.Action;
+  }
+  EXPECT_EQ(ByAddr[0], SiteClass::ReadOnlyAfterInit);
+  EXPECT_EQ(ActByAddr[0], SiteAction::SkipReads);
+  EXPECT_EQ(ByAddr[1], SiteClass::Generic);
+  EXPECT_EQ(ActByAddr[1], SiteAction::Generic);
+  EXPECT_EQ(ByAddr[2], SiteClass::SequentialOnly);
+  EXPECT_EQ(ActByAddr[2], SiteAction::SkipAll);
+}
+
+/// End-to-end two-pass replay: the checking replay with adopted exact
+/// verdicts skips accesses yet reports the identical violation set.
+TEST(TwoPassReplay, SameViolationsWithExactSkips) {
+  TraceBuilder T;
+  T.write(0, Y).write(0, Y); // sequential init, skippable
+  T.spawn(0, 1).spawn(0, 2);
+  T.read(1, X).read(1, X).write(2, X); // RWR violation on X
+  T.read(1, Y).read(2, Y);             // read-only in parallel, skippable
+  T.end(1).end(2).sync(0).end(0);
+
+  auto RunWith = [&](PreanalysisMode Mode) {
+    AtomicityChecker::Options Opts;
+    Opts.Preanalysis = Mode;
+    auto Checker = std::make_unique<AtomicityChecker>(Opts);
+    replayTraceTwoPass(T.finish(), *Checker);
+    return Checker;
+  };
+
+  auto Off = RunWith(PreanalysisMode::Off);
+  auto On = RunWith(PreanalysisMode::On);
+
+  std::set<MemAddr> OffFound, OnFound;
+  for (const Violation &V : Off->violations().snapshot())
+    OffFound.insert(V.Addr);
+  for (const Violation &V : On->violations().snapshot())
+    OnFound.insert(V.Addr);
+  EXPECT_EQ(OffFound, std::set<MemAddr>{X});
+  EXPECT_EQ(OnFound, OffFound);
+
+  CheckerStats Stats = On->stats();
+  EXPECT_EQ(Stats.Pre.Mode, PreanalysisMode::On);
+  EXPECT_EQ(Stats.Pre.NumSeqSkips, 2u);  // the two root init writes
+  EXPECT_EQ(Stats.Pre.NumSiteSkips, 2u); // the two parallel Y reads
+  EXPECT_EQ(Stats.Pre.NumDowngrades, 0u);
+  // Skipped accesses never enter the access counters.
+  EXPECT_EQ(Stats.NumReads + Stats.NumWrites,
+            Off->stats().NumReads + Off->stats().NumWrites - 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Registration machinery
+//===----------------------------------------------------------------------===//
+
+TEST(SiteRegistryTest, TombstonesAndReregistration) {
+  SiteRegistry &Reg = SiteRegistry::instance();
+  size_t Before = Reg.numLive();
+
+  uint64_t Id1 = Reg.registerRange(0x9000, 64, 8);
+  uint64_t Id2 = Reg.registerRange(0xA000, 8, 8);
+  EXPECT_LT(Id1, Id2);
+  EXPECT_EQ(Reg.numLive(), Before + 2);
+
+  Reg.unregisterRange(0x9000);
+  EXPECT_EQ(Reg.numLive(), Before + 1);
+  bool SawDead = false, SawLive = false;
+  for (const SiteRegistry::Entry &E : Reg.snapshot()) {
+    SawDead |= E.Base == 0x9000;
+    SawLive |= E.Base == 0xA000;
+  }
+  EXPECT_FALSE(SawDead) << "tombstoned entry leaked into the snapshot";
+  EXPECT_TRUE(SawLive);
+
+  // Double-unregister is harmless; reuse of the address gets a fresh id.
+  Reg.unregisterRange(0x9000);
+  uint64_t Id3 = Reg.registerRange(0x9000, 16, 8);
+  EXPECT_GT(Id3, Id2);
+
+  Reg.unregisterRange(0x9000);
+  Reg.unregisterRange(0xA000);
+  EXPECT_EQ(Reg.numLive(), Before);
+}
+
+TEST(SiteRegistryTest, TrackedArrayRegistersOneBulkRange) {
+  SiteRegistry &Reg = SiteRegistry::instance();
+  size_t Before = Reg.numLive();
+  {
+    TrackedArray<int> Arr(16);
+    EXPECT_EQ(Reg.numLive(), Before + 1) << "per-element sites leaked";
+
+    MemAddr First = Arr[0].address();
+    MemAddr Last = Arr[15].address();
+    bool Covered = false;
+    for (const SiteRegistry::Entry &E : Reg.snapshot())
+      if (First - E.Base < E.Size && Last - E.Base < E.Size) {
+        Covered = true;
+        EXPECT_GT(E.Stride, 0u);
+        EXPECT_EQ((Last - First) % E.Stride, 0u);
+      }
+    EXPECT_TRUE(Covered) << "no single bulk range covers the whole array";
+
+    Tracked<int> Scalar;
+    EXPECT_EQ(Reg.numLive(), Before + 2);
+  }
+  EXPECT_EQ(Reg.numLive(), Before) << "destructors must tombstone sites";
+}
+
+} // namespace

@@ -20,6 +20,9 @@
 #include <gtest/gtest.h>
 
 #include "ViolationSuiteData.h"
+#include "checker/DeterminismChecker.h"
+#include "checker/RaceDetector.h"
+#include "checker/Velodrome.h"
 
 using namespace avc;
 using namespace avc::suite;
@@ -28,6 +31,88 @@ namespace {
 
 class ViolationSuite : public ::testing::TestWithParam<Scenario> {};
 class CleanSuite : public ::testing::TestWithParam<Scenario> {};
+
+//===----------------------------------------------------------------------===//
+// Pre-analysis parity plumbing
+//===----------------------------------------------------------------------===//
+
+/// Live-mode warmup for the profile leg. The suite's scenarios never put
+/// four same-phase reads on one address before its first write, so
+/// profile:4 speculation stays inside its sound window here (the unsound
+/// in-phase downgrade is exercised deliberately in SitePreanalysisTest).
+constexpr uint32_t SuiteProfileWarmup = 4;
+
+void registerGroup(AtomicityChecker &Tool, const Scenario &S) {
+  if (!S.Group.empty()) {
+    EXPECT_TRUE(Tool.registerAtomicGroup(S.Group.data(), S.Group.size()));
+  }
+}
+void registerGroup(BasicChecker &Tool, const Scenario &S) {
+  if (!S.Group.empty())
+    Tool.registerAtomicGroup(S.Group.data(), S.Group.size());
+}
+template <typename ToolT> void registerGroup(ToolT &, const Scenario &) {}
+
+std::set<MemAddr> findingAddrs(const AtomicityChecker &Tool) {
+  std::set<MemAddr> Out;
+  for (const Violation &V : Tool.violations().snapshot())
+    Out.insert(V.Addr);
+  return Out;
+}
+std::set<MemAddr> findingAddrs(const BasicChecker &Tool) {
+  std::set<MemAddr> Out;
+  for (const Violation &V : Tool.violations().snapshot())
+    Out.insert(V.Addr);
+  return Out;
+}
+std::set<MemAddr> findingAddrs(const RaceDetector &Tool) {
+  std::set<MemAddr> Out;
+  for (const Race &R : Tool.races())
+    Out.insert(R.Addr);
+  return Out;
+}
+std::set<MemAddr> findingAddrs(const DeterminismChecker &Tool) {
+  std::set<MemAddr> Out;
+  for (const DeterminismViolation &V : Tool.violations())
+    Out.insert(V.Addr);
+  return Out;
+}
+std::set<MemAddr> findingAddrs(const VelodromeChecker &Tool) {
+  std::set<MemAddr> Out;
+  for (const VelodromeCycle &C : Tool.cycles())
+    Out.insert(C.Addr);
+  return Out;
+}
+
+/// One replay of \p S through \p ToolT under the given pre-analysis mode
+/// (On goes through the two-pass classifying replay, exactly as taskcheck
+/// drives trace files).
+template <typename ToolT>
+std::set<MemAddr> replayFindings(const Scenario &S, PreanalysisMode Mode) {
+  typename ToolT::Options Opts;
+  Opts.Preanalysis = Mode;
+  if (Mode == PreanalysisMode::Profile)
+    Opts.PreanalysisWarmup = SuiteProfileWarmup;
+  ToolT Tool(Opts);
+  registerGroup(Tool, S);
+  TraceBuilder T = S.Build();
+  replayTraceTwoPass(T.finish(), Tool);
+  return findingAddrs(Tool);
+}
+
+/// The verdict set must be invariant under the pre-analysis knob: off is
+/// the baseline, on adopts exact two-pass classifications, profile runs
+/// the live warmup speculation.
+template <typename ToolT>
+void checkPreanalysisParity(const Scenario &S, const char *ToolName) {
+  std::set<MemAddr> Off = replayFindings<ToolT>(S, PreanalysisMode::Off);
+  for (PreanalysisMode Mode :
+       {PreanalysisMode::On, PreanalysisMode::Profile}) {
+    EXPECT_EQ(replayFindings<ToolT>(S, Mode), Off)
+        << S.Name << " with " << ToolName << ", preanalysis "
+        << preanalysisModeName(Mode);
+  }
+}
 
 void runScenario(const Scenario &S) {
   TraceBuilder T = S.Build();
@@ -72,6 +157,14 @@ void runScenario(const Scenario &S) {
   replayTrace(T.finish(), Basic);
   EXPECT_EQ(Basic.violations().empty(), S.ViolatingLocations.empty())
       << S.Name << " (basic reference checker)";
+
+  // All five tools must report the same locations with the pre-analysis
+  // gate off, on (exact two-pass), and in profile mode (live warmup).
+  checkPreanalysisParity<AtomicityChecker>(S, "atomicity");
+  checkPreanalysisParity<BasicChecker>(S, "basic");
+  checkPreanalysisParity<RaceDetector>(S, "race");
+  checkPreanalysisParity<DeterminismChecker>(S, "determinism");
+  checkPreanalysisParity<VelodromeChecker>(S, "velodrome");
 }
 
 TEST_P(ViolationSuite, DetectedByAllCheckers) { runScenario(GetParam()); }

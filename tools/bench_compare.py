@@ -18,6 +18,14 @@ like the fig13_threads scaling gate (8-worker overhead within 1.5x of
 
     bench_compare.py BENCH_fig13_threads.json \
         --key scaling_t8_over_t1 --max-value 1.5
+
+A third mode compares two meta keys within one report -- used by the site
+pre-analysis gate, which must never make the checker slower than running
+with the gate off (with a small noise margin):
+
+    bench_compare.py fig13_preanalysis.json \
+        --key geomean_preanalysis_on_x \
+        --not-above-key geomean_preanalysis_off_x --margin 0.05
 """
 
 import argparse
@@ -50,11 +58,34 @@ def main():
     parser.add_argument("--max-value", type=float, default=None,
                         help="absolute bound: check meta.KEY of the single "
                              "given report instead of comparing two reports")
+    parser.add_argument("--not-above-key", default=None,
+                        help="key-vs-key bound: fail if meta.KEY of the "
+                             "single given report exceeds this other meta "
+                             "key (times 1 + --margin)")
+    parser.add_argument("--margin", type=float, default=0.0,
+                        help="allowed fractional slack for --not-above-key "
+                             "(default: 0.0)")
     parser.add_argument("--lower-is-better", choices=["yes", "no"],
                         default="yes",
                         help="whether smaller metric values are better")
     args = parser.parse_args()
 
+    if args.not_above_key is not None:
+        if args.fresh is not None:
+            parser.error("--not-above-key takes a single report")
+        if args.max_value is not None:
+            parser.error("--not-above-key and --max-value are exclusive")
+        value = load_metric(args.baseline, args.key)
+        bound = load_metric(args.baseline, args.not_above_key)
+        limit = bound * (1.0 + args.margin)
+        print(f"{args.key}: {value:.4g} vs {args.not_above_key}: "
+              f"{bound:.4g} (limit {limit:.4g}, margin +{args.margin:.0%})")
+        if value > limit:
+            print(f"FAIL: {args.key} exceeds {args.not_above_key}",
+                  file=sys.stderr)
+            return 1
+        print("OK")
+        return 0
     if args.max_value is not None:
         if args.fresh is not None:
             parser.error("--max-value takes a single report")

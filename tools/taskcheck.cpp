@@ -57,6 +57,9 @@ struct CliOptions {
   /// Access-path cache configuration (--access-cache=on|off|<slots>).
   bool CacheEnabled = true;
   unsigned CacheSlots = DefaultAccessCacheSlots;
+  /// Site pre-analysis front end (--preanalysis=on|off|profile:N).
+  PreanalysisMode Preanalysis = PreanalysisMode::Off;
+  uint32_t PreanalysisWarmup = DefaultPreanalysisWarmup;
   /// Machine-readable per-run counters destination (--json=PATH).
   std::string JsonPath;
   /// Observability-trace destination (--profile=PATH, Perfetto-loadable).
@@ -75,6 +78,8 @@ int usage(const char *Prog) {
       "       %s --tool=<t> --workload=<w> [--scale=S] [--threads=N]\n"
       "           [--access-cache=on|off|<slots>]  per-task access-path "
       "cache\n"
+      "           [--preanalysis=on|off|profile:N]  site pre-analysis "
+      "fast paths\n"
       "           [--query-mode=walk|lift|label]  parallelism-query "
       "algorithm\n"
       "           [--json=PATH]  write per-run counters as JSON\n"
@@ -133,6 +138,33 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                 Opts.CacheEnabled = true;
                 Opts.CacheSlots = static_cast<unsigned>(Slots);
                 return true;
+              })
+      .option("preanalysis",
+              [&Opts](const char *V) {
+                if (std::strcmp(V, "on") == 0) {
+                  Opts.Preanalysis = PreanalysisMode::On;
+                  Opts.PreanalysisWarmup = DefaultPreanalysisWarmup;
+                  return true;
+                }
+                if (std::strcmp(V, "off") == 0) {
+                  Opts.Preanalysis = PreanalysisMode::Off;
+                  return true;
+                }
+                if (std::strncmp(V, "profile:", 8) == 0) {
+                  char *End = nullptr;
+                  unsigned long N = std::strtoul(V + 8, &End, 10);
+                  if (End != V + 8 && *End == '\0' && N > 0 &&
+                      N <= ~0u) {
+                    Opts.Preanalysis = PreanalysisMode::Profile;
+                    Opts.PreanalysisWarmup = static_cast<uint32_t>(N);
+                    return true;
+                  }
+                }
+                std::fprintf(stderr,
+                             "error: --preanalysis wants on, off, or "
+                             "profile:N, got '%s'\n",
+                             V);
+                return false;
               })
       .removed("no-filter", "was removed; use --access-cache=off");
   return Parser.parse(Argc, Argv);
@@ -211,6 +243,24 @@ void printAtomicityStats(const AtomicityChecker &Checker) {
                 Stats.cachePathHitRate(),
                 static_cast<unsigned long long>(Stats.NumCacheEvictions),
                 static_cast<unsigned long long>(Stats.NumLockSnapshots));
+  if (Stats.Pre.Mode != PreanalysisMode::Off)
+    std::printf("preanalysis (%s): %llu seq skips, %llu site skips, "
+                "%llu downgrades (%llu unsafe); %llu sites: "
+                "%llu sequential-only, %llu read-only-after-init, "
+                "%llu fixed-lockset, %llu generic\n",
+                preanalysisModeName(Stats.Pre.Mode),
+                static_cast<unsigned long long>(Stats.Pre.NumSeqSkips),
+                static_cast<unsigned long long>(Stats.Pre.NumSiteSkips),
+                static_cast<unsigned long long>(Stats.Pre.NumDowngrades),
+                static_cast<unsigned long long>(
+                    Stats.Pre.NumUnsafeDowngrades),
+                static_cast<unsigned long long>(Stats.Pre.NumSites),
+                static_cast<unsigned long long>(
+                    Stats.Pre.NumSequentialOnly),
+                static_cast<unsigned long long>(
+                    Stats.Pre.NumReadOnlyAfterInit),
+                static_cast<unsigned long long>(Stats.Pre.NumFixedLockset),
+                static_cast<unsigned long long>(Stats.Pre.NumGeneric));
 }
 
 //===----------------------------------------------------------------------===//
@@ -227,6 +277,26 @@ void jsonMeta(JsonReport &Report, const CliOptions &Opts, ToolKind Kind,
   Report.meta("access_cache", Opts.CacheEnabled ? "on" : "off");
   Report.meta("access_cache_slots",
               Opts.CacheEnabled ? double(Opts.CacheSlots) : 0.0);
+  Report.meta("preanalysis", preanalysisModeName(Opts.Preanalysis));
+  if (Opts.Preanalysis != PreanalysisMode::Off)
+    Report.meta("preanalysis_warmup", double(Opts.PreanalysisWarmup));
+}
+
+/// Pre-analysis counters shared by every tool's JSON row: skip totals,
+/// downgrade audit, and the pruned-site census by final class.
+void jsonPreanalysisRow(JsonReport::Row &Row, const PreanalysisStats &Pre) {
+  if (Pre.Mode == PreanalysisMode::Off)
+    return;
+  Row.field("pre_seq_skips", double(Pre.NumSeqSkips))
+      .field("pre_site_skips", double(Pre.NumSiteSkips))
+      .field("pre_downgrades", double(Pre.NumDowngrades))
+      .field("pre_unsafe_downgrades", double(Pre.NumUnsafeDowngrades))
+      .field("pre_sites", double(Pre.NumSites))
+      .field("pre_sequential_only", double(Pre.NumSequentialOnly))
+      .field("pre_read_only_after_init", double(Pre.NumReadOnlyAfterInit))
+      .field("pre_fixed_lockset", double(Pre.NumFixedLockset))
+      .field("pre_non_grouped", double(Pre.NumNonGrouped))
+      .field("pre_generic", double(Pre.NumGeneric));
 }
 
 /// One row of CheckerStats counters (atomicity and basic share the type).
@@ -247,6 +317,7 @@ void jsonCheckerRow(JsonReport::Row &Row, const CheckerStats &Stats,
       .field("lockset_snapshots", double(Stats.NumLockSnapshots))
       .field("cache_hit_pct", Stats.cacheHitRate())
       .field("cache_path_hit_pct", Stats.cachePathHitRate());
+  jsonPreanalysisRow(Row, Stats.Pre);
 }
 
 bool writeJsonIfRequested(const CliOptions &Opts, JsonReport &Report) {
@@ -309,10 +380,12 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     CheckerOpts.EnableAccessCache = Opts.CacheEnabled;
     CheckerOpts.AccessCacheSlots = Opts.CacheSlots;
     CheckerOpts.Query = Opts.Query;
+    CheckerOpts.Preanalysis = Opts.Preanalysis;
+    CheckerOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
     AtomicityChecker Checker(CheckerOpts);
     ProfileSession Profile(Opts.ProfilePath);
     Checker.registerObsGauges();
-    replayTrace(*Events, Checker);
+    replayTraceTwoPass(*Events, Checker);
     std::printf("[atomicity] %zu violation(s)\n",
                 Checker.violations().size());
     for (const Violation &V : Checker.violations().snapshot())
@@ -331,10 +404,12 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
   case ToolKind::Basic: {
     BasicChecker::Options BasicOpts;
     BasicOpts.Query = Opts.Query;
+    BasicOpts.Preanalysis = Opts.Preanalysis;
+    BasicOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
     BasicChecker Checker(BasicOpts);
     ProfileSession Profile(Opts.ProfilePath);
     Checker.registerObsGauges();
-    replayTrace(*Events, Checker);
+    replayTraceTwoPass(*Events, Checker);
     std::printf("[basic] %zu violation(s)\n", Checker.violations().size());
     for (const Violation &V : Checker.violations().snapshot())
       std::printf("  %s\n", V.toString().c_str());
@@ -347,21 +422,25 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     return Checker.violations().empty() ? 0 : 1;
   }
   case ToolKind::Velodrome: {
-    VelodromeChecker Checker;
+    VelodromeChecker::Options VeloOpts;
+    VeloOpts.Preanalysis = Opts.Preanalysis;
+    VeloOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
+    VelodromeChecker Checker(VeloOpts);
     ProfileSession Profile(Opts.ProfilePath);
     Checker.registerObsGauges();
-    replayTrace(*Events, Checker);
+    replayTraceTwoPass(*Events, Checker);
     std::printf("[velodrome] %zu cycle(s) in the observed trace\n",
                 Checker.numViolations());
     VelodromeStats Stats = Checker.stats();
     JsonReport Report;
     jsonMeta(Report, Opts, Kind, "trace");
-    Report.row()
-        .field("violations", double(Stats.NumCycles))
+    JsonReport::Row &Row = Report.row();
+    Row.field("violations", double(Stats.NumCycles))
         .field("transactions", double(Stats.NumTransactions))
         .field("edges", double(Stats.NumEdges))
         .field("reads", double(Stats.NumReads))
         .field("writes", double(Stats.NumWrites));
+    jsonPreanalysisRow(Row, Stats.Pre);
     if (!writeJsonIfRequested(Opts, Report))
       return 1;
     return Checker.numViolations() == 0 ? 0 : 1;
@@ -369,22 +448,25 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
   case ToolKind::Race: {
     RaceDetector::Options RaceOpts;
     RaceOpts.Query = Opts.Query;
+    RaceOpts.Preanalysis = Opts.Preanalysis;
+    RaceOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
     RaceDetector Detector(RaceOpts);
     ProfileSession Profile(Opts.ProfilePath);
     Detector.registerObsGauges();
-    replayTrace(*Events, Detector);
+    replayTraceTwoPass(*Events, Detector);
     std::printf("[race] %zu race(s)\n", Detector.numRaces());
     for (const Race &R : Detector.races())
       std::printf("  %s\n", R.toString().c_str());
     RaceStats Stats = Detector.stats();
     JsonReport Report;
     jsonMeta(Report, Opts, Kind, "trace");
-    Report.row()
-        .field("violations", double(Stats.NumRaces))
+    JsonReport::Row &Row = Report.row();
+    Row.field("violations", double(Stats.NumRaces))
         .field("locations", double(Stats.NumLocations))
         .field("reads", double(Stats.NumReads))
         .field("writes", double(Stats.NumWrites))
         .field("dpst_nodes", double(Stats.NumDpstNodes));
+    jsonPreanalysisRow(Row, Stats.Pre);
     if (!writeJsonIfRequested(Opts, Report))
       return 1;
     return Detector.numRaces() == 0 ? 0 : 1;
@@ -392,10 +474,12 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
   case ToolKind::Determinism: {
     DeterminismChecker::Options DetOpts;
     DetOpts.Query = Opts.Query;
+    DetOpts.Preanalysis = Opts.Preanalysis;
+    DetOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
     DeterminismChecker Checker(DetOpts);
     ProfileSession Profile(Opts.ProfilePath);
     Checker.registerObsGauges();
-    replayTrace(*Events, Checker);
+    replayTraceTwoPass(*Events, Checker);
     std::printf("[determinism] %zu violation(s)\n",
                 Checker.numViolations());
     for (const DeterminismViolation &V : Checker.violations())
@@ -403,12 +487,13 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     DeterminismStats Stats = Checker.stats();
     JsonReport Report;
     jsonMeta(Report, Opts, Kind, "trace");
-    Report.row()
-        .field("violations", double(Stats.NumViolations))
+    JsonReport::Row &Row = Report.row();
+    Row.field("violations", double(Stats.NumViolations))
         .field("locations", double(Stats.NumLocations))
         .field("reads", double(Stats.NumReads))
         .field("writes", double(Stats.NumWrites))
         .field("dpst_nodes", double(Stats.NumDpstNodes));
+    jsonPreanalysisRow(Row, Stats.Pre);
     if (!writeJsonIfRequested(Opts, Report))
       return 1;
     return Checker.numViolations() == 0 ? 0 : 1;
@@ -446,6 +531,8 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
   ToolOpts.Checker.EnableAccessCache = Opts.CacheEnabled;
   ToolOpts.Checker.AccessCacheSlots = Opts.CacheSlots;
   ToolOpts.Checker.Query = Opts.Query;
+  ToolOpts.Checker.Preanalysis = Opts.Preanalysis;
+  ToolOpts.Checker.PreanalysisWarmup = Opts.PreanalysisWarmup;
   ToolOpts.Checker.ProfilePath = Opts.ProfilePath;
   ToolContext Tool(ToolOpts);
   Timer T;
@@ -479,6 +566,7 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
           .field("edges", double(Stats.NumEdges))
           .field("reads", double(Stats.NumReads))
           .field("writes", double(Stats.NumWrites));
+      jsonPreanalysisRow(Row, Stats.Pre);
     } else if (const RaceDetector *Detector = Tool.raceDetector()) {
       RaceStats Stats = Detector->stats();
       Row.field("violations", double(Stats.NumRaces))
@@ -486,6 +574,7 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
           .field("reads", double(Stats.NumReads))
           .field("writes", double(Stats.NumWrites))
           .field("dpst_nodes", double(Stats.NumDpstNodes));
+      jsonPreanalysisRow(Row, Stats.Pre);
     } else if (const DeterminismChecker *Checker =
                    Tool.determinismChecker()) {
       DeterminismStats Stats = Checker->stats();
@@ -494,6 +583,7 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
           .field("reads", double(Stats.NumReads))
           .field("writes", double(Stats.NumWrites))
           .field("dpst_nodes", double(Stats.NumDpstNodes));
+      jsonPreanalysisRow(Row, Stats.Pre);
     }
     if (!Report.write(Opts.JsonPath))
       return 1;
