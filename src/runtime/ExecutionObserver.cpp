@@ -14,6 +14,7 @@ ExecutionObserver::~ExecutionObserver() = default;
 void ExecutionObserver::onProgramStart(TaskId) {}
 void ExecutionObserver::onProgramEnd() {}
 void ExecutionObserver::onTaskSpawn(TaskId, const void *, TaskId) {}
+void ExecutionObserver::onTaskExecuteBegin(TaskId) {}
 void ExecutionObserver::onTaskEnd(TaskId) {}
 void ExecutionObserver::onSync(TaskId) {}
 void ExecutionObserver::onGroupWait(TaskId, const void *) {}

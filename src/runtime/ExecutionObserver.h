@@ -56,6 +56,12 @@ public:
   /// program order, before the child can run.
   virtual void onTaskSpawn(TaskId Parent, const void *GroupTag, TaskId Child);
 
+  /// \p Task is about to start executing its body on a worker thread.
+  /// Unlike onTaskSpawn (which fires in the parent), this fires on the
+  /// worker that will run the task, making it the natural drain/attach
+  /// point for per-worker recording state.
+  virtual void onTaskExecuteBegin(TaskId Task);
+
   /// \p Task finished executing (after its implicit end-of-task sync).
   virtual void onTaskEnd(TaskId Task);
 

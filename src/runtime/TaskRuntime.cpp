@@ -168,6 +168,7 @@ void TaskRuntime::execute(detail::TaskNode *Node) {
   detail::TaskContext Ctx{Node->Id, this, nullptr, nullptr};
   detail::TaskContext *Prev = CurCtx;
   CurCtx = &Ctx;
+  notifyAll([&](ExecutionObserver &Obs) { Obs.onTaskExecuteBegin(Ctx.Id); });
   {
     AVC_OBS_SPAN(obs::Cat::Runtime, "task/execute", Ctx.Id);
     Node->Fn();

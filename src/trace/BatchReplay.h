@@ -1,0 +1,84 @@
+//===- trace/BatchReplay.h - Parallel batch trace checking -----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays a fleet of stored traces — text or binary (TraceCodec) — through
+/// one analysis tool, one isolated tool instance per trace, fanned out over
+/// the work-stealing runtime. Each trace replay is sequential (the
+/// checkers' offline mode), so parallelism comes from checking many traces
+/// at once: the natural shape for a queue of recorded runs. Results
+/// aggregate into one JSON report with per-trace rows and fleet totals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_TRACE_BATCHREPLAY_H
+#define AVC_TRACE_BATCHREPLAY_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/SiteClass.h"
+#include "checker/ToolOptions.h"
+#include "dpst/DpstQueryIndex.h"
+#include "instrument/ToolContext.h"
+#include "support/JsonReport.h"
+
+namespace avc {
+
+/// Configuration of one batch run.
+struct BatchOptions {
+  ToolKind Tool = ToolKind::Atomicity;
+  QueryMode Query = QueryMode::Label;
+  PreanalysisMode Preanalysis = PreanalysisMode::Off;
+  uint32_t PreanalysisWarmup = DefaultPreanalysisWarmup;
+  bool CacheEnabled = true;
+  unsigned CacheSlots = DefaultAccessCacheSlots;
+  /// Worker threads replaying traces (0 = hardware concurrency). Each
+  /// trace is checked by exactly one worker; workers never share tool
+  /// state.
+  unsigned NumWorkers = 1;
+};
+
+/// Outcome of checking one trace.
+struct BatchTraceResult {
+  std::string Path;
+  uint64_t NumEvents = 0;
+  uint64_t NumViolations = 0;
+  double WallMs = 0;
+  std::string Error; ///< non-empty when the file failed to load or parse
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Aggregated outcome of a batch run.
+struct BatchResult {
+  std::vector<BatchTraceResult> Traces;
+  double WallMs = 0;        ///< end-to-end batch wall time
+  uint64_t NumFailed = 0;   ///< traces that failed to load/parse
+  uint64_t NumFlagged = 0;  ///< traces with at least one violation
+  uint64_t TotalEvents = 0; ///< events across successfully checked traces
+  uint64_t TotalViolations = 0;
+
+  /// Process exit code: 2 if any trace failed to load, 1 if any violation
+  /// was found, 0 otherwise.
+  int exitCode() const {
+    return NumFailed ? 2 : (TotalViolations ? 1 : 0);
+  }
+};
+
+/// Checks every trace in \p Paths under \p Opts. Order of Traces in the
+/// result matches \p Paths regardless of worker scheduling.
+BatchResult runBatch(const std::vector<std::string> &Paths,
+                     const BatchOptions &Opts);
+
+/// Fills \p Report with the batch meta block (tool, worker count, fleet
+/// totals) and one row per trace.
+void batchToJson(const BatchResult &Result, const BatchOptions &Opts,
+                 JsonReport &Report);
+
+} // namespace avc
+
+#endif // AVC_TRACE_BATCHREPLAY_H

@@ -1,0 +1,496 @@
+//===- trace/TraceCodec.cpp - Compact binary trace format ------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceCodec.h"
+
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+#include "runtime/TaskRuntime.h"
+#include "trace/TraceIO.h"
+
+using namespace avc;
+
+namespace {
+
+constexpr char FileMagic[8] = {'A', 'V', 'C', 'T', 'R', 'A', 'C', 'E'};
+constexpr uint32_t FormatVersion = 1;
+constexpr uint32_t TrailerMagic = 0x54435641; // "AVCT" little-endian
+constexpr size_t HeaderBytes = 16;            // magic + version + flags
+constexpr size_t BlockHeaderBytes = 8;        // payloadBytes + numEvents
+constexpr size_t IndexEntryBytes = 16;        // offset + payloadBytes + events
+constexpr size_t TrailerBytes = 24;           // indexOffset+events+blocks+magic
+
+/// Decoder sanity bound on varint-decoded task ids: dense runtime ids never
+/// get near it, and it keeps a corrupted varint from ballooning the
+/// per-task state tables.
+constexpr uint64_t MaxTaskId = 1u << 28;
+
+//===----------------------------------------------------------------------===//
+// Little-endian scalar IO and varints
+//===----------------------------------------------------------------------===//
+
+void putU32(std::string &Out, uint32_t V) {
+  char Buf[4];
+  for (int I = 0; I < 4; ++I)
+    Buf[I] = char((V >> (8 * I)) & 0xff);
+  Out.append(Buf, 4);
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  char Buf[8];
+  for (int I = 0; I < 8; ++I)
+    Buf[I] = char((V >> (8 * I)) & 0xff);
+  Out.append(Buf, 8);
+}
+
+uint32_t getU32(const char *P) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= uint32_t(uint8_t(P[I])) << (8 * I);
+  return V;
+}
+
+uint64_t getU64(const char *P) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= uint64_t(uint8_t(P[I])) << (8 * I);
+  return V;
+}
+
+void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(char(uint8_t(V) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(char(uint8_t(V)));
+}
+
+uint64_t zigzag(int64_t V) {
+  return (uint64_t(V) << 1) ^ uint64_t(V >> 63);
+}
+
+int64_t unzigzag(uint64_t V) {
+  return int64_t(V >> 1) ^ -int64_t(V & 1);
+}
+
+/// Reads one LEB128 varint from [P, End). Returns false on truncation or a
+/// varint that does not fit (or does not terminate within) 64 bits.
+bool getVarint(const uint8_t *&P, const uint8_t *End, uint64_t &Out) {
+  uint64_t V = 0;
+  unsigned Shift = 0;
+  while (P != End) {
+    uint8_t Byte = *P++;
+    if (Shift == 63 && (Byte & 0x7e))
+      return false; // bits beyond 2^64: wild varint
+    if (Shift >= 64)
+      return false;
+    V |= uint64_t(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80)) {
+      Out = V;
+      return true;
+    }
+    Shift += 7;
+  }
+  return false; // truncated inside a varint
+}
+
+//===----------------------------------------------------------------------===//
+// Per-block delta state
+//===----------------------------------------------------------------------===//
+
+/// Tag-byte layout.
+enum : uint8_t {
+  TagKindMask = 0x0f,
+  TagSameTask = 0x10,
+  /// Read/Write: the address equals the task's previous address.
+  /// Acquire/Release: the lock equals the task's previous lock.
+  TagZeroDelta = 0x20,
+  /// TaskSpawn: the child id is exactly previous-child + 1.
+  TagChildIsNext = 0x20,
+  /// TaskSpawn: the group is the implicit (0) group.
+  TagGroupZero = 0x40,
+};
+
+struct PerTaskState {
+  uint64_t LastAddr = 0;
+  uint64_t LastLock = 0;
+};
+
+/// Delta context, reset at every block boundary. Task-indexed state lives
+/// in a flat vector for the dense ids the runtime assigns, with a map
+/// fallback so a hostile file cannot force a huge allocation.
+struct BlockState {
+  static constexpr size_t FlatTasks = 1u << 16;
+
+  uint32_t PrevTask = 0;
+  uint64_t LastSpawnChild = 0;
+  std::vector<PerTaskState> Flat;
+  std::unordered_map<uint32_t, PerTaskState> Sparse;
+
+  PerTaskState &taskState(uint32_t Task) {
+    if (Task < FlatTasks) {
+      if (Task >= Flat.size())
+        Flat.resize(size_t(Task) + 1);
+      return Flat[Task];
+    }
+    return Sparse[Task];
+  }
+
+  void reset() {
+    PrevTask = 0;
+    LastSpawnChild = 0;
+    Flat.clear();
+    Sparse.clear();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Event encode/decode
+//===----------------------------------------------------------------------===//
+
+void encodeEvent(std::string &Out, const TraceEvent &E, BlockState &S) {
+  uint8_t Tag = uint8_t(E.Kind);
+  assert((Tag & ~TagKindMask) == 0 && "kind must fit the tag nibble");
+  bool SameTask = E.Task == S.PrevTask;
+  if (SameTask)
+    Tag |= TagSameTask;
+
+  switch (E.Kind) {
+  case TraceEventKind::Read:
+  case TraceEventKind::Write:
+  case TraceEventKind::LockAcquire:
+  case TraceEventKind::LockRelease: {
+    PerTaskState &T = S.taskState(E.Task);
+    bool IsAccess = E.Kind == TraceEventKind::Read ||
+                    E.Kind == TraceEventKind::Write;
+    uint64_t &Last = IsAccess ? T.LastAddr : T.LastLock;
+    int64_t Delta = int64_t(E.Arg1 - Last);
+    if (Delta == 0)
+      Tag |= TagZeroDelta;
+    Out.push_back(char(Tag));
+    if (!SameTask)
+      putVarint(Out, zigzag(int64_t(E.Task) - int64_t(S.PrevTask)));
+    if (Delta != 0)
+      putVarint(Out, zigzag(Delta));
+    Last = E.Arg1;
+    break;
+  }
+  case TraceEventKind::TaskSpawn: {
+    uint64_t ExpectedChild = S.LastSpawnChild + 1;
+    if (E.Arg1 == ExpectedChild)
+      Tag |= TagChildIsNext;
+    if (E.Arg2 == 0)
+      Tag |= TagGroupZero;
+    Out.push_back(char(Tag));
+    if (!SameTask)
+      putVarint(Out, zigzag(int64_t(E.Task) - int64_t(S.PrevTask)));
+    if (E.Arg1 != ExpectedChild)
+      putVarint(Out, zigzag(int64_t(E.Arg1) - int64_t(ExpectedChild)));
+    if (E.Arg2 != 0)
+      putVarint(Out, E.Arg2);
+    S.LastSpawnChild = E.Arg1;
+    break;
+  }
+  case TraceEventKind::GroupWait:
+    Out.push_back(char(Tag));
+    if (!SameTask)
+      putVarint(Out, zigzag(int64_t(E.Task) - int64_t(S.PrevTask)));
+    putVarint(Out, E.Arg1);
+    break;
+  case TraceEventKind::ProgramStart:
+  case TraceEventKind::ProgramEnd:
+  case TraceEventKind::TaskEnd:
+  case TraceEventKind::Sync:
+    Out.push_back(char(Tag));
+    if (!SameTask)
+      putVarint(Out, zigzag(int64_t(E.Task) - int64_t(S.PrevTask)));
+    break;
+  }
+  S.PrevTask = E.Task;
+}
+
+bool decodeEvent(const uint8_t *&P, const uint8_t *End, BlockState &S,
+                 TraceEvent &E, std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (P == End)
+    return Fail("truncated block: missing event tag");
+  uint8_t Tag = *P++;
+  uint8_t KindBits = Tag & TagKindMask;
+  if (KindBits > uint8_t(TraceEventKind::Write))
+    return Fail("corrupt event tag: unknown kind");
+  E.Kind = TraceEventKind(KindBits);
+  E.Arg1 = 0;
+  E.Arg2 = 0;
+
+  uint64_t Task = S.PrevTask;
+  if (!(Tag & TagSameTask)) {
+    uint64_t Raw;
+    if (!getVarint(P, End, Raw))
+      return Fail("truncated or wild varint in task delta");
+    Task = uint64_t(int64_t(S.PrevTask) + unzigzag(Raw));
+    if (Task >= MaxTaskId)
+      return Fail("corrupt event: task id out of range");
+  }
+  E.Task = TaskId(Task);
+
+  switch (E.Kind) {
+  case TraceEventKind::Read:
+  case TraceEventKind::Write:
+  case TraceEventKind::LockAcquire:
+  case TraceEventKind::LockRelease: {
+    PerTaskState &T = S.taskState(E.Task);
+    bool IsAccess = E.Kind == TraceEventKind::Read ||
+                    E.Kind == TraceEventKind::Write;
+    uint64_t &Last = IsAccess ? T.LastAddr : T.LastLock;
+    if (!(Tag & TagZeroDelta)) {
+      uint64_t Raw;
+      if (!getVarint(P, End, Raw))
+        return Fail("truncated or wild varint in operand delta");
+      Last += uint64_t(unzigzag(Raw));
+    }
+    E.Arg1 = Last;
+    break;
+  }
+  case TraceEventKind::TaskSpawn: {
+    uint64_t Child = S.LastSpawnChild + 1;
+    if (!(Tag & TagChildIsNext)) {
+      uint64_t Raw;
+      if (!getVarint(P, End, Raw))
+        return Fail("truncated or wild varint in spawn child delta");
+      Child = uint64_t(int64_t(Child) + unzigzag(Raw));
+    }
+    if (Child >= MaxTaskId)
+      return Fail("corrupt spawn: child id out of range");
+    E.Arg1 = Child;
+    S.LastSpawnChild = Child;
+    if (!(Tag & TagGroupZero)) {
+      if (!getVarint(P, End, E.Arg2))
+        return Fail("truncated or wild varint in spawn group");
+    }
+    break;
+  }
+  case TraceEventKind::GroupWait:
+    if (!getVarint(P, End, E.Arg1))
+      return Fail("truncated or wild varint in wait group");
+    break;
+  case TraceEventKind::ProgramStart:
+  case TraceEventKind::ProgramEnd:
+  case TraceEventKind::TaskEnd:
+  case TraceEventKind::Sync:
+    break;
+  }
+  S.PrevTask = E.Task;
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public API
+//===----------------------------------------------------------------------===//
+
+bool avc::isBinaryTrace(std::string_view Bytes) {
+  return Bytes.size() >= sizeof(FileMagic) &&
+         std::memcmp(Bytes.data(), FileMagic, sizeof(FileMagic)) == 0;
+}
+
+std::string avc::encodeTrace(const Trace &Events, uint32_t EventsPerBlock) {
+  if (EventsPerBlock == 0)
+    EventsPerBlock = 1;
+  std::string Out;
+  // Access events dominate and encode in 2-3 bytes.
+  Out.reserve(HeaderBytes + Events.size() * 3 + TrailerBytes);
+  Out.append(FileMagic, sizeof(FileMagic));
+  putU32(Out, FormatVersion);
+  putU32(Out, 0); // flags
+
+  std::vector<TraceBlockInfo> Blocks;
+  BlockState State;
+  std::string Payload;
+  for (size_t Begin = 0; Begin < Events.size(); Begin += EventsPerBlock) {
+    size_t N = std::min<size_t>(EventsPerBlock, Events.size() - Begin);
+    State.reset();
+    Payload.clear();
+    for (size_t I = 0; I < N; ++I)
+      encodeEvent(Payload, Events[Begin + I], State);
+    TraceBlockInfo Info;
+    Info.Offset = Out.size();
+    Info.PayloadBytes = uint32_t(Payload.size());
+    Info.NumEvents = uint32_t(N);
+    Info.FirstEvent = Begin;
+    Blocks.push_back(Info);
+    putU32(Out, Info.PayloadBytes);
+    putU32(Out, Info.NumEvents);
+    Out += Payload;
+  }
+
+  uint64_t IndexOffset = Out.size();
+  for (const TraceBlockInfo &Info : Blocks) {
+    putU64(Out, Info.Offset);
+    putU32(Out, Info.PayloadBytes);
+    putU32(Out, Info.NumEvents);
+  }
+  putU64(Out, IndexOffset);
+  putU64(Out, Events.size());
+  putU32(Out, uint32_t(Blocks.size()));
+  putU32(Out, TrailerMagic);
+  return Out;
+}
+
+std::optional<TraceFileInfo> avc::readTraceFileInfo(std::string_view Bytes,
+                                                    std::string *Error) {
+  auto Fail = [&](const char *Msg) -> std::optional<TraceFileInfo> {
+    if (Error)
+      *Error = Msg;
+    return std::nullopt;
+  };
+  if (!isBinaryTrace(Bytes))
+    return Fail("not a binary trace (bad magic)");
+  if (Bytes.size() < HeaderBytes + TrailerBytes)
+    return Fail("truncated file: missing trailer");
+  TraceFileInfo Info;
+  Info.Version = getU32(Bytes.data() + sizeof(FileMagic));
+  if (Info.Version != FormatVersion)
+    return Fail("unsupported format version");
+
+  const char *Trailer = Bytes.data() + Bytes.size() - TrailerBytes;
+  if (getU32(Trailer + 20) != TrailerMagic)
+    return Fail("truncated or corrupt file: bad trailer magic");
+  uint64_t IndexOffset = getU64(Trailer);
+  Info.TotalEvents = getU64(Trailer + 8);
+  uint64_t NumBlocks = getU32(Trailer + 16);
+
+  uint64_t IndexEnd = Bytes.size() - TrailerBytes;
+  if (IndexOffset < HeaderBytes || IndexOffset > IndexEnd ||
+      (IndexEnd - IndexOffset) != NumBlocks * IndexEntryBytes)
+    return Fail("corrupt trailer: index bounds do not match block count");
+
+  Info.Blocks.reserve(NumBlocks);
+  uint64_t ExpectedOffset = HeaderBytes;
+  uint64_t EventTally = 0;
+  for (uint64_t I = 0; I < NumBlocks; ++I) {
+    const char *Entry = Bytes.data() + IndexOffset + I * IndexEntryBytes;
+    TraceBlockInfo Block;
+    Block.Offset = getU64(Entry);
+    Block.PayloadBytes = getU32(Entry + 8);
+    Block.NumEvents = getU32(Entry + 12);
+    Block.FirstEvent = EventTally;
+    if (Block.Offset != ExpectedOffset)
+      return Fail("corrupt index: block offsets are not contiguous");
+    if (Block.Offset + BlockHeaderBytes + Block.PayloadBytes > IndexOffset)
+      return Fail("corrupt index: block extends past the index");
+    const char *Header = Bytes.data() + Block.Offset;
+    if (getU32(Header) != Block.PayloadBytes ||
+        getU32(Header + 4) != Block.NumEvents)
+      return Fail("corrupt block header: disagrees with the index");
+    ExpectedOffset = Block.Offset + BlockHeaderBytes + Block.PayloadBytes;
+    EventTally += Block.NumEvents;
+    Info.Blocks.push_back(Block);
+  }
+  if (ExpectedOffset != IndexOffset)
+    return Fail("corrupt file: gap between the last block and the index");
+  if (EventTally != Info.TotalEvents)
+    return Fail("corrupt trailer: event total disagrees with the blocks");
+  return Info;
+}
+
+bool avc::decodeTraceBlock(std::string_view Bytes,
+                           const TraceBlockInfo &Block, Trace &Out,
+                           std::string *Error) {
+  if (Block.Offset + BlockHeaderBytes + Block.PayloadBytes > Bytes.size()) {
+    if (Error)
+      *Error = "block out of file bounds";
+    return false;
+  }
+  const uint8_t *P = reinterpret_cast<const uint8_t *>(Bytes.data()) +
+                     Block.Offset + BlockHeaderBytes;
+  const uint8_t *End = P + Block.PayloadBytes;
+  BlockState State;
+  for (uint32_t I = 0; I < Block.NumEvents; ++I) {
+    TraceEvent E;
+    if (!decodeEvent(P, End, State, E, Error))
+      return false;
+    Out.push_back(E);
+  }
+  if (P != End) {
+    if (Error)
+      *Error = "corrupt block: payload bytes left over after all events";
+    return false;
+  }
+  return true;
+}
+
+std::optional<Trace> avc::decodeTrace(std::string_view Bytes,
+                                      std::string *Error) {
+  std::optional<TraceFileInfo> Info = readTraceFileInfo(Bytes, Error);
+  if (!Info)
+    return std::nullopt;
+  Trace Out;
+  Out.reserve(Info->TotalEvents);
+  for (const TraceBlockInfo &Block : Info->Blocks)
+    if (!decodeTraceBlock(Bytes, Block, Out, Error))
+      return std::nullopt;
+  return Out;
+}
+
+std::optional<Trace> avc::decodeTraceParallel(std::string_view Bytes,
+                                              unsigned NumThreads,
+                                              std::string *Error) {
+  std::optional<TraceFileInfo> Info = readTraceFileInfo(Bytes, Error);
+  if (!Info)
+    return std::nullopt;
+
+  // Decode every block into its final position: FirstEvent gives each
+  // worker a disjoint destination span, so no post-merge pass is needed.
+  Trace Out(Info->TotalEvents);
+  std::vector<std::string> BlockErrors(Info->Blocks.size());
+  std::vector<uint8_t> BlockOk(Info->Blocks.size(), 0);
+  TaskRuntime::Options RtOpts;
+  RtOpts.NumThreads = NumThreads;
+  TaskRuntime RT(RtOpts);
+  RT.run([&] {
+    for (size_t I = 0; I < Info->Blocks.size(); ++I) {
+      spawn([&, I] {
+        const TraceBlockInfo &Block = Info->Blocks[I];
+        Trace Decoded;
+        Decoded.reserve(Block.NumEvents);
+        if (decodeTraceBlock(Bytes, Block, Decoded, &BlockErrors[I])) {
+          std::copy(Decoded.begin(), Decoded.end(),
+                    Out.begin() + Block.FirstEvent);
+          BlockOk[I] = 1;
+        }
+      });
+    }
+  });
+  for (size_t I = 0; I < Info->Blocks.size(); ++I) {
+    if (!BlockOk[I]) {
+      if (Error)
+        *Error = BlockErrors[I];
+      return std::nullopt;
+    }
+  }
+  return Out;
+}
+
+std::optional<Trace> avc::parseTraceAuto(const std::string &Bytes,
+                                         std::string *Error) {
+  if (isBinaryTrace(Bytes))
+    return decodeTrace(Bytes, Error);
+  size_t ErrorLine = 0;
+  std::string ParseError;
+  std::optional<Trace> Events = traceFromText(Bytes, &ErrorLine, &ParseError);
+  if (!Events && Error) {
+    *Error = "line " + std::to_string(ErrorLine) + ": " +
+             (ParseError.empty() ? "malformed trace line" : ParseError);
+  }
+  return Events;
+}

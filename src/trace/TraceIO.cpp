@@ -6,10 +6,14 @@
 
 #include "trace/TraceIO.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cinttypes>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <sstream>
+#include <string_view>
 
 using namespace avc;
 
@@ -86,54 +90,163 @@ std::string avc::traceToText(const Trace &Events) {
   return Out;
 }
 
+namespace {
+
+/// Splits \p Line into whitespace-separated tokens.
+std::vector<std::string_view> tokenize(std::string_view Line) {
+  std::vector<std::string_view> Tokens;
+  size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+      ++I;
+    size_t Begin = I;
+    while (I < Line.size() && Line[I] != ' ' && Line[I] != '\t')
+      ++I;
+    if (I > Begin)
+      Tokens.push_back(Line.substr(Begin, I - Begin));
+  }
+  return Tokens;
+}
+
+/// Parses \p Token as an unsigned integer (decimal, or hex with an 0x
+/// prefix). Rejects empty/negative/non-numeric tokens, trailing junk, and
+/// values that overflow uint64_t, with a specific message in \p Error.
+/// Formats a parse-error message about \p Token into \p Error.
+/// (snprintf, not string concatenation: GCC 12's -Wrestrict misfires on
+/// literal-plus-string chains under -Werror.)
+void complain(std::string &Error, const char *Format,
+              std::string_view Token) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), Format, int(std::min<size_t>(64, Token.size())),
+                Token.data());
+  Error = Buf;
+}
+
+/// Parses \p Token as an unsigned integer (decimal, or hex with an 0x
+/// prefix). Rejects empty/negative/non-numeric tokens, trailing junk, and
+/// values that overflow uint64_t, with a specific message in \p Error.
+bool parseU64(std::string_view Token, uint64_t &Out, std::string &Error) {
+  std::string Buf(Token); // strtoull needs NUL termination
+  if (Buf.empty() || Buf[0] == '-' || Buf[0] == '+') {
+    complain(Error, "expected an unsigned integer, got '%.*s'", Token);
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Buf.c_str(), &End, 0);
+  if (errno == ERANGE) {
+    complain(Error, "integer '%.*s' overflows uint64_t", Token);
+    return false;
+  }
+  if (End != Buf.c_str() + Buf.size() || End == Buf.c_str()) {
+    complain(Error, "malformed integer '%.*s'", Token);
+    return false;
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
 std::optional<Trace> avc::traceFromText(const std::string &Text,
-                                        size_t *ErrorLine) {
+                                        size_t *ErrorLine,
+                                        std::string *Error) {
   Trace Events;
-  std::istringstream Stream(Text);
-  std::string Line;
   size_t LineNo = 0;
+  std::string Msg;
 
   auto Fail = [&]() -> std::optional<Trace> {
     if (ErrorLine)
       *ErrorLine = LineNo;
+    if (Error)
+      *Error = Msg;
     return std::nullopt;
   };
 
-  while (std::getline(Stream, Line)) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    // A final line without a newline is still a full line to parse: its
+    // errors must be reported like any other line's, not dropped.
+    std::string_view Line(Text.data() + Pos,
+                          (Eol == std::string::npos ? Text.size() : Eol) -
+                              Pos);
+    Pos = Eol == std::string::npos ? Text.size() : Eol + 1;
     ++LineNo;
-    if (Line.empty() || Line[0] == '#')
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+
+    std::vector<std::string_view> Tokens = tokenize(Line);
+    if (Tokens.empty() || Tokens[0][0] == '#')
       continue;
 
-    char Mnemonic[16] = {0};
-    unsigned Task = 0;
-    uint64_t Arg1 = 0, Arg2 = 0;
-    int Fields = std::sscanf(Line.c_str(), "%15s %u %" SCNi64 " %" SCNi64,
-                             Mnemonic, &Task, &Arg1, &Arg2);
+    std::string_view Mnemonic = Tokens[0];
     TraceEvent Event;
-    Event.Task = Task;
-    Event.Arg1 = Arg1;
-    Event.Arg2 = Arg2;
-    if (std::strcmp(Mnemonic, "start") == 0 && Fields >= 2)
+    Event.Task = 0;
+    Event.Arg1 = 0;
+    Event.Arg2 = 0;
+    bool HasTask = true;
+    size_t NumArgs; // operand fields after the task id
+    if (Mnemonic == "start") {
       Event.Kind = TraceEventKind::ProgramStart;
-    else if (std::strcmp(Mnemonic, "stop") == 0 && Fields >= 1)
+      NumArgs = 0;
+    } else if (Mnemonic == "stop") {
       Event.Kind = TraceEventKind::ProgramEnd;
-    else if (std::strcmp(Mnemonic, "spawn") == 0 && Fields >= 3)
+      HasTask = false;
+      NumArgs = 0;
+    } else if (Mnemonic == "spawn") {
       Event.Kind = TraceEventKind::TaskSpawn;
-    else if (std::strcmp(Mnemonic, "end") == 0 && Fields >= 2)
+      NumArgs = 2; // child and group; a groupless spawn is malformed
+    } else if (Mnemonic == "end") {
       Event.Kind = TraceEventKind::TaskEnd;
-    else if (std::strcmp(Mnemonic, "sync") == 0 && Fields >= 2)
+      NumArgs = 0;
+    } else if (Mnemonic == "sync") {
       Event.Kind = TraceEventKind::Sync;
-    else if (std::strcmp(Mnemonic, "wait") == 0 && Fields >= 3)
+      NumArgs = 0;
+    } else if (Mnemonic == "wait") {
       Event.Kind = TraceEventKind::GroupWait;
-    else if (std::strcmp(Mnemonic, "acq") == 0 && Fields >= 3)
+      NumArgs = 1;
+    } else if (Mnemonic == "acq") {
       Event.Kind = TraceEventKind::LockAcquire;
-    else if (std::strcmp(Mnemonic, "rel") == 0 && Fields >= 3)
+      NumArgs = 1;
+    } else if (Mnemonic == "rel") {
       Event.Kind = TraceEventKind::LockRelease;
-    else if (std::strcmp(Mnemonic, "rd") == 0 && Fields >= 3)
+      NumArgs = 1;
+    } else if (Mnemonic == "rd") {
       Event.Kind = TraceEventKind::Read;
-    else if (std::strcmp(Mnemonic, "wr") == 0 && Fields >= 3)
+      NumArgs = 1;
+    } else if (Mnemonic == "wr") {
       Event.Kind = TraceEventKind::Write;
-    else
+      NumArgs = 1;
+    } else {
+      complain(Msg, "unknown mnemonic '%.*s'", Mnemonic);
+      return Fail();
+    }
+
+    size_t Expected = 1 + (HasTask ? 1 : 0) + NumArgs;
+    if (Tokens.size() != Expected) {
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf),
+                    "'%.*s' takes %zu field(s), got %zu",
+                    int(Mnemonic.size()), Mnemonic.data(), Expected - 1,
+                    Tokens.size() - 1);
+      Msg = Buf;
+      return Fail();
+    }
+
+    if (HasTask) {
+      uint64_t Task;
+      if (!parseU64(Tokens[1], Task, Msg))
+        return Fail();
+      if (Task > UINT32_MAX) {
+        complain(Msg, "task id '%.*s' overflows uint32_t", Tokens[1]);
+        return Fail();
+      }
+      Event.Task = TaskId(Task);
+    }
+    if (NumArgs >= 1 && !parseU64(Tokens[2], Event.Arg1, Msg))
+      return Fail();
+    if (NumArgs >= 2 && !parseU64(Tokens[3], Event.Arg2, Msg))
       return Fail();
     Events.push_back(Event);
   }

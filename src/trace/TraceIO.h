@@ -37,10 +37,15 @@ namespace avc {
 /// Serializes \p Events to the text format.
 std::string traceToText(const Trace &Events);
 
-/// Parses the text format. Returns std::nullopt and sets \p ErrorLine (when
-/// non-null, 1-based) on malformed input.
+/// Parses the text format strictly: every line must carry exactly the
+/// fields its mnemonic requires (a `spawn` without a group is an error, as
+/// is trailing junk), integers must fit — task ids in uint32_t, operands in
+/// uint64_t — and truncated final lines are rejected like any other
+/// malformed line. Returns std::nullopt on malformed input, setting
+/// \p ErrorLine (1-based) and \p Error (what was wrong) when non-null.
 std::optional<Trace> traceFromText(const std::string &Text,
-                                   size_t *ErrorLine = nullptr);
+                                   size_t *ErrorLine = nullptr,
+                                   std::string *Error = nullptr);
 
 } // namespace avc
 

@@ -6,23 +6,93 @@
 
 #include "trace/TraceRecorder.h"
 
+#include <algorithm>
+#include <cassert>
 #include <mutex>
 
 using namespace avc;
 
+namespace {
+
+std::atomic<uint64_t> NextRecorderId{1};
+
+/// Per-thread pointer to the calling thread's buffer in one recorder.
+/// Cached by recorder id, not pointer: ids are never reused, so a recorder
+/// allocated at a dead recorder's address misses and re-resolves.
+struct BufCache {
+  uint64_t RecorderId = 0;
+  void *Buf = nullptr;
+};
+thread_local BufCache LocalCache;
+
+} // namespace
+
+TraceRecorder::TraceRecorder()
+    : RecorderId(NextRecorderId.fetch_add(1, std::memory_order_relaxed)) {}
+
 TraceRecorder::~TraceRecorder() = default;
 
+TraceRecorder::WorkerBuf &TraceRecorder::localBuf() {
+  if (LocalCache.RecorderId == RecorderId)
+    return *static_cast<WorkerBuf *>(LocalCache.Buf);
+  // First event from this thread (or the cache points at another
+  // recorder): resolve through the registry. Once per thread per
+  // recorder in the common case.
+  std::lock_guard<SpinLock> Guard(BufLock);
+  std::thread::id Self = std::this_thread::get_id();
+  WorkerBuf *Buf = nullptr;
+  for (std::unique_ptr<WorkerBuf> &B : Bufs)
+    if (B->Owner == Self) {
+      Buf = B.get();
+      break;
+    }
+  if (!Buf) {
+    Bufs.push_back(std::make_unique<WorkerBuf>());
+    Buf = Bufs.back().get();
+    Buf->Owner = Self;
+  }
+  LocalCache = {RecorderId, Buf};
+  return *Buf;
+}
+
+void TraceRecorder::startRun(WorkerBuf &B, uint64_t Key) {
+  uint64_t N = B.PublishedEvents.load(std::memory_order_relaxed);
+  if (!B.Runs.empty() && B.Runs.back().Begin == N) {
+    // The previous run never received an event; reuse it. Keys only grow
+    // within a buffer, so overwriting keeps them monotone.
+    B.Runs.back().Key = Key;
+    return;
+  }
+  B.Runs.push_back({Key, N});
+  B.PublishedRuns.store(B.Runs.size(), std::memory_order_release);
+}
+
 void TraceRecorder::append(TraceEvent Event) {
-  std::lock_guard<SpinLock> Guard(Lock);
-  Events.push_back(Event);
+  WorkerBuf &B = localBuf();
+  if (B.Runs.empty()) {
+    // No sync-class event on this thread yet (possible for helper threads
+    // that only ever see reads): open a run at the current global key.
+    startRun(B, Seq.load(std::memory_order_acquire));
+  }
+  uint64_t N = B.PublishedEvents.load(std::memory_order_relaxed);
+  size_t Chunk = N / EventChunk::Capacity;
+  if (Chunk == B.Chunks.size())
+    B.Chunks.push_back(std::make_unique<EventChunk>());
+  B.Chunks[Chunk]->Events[N % EventChunk::Capacity] = Event;
+  B.PublishedEvents.store(N + 1, std::memory_order_release);
+}
+
+void TraceRecorder::appendKeyed(uint64_t Key, TraceEvent Event) {
+  startRun(localBuf(), Key);
+  append(Event);
 }
 
 uint64_t TraceRecorder::groupIdFor(const void *GroupTag) {
   if (!GroupTag)
     return 0;
-  // Called with Lock *not* held; group ids are only created on spawn and
-  // wait events, which are rare next to accesses.
-  std::lock_guard<SpinLock> Guard(Lock);
+  // Group ids are only created on spawn and wait events, which are rare
+  // next to accesses; a dedicated lock keeps them off the append path.
+  std::lock_guard<SpinLock> Guard(GroupLock);
   auto [It, Inserted] = GroupIds.try_emplace(GroupTag, NextGroupId);
   if (Inserted)
     ++NextGroupId;
@@ -30,38 +100,51 @@ uint64_t TraceRecorder::groupIdFor(const void *GroupTag) {
 }
 
 void TraceRecorder::onProgramStart(TaskId RootTask) {
-  append({TraceEventKind::ProgramStart, RootTask, 0, 0});
-}
-
-void TraceRecorder::onProgramEnd() {
-  append({TraceEventKind::ProgramEnd, 0, 0, 0});
+  // Key 0: sorts before every sampled or incremented key (Seq starts at 1).
+  appendKeyed(0, {TraceEventKind::ProgramStart, RootTask, 0, 0});
 }
 
 void TraceRecorder::onTaskSpawn(TaskId Parent, const void *GroupTag,
                                 TaskId Child) {
   uint64_t Group = groupIdFor(GroupTag);
-  append({TraceEventKind::TaskSpawn, Parent, Child, Group});
+  // The pre-increment value keys this run; the child's execute-begin
+  // sample is ordered after this increment by the runtime's deque
+  // publish/steal synchronization, so it reads a strictly greater key.
+  uint64_t Key = Seq.fetch_add(1, std::memory_order_acq_rel);
+  appendKeyed(Key, {TraceEventKind::TaskSpawn, Parent, Child, Group});
+}
+
+void TraceRecorder::onTaskExecuteBegin(TaskId) {
+  // Sample, don't increment: beginning execution creates no new
+  // happens-before edge beyond the spawn's, it only moves the task's
+  // upcoming events onto this worker's buffer.
+  startRun(localBuf(), Seq.load(std::memory_order_acquire));
 }
 
 void TraceRecorder::onTaskEnd(TaskId Task) {
-  append({TraceEventKind::TaskEnd, Task, 0, 0});
+  uint64_t Key = Seq.fetch_add(1, std::memory_order_acq_rel);
+  appendKeyed(Key, {TraceEventKind::TaskEnd, Task, 0, 0});
 }
 
 void TraceRecorder::onSync(TaskId Task) {
-  append({TraceEventKind::Sync, Task, 0, 0});
+  uint64_t Key = Seq.fetch_add(1, std::memory_order_acq_rel);
+  appendKeyed(Key, {TraceEventKind::Sync, Task, 0, 0});
 }
 
 void TraceRecorder::onGroupWait(TaskId Task, const void *GroupTag) {
   uint64_t Group = groupIdFor(GroupTag);
-  append({TraceEventKind::GroupWait, Task, Group, 0});
+  uint64_t Key = Seq.fetch_add(1, std::memory_order_acq_rel);
+  appendKeyed(Key, {TraceEventKind::GroupWait, Task, Group, 0});
 }
 
 void TraceRecorder::onLockAcquire(TaskId Task, LockId Lock) {
-  append({TraceEventKind::LockAcquire, Task, Lock, 0});
+  uint64_t Key = Seq.fetch_add(1, std::memory_order_acq_rel);
+  appendKeyed(Key, {TraceEventKind::LockAcquire, Task, Lock, 0});
 }
 
 void TraceRecorder::onLockRelease(TaskId Task, LockId Lock) {
-  append({TraceEventKind::LockRelease, Task, Lock, 0});
+  uint64_t Key = Seq.fetch_add(1, std::memory_order_acq_rel);
+  appendKeyed(Key, {TraceEventKind::LockRelease, Task, Lock, 0});
 }
 
 void TraceRecorder::onRead(TaskId Task, MemAddr Addr) {
@@ -70,4 +153,67 @@ void TraceRecorder::onRead(TaskId Task, MemAddr Addr) {
 
 void TraceRecorder::onWrite(TaskId Task, MemAddr Addr) {
   append({TraceEventKind::Write, Task, Addr, 0});
+}
+
+void TraceRecorder::onProgramEnd() {
+  // UINT64_MAX: sorts after every other run, and onProgramEnd fires only
+  // after every task has completed, so nothing can follow it.
+  appendKeyed(UINT64_MAX, {TraceEventKind::ProgramEnd, 0, 0, 0});
+  mergeBuffers();
+}
+
+void TraceRecorder::mergeBuffers() {
+  struct MergeRun {
+    uint64_t Key;
+    uint32_t BufIdx;
+    uint32_t RunIdx;
+    uint64_t Begin;
+    uint64_t End;
+  };
+
+  // Snapshot under the registry lock; the acquire loads of the published
+  // counts order all of each owner's plain stores before our reads.
+  std::lock_guard<SpinLock> Guard(BufLock);
+  std::vector<MergeRun> Order;
+  uint64_t Total = 0;
+  for (size_t BufIdx = 0; BufIdx < Bufs.size(); ++BufIdx) {
+    WorkerBuf &B = *Bufs[BufIdx];
+    uint64_t NumRuns = B.PublishedRuns.load(std::memory_order_acquire);
+    uint64_t NumEvents = B.PublishedEvents.load(std::memory_order_acquire);
+    Total += NumEvents;
+    for (uint64_t R = 0; R < NumRuns; ++R) {
+      uint64_t End = R + 1 < NumRuns ? B.Runs[R + 1].Begin : NumEvents;
+      Order.push_back({B.Runs[R].Key, uint32_t(BufIdx), uint32_t(R),
+                       B.Runs[R].Begin, End});
+    }
+  }
+
+  // Keys are monotone within a buffer, so (Key, BufIdx, RunIdx) keeps each
+  // buffer's runs in recorded order; cross-buffer ties carry no
+  // happens-before edge and may break either way.
+  std::sort(Order.begin(), Order.end(),
+            [](const MergeRun &A, const MergeRun &B) {
+              return std::tie(A.Key, A.BufIdx, A.RunIdx) <
+                     std::tie(B.Key, B.BufIdx, B.RunIdx);
+            });
+
+  Events.clear();
+  Events.reserve(Total);
+  Stats = TraceRecorderStats();
+  Stats.NumWorkerBuffers = Bufs.size();
+  Stats.NumRuns = Order.size();
+  uint32_t PrevBuf = UINT32_MAX;
+  for (const MergeRun &Run : Order) {
+    if (Run.Begin == Run.End)
+      continue;
+    if (PrevBuf != UINT32_MAX && Run.BufIdx != PrevBuf)
+      ++Stats.NumContendedMerges;
+    PrevBuf = Run.BufIdx;
+    WorkerBuf &B = *Bufs[Run.BufIdx];
+    for (uint64_t I = Run.Begin; I < Run.End; ++I)
+      Events.push_back(
+          B.Chunks[I / EventChunk::Capacity]
+              ->Events[I % EventChunk::Capacity]);
+  }
+  Stats.NumEvents = Events.size();
 }

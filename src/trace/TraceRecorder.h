@@ -5,17 +5,40 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// An ExecutionObserver that appends every event to a trace. The recorder
-/// serializes concurrent events with a lock, producing one valid
-/// linearization of the run (per-task order is preserved, which is all the
-/// checkers require).
+/// An ExecutionObserver that records the event stream of a run without a
+/// global lock. Each worker thread appends to its own chunked buffer with
+/// plain stores and a release-published event count (the src/obs ring
+/// discipline); buffers are carved into *runs* keyed by a global sequence
+/// counter that is bumped only at synchronization-class events. At program
+/// end the runs are merged by key into one trace that is a valid
+/// linearization of the execution (see DESIGN.md §12 for the argument):
+///
+///  - A sync-class event (start, spawn, end, sync, wait, acq, rel) starts a
+///    new run keyed with the counter's pre-increment value, so any event
+///    that happens-after it observes a strictly greater counter.
+///  - A task starting to execute on a worker starts a new run keyed with a
+///    sampled (not incremented) counter value; the sample is ordered after
+///    the spawn's increment by the runtime's own publish/steal
+///    synchronization, so a child's events always merge after its spawn.
+///  - Keys are non-decreasing within a buffer, and ties across buffers
+///    carry no happens-before edge, so sorting runs by (key, buffer, run)
+///    and concatenating yields a linearization that preserves every task's
+///    program order, spawn-before-child, end-before-wait-return, and lock
+///    exclusion.
+///
+/// Single-worker runs never contend on anything: the merge is a single
+/// buffer walk and stats().NumContendedMerges == 0 proves it.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef AVC_TRACE_TRACERECORDER_H
 #define AVC_TRACE_TRACERECORDER_H
 
+#include <atomic>
+#include <memory>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "runtime/ExecutionObserver.h"
 #include "support/SpinLock.h"
@@ -23,15 +46,28 @@
 
 namespace avc {
 
+/// Counters describing a recording; valid after onProgramEnd.
+struct TraceRecorderStats {
+  uint64_t NumEvents = 0;        ///< events in the merged trace
+  uint64_t NumWorkerBuffers = 0; ///< distinct threads that recorded
+  uint64_t NumRuns = 0;          ///< key-delimited spans across all buffers
+  /// Buffer switches between adjacent runs of the merged order — the
+  /// number of times the merge had to interleave two workers' streams.
+  /// Zero in single-worker runs (the lock-free fast path never pays for
+  /// concurrency it does not have).
+  uint64_t NumContendedMerges = 0;
+};
+
 /// Records the event stream of a run.
 class TraceRecorder : public ExecutionObserver {
 public:
-  TraceRecorder() = default;
+  TraceRecorder();
   ~TraceRecorder() override;
 
   void onProgramStart(TaskId RootTask) override;
   void onProgramEnd() override;
   void onTaskSpawn(TaskId Parent, const void *GroupTag, TaskId Child) override;
+  void onTaskExecuteBegin(TaskId Task) override;
   void onTaskEnd(TaskId Task) override;
   void onSync(TaskId Task) override;
   void onGroupWait(TaskId Task, const void *GroupTag) override;
@@ -40,15 +76,60 @@ public:
   void onRead(TaskId Task, MemAddr Addr) override;
   void onWrite(TaskId Task, MemAddr Addr) override;
 
-  /// The recorded trace (valid once the run has finished).
+  /// The merged trace (valid once the run has finished).
   const Trace &trace() const { return Events; }
 
-private:
-  void append(TraceEvent Event);
-  uint64_t groupIdFor(const void *GroupTag);
+  /// Recording counters (valid once the run has finished).
+  const TraceRecorderStats &stats() const { return Stats; }
 
-  SpinLock Lock;
-  Trace Events;
+private:
+  /// Fixed-size chunk of one worker's event stream. The owner writes slots
+  /// with plain stores; readers only touch slots below the buffer's
+  /// release-published event count.
+  struct EventChunk {
+    static constexpr size_t Capacity = 8192;
+    TraceEvent Events[Capacity];
+  };
+
+  /// A key-delimited span of one buffer: events [Begin, next run's Begin).
+  struct Run {
+    uint64_t Key;
+    uint64_t Begin;
+  };
+
+  /// One thread's private event stream. Only the owning thread writes;
+  /// the merge reads after acquiring the published counts.
+  struct WorkerBuf {
+    std::thread::id Owner;
+    std::vector<std::unique_ptr<EventChunk>> Chunks;
+    std::vector<Run> Runs;
+    std::atomic<uint64_t> PublishedEvents{0};
+    std::atomic<uint64_t> PublishedRuns{0};
+  };
+
+  WorkerBuf &localBuf();
+  void startRun(WorkerBuf &B, uint64_t Key);
+  void append(TraceEvent Event);
+  void appendKeyed(uint64_t Key, TraceEvent Event);
+  uint64_t groupIdFor(const void *GroupTag);
+  void mergeBuffers();
+
+  /// Globally unique id of this recorder instance; keys the per-thread
+  /// buffer cache so a recorder reusing a dead one's address can never
+  /// inherit its buffers.
+  const uint64_t RecorderId;
+
+  /// Run-key source. Starts at 1: key 0 is reserved for ProgramStart and
+  /// UINT64_MAX for ProgramEnd, pinning them to the ends of the merge.
+  std::atomic<uint64_t> Seq{1};
+
+  SpinLock BufLock; ///< guards Bufs growth (once per thread)
+  std::vector<std::unique_ptr<WorkerBuf>> Bufs;
+
+  Trace Events; ///< merged linearization, materialized at program end
+  TraceRecorderStats Stats;
+
+  SpinLock GroupLock; ///< guards the group-id map (spawn/wait only)
   std::unordered_map<const void *, uint64_t> GroupIds;
   uint64_t NextGroupId = 1;
 };

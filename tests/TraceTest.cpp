@@ -226,6 +226,81 @@ TEST(TraceIO, MnemonicNames) {
   EXPECT_STREQ(traceEventKindName(TraceEventKind::ProgramEnd), "stop");
 }
 
+/// Parses \p Text expecting failure; returns the (line, message) pair.
+std::pair<size_t, std::string> expectParseError(const std::string &Text) {
+  size_t Line = 0;
+  std::string Msg;
+  std::optional<Trace> Parsed = traceFromText(Text, &Line, &Msg);
+  EXPECT_FALSE(Parsed.has_value()) << Text;
+  EXPECT_FALSE(Msg.empty()) << Text;
+  return {Line, Msg};
+}
+
+TEST(TraceIOHardening, Uint64OverflowRejected) {
+  // One digit past UINT64_MAX in decimal and in hex.
+  auto [Line, Msg] = expectParseError("start 0\nrd 1 18446744073709551616\n");
+  EXPECT_EQ(Line, 2u);
+  EXPECT_NE(Msg.find("overflow"), std::string::npos) << Msg;
+  expectParseError("start 0\nwr 1 0x1ffffffffffffffff\n");
+}
+
+TEST(TraceIOHardening, Uint64MaxAccepted) {
+  std::optional<Trace> Parsed =
+      traceFromText("start 0\nrd 1 0xffffffffffffffff\nstop\n");
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ((*Parsed)[1].Arg1, UINT64_MAX);
+}
+
+TEST(TraceIOHardening, TaskIdOverflowRejected) {
+  auto [Line, Msg] = expectParseError("end 4294967296\n");
+  EXPECT_EQ(Line, 1u);
+  EXPECT_NE(Msg.find("task id"), std::string::npos) << Msg;
+}
+
+TEST(TraceIOHardening, SpawnMissingGroupRejected) {
+  auto [Line, Msg] = expectParseError("start 0\nspawn 0 1\nstop\n");
+  EXPECT_EQ(Line, 2u);
+  EXPECT_NE(Msg.find("spawn"), std::string::npos) << Msg;
+  // A full spawn on the same line parses.
+  std::optional<Trace> Parsed = traceFromText("start 0\nspawn 0 1 2\nstop\n");
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ((*Parsed)[1].Arg1, 1u);
+  EXPECT_EQ((*Parsed)[1].Arg2, 2u);
+}
+
+TEST(TraceIOHardening, FieldCountMismatchRejected) {
+  expectParseError("rd 1\n");          // missing address
+  expectParseError("rd 1 0x10 9\n");   // trailing field
+  expectParseError("stop 3\n");        // stop takes no fields
+  expectParseError("wait 1\n");        // missing group id
+}
+
+TEST(TraceIOHardening, NonNumericTokensRejected) {
+  expectParseError("rd one 0x10\n");
+  expectParseError("rd 1 -5\n");      // negative
+  expectParseError("rd 1 +5\n");      // explicit sign
+  expectParseError("rd 1 0x10zz\n");  // trailing junk inside a token
+  expectParseError("rd 1 0x\n");      // bare hex prefix
+}
+
+TEST(TraceIOHardening, TruncatedFinalLineReported) {
+  // No trailing newline: the dangling final line must still be parsed and
+  // its error attributed to the right line number.
+  auto [Line, Msg] = expectParseError("start 0\nrd 1");
+  EXPECT_EQ(Line, 2u);
+  EXPECT_NE(Msg.find("field"), std::string::npos) << Msg;
+  // And a *well-formed* final line without a newline is accepted.
+  std::optional<Trace> Parsed = traceFromText("start 0\nstop");
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->size(), 2u);
+}
+
+TEST(TraceIOHardening, CarriageReturnsTolerated) {
+  std::optional<Trace> Parsed = traceFromText("start 0\r\nrd 1 0x10\r\nstop\r\n");
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->size(), 3u);
+}
+
 //===----------------------------------------------------------------------===//
 // Record a live run, replay it offline: verdicts must match.
 //===----------------------------------------------------------------------===//

@@ -23,6 +23,8 @@
 #include "checker/DeterminismChecker.h"
 #include "checker/RaceDetector.h"
 #include "checker/Velodrome.h"
+#include "trace/TraceCodec.h"
+#include "trace/TraceIO.h"
 
 using namespace avc;
 using namespace avc::suite;
@@ -114,6 +116,36 @@ void checkPreanalysisParity(const Scenario &S, const char *ToolName) {
   }
 }
 
+/// Replays already-parsed \p Events through a fresh \p ToolT.
+template <typename ToolT>
+std::set<MemAddr> replayEventsFindings(const Scenario &S,
+                                       const Trace &Events) {
+  typename ToolT::Options Opts;
+  ToolT Tool(Opts);
+  registerGroup(Tool, S);
+  replayTrace(Events, Tool);
+  return findingAddrs(Tool);
+}
+
+/// Serialization must not change verdicts: the scenario's trace pushed
+/// through the text writer/parser and through the binary codec must yield
+/// the same violation set as the in-memory trace for every tool.
+template <typename ToolT>
+void checkCodecParity(const Scenario &S, const char *ToolName) {
+  Trace Events = S.Build().finish();
+  std::set<MemAddr> Direct = replayEventsFindings<ToolT>(S, Events);
+
+  std::optional<Trace> FromText = traceFromText(traceToText(Events));
+  ASSERT_TRUE(FromText.has_value()) << S.Name;
+  EXPECT_EQ(replayEventsFindings<ToolT>(S, *FromText), Direct)
+      << S.Name << " with " << ToolName << " via text round-trip";
+
+  std::optional<Trace> FromBinary = decodeTrace(encodeTrace(Events));
+  ASSERT_TRUE(FromBinary.has_value()) << S.Name;
+  EXPECT_EQ(replayEventsFindings<ToolT>(S, *FromBinary), Direct)
+      << S.Name << " with " << ToolName << " via binary round-trip";
+}
+
 void runScenario(const Scenario &S) {
   TraceBuilder T = S.Build();
 
@@ -165,6 +197,14 @@ void runScenario(const Scenario &S) {
   checkPreanalysisParity<RaceDetector>(S, "race");
   checkPreanalysisParity<DeterminismChecker>(S, "determinism");
   checkPreanalysisParity<VelodromeChecker>(S, "velodrome");
+
+  // And the stored forms — text and compact binary — must replay to the
+  // same verdicts as the in-memory trace for all five tools.
+  checkCodecParity<AtomicityChecker>(S, "atomicity");
+  checkCodecParity<BasicChecker>(S, "basic");
+  checkCodecParity<RaceDetector>(S, "race");
+  checkCodecParity<DeterminismChecker>(S, "determinism");
+  checkCodecParity<VelodromeChecker>(S, "velodrome");
 }
 
 TEST_P(ViolationSuite, DetectedByAllCheckers) { runScenario(GetParam()); }

@@ -19,6 +19,12 @@ like the fig13_threads scaling gate (8-worker overhead within 1.5x of
     bench_compare.py BENCH_fig13_threads.json \
         --key scaling_t8_over_t1 --max-value 1.5
 
+or a floor for throughput-style metrics, like the binary trace decode
+rate gate:
+
+    bench_compare.py BENCH_trace_scale.json \
+        --key decode_events_per_sec --min-value 10000000
+
 A third mode compares two meta keys within one report -- used by the site
 pre-analysis gate, which must never make the checker slower than running
 with the gate off (with a small noise margin):
@@ -58,6 +64,9 @@ def main():
     parser.add_argument("--max-value", type=float, default=None,
                         help="absolute bound: check meta.KEY of the single "
                              "given report instead of comparing two reports")
+    parser.add_argument("--min-value", type=float, default=None,
+                        help="absolute floor: fail if meta.KEY of the single "
+                             "given report is below this value")
     parser.add_argument("--not-above-key", default=None,
                         help="key-vs-key bound: fail if meta.KEY of the "
                              "single given report exceeds this other meta "
@@ -86,19 +95,27 @@ def main():
             return 1
         print("OK")
         return 0
-    if args.max_value is not None:
+    if args.max_value is not None or args.min_value is not None:
         if args.fresh is not None:
-            parser.error("--max-value takes a single report")
+            parser.error("--max-value/--min-value take a single report")
         value = load_metric(args.baseline, args.key)
-        print(f"{args.key}: {value:.4g} (bound {args.max_value:.4g})")
-        if value > args.max_value:
-            print(f"FAIL: {args.key} exceeds the absolute bound",
-                  file=sys.stderr)
-            return 1
+        if args.max_value is not None:
+            print(f"{args.key}: {value:.4g} (bound {args.max_value:.4g})")
+            if value > args.max_value:
+                print(f"FAIL: {args.key} exceeds the absolute bound",
+                      file=sys.stderr)
+                return 1
+        if args.min_value is not None:
+            print(f"{args.key}: {value:.4g} (floor {args.min_value:.4g})")
+            if value < args.min_value:
+                print(f"FAIL: {args.key} is below the absolute floor",
+                      file=sys.stderr)
+                return 1
         print("OK")
         return 0
     if args.fresh is None:
-        parser.error("two reports required unless --max-value is given")
+        parser.error("two reports required unless --max-value or "
+                     "--min-value is given")
 
     baseline = load_metric(args.baseline, args.key)
     fresh = load_metric(args.fresh, args.key)

@@ -16,15 +16,24 @@
 //       print a generated program's trace (pipe into --trace=- later)
 //   taskcheck --tool=atomicity --trace=trace.txt --dot
 //       additionally dump the DPST as Graphviz
+//   taskcheck --tool=atomicity --workload=kmeans --trace-out=run.avctrace
+//       record the workload's event stream straight to a binary trace
+//   taskcheck convert in.txt out.avctrace
+//       convert between the text and binary trace formats (by sniffing)
+//   taskcheck batch --tool=race --workers=8 traces/ extra.avctrace
+//       check a fleet of stored traces in parallel, one JSON report
 //
 //===----------------------------------------------------------------------===//
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "checker/AtomicityChecker.h"
 #include "checker/BasicChecker.h"
@@ -37,8 +46,11 @@
 #include "support/ArgParse.h"
 #include "support/JsonReport.h"
 #include "support/Timing.h"
+#include "trace/BatchReplay.h"
+#include "trace/TraceCodec.h"
 #include "trace/TraceGenerator.h"
 #include "trace/TraceIO.h"
+#include "trace/TraceRecorder.h"
 #include "trace/TraceReplayer.h"
 #include "workloads/Workloads.h"
 
@@ -64,6 +76,8 @@ struct CliOptions {
   std::string JsonPath;
   /// Observability-trace destination (--profile=PATH, Perfetto-loadable).
   std::string ProfilePath;
+  /// Binary recording destination for workload runs (--trace-out=PATH).
+  std::string TraceOutPath;
   double Scale = 1.0;
   unsigned Threads = 1;
   uint64_t Seed = 1;
@@ -85,29 +99,22 @@ int usage(const char *Prog) {
       "           [--json=PATH]  write per-run counters as JSON\n"
       "           [--profile=PATH]  record a tracing session as a "
       "Perfetto-loadable Chrome trace\n"
-      "       %s --tool=<t> --trace=<file> [--dot]\n"
+      "           [--trace-out=PATH]  record the run as a binary trace\n"
+      "       %s --tool=<t> --trace=<file> [--dot]   (text or binary)\n"
       "       %s --generate [--seed=K] [--tasks=N] [--random-schedule]\n"
+      "       %s convert <in> <out>  [--block-events=N]\n"
+      "       %s batch --tool=<t> [--workers=N] [--json=PATH] "
+      "<dir|file>...\n"
       "tools: atomicity (default), basic, velodrome, race, determinism, "
       "none\n",
-      Prog, Prog, Prog, Prog);
+      Prog, Prog, Prog, Prog, Prog, Prog);
   return 2;
 }
 
-bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
-  ArgParser Parser;
-  Parser.stringOption("tool", Opts.Tool)
-      .stringOption("workload", Opts.Workload)
-      .stringOption("trace", Opts.TraceFile)
-      .doubleOption("scale", Opts.Scale)
-      .unsignedOption("threads", Opts.Threads)
-      .u64Option("seed", Opts.Seed)
-      .u32Option("tasks", Opts.Tasks)
-      .stringOption("json", Opts.JsonPath)
-      .stringOption("profile", Opts.ProfilePath)
-      .flag("list", Opts.List)
-      .flag("generate", Opts.Generate)
-      .flag("random-schedule", Opts.RandomSchedule)
-      .flag("dot", Opts.Dot)
+/// Registers the analysis-configuration options every command shares
+/// (query mode, access cache, pre-analysis) on \p Parser.
+void addAnalysisOptions(ArgParser &Parser, CliOptions &Opts) {
+  Parser
       .option("query-mode",
               [&Opts](const char *V) {
                 if (parseQueryMode(V, Opts.Query))
@@ -165,8 +172,27 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                              "profile:N, got '%s'\n",
                              V);
                 return false;
-              })
+              });
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  ArgParser Parser;
+  Parser.stringOption("tool", Opts.Tool)
+      .stringOption("workload", Opts.Workload)
+      .stringOption("trace", Opts.TraceFile)
+      .doubleOption("scale", Opts.Scale)
+      .unsignedOption("threads", Opts.Threads)
+      .u64Option("seed", Opts.Seed)
+      .u32Option("tasks", Opts.Tasks)
+      .stringOption("json", Opts.JsonPath)
+      .stringOption("profile", Opts.ProfilePath)
+      .stringOption("trace-out", Opts.TraceOutPath)
+      .flag("list", Opts.List)
+      .flag("generate", Opts.Generate)
+      .flag("random-schedule", Opts.RandomSchedule)
+      .flag("dot", Opts.Dot)
       .removed("no-filter", "was removed; use --access-cache=off");
+  addAnalysisOptions(Parser, Opts);
   return Parser.parse(Argc, Argv);
 }
 
@@ -348,28 +374,32 @@ struct ProfileSession {
   }
 };
 
-int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
-  std::string Text;
-  if (Opts.TraceFile == "-") {
-    std::stringstream Buffer;
+/// Reads a whole file (or stdin for "-") into \p Bytes in binary mode.
+bool readFileBytes(const std::string &Path, std::string &Bytes) {
+  std::stringstream Buffer;
+  if (Path == "-") {
     Buffer << std::cin.rdbuf();
-    Text = Buffer.str();
   } else {
-    std::ifstream Input(Opts.TraceFile);
+    std::ifstream Input(Path, std::ios::binary);
     if (!Input) {
-      std::fprintf(stderr, "error: cannot open %s\n",
-                   Opts.TraceFile.c_str());
-      return 1;
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return false;
     }
-    std::stringstream Buffer;
     Buffer << Input.rdbuf();
-    Text = Buffer.str();
   }
-  size_t ErrorLine = 0;
-  std::optional<Trace> Events = traceFromText(Text, &ErrorLine);
+  Bytes = Buffer.str();
+  return true;
+}
+
+int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
+  std::string Bytes;
+  if (!readFileBytes(Opts.TraceFile, Bytes))
+    return 1;
+  std::string Error;
+  std::optional<Trace> Events = parseTraceAuto(Bytes, &Error);
   if (!Events) {
-    std::fprintf(stderr, "error: %s:%zu: malformed trace line\n",
-                 Opts.TraceFile.c_str(), ErrorLine);
+    std::fprintf(stderr, "error: %s: %s\n", Opts.TraceFile.c_str(),
+                 Error.c_str());
     return 1;
   }
 
@@ -535,9 +565,30 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
   ToolOpts.Checker.PreanalysisWarmup = Opts.PreanalysisWarmup;
   ToolOpts.Checker.ProfilePath = Opts.ProfilePath;
   ToolContext Tool(ToolOpts);
+  TraceRecorder Recorder;
+  if (!Opts.TraceOutPath.empty())
+    Tool.runtime().addObserver(&Recorder);
   Timer T;
   Tool.run([&] { Chosen->Run(Opts.Scale); });
   double Seconds = T.elapsedSeconds();
+
+  if (!Opts.TraceOutPath.empty()) {
+    std::string Encoded = encodeTrace(Recorder.trace());
+    std::ofstream Out(Opts.TraceOutPath, std::ios::binary);
+    if (!Out || !Out.write(Encoded.data(), std::streamsize(Encoded.size()))) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   Opts.TraceOutPath.c_str());
+      return 1;
+    }
+    const TraceRecorderStats &RecStats = Recorder.stats();
+    std::printf("recorded %llu events to %s (%llu buffers, %llu runs, "
+                "%llu contended merges)\n",
+                static_cast<unsigned long long>(RecStats.NumEvents),
+                Opts.TraceOutPath.c_str(),
+                static_cast<unsigned long long>(RecStats.NumWorkerBuffers),
+                static_cast<unsigned long long>(RecStats.NumRuns),
+                static_cast<unsigned long long>(RecStats.NumContendedMerges));
+  }
 
   Tool.printReport();
   std::printf("wall time: %.1f ms (%s, scale %.2f, %u thread(s))\n",
@@ -591,9 +642,178 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// taskcheck convert <in> <out>
+//===----------------------------------------------------------------------===//
+
+/// Converts between the text and binary trace formats. Direction follows
+/// the input: binary input decodes to text, text input encodes to binary.
+int runConvert(int Argc, char **Argv, const char *Prog) {
+  uint32_t BlockEvents = DefaultTraceBlockEvents;
+  ArgParser Parser;
+  Parser.u32Option("block-events", BlockEvents);
+  if (!Parser.parseKnown(Argc, Argv) || Argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s convert <in> <out> [--block-events=N]\n", Prog);
+    return 2;
+  }
+  std::string InPath = Argv[1], OutPath = Argv[2];
+  if (BlockEvents == 0) {
+    std::fprintf(stderr, "error: --block-events must be positive\n");
+    return 2;
+  }
+
+  std::string Bytes;
+  if (!readFileBytes(InPath, Bytes))
+    return 1;
+  std::string Error;
+  std::optional<Trace> Events = parseTraceAuto(Bytes, &Error);
+  if (!Events) {
+    std::fprintf(stderr, "error: %s: %s\n", InPath.c_str(), Error.c_str());
+    return 1;
+  }
+  bool ToText = isBinaryTrace(Bytes);
+  std::string Out =
+      ToText ? traceToText(*Events) : encodeTrace(*Events, BlockEvents);
+  std::ofstream Output(OutPath, std::ios::binary);
+  if (!Output || !Output.write(Out.data(), std::streamsize(Out.size()))) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("converted %zu events to %s: %zu -> %zu bytes (%.1f%%)\n",
+              Events->size(), ToText ? "text" : "binary", Bytes.size(),
+              Out.size(),
+              Bytes.empty() ? 0.0 : 100.0 * double(Out.size()) /
+                                        double(Bytes.size()));
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// taskcheck batch --tool=<t> <dir|file>...
+//===----------------------------------------------------------------------===//
+
+/// Expands the positional arguments into a flat trace list: directories
+/// contribute their regular files in sorted order, everything else is
+/// taken verbatim.
+bool expandTracePaths(int Argc, char **Argv,
+                      std::vector<std::string> &Paths) {
+  namespace fs = std::filesystem;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--", 2) == 0) {
+      // parseKnown leaves unknown flags behind; a typo must not silently
+      // become a trace path.
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Argv[I]);
+      return false;
+    }
+    std::error_code Ec;
+    if (fs::is_directory(Argv[I], Ec)) {
+      std::vector<std::string> Dir;
+      for (const fs::directory_entry &Entry :
+           fs::directory_iterator(Argv[I], Ec))
+        if (Entry.is_regular_file())
+          Dir.push_back(Entry.path().string());
+      if (Ec) {
+        std::fprintf(stderr, "error: cannot list %s: %s\n", Argv[I],
+                     Ec.message().c_str());
+        return false;
+      }
+      std::sort(Dir.begin(), Dir.end());
+      Paths.insert(Paths.end(), Dir.begin(), Dir.end());
+    } else {
+      Paths.push_back(Argv[I]);
+    }
+  }
+  return true;
+}
+
+int runBatchCommand(int Argc, char **Argv, const char *Prog) {
+  CliOptions Opts;
+  unsigned Workers = 1;
+  ArgParser Parser;
+  Parser.stringOption("tool", Opts.Tool)
+      .unsignedOption("workers", Workers)
+      .stringOption("json", Opts.JsonPath);
+  addAnalysisOptions(Parser, Opts);
+  // parseKnown: flags are consumed, the trace paths survive as
+  // positionals.
+  if (!Parser.parseKnown(Argc, Argv)) {
+    std::fprintf(stderr,
+                 "usage: %s batch --tool=<t> [--workers=N] [--json=PATH] "
+                 "[--preanalysis=...] [--query-mode=...] "
+                 "[--access-cache=...] <dir|file>...\n",
+                 Prog);
+    return 2;
+  }
+
+  ToolKind Kind;
+  if (!toolKindFor(Opts.Tool, Kind)) {
+    std::fprintf(stderr, "error: unknown tool '%s'\n", Opts.Tool.c_str());
+    return 2;
+  }
+  if (!Opts.JsonPath.empty() && !ensureWritableFile(Opts.JsonPath)) {
+    std::fprintf(stderr, "error: --json path '%s' is not writable\n",
+                 Opts.JsonPath.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> Paths;
+  if (!expandTracePaths(Argc, Argv, Paths))
+    return 2;
+  if (Paths.empty()) {
+    std::fprintf(stderr, "error: no traces given (pass files or a "
+                         "directory)\n");
+    return 2;
+  }
+
+  BatchOptions BatchOpts;
+  BatchOpts.Tool = Kind;
+  BatchOpts.Query = Opts.Query;
+  BatchOpts.Preanalysis = Opts.Preanalysis;
+  BatchOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
+  BatchOpts.CacheEnabled = Opts.CacheEnabled;
+  BatchOpts.CacheSlots = Opts.CacheSlots;
+  BatchOpts.NumWorkers = Workers;
+
+  BatchResult Result = runBatch(Paths, BatchOpts);
+  for (const BatchTraceResult &Trace : Result.Traces) {
+    if (!Trace.ok())
+      std::printf("  %-40s ERROR: %s\n", Trace.Path.c_str(),
+                  Trace.Error.c_str());
+    else
+      std::printf("  %-40s %8llu events  %4llu violation(s)  %8.1f ms\n",
+                  Trace.Path.c_str(),
+                  static_cast<unsigned long long>(Trace.NumEvents),
+                  static_cast<unsigned long long>(Trace.NumViolations),
+                  Trace.WallMs);
+  }
+  std::printf("[batch:%s] %zu trace(s), %llu events, %llu violation(s) in "
+              "%llu trace(s), %llu error(s); %.1f ms with %u worker(s)\n",
+              toolKindName(Kind), Result.Traces.size(),
+              static_cast<unsigned long long>(Result.TotalEvents),
+              static_cast<unsigned long long>(Result.TotalViolations),
+              static_cast<unsigned long long>(Result.NumFlagged),
+              static_cast<unsigned long long>(Result.NumFailed),
+              Result.WallMs, Workers);
+
+  if (!Opts.JsonPath.empty()) {
+    JsonReport Report;
+    batchToJson(Result, BatchOpts, Report);
+    if (!Report.write(Opts.JsonPath))
+      return 2;
+  }
+  return Result.exitCode();
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  // Subcommands first: their argument grammars have positionals the flag
+  // parser must not see.
+  if (argc >= 2 && std::strcmp(argv[1], "convert") == 0)
+    return runConvert(argc - 1, argv + 1, argv[0]);
+  if (argc >= 2 && std::strcmp(argv[1], "batch") == 0)
+    return runBatchCommand(argc - 1, argv + 1, argv[0]);
+
   CliOptions Opts;
   if (!parseArgs(argc, argv, Opts))
     return usage(argv[0]);
@@ -612,6 +832,19 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: --profile path '%s' is not writable\n",
                  Opts.ProfilePath.c_str());
     return 1;
+  }
+  if (!Opts.TraceOutPath.empty()) {
+    if (Opts.Workload.empty()) {
+      std::fprintf(stderr,
+                   "error: --trace-out records workload runs; pass "
+                   "--workload too\n");
+      return 1;
+    }
+    if (!ensureWritableFile(Opts.TraceOutPath)) {
+      std::fprintf(stderr, "error: --trace-out path '%s' is not writable\n",
+                   Opts.TraceOutPath.c_str());
+      return 1;
+    }
   }
 
   ToolKind Kind;

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Dump and validate a binary trace file (src/trace/TraceCodec.h).
+
+Reads only the fixed-layout parts of the format -- header, block index,
+trailer -- without decoding event payloads, so it stays cheap on huge
+files and is an independent (non-C++) check that the on-disk layout
+matches the spec:
+
+    file    := header block* index trailer
+    header  := "AVCTRACE" magic(8) | version u32 | flags u32
+    block   := payload_bytes u32 | num_events u32 | payload
+    index   := { offset u64 | payload_bytes u32 | num_events u32 } * blocks
+    trailer := index_offset u64 | total_events u64 | num_blocks u32
+               | trailer_magic u32 ("AVCT")
+
+All integers little-endian. Exit 0 if the file is structurally valid,
+1 otherwise.
+
+    trace_info.py run.avctrace            # validate + summary
+    trace_info.py run.avctrace --blocks   # also dump the block index
+"""
+
+import argparse
+import struct
+import sys
+
+MAGIC = b"AVCTRACE"
+TRAILER_MAGIC = 0x54435641  # "AVCT" little-endian
+HEADER_BYTES = 16
+BLOCK_HEADER_BYTES = 8
+INDEX_ENTRY_BYTES = 16
+TRAILER_BYTES = 24
+SUPPORTED_VERSION = 1
+
+
+def fail(path, message):
+    sys.exit(f"error: {path}: {message}")
+
+
+def read_info(path):
+    with open(path, "rb") as f:
+        data = f.read()
+
+    if len(data) < HEADER_BYTES + TRAILER_BYTES:
+        fail(path, f"file too small ({len(data)} bytes) to be a binary trace")
+    if data[:8] != MAGIC:
+        fail(path, "bad magic (not a binary trace file)")
+    version, flags = struct.unpack_from("<II", data, 8)
+    if version != SUPPORTED_VERSION:
+        fail(path, f"unsupported format version {version}")
+    if flags != 0:
+        fail(path, f"unknown flags {flags:#x}")
+
+    index_offset, total_events, num_blocks, trailer_magic = struct.unpack_from(
+        "<QQII", data, len(data) - TRAILER_BYTES)
+    if trailer_magic != TRAILER_MAGIC:
+        fail(path, "bad trailer magic (truncated or corrupt file)")
+
+    index_end = len(data) - TRAILER_BYTES
+    if index_offset > index_end:
+        fail(path, f"index offset {index_offset} beyond file")
+    if index_end - index_offset != num_blocks * INDEX_ENTRY_BYTES:
+        fail(path, f"index size mismatch: {index_end - index_offset} bytes "
+                   f"for {num_blocks} block(s)")
+
+    blocks = []
+    expected_offset = HEADER_BYTES
+    event_tally = 0
+    for i in range(num_blocks):
+        offset, payload_bytes, num_events = struct.unpack_from(
+            "<QII", data, index_offset + i * INDEX_ENTRY_BYTES)
+        if offset != expected_offset:
+            fail(path, f"block {i}: offset {offset}, expected "
+                       f"{expected_offset} (blocks must be contiguous)")
+        if offset + BLOCK_HEADER_BYTES + payload_bytes > index_offset:
+            fail(path, f"block {i}: payload runs past the index")
+        hdr_payload, hdr_events = struct.unpack_from("<II", data, offset)
+        if (hdr_payload, hdr_events) != (payload_bytes, num_events):
+            fail(path, f"block {i}: block header ({hdr_payload}, "
+                       f"{hdr_events}) disagrees with index entry "
+                       f"({payload_bytes}, {num_events})")
+        blocks.append((offset, payload_bytes, num_events))
+        expected_offset = offset + BLOCK_HEADER_BYTES + payload_bytes
+        event_tally += num_events
+    if expected_offset != index_offset:
+        fail(path, f"gap between last block and index "
+                   f"({expected_offset} vs {index_offset})")
+    if event_tally != total_events:
+        fail(path, f"block event counts sum to {event_tally}, trailer "
+                   f"says {total_events}")
+
+    return len(data), version, total_events, blocks
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="binary trace file (*.avctrace)")
+    parser.add_argument("--blocks", action="store_true",
+                        help="dump the block index")
+    args = parser.parse_args()
+
+    size, version, total_events, blocks = read_info(args.trace)
+    payload = sum(b[1] for b in blocks)
+    print(f"{args.trace}: valid binary trace")
+    print(f"  version:       {version}")
+    print(f"  file size:     {size} bytes")
+    print(f"  events:        {total_events}")
+    print(f"  blocks:        {len(blocks)}")
+    if total_events:
+        print(f"  bytes/event:   {payload / total_events:.2f} (payload only)")
+    if args.blocks:
+        print(f"  {'block':>7} {'offset':>12} {'payload':>10} {'events':>8}")
+        for i, (offset, payload_bytes, num_events) in enumerate(blocks):
+            print(f"  {i:>7} {offset:>12} {payload_bytes:>10} "
+                  f"{num_events:>8}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
