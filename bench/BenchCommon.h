@@ -159,6 +159,13 @@ inline ToolContext::Options velodromeOptions(const BenchConfig &Config) {
   return Opts;
 }
 
+inline ToolContext::Options vclockOptions(const BenchConfig &Config) {
+  ToolContext::Options Opts;
+  Opts.Tool = ToolKind::VClock;
+  Opts.Checker.NumThreads = Config.Threads;
+  return Opts;
+}
+
 /// Formats a count with M/K suffixes the way Table 1 does.
 inline std::string humanCount(double Value) {
   char Buffer[32];

@@ -55,9 +55,16 @@ ToolContext::Options makeWalkNoCache(const BenchConfig &Config) {
 }
 
 ToolContext::Options makePaperLiteral(const BenchConfig &Config) {
+  // Engine-specific knobs ride in an extras block the options only point
+  // at; static so it outlives every ToolContext built from these options.
+  static const AtomicityExtras PaperLiteral = [] {
+    AtomicityExtras Extras;
+    Extras.ExtraInterleaverChecks = false;
+    Extras.CompleteMetadata = false;
+    return Extras;
+  }();
   ToolContext::Options Opts = checkerOptions(Config, DpstLayout::Array);
-  Opts.Checker.ExtraInterleaverChecks = false;
-  Opts.Checker.CompleteMetadata = false;
+  Opts.Extras = &PaperLiteral;
   return Opts;
 }
 

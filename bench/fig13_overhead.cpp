@@ -36,13 +36,15 @@ int main(int argc, char **argv) {
   Report.meta("reps", static_cast<double>(Config.Reps));
   Report.meta("threads", static_cast<double>(Config.Threads));
   Report.meta("query_mode", queryModeName(Config.Query));
-  std::printf("%-14s %9s %9s %10s %9s %8s %9s %8s %7s %7s\n", "benchmark",
-              "base(ms)", "ours(ms)", "nocache(ms)", "velo(ms)", "ours(x)",
-              "nocache(x)", "velo(x)", "hit%", "path%");
+  std::printf("%-14s %9s %9s %10s %9s %10s %8s %9s %8s %9s %7s %7s\n",
+              "benchmark", "base(ms)", "ours(ms)", "nocache(ms)", "velo(ms)",
+              "vclock(ms)", "ours(x)", "nocache(x)", "velo(x)", "vclock(x)",
+              "hit%", "path%");
 
   size_t Count = 0;
   const Workload *Table = allWorkloads(Count);
-  std::vector<double> OursSlowdowns, NoCacheSlowdowns, VeloSlowdowns;
+  std::vector<double> OursSlowdowns, NoCacheSlowdowns, VeloSlowdowns,
+      VClockSlowdowns;
 
   for (size_t I = 0; I < Count; ++I) {
     const Workload &W = Table[I];
@@ -52,50 +54,58 @@ int main(int argc, char **argv) {
     // Interleave the configurations across repetitions: slow machine drift
     // then shifts every column equally instead of biasing whichever config
     // happened to run its block of reps during a slow phase.
-    double Base = 0, Ours = 0, NoCache = 0, Velo = 0;
+    double Base = 0, Ours = 0, NoCache = 0, Velo = 0, VClock = 0;
     for (unsigned R = 0; R < Config.Reps; ++R) {
       Base += timeOnce(W, baselineOptions(Config), Config.Scale);
       Ours += timeOnce(W, OursOpts, Config.Scale);
       NoCache += timeOnce(W, NoCacheOpts, Config.Scale);
       Velo += timeOnce(W, velodromeOptions(Config), Config.Scale);
+      VClock += timeOnce(W, vclockOptions(Config), Config.Scale);
     }
     Base /= Config.Reps;
     Ours /= Config.Reps;
     NoCache /= Config.Reps;
     Velo /= Config.Reps;
+    VClock /= Config.Reps;
     CheckerStats Stats = statsOnce(W, OursOpts, Config.Scale);
     double OursX = Ours / Base;
     double NoCacheX = NoCache / Base;
     double VeloX = Velo / Base;
+    double VClockX = VClock / Base;
     OursSlowdowns.push_back(OursX);
     NoCacheSlowdowns.push_back(NoCacheX);
     VeloSlowdowns.push_back(VeloX);
-    std::printf("%-14s %9.2f %9.2f %10.2f %9.2f %7.2fx %8.2fx %7.2fx "
-                "%6.1f%% %6.1f%%\n",
+    VClockSlowdowns.push_back(VClockX);
+    std::printf("%-14s %9.2f %9.2f %10.2f %9.2f %10.2f %7.2fx %8.2fx "
+                "%7.2fx %8.2fx %6.1f%% %6.1f%%\n",
                 W.Name, Base * 1e3, Ours * 1e3, NoCache * 1e3, Velo * 1e3,
-                OursX, NoCacheX, VeloX, Stats.cacheHitRate(),
-                Stats.cachePathHitRate());
+                VClock * 1e3, OursX, NoCacheX, VeloX, VClockX,
+                Stats.cacheHitRate(), Stats.cachePathHitRate());
     Report.row()
         .field("benchmark", W.Name)
         .field("base_ms", Base * 1e3)
         .field("ours_ms", Ours * 1e3)
         .field("nocache_ms", NoCache * 1e3)
         .field("velodrome_ms", Velo * 1e3)
+        .field("vclock_ms", VClock * 1e3)
         .field("ours_x", OursX)
         .field("nocache_x", NoCacheX)
         .field("velodrome_x", VeloX)
+        .field("vclock_x", VClockX)
         .field("cache_hit_pct", Stats.cacheHitRate())
         .field("cache_path_hit_pct", Stats.cachePathHitRate())
         .field("cache_evictions", double(Stats.NumCacheEvictions))
         .field("lockset_snapshots", double(Stats.NumLockSnapshots));
   }
 
-  std::printf("%-14s %9s %9s %10s %9s %7.2fx %8.2fx %7.2fx\n", "geomean",
-              "", "", "", "", geometricMean(OursSlowdowns),
-              geometricMean(NoCacheSlowdowns), geometricMean(VeloSlowdowns));
+  std::printf("%-14s %9s %9s %10s %9s %10s %7.2fx %8.2fx %7.2fx %8.2fx\n",
+              "geomean", "", "", "", "", "", geometricMean(OursSlowdowns),
+              geometricMean(NoCacheSlowdowns), geometricMean(VeloSlowdowns),
+              geometricMean(VClockSlowdowns));
   Report.meta("geomean_ours_x", geometricMean(OursSlowdowns));
   Report.meta("geomean_nocache_x", geometricMean(NoCacheSlowdowns));
   Report.meta("geomean_velodrome_x", geometricMean(VeloSlowdowns));
+  Report.meta("geomean_vclock_x", geometricMean(VClockSlowdowns));
   if (!Config.JsonPath.empty() && !Report.write(Config.JsonPath))
     return 1;
   std::printf("\nPaper reports: ours 4.2x, Velodrome 4.6x (geomean); "

@@ -8,11 +8,14 @@
 /// appended per second through the lock-free per-worker buffers), binary
 /// encode/decode (single-thread and block-parallel), the binary/text size
 /// ratio, and end-to-end batch checking of a trace fleet across worker
-/// counts. Three numbers feed the CI gates (tools/bench_compare.py):
+/// counts. Four numbers feed the CI gates (tools/bench_compare.py):
 /// decode_events_per_sec (floor 10M/s), binary_text_ratio (ceiling 0.25),
-/// and batch_scaling_t8_over_t1 — the batch wall ratio at min(8, cores)
+/// batch_scaling_t8_over_t1 — the batch wall ratio at min(8, cores)
 /// workers vs one, normalized by that worker count, so near-linear scaling
-/// reads ~1.0 on any core count (ceiling 1.5).
+/// reads ~1.0 on any core count (ceiling 1.5) — and vclock_scale_ratio
+/// (ceiling 2.0): the vclock engine's replay-rate ratio between a 1x and
+/// a 10x-length trace at fixed parallelism width, asserting the
+/// vector-clock pass stays linear in trace length.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,6 +67,29 @@ double timeEncode(const Trace &Events) {
   double Secs = T.elapsedSeconds();
   benchmark::DoNotOptimize(Encoded.data());
   return Secs;
+}
+
+/// A trace whose LENGTH scales through ops-per-task at a fixed task count,
+/// so parallelism width — and with it the vclock engine's live-clock
+/// width — stays constant while the event count grows. Scaling NumTasks
+/// instead would widen the clocks with the trace and conflate the two.
+Trace opsScaledTrace(uint64_t Seed, uint32_t OpsScale) {
+  TraceGenOptions Opts;
+  Opts.Seed = Seed;
+  Opts.NumTasks = 256;
+  Opts.NumLocations = 64;
+  Opts.NumLocks = 8;
+  Opts.LockedFraction = 0.3;
+  Opts.MinOpsPerTask = 200 * OpsScale;
+  Opts.MaxOpsPerTask = 600 * OpsScale;
+  return linearizeRandom(generateProgram(Opts), Seed * 131 + 7);
+}
+
+double timeVClockReplay(const Trace &Events) {
+  VectorClockAtomicity Tool{VectorClockAtomicity::Options()};
+  Timer T;
+  replayTrace(Events, Tool);
+  return T.elapsedSeconds();
 }
 
 } // namespace
@@ -198,6 +224,59 @@ int main(int argc, char **argv) {
               WorkerCounts[GateIdx], Scaling);
   Report.meta("batch_gate_workers", double(WorkerCounts[GateIdx]));
   Report.meta("batch_scaling_t8_over_t1", Scaling);
+
+  // --- Batch replay under the vclock engine: same fleet, registry-built
+  // vector-clock instances instead of the DPST checker.
+  {
+    BatchOptions Opts;
+    Opts.Tool = ToolKind::VClock;
+    Opts.NumWorkers = GateWorkers;
+    double Wall = 0;
+    for (unsigned R = 0; R < Config.Reps; ++R) {
+      BatchResult Result = runBatch(Paths, Opts);
+      if (Result.NumFailed) {
+        std::fprintf(stderr, "error: vclock batch run failed\n");
+        return 1;
+      }
+      Wall = R ? std::min(Wall, Result.WallMs) : Result.WallMs;
+    }
+    std::printf("\nbatch tool=vclock, %u worker(s): %.2f ms (%.1fM "
+                "events/s)\n",
+                GateWorkers, Wall,
+                double(FleetEvents) / (Wall * 1e-3) / 1e6);
+    Report.meta("batch_vclock_wall_ms", Wall);
+    Report.meta("batch_vclock_events_per_sec",
+                double(FleetEvents) / (Wall * 1e-3));
+  }
+
+  // --- VClock linear-time probe: replay throughput at 1x vs 10x trace
+  // length, task count (= parallelism width) held fixed. A linear-time
+  // engine holds its events/s as the trace grows, so the 1x/10x rate
+  // ratio reads ~1.0; super-linear blowup (e.g. unpruned clock growth)
+  // drags the 10x rate down and pushes the ratio over the CI ceiling
+  // of 2.0 (tools/bench_compare.py --key vclock_scale_ratio).
+  {
+    Trace Small = opsScaledTrace(7, 1);
+    Trace Large = opsScaledTrace(7, 10);
+    double SmallSecs = bestOf(Config.Reps, timeVClockReplay, Small);
+    double LargeSecs = bestOf(Config.Reps, timeVClockReplay, Large);
+    double SmallRate = double(Small.size()) / SmallSecs;
+    double LargeRate = double(Large.size()) / LargeSecs;
+    double RateRatio = SmallRate / LargeRate;
+    std::printf("\nvclock linear-time probe (256 tasks, ops-per-task "
+                "scaled)\n");
+    std::printf("%-28s %10.1fM events/s (%zu events)\n", "vclock replay 1x",
+                SmallRate / 1e6, Small.size());
+    std::printf("%-28s %10.1fM events/s (%zu events)\n", "vclock replay 10x",
+                LargeRate / 1e6, Large.size());
+    std::printf("%-28s %10.2f (1.0 = linear; CI gate <= 2.0)\n",
+                "rate ratio 1x/10x", RateRatio);
+    Report.meta("vclock_events_small", double(Small.size()));
+    Report.meta("vclock_events_large", double(Large.size()));
+    Report.meta("vclock_events_per_sec_1x", SmallRate);
+    Report.meta("vclock_events_per_sec_10x", LargeRate);
+    Report.meta("vclock_scale_ratio", RateRatio);
+  }
 
   std::error_code Ec;
   fs::remove_all(Dir, Ec);

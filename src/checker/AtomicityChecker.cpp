@@ -740,3 +740,66 @@ CheckerStats AtomicityChecker::stats() const {
   Stats.NumCacheHits = Stats.NumCacheHitReads + Stats.NumCacheHitWrites;
   return Stats;
 }
+
+std::set<MemAddr> AtomicityChecker::violationKeys() const {
+  std::set<MemAddr> Keys;
+  for (const Violation &V : Log.snapshot())
+    Keys.insert(V.Addr);
+  return Keys;
+}
+
+void AtomicityChecker::printReport(std::FILE *Out) const {
+  for (const Violation &V : Log.snapshot())
+    std::fprintf(Out, "  %s\n", V.toString().c_str());
+}
+
+void AtomicityChecker::emitJsonStats(JsonReport::Row &Row) const {
+  emitCheckerStatsJson(Row, stats(), Log.size());
+}
+
+void AtomicityChecker::printStats(std::FILE *Out) const {
+  CheckerStats Stats = stats();
+  std::fprintf(Out,
+               "\nstatistics: %llu locations, %llu reads, %llu writes, "
+               "%llu DPST nodes, %llu parallelism queries via %s "
+               "(%.1f%% cache hits, %llu trivial same-step)\n",
+               static_cast<unsigned long long>(Stats.NumLocations),
+               static_cast<unsigned long long>(Stats.NumReads),
+               static_cast<unsigned long long>(Stats.NumWrites),
+               static_cast<unsigned long long>(Stats.NumDpstNodes),
+               static_cast<unsigned long long>(Stats.Lca.NumQueries),
+               queryModeName(Stats.Lca.Mode), Stats.Lca.percentCacheHits(),
+               static_cast<unsigned long long>(Stats.Lca.NumTrivialSame));
+  if (Stats.AccessCacheEnabled)
+    std::fprintf(Out,
+                 "access cache: %llu verdict hits (%llu reads, %llu writes, "
+                 "%.1f%% of accesses), %llu path hits (%.1f%%), "
+                 "%llu evictions, %llu lockset snapshots\n",
+                 static_cast<unsigned long long>(Stats.NumCacheHits),
+                 static_cast<unsigned long long>(Stats.NumCacheHitReads),
+                 static_cast<unsigned long long>(Stats.NumCacheHitWrites),
+                 Stats.cacheHitRate(),
+                 static_cast<unsigned long long>(Stats.NumCachePathHits),
+                 Stats.cachePathHitRate(),
+                 static_cast<unsigned long long>(Stats.NumCacheEvictions),
+                 static_cast<unsigned long long>(Stats.NumLockSnapshots));
+  if (Stats.Pre.Mode != PreanalysisMode::Off)
+    std::fprintf(Out,
+                 "preanalysis (%s): %llu seq skips, %llu site skips, "
+                 "%llu downgrades (%llu unsafe); %llu sites: "
+                 "%llu sequential-only, %llu read-only-after-init, "
+                 "%llu fixed-lockset, %llu generic\n",
+                 preanalysisModeName(Stats.Pre.Mode),
+                 static_cast<unsigned long long>(Stats.Pre.NumSeqSkips),
+                 static_cast<unsigned long long>(Stats.Pre.NumSiteSkips),
+                 static_cast<unsigned long long>(Stats.Pre.NumDowngrades),
+                 static_cast<unsigned long long>(
+                     Stats.Pre.NumUnsafeDowngrades),
+                 static_cast<unsigned long long>(Stats.Pre.NumSites),
+                 static_cast<unsigned long long>(
+                     Stats.Pre.NumSequentialOnly),
+                 static_cast<unsigned long long>(
+                     Stats.Pre.NumReadOnlyAfterInit),
+                 static_cast<unsigned long long>(Stats.Pre.NumFixedLockset),
+                 static_cast<unsigned long long>(Stats.Pre.NumGeneric));
+}

@@ -31,6 +31,7 @@
 #include "checker/AccessCache.h"
 #include "checker/AccessKind.h"
 #include "checker/CheckerStats.h"
+#include "checker/CheckerTool.h"
 #include "checker/GlobalMetadata.h"
 #include "checker/LocationNames.h"
 #include "checker/LockSet.h"
@@ -49,8 +50,18 @@
 
 namespace avc {
 
+/// Registry extras for the atomicity engine: the two beyond-the-paper
+/// completeness knobs that only this checker has. Passed through the
+/// opaque ToolExtras hook so the shared ToolOptions surface stays
+/// engine-agnostic (bench/ablation_modes uses this to build the
+/// paper-literal configuration).
+struct AtomicityExtras : ToolExtras {
+  bool ExtraInterleaverChecks = true;
+  bool CompleteMetadata = true;
+};
+
 /// Optimized atomicity violation checker with fixed-size metadata.
-class AtomicityChecker : public ExecutionObserver {
+class AtomicityChecker : public CheckerTool {
 public:
   /// Shared tool configuration (ToolOptions) plus the knobs only this
   /// checker has.
@@ -93,9 +104,19 @@ public:
 
   /// Registers a display name for a tracked location; reports mentioning
   /// it then print the name instead of the raw address.
-  void nameLocation(MemAddr Addr, std::string Name) {
+  void nameLocation(MemAddr Addr, std::string Name) override {
     Names.set(Addr, std::move(Name));
   }
+
+  // CheckerTool reporting interface.
+  const char *name() const override { return "atomicity"; }
+  size_t numViolations() const override { return Log.size(); }
+  std::set<MemAddr> violationKeys() const override;
+  void printReport(std::FILE *Out) const override;
+  void emitJsonStats(JsonReport::Row &Row) const override;
+  /// The human-readable statistics block taskcheck prints after a run
+  /// (location/access/query totals, cache and pre-analysis counters).
+  void printStats(std::FILE *Out) const override;
 
   // ExecutionObserver interface.
   void onProgramStart(TaskId RootTask) override;

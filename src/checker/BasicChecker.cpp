@@ -130,7 +130,7 @@ BasicChecker::LocationHistory &BasicChecker::historyFor(MemAddr Addr,
   return *History;
 }
 
-void BasicChecker::registerAtomicGroup(const MemAddr *Members, size_t Count) {
+bool BasicChecker::registerAtomicGroup(const MemAddr *Members, size_t Count) {
   assert(Count > 0 && "empty atomic group");
   if (PreEnabled)
     Pre.markGrouped(Members, Count);
@@ -146,6 +146,7 @@ void BasicChecker::registerAtomicGroup(const MemAddr *Members, size_t Count) {
            "atomic group member already tracked with separate metadata");
     (void)Installed;
   }
+  return true;
 }
 
 bool BasicChecker::locationHasViolation(MemAddr Addr) const {
@@ -268,4 +269,20 @@ CheckerStats BasicChecker::stats() const {
   Stats.NumViolatingLocations =
       NumViolatingLocations.load(std::memory_order_relaxed);
   return Stats;
+}
+
+std::set<MemAddr> BasicChecker::violationKeys() const {
+  std::set<MemAddr> Keys;
+  for (const Violation &V : Log.snapshot())
+    Keys.insert(V.Addr);
+  return Keys;
+}
+
+void BasicChecker::printReport(std::FILE *Out) const {
+  for (const Violation &V : Log.snapshot())
+    std::fprintf(Out, "  %s\n", V.toString().c_str());
+}
+
+void BasicChecker::emitJsonStats(JsonReport::Row &Row) const {
+  emitCheckerStatsJson(Row, stats(), Log.size());
 }

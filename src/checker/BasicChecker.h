@@ -31,6 +31,7 @@
 #include "analysis/SitePreanalysis.h"
 #include "checker/AccessKind.h"
 #include "checker/CheckerStats.h"
+#include "checker/CheckerTool.h"
 #include "checker/LockSet.h"
 #include "checker/ShadowMemory.h"
 #include "checker/ToolOptions.h"
@@ -45,7 +46,7 @@
 namespace avc {
 
 /// Sound-and-complete reference checker with unbounded access histories.
-class BasicChecker : public ExecutionObserver {
+class BasicChecker : public CheckerTool {
 public:
   /// All configuration is the shared ToolOptions surface; the reference
   /// checker has no tool-specific knobs.
@@ -56,7 +57,8 @@ public:
   ~BasicChecker() override;
 
   /// Same multi-variable grouping as AtomicityChecker::registerAtomicGroup.
-  void registerAtomicGroup(const MemAddr *Members, size_t Count);
+  /// Merging into this checker's empty histories always succeeds.
+  bool registerAtomicGroup(const MemAddr *Members, size_t Count) override;
 
   // ExecutionObserver interface.
   void onProgramStart(TaskId RootTask) override;
@@ -72,8 +74,15 @@ public:
 
   const ViolationLog &violations() const { return Log; }
 
+  // CheckerTool reporting interface.
+  const char *name() const override { return "basic"; }
+  size_t numViolations() const override { return Log.size(); }
+  std::set<MemAddr> violationKeys() const override;
+  void printReport(std::FILE *Out) const override;
+  void emitJsonStats(JsonReport::Row &Row) const override;
+
   /// The embedded pre-analysis engine (replay front end, tests).
-  SitePreanalysis &preanalysis() { return Pre; }
+  SitePreanalysis &preanalysis() override { return Pre; }
 
   /// True if any violation was recorded for the location tracking \p Addr.
   /// The per-location verdict is the equivalence criterion against the

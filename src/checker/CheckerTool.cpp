@@ -1,0 +1,51 @@
+//===- checker/CheckerTool.cpp - Polymorphic analysis-engine API ----------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/CheckerTool.h"
+
+#include "checker/CheckerStats.h"
+
+using namespace avc;
+
+ToolExtras::~ToolExtras() = default;
+
+CheckerTool::~CheckerTool() = default;
+
+void avc::emitPreanalysisJson(JsonReport::Row &Row,
+                              const PreanalysisStats &Pre) {
+  if (Pre.Mode == PreanalysisMode::Off)
+    return;
+  Row.field("pre_seq_skips", double(Pre.NumSeqSkips))
+      .field("pre_site_skips", double(Pre.NumSiteSkips))
+      .field("pre_downgrades", double(Pre.NumDowngrades))
+      .field("pre_unsafe_downgrades", double(Pre.NumUnsafeDowngrades))
+      .field("pre_sites", double(Pre.NumSites))
+      .field("pre_sequential_only", double(Pre.NumSequentialOnly))
+      .field("pre_read_only_after_init", double(Pre.NumReadOnlyAfterInit))
+      .field("pre_fixed_lockset", double(Pre.NumFixedLockset))
+      .field("pre_non_grouped", double(Pre.NumNonGrouped))
+      .field("pre_generic", double(Pre.NumGeneric));
+}
+
+void avc::emitCheckerStatsJson(JsonReport::Row &Row, const CheckerStats &Stats,
+                               size_t Violations) {
+  Row.field("violations", double(Violations))
+      .field("violating_locations", double(Stats.NumViolatingLocations))
+      .field("locations", double(Stats.NumLocations))
+      .field("reads", double(Stats.NumReads))
+      .field("writes", double(Stats.NumWrites))
+      .field("dpst_nodes", double(Stats.NumDpstNodes))
+      .field("lca_queries", double(Stats.Lca.NumQueries))
+      .field("cache_hits", double(Stats.NumCacheHits))
+      .field("cache_hit_reads", double(Stats.NumCacheHitReads))
+      .field("cache_hit_writes", double(Stats.NumCacheHitWrites))
+      .field("cache_path_hits", double(Stats.NumCachePathHits))
+      .field("cache_evictions", double(Stats.NumCacheEvictions))
+      .field("lockset_snapshots", double(Stats.NumLockSnapshots))
+      .field("cache_hit_pct", Stats.cacheHitRate())
+      .field("cache_path_hit_pct", Stats.cachePathHitRate());
+  emitPreanalysisJson(Row, Stats.Pre);
+}

@@ -1,0 +1,130 @@
+//===- checker/CheckerTool.h - Polymorphic analysis-engine API --*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine seam: every analysis tool (the paper's checker, the basic
+/// reference checker, Velodrome, the vector-clock engine, the race and
+/// determinism detectors) derives from CheckerTool, which extends the
+/// ExecutionObserver event interface with uniform reporting. ToolContext,
+/// BatchReplay, taskcheck, and the benches construct tools through the
+/// ToolRegistry and talk to them exclusively through this interface — no
+/// per-tool switches anywhere downstream.
+///
+/// Engine-specific construction knobs that do not belong in the shared
+/// ToolOptions surface travel as an opaque ToolExtras pointer; each
+/// factory dynamic_casts to its own extras type and ignores anything else.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_CHECKERTOOL_H
+#define AVC_CHECKER_CHECKERTOOL_H
+
+#include <cstdio>
+#include <set>
+
+#include "analysis/SitePreanalysis.h"
+#include "runtime/ExecutionObserver.h"
+#include "support/JsonReport.h"
+
+namespace avc {
+
+struct CheckerStats;
+
+/// Which analysis runs during execution. The numeric identity of a tool;
+/// names, descriptions, and factories live in the ToolRegistry.
+enum class ToolKind : uint8_t {
+  None,        ///< No instrumentation (timing baseline).
+  Atomicity,   ///< The paper's checker (AtomicityChecker).
+  Basic,       ///< Unbounded-history reference checker (Section 7.1).
+  Velodrome,   ///< Velodrome baseline: graph cycles in the observed trace.
+  Race,        ///< All-Sets race detector on the same DPST.
+  Determinism, ///< Internal-determinism checker (Tardis-style).
+  VClock,      ///< Linear-time vector-clock engine (Mathur & Viswanathan).
+};
+
+/// Registry-backed name of \p Kind ("atomicity", "vclock", ...).
+const char *toolKindName(ToolKind Kind);
+
+/// Base class for engine-specific construction extras. Factories receive a
+/// `const ToolExtras *` and dynamic_cast it to their own derived struct;
+/// a null pointer or a foreign type means "use the engine's defaults".
+class ToolExtras {
+public:
+  virtual ~ToolExtras();
+};
+
+/// The polymorphic analysis-engine interface. A CheckerTool consumes the
+/// runtime's event stream (ExecutionObserver) and answers the uniform
+/// reporting questions every front end asks.
+class CheckerTool : public ExecutionObserver {
+public:
+  ~CheckerTool() override;
+
+  /// Registry name of this engine ("atomicity", "velodrome", ...).
+  virtual const char *name() const = 0;
+
+  /// Number of findings so far (violations, races, cycles — whatever the
+  /// engine counts). Safe to call concurrently with event delivery.
+  virtual size_t numViolations() const = 0;
+
+  /// The distinct tracked addresses implicated in findings. Used by the
+  /// differential tests to compare detection sets across engines.
+  virtual std::set<MemAddr> violationKeys() const = 0;
+
+  /// Prints one indented line per retained finding to \p Out. Callers
+  /// print the uniform "[<name>] N violation(s)" header first.
+  virtual void printReport(std::FILE *Out) const = 0;
+
+  /// Emits this engine's counters into a JSON report row, preserving each
+  /// engine's historical field names.
+  virtual void emitJsonStats(JsonReport::Row &Row) const = 0;
+
+  /// Prints the engine's human-readable statistics block, if it has one.
+  virtual void printStats(std::FILE *Out) const { (void)Out; }
+
+  /// Declares \p Count tracked locations as one atomic group. Engines
+  /// without group semantics accept and ignore the hint.
+  virtual bool registerAtomicGroup(const MemAddr *Members, size_t Count) {
+    (void)Members;
+    (void)Count;
+    return true;
+  }
+
+  /// Attaches a human-readable name to a tracked location for reports.
+  virtual void nameLocation(MemAddr Addr, std::string Name) {
+    (void)Addr;
+    (void)Name;
+  }
+
+  /// Registers this engine's gauges with the active observability
+  /// session; no-op without one.
+  virtual void registerObsGauges() {}
+
+  /// The embedded site pre-analysis engine (replay front end, tests).
+  virtual SitePreanalysis &preanalysis() = 0;
+
+  /// Convenience dispatch used by replay front ends.
+  void onAccess(TaskId Task, MemAddr Addr, AccessKind Kind) {
+    if (Kind == AccessKind::Write)
+      onWrite(Task, Addr);
+    else
+      onRead(Task, Addr);
+  }
+};
+
+/// Emits the shared CheckerStats counter block (atomicity and basic use
+/// the same stats type) under the historical taskcheck field names.
+void emitCheckerStatsJson(JsonReport::Row &Row, const CheckerStats &Stats,
+                          size_t Violations);
+
+/// Emits the pre-analysis counters shared by every engine's JSON row:
+/// skip totals, downgrade audit, and the pruned-site census. No-op when
+/// the gate was off.
+void emitPreanalysisJson(JsonReport::Row &Row, const PreanalysisStats &Pre);
+
+} // namespace avc
+
+#endif // AVC_CHECKER_CHECKERTOOL_H

@@ -217,3 +217,25 @@ DeterminismStats DeterminismChecker::stats() const {
   Stats.NumViolations = numViolations();
   return Stats;
 }
+
+std::set<MemAddr> DeterminismChecker::violationKeys() const {
+  std::set<MemAddr> Keys;
+  for (const DeterminismViolation &V : violations())
+    Keys.insert(V.Addr);
+  return Keys;
+}
+
+void DeterminismChecker::printReport(std::FILE *Out) const {
+  for (const DeterminismViolation &V : violations())
+    std::fprintf(Out, "  %s\n", V.toString().c_str());
+}
+
+void DeterminismChecker::emitJsonStats(JsonReport::Row &Row) const {
+  DeterminismStats Stats = stats();
+  Row.field("violations", double(Stats.NumViolations))
+      .field("locations", double(Stats.NumLocations))
+      .field("reads", double(Stats.NumReads))
+      .field("writes", double(Stats.NumWrites))
+      .field("dpst_nodes", double(Stats.NumDpstNodes));
+  emitPreanalysisJson(Row, Stats.Pre);
+}

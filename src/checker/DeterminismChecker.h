@@ -41,6 +41,7 @@
 
 #include "analysis/SitePreanalysis.h"
 #include "checker/AccessKind.h"
+#include "checker/CheckerTool.h"
 #include "checker/ShadowMemory.h"
 #include "checker/ToolOptions.h"
 #include "dpst/Dpst.h"
@@ -77,7 +78,7 @@ struct DeterminismStats {
 };
 
 /// Tardis-style internal-determinism checker over the DPST.
-class DeterminismChecker : public ExecutionObserver {
+class DeterminismChecker : public CheckerTool {
 public:
   /// All configuration is the shared ToolOptions surface; the determinism
   /// checker has no tool-specific knobs (locks are deliberately ignored).
@@ -101,16 +102,22 @@ public:
   /// The embedded pre-analysis engine (replay front end, tests). The
   /// determinism checker ignores lock events, so warmup never observes a
   /// lockset signature — sites classify only via the lock-free verdicts.
-  SitePreanalysis &preanalysis() { return Pre; }
+  SitePreanalysis &preanalysis() override { return Pre; }
 
-  size_t numViolations() const;
+  size_t numViolations() const override;
   std::vector<DeterminismViolation> violations() const;
   DeterminismStats stats() const;
   const Dpst &dpst() const { return *Tree; }
 
+  // CheckerTool reporting interface.
+  const char *name() const override { return "determinism"; }
+  std::set<MemAddr> violationKeys() const override;
+  void printReport(std::FILE *Out) const override;
+  void emitJsonStats(JsonReport::Row &Row) const override;
+
   /// Registers this tool's gauges (DPST node count) with the active
   /// observability session; no-op without one.
-  void registerObsGauges();
+  void registerObsGauges() override;
 
 private:
   struct LocationState {

@@ -277,3 +277,25 @@ RaceStats RaceDetector::stats() const {
   }
   return Stats;
 }
+
+std::set<MemAddr> RaceDetector::violationKeys() const {
+  std::set<MemAddr> Keys;
+  for (const Race &R : races())
+    Keys.insert(R.Addr);
+  return Keys;
+}
+
+void RaceDetector::printReport(std::FILE *Out) const {
+  for (const Race &R : races())
+    std::fprintf(Out, "  %s\n", R.toString().c_str());
+}
+
+void RaceDetector::emitJsonStats(JsonReport::Row &Row) const {
+  RaceStats Stats = stats();
+  Row.field("violations", double(Stats.NumRaces))
+      .field("locations", double(Stats.NumLocations))
+      .field("reads", double(Stats.NumReads))
+      .field("writes", double(Stats.NumWrites))
+      .field("dpst_nodes", double(Stats.NumDpstNodes));
+  emitPreanalysisJson(Row, Stats.Pre);
+}

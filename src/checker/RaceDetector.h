@@ -35,6 +35,7 @@
 
 #include "analysis/SitePreanalysis.h"
 #include "checker/AccessKind.h"
+#include "checker/CheckerTool.h"
 #include "checker/LockSet.h"
 #include "checker/ShadowMemory.h"
 #include "checker/ToolOptions.h"
@@ -75,7 +76,7 @@ struct RaceStats {
 };
 
 /// DPST-based All-Sets data race detector.
-class RaceDetector : public ExecutionObserver {
+class RaceDetector : public CheckerTool {
 public:
   /// All configuration is the shared ToolOptions surface; the detector has
   /// no tool-specific knobs.
@@ -98,7 +99,7 @@ public:
   void onSiteRegister(MemAddr Base, uint64_t Size, uint32_t Stride) override;
 
   /// The embedded pre-analysis engine (replay front end, tests).
-  SitePreanalysis &preanalysis() { return Pre; }
+  SitePreanalysis &preanalysis() override { return Pre; }
 
   /// Distinct races found (deduplicated by step pair and kinds).
   size_t numRaces() const;
@@ -109,9 +110,16 @@ public:
   RaceStats stats() const;
   const Dpst &dpst() const { return *Tree; }
 
+  // CheckerTool reporting interface.
+  const char *name() const override { return "race"; }
+  size_t numViolations() const override { return numRaces(); }
+  std::set<MemAddr> violationKeys() const override;
+  void printReport(std::FILE *Out) const override;
+  void emitJsonStats(JsonReport::Row &Row) const override;
+
   /// Registers this tool's gauges (DPST node count) with the active
   /// observability session; no-op without one.
-  void registerObsGauges();
+  void registerObsGauges() override;
 
 private:
   /// Access records for one (location, lockset) combination: the leftmost

@@ -1,0 +1,109 @@
+//===- checker/ToolRegistry.cpp - Name -> engine factory registry ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/ToolRegistry.h"
+
+#include "checker/AtomicityChecker.h"
+#include "checker/BasicChecker.h"
+#include "checker/DeterminismChecker.h"
+#include "checker/RaceDetector.h"
+#include "checker/VectorClockAtomicity.h"
+#include "checker/Velodrome.h"
+
+using namespace avc;
+
+namespace {
+
+/// Slices the shared ToolOptions surface into an engine's own Options
+/// struct (every engine's Options derives from ToolOptions) and builds it.
+template <typename ToolT>
+std::unique_ptr<CheckerTool> makeSliced(const ToolOptions &Base) {
+  typename ToolT::Options Opts;
+  static_cast<ToolOptions &>(Opts) = Base;
+  return std::make_unique<ToolT>(Opts);
+}
+
+} // namespace
+
+bool ToolRegistry::add(ToolRegistration Reg) {
+  if (find(Reg.Name))
+    return false;
+  Registrations.push_back(std::move(Reg));
+  return true;
+}
+
+const ToolRegistration *ToolRegistry::find(std::string_view Name) const {
+  for (const ToolRegistration &Reg : Registrations)
+    if (Reg.Name == Name)
+      return &Reg;
+  return nullptr;
+}
+
+const ToolRegistration *ToolRegistry::find(ToolKind Kind) const {
+  for (const ToolRegistration &Reg : Registrations)
+    if (Reg.Kind == Kind)
+      return &Reg;
+  return nullptr;
+}
+
+std::string ToolRegistry::names() const {
+  std::string Out;
+  for (const ToolRegistration &Reg : Registrations) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += Reg.Name;
+  }
+  return Out;
+}
+
+ToolRegistry &ToolRegistry::instance() {
+  static ToolRegistry Registry = [] {
+    ToolRegistry R;
+    R.add({ToolKind::Atomicity, "atomicity",
+           "the paper's schedule-generalizing checker",
+           [](const ToolOptions &Base, const ToolExtras *Extras) {
+             AtomicityChecker::Options Opts;
+             static_cast<ToolOptions &>(Opts) = Base;
+             if (const auto *A = dynamic_cast<const AtomicityExtras *>(Extras)) {
+               Opts.ExtraInterleaverChecks = A->ExtraInterleaverChecks;
+               Opts.CompleteMetadata = A->CompleteMetadata;
+             }
+             return std::make_unique<AtomicityChecker>(Opts);
+           }});
+    R.add({ToolKind::Basic, "basic", "unbounded-history reference checker",
+           [](const ToolOptions &Base, const ToolExtras *) {
+             return makeSliced<BasicChecker>(Base);
+           }});
+    R.add({ToolKind::Velodrome, "velodrome",
+           "trace-bound baseline (observed schedule only)",
+           [](const ToolOptions &Base, const ToolExtras *) {
+             return makeSliced<VelodromeChecker>(Base);
+           }});
+    R.add({ToolKind::VClock, "vclock",
+           "linear-time vector-clock atomicity (observed schedule only)",
+           [](const ToolOptions &Base, const ToolExtras *) {
+             return makeSliced<VectorClockAtomicity>(Base);
+           }});
+    R.add({ToolKind::Race, "race", "All-Sets data race detector",
+           [](const ToolOptions &Base, const ToolExtras *) {
+             return makeSliced<RaceDetector>(Base);
+           }});
+    R.add({ToolKind::Determinism, "determinism",
+           "Tardis-style internal-determinism checker",
+           [](const ToolOptions &Base, const ToolExtras *) {
+             return makeSliced<DeterminismChecker>(Base);
+           }});
+    R.add({ToolKind::None, "none", "uninstrumented baseline",
+           ToolFactory()});
+    return R;
+  }();
+  return Registry;
+}
+
+const char *avc::toolKindName(ToolKind Kind) {
+  const ToolRegistration *Reg = ToolRegistry::instance().find(Kind);
+  return Reg ? Reg->Name.c_str() : "unknown";
+}

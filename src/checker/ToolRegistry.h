@@ -1,0 +1,80 @@
+//===- checker/ToolRegistry.h - Name -> engine factory registry -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps tool names ("atomicity", "vclock", ...) to descriptions and
+/// factories. The process-wide instance() carries every built-in engine;
+/// the CLI resolves --tool= against it, --tool=list iterates it, and
+/// ToolContext/BatchReplay construct engines through it. Registries are
+/// also plain value types so tests can build private ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_CHECKER_TOOLREGISTRY_H
+#define AVC_CHECKER_TOOLREGISTRY_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checker/CheckerTool.h"
+#include "checker/ToolOptions.h"
+
+namespace avc {
+
+/// Builds a fresh engine instance. \p Extras is an optional engine-specific
+/// knob block (dynamic_cast to the engine's own type; foreign or null
+/// means defaults). Factories must be safe to call concurrently: batch
+/// replay constructs isolated instances from worker threads.
+using ToolFactory = std::function<std::unique_ptr<CheckerTool>(
+    const ToolOptions &, const ToolExtras *)>;
+
+/// One registered engine.
+struct ToolRegistration {
+  ToolKind Kind = ToolKind::None;
+  std::string Name;
+  std::string Description;
+  /// Null for pseudo-tools that run nothing (ToolKind::None).
+  ToolFactory Factory;
+};
+
+/// A name -> registration table. instance() is the canonical registry with
+/// all built-in engines; default-constructed registries start empty.
+class ToolRegistry {
+public:
+  ToolRegistry() = default;
+
+  /// Adds \p Reg; rejects (returns false, leaves the registry unchanged)
+  /// when the name is already taken.
+  bool add(ToolRegistration Reg);
+
+  /// Registration for \p Name, or null if unknown.
+  const ToolRegistration *find(std::string_view Name) const;
+
+  /// Registration for \p Kind, or null if unknown.
+  const ToolRegistration *find(ToolKind Kind) const;
+
+  /// All registrations in registration order.
+  const std::vector<ToolRegistration> &all() const { return Registrations; }
+
+  /// Comma-separated name list ("atomicity, basic, ...") for error
+  /// messages and choice validation.
+  std::string names() const;
+
+  /// The process-wide registry, populated with every built-in engine on
+  /// first use (lazy: static-library builds must not rely on registration
+  /// objects the linker may drop).
+  static ToolRegistry &instance();
+
+private:
+  std::vector<ToolRegistration> Registrations;
+};
+
+} // namespace avc
+
+#endif // AVC_CHECKER_TOOLREGISTRY_H

@@ -1,0 +1,306 @@
+//===- checker/VectorClockAtomicity.cpp - Linear-time vclock engine -------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/VectorClockAtomicity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <mutex>
+
+#include "obs/Obs.h"
+
+using namespace avc;
+
+VectorClockAtomicity::VectorClockAtomicity(Options Opts)
+    : Opts(Opts), Pre(Opts.preanalysisOptions()), PreEnabled(Pre.enabled()),
+      Tree(createDpst(Opts.Layout)), Builder(*Tree) {}
+
+VectorClockAtomicity::~VectorClockAtomicity() = default;
+
+void VectorClockAtomicity::registerObsGauges() {
+  if (!obs::sessionActive())
+    return;
+  obs::addGauge("gauge/dpst-nodes",
+                [this] { return double(Tree->numNodes()); });
+  obs::addGauge("gauge/vclock-transactions",
+                [this] { return double(TxnPool.size()); });
+}
+
+//===----------------------------------------------------------------------===//
+// Task lifecycle: step nodes delimit transactions
+//===----------------------------------------------------------------------===//
+
+VectorClockAtomicity::TaskState &
+VectorClockAtomicity::createState(TaskId Task) {
+  auto State = std::make_unique<TaskState>();
+  TaskState *Raw = State.get();
+  TaskStorage.emplaceBack(std::move(State));
+  Tasks.getOrCreate(Task).store(Raw, std::memory_order_release);
+  return *Raw;
+}
+
+VectorClockAtomicity::TaskState &VectorClockAtomicity::stateFor(TaskId Task) {
+  std::atomic<TaskState *> *Slot = Tasks.lookup(Task);
+  assert(Slot && "event for a task that was never spawned");
+  TaskState *State = Slot->load(std::memory_order_acquire);
+  assert(State && "event for a task that was never spawned");
+  return *State;
+}
+
+void VectorClockAtomicity::onProgramStart(TaskId RootTask) {
+  if (PreEnabled)
+    Pre.noteProgramStart(RootTask);
+  Builder.initRoot(createState(RootTask).Frame, RootTask);
+}
+
+void VectorClockAtomicity::onTaskSpawn(TaskId Parent, const void *GroupTag,
+                                       TaskId Child) {
+  if (PreEnabled)
+    Pre.noteSpawn(Parent, GroupTag);
+  TaskState &ParentState = stateFor(Parent);
+  TaskState &ChildState = createState(Child);
+  Builder.spawnTask(ParentState.Frame, GroupTag, ChildState.Frame, Child);
+}
+
+void VectorClockAtomicity::retireCurrent(TaskState &State) {
+  if (Txn *Cur = State.Current) {
+    Cur->Superseded.store(true, std::memory_order_relaxed);
+    State.Current = nullptr;
+  }
+}
+
+void VectorClockAtomicity::onTaskEnd(TaskId Task) {
+  TaskState &State = stateFor(Task);
+  // The task will never access again: its transaction is finished for
+  // good, so future joins may prune it.
+  retireCurrent(State);
+  if (PreEnabled)
+    Pre.foldView(State.PreView);
+  Builder.endTask(State.Frame);
+  Totals.NumReads.fetch_add(State.NumReads, std::memory_order_relaxed);
+  Totals.NumWrites.fetch_add(State.NumWrites, std::memory_order_relaxed);
+  State.NumReads = State.NumWrites = 0;
+}
+
+void VectorClockAtomicity::onSync(TaskId Task) {
+  if (PreEnabled)
+    Pre.noteSync(Task);
+  Builder.sync(stateFor(Task).Frame);
+}
+
+void VectorClockAtomicity::onGroupWait(TaskId Task, const void *GroupTag) {
+  if (PreEnabled)
+    Pre.noteGroupWait(Task, GroupTag);
+  Builder.waitGroup(stateFor(Task).Frame, GroupTag);
+}
+
+void VectorClockAtomicity::onSiteRegister(MemAddr Base, uint64_t Size,
+                                          uint32_t Stride) {
+  if (PreEnabled)
+    Pre.registerRange(Base, Size, Stride);
+}
+
+//===----------------------------------------------------------------------===//
+// Transactions and clock joins
+//===----------------------------------------------------------------------===//
+
+VectorClockAtomicity::VcLoc &VectorClockAtomicity::locFor(ShadowSlot &Slot) {
+  VcLoc *Loc = Slot.Loc.load(std::memory_order_acquire);
+  if (Loc)
+    return *Loc;
+  size_t Index = LocPool.emplaceBack();
+  VcLoc *Fresh = &LocPool[Index];
+  if (Slot.Loc.compare_exchange_strong(Loc, Fresh, std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+    return *Fresh;
+  return *Loc;
+}
+
+/// The task's transaction for its current step, rolled lazily: when the
+/// step advanced (spawn/sync moved the continuation), the old transaction
+/// is superseded and a fresh one allocated. Step-node ids are never
+/// reused, so each step has at most one Txn and pointer equality matches
+/// step equality.
+VectorClockAtomicity::Txn &
+VectorClockAtomicity::currentTxn(TaskState &State) {
+  NodeId Step = Builder.currentStep(State.Frame);
+  Txn *Cur = State.Current;
+  if (Cur && Cur->Step == Step)
+    return *Cur;
+  if (Cur)
+    Cur->Superseded.store(true, std::memory_order_relaxed);
+  size_t Index = TxnPool.emplaceBack();
+  Txn *Fresh = &TxnPool[Index];
+  Fresh->Step = Step;
+  State.Current = Fresh;
+  return *Fresh;
+}
+
+void VectorClockAtomicity::joinInto(
+    Txn *Dst, Txn *Entry, std::vector<std::pair<Txn *, Txn *>> &Work) {
+  if (Entry == Dst)
+    return;
+  auto It = std::lower_bound(Dst->Clock.begin(), Dst->Clock.end(), Entry,
+                             [](const Txn *A, const Txn *B) {
+                               return A->Step < B->Step;
+                             });
+  if (It != Dst->Clock.end() && (*It)->Step == Entry->Step)
+    return;
+  Dst->Clock.insert(It, Entry);
+  ++NumJoinsTotal;
+  // Dst's clock grew: every transaction that ever consumed an edge out of
+  // Dst must learn about Entry too, or a later membership probe would
+  // miss a real path.
+  for (Txn *Dep : Dst->Dependents)
+    Work.emplace_back(Dep, Entry);
+}
+
+void VectorClockAtomicity::joinEdge(Txn *Pred, Txn *Succ, MemAddr Addr) {
+  if (Pred == Succ)
+    return;
+  std::lock_guard<SpinLock> Guard(ClockLock);
+  // Same dedup key and order as Velodrome::addEdge: a repeated edge is a
+  // no-op before any check, so both engines see identical edge streams.
+  uint64_t Key = (uint64_t(Pred->Step) << 32) | uint64_t(Succ->Step);
+  if (!EdgeSet.insert(Key).second)
+    return;
+  // The edge says Pred's conflicting access was observed before Succ's;
+  // if Succ already reaches Pred — i.e. Succ is in Pred's predecessor
+  // clock — the transactions depend on each other in both directions and
+  // the trace is not conflict serializable.
+  auto It = std::lower_bound(Pred->Clock.begin(), Pred->Clock.end(),
+                             Succ->Step, [](const Txn *A, NodeId Step) {
+                               return A->Step < Step;
+                             });
+  if (It != Pred->Clock.end() && (*It)->Step == Succ->Step) {
+    ++NumCyclesTotal;
+    if (Cycles.size() < Opts.MaxRetainedReports)
+      Cycles.push_back(VClockCycle{Pred->Step, Succ->Step, Addr});
+  }
+  // Join Pred's predecessors (and Pred itself) into Succ's clock, then
+  // flush the growth transitively. Superseded transactions are skipped:
+  // they can never again be the subject of a membership probe, so
+  // dropping them bounds clock width by the live-transaction count.
+  Pred->Dependents.push_back(Succ);
+  std::vector<std::pair<Txn *, Txn *>> Work;
+  if (!Pred->Superseded.load(std::memory_order_relaxed))
+    joinInto(Succ, Pred, Work);
+  for (Txn *Entry : Pred->Clock)
+    if (!Entry->Superseded.load(std::memory_order_relaxed))
+      joinInto(Succ, Entry, Work);
+  while (!Work.empty()) {
+    auto [Dst, Entry] = Work.back();
+    Work.pop_back();
+    ++NumPropagationsTotal;
+    joinInto(Dst, Entry, Work);
+  }
+}
+
+void VectorClockAtomicity::onRead(TaskId Task, MemAddr Addr) {
+  onAccess(Task, Addr, /*IsWrite=*/false);
+}
+
+void VectorClockAtomicity::onWrite(TaskId Task, MemAddr Addr) {
+  onAccess(Task, Addr, /*IsWrite=*/true);
+}
+
+void VectorClockAtomicity::onAccess(TaskId Task, MemAddr Addr, bool IsWrite) {
+  TaskState &State = stateFor(Task);
+  if (PreEnabled &&
+      Pre.gate(State.PreView, Task, Addr,
+               IsWrite ? AccessKind::Write : AccessKind::Read))
+    return;
+  if (IsWrite)
+    ++State.NumWrites;
+  else
+    ++State.NumReads;
+  Txn *Cur = &currentTxn(State);
+  VcLoc &Loc = locFor(Shadow.getOrCreate(Addr));
+
+  std::lock_guard<SpinLock> Guard(Loc.Lock);
+  if (!IsWrite) {
+    if (Loc.LastWriter)
+      joinEdge(Loc.LastWriter, Cur, Addr);
+    for (Txn *Reader : Loc.Readers)
+      if (Reader == Cur)
+        return;
+    Loc.Readers.push_back(Cur);
+    return;
+  }
+  if (Loc.LastWriter)
+    joinEdge(Loc.LastWriter, Cur, Addr);
+  for (Txn *Reader : Loc.Readers)
+    joinEdge(Reader, Cur, Addr);
+  Loc.Readers.clear();
+  Loc.LastWriter = Cur;
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+VClockStats VectorClockAtomicity::stats() const {
+  VClockStats Stats;
+  Stats.NumReads = Totals.NumReads.load(std::memory_order_relaxed);
+  Stats.NumWrites = Totals.NumWrites.load(std::memory_order_relaxed);
+  for (size_t I = 0, N = TaskStorage.size(); I < N; ++I) {
+    const TaskState &State = *TaskStorage[I];
+    Stats.NumReads += State.NumReads;
+    Stats.NumWrites += State.NumWrites;
+  }
+  Stats.Pre = Pre.stats();
+  for (size_t I = 0, N = TaskStorage.size(); I < N; ++I) {
+    const TaskState &State = *TaskStorage[I];
+    Stats.Pre.NumSeqSkips += State.PreView.SeqSkips;
+    Stats.Pre.NumSiteSkips += State.PreView.SiteSkips;
+  }
+  Stats.NumTransactions = TxnPool.size();
+  std::lock_guard<SpinLock> Guard(ClockLock);
+  Stats.NumEdges = EdgeSet.size();
+  Stats.NumCycles = NumCyclesTotal;
+  Stats.NumJoins = NumJoinsTotal;
+  Stats.NumPropagations = NumPropagationsTotal;
+  return Stats;
+}
+
+std::vector<VClockCycle> VectorClockAtomicity::cycles() const {
+  std::lock_guard<SpinLock> Guard(ClockLock);
+  return Cycles;
+}
+
+size_t VectorClockAtomicity::numViolations() const {
+  std::lock_guard<SpinLock> Guard(ClockLock);
+  return NumCyclesTotal;
+}
+
+std::set<MemAddr> VectorClockAtomicity::violationKeys() const {
+  std::set<MemAddr> Keys;
+  for (const VClockCycle &Cycle : cycles())
+    Keys.insert(Cycle.Addr);
+  return Keys;
+}
+
+void VectorClockAtomicity::printReport(std::FILE *Out) const {
+  for (const VClockCycle &Cycle : cycles())
+    std::fprintf(Out,
+                 "  unserializable transaction in observed trace: edge "
+                 "S%u -> S%u closed a cycle (location 0x%llx)\n",
+                 Cycle.Source, Cycle.Target,
+                 static_cast<unsigned long long>(Cycle.Addr));
+}
+
+void VectorClockAtomicity::emitJsonStats(JsonReport::Row &Row) const {
+  VClockStats Stats = stats();
+  Row.field("violations", double(Stats.NumCycles))
+      .field("transactions", double(Stats.NumTransactions))
+      .field("edges", double(Stats.NumEdges))
+      .field("joins", double(Stats.NumJoins))
+      .field("propagations", double(Stats.NumPropagations))
+      .field("reads", double(Stats.NumReads))
+      .field("writes", double(Stats.NumWrites));
+  emitPreanalysisJson(Row, Stats.Pre);
+}

@@ -220,3 +220,29 @@ size_t VelodromeChecker::numViolations() const {
   std::lock_guard<SpinLock> Guard(GraphLock);
   return NumCyclesTotal;
 }
+
+std::set<MemAddr> VelodromeChecker::violationKeys() const {
+  std::set<MemAddr> Keys;
+  for (const VelodromeCycle &Cycle : cycles())
+    Keys.insert(Cycle.Addr);
+  return Keys;
+}
+
+void VelodromeChecker::printReport(std::FILE *Out) const {
+  for (const VelodromeCycle &Cycle : cycles())
+    std::fprintf(Out,
+                 "  unserializable transaction in observed trace: edge "
+                 "S%u -> S%u closed a cycle (location 0x%llx)\n",
+                 Cycle.Source, Cycle.Target,
+                 static_cast<unsigned long long>(Cycle.Addr));
+}
+
+void VelodromeChecker::emitJsonStats(JsonReport::Row &Row) const {
+  VelodromeStats Stats = stats();
+  Row.field("violations", double(Stats.NumCycles))
+      .field("transactions", double(Stats.NumTransactions))
+      .field("edges", double(Stats.NumEdges))
+      .field("reads", double(Stats.NumReads))
+      .field("writes", double(Stats.NumWrites));
+  emitPreanalysisJson(Row, Stats.Pre);
+}

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "analysis/SitePreanalysis.h"
+#include "checker/CheckerTool.h"
 #include "checker/ShadowMemory.h"
 #include "checker/ToolOptions.h"
 #include "dpst/Dpst.h"
@@ -62,7 +63,7 @@ struct VelodromeCycle {
 };
 
 /// The trace-bound atomicity checker used as the Figure 13 baseline.
-class VelodromeChecker : public ExecutionObserver {
+class VelodromeChecker : public CheckerTool {
 public:
   /// All configuration is the shared ToolOptions surface. Velodrome has no
   /// parallelism oracle, so the query/cache fields are unused, but Layout
@@ -86,15 +87,21 @@ public:
   /// The embedded pre-analysis engine (replay front end, tests). Skipping
   /// is sound here too: Velodrome transactions are step nodes, so an
   /// access in series with the whole run can close no conflict cycle.
-  SitePreanalysis &preanalysis() { return Pre; }
+  SitePreanalysis &preanalysis() override { return Pre; }
 
   VelodromeStats stats() const;
   std::vector<VelodromeCycle> cycles() const;
-  size_t numViolations() const;
+
+  // CheckerTool reporting interface.
+  const char *name() const override { return "velodrome"; }
+  size_t numViolations() const override;
+  std::set<MemAddr> violationKeys() const override;
+  void printReport(std::FILE *Out) const override;
+  void emitJsonStats(JsonReport::Row &Row) const override;
 
   /// Registers this tool's gauges (DPST node count) with the active
   /// observability session; no-op without one.
-  void registerObsGauges();
+  void registerObsGauges() override;
 
 private:
   /// Last-writer transaction and readers-since-last-write per location.

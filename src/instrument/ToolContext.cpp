@@ -6,28 +6,13 @@
 
 #include "instrument/ToolContext.h"
 
+#include <cassert>
+
+#include "checker/ToolRegistry.h"
 #include "obs/Obs.h"
 #include "support/Compiler.h"
 
 using namespace avc;
-
-const char *avc::toolKindName(ToolKind Kind) {
-  switch (Kind) {
-  case ToolKind::None:
-    return "none";
-  case ToolKind::Atomicity:
-    return "atomicity";
-  case ToolKind::Basic:
-    return "basic";
-  case ToolKind::Velodrome:
-    return "velodrome";
-  case ToolKind::Race:
-    return "race";
-  case ToolKind::Determinism:
-    return "determinism";
-  }
-  avc_unreachable("unknown tool kind");
-}
 
 static TaskRuntime::Options runtimeOptions(unsigned NumThreads) {
   TaskRuntime::Options Opts;
@@ -35,47 +20,14 @@ static TaskRuntime::Options runtimeOptions(unsigned NumThreads) {
   return Opts;
 }
 
-/// Every tool's Options derives from ToolOptions, so configuring any tool
-/// is one slice-assignment — the single place shared configuration flows
-/// from the front end into a tool.
-template <typename OptionsT>
-static OptionsT toolOptionsFor(const ToolOptions &Shared) {
-  OptionsT Opts;
-  static_cast<ToolOptions &>(Opts) = Shared;
-  return Opts;
-}
-
 ToolContext::ToolContext(Options Opts)
     : Kind(Opts.Tool), ProfilePath(Opts.Checker.ProfilePath),
       RT(runtimeOptions(Opts.Checker.NumThreads)) {
-  const ToolOptions &Shared = Opts.Checker;
-  switch (Kind) {
-  case ToolKind::None:
-    break;
-  case ToolKind::Atomicity:
-    Atomicity = std::make_unique<AtomicityChecker>(Opts.Checker);
-    RT.addObserver(Atomicity.get());
-    break;
-  case ToolKind::Basic:
-    Basic = std::make_unique<BasicChecker>(
-        toolOptionsFor<BasicChecker::Options>(Shared));
-    RT.addObserver(Basic.get());
-    break;
-  case ToolKind::Velodrome:
-    Velodrome = std::make_unique<VelodromeChecker>(
-        toolOptionsFor<VelodromeChecker::Options>(Shared));
-    RT.addObserver(Velodrome.get());
-    break;
-  case ToolKind::Race:
-    Races = std::make_unique<RaceDetector>(
-        toolOptionsFor<RaceDetector::Options>(Shared));
-    RT.addObserver(Races.get());
-    break;
-  case ToolKind::Determinism:
-    Determinism = std::make_unique<DeterminismChecker>(
-        toolOptionsFor<DeterminismChecker::Options>(Shared));
-    RT.addObserver(Determinism.get());
-    break;
+  const ToolRegistration *Reg = ToolRegistry::instance().find(Kind);
+  assert(Reg && "tool kind missing from the registry");
+  if (Reg && Reg->Factory) {
+    Tool_ = Reg->Factory(Opts.Checker, Opts.Extras);
+    RT.addObserver(Tool_.get());
   }
 }
 
@@ -90,16 +42,8 @@ ToolContext::ToolContext(ToolKind Kind, unsigned NumThreads)
 ToolContext::~ToolContext() = default;
 
 void ToolContext::registerObsGauges() {
-  if (Atomicity)
-    Atomicity->registerObsGauges();
-  if (Basic)
-    Basic->registerObsGauges();
-  if (Velodrome)
-    Velodrome->registerObsGauges();
-  if (Races)
-    Races->registerObsGauges();
-  if (Determinism)
-    Determinism->registerObsGauges();
+  if (Tool_)
+    Tool_->registerObsGauges();
 }
 
 void ToolContext::run(std::function<void()> Root) {
@@ -120,55 +64,18 @@ void ToolContext::run(std::function<void()> Root) {
 }
 
 bool ToolContext::registerAtomicGroup(const MemAddr *Members, size_t Count) {
-  bool Ok = true;
-  if (Atomicity)
-    Ok = Atomicity->registerAtomicGroup(Members, Count);
-  if (Basic)
-    Basic->registerAtomicGroup(Members, Count);
-  // Velodrome and None have no notion of grouped metadata.
-  return Ok;
+  if (!Tool_)
+    return true;
+  return Tool_->registerAtomicGroup(Members, Count);
 }
 
 size_t ToolContext::numViolations() const {
-  switch (Kind) {
-  case ToolKind::None:
-    return 0;
-  case ToolKind::Atomicity:
-    return Atomicity->violations().size();
-  case ToolKind::Basic:
-    return Basic->violations().size();
-  case ToolKind::Velodrome:
-    return Velodrome->numViolations();
-  case ToolKind::Race:
-    return Races->numRaces();
-  case ToolKind::Determinism:
-    return Determinism->numViolations();
-  }
-  avc_unreachable("unknown tool kind");
+  return Tool_ ? Tool_->numViolations() : 0;
 }
 
 void ToolContext::printReport(std::FILE *Out) const {
   std::fprintf(Out, "[%s] %zu violation(s)\n", toolKindName(Kind),
                numViolations());
-  auto PrintLog = [&](const ViolationLog &Log) {
-    for (const Violation &V : Log.snapshot())
-      std::fprintf(Out, "  %s\n", V.toString().c_str());
-  };
-  if (Atomicity)
-    PrintLog(Atomicity->violations());
-  if (Basic)
-    PrintLog(Basic->violations());
-  if (Races)
-    for (const Race &R : Races->races())
-      std::fprintf(Out, "  %s\n", R.toString().c_str());
-  if (Determinism)
-    for (const DeterminismViolation &V : Determinism->violations())
-      std::fprintf(Out, "  %s\n", V.toString().c_str());
-  if (Velodrome)
-    for (const VelodromeCycle &Cycle : Velodrome->cycles())
-      std::fprintf(Out,
-                   "  unserializable transaction in observed trace: edge "
-                   "S%u -> S%u closed a cycle (location 0x%llx)\n",
-                   Cycle.Source, Cycle.Target,
-                   static_cast<unsigned long long>(Cycle.Addr));
+  if (Tool_)
+    Tool_->printReport(Out);
 }

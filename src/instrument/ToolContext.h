@@ -15,6 +15,11 @@
 ///   Tool.printReport();
 /// \endcode
 ///
+/// The context holds exactly one CheckerTool built through the
+/// ToolRegistry and talks to it through the polymorphic interface; the
+/// typed accessors below are dynamic_cast shims kept so engine-specific
+/// call sites (tests, benches, --dot) compile unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AVC_INSTRUMENT_TOOLCONTEXT_H
@@ -27,41 +32,32 @@
 
 #include "checker/AtomicityChecker.h"
 #include "checker/BasicChecker.h"
+#include "checker/CheckerTool.h"
 #include "checker/DeterminismChecker.h"
 #include "checker/RaceDetector.h"
+#include "checker/VectorClockAtomicity.h"
 #include "checker/Velodrome.h"
 #include "instrument/Tracked.h"
 #include "runtime/TaskRuntime.h"
 
 namespace avc {
 
-/// Selects the analysis attached to the runtime.
-enum class ToolKind : uint8_t {
-  None,      ///< Uninstrumented baseline (overhead denominator).
-  Atomicity, ///< The paper's optimized checker.
-  Basic,     ///< The unbounded-history reference checker.
-  Velodrome, ///< The trace-bound baseline.
-  Race,      ///< The All-Sets data race detector (the paper's substrate).
-  Determinism, ///< Tardis-style internal-determinism checker (Section 5).
-};
-
-/// Returns a short name for \p Kind.
-const char *toolKindName(ToolKind Kind);
-
 /// A runtime plus the selected tool, wired together.
 class ToolContext {
 public:
   struct Options {
     ToolKind Tool = ToolKind::Atomicity;
-    /// Tool configuration. The shared ToolOptions slice of this struct
-    /// configures whichever tool is selected (the ctor slices it into the
-    /// other tools' Options); the atomicity-specific extras only matter
-    /// for ToolKind::Atomicity. Checker.NumThreads sizes the runtime's
-    /// worker pool *and* tells the tool how much concurrency to defend
-    /// against — one knob, one value, no way for them to disagree.
-    /// Checker.ProfilePath, when set, makes run() record an observability
-    /// session and export a Perfetto trace there.
-    AtomicityChecker::Options Checker;
+    /// Shared tool configuration, handed to whichever engine is selected.
+    /// Checker.NumThreads sizes the runtime's worker pool *and* tells the
+    /// tool how much concurrency to defend against — one knob, one value,
+    /// no way for them to disagree. Checker.ProfilePath, when set, makes
+    /// run() record an observability session and export a Perfetto trace
+    /// there.
+    ToolOptions Checker;
+    /// Engine-specific construction knobs (e.g. AtomicityExtras), passed
+    /// through to the registry factory. Not owned; must outlive the
+    /// ToolContext constructor call.
+    const ToolExtras *Extras = nullptr;
   };
 
   ToolContext(Options Opts);
@@ -94,12 +90,12 @@ public:
   /// Gives \p Location a display name used in reports.
   template <typename T>
   void nameLocation(const Tracked<T> &Location, std::string Name) {
-    if (Atomicity)
-      Atomicity->nameLocation(Location.address(), std::move(Name));
+    if (Tool_)
+      Tool_->nameLocation(Location.address(), std::move(Name));
   }
 
-  /// Violations found (atomicity/basic report triples; Velodrome reports
-  /// cycles; None reports zero).
+  /// Violations found (atomicity/basic report triples; the trace-bound
+  /// engines report cycles; None reports zero).
   size_t numViolations() const;
 
   /// Writes a human-readable summary of the findings to \p Out.
@@ -108,18 +104,47 @@ public:
   ToolKind kind() const { return Kind; }
   TaskRuntime &runtime() { return RT; }
 
-  /// The active checkers (null unless that tool was selected).
-  AtomicityChecker *atomicityChecker() { return Atomicity.get(); }
-  const AtomicityChecker *atomicityChecker() const { return Atomicity.get(); }
-  BasicChecker *basicChecker() { return Basic.get(); }
-  const BasicChecker *basicChecker() const { return Basic.get(); }
-  VelodromeChecker *velodromeChecker() { return Velodrome.get(); }
-  const VelodromeChecker *velodromeChecker() const { return Velodrome.get(); }
-  RaceDetector *raceDetector() { return Races.get(); }
-  const RaceDetector *raceDetector() const { return Races.get(); }
-  DeterminismChecker *determinismChecker() { return Determinism.get(); }
+  /// The active engine (null for ToolKind::None).
+  CheckerTool *tool() { return Tool_.get(); }
+  const CheckerTool *tool() const { return Tool_.get(); }
+
+  /// Typed accessors (null unless that engine was selected): dynamic_cast
+  /// shims over the single polymorphic member.
+  AtomicityChecker *atomicityChecker() {
+    return dynamic_cast<AtomicityChecker *>(Tool_.get());
+  }
+  const AtomicityChecker *atomicityChecker() const {
+    return dynamic_cast<const AtomicityChecker *>(Tool_.get());
+  }
+  BasicChecker *basicChecker() {
+    return dynamic_cast<BasicChecker *>(Tool_.get());
+  }
+  const BasicChecker *basicChecker() const {
+    return dynamic_cast<const BasicChecker *>(Tool_.get());
+  }
+  VelodromeChecker *velodromeChecker() {
+    return dynamic_cast<VelodromeChecker *>(Tool_.get());
+  }
+  const VelodromeChecker *velodromeChecker() const {
+    return dynamic_cast<const VelodromeChecker *>(Tool_.get());
+  }
+  VectorClockAtomicity *vectorClockChecker() {
+    return dynamic_cast<VectorClockAtomicity *>(Tool_.get());
+  }
+  const VectorClockAtomicity *vectorClockChecker() const {
+    return dynamic_cast<const VectorClockAtomicity *>(Tool_.get());
+  }
+  RaceDetector *raceDetector() {
+    return dynamic_cast<RaceDetector *>(Tool_.get());
+  }
+  const RaceDetector *raceDetector() const {
+    return dynamic_cast<const RaceDetector *>(Tool_.get());
+  }
+  DeterminismChecker *determinismChecker() {
+    return dynamic_cast<DeterminismChecker *>(Tool_.get());
+  }
   const DeterminismChecker *determinismChecker() const {
-    return Determinism.get();
+    return dynamic_cast<const DeterminismChecker *>(Tool_.get());
   }
 
 private:
@@ -128,11 +153,7 @@ private:
 
   ToolKind Kind;
   std::string ProfilePath;
-  std::unique_ptr<AtomicityChecker> Atomicity;
-  std::unique_ptr<BasicChecker> Basic;
-  std::unique_ptr<VelodromeChecker> Velodrome;
-  std::unique_ptr<RaceDetector> Races;
-  std::unique_ptr<DeterminismChecker> Determinism;
+  std::unique_ptr<CheckerTool> Tool_;
   TaskRuntime RT;
 };
 

@@ -123,6 +123,36 @@ public:
     });
   }
 
+  /// Registers `--name=V` whose value must be one of a set of choices
+  /// supplied by \p Choices — a callback so the set can come from a
+  /// runtime registry rather than a literal. An out-of-set value errors
+  /// listing every accepted choice; an in-set value is stored in \p Out.
+  ArgParser &
+  choiceOption(std::string Name, std::string &Out,
+               std::function<std::vector<std::string>()> Choices) {
+    std::string Diag = Name;
+    return option(std::move(Name),
+                  [Diag, &Out, Choices = std::move(Choices)](const char *V) {
+                    std::vector<std::string> Allowed = Choices();
+                    for (const std::string &Choice : Allowed)
+                      if (Choice == V) {
+                        Out = V;
+                        return true;
+                      }
+                    std::string List;
+                    for (const std::string &Choice : Allowed) {
+                      if (!List.empty())
+                        List += ", ";
+                      List += Choice;
+                    }
+                    std::fprintf(stderr,
+                                 "error: --%s got unknown value '%s' "
+                                 "(choices: %s)\n",
+                                 Diag.c_str(), V, List.c_str());
+                    return false;
+                  });
+  }
+
   /// Strict parse: every argument must match a registered option.
   bool parse(int Argc, char **Argv) {
     for (int I = 1; I < Argc; ++I) {

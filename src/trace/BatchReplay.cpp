@@ -7,13 +7,10 @@
 #include "trace/BatchReplay.h"
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 
-#include "checker/AtomicityChecker.h"
-#include "checker/BasicChecker.h"
-#include "checker/DeterminismChecker.h"
-#include "checker/RaceDetector.h"
-#include "checker/Velodrome.h"
+#include "checker/ToolRegistry.h"
 #include "runtime/TaskRuntime.h"
 #include "support/Timing.h"
 #include "trace/TraceCodec.h"
@@ -23,71 +20,16 @@ using namespace avc;
 
 namespace {
 
-/// Replays \p Events through a fresh instance of \p ToolT configured from
-/// \p Opts (two-pass when pre-analysis is on) and returns the violation
-/// count via \p Count — a callable hiding the per-tool accessor name.
-template <typename ToolT, typename CountFn>
-uint64_t checkWith(const Trace &Events, typename ToolT::Options ToolOpts,
-                   CountFn Count) {
-  ToolT Tool(ToolOpts);
-  replayTraceTwoPass(Events, Tool);
-  return Count(Tool);
-}
-
-/// Checks one already-parsed trace with an isolated tool instance.
+/// Checks one already-parsed trace with an isolated tool instance built
+/// through the registry. Unregistered kinds and kinds with no factory
+/// (None) count zero violations.
 uint64_t checkTrace(const Trace &Events, const BatchOptions &Opts) {
-  switch (Opts.Tool) {
-  case ToolKind::Atomicity: {
-    AtomicityChecker::Options O;
-    O.EnableAccessCache = Opts.CacheEnabled;
-    O.AccessCacheSlots = Opts.CacheSlots;
-    O.Query = Opts.Query;
-    O.Preanalysis = Opts.Preanalysis;
-    O.PreanalysisWarmup = Opts.PreanalysisWarmup;
-    return checkWith<AtomicityChecker>(Events, O, [](AtomicityChecker &C) {
-      return C.violations().size();
-    });
-  }
-  case ToolKind::Basic: {
-    BasicChecker::Options O;
-    O.Query = Opts.Query;
-    O.Preanalysis = Opts.Preanalysis;
-    O.PreanalysisWarmup = Opts.PreanalysisWarmup;
-    return checkWith<BasicChecker>(Events, O, [](BasicChecker &C) {
-      return C.violations().size();
-    });
-  }
-  case ToolKind::Velodrome: {
-    VelodromeChecker::Options O;
-    O.Preanalysis = Opts.Preanalysis;
-    O.PreanalysisWarmup = Opts.PreanalysisWarmup;
-    return checkWith<VelodromeChecker>(Events, O, [](VelodromeChecker &C) {
-      return C.numViolations();
-    });
-  }
-  case ToolKind::Race: {
-    RaceDetector::Options O;
-    O.Query = Opts.Query;
-    O.Preanalysis = Opts.Preanalysis;
-    O.PreanalysisWarmup = Opts.PreanalysisWarmup;
-    return checkWith<RaceDetector>(Events, O, [](RaceDetector &D) {
-      return D.numRaces();
-    });
-  }
-  case ToolKind::Determinism: {
-    DeterminismChecker::Options O;
-    O.Query = Opts.Query;
-    O.Preanalysis = Opts.Preanalysis;
-    O.PreanalysisWarmup = Opts.PreanalysisWarmup;
-    return checkWith<DeterminismChecker>(Events, O,
-                                         [](DeterminismChecker &C) {
-                                           return C.numViolations();
-                                         });
-  }
-  case ToolKind::None:
+  const ToolRegistration *Reg = ToolRegistry::instance().find(Opts.Tool);
+  if (!Reg || !Reg->Factory)
     return 0;
-  }
-  return 0;
+  std::unique_ptr<CheckerTool> Tool = Reg->Factory(Opts.Checker, Opts.Extras);
+  replayTraceTwoPass(Events, *Tool);
+  return Tool->numViolations();
 }
 
 /// Loads, parses (text or binary), and checks one trace.
@@ -155,7 +97,7 @@ void avc::batchToJson(const BatchResult &Result, const BatchOptions &Opts,
   Report.meta("experiment", "taskcheck_batch");
   Report.meta("tool", toolKindName(Opts.Tool));
   Report.meta("workers", double(Opts.NumWorkers));
-  Report.meta("preanalysis", preanalysisModeName(Opts.Preanalysis));
+  Report.meta("preanalysis", preanalysisModeName(Opts.Checker.Preanalysis));
   Report.meta("traces", double(Result.Traces.size()));
   Report.meta("failed", double(Result.NumFailed));
   Report.meta("flagged", double(Result.NumFlagged));

@@ -20,10 +20,8 @@
 #include <string>
 #include <vector>
 
-#include "analysis/SiteClass.h"
+#include "checker/CheckerTool.h"
 #include "checker/ToolOptions.h"
-#include "dpst/DpstQueryIndex.h"
-#include "instrument/ToolContext.h"
 #include "support/JsonReport.h"
 
 namespace avc {
@@ -31,11 +29,13 @@ namespace avc {
 /// Configuration of one batch run.
 struct BatchOptions {
   ToolKind Tool = ToolKind::Atomicity;
-  QueryMode Query = QueryMode::Label;
-  PreanalysisMode Preanalysis = PreanalysisMode::Off;
-  uint32_t PreanalysisWarmup = DefaultPreanalysisWarmup;
-  bool CacheEnabled = true;
-  unsigned CacheSlots = DefaultAccessCacheSlots;
+  /// Shared tool configuration handed to the registry factory for every
+  /// trace (query mode, pre-analysis, access cache, ...).
+  ToolOptions Checker;
+  /// Engine-specific construction knobs (e.g. AtomicityExtras), passed
+  /// through to the registry factory. Not owned; must outlive the batch
+  /// run.
+  const ToolExtras *Extras = nullptr;
   /// Worker threads replaying traces (0 = hardware concurrency). Each
   /// trace is checked by exactly one worker; workers never share tool
   /// state.

@@ -1,0 +1,280 @@
+//===- tests/CrossEngineTest.cpp - vclock vs Velodrome vs DPST checker ----===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential testing of the three atomicity engines on every suite
+/// scenario:
+///
+///  - The two trace-bound engines — Velodrome (graph cycle detection) and
+///    the vector-clock engine — implement the same specification (conflict
+///    serializability of the observed trace) by entirely different
+///    algorithms, so on ANY trace their violation sets and counts must be
+///    identical: in replay, live on one worker, and on traces recorded
+///    from contended 8-worker runs.
+///
+///  - The DPST checker covers all schedules of the observed input, so its
+///    set must contain everything a trace-bound engine can find in the one
+///    schedule it saw. Scenarios where the built trace does not itself
+///    interleave the unserializable pattern are exactly where the paper's
+///    checker wins: the trace-bound engines report nothing, the DPST
+///    checker still flags the location (kObservedTraceBlind below; the
+///    same list is documented in EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "LiveSuiteLowering.h"
+#include "ViolationSuiteData.h"
+#include "checker/AtomicityChecker.h"
+#include "checker/VectorClockAtomicity.h"
+#include "checker/Velodrome.h"
+#include "instrument/ToolContext.h"
+#include "trace/TraceRecorder.h"
+
+using namespace avc;
+using namespace avc::suite;
+
+namespace {
+
+class CrossEngine : public ::testing::TestWithParam<Scenario> {};
+class CrossEngineClean : public ::testing::TestWithParam<Scenario> {};
+
+/// One replay of \p Events through a fresh \p ToolT, via the uniform
+/// CheckerTool surface (keys + total count).
+template <typename ToolT>
+std::pair<std::set<MemAddr>, size_t> replayEngine(const Trace &Events) {
+  typename ToolT::Options Opts;
+  ToolT Tool(Opts);
+  replayTrace(Events, Tool);
+  const CheckerTool &Iface = Tool;
+  return {Iface.violationKeys(), Iface.numViolations()};
+}
+
+/// Collapses group members onto the group's representative address, the
+/// translation the DPST checker applies when a group is registered. The
+/// trace-bound engines have no group concept and report raw addresses.
+std::set<MemAddr> collapseGroups(const std::set<MemAddr> &Keys,
+                                 const Scenario &S) {
+  if (S.Group.empty())
+    return Keys;
+  std::set<MemAddr> Out;
+  for (MemAddr Addr : Keys) {
+    bool InGroup = false;
+    for (MemAddr Member : S.Group)
+      InGroup |= (Addr == Member);
+    Out.insert(InGroup ? S.Group.front() : Addr);
+  }
+  return Out;
+}
+
+/// Scenarios whose built trace never interleaves the unserializable
+/// pattern: the violation exists in *another* schedule of the same input,
+/// which the trace-bound engines cannot see. Kept in sync with the
+/// detection-set comparison in EXPERIMENTS.md; a scenario appearing here
+/// must still be caught by the DPST checker (asserted below), and a
+/// scenario NOT here must be caught by all three engines.
+const std::set<std::string> &observedTraceBlind() {
+  // 34 of the 36 violating programs build their trace in an order where
+  // the pattern does not interleave — e.g. 01_rwr_siblings emits both of
+  // task 1's reads before task 2's write, so the observed schedule is
+  // serializable even though swapping the write between the reads is a
+  // legal schedule of the same program. Only 20 (the interleaver lands
+  // between the pattern accesses by construction) and 31 (its X and Y
+  // conflict edges point in opposite directions between the same two step
+  // transactions, closing a cycle in the observed order) are visible
+  // trace-bound.
+  static const std::set<std::string> Blind = {
+      "01_rwr_siblings",
+      "02_rww_siblings",
+      "03_wrw_siblings",
+      "04_wwr_siblings",
+      "05_www_siblings",
+      "06_interleaver_is_grandchild",
+      "07_interleaver_is_parent_continuation",
+      "08_pattern_in_parent_interleaver_in_child",
+      "09_explicit_task_group",
+      "10_nested_groups",
+      "11_cross_subtree_cousins",
+      "12_paper_fig11_lock_versioning",
+      "13_www_two_critical_sections_same_lock",
+      "14_locked_interleaver_unlocked_pattern",
+      "15_pattern_under_two_different_locks",
+      "16_nested_locks_disjoint_pattern",
+      "17_group_rww_across_variables",
+      "18_group_wrw_reader_on_other_member",
+      "19_interleaver_before_pattern",
+      "21_serial_depth_first_observation",
+      "22_three_readers_then_ww",
+      "23_three_writers_then_rr",
+      "24_deep_spawn_chain",
+      "25_uncle_and_nephew",
+      "26_wide_fanout_last_child_violates",
+      "27_counter_increment_race",
+      "28_bank_check_then_act",
+      "29_double_check_flag",
+      "30_pattern_from_later_critical_sections",
+      "32_violating_and_clean_locations_mixed",
+      "33_root_step_is_interleaver",
+      "34_sibling_after_nested_join",
+      "35_second_write_slot_carries_violation",
+      "36_group_with_locks",
+  };
+  return Blind;
+}
+
+//===----------------------------------------------------------------------===//
+// Replay: twin equality and DPST coverage on every scenario trace
+//===----------------------------------------------------------------------===//
+
+void checkReplayParity(const Scenario &S) {
+  Trace Events = S.Build().finish();
+
+  auto [VeloKeys, VeloCount] = replayEngine<VelodromeChecker>(Events);
+  auto [VcKeys, VcCount] = replayEngine<VectorClockAtomicity>(Events);
+  EXPECT_EQ(VcKeys, VeloKeys) << S.Name << ": trace-bound twins disagree";
+  EXPECT_EQ(VcCount, VeloCount)
+      << S.Name << ": twin engines found different cycle counts";
+
+  // DPST checker on the same trace (group registered, as the suite runs
+  // it): its set must cover everything the trace-bound engines saw.
+  AtomicityChecker::Options Opts;
+  AtomicityChecker Dpst(Opts);
+  if (!S.Group.empty()) {
+    ASSERT_TRUE(Dpst.registerAtomicGroup(S.Group.data(), S.Group.size()));
+  }
+  replayTrace(Events, Dpst);
+  std::set<MemAddr> DpstKeys =
+      static_cast<const CheckerTool &>(Dpst).violationKeys();
+
+  std::set<MemAddr> Translated = collapseGroups(VeloKeys, S);
+  for (MemAddr Addr : Translated)
+    EXPECT_TRUE(DpstKeys.count(Addr))
+        << S.Name << ": trace-bound engines flagged 0x" << std::hex << Addr
+        << " but the DPST checker missed it";
+
+  // The divergence list is exact: a violating scenario is either visible
+  // in its own trace (all three engines fire) or listed as blind (only
+  // the DPST checker fires).
+  if (!S.ViolatingLocations.empty()) {
+    bool Blind = observedTraceBlind().count(S.Name) != 0;
+    EXPECT_EQ(VeloKeys.empty(), Blind)
+        << S.Name << ": observed-trace detectability changed — update "
+        << "observedTraceBlind() and EXPERIMENTS.md";
+  }
+}
+
+TEST_P(CrossEngine, ReplayParity) { checkReplayParity(GetParam()); }
+TEST_P(CrossEngineClean, ReplayParity) {
+  const Scenario &S = GetParam();
+  checkReplayParity(S);
+  // Clean twins are serializable under every schedule, so both trace-bound
+  // engines must stay silent on the built trace too.
+  Trace Events = S.Build().finish();
+  EXPECT_TRUE(replayEngine<VelodromeChecker>(Events).first.empty()) << S.Name;
+  EXPECT_TRUE(replayEngine<VectorClockAtomicity>(Events).first.empty())
+      << S.Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Live: twin equality on the runtime, 1 worker and recorded 8-worker runs
+//===----------------------------------------------------------------------===//
+
+/// One live run of \p S under \p Kind, returning the found locations
+/// translated to synthetic addresses, and (optionally) the recorded trace.
+std::set<MemAddr> runLiveEngine(const Scenario &S, const LiveProgram &P,
+                                ToolKind Kind, unsigned Threads,
+                                Trace *Recorded = nullptr) {
+  ToolContext::Options Opts;
+  Opts.Tool = Kind;
+  Opts.Checker.NumThreads = Threads;
+  ToolContext Tool(Opts);
+  TraceRecorder Recorder;
+  if (Recorded)
+    Tool.runtime().addObserver(&Recorder);
+
+  SuiteRunner Runner(P);
+  Runner.run(Tool);
+  if (Recorded)
+    *Recorded = Recorder.trace();
+
+  std::map<MemAddr, MemAddr> Translate = Runner.liveToSynthetic();
+  std::set<MemAddr> Out;
+  for (MemAddr Addr : Tool.tool()->violationKeys()) {
+    auto It = Translate.find(Addr);
+    EXPECT_NE(It, Translate.end())
+        << S.Name << ": finding on an untracked location";
+    if (It != Translate.end())
+      Out.insert(It->second);
+  }
+  return Out;
+}
+
+/// On one worker the runtime executes the lowered program in one
+/// deterministic serial order, so both trace-bound engines observe a total
+/// order of step transactions — no cycle can close, and both must agree
+/// on the empty set however the scenario violates under other schedules.
+TEST_P(CrossEngine, LiveSingleWorkerTwinsAgree) {
+  const Scenario &S = GetParam();
+  LiveProgram P = compileToLive(S.Build().finish());
+  if (!P.Supported)
+    GTEST_SKIP() << "task-group events have no live lowering";
+
+  std::set<MemAddr> Velo = runLiveEngine(S, P, ToolKind::Velodrome, 1);
+  std::set<MemAddr> Vc = runLiveEngine(S, P, ToolKind::VClock, 1);
+  EXPECT_EQ(Vc, Velo) << S.Name;
+  EXPECT_EQ(Velo, std::set<MemAddr>())
+      << S.Name << ": a serial schedule cannot close a transaction cycle";
+}
+
+/// Contended runs schedule differently every time, so two independent live
+/// runs are not comparable — instead record ONE 8-worker run (executing
+/// under the vclock engine, which also exercises its concurrent paths
+/// under TSan) and replay the recorded linearization through both engines:
+/// same trace in, same violations out.
+void checkRecordedRunParity(const Scenario &S, bool ExpectClean) {
+  LiveProgram P = compileToLive(S.Build().finish());
+  if (!P.Supported)
+    GTEST_SKIP() << "task-group events have no live lowering";
+
+  Trace Recorded;
+  runLiveEngine(S, P, ToolKind::VClock, 8, &Recorded);
+  ASSERT_FALSE(Recorded.empty()) << S.Name;
+
+  auto [VeloKeys, VeloCount] = replayEngine<VelodromeChecker>(Recorded);
+  auto [VcKeys, VcCount] = replayEngine<VectorClockAtomicity>(Recorded);
+  EXPECT_EQ(VcKeys, VeloKeys)
+      << S.Name << ": twins disagree on a recorded 8-worker trace";
+  EXPECT_EQ(VcCount, VeloCount) << S.Name;
+  if (ExpectClean) {
+    EXPECT_TRUE(VcKeys.empty())
+        << S.Name << ": clean twin produced a cycle on a live schedule";
+  }
+}
+
+TEST_P(CrossEngine, Recorded8WorkerTraceParity) {
+  checkRecordedRunParity(GetParam(), /*ExpectClean=*/false);
+}
+TEST_P(CrossEngineClean, Recorded8WorkerTraceParity) {
+  checkRecordedRunParity(GetParam(), /*ExpectClean=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite36, CrossEngine,
+                         ::testing::ValuesIn(buildSuite()),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+INSTANTIATE_TEST_SUITE_P(CleanTwins, CrossEngineClean,
+                         ::testing::ValuesIn(buildCleanSuite()),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+} // namespace

@@ -22,12 +22,12 @@
 //===----------------------------------------------------------------------===//
 
 #include <map>
-#include <memory>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "LiveSuiteLowering.h"
 #include "ViolationSuiteData.h"
 #include "instrument/ToolContext.h"
 #include "runtime/Mutex.h"
@@ -37,165 +37,16 @@ using namespace avc::suite;
 
 namespace {
 
-/// One interpretable op of a live task body.
-struct LiveOp {
-  enum class Kind { Read, Write, Acquire, Release, Sync, Spawn } K;
-  uint32_t Index; ///< location index, lock id, or child task id
-};
+// The trace-to-live lowering (LiveOp/LiveProgram/compileToLive/SuiteRunner)
+// lives in LiveSuiteLowering.h, shared with the cross-engine differential
+// test.
 
-/// A suite scenario lowered from its trace to per-task op programs. The
-/// trace's per-task event subsequence *is* that task's program order, so
-/// the lowering preserves the spawn/sync structure exactly; only the
-/// interleaving between tasks is left to the live scheduler, which is the
-/// point of the matrix.
-struct LiveProgram {
-  std::map<TaskId, std::vector<LiveOp>> Tasks;
-  /// False for scenarios using explicit task groups (09/10): the trace
-  /// events have no portable live-API equivalent, and the grouped-wait
-  /// structure is covered by the runtime's own finish-scope tests.
-  bool Supported = true;
-};
-
-uint32_t locationIndexOf(MemAddr Addr) {
-  return static_cast<uint32_t>((Addr - X) / 8); // X, Y, Z are contiguous
-}
-
-LiveProgram compileToLive(const Trace &Tr) {
-  LiveProgram P;
-  P.Tasks.try_emplace(0);
-  for (const TraceEvent &E : Tr) {
-    switch (E.Kind) {
-    case TraceEventKind::ProgramStart:
-    case TraceEventKind::ProgramEnd:
-    case TraceEventKind::TaskEnd:
-      break; // live task bodies end when their ops run out
-    case TraceEventKind::TaskSpawn:
-      if (E.Arg2 != 0) {
-        P.Supported = false;
-        return P;
-      }
-      P.Tasks[E.Task].push_back(
-          {LiveOp::Kind::Spawn, static_cast<uint32_t>(E.Arg1)});
-      P.Tasks.try_emplace(static_cast<TaskId>(E.Arg1));
-      break;
-    case TraceEventKind::GroupWait:
-      P.Supported = false;
-      return P;
-    case TraceEventKind::Sync:
-      P.Tasks[E.Task].push_back({LiveOp::Kind::Sync, 0});
-      break;
-    case TraceEventKind::LockAcquire:
-      P.Tasks[E.Task].push_back(
-          {LiveOp::Kind::Acquire, static_cast<uint32_t>(E.Arg1)});
-      break;
-    case TraceEventKind::LockRelease:
-      P.Tasks[E.Task].push_back(
-          {LiveOp::Kind::Release, static_cast<uint32_t>(E.Arg1)});
-      break;
-    case TraceEventKind::Read:
-      P.Tasks[E.Task].push_back(
-          {LiveOp::Kind::Read, locationIndexOf(E.Arg1)});
-      break;
-    case TraceEventKind::Write:
-      P.Tasks[E.Task].push_back(
-          {LiveOp::Kind::Write, locationIndexOf(E.Arg1)});
-      break;
-    }
-  }
-  return P;
-}
-
-/// Runs a lowered scenario on the live runtime with tracked storage and
-/// real mutexes. One instance per run (addresses are fresh each time).
-class SuiteRunner {
-public:
-  SuiteRunner(const LiveProgram &P)
-      : P(P), Data(3), Locks(std::make_unique<Mutex[]>(4)) {}
-
-  void run(ToolContext &Tool) {
-    Tool.run([this] { runTask(0); });
-  }
-
-  /// The live address of the scenario location \p Synthetic (X, Y or Z).
-  MemAddr liveAddressOf(MemAddr Synthetic) const {
-    return Data[locationIndexOf(Synthetic)].address();
-  }
-
-  /// Maps the live addresses back to the scenario's synthetic ones so sets
-  /// from independent runs are comparable.
-  std::map<MemAddr, MemAddr> liveToSynthetic() const {
-    std::map<MemAddr, MemAddr> Out;
-    for (uint32_t L = 0; L < 3; ++L)
-      Out[Data[L].address()] = X + 8 * L;
-    return Out;
-  }
-
-private:
-  void runTask(TaskId Id) {
-    auto It = P.Tasks.find(Id);
-    if (It == P.Tasks.end())
-      return;
-    for (const LiveOp &Op : It->second) {
-      switch (Op.K) {
-      case LiveOp::Kind::Read:
-        Data[Op.Index].load();
-        break;
-      case LiveOp::Kind::Write:
-        Data[Op.Index].store(1);
-        break;
-      case LiveOp::Kind::Acquire:
-        Locks[Op.Index].lock();
-        break;
-      case LiveOp::Kind::Release:
-        Locks[Op.Index].unlock();
-        break;
-      case LiveOp::Kind::Sync:
-        avc::sync();
-        break;
-      case LiveOp::Kind::Spawn: {
-        uint32_t Child = Op.Index;
-        spawn([this, Child] { runTask(Child); });
-        break;
-      }
-      }
-    }
-  }
-
-  const LiveProgram &P;
-  TrackedArray<int> Data;
-  std::unique_ptr<Mutex[]> Locks;
-};
-
-/// The tool's findings as a location set (each tool's report kind carries
-/// the address of the offending location).
+/// The tool's findings as a location set, through the uniform CheckerTool
+/// interface (every engine's report kind carries the address of the
+/// offending location).
 std::set<MemAddr> foundLocations(ToolContext &Tool) {
-  std::set<MemAddr> Out;
-  switch (Tool.kind()) {
-  case ToolKind::None:
-    break;
-  case ToolKind::Atomicity:
-    for (const Violation &V : Tool.atomicityChecker()->violations().snapshot())
-      Out.insert(V.Addr);
-    break;
-  case ToolKind::Basic:
-    for (const Violation &V : Tool.basicChecker()->violations().snapshot())
-      Out.insert(V.Addr);
-    break;
-  case ToolKind::Race:
-    for (const Race &R : Tool.raceDetector()->races())
-      Out.insert(R.Addr);
-    break;
-  case ToolKind::Determinism:
-    for (const DeterminismViolation &V :
-         Tool.determinismChecker()->violations())
-      Out.insert(V.Addr);
-    break;
-  case ToolKind::Velodrome:
-    for (const VelodromeCycle &C : Tool.velodromeChecker()->cycles())
-      Out.insert(C.Addr);
-    break;
-  }
-  return Out;
+  const CheckerTool *Engine = Tool.tool();
+  return Engine ? Engine->violationKeys() : std::set<MemAddr>();
 }
 
 /// Live-mode warmup for the profile leg of the pre-analysis matrix. The
@@ -289,10 +140,11 @@ TEST_P(ViolatingMatrix, VerdictsMatchSingleWorker) {
 /// every worker count. The atomicity checkers must additionally stay
 /// *silent* (the suite is atomicity-clean — some twins still carry real
 /// data races or nondeterminism, which the race and determinism tools
-/// rightly flag on every count). Velodrome must also stay silent: a
-/// program serializable under every schedule can never exhibit a
-/// transaction cycle, whichever interleaving the workers produce — the
-/// strongest cross-schedule statement available for a trace-bound tool.
+/// rightly flag on every count). The trace-bound engines — Velodrome and
+/// its vector-clock twin — must also stay silent: a program serializable
+/// under every schedule can never exhibit a transaction cycle, whichever
+/// interleaving the workers produce — the strongest cross-schedule
+/// statement available for a trace-bound tool.
 TEST_P(CleanMatrix, VerdictsMatchSingleWorker) {
   const Scenario &S = GetParam();
   LiveProgram P = compileToLive(S.Build().finish());
@@ -301,7 +153,7 @@ TEST_P(CleanMatrix, VerdictsMatchSingleWorker) {
 
   for (ToolKind Kind :
        {ToolKind::Atomicity, ToolKind::Basic, ToolKind::Race,
-        ToolKind::Determinism, ToolKind::Velodrome}) {
+        ToolKind::Determinism, ToolKind::Velodrome, ToolKind::VClock}) {
     std::set<MemAddr> Baseline = runLive(S, P, Kind, 1);
     if (Kind != ToolKind::Race && Kind != ToolKind::Determinism) {
       EXPECT_EQ(Baseline, std::set<MemAddr>())
@@ -311,9 +163,9 @@ TEST_P(CleanMatrix, VerdictsMatchSingleWorker) {
       EXPECT_EQ(runLive(S, P, Kind, Threads), Baseline)
           << S.Name << " on " << Threads << " workers, tool "
           << toolKindName(Kind);
-    // Pre-analysis parity on the clean side covers all five tools
-    // (Velodrome included: a serializable-under-every-schedule program
-    // stays silent whatever the gate skips).
+    // Pre-analysis parity on the clean side covers all six tools
+    // (the trace-bound pair included: a serializable-under-every-schedule
+    // program stays silent whatever the gate skips).
     for (PreanalysisMode Pre :
          {PreanalysisMode::On, PreanalysisMode::Profile})
       for (unsigned Threads : {1u, 8u})

@@ -1,0 +1,125 @@
+//===- tests/ToolRegistryTest.cpp - CheckerTool registry contract ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ToolRegistry is the seam every front end (taskcheck, ToolContext,
+/// batch replay, the benches) dispatches through, so its contract is
+/// pinned here: the canonical instance carries all built-in engines with
+/// working factories, lookups resolve by name and by kind, duplicate names
+/// are rejected without mutating the table, and factories hand out fully
+/// isolated engine instances.
+///
+//===----------------------------------------------------------------------===//
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "CheckerTestUtil.h"
+#include "checker/AtomicityChecker.h"
+#include "checker/ToolRegistry.h"
+#include "checker/VectorClockAtomicity.h"
+
+using namespace avc;
+
+namespace {
+
+TEST(ToolRegistry, InstanceCarriesEveryBuiltin) {
+  ToolRegistry &Reg = ToolRegistry::instance();
+  const std::set<std::string> Expected = {"atomicity", "basic", "velodrome",
+                                          "vclock",    "race",  "determinism",
+                                          "none"};
+  std::set<std::string> Found;
+  for (const ToolRegistration &R : Reg.all())
+    Found.insert(R.Name);
+  EXPECT_EQ(Found, Expected);
+
+  for (const ToolRegistration &R : Reg.all()) {
+    EXPECT_FALSE(R.Description.empty()) << R.Name;
+    if (R.Kind == ToolKind::None) {
+      EXPECT_FALSE(R.Factory) << "the pseudo-tool runs nothing";
+      continue;
+    }
+    ASSERT_TRUE(R.Factory) << R.Name;
+    std::unique_ptr<CheckerTool> Tool = R.Factory(ToolOptions(), nullptr);
+    ASSERT_NE(Tool, nullptr) << R.Name;
+    EXPECT_EQ(Tool->name(), R.Name)
+        << "engine self-reported name must match its registration";
+    EXPECT_EQ(Tool->numViolations(), 0u) << R.Name << " must start clean";
+  }
+}
+
+TEST(ToolRegistry, FindByNameAndKind) {
+  ToolRegistry &Reg = ToolRegistry::instance();
+
+  const ToolRegistration *ByName = Reg.find("vclock");
+  ASSERT_NE(ByName, nullptr);
+  EXPECT_EQ(ByName->Kind, ToolKind::VClock);
+
+  const ToolRegistration *ByKind = Reg.find(ToolKind::VClock);
+  ASSERT_NE(ByKind, nullptr);
+  EXPECT_EQ(ByKind, ByName) << "name and kind lookups hit the same row";
+
+  EXPECT_EQ(Reg.find("no-such-engine"), nullptr);
+  EXPECT_EQ(Reg.find(""), nullptr);
+
+  // toolKindName round-trips through the registry rows.
+  for (const ToolRegistration &R : Reg.all())
+    EXPECT_STREQ(toolKindName(R.Kind), R.Name.c_str());
+}
+
+TEST(ToolRegistry, NamesListsEveryRegistration) {
+  ToolRegistry &Reg = ToolRegistry::instance();
+  std::string Names = Reg.names();
+  for (const ToolRegistration &R : Reg.all())
+    EXPECT_NE(Names.find(R.Name), std::string::npos) << R.Name;
+}
+
+TEST(ToolRegistry, DuplicateNamesAreRejected) {
+  ToolRegistry Reg; // private table: tests never mutate the instance()
+  auto Factory = [](const ToolOptions &Opts,
+                    const ToolExtras *) -> std::unique_ptr<CheckerTool> {
+    VectorClockAtomicity::Options EngineOpts;
+    static_cast<ToolOptions &>(EngineOpts) = Opts;
+    return std::make_unique<VectorClockAtomicity>(EngineOpts);
+  };
+  EXPECT_TRUE(Reg.add({ToolKind::VClock, "mytool", "first", Factory}));
+  EXPECT_FALSE(Reg.add({ToolKind::Atomicity, "mytool", "imposter", Factory}))
+      << "second registration under a taken name must be rejected";
+
+  ASSERT_EQ(Reg.all().size(), 1u) << "rejected add must not grow the table";
+  const ToolRegistration *Found = Reg.find("mytool");
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found->Kind, ToolKind::VClock);
+  EXPECT_EQ(Found->Description, "first")
+      << "rejected add must not overwrite the original row";
+}
+
+TEST(ToolRegistry, FactoriesProduceIsolatedInstances) {
+  const ToolRegistration *Row = ToolRegistry::instance().find("vclock");
+  ASSERT_NE(Row, nullptr);
+  std::unique_ptr<CheckerTool> A = Row->Factory(ToolOptions(), nullptr);
+  std::unique_ptr<CheckerTool> B = Row->Factory(ToolOptions(), nullptr);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_NE(A.get(), B.get());
+
+  // Drive a violating trace through A only; B must stay pristine.
+  TraceBuilder T;
+  T.spawn(0, 1).spawn(0, 2);
+  T.read(1, 0x1000).write(2, 0x1000).read(1, 0x1000);
+  T.end(1).end(2).sync(0).end(0);
+  replayTrace(T.finish(), *A);
+
+  EXPECT_GT(A->numViolations(), 0u)
+      << "the interleaved read-write-read must close a cycle";
+  EXPECT_EQ(B->numViolations(), 0u)
+      << "sibling instance from the same factory must share no state";
+}
+
+} // namespace

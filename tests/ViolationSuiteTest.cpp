@@ -22,6 +22,7 @@
 #include "ViolationSuiteData.h"
 #include "checker/DeterminismChecker.h"
 #include "checker/RaceDetector.h"
+#include "checker/VectorClockAtomicity.h"
 #include "checker/Velodrome.h"
 #include "trace/TraceCodec.h"
 #include "trace/TraceIO.h"
@@ -82,6 +83,12 @@ std::set<MemAddr> findingAddrs(const DeterminismChecker &Tool) {
 std::set<MemAddr> findingAddrs(const VelodromeChecker &Tool) {
   std::set<MemAddr> Out;
   for (const VelodromeCycle &C : Tool.cycles())
+    Out.insert(C.Addr);
+  return Out;
+}
+std::set<MemAddr> findingAddrs(const VectorClockAtomicity &Tool) {
+  std::set<MemAddr> Out;
+  for (const VClockCycle &C : Tool.cycles())
     Out.insert(C.Addr);
   return Out;
 }
@@ -190,21 +197,23 @@ void runScenario(const Scenario &S) {
   EXPECT_EQ(Basic.violations().empty(), S.ViolatingLocations.empty())
       << S.Name << " (basic reference checker)";
 
-  // All five tools must report the same locations with the pre-analysis
+  // All six tools must report the same locations with the pre-analysis
   // gate off, on (exact two-pass), and in profile mode (live warmup).
   checkPreanalysisParity<AtomicityChecker>(S, "atomicity");
   checkPreanalysisParity<BasicChecker>(S, "basic");
   checkPreanalysisParity<RaceDetector>(S, "race");
   checkPreanalysisParity<DeterminismChecker>(S, "determinism");
   checkPreanalysisParity<VelodromeChecker>(S, "velodrome");
+  checkPreanalysisParity<VectorClockAtomicity>(S, "vclock");
 
   // And the stored forms — text and compact binary — must replay to the
-  // same verdicts as the in-memory trace for all five tools.
+  // same verdicts as the in-memory trace for all six tools.
   checkCodecParity<AtomicityChecker>(S, "atomicity");
   checkCodecParity<BasicChecker>(S, "basic");
   checkCodecParity<RaceDetector>(S, "race");
   checkCodecParity<DeterminismChecker>(S, "determinism");
   checkCodecParity<VelodromeChecker>(S, "velodrome");
+  checkCodecParity<VectorClockAtomicity>(S, "vclock");
 }
 
 TEST_P(ViolationSuite, DetectedByAllCheckers) { runScenario(GetParam()); }

@@ -36,10 +36,7 @@
 #include <vector>
 
 #include "checker/AtomicityChecker.h"
-#include "checker/BasicChecker.h"
-#include "checker/DeterminismChecker.h"
-#include "checker/RaceDetector.h"
-#include "checker/Velodrome.h"
+#include "checker/ToolRegistry.h"
 #include "dpst/DpstDot.h"
 #include "instrument/ToolContext.h"
 #include "obs/Obs.h"
@@ -105,10 +102,28 @@ int usage(const char *Prog) {
       "       %s convert <in> <out>  [--block-events=N]\n"
       "       %s batch --tool=<t> [--workers=N] [--json=PATH] "
       "<dir|file>...\n"
-      "tools: atomicity (default), basic, velodrome, race, determinism, "
-      "none\n",
-      Prog, Prog, Prog, Prog, Prog, Prog);
+      "tools: %s (default atomicity); --tool=list shows "
+      "descriptions\n",
+      Prog, Prog, Prog, Prog, Prog, Prog,
+      ToolRegistry::instance().names().c_str());
   return 2;
+}
+
+/// Registry names plus the "list" pseudo-value, for --tool= validation.
+std::vector<std::string> toolChoices() {
+  std::vector<std::string> Choices;
+  for (const ToolRegistration &Reg : ToolRegistry::instance().all())
+    Choices.push_back(Reg.Name);
+  Choices.push_back("list");
+  return Choices;
+}
+
+/// Prints every registered tool with its one-line description
+/// (--tool=list and the --list tool section).
+void printToolTable() {
+  std::printf("tools:\n");
+  for (const ToolRegistration &Reg : ToolRegistry::instance().all())
+    std::printf("  %-12s %s\n", Reg.Name.c_str(), Reg.Description.c_str());
 }
 
 /// Registers the analysis-configuration options every command shares
@@ -177,7 +192,7 @@ void addAnalysisOptions(ArgParser &Parser, CliOptions &Opts) {
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   ArgParser Parser;
-  Parser.stringOption("tool", Opts.Tool)
+  Parser.choiceOption("tool", Opts.Tool, toolChoices)
       .stringOption("workload", Opts.Workload)
       .stringOption("trace", Opts.TraceFile)
       .doubleOption("scale", Opts.Scale)
@@ -196,33 +211,19 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   return Parser.parse(Argc, Argv);
 }
 
-bool toolKindFor(const std::string &Name, ToolKind &Kind) {
-  if (Name == "atomicity")
-    Kind = ToolKind::Atomicity;
-  else if (Name == "basic")
-    Kind = ToolKind::Basic;
-  else if (Name == "velodrome")
-    Kind = ToolKind::Velodrome;
-  else if (Name == "race")
-    Kind = ToolKind::Race;
-  else if (Name == "determinism")
-    Kind = ToolKind::Determinism;
-  else if (Name == "none")
-    Kind = ToolKind::None;
-  else
-    return false;
-  return true;
+/// Resolves \p Name against the registry; on failure prints an error
+/// carrying the full tool listing and returns null.
+const ToolRegistration *resolveTool(const std::string &Name) {
+  const ToolRegistration *Reg = ToolRegistry::instance().find(Name);
+  if (!Reg)
+    std::fprintf(stderr, "error: unknown tool '%s' (tools: %s)\n",
+                 Name.c_str(), ToolRegistry::instance().names().c_str());
+  return Reg;
 }
 
 int listEverything() {
-  std::printf("tools:\n"
-              "  atomicity    the paper's schedule-generalizing checker\n"
-              "  basic        unbounded-history reference checker\n"
-              "  velodrome    trace-bound baseline (observed schedule only)\n"
-              "  race         All-Sets data race detector\n"
-              "  determinism  Tardis-style internal-determinism checker\n"
-              "  none         uninstrumented baseline\n\n");
-  std::printf("workloads (Table 1 order):\n");
+  printToolTable();
+  std::printf("\nworkloads (Table 1 order):\n");
   size_t Count = 0;
   const workloads::Workload *Table = workloads::allWorkloads(Count);
   for (size_t I = 0; I < Count; ++I)
@@ -245,50 +246,6 @@ int generateTrace(const CliOptions &Opts) {
   return 0;
 }
 
-void printAtomicityStats(const AtomicityChecker &Checker) {
-  CheckerStats Stats = Checker.stats();
-  std::printf("\nstatistics: %llu locations, %llu reads, %llu writes, "
-              "%llu DPST nodes, %llu parallelism queries via %s "
-              "(%.1f%% cache hits, %llu trivial same-step)\n",
-              static_cast<unsigned long long>(Stats.NumLocations),
-              static_cast<unsigned long long>(Stats.NumReads),
-              static_cast<unsigned long long>(Stats.NumWrites),
-              static_cast<unsigned long long>(Stats.NumDpstNodes),
-              static_cast<unsigned long long>(Stats.Lca.NumQueries),
-              queryModeName(Stats.Lca.Mode), Stats.Lca.percentCacheHits(),
-              static_cast<unsigned long long>(Stats.Lca.NumTrivialSame));
-  if (Stats.AccessCacheEnabled)
-    std::printf("access cache: %llu verdict hits (%llu reads, %llu writes, "
-                "%.1f%% of accesses), %llu path hits (%.1f%%), "
-                "%llu evictions, %llu lockset snapshots\n",
-                static_cast<unsigned long long>(Stats.NumCacheHits),
-                static_cast<unsigned long long>(Stats.NumCacheHitReads),
-                static_cast<unsigned long long>(Stats.NumCacheHitWrites),
-                Stats.cacheHitRate(),
-                static_cast<unsigned long long>(Stats.NumCachePathHits),
-                Stats.cachePathHitRate(),
-                static_cast<unsigned long long>(Stats.NumCacheEvictions),
-                static_cast<unsigned long long>(Stats.NumLockSnapshots));
-  if (Stats.Pre.Mode != PreanalysisMode::Off)
-    std::printf("preanalysis (%s): %llu seq skips, %llu site skips, "
-                "%llu downgrades (%llu unsafe); %llu sites: "
-                "%llu sequential-only, %llu read-only-after-init, "
-                "%llu fixed-lockset, %llu generic\n",
-                preanalysisModeName(Stats.Pre.Mode),
-                static_cast<unsigned long long>(Stats.Pre.NumSeqSkips),
-                static_cast<unsigned long long>(Stats.Pre.NumSiteSkips),
-                static_cast<unsigned long long>(Stats.Pre.NumDowngrades),
-                static_cast<unsigned long long>(
-                    Stats.Pre.NumUnsafeDowngrades),
-                static_cast<unsigned long long>(Stats.Pre.NumSites),
-                static_cast<unsigned long long>(
-                    Stats.Pre.NumSequentialOnly),
-                static_cast<unsigned long long>(
-                    Stats.Pre.NumReadOnlyAfterInit),
-                static_cast<unsigned long long>(Stats.Pre.NumFixedLockset),
-                static_cast<unsigned long long>(Stats.Pre.NumGeneric));
-}
-
 //===----------------------------------------------------------------------===//
 // Machine-readable per-run counters (--json=PATH)
 //===----------------------------------------------------------------------===//
@@ -306,44 +263,6 @@ void jsonMeta(JsonReport &Report, const CliOptions &Opts, ToolKind Kind,
   Report.meta("preanalysis", preanalysisModeName(Opts.Preanalysis));
   if (Opts.Preanalysis != PreanalysisMode::Off)
     Report.meta("preanalysis_warmup", double(Opts.PreanalysisWarmup));
-}
-
-/// Pre-analysis counters shared by every tool's JSON row: skip totals,
-/// downgrade audit, and the pruned-site census by final class.
-void jsonPreanalysisRow(JsonReport::Row &Row, const PreanalysisStats &Pre) {
-  if (Pre.Mode == PreanalysisMode::Off)
-    return;
-  Row.field("pre_seq_skips", double(Pre.NumSeqSkips))
-      .field("pre_site_skips", double(Pre.NumSiteSkips))
-      .field("pre_downgrades", double(Pre.NumDowngrades))
-      .field("pre_unsafe_downgrades", double(Pre.NumUnsafeDowngrades))
-      .field("pre_sites", double(Pre.NumSites))
-      .field("pre_sequential_only", double(Pre.NumSequentialOnly))
-      .field("pre_read_only_after_init", double(Pre.NumReadOnlyAfterInit))
-      .field("pre_fixed_lockset", double(Pre.NumFixedLockset))
-      .field("pre_non_grouped", double(Pre.NumNonGrouped))
-      .field("pre_generic", double(Pre.NumGeneric));
-}
-
-/// One row of CheckerStats counters (atomicity and basic share the type).
-void jsonCheckerRow(JsonReport::Row &Row, const CheckerStats &Stats,
-                    size_t Violations) {
-  Row.field("violations", double(Violations))
-      .field("violating_locations", double(Stats.NumViolatingLocations))
-      .field("locations", double(Stats.NumLocations))
-      .field("reads", double(Stats.NumReads))
-      .field("writes", double(Stats.NumWrites))
-      .field("dpst_nodes", double(Stats.NumDpstNodes))
-      .field("lca_queries", double(Stats.Lca.NumQueries))
-      .field("cache_hits", double(Stats.NumCacheHits))
-      .field("cache_hit_reads", double(Stats.NumCacheHitReads))
-      .field("cache_hit_writes", double(Stats.NumCacheHitWrites))
-      .field("cache_path_hits", double(Stats.NumCachePathHits))
-      .field("cache_evictions", double(Stats.NumCacheEvictions))
-      .field("lockset_snapshots", double(Stats.NumLockSnapshots))
-      .field("cache_hit_pct", Stats.cacheHitRate())
-      .field("cache_path_hit_pct", Stats.cachePathHitRate());
-  jsonPreanalysisRow(Row, Stats.Pre);
 }
 
 bool writeJsonIfRequested(const CliOptions &Opts, JsonReport &Report) {
@@ -391,7 +310,7 @@ bool readFileBytes(const std::string &Path, std::string &Bytes) {
   return true;
 }
 
-int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
+int runTraceFile(const CliOptions &Opts, const ToolRegistration &Reg) {
   std::string Bytes;
   if (!readFileBytes(Opts.TraceFile, Bytes))
     return 1;
@@ -403,143 +322,44 @@ int runTraceFile(const CliOptions &Opts, ToolKind Kind) {
     return 1;
   }
 
-  // Offline replay: instantiate the selected tool directly.
-  switch (Kind) {
-  case ToolKind::Atomicity: {
-    AtomicityChecker::Options CheckerOpts;
-    CheckerOpts.EnableAccessCache = Opts.CacheEnabled;
-    CheckerOpts.AccessCacheSlots = Opts.CacheSlots;
-    CheckerOpts.Query = Opts.Query;
-    CheckerOpts.Preanalysis = Opts.Preanalysis;
-    CheckerOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
-    AtomicityChecker Checker(CheckerOpts);
-    ProfileSession Profile(Opts.ProfilePath);
-    Checker.registerObsGauges();
-    replayTraceTwoPass(*Events, Checker);
-    std::printf("[atomicity] %zu violation(s)\n",
-                Checker.violations().size());
-    for (const Violation &V : Checker.violations().snapshot())
-      std::printf("  %s\n", V.toString().c_str());
-    printAtomicityStats(Checker);
-    if (Opts.Dot)
-      std::printf("\n%s", dpstToDot(Checker.dpst()).c_str());
-    JsonReport Report;
-    jsonMeta(Report, Opts, Kind, "trace");
-    jsonCheckerRow(Report.row(), Checker.stats(),
-                   Checker.violations().size());
-    if (!writeJsonIfRequested(Opts, Report))
-      return 1;
-    return Checker.violations().empty() ? 0 : 1;
-  }
-  case ToolKind::Basic: {
-    BasicChecker::Options BasicOpts;
-    BasicOpts.Query = Opts.Query;
-    BasicOpts.Preanalysis = Opts.Preanalysis;
-    BasicOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
-    BasicChecker Checker(BasicOpts);
-    ProfileSession Profile(Opts.ProfilePath);
-    Checker.registerObsGauges();
-    replayTraceTwoPass(*Events, Checker);
-    std::printf("[basic] %zu violation(s)\n", Checker.violations().size());
-    for (const Violation &V : Checker.violations().snapshot())
-      std::printf("  %s\n", V.toString().c_str());
-    JsonReport Report;
-    jsonMeta(Report, Opts, Kind, "trace");
-    jsonCheckerRow(Report.row(), Checker.stats(),
-                   Checker.violations().size());
-    if (!writeJsonIfRequested(Opts, Report))
-      return 1;
-    return Checker.violations().empty() ? 0 : 1;
-  }
-  case ToolKind::Velodrome: {
-    VelodromeChecker::Options VeloOpts;
-    VeloOpts.Preanalysis = Opts.Preanalysis;
-    VeloOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
-    VelodromeChecker Checker(VeloOpts);
-    ProfileSession Profile(Opts.ProfilePath);
-    Checker.registerObsGauges();
-    replayTraceTwoPass(*Events, Checker);
-    std::printf("[velodrome] %zu cycle(s) in the observed trace\n",
-                Checker.numViolations());
-    VelodromeStats Stats = Checker.stats();
-    JsonReport Report;
-    jsonMeta(Report, Opts, Kind, "trace");
-    JsonReport::Row &Row = Report.row();
-    Row.field("violations", double(Stats.NumCycles))
-        .field("transactions", double(Stats.NumTransactions))
-        .field("edges", double(Stats.NumEdges))
-        .field("reads", double(Stats.NumReads))
-        .field("writes", double(Stats.NumWrites));
-    jsonPreanalysisRow(Row, Stats.Pre);
-    if (!writeJsonIfRequested(Opts, Report))
-      return 1;
-    return Checker.numViolations() == 0 ? 0 : 1;
-  }
-  case ToolKind::Race: {
-    RaceDetector::Options RaceOpts;
-    RaceOpts.Query = Opts.Query;
-    RaceOpts.Preanalysis = Opts.Preanalysis;
-    RaceOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
-    RaceDetector Detector(RaceOpts);
-    ProfileSession Profile(Opts.ProfilePath);
-    Detector.registerObsGauges();
-    replayTraceTwoPass(*Events, Detector);
-    std::printf("[race] %zu race(s)\n", Detector.numRaces());
-    for (const Race &R : Detector.races())
-      std::printf("  %s\n", R.toString().c_str());
-    RaceStats Stats = Detector.stats();
-    JsonReport Report;
-    jsonMeta(Report, Opts, Kind, "trace");
-    JsonReport::Row &Row = Report.row();
-    Row.field("violations", double(Stats.NumRaces))
-        .field("locations", double(Stats.NumLocations))
-        .field("reads", double(Stats.NumReads))
-        .field("writes", double(Stats.NumWrites))
-        .field("dpst_nodes", double(Stats.NumDpstNodes));
-    jsonPreanalysisRow(Row, Stats.Pre);
-    if (!writeJsonIfRequested(Opts, Report))
-      return 1;
-    return Detector.numRaces() == 0 ? 0 : 1;
-  }
-  case ToolKind::Determinism: {
-    DeterminismChecker::Options DetOpts;
-    DetOpts.Query = Opts.Query;
-    DetOpts.Preanalysis = Opts.Preanalysis;
-    DetOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
-    DeterminismChecker Checker(DetOpts);
-    ProfileSession Profile(Opts.ProfilePath);
-    Checker.registerObsGauges();
-    replayTraceTwoPass(*Events, Checker);
-    std::printf("[determinism] %zu violation(s)\n",
-                Checker.numViolations());
-    for (const DeterminismViolation &V : Checker.violations())
-      std::printf("  %s\n", V.toString().c_str());
-    DeterminismStats Stats = Checker.stats();
-    JsonReport Report;
-    jsonMeta(Report, Opts, Kind, "trace");
-    JsonReport::Row &Row = Report.row();
-    Row.field("violations", double(Stats.NumViolations))
-        .field("locations", double(Stats.NumLocations))
-        .field("reads", double(Stats.NumReads))
-        .field("writes", double(Stats.NumWrites))
-        .field("dpst_nodes", double(Stats.NumDpstNodes));
-    jsonPreanalysisRow(Row, Stats.Pre);
-    if (!writeJsonIfRequested(Opts, Report))
-      return 1;
-    return Checker.numViolations() == 0 ? 0 : 1;
-  }
-  case ToolKind::None: {
+  // Pseudo-tools with no factory (none) only parse and count.
+  if (!Reg.Factory) {
     ProfileSession Profile(Opts.ProfilePath);
     std::printf("[none] trace parsed: %zu events\n", Events->size());
     JsonReport Report;
-    jsonMeta(Report, Opts, Kind, "trace");
+    jsonMeta(Report, Opts, Reg.Kind, "trace");
     Report.row().field("events", double(Events->size()));
     if (!writeJsonIfRequested(Opts, Report))
       return 1;
     return 0;
   }
-  }
-  return 0;
+
+  // Offline replay: one engine instance built through the registry, driven
+  // and reported entirely through the CheckerTool interface.
+  ToolOptions ToolOpts;
+  ToolOpts.EnableAccessCache = Opts.CacheEnabled;
+  ToolOpts.AccessCacheSlots = Opts.CacheSlots;
+  ToolOpts.Query = Opts.Query;
+  ToolOpts.Preanalysis = Opts.Preanalysis;
+  ToolOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
+  std::unique_ptr<CheckerTool> Tool = Reg.Factory(ToolOpts, nullptr);
+  ProfileSession Profile(Opts.ProfilePath);
+  Tool->registerObsGauges();
+  replayTraceTwoPass(*Events, *Tool);
+  std::printf("[%s] %zu violation(s)\n", Tool->name(),
+              Tool->numViolations());
+  Tool->printReport(stdout);
+  Tool->printStats(stdout);
+  if (Opts.Dot)
+    if (const AtomicityChecker *Checker =
+            dynamic_cast<const AtomicityChecker *>(Tool.get()))
+      std::printf("\n%s", dpstToDot(Checker->dpst()).c_str());
+  JsonReport Report;
+  jsonMeta(Report, Opts, Reg.Kind, "trace");
+  Tool->emitJsonStats(Report.row());
+  if (!writeJsonIfRequested(Opts, Report))
+    return 1;
+  return Tool->numViolations() == 0 ? 0 : 1;
 }
 
 int runWorkload(const CliOptions &Opts, ToolKind Kind) {
@@ -593,8 +413,8 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
   Tool.printReport();
   std::printf("wall time: %.1f ms (%s, scale %.2f, %u thread(s))\n",
               Seconds * 1e3, toolKindName(Kind), Opts.Scale, Opts.Threads);
-  if (const AtomicityChecker *Checker = Tool.atomicityChecker())
-    printAtomicityStats(*Checker);
+  if (const CheckerTool *Engine = Tool.tool())
+    Engine->printStats(stdout);
 
   if (!Opts.JsonPath.empty()) {
     JsonReport Report;
@@ -604,38 +424,8 @@ int runWorkload(const CliOptions &Opts, ToolKind Kind) {
     Report.meta("threads", double(Opts.Threads));
     JsonReport::Row &Row = Report.row();
     Row.field("wall_ms", Seconds * 1e3);
-    if (const AtomicityChecker *Checker = Tool.atomicityChecker())
-      jsonCheckerRow(Row, Checker->stats(),
-                     Checker->violations().size());
-    else if (const BasicChecker *Checker = Tool.basicChecker())
-      jsonCheckerRow(Row, Checker->stats(),
-                     Checker->violations().size());
-    else if (const VelodromeChecker *Checker = Tool.velodromeChecker()) {
-      VelodromeStats Stats = Checker->stats();
-      Row.field("violations", double(Stats.NumCycles))
-          .field("transactions", double(Stats.NumTransactions))
-          .field("edges", double(Stats.NumEdges))
-          .field("reads", double(Stats.NumReads))
-          .field("writes", double(Stats.NumWrites));
-      jsonPreanalysisRow(Row, Stats.Pre);
-    } else if (const RaceDetector *Detector = Tool.raceDetector()) {
-      RaceStats Stats = Detector->stats();
-      Row.field("violations", double(Stats.NumRaces))
-          .field("locations", double(Stats.NumLocations))
-          .field("reads", double(Stats.NumReads))
-          .field("writes", double(Stats.NumWrites))
-          .field("dpst_nodes", double(Stats.NumDpstNodes));
-      jsonPreanalysisRow(Row, Stats.Pre);
-    } else if (const DeterminismChecker *Checker =
-                   Tool.determinismChecker()) {
-      DeterminismStats Stats = Checker->stats();
-      Row.field("violations", double(Stats.NumViolations))
-          .field("locations", double(Stats.NumLocations))
-          .field("reads", double(Stats.NumReads))
-          .field("writes", double(Stats.NumWrites))
-          .field("dpst_nodes", double(Stats.NumDpstNodes));
-      jsonPreanalysisRow(Row, Stats.Pre);
-    }
+    if (const CheckerTool *Engine = Tool.tool())
+      Engine->emitJsonStats(Row);
     if (!Report.write(Opts.JsonPath))
       return 1;
   }
@@ -730,7 +520,15 @@ int runBatchCommand(int Argc, char **Argv, const char *Prog) {
   CliOptions Opts;
   unsigned Workers = 1;
   ArgParser Parser;
-  Parser.stringOption("tool", Opts.Tool)
+  Parser
+      .choiceOption("tool", Opts.Tool,
+                    [] {
+                      std::vector<std::string> Choices;
+                      for (const ToolRegistration &Reg :
+                           ToolRegistry::instance().all())
+                        Choices.push_back(Reg.Name);
+                      return Choices;
+                    })
       .unsignedOption("workers", Workers)
       .stringOption("json", Opts.JsonPath);
   addAnalysisOptions(Parser, Opts);
@@ -745,11 +543,9 @@ int runBatchCommand(int Argc, char **Argv, const char *Prog) {
     return 2;
   }
 
-  ToolKind Kind;
-  if (!toolKindFor(Opts.Tool, Kind)) {
-    std::fprintf(stderr, "error: unknown tool '%s'\n", Opts.Tool.c_str());
+  const ToolRegistration *Reg = resolveTool(Opts.Tool);
+  if (!Reg)
     return 2;
-  }
   if (!Opts.JsonPath.empty() && !ensureWritableFile(Opts.JsonPath)) {
     std::fprintf(stderr, "error: --json path '%s' is not writable\n",
                  Opts.JsonPath.c_str());
@@ -766,12 +562,12 @@ int runBatchCommand(int Argc, char **Argv, const char *Prog) {
   }
 
   BatchOptions BatchOpts;
-  BatchOpts.Tool = Kind;
-  BatchOpts.Query = Opts.Query;
-  BatchOpts.Preanalysis = Opts.Preanalysis;
-  BatchOpts.PreanalysisWarmup = Opts.PreanalysisWarmup;
-  BatchOpts.CacheEnabled = Opts.CacheEnabled;
-  BatchOpts.CacheSlots = Opts.CacheSlots;
+  BatchOpts.Tool = Reg->Kind;
+  BatchOpts.Checker.Query = Opts.Query;
+  BatchOpts.Checker.Preanalysis = Opts.Preanalysis;
+  BatchOpts.Checker.PreanalysisWarmup = Opts.PreanalysisWarmup;
+  BatchOpts.Checker.EnableAccessCache = Opts.CacheEnabled;
+  BatchOpts.Checker.AccessCacheSlots = Opts.CacheSlots;
   BatchOpts.NumWorkers = Workers;
 
   BatchResult Result = runBatch(Paths, BatchOpts);
@@ -788,7 +584,7 @@ int runBatchCommand(int Argc, char **Argv, const char *Prog) {
   }
   std::printf("[batch:%s] %zu trace(s), %llu events, %llu violation(s) in "
               "%llu trace(s), %llu error(s); %.1f ms with %u worker(s)\n",
-              toolKindName(Kind), Result.Traces.size(),
+              Reg->Name.c_str(), Result.Traces.size(),
               static_cast<unsigned long long>(Result.TotalEvents),
               static_cast<unsigned long long>(Result.TotalViolations),
               static_cast<unsigned long long>(Result.NumFlagged),
@@ -817,6 +613,10 @@ int main(int argc, char **argv) {
   CliOptions Opts;
   if (!parseArgs(argc, argv, Opts))
     return usage(argv[0]);
+  if (Opts.Tool == "list") {
+    printToolTable();
+    return 0;
+  }
   if (Opts.List)
     return listEverything();
   if (Opts.Generate)
@@ -847,14 +647,12 @@ int main(int argc, char **argv) {
     }
   }
 
-  ToolKind Kind;
-  if (!toolKindFor(Opts.Tool, Kind)) {
-    std::fprintf(stderr, "error: unknown tool '%s'\n", Opts.Tool.c_str());
+  const ToolRegistration *Reg = resolveTool(Opts.Tool);
+  if (!Reg)
     return usage(argv[0]);
-  }
   if (!Opts.TraceFile.empty())
-    return runTraceFile(Opts, Kind);
+    return runTraceFile(Opts, *Reg);
   if (!Opts.Workload.empty())
-    return runWorkload(Opts, Kind);
+    return runWorkload(Opts, Reg->Kind);
   return usage(argv[0]);
 }
