@@ -753,8 +753,8 @@ void AtomicityChecker::printReport(std::FILE *Out) const {
     std::fprintf(Out, "  %s\n", V.toString().c_str());
 }
 
-void AtomicityChecker::emitJsonStats(JsonReport::Row &Row) const {
-  emitCheckerStatsJson(Row, stats(), Log.size());
+void AtomicityChecker::visitStats(const StatVisitor &Visit) const {
+  visitCheckerStats(Visit, stats(), Log.size());
 }
 
 void AtomicityChecker::printStats(std::FILE *Out) const {

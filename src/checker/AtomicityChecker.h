@@ -113,7 +113,7 @@ public:
   size_t numViolations() const override { return Log.size(); }
   std::set<MemAddr> violationKeys() const override;
   void printReport(std::FILE *Out) const override;
-  void emitJsonStats(JsonReport::Row &Row) const override;
+  void visitStats(const StatVisitor &Visit) const override;
   /// The human-readable statistics block taskcheck prints after a run
   /// (location/access/query totals, cache and pre-analysis counters).
   void printStats(std::FILE *Out) const override;

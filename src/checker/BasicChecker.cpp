@@ -283,6 +283,6 @@ void BasicChecker::printReport(std::FILE *Out) const {
     std::fprintf(Out, "  %s\n", V.toString().c_str());
 }
 
-void BasicChecker::emitJsonStats(JsonReport::Row &Row) const {
-  emitCheckerStatsJson(Row, stats(), Log.size());
+void BasicChecker::visitStats(const StatVisitor &Visit) const {
+  visitCheckerStats(Visit, stats(), Log.size());
 }

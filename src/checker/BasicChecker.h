@@ -79,7 +79,7 @@ public:
   size_t numViolations() const override { return Log.size(); }
   std::set<MemAddr> violationKeys() const override;
   void printReport(std::FILE *Out) const override;
-  void emitJsonStats(JsonReport::Row &Row) const override;
+  void visitStats(const StatVisitor &Visit) const override;
 
   /// The embedded pre-analysis engine (replay front end, tests).
   SitePreanalysis &preanalysis() override { return Pre; }

@@ -6,7 +6,11 @@
 
 #include "checker/CheckerTool.h"
 
+#include <cstring>
+#include <string>
+
 #include "checker/CheckerStats.h"
+#include "obs/Metrics.h"
 
 using namespace avc;
 
@@ -14,38 +18,62 @@ ToolExtras::~ToolExtras() = default;
 
 CheckerTool::~CheckerTool() = default;
 
-void avc::emitPreanalysisJson(JsonReport::Row &Row,
-                              const PreanalysisStats &Pre) {
-  if (Pre.Mode == PreanalysisMode::Off)
-    return;
-  Row.field("pre_seq_skips", double(Pre.NumSeqSkips))
-      .field("pre_site_skips", double(Pre.NumSiteSkips))
-      .field("pre_downgrades", double(Pre.NumDowngrades))
-      .field("pre_unsafe_downgrades", double(Pre.NumUnsafeDowngrades))
-      .field("pre_sites", double(Pre.NumSites))
-      .field("pre_sequential_only", double(Pre.NumSequentialOnly))
-      .field("pre_read_only_after_init", double(Pre.NumReadOnlyAfterInit))
-      .field("pre_fixed_lockset", double(Pre.NumFixedLockset))
-      .field("pre_non_grouped", double(Pre.NumNonGrouped))
-      .field("pre_generic", double(Pre.NumGeneric));
+void CheckerTool::emitJsonStats(JsonReport::Row &Row) const {
+  visitStats([&Row](const char *Key, double Value) { Row.field(Key, Value); });
 }
 
-void avc::emitCheckerStatsJson(JsonReport::Row &Row, const CheckerStats &Stats,
-                               size_t Violations) {
-  Row.field("violations", double(Violations))
-      .field("violating_locations", double(Stats.NumViolatingLocations))
-      .field("locations", double(Stats.NumLocations))
-      .field("reads", double(Stats.NumReads))
-      .field("writes", double(Stats.NumWrites))
-      .field("dpst_nodes", double(Stats.NumDpstNodes))
-      .field("lca_queries", double(Stats.Lca.NumQueries))
-      .field("cache_hits", double(Stats.NumCacheHits))
-      .field("cache_hit_reads", double(Stats.NumCacheHitReads))
-      .field("cache_hit_writes", double(Stats.NumCacheHitWrites))
-      .field("cache_path_hits", double(Stats.NumCachePathHits))
-      .field("cache_evictions", double(Stats.NumCacheEvictions))
-      .field("lockset_snapshots", double(Stats.NumLockSnapshots))
-      .field("cache_hit_pct", Stats.cacheHitRate())
-      .field("cache_path_hit_pct", Stats.cachePathHitRate());
-  emitPreanalysisJson(Row, Stats.Pre);
+void CheckerTool::publishMetrics() const {
+  metrics::MetricsRegistry &Registry = metrics::MetricsRegistry::instance();
+  visitStats([&](const char *Key, double Value) {
+    size_t Len = std::strlen(Key);
+    // Derived percentages are JSON-report sugar; a cumulative counter of
+    // a rate is meaningless, and scrapers recompute rates themselves.
+    if (Len >= 4 && std::strcmp(Key + Len - 4, "_pct") == 0)
+      return;
+    Registry
+        .counter("taskcheck_tool_" + std::string(Key) + "_total",
+                 "Engine stat '" + std::string(Key) +
+                     "' accumulated across checked traces.")
+        .add(static_cast<uint64_t>(Value));
+  });
+  Registry
+      .counter("taskcheck_tool_runs_total",
+               "Finished engine runs folded into the tool counters.")
+      .inc();
+}
+
+void avc::visitPreanalysisStats(const CheckerTool::StatVisitor &Visit,
+                                const PreanalysisStats &Pre) {
+  if (Pre.Mode == PreanalysisMode::Off)
+    return;
+  Visit("pre_seq_skips", double(Pre.NumSeqSkips));
+  Visit("pre_site_skips", double(Pre.NumSiteSkips));
+  Visit("pre_downgrades", double(Pre.NumDowngrades));
+  Visit("pre_unsafe_downgrades", double(Pre.NumUnsafeDowngrades));
+  Visit("pre_sites", double(Pre.NumSites));
+  Visit("pre_sequential_only", double(Pre.NumSequentialOnly));
+  Visit("pre_read_only_after_init", double(Pre.NumReadOnlyAfterInit));
+  Visit("pre_fixed_lockset", double(Pre.NumFixedLockset));
+  Visit("pre_non_grouped", double(Pre.NumNonGrouped));
+  Visit("pre_generic", double(Pre.NumGeneric));
+}
+
+void avc::visitCheckerStats(const CheckerTool::StatVisitor &Visit,
+                            const CheckerStats &Stats, size_t Violations) {
+  Visit("violations", double(Violations));
+  Visit("violating_locations", double(Stats.NumViolatingLocations));
+  Visit("locations", double(Stats.NumLocations));
+  Visit("reads", double(Stats.NumReads));
+  Visit("writes", double(Stats.NumWrites));
+  Visit("dpst_nodes", double(Stats.NumDpstNodes));
+  Visit("lca_queries", double(Stats.Lca.NumQueries));
+  Visit("cache_hits", double(Stats.NumCacheHits));
+  Visit("cache_hit_reads", double(Stats.NumCacheHitReads));
+  Visit("cache_hit_writes", double(Stats.NumCacheHitWrites));
+  Visit("cache_path_hits", double(Stats.NumCachePathHits));
+  Visit("cache_evictions", double(Stats.NumCacheEvictions));
+  Visit("lockset_snapshots", double(Stats.NumLockSnapshots));
+  Visit("cache_hit_pct", Stats.cacheHitRate());
+  Visit("cache_path_hit_pct", Stats.cachePathHitRate());
+  visitPreanalysisStats(Visit, Stats.Pre);
 }

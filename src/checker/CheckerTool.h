@@ -23,6 +23,7 @@
 #define AVC_CHECKER_CHECKERTOOL_H
 
 #include <cstdio>
+#include <functional>
 #include <set>
 
 #include "analysis/SitePreanalysis.h"
@@ -78,9 +79,27 @@ public:
   /// print the uniform "[<name>] N violation(s)" header first.
   virtual void printReport(std::FILE *Out) const = 0;
 
+  /// Receives one (field name, value) pair per engine counter. Keys use
+  /// the historical taskcheck JSON field names ("violations",
+  /// "cache_hits", "pre_seq_skips", ...).
+  using StatVisitor = std::function<void(const char *, double)>;
+
+  /// Enumerates this engine's counters through \p Visit. This is the one
+  /// stats seam each engine implements; the JSON compatibility view
+  /// (emitJsonStats) and the metrics-registry publication
+  /// (publishMetrics) are both derived from it, so the two surfaces
+  /// cannot drift apart.
+  virtual void visitStats(const StatVisitor &Visit) const = 0;
+
   /// Emits this engine's counters into a JSON report row, preserving each
-  /// engine's historical field names.
-  virtual void emitJsonStats(JsonReport::Row &Row) const = 0;
+  /// engine's historical field names. Derived from visitStats.
+  void emitJsonStats(JsonReport::Row &Row) const;
+
+  /// Folds this engine's counters into the process-wide metrics registry
+  /// as `taskcheck_tool_<field>_total` counters (derived `_pct` rates are
+  /// skipped — scrapers recompute rates from the underlying counters).
+  /// Call once per finished trace/run; counters accumulate across calls.
+  void publishMetrics() const;
 
   /// Prints the engine's human-readable statistics block, if it has one.
   virtual void printStats(std::FILE *Out) const { (void)Out; }
@@ -115,15 +134,16 @@ public:
   }
 };
 
-/// Emits the shared CheckerStats counter block (atomicity and basic use
-/// the same stats type) under the historical taskcheck field names.
-void emitCheckerStatsJson(JsonReport::Row &Row, const CheckerStats &Stats,
-                          size_t Violations);
+/// Enumerates the shared CheckerStats counter block (atomicity and basic
+/// use the same stats type) under the historical taskcheck field names.
+void visitCheckerStats(const CheckerTool::StatVisitor &Visit,
+                       const CheckerStats &Stats, size_t Violations);
 
-/// Emits the pre-analysis counters shared by every engine's JSON row:
+/// Enumerates the pre-analysis counters shared by every engine's stats:
 /// skip totals, downgrade audit, and the pruned-site census. No-op when
 /// the gate was off.
-void emitPreanalysisJson(JsonReport::Row &Row, const PreanalysisStats &Pre);
+void visitPreanalysisStats(const CheckerTool::StatVisitor &Visit,
+                           const PreanalysisStats &Pre);
 
 } // namespace avc
 

@@ -230,12 +230,12 @@ void DeterminismChecker::printReport(std::FILE *Out) const {
     std::fprintf(Out, "  %s\n", V.toString().c_str());
 }
 
-void DeterminismChecker::emitJsonStats(JsonReport::Row &Row) const {
+void DeterminismChecker::visitStats(const StatVisitor &Visit) const {
   DeterminismStats Stats = stats();
-  Row.field("violations", double(Stats.NumViolations))
-      .field("locations", double(Stats.NumLocations))
-      .field("reads", double(Stats.NumReads))
-      .field("writes", double(Stats.NumWrites))
-      .field("dpst_nodes", double(Stats.NumDpstNodes));
-  emitPreanalysisJson(Row, Stats.Pre);
+  Visit("violations", double(Stats.NumViolations));
+  Visit("locations", double(Stats.NumLocations));
+  Visit("reads", double(Stats.NumReads));
+  Visit("writes", double(Stats.NumWrites));
+  Visit("dpst_nodes", double(Stats.NumDpstNodes));
+  visitPreanalysisStats(Visit, Stats.Pre);
 }

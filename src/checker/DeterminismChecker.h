@@ -113,7 +113,7 @@ public:
   const char *name() const override { return "determinism"; }
   std::set<MemAddr> violationKeys() const override;
   void printReport(std::FILE *Out) const override;
-  void emitJsonStats(JsonReport::Row &Row) const override;
+  void visitStats(const StatVisitor &Visit) const override;
 
   /// Registers this tool's gauges (DPST node count) with the active
   /// observability session; no-op without one.

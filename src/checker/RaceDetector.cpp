@@ -290,12 +290,12 @@ void RaceDetector::printReport(std::FILE *Out) const {
     std::fprintf(Out, "  %s\n", R.toString().c_str());
 }
 
-void RaceDetector::emitJsonStats(JsonReport::Row &Row) const {
+void RaceDetector::visitStats(const StatVisitor &Visit) const {
   RaceStats Stats = stats();
-  Row.field("violations", double(Stats.NumRaces))
-      .field("locations", double(Stats.NumLocations))
-      .field("reads", double(Stats.NumReads))
-      .field("writes", double(Stats.NumWrites))
-      .field("dpst_nodes", double(Stats.NumDpstNodes));
-  emitPreanalysisJson(Row, Stats.Pre);
+  Visit("violations", double(Stats.NumRaces));
+  Visit("locations", double(Stats.NumLocations));
+  Visit("reads", double(Stats.NumReads));
+  Visit("writes", double(Stats.NumWrites));
+  Visit("dpst_nodes", double(Stats.NumDpstNodes));
+  visitPreanalysisStats(Visit, Stats.Pre);
 }

@@ -293,14 +293,14 @@ void VectorClockAtomicity::printReport(std::FILE *Out) const {
                  static_cast<unsigned long long>(Cycle.Addr));
 }
 
-void VectorClockAtomicity::emitJsonStats(JsonReport::Row &Row) const {
+void VectorClockAtomicity::visitStats(const StatVisitor &Visit) const {
   VClockStats Stats = stats();
-  Row.field("violations", double(Stats.NumCycles))
-      .field("transactions", double(Stats.NumTransactions))
-      .field("edges", double(Stats.NumEdges))
-      .field("joins", double(Stats.NumJoins))
-      .field("propagations", double(Stats.NumPropagations))
-      .field("reads", double(Stats.NumReads))
-      .field("writes", double(Stats.NumWrites));
-  emitPreanalysisJson(Row, Stats.Pre);
+  Visit("violations", double(Stats.NumCycles));
+  Visit("transactions", double(Stats.NumTransactions));
+  Visit("edges", double(Stats.NumEdges));
+  Visit("joins", double(Stats.NumJoins));
+  Visit("propagations", double(Stats.NumPropagations));
+  Visit("reads", double(Stats.NumReads));
+  Visit("writes", double(Stats.NumWrites));
+  visitPreanalysisStats(Visit, Stats.Pre);
 }

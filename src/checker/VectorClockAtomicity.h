@@ -103,7 +103,7 @@ public:
   size_t numViolations() const override;
   std::set<MemAddr> violationKeys() const override;
   void printReport(std::FILE *Out) const override;
-  void emitJsonStats(JsonReport::Row &Row) const override;
+  void visitStats(const StatVisitor &Visit) const override;
   void registerObsGauges() override;
   SitePreanalysis &preanalysis() override { return Pre; }
 

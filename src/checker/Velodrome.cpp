@@ -237,12 +237,12 @@ void VelodromeChecker::printReport(std::FILE *Out) const {
                  static_cast<unsigned long long>(Cycle.Addr));
 }
 
-void VelodromeChecker::emitJsonStats(JsonReport::Row &Row) const {
+void VelodromeChecker::visitStats(const StatVisitor &Visit) const {
   VelodromeStats Stats = stats();
-  Row.field("violations", double(Stats.NumCycles))
-      .field("transactions", double(Stats.NumTransactions))
-      .field("edges", double(Stats.NumEdges))
-      .field("reads", double(Stats.NumReads))
-      .field("writes", double(Stats.NumWrites));
-  emitPreanalysisJson(Row, Stats.Pre);
+  Visit("violations", double(Stats.NumCycles));
+  Visit("transactions", double(Stats.NumTransactions));
+  Visit("edges", double(Stats.NumEdges));
+  Visit("reads", double(Stats.NumReads));
+  Visit("writes", double(Stats.NumWrites));
+  visitPreanalysisStats(Visit, Stats.Pre);
 }

@@ -1,0 +1,133 @@
+//===- obs/Metrics.cpp - Process-wide aggregated metrics registry ---------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+using namespace avc;
+using namespace avc::metrics;
+
+std::atomic<uint32_t> avc::metrics::GTimingEnabled{0};
+
+void avc::metrics::setTimingEnabled(bool Enabled) {
+  GTimingEnabled.store(Enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+unsigned avc::metrics::threadOrdinal() {
+  static std::atomic<unsigned> Next{0};
+  thread_local unsigned Ordinal =
+      Next.fetch_add(1, std::memory_order_relaxed);
+  return Ordinal;
+}
+
+bool avc::metrics::isValidMetricName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  auto Head = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+           C == ':';
+  };
+  if (!Head(Name[0]))
+    return false;
+  for (size_t I = 1; I < Name.size(); ++I)
+    if (!Head(Name[I]) && !(Name[I] >= '0' && Name[I] <= '9'))
+      return false;
+  return true;
+}
+
+const MetricSample *Snapshot::find(const std::string &Name) const {
+  for (const MetricSample &M : Metrics)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::getOrCreate(const std::string &Name, const std::string &Help,
+                             MetricType Type) {
+  if (!isValidMetricName(Name)) {
+    std::fprintf(stderr, "metrics: invalid metric name '%s'\n", Name.c_str());
+    std::abort();
+  }
+  std::lock_guard<SpinLock> Guard(Lock);
+  for (auto &E : Entries)
+    if (E->Name == Name) {
+      if (E->Type != Type) {
+        std::fprintf(stderr,
+                     "metrics: '%s' re-registered with a different type\n",
+                     Name.c_str());
+        std::abort();
+      }
+      return *E;
+    }
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->Help = Help;
+  E->Type = Type;
+  switch (Type) {
+  case MetricType::Counter:
+    E->C = std::make_unique<Counter>();
+    break;
+  case MetricType::Gauge:
+    E->G = std::make_unique<Gauge>();
+    break;
+  case MetricType::Histogram:
+    E->H = std::make_unique<Histogram>();
+    break;
+  }
+  Entries.push_back(std::move(E));
+  return *Entries.back();
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help) {
+  return *getOrCreate(Name, Help, MetricType::Counter).C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const std::string &Help) {
+  return *getOrCreate(Name, Help, MetricType::Gauge).G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const std::string &Help) {
+  return *getOrCreate(Name, Help, MetricType::Histogram).H;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot S;
+  std::lock_guard<SpinLock> Guard(Lock);
+  S.Metrics.reserve(Entries.size());
+  for (const auto &E : Entries) {
+    MetricSample M;
+    M.Name = E->Name;
+    M.Help = E->Help;
+    M.Type = E->Type;
+    switch (E->Type) {
+    case MetricType::Counter:
+      M.Value = static_cast<double>(E->C->value());
+      break;
+    case MetricType::Gauge:
+      M.Value = E->G->value();
+      break;
+    case MetricType::Histogram:
+      M.Buckets = E->H->bucketCounts();
+      M.Sum = E->H->sum();
+      M.Count = E->H->count();
+      break;
+    }
+    S.Metrics.push_back(std::move(M));
+  }
+  return S;
+}
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry Registry;
+  return Registry;
+}

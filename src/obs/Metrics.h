@@ -1,0 +1,297 @@
+//===- obs/Metrics.h - Process-wide aggregated metrics registry -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The aggregation half of the observability layer. Where obs/Obs.h records
+/// *per-run traces* (what happened, in order, for one execution), this
+/// registry keeps *cumulative counters, gauges, and latency histograms* —
+/// the shape a long-running `taskcheck serve` daemon exposes to scrapers.
+///
+/// Disciplines (DESIGN.md §14):
+///  - A counter increment is one relaxed fetch_add on a cacheline-aligned
+///    shard keyed by thread ordinal (the §10 sharded-stats discipline), so
+///    the hot path never contends and never takes a lock.
+///  - Metrics are registered once (spinlock-guarded, name-keyed) and
+///    referenced by stable pointer afterwards; registration rejects names
+///    outside the Prometheus grammar and type mismatches loudly.
+///  - snapshot() folds every shard under the registration lock at a
+///    quiescent-enough point (scrape/rewrite intervals), so readers never
+///    slow writers down.
+///
+/// Usage:
+/// \code
+///   metrics::Counter &Steals = metrics::MetricsRegistry::instance().counter(
+///       "taskcheck_runtime_steals_total", "Successful deque steals.");
+///   Steals.inc();                             // hot path
+///   metrics::Snapshot S = registry.snapshot();// scrape path
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_OBS_METRICS_H
+#define AVC_OBS_METRICS_H
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/Compiler.h"
+#include "support/SpinLock.h"
+
+namespace avc {
+namespace metrics {
+
+/// Dense per-thread ordinal for shard selection. Assigned on first use,
+/// cached in a thread_local; one relaxed load afterwards.
+unsigned threadOrdinal();
+
+/// Shards per metric: enough that 8-16 workers rarely collide, small
+/// enough that a counter stays cache-resident (16 x 64 B = 1 KiB).
+inline constexpr unsigned NumMetricShards = 16;
+
+enum class MetricType : uint8_t { Counter, Gauge, Histogram };
+
+/// Monotonically increasing count, sharded per thread. The only hot-path
+/// metric type: inc()/add() cost one relaxed fetch_add on the caller's
+/// shard.
+class Counter {
+public:
+  AVC_ALWAYS_INLINE void add(uint64_t Delta) {
+    Shards[threadOrdinal() & (NumMetricShards - 1)].Value.fetch_add(
+        Delta, std::memory_order_relaxed);
+  }
+  AVC_ALWAYS_INLINE void inc() { add(1); }
+
+  /// Folded total across shards (scrape path).
+  uint64_t value() const {
+    uint64_t Total = 0;
+    for (const Shard &S : Shards)
+      Total += S.Value.load(std::memory_order_relaxed);
+    return Total;
+  }
+
+private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> Value{0};
+  };
+  Shard Shards[NumMetricShards];
+};
+
+/// Point-in-time double value (queue depth, uptime, footprints). set() is
+/// a single relaxed store; last writer wins.
+class Gauge {
+public:
+  void set(double V) {
+    Bits.store(std::bit_cast<uint64_t>(V), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(Bits.load(std::memory_order_relaxed));
+  }
+
+private:
+  std::atomic<uint64_t> Bits{std::bit_cast<uint64_t>(0.0)};
+};
+
+/// Fixed-bucket log-scale latency histogram in seconds (Prometheus base
+/// unit). Buckets are powers of two starting at 1 us: bucket i counts
+/// observations <= 2^i microseconds, the last bucket is +Inf. observe()
+/// is per-trace / per-task granularity, so plain relaxed fetch_adds on
+/// the bucket array suffice — no sharding needed.
+class Histogram {
+public:
+  /// 2^0 us .. 2^23 us (~8.4 s) + implicit +Inf.
+  static constexpr unsigned NumBuckets = 24;
+
+  /// Upper bound of finite bucket \p I in seconds.
+  static double bucketBound(unsigned I) {
+    return std::ldexp(1e-6, static_cast<int>(I));
+  }
+
+  void observe(double Seconds) {
+    if (Seconds < 0)
+      Seconds = 0;
+    double Us = Seconds * 1e6;
+    unsigned Index;
+    if (Us <= 1.0) {
+      Index = 0;
+    } else {
+      uint64_t Ceiled = static_cast<uint64_t>(std::ceil(Us));
+      unsigned Log2 = static_cast<unsigned>(std::bit_width(Ceiled - 1));
+      Index = Log2 < NumBuckets ? Log2 : NumBuckets; // NumBuckets == +Inf
+    }
+    if (Index < NumBuckets)
+      Buckets[Index].fetch_add(1, std::memory_order_relaxed);
+    else
+      Overflow.fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> is a CAS loop; observation rate is
+    // per-trace, not per-access, so contention is irrelevant.
+    Sum.fetch_add(Seconds, std::memory_order_relaxed);
+  }
+
+  /// Per-bucket (non-cumulative) counts; [NumBuckets] is +Inf.
+  std::vector<uint64_t> bucketCounts() const {
+    std::vector<uint64_t> Out(NumBuckets + 1);
+    for (unsigned I = 0; I < NumBuckets; ++I)
+      Out[I] = Buckets[I].load(std::memory_order_relaxed);
+    Out[NumBuckets] = Overflow.load(std::memory_order_relaxed);
+    return Out;
+  }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Overflow{0};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<double> Sum{0.0};
+};
+
+/// Folded view of one metric at snapshot time.
+struct MetricSample {
+  std::string Name;
+  std::string Help;
+  MetricType Type = MetricType::Counter;
+  /// Counter total or gauge value.
+  double Value = 0;
+  /// Histogram payload (empty otherwise): per-bucket counts with the +Inf
+  /// bucket last, plus sum/count.
+  std::vector<uint64_t> Buckets;
+  double Sum = 0;
+  uint64_t Count = 0;
+};
+
+/// A consistent-enough view of every registered metric, in registration
+/// order (scrapes want stable output).
+struct Snapshot {
+  std::vector<MetricSample> Metrics;
+
+  /// The sample named \p Name, or null.
+  const MetricSample *find(const std::string &Name) const;
+};
+
+/// True iff \p Name matches the Prometheus metric-name grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*.
+bool isValidMetricName(const std::string &Name);
+
+/// Name-keyed registry of counters, gauges, and histograms. instance() is
+/// the process-wide registry every subsystem publishes into; tests build
+/// private registries for isolation. Registration is get-or-create: the
+/// second caller of counter("x", ...) receives the first caller's counter.
+/// A name reused with a different metric type aborts — that is a wiring
+/// bug, never a runtime condition.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  Counter &counter(const std::string &Name, const std::string &Help);
+  Gauge &gauge(const std::string &Name, const std::string &Help);
+  Histogram &histogram(const std::string &Name, const std::string &Help);
+
+  /// Folds every metric. Safe to call concurrently with writers (relaxed
+  /// reads may miss in-flight increments, never tear).
+  Snapshot snapshot() const;
+
+  /// The process-wide registry.
+  static MetricsRegistry &instance();
+
+private:
+  struct Entry {
+    std::string Name;
+    std::string Help;
+    MetricType Type;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<Histogram> H;
+  };
+
+  Entry &getOrCreate(const std::string &Name, const std::string &Help,
+                     MetricType Type);
+
+  mutable SpinLock Lock;
+  std::vector<std::unique_ptr<Entry>> Entries;
+};
+
+//===----------------------------------------------------------------------===//
+// Timed-section gating
+//===----------------------------------------------------------------------===//
+
+/// Counters always run (one relaxed shard increment, ~free); *timed*
+/// metrics (the task-latency histogram needs two clock reads per task)
+/// are gated so benchmark runs that never scrape pay nothing. serve
+/// enables this for its lifetime.
+extern std::atomic<uint32_t> GTimingEnabled;
+
+AVC_ALWAYS_INLINE bool timingEnabled() {
+  return AVC_UNLIKELY(GTimingEnabled.load(std::memory_order_relaxed) != 0);
+}
+
+void setTimingEnabled(bool Enabled);
+
+//===----------------------------------------------------------------------===//
+// Canonical metric names
+//===----------------------------------------------------------------------===//
+//
+// Shared by the instrumentation sites, the serve loop's eager registration
+// (so a scrape sees every headline metric even before the first trace),
+// and tools/validate_metrics.py's required-metric whitelist.
+
+namespace names {
+// Trace checking (BatchReplay / serve).
+inline constexpr const char *TracesCheckedTotal =
+    "taskcheck_traces_checked_total";
+inline constexpr const char *TracesFailedTotal =
+    "taskcheck_traces_failed_total";
+inline constexpr const char *TracesFlaggedTotal =
+    "taskcheck_traces_flagged_total";
+inline constexpr const char *TraceEventsTotal = "taskcheck_trace_events_total";
+inline constexpr const char *ViolationsTotal =
+    "taskcheck_trace_violations_total";
+inline constexpr const char *TraceDecodeSeconds =
+    "taskcheck_trace_decode_seconds";
+inline constexpr const char *TraceCheckSeconds =
+    "taskcheck_trace_check_seconds";
+inline constexpr const char *TraceTotalSeconds =
+    "taskcheck_trace_total_seconds";
+// Serve loop health.
+inline constexpr const char *ServeQueueDepth = "taskcheck_serve_queue_depth";
+inline constexpr const char *ServeHeartbeatsTotal =
+    "taskcheck_serve_heartbeats_total";
+inline constexpr const char *ServeClaimRacesTotal =
+    "taskcheck_serve_claim_races_total";
+inline constexpr const char *ServeUptimeSeconds =
+    "taskcheck_serve_uptime_seconds";
+// Task runtime.
+inline constexpr const char *RuntimeTasksTotal =
+    "taskcheck_runtime_tasks_total";
+inline constexpr const char *RuntimeStealsTotal =
+    "taskcheck_runtime_steals_total";
+inline constexpr const char *RuntimeDequeGrowthTotal =
+    "taskcheck_runtime_deque_growth_total";
+inline constexpr const char *RuntimeTaskLatencySeconds =
+    "taskcheck_runtime_task_latency_seconds";
+// Trace recorder.
+inline constexpr const char *RecorderEventsTotal =
+    "taskcheck_recorder_events_total";
+inline constexpr const char *RecorderRunsTotal =
+    "taskcheck_recorder_runs_total";
+inline constexpr const char *RecorderContendedMergesTotal =
+    "taskcheck_recorder_contended_merges_total";
+// Observability ring loss (ISSUE satellite: wraparound drops were
+// previously internal-only).
+inline constexpr const char *ObsRingDroppedTotal = "obs_ring_dropped_total";
+} // namespace names
+
+} // namespace metrics
+} // namespace avc
+
+#endif // AVC_OBS_METRICS_H

@@ -1,0 +1,201 @@
+//===- obs/MetricsExport.cpp - Prometheus/JSON/NDJSON writers -------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsExport.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "support/JsonReport.h"
+
+using namespace avc;
+using namespace avc::metrics;
+
+namespace {
+
+/// Prometheus sample values: integral doubles render without an exponent
+/// or trailing zeros (counters read as counts), everything else as %.9g.
+std::string formatValue(double V) {
+  char Buffer[48];
+  if (std::isfinite(V) && V == std::floor(V) && std::fabs(V) < 1e15)
+    std::snprintf(Buffer, sizeof(Buffer), "%" PRId64,
+                  static_cast<int64_t>(V));
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.9g", V);
+  return Buffer;
+}
+
+std::string formatBound(double Bound) {
+  char Buffer[48];
+  std::snprintf(Buffer, sizeof(Buffer), "%.9g", Bound);
+  return Buffer;
+}
+
+const char *typeName(MetricType T) {
+  switch (T) {
+  case MetricType::Counter:
+    return "counter";
+  case MetricType::Gauge:
+    return "gauge";
+  case MetricType::Histogram:
+    return "histogram";
+  }
+  return "untyped";
+}
+
+} // namespace
+
+std::string avc::metrics::toPrometheusText(const Snapshot &S) {
+  std::string Out;
+  for (const MetricSample &M : S.Metrics) {
+    Out += "# HELP " + M.Name + " " + M.Help + "\n";
+    Out += "# TYPE " + M.Name + " ";
+    Out += typeName(M.Type);
+    Out += "\n";
+    switch (M.Type) {
+    case MetricType::Counter:
+    case MetricType::Gauge:
+      Out += M.Name + " " + formatValue(M.Value) + "\n";
+      break;
+    case MetricType::Histogram: {
+      // Exposition buckets are cumulative; the snapshot stores raw
+      // per-bucket counts with +Inf last.
+      uint64_t Cumulative = 0;
+      for (unsigned I = 0; I + 1 < M.Buckets.size(); ++I) {
+        Cumulative += M.Buckets[I];
+        Out += M.Name + "_bucket{le=\"" + formatBound(Histogram::bucketBound(I)) +
+               "\"} " + formatValue(static_cast<double>(Cumulative)) + "\n";
+      }
+      if (!M.Buckets.empty())
+        Cumulative += M.Buckets.back();
+      Out += M.Name + "_bucket{le=\"+Inf\"} " +
+             formatValue(static_cast<double>(Cumulative)) + "\n";
+      Out += M.Name + "_sum " + formatValue(M.Sum) + "\n";
+      Out += M.Name + "_count " + formatValue(static_cast<double>(M.Count)) +
+             "\n";
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+std::string avc::metrics::toJsonText(const Snapshot &S) {
+  std::string Out = "{\"metrics\": [";
+  bool FirstMetric = true;
+  for (const MetricSample &M : S.Metrics) {
+    if (!FirstMetric)
+      Out += ",";
+    FirstMetric = false;
+    Out += "\n  {\"name\": " + jsonQuote(M.Name) +
+           ", \"type\": " + jsonQuote(typeName(M.Type)) +
+           ", \"help\": " + jsonQuote(M.Help);
+    switch (M.Type) {
+    case MetricType::Counter:
+    case MetricType::Gauge:
+      Out += ", \"value\": " + jsonNumber(M.Value);
+      break;
+    case MetricType::Histogram: {
+      Out += ", \"sum\": " + jsonNumber(M.Sum) +
+             ", \"count\": " + jsonNumber(static_cast<double>(M.Count)) +
+             ", \"buckets\": [";
+      uint64_t Cumulative = 0;
+      for (unsigned I = 0; I < M.Buckets.size(); ++I) {
+        Cumulative += M.Buckets[I];
+        bool Last = I + 1 == M.Buckets.size();
+        Out += std::string(I ? ", " : "") + "{\"le\": " +
+               (Last ? std::string("\"+Inf\"")
+                     : jsonNumber(Histogram::bucketBound(I))) +
+               ", \"count\": " + jsonNumber(static_cast<double>(Cumulative)) +
+               "}";
+      }
+      Out += "]";
+      break;
+    }
+    }
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool avc::metrics::writeFileAtomic(const std::string &Path,
+                                   const std::string &Contents) {
+  std::string TmpPath =
+      Path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE *F = std::fopen(TmpPath.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "metrics: cannot open %s: %s\n", TmpPath.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  bool Ok = std::fwrite(Contents.data(), 1, Contents.size(), F) ==
+            Contents.size();
+  Ok = std::fflush(F) == 0 && Ok;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    std::fprintf(stderr, "metrics: short write to %s\n", TmpPath.c_str());
+    std::remove(TmpPath.c_str());
+    return false;
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::fprintf(stderr, "metrics: rename %s -> %s failed: %s\n",
+                 TmpPath.c_str(), Path.c_str(), std::strerror(errno));
+    std::remove(TmpPath.c_str());
+    return false;
+  }
+  return true;
+}
+
+NdjsonWriter::NdjsonWriter(const std::string &Path) {
+  Out = std::fopen(Path.c_str(), "ab");
+  if (!Out)
+    std::fprintf(stderr, "metrics: cannot open NDJSON log %s: %s\n",
+                 Path.c_str(), std::strerror(errno));
+}
+
+NdjsonWriter::~NdjsonWriter() {
+  if (Out)
+    std::fclose(Out);
+}
+
+NdjsonWriter::Row &NdjsonWriter::Row::field(const std::string &Key,
+                                            const std::string &Value) {
+  Fields.push_back({Key, jsonQuote(Value)});
+  return *this;
+}
+
+NdjsonWriter::Row &NdjsonWriter::Row::field(const std::string &Key,
+                                            double Value) {
+  Fields.push_back({Key, jsonNumber(Value)});
+  return *this;
+}
+
+NdjsonWriter::Row &NdjsonWriter::Row::field(const std::string &Key,
+                                            uint64_t Value) {
+  Fields.push_back({Key, std::to_string(Value)});
+  return *this;
+}
+
+bool NdjsonWriter::append(const Row &R) {
+  if (!Out)
+    return false;
+  std::string Line = "{";
+  for (size_t I = 0; I < R.Fields.size(); ++I) {
+    if (I)
+      Line += ", ";
+    Line += jsonQuote(R.Fields[I].first) + ": " + R.Fields[I].second;
+  }
+  Line += "}\n";
+  bool Ok =
+      std::fwrite(Line.data(), 1, Line.size(), Out) == Line.size();
+  return std::fflush(Out) == 0 && Ok;
+}

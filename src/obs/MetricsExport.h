@@ -1,0 +1,83 @@
+//===- obs/MetricsExport.h - Prometheus/JSON/NDJSON writers ----*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of metrics snapshots (obs/Metrics.h) for the serve
+/// daemon's scrape surface: Prometheus text exposition format (the file a
+/// node_exporter-style textfile collector or a sidecar serves), a JSON
+/// snapshot with the same content for ad-hoc tooling, and an append-only
+/// NDJSON event log for per-trace results. All file writes that replace a
+/// previous snapshot go through writeFileAtomic (write temp + rename), so
+/// a scraper never reads a torn file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_OBS_METRICSEXPORT_H
+#define AVC_OBS_METRICSEXPORT_H
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/Metrics.h"
+
+namespace avc {
+namespace metrics {
+
+/// Renders \p S in the Prometheus text exposition format: per metric a
+/// `# HELP` line, a `# TYPE` line, then the samples (histograms expand to
+/// cumulative `_bucket{le="..."}` samples plus `_sum`/`_count`).
+std::string toPrometheusText(const Snapshot &S);
+
+/// Renders \p S as one JSON object {"metrics": [...]} carrying the same
+/// content as the Prometheus view.
+std::string toJsonText(const Snapshot &S);
+
+/// Writes \p Contents to \p Path via a temporary file in the same
+/// directory followed by an atomic rename; readers see either the old or
+/// the new contents, never a prefix. Returns false with a message on
+/// stderr on failure.
+bool writeFileAtomic(const std::string &Path, const std::string &Contents);
+
+/// Append-only newline-delimited-JSON log: one flat object per row. Used
+/// by serve for the per-trace result log; each append is one buffered
+/// write + flush, so rows are whole lines even if the process dies
+/// mid-run.
+class NdjsonWriter {
+public:
+  /// Opens \p Path for append. ok() reports whether the stream is usable.
+  explicit NdjsonWriter(const std::string &Path);
+  ~NdjsonWriter();
+
+  NdjsonWriter(const NdjsonWriter &) = delete;
+  NdjsonWriter &operator=(const NdjsonWriter &) = delete;
+
+  bool ok() const { return Out != nullptr; }
+
+  class Row {
+  public:
+    Row &field(const std::string &Key, const std::string &Value);
+    Row &field(const std::string &Key, double Value);
+    /// Full-precision integers (timestamps overflow double's %.6g).
+    Row &field(const std::string &Key, uint64_t Value);
+
+  private:
+    friend class NdjsonWriter;
+    std::vector<std::pair<std::string, std::string>> Fields;
+  };
+
+  /// Serializes \p R as one line and flushes. Returns false on I/O error.
+  bool append(const Row &R);
+
+private:
+  std::FILE *Out = nullptr;
+};
+
+} // namespace metrics
+} // namespace avc
+
+#endif // AVC_OBS_METRICSEXPORT_H

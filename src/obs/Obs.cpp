@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/Metrics.h"
 #include "obs/ObsExport.h"
 #include "support/SpinLock.h"
 #include "support/Timing.h"
@@ -201,6 +202,13 @@ bool avc::obs::endSession(const std::string &Path) {
   }
   Summary.EventsOrphaned = sanitizeSpans(Events);
   Summary.DrainNs = DrainTimer.elapsedNanos();
+
+  // Wraparound losses were previously visible only in the trace summary;
+  // export them so a serve deployment can alert on sustained drop.
+  metrics::MetricsRegistry::instance()
+      .counter(metrics::names::ObsRingDroppedTotal,
+               "Observability ring events lost to wraparound.")
+      .add(Summary.EventsDropped);
 
   if (!writeChromeTrace(Path, Events, Summary))
     return false;

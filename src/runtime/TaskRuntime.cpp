@@ -9,10 +9,12 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/Metrics.h"
 #include "obs/Obs.h"
 #include "runtime/WorkStealingDeque.h"
 #include "support/Compiler.h"
 #include "support/Random.h"
+#include "support/Timing.h"
 
 using namespace avc;
 
@@ -36,6 +38,29 @@ thread_local detail::Worker *CurWorker = nullptr;
 
 /// The task executing on this thread, if any.
 thread_local detail::TaskContext *CurCtx = nullptr;
+
+/// Registry handles resolved once; afterwards each hit is a relaxed
+/// sharded increment. The latency histogram is only fed when
+/// metrics::timingEnabled() — it needs two clock reads per task.
+struct RuntimeMetrics {
+  metrics::Counter &Tasks;
+  metrics::Counter &Steals;
+  metrics::Histogram &TaskLatency;
+
+  RuntimeMetrics()
+      : Tasks(metrics::MetricsRegistry::instance().counter(
+            metrics::names::RuntimeTasksTotal, "Tasks executed.")),
+        Steals(metrics::MetricsRegistry::instance().counter(
+            metrics::names::RuntimeStealsTotal, "Successful deque steals.")),
+        TaskLatency(metrics::MetricsRegistry::instance().histogram(
+            metrics::names::RuntimeTaskLatencySeconds,
+            "Wall time per executed task body (timing-gated).")) {}
+
+  static RuntimeMetrics &get() {
+    static RuntimeMetrics M;
+    return M;
+  }
+};
 
 } // namespace
 
@@ -158,6 +183,7 @@ detail::TaskNode *TaskRuntime::findWork(detail::Worker &W) {
       // Only successful steals are recorded; failed scans would keep idle
       // workers producing events after the run goes quiescent.
       obs::instant(obs::Cat::Runtime, "task/steal", Node->Id);
+      RuntimeMetrics::get().Steals.inc();
       return Node;
     }
   }
@@ -168,6 +194,8 @@ void TaskRuntime::execute(detail::TaskNode *Node) {
   detail::TaskContext Ctx{Node->Id, this, nullptr, nullptr};
   detail::TaskContext *Prev = CurCtx;
   CurCtx = &Ctx;
+  RuntimeMetrics::get().Tasks.inc();
+  uint64_t LatencyStartNs = metrics::timingEnabled() ? nowNanos() : 0;
   notifyAll([&](ExecutionObserver &Obs) { Obs.onTaskExecuteBegin(Ctx.Id); });
   {
     AVC_OBS_SPAN(obs::Cat::Runtime, "task/execute", Ctx.Id);
@@ -180,6 +208,9 @@ void TaskRuntime::execute(detail::TaskNode *Node) {
     }
   }
   notifyAll([&](ExecutionObserver &Obs) { Obs.onTaskEnd(Ctx.Id); });
+  if (LatencyStartNs)
+    RuntimeMetrics::get().TaskLatency.observe(
+        static_cast<double>(nowNanos() - LatencyStartNs) * 1e-9);
   if (obs::enabled())
     obs::tick();
   CurCtx = Prev;

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/Metrics.h"
 #include "obs/Obs.h"
 
 namespace avc {
@@ -131,6 +132,13 @@ private:
   Ring *grow(Ring *Old, int64_t B, int64_t Ti) {
     obs::instant(obs::Cat::Runtime, "deque/grow",
                  static_cast<uint64_t>(Old->Capacity * 2));
+    // Growth is amortized-rare, so the one-time registry resolution (and
+    // the guarded static load afterwards) is off any hot path.
+    static metrics::Counter &Grows =
+        metrics::MetricsRegistry::instance().counter(
+            metrics::names::RuntimeDequeGrowthTotal,
+            "Chase-Lev ring-buffer doublings.");
+    Grows.inc();
     Ring *Fresh = new Ring(Old->Capacity * 2);
     for (int64_t I = Ti; I < B; ++I)
       Fresh->put(I, Old->get(I));

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "checker/ToolRegistry.h"
+#include "obs/Metrics.h"
 #include "runtime/TaskRuntime.h"
 #include "support/Timing.h"
 #include "trace/TraceCodec.h"
@@ -19,6 +20,52 @@
 using namespace avc;
 
 namespace {
+
+/// Per-trace headline metrics, resolved once per process. Counters are
+/// always cheap; the latency histograms observe once per trace, so no
+/// timing gate is needed (the clock reads here bound file I/O, not task
+/// execution).
+struct TraceMetrics {
+  metrics::Counter &Checked;
+  metrics::Counter &Failed;
+  metrics::Counter &Flagged;
+  metrics::Counter &Events;
+  metrics::Counter &Violations;
+  metrics::Histogram &DecodeSeconds;
+  metrics::Histogram &CheckSeconds;
+  metrics::Histogram &TotalSeconds;
+
+  TraceMetrics()
+      : Checked(registry().counter(metrics::names::TracesCheckedTotal,
+                                   "Trace files checked successfully.")),
+        Failed(registry().counter(metrics::names::TracesFailedTotal,
+                                  "Trace files that failed to load/parse.")),
+        Flagged(registry().counter(
+            metrics::names::TracesFlaggedTotal,
+            "Checked traces with at least one violation.")),
+        Events(registry().counter(metrics::names::TraceEventsTotal,
+                                  "Events replayed across checked traces.")),
+        Violations(registry().counter(
+            metrics::names::ViolationsTotal,
+            "Violations reported across checked traces.")),
+        DecodeSeconds(registry().histogram(
+            metrics::names::TraceDecodeSeconds,
+            "Per-trace load+parse latency.")),
+        CheckSeconds(registry().histogram(
+            metrics::names::TraceCheckSeconds,
+            "Per-trace tool construction+replay latency.")),
+        TotalSeconds(registry().histogram(
+            metrics::names::TraceTotalSeconds,
+            "Per-trace end-to-end checking latency.")) {}
+
+  static metrics::MetricsRegistry &registry() {
+    return metrics::MetricsRegistry::instance();
+  }
+  static TraceMetrics &get() {
+    static TraceMetrics M;
+    return M;
+  }
+};
 
 /// Checks one already-parsed trace with an isolated tool instance built
 /// through the registry. Unregistered kinds and kinds with no factory
@@ -29,19 +76,23 @@ uint64_t checkTrace(const Trace &Events, const BatchOptions &Opts) {
     return 0;
   std::unique_ptr<CheckerTool> Tool = Reg->Factory(Opts.Checker, Opts.Extras);
   replayTraceTwoPass(Events, *Tool);
+  Tool->publishMetrics();
   return Tool->numViolations();
 }
 
-/// Loads, parses (text or binary), and checks one trace.
-BatchTraceResult checkOne(const std::string &Path,
-                          const BatchOptions &Opts) {
+} // namespace
+
+BatchTraceResult avc::checkTraceFile(const std::string &Path,
+                                     const BatchOptions &Opts) {
   BatchTraceResult Result;
   Result.Path = Path;
+  TraceMetrics &M = TraceMetrics::get();
   Timer T;
 
   std::ifstream Input(Path, std::ios::binary);
   if (!Input) {
     Result.Error = "cannot open file";
+    M.Failed.inc();
     return Result;
   }
   std::stringstream Buffer;
@@ -52,15 +103,27 @@ BatchTraceResult checkOne(const std::string &Path,
   std::optional<Trace> Events = parseTraceAuto(Bytes, &Error);
   if (!Events) {
     Result.Error = Error;
+    M.Failed.inc();
     return Result;
   }
+  Result.DecodeMs = T.elapsedSeconds() * 1e3;
   Result.NumEvents = Events->size();
+
+  Timer CheckT;
   Result.NumViolations = checkTrace(*Events, Opts);
+  Result.CheckMs = CheckT.elapsedSeconds() * 1e3;
   Result.WallMs = T.elapsedSeconds() * 1e3;
+
+  M.Checked.inc();
+  if (Result.NumViolations)
+    M.Flagged.inc();
+  M.Events.add(Result.NumEvents);
+  M.Violations.add(Result.NumViolations);
+  M.DecodeSeconds.observe(Result.DecodeMs * 1e-3);
+  M.CheckSeconds.observe(Result.CheckMs * 1e-3);
+  M.TotalSeconds.observe(Result.WallMs * 1e-3);
   return Result;
 }
-
-} // namespace
 
 BatchResult avc::runBatch(const std::vector<std::string> &Paths,
                           const BatchOptions &Opts) {
@@ -75,7 +138,7 @@ BatchResult avc::runBatch(const std::vector<std::string> &Paths,
   TaskRuntime RT(RtOpts);
   RT.run([&] {
     for (size_t I = 0; I < Paths.size(); ++I)
-      spawn([&, I] { Result.Traces[I] = checkOne(Paths[I], Opts); });
+      spawn([&, I] { Result.Traces[I] = checkTraceFile(Paths[I], Opts); });
   });
 
   Result.WallMs = T.elapsedSeconds() * 1e3;
@@ -113,6 +176,8 @@ void avc::batchToJson(const BatchResult &Result, const BatchOptions &Opts,
     }
     Row.field("events", double(Trace.NumEvents))
         .field("violations", double(Trace.NumViolations))
-        .field("wall_ms", Trace.WallMs);
+        .field("wall_ms", Trace.WallMs)
+        .field("decode_ms", Trace.DecodeMs)
+        .field("check_ms", Trace.CheckMs);
   }
 }

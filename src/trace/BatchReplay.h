@@ -47,7 +47,9 @@ struct BatchTraceResult {
   std::string Path;
   uint64_t NumEvents = 0;
   uint64_t NumViolations = 0;
-  double WallMs = 0;
+  double WallMs = 0;   ///< end-to-end (load + decode + check)
+  double DecodeMs = 0; ///< load + parse portion
+  double CheckMs = 0;  ///< tool construction + replay portion
   std::string Error; ///< non-empty when the file failed to load or parse
 
   bool ok() const { return Error.empty(); }
@@ -68,6 +70,13 @@ struct BatchResult {
     return NumFailed ? 2 : (TotalViolations ? 1 : 0);
   }
 };
+
+/// Loads, parses (text or binary), and checks one trace file with an
+/// isolated tool instance, publishing per-trace counters and latency
+/// histograms into the process metrics registry. This is the unit of work
+/// runBatch fans out and the serve loop claims one file at a time.
+BatchTraceResult checkTraceFile(const std::string &Path,
+                                const BatchOptions &Opts);
 
 /// Checks every trace in \p Paths under \p Opts. Order of Traces in the
 /// result matches \p Paths regardless of worker scheduling.

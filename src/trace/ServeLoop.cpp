@@ -1,0 +1,290 @@
+//===- trace/ServeLoop.cpp - Long-running queue-draining checker ----------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/ServeLoop.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "obs/Metrics.h"
+#include "obs/MetricsExport.h"
+#include "support/JsonReport.h"
+#include "support/Timing.h"
+
+using namespace avc;
+
+namespace {
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+bool ensureDir(const std::string &Path) {
+  if (::mkdir(Path.c_str(), 0777) == 0 || errno == EEXIST)
+    return true;
+  std::fprintf(stderr, "serve: cannot create %s: %s\n", Path.c_str(),
+               std::strerror(errno));
+  return false;
+}
+
+/// A queue entry eligible for claiming: a regular file that is not the
+/// stop sentinel, not hidden, and not an atomic-rewrite temp file still
+/// being written next to a snapshot path inside the queue.
+bool isClaimable(const std::string &QueueDir, const std::string &Name) {
+  if (Name.empty() || Name[0] == '.' || Name == "stop")
+    return false;
+  if (Name.find(".tmp.") != std::string::npos)
+    return false;
+  struct stat St;
+  if (::stat((QueueDir + "/" + Name).c_str(), &St) != 0)
+    return false;
+  return S_ISREG(St.st_mode);
+}
+
+/// Names of every claimable pending file in \p QueueDir.
+std::vector<std::string> listPending(const std::string &QueueDir) {
+  std::vector<std::string> Names;
+  DIR *D = ::opendir(QueueDir.c_str());
+  if (!D)
+    return Names;
+  while (struct dirent *E = ::readdir(D))
+    if (isClaimable(QueueDir, E->d_name))
+      Names.push_back(E->d_name);
+  ::closedir(D);
+  return Names;
+}
+
+uint64_t unixMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Original queue name of a claimed inflight path:
+/// "<dir>/inflight/<name>.<suffix>" -> "<name>".
+std::string originalName(const std::string &InflightPath,
+                         const std::string &Suffix) {
+  std::string Base = InflightPath;
+  size_t Slash = Base.find_last_of('/');
+  if (Slash != std::string::npos)
+    Base = Base.substr(Slash + 1);
+  std::string Tail = "." + Suffix;
+  if (Base.size() > Tail.size() &&
+      Base.compare(Base.size() - Tail.size(), Tail.size(), Tail) == 0)
+    Base.resize(Base.size() - Tail.size());
+  return Base;
+}
+
+} // namespace
+
+std::string avc::serveClaimOne(const std::string &QueueDir,
+                               const std::string &InflightDir,
+                               const std::string &Suffix,
+                               uint64_t &ClaimRaces) {
+  for (const std::string &Name : listPending(QueueDir)) {
+    std::string From = QueueDir + "/" + Name;
+    std::string To = InflightDir + "/" + Name + "." + Suffix;
+    if (::rename(From.c_str(), To.c_str()) == 0)
+      return To;
+    if (errno == ENOENT) {
+      // Another server renamed it between our readdir and our rename:
+      // the defining race of the shared-queue protocol, and benign.
+      ++ClaimRaces;
+      continue;
+    }
+    std::fprintf(stderr, "serve: claim of %s failed: %s\n", From.c_str(),
+                 std::strerror(errno));
+  }
+  return "";
+}
+
+uint64_t avc::serveQueueDepth(const std::string &QueueDir) {
+  return listPending(QueueDir).size();
+}
+
+ServeStats avc::runServe(const ServeOptions &Opts) {
+  ServeStats Stats;
+  const std::string InflightDir = Opts.QueueDir + "/inflight";
+  const std::string DoneDir = Opts.QueueDir + "/done";
+  const std::string FailedDir = Opts.QueueDir + "/failed";
+  const std::string StopPath = Opts.QueueDir + "/stop";
+  if (!ensureDir(Opts.QueueDir) || !ensureDir(InflightDir) ||
+      !ensureDir(DoneDir) || !ensureDir(FailedDir)) {
+    Stats.Ok = false;
+    Stats.Error = "cannot set up queue directory " + Opts.QueueDir;
+    return Stats;
+  }
+  const std::string Suffix = std::to_string(static_cast<long>(::getpid()));
+  const char *ToolName = toolKindName(Opts.Batch.Tool);
+
+  metrics::MetricsRegistry &Registry = metrics::MetricsRegistry::instance();
+  metrics::Gauge &QueueDepth = Registry.gauge(
+      metrics::names::ServeQueueDepth, "Pending (unclaimed) queue files.");
+  metrics::Gauge &Uptime = Registry.gauge(metrics::names::ServeUptimeSeconds,
+                                          "Seconds since serve started.");
+  metrics::Counter &Heartbeats =
+      Registry.counter(metrics::names::ServeHeartbeatsTotal,
+                       "Health/metrics snapshot rewrites.");
+  metrics::Counter &ClaimRaces =
+      Registry.counter(metrics::names::ServeClaimRacesTotal,
+                       "Claims lost to a concurrent server on the queue.");
+  // Eagerly register the headline trace metrics so the very first scrape
+  // sees them at zero instead of absent.
+  Registry.counter(metrics::names::TracesCheckedTotal,
+                   "Trace files checked successfully.");
+  Registry.counter(metrics::names::TracesFailedTotal,
+                   "Trace files that failed to load/parse.");
+  Registry.counter(metrics::names::TracesFlaggedTotal,
+                   "Checked traces with at least one violation.");
+  Registry.counter(metrics::names::ViolationsTotal,
+                   "Violations reported across checked traces.");
+  Registry.histogram(metrics::names::TraceDecodeSeconds,
+                     "Per-trace load+parse latency.");
+  Registry.histogram(metrics::names::TraceCheckSeconds,
+                     "Per-trace tool construction+replay latency.");
+  Registry.histogram(metrics::names::TraceTotalSeconds,
+                     "Per-trace end-to-end checking latency.");
+  Registry.counter(metrics::names::RuntimeTasksTotal, "Tasks executed.");
+  Registry.counter(metrics::names::RuntimeStealsTotal,
+                   "Successful deque steals.");
+  Registry.counter(metrics::names::ObsRingDroppedTotal,
+                   "Observability ring events lost to wraparound.");
+
+  // The daemon is the one consumer that wants the timed runtime metrics
+  // (task latency); one-shot benchmark runs leave this off.
+  metrics::setTimingEnabled(true);
+
+  metrics::NdjsonWriter *Results = nullptr;
+  metrics::NdjsonWriter ResultsStorage(Opts.ResultsPath.empty() ? "/dev/null"
+                                                       : Opts.ResultsPath);
+  if (!Opts.ResultsPath.empty() && ResultsStorage.ok())
+    Results = &ResultsStorage;
+
+  Timer UptimeTimer;
+  Timer SnapshotTimer;
+  bool ForceSnapshot = true; // write one snapshot immediately at startup
+
+  auto writeSnapshots = [&] {
+    Heartbeats.inc();
+    ++Stats.NumHeartbeats;
+    QueueDepth.set(static_cast<double>(serveQueueDepth(Opts.QueueDir)));
+    Uptime.set(UptimeTimer.elapsedSeconds());
+    if (!Opts.MetricsPath.empty())
+      metrics::writeFileAtomic(Opts.MetricsPath,
+                               metrics::toPrometheusText(Registry.snapshot()));
+    if (!Opts.HealthPath.empty()) {
+      std::string Health = "{\"status\": \"ok\"";
+      Health += ", \"pid\": " + std::to_string(static_cast<long>(::getpid()));
+      Health += ", \"tool\": " + jsonQuote(ToolName);
+      Health += ", \"uptime_seconds\": " +
+                jsonNumber(UptimeTimer.elapsedSeconds());
+      Health += ", \"ts_unix_ms\": " + std::to_string(unixMillis());
+      Health += ", \"queue_depth\": " +
+                std::to_string(serveQueueDepth(Opts.QueueDir));
+      Health += ", \"heartbeats\": " + std::to_string(Stats.NumHeartbeats);
+      Health += ", \"claimed\": " + std::to_string(Stats.NumClaimed);
+      Health += ", \"checked\": " + std::to_string(Stats.NumChecked);
+      Health += ", \"failed\": " + std::to_string(Stats.NumFailed);
+      Health += ", \"flagged\": " + std::to_string(Stats.NumFlagged);
+      Health += ", \"violations\": " + std::to_string(Stats.NumViolations);
+      Health += ", \"claim_races\": " + std::to_string(Stats.NumClaimRaces);
+      Health += "}\n";
+      metrics::writeFileAtomic(Opts.HealthPath, Health);
+    }
+    SnapshotTimer.reset();
+  };
+
+  while (true) {
+    bool StopRequested = fileExists(StopPath);
+
+    // Claim up to MaxBatch pending files. Bounding the batch keeps claim
+    // fairness between servers sharing the queue and bounds the latency
+    // until the next stop-file/snapshot check.
+    std::vector<std::string> Claimed;
+    if (!StopRequested) {
+      uint64_t Races = 0;
+      while (Claimed.size() < Opts.MaxBatch) {
+        std::string Path =
+            serveClaimOne(Opts.QueueDir, InflightDir, Suffix, Races);
+        if (Path.empty())
+          break;
+        Claimed.push_back(Path);
+      }
+      if (Races) {
+        Stats.NumClaimRaces += Races;
+        ClaimRaces.add(Races);
+      }
+    }
+
+    if (!Claimed.empty()) {
+      Stats.NumClaimed += Claimed.size();
+      BatchResult Batch = runBatch(Claimed, Opts.Batch);
+      for (const BatchTraceResult &R : Batch.Traces) {
+        std::string Name = originalName(R.Path, Suffix);
+        std::string RestingDir = R.ok() ? DoneDir : FailedDir;
+        std::string RestingPath = RestingDir + "/" + Name;
+        if (::rename(R.Path.c_str(), RestingPath.c_str()) != 0) {
+          std::fprintf(stderr, "serve: cannot move %s to %s: %s\n",
+                       R.Path.c_str(), RestingPath.c_str(),
+                       std::strerror(errno));
+          RestingPath = R.Path;
+        }
+        if (R.ok()) {
+          ++Stats.NumChecked;
+          Stats.NumViolations += R.NumViolations;
+          if (R.NumViolations)
+            ++Stats.NumFlagged;
+        } else {
+          ++Stats.NumFailed;
+        }
+        if (Results) {
+          metrics::NdjsonWriter::Row Row;
+          Row.field("trace", Name)
+              .field("path", RestingPath)
+              .field("tool", ToolName)
+              .field("verdict", !R.ok()           ? "error"
+                                : R.NumViolations ? "violations"
+                                                  : "ok")
+              .field("ts_unix_ms", unixMillis());
+          if (R.ok())
+            Row.field("events", double(R.NumEvents))
+                .field("violations", double(R.NumViolations))
+                .field("wall_ms", R.WallMs)
+                .field("decode_ms", R.DecodeMs)
+                .field("check_ms", R.CheckMs);
+          else
+            Row.field("error", R.Error);
+          Results->append(Row);
+        }
+      }
+    }
+
+    if (ForceSnapshot ||
+        SnapshotTimer.elapsedSeconds() * 1e3 >= double(Opts.SnapshotMs)) {
+      writeSnapshots();
+      ForceSnapshot = false;
+    }
+
+    if (StopRequested) {
+      writeSnapshots(); // final state, after the last drain cycle
+      break;
+    }
+    if (Claimed.empty())
+      std::this_thread::sleep_for(std::chrono::milliseconds(Opts.PollMs));
+  }
+  return Stats;
+}

@@ -1,0 +1,96 @@
+//===- trace/ServeLoop.h - Long-running queue-draining checker -*- C++ -*-===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `taskcheck serve`: a daemon loop that drains trace files from a queue
+/// directory, batch-replays them through one registry-selected engine,
+/// and exposes its state through the metrics plane (obs/Metrics.h).
+///
+/// Queue protocol (DESIGN.md §14): producers drop finished trace files
+/// into QueueDir (write to a temp name, rename in — rename is the commit
+/// point). The server claims a pending file by renaming it into
+/// `QueueDir/inflight/<name>.<pid>`; rename(2) is atomic within a
+/// filesystem, so when several servers share one queue exactly one
+/// claimer wins and the losers see ENOENT and move on. After checking,
+/// the file moves to `QueueDir/done/`; files that fail to load or parse
+/// are quarantined in `QueueDir/failed/` and the loop keeps serving. A
+/// sentinel file `QueueDir/stop` requests a clean shutdown: the server
+/// finishes in-flight work, writes a final snapshot, and exits without
+/// deleting the sentinel (so one touch stops every server on the queue).
+///
+/// Observability: one NDJSON row per trace appended to the results log,
+/// a Prometheus text snapshot and a JSON health/heartbeat file atomically
+/// rewritten every SnapshotMs, headline latency histograms
+/// (taskcheck_trace_{decode,check,total}_seconds) and violation counters
+/// published by the shared checkTraceFile path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AVC_TRACE_SERVELOOP_H
+#define AVC_TRACE_SERVELOOP_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/BatchReplay.h"
+
+namespace avc {
+
+/// Configuration of one serve run.
+struct ServeOptions {
+  /// Queue directory (required). Created if missing, as are its
+  /// inflight/, done/, and failed/ subdirectories.
+  std::string QueueDir;
+  /// Tool selection and shared checker configuration per claimed trace.
+  BatchOptions Batch;
+  /// Prometheus text snapshot path; empty disables the snapshot file.
+  std::string MetricsPath;
+  /// JSON heartbeat/health path; empty disables the health file.
+  std::string HealthPath;
+  /// NDJSON per-trace result log; empty disables the log.
+  std::string ResultsPath;
+  /// Idle poll interval when the queue is empty.
+  uint64_t PollMs = 50;
+  /// Metrics/health rewrite interval.
+  uint64_t SnapshotMs = 1000;
+  /// Maximum files claimed per drain cycle (bounds replay-batch size and
+  /// claim fairness between servers sharing a queue).
+  unsigned MaxBatch = 16;
+};
+
+/// Aggregate outcome of one serve run (also the health-file payload).
+struct ServeStats {
+  uint64_t NumClaimed = 0;
+  uint64_t NumChecked = 0;
+  uint64_t NumFailed = 0; ///< quarantined to failed/
+  uint64_t NumFlagged = 0;
+  uint64_t NumViolations = 0;
+  uint64_t NumHeartbeats = 0;
+  uint64_t NumClaimRaces = 0; ///< claims lost to a concurrent server
+  /// False only when the queue directory could not be set up.
+  bool Ok = true;
+  std::string Error;
+};
+
+/// Claims the next pending trace in \p QueueDir by renaming it into
+/// \p InflightDir with a `.<suffix>` tag. Returns the claimed (inflight)
+/// path, or "" when no pending file exists. Lost races (another claimer
+/// renamed the file first) bump \p ClaimRaces and the scan continues.
+/// Exposed for the claim-race unit tests; serve uses it internally.
+std::string serveClaimOne(const std::string &QueueDir,
+                          const std::string &InflightDir,
+                          const std::string &Suffix, uint64_t &ClaimRaces);
+
+/// Number of pending (unclaimed) trace files in \p QueueDir.
+uint64_t serveQueueDepth(const std::string &QueueDir);
+
+/// Runs the serve loop until `QueueDir/stop` appears. Returns the run's
+/// aggregate stats; stats.Ok is false if the queue could not be set up.
+ServeStats runServe(const ServeOptions &Opts);
+
+} // namespace avc
+
+#endif // AVC_TRACE_SERVELOOP_H

@@ -10,6 +10,8 @@
 #include <cassert>
 #include <mutex>
 
+#include "obs/Metrics.h"
+
 using namespace avc;
 
 namespace {
@@ -216,4 +218,20 @@ void TraceRecorder::mergeBuffers() {
               ->Events[I % EventChunk::Capacity]);
   }
   Stats.NumEvents = Events.size();
+
+  // Fold this recording into the process registry; merges happen once per
+  // recorded program, so registry lookups here are off the hot path.
+  metrics::MetricsRegistry &Registry = metrics::MetricsRegistry::instance();
+  Registry
+      .counter(metrics::names::RecorderEventsTotal,
+               "Events merged out of worker buffers.")
+      .add(Stats.NumEvents);
+  Registry
+      .counter(metrics::names::RecorderRunsTotal,
+               "Per-worker runs stitched during merges.")
+      .add(Stats.NumRuns);
+  Registry
+      .counter(metrics::names::RecorderContendedMergesTotal,
+               "Adjacent merged runs that switched worker buffers.")
+      .add(Stats.NumContendedMerges);
 }

@@ -1,0 +1,282 @@
+//===- tests/JsonStatsTest.cpp - Cross-engine JSON-stats drift guard ------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every engine publishes its counters through one seam
+/// (CheckerTool::visitStats), and the JSON compatibility view plus the
+/// metrics-registry publication are both derived from it. This test is
+/// the drift guard the sixth and seventh engines will hit: for every
+/// registered tool it asserts that the enumerated stats carry the common
+/// keys (violations, reads, writes, and pre_* when pre-analysis ran),
+/// that keys are unique and values finite, and that the rendered JSON
+/// report actually parses.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checker/CheckerTool.h"
+#include "checker/ToolRegistry.h"
+#include "support/JsonReport.h"
+#include "trace/TraceGenerator.h"
+#include "trace/TraceReplayer.h"
+
+using namespace avc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON acceptor — enough grammar to reject malformed output
+// (unbalanced structure, bare NaN, trailing garbage) without an external
+// dependency.
+//===----------------------------------------------------------------------===//
+
+class JsonAcceptor {
+public:
+  explicit JsonAcceptor(const std::string &Text) : Text(Text) {}
+
+  bool accept() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == Text.size();
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  bool consume(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  void skipWs() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+  bool literal(const char *Word) {
+    size_t Len = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+  bool string() {
+    if (!consume('"'))
+      return false;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return false;
+      }
+      ++Pos;
+    }
+    return consume('"');
+  }
+  bool number() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (peek() == '.') {
+      ++Pos;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    return Pos > Start && std::isdigit(static_cast<unsigned char>(
+                              Text[Pos - 1]));
+  }
+  bool members(char Close, bool Keyed) {
+    skipWs();
+    if (consume(Close))
+      return true;
+    while (true) {
+      skipWs();
+      if (Keyed) {
+        if (!string())
+          return false;
+        skipWs();
+        if (!consume(':'))
+          return false;
+        skipWs();
+      }
+      if (!value())
+        return false;
+      skipWs();
+      if (consume(','))
+        continue;
+      return consume(Close);
+    }
+  }
+  bool value() {
+    switch (peek()) {
+    case '{':
+      ++Pos;
+      return members('}', true);
+    case '[':
+      ++Pos;
+      return members(']', false);
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+std::string tempPath(const char *Name) {
+  return testing::TempDir() + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// A deterministic workload big enough that every engine counts reads,
+/// writes, and pre-analysis sites.
+Trace statsTrace() {
+  TraceGenOptions Opts;
+  Opts.Seed = 42;
+  Opts.NumTasks = 12;
+  Opts.NumLocations = 6;
+  Opts.NumLocks = 2;
+  return linearizeSerial(generateProgram(Opts));
+}
+
+/// Runs \p Reg's engine over the shared trace and returns its enumerated
+/// stats in visit order.
+std::vector<std::pair<std::string, double>>
+collectStats(const ToolRegistration &Reg, const ToolOptions &Opts,
+             std::unique_ptr<CheckerTool> *ToolOut = nullptr) {
+  std::unique_ptr<CheckerTool> Tool = Reg.Factory(Opts, nullptr);
+  replayTraceTwoPass(statsTrace(), *Tool);
+  std::vector<std::pair<std::string, double>> Stats;
+  Tool->visitStats([&Stats](const char *Key, double Value) {
+    Stats.emplace_back(Key, Value);
+  });
+  if (ToolOut)
+    *ToolOut = std::move(Tool);
+  return Stats;
+}
+
+TEST(JsonAcceptorSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonAcceptor("{\"a\": [1, 2.5, -3e-2], \"b\": \"x\"}").accept());
+  EXPECT_TRUE(JsonAcceptor("{\"meta\": {}, \"rows\": []}").accept());
+  EXPECT_FALSE(JsonAcceptor("{\"a\": }").accept());
+  EXPECT_FALSE(JsonAcceptor("{\"a\": 1").accept());
+  EXPECT_FALSE(JsonAcceptor("{\"a\": nan}").accept());
+  EXPECT_FALSE(JsonAcceptor("{} trailing").accept());
+}
+
+TEST(JsonStatsDrift, EveryToolCarriesTheCommonKeys) {
+  for (const ToolRegistration &Reg : ToolRegistry::instance().all()) {
+    if (!Reg.Factory)
+      continue; // the "none" pseudo-tool runs nothing
+    std::unique_ptr<CheckerTool> Tool;
+    auto Stats = collectStats(Reg, ToolOptions(), &Tool);
+    ASSERT_FALSE(Stats.empty()) << Reg.Name;
+
+    std::map<std::string, double> ByKey;
+    for (const auto &[Key, Value] : Stats) {
+      EXPECT_TRUE(ByKey.emplace(Key, Value).second)
+          << Reg.Name << " emits duplicate stats key '" << Key << "'";
+      EXPECT_TRUE(std::isfinite(Value))
+          << Reg.Name << " emits non-finite '" << Key << "'";
+    }
+
+    // The ToolOptions-level contract every front end relies on.
+    ASSERT_TRUE(ByKey.count("violations")) << Reg.Name;
+    ASSERT_TRUE(ByKey.count("reads")) << Reg.Name;
+    ASSERT_TRUE(ByKey.count("writes")) << Reg.Name;
+    EXPECT_EQ(ByKey["violations"], double(Tool->numViolations()))
+        << Reg.Name << ": the violations stat must mirror numViolations()";
+    EXPECT_GT(ByKey["reads"] + ByKey["writes"], 0)
+        << Reg.Name << " saw no accesses on a trace full of them";
+
+    // Engines with the shared access-cache block carry its counters too.
+    if (ByKey.count("cache_hits")) {
+      EXPECT_TRUE(ByKey.count("cache_hit_reads")) << Reg.Name;
+      EXPECT_TRUE(ByKey.count("cache_hit_writes")) << Reg.Name;
+      EXPECT_TRUE(ByKey.count("cache_hit_pct")) << Reg.Name;
+    }
+  }
+}
+
+TEST(JsonStatsDrift, PreanalysisKeysAppearWhenEnabled) {
+  ToolOptions Opts;
+  Opts.Preanalysis = PreanalysisMode::On;
+  for (const ToolRegistration &Reg : ToolRegistry::instance().all()) {
+    if (!Reg.Factory)
+      continue;
+    auto Stats = collectStats(Reg, Opts);
+    std::map<std::string, double> ByKey(Stats.begin(), Stats.end());
+    EXPECT_TRUE(ByKey.count("pre_seq_skips")) << Reg.Name;
+    EXPECT_TRUE(ByKey.count("pre_site_skips")) << Reg.Name;
+    EXPECT_TRUE(ByKey.count("pre_sites")) << Reg.Name;
+    EXPECT_TRUE(ByKey.count("pre_downgrades")) << Reg.Name;
+  }
+}
+
+TEST(JsonStatsDrift, EmittedJsonParsesAndMatchesVisitStats) {
+  for (const ToolRegistration &Reg : ToolRegistry::instance().all()) {
+    if (!Reg.Factory)
+      continue;
+    std::unique_ptr<CheckerTool> Tool;
+    auto Stats = collectStats(Reg, ToolOptions(), &Tool);
+
+    JsonReport Report;
+    Report.meta("tool", Reg.Name);
+    JsonReport::Row &Row = Report.row();
+    Tool->emitJsonStats(Row);
+    std::string Path = tempPath(("stats_" + Reg.Name + ".json").c_str());
+    ASSERT_TRUE(Report.write(Path));
+    std::string Text = slurp(Path);
+
+    EXPECT_TRUE(JsonAcceptor(Text).accept())
+        << Reg.Name << " wrote unparseable JSON:\n"
+        << Text;
+    // The compatibility view is derived from visitStats, so every
+    // enumerated key must surface as a JSON field.
+    for (const auto &[Key, Value] : Stats)
+      EXPECT_NE(Text.find("\"" + Key + "\": "), std::string::npos)
+          << Reg.Name << " dropped '" << Key << "' from the JSON view";
+    EXPECT_NE(Text.find("\"tool\": \"" + Reg.Name + "\""), std::string::npos);
+  }
+}
+
+} // namespace

@@ -1,0 +1,262 @@
+//===- tests/MetricsTest.cpp - Metrics registry and exporters -------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the metrics plane's contract: sharded counters fold to exact
+/// totals under concurrent increments, histograms bucket by powers of two
+/// microseconds, registration is get-or-create with stable references,
+/// the Prometheus exposition renders cumulative buckets, and the atomic
+/// file writer / NDJSON log produce the formats the serve loop's scrape
+/// surface promises.
+///
+//===----------------------------------------------------------------------===//
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/Metrics.h"
+#include "obs/MetricsExport.h"
+
+using namespace avc;
+using namespace avc::metrics;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return testing::TempDir() + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Primitives
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsCounter, FoldsConcurrentIncrementsExactly) {
+  Counter C;
+  constexpr int NumThreads = 8;
+  constexpr uint64_t PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&C] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        C.inc();
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(C.value(), uint64_t(NumThreads) * PerThread);
+
+  C.add(42);
+  EXPECT_EQ(C.value(), uint64_t(NumThreads) * PerThread + 42);
+}
+
+TEST(MetricsGauge, LastWriteWins) {
+  Gauge G;
+  EXPECT_EQ(G.value(), 0.0);
+  G.set(1.5);
+  EXPECT_EQ(G.value(), 1.5);
+  G.set(-3.25);
+  EXPECT_EQ(G.value(), -3.25);
+}
+
+TEST(MetricsHistogram, BucketsByPowerOfTwoMicroseconds) {
+  Histogram H;
+  // Bucket i holds observations <= 2^i us.
+  H.observe(0.5e-6); // bucket 0 (le 1us)
+  H.observe(1.0e-6); // bucket 0 (boundary is inclusive)
+  H.observe(3.0e-6); // bucket 2 (le 4us)
+  H.observe(1.0e-3); // 1000us -> bucket 10 (le 1024us)
+  H.observe(100.0);  // beyond 2^23 us -> +Inf
+  H.observe(-1.0);   // clamped to zero -> bucket 0
+
+  std::vector<uint64_t> Buckets = H.bucketCounts();
+  ASSERT_EQ(Buckets.size(), Histogram::NumBuckets + 1);
+  EXPECT_EQ(Buckets[0], 3u);
+  EXPECT_EQ(Buckets[1], 0u);
+  EXPECT_EQ(Buckets[2], 1u);
+  EXPECT_EQ(Buckets[10], 1u);
+  EXPECT_EQ(Buckets[Histogram::NumBuckets], 1u) << "+Inf overflow bucket";
+  EXPECT_EQ(H.count(), 6u);
+  EXPECT_NEAR(H.sum(), 0.5e-6 + 1.0e-6 + 3.0e-6 + 1.0e-3 + 100.0, 1e-9);
+
+  EXPECT_DOUBLE_EQ(Histogram::bucketBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(Histogram::bucketBound(10), 1024e-6);
+}
+
+TEST(MetricsNames, PrometheusGrammar) {
+  EXPECT_TRUE(isValidMetricName("taskcheck_traces_checked_total"));
+  EXPECT_TRUE(isValidMetricName("_leading_underscore"));
+  EXPECT_TRUE(isValidMetricName("ns:subsystem:metric"));
+  EXPECT_FALSE(isValidMetricName(""));
+  EXPECT_FALSE(isValidMetricName("9starts_with_digit"));
+  EXPECT_FALSE(isValidMetricName("has-dash"));
+  EXPECT_FALSE(isValidMetricName("has space"));
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStableReferences) {
+  MetricsRegistry Registry;
+  Counter &A = Registry.counter("test_total", "a test counter");
+  Counter &B = Registry.counter("test_total", "ignored on re-registration");
+  EXPECT_EQ(&A, &B) << "second registration must hand out the first counter";
+  A.add(3);
+  B.add(4);
+
+  Gauge &G = Registry.gauge("test_gauge", "a gauge");
+  G.set(7.5);
+  Histogram &H = Registry.histogram("test_seconds", "a histogram");
+  H.observe(2e-6);
+
+  Snapshot S = Registry.snapshot();
+  ASSERT_EQ(S.Metrics.size(), 3u);
+  // Registration order is exposition order.
+  EXPECT_EQ(S.Metrics[0].Name, "test_total");
+  EXPECT_EQ(S.Metrics[1].Name, "test_gauge");
+  EXPECT_EQ(S.Metrics[2].Name, "test_seconds");
+
+  const MetricSample *CS = S.find("test_total");
+  ASSERT_NE(CS, nullptr);
+  EXPECT_EQ(CS->Type, MetricType::Counter);
+  EXPECT_EQ(CS->Value, 7.0);
+  EXPECT_EQ(CS->Help, "a test counter");
+
+  const MetricSample *GS = S.find("test_gauge");
+  ASSERT_NE(GS, nullptr);
+  EXPECT_EQ(GS->Value, 7.5);
+
+  const MetricSample *HS = S.find("test_seconds");
+  ASSERT_NE(HS, nullptr);
+  EXPECT_EQ(HS->Count, 1u);
+  EXPECT_NE(S.find("no_such_metric"), HS);
+  EXPECT_EQ(S.find("no_such_metric"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ProcessInstanceIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::instance(), &MetricsRegistry::instance());
+}
+
+TEST(MetricsRegistryTest, TimingGateToggles) {
+  EXPECT_FALSE(timingEnabled()) << "timing must default off (bench gate)";
+  setTimingEnabled(true);
+  EXPECT_TRUE(timingEnabled());
+  setTimingEnabled(false);
+  EXPECT_FALSE(timingEnabled());
+}
+
+//===----------------------------------------------------------------------===//
+// Exposition formats
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsExport, PrometheusTextExposition) {
+  MetricsRegistry Registry;
+  Registry.counter("demo_total", "Demo counter.").add(5);
+  Registry.gauge("demo_depth", "Demo gauge.").set(2.5);
+  Histogram &H = Registry.histogram("demo_seconds", "Demo histogram.");
+  H.observe(3e-6);  // bucket le="4e-06"
+  H.observe(3e-6);
+  H.observe(100.0); // +Inf only
+
+  std::string Text = toPrometheusText(Registry.snapshot());
+  EXPECT_NE(Text.find("# HELP demo_total Demo counter.\n"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE demo_total counter\n"), std::string::npos);
+  EXPECT_NE(Text.find("\ndemo_total 5\n"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE demo_depth gauge\n"), std::string::npos);
+  EXPECT_NE(Text.find("demo_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE demo_seconds histogram\n"), std::string::npos);
+  // Buckets are cumulative: the 4us bucket holds both small observations,
+  // +Inf holds all three.
+  EXPECT_NE(Text.find("demo_seconds_bucket{le=\"4e-06\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("demo_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("demo_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(Text.find("demo_seconds_sum "), std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  std::istringstream Lines(Text);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    EXPECT_NE(Line.find(' '), std::string::npos) << Line;
+  }
+}
+
+TEST(MetricsExport, JsonSnapshotCarriesEveryMetric) {
+  MetricsRegistry Registry;
+  Registry.counter("demo_total", "Demo \"quoted\" counter.").add(2);
+  Registry.histogram("demo_seconds", "Demo histogram.").observe(1e-6);
+  std::string Json = toJsonText(Registry.snapshot());
+  EXPECT_NE(Json.find("\"name\": \"demo_total\""), std::string::npos);
+  EXPECT_NE(Json.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_NE(Json.find("\"value\": 2"), std::string::npos);
+  EXPECT_NE(Json.find("\\\"quoted\\\""), std::string::npos)
+      << "help strings must be JSON-escaped";
+  EXPECT_NE(Json.find("\"le\": \"+Inf\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// File plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsExport, AtomicWriteReplacesContents) {
+  std::string Path = tempPath("metrics_atomic.txt");
+  ASSERT_TRUE(writeFileAtomic(Path, "first\n"));
+  EXPECT_EQ(slurp(Path), "first\n");
+  ASSERT_TRUE(writeFileAtomic(Path, "second\n"));
+  EXPECT_EQ(slurp(Path), "second\n");
+}
+
+TEST(MetricsExport, NdjsonAppendsOneObjectPerLine) {
+  std::string Path = tempPath("metrics_rows.ndjson");
+  std::remove(Path.c_str());
+  {
+    NdjsonWriter Log(Path);
+    ASSERT_TRUE(Log.ok());
+    NdjsonWriter::Row A;
+    A.field("trace", std::string("t1.trace")).field("violations", 2.0);
+    EXPECT_TRUE(Log.append(A));
+    NdjsonWriter::Row B;
+    B.field("trace", std::string("we \"escape\""))
+        .field("ts_unix_ms", uint64_t(1754500000123));
+    EXPECT_TRUE(Log.append(B));
+  }
+  {
+    // Re-opening appends instead of truncating (the serve restart case).
+    NdjsonWriter Log(Path);
+    NdjsonWriter::Row C;
+    C.field("trace", std::string("t3.trace"));
+    EXPECT_TRUE(Log.append(C));
+  }
+  std::istringstream Lines(slurp(Path));
+  std::vector<std::string> Rows;
+  std::string Line;
+  while (std::getline(Lines, Line))
+    Rows.push_back(Line);
+  ASSERT_EQ(Rows.size(), 3u);
+  for (const std::string &Row : Rows) {
+    EXPECT_EQ(Row.front(), '{') << Row;
+    EXPECT_EQ(Row.back(), '}') << Row;
+  }
+  EXPECT_NE(Rows[0].find("\"violations\": 2"), std::string::npos);
+  EXPECT_NE(Rows[1].find("\\\"escape\\\""), std::string::npos);
+  EXPECT_NE(Rows[1].find("1754500000123"), std::string::npos)
+      << "integer fields must not lose precision to %.6g";
+}
+
+} // namespace

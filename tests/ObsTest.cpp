@@ -26,6 +26,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/Metrics.h"
 #include "obs/Obs.h"
 #include "obs/ObsExport.h"
 #include "obs/ObsRing.h"
@@ -303,6 +304,36 @@ TEST(ObsGaugeTest, SamplingIsDeterministic) {
   std::vector<std::string> Expected{"4", "8", "12", "16", "20", "20"};
   EXPECT_EQ(valueSeries(slurp(PathA), "gauge/test-ticks"), Expected);
   EXPECT_EQ(valueSeries(slurp(PathB), "gauge/test-ticks"), Expected);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics-plane bridge
+//===----------------------------------------------------------------------===//
+
+// Ring wraparound drops were internal-only until the metrics plane; a
+// serve deployment alerts on obs_ring_dropped_total, so the end-of-session
+// accounting must reach the process registry.
+TEST(ObsMetricsBridge, RingDropsReachTheMetricsRegistry) {
+  using metrics::MetricsRegistry;
+  auto DroppedTotal = [] {
+    const metrics::MetricSample *Sample =
+        MetricsRegistry::instance().snapshot().find(
+            metrics::names::ObsRingDroppedTotal);
+    return Sample ? Sample->Value : 0.0;
+  };
+  double Before = DroppedTotal();
+
+  SessionOptions Opts;
+  Opts.RingCapacity = 16;
+  ASSERT_TRUE(beginSession(Opts));
+  constexpr uint64_t NumInstants = 100;
+  for (uint64_t I = 0; I < NumInstants; ++I)
+    instant(Cat::Checker, "drop/instant", I);
+  ASSERT_TRUE(endSession(tempPath("obs_dropped_metric.json")));
+
+  // 100 pushes into a 16-slot ring lose at least 84 events; the process
+  // registry accumulates, so assert on the delta.
+  EXPECT_GE(DroppedTotal() - Before, double(NumInstants - 16));
 }
 
 } // namespace

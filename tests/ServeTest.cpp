@@ -1,0 +1,274 @@
+//===- tests/ServeTest.cpp - Queue-draining serve loop --------------------===//
+//
+// Part of TaskCheck (CGO'16 atomicity-checker reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the serve daemon's queue protocol: rename-to-claim admits exactly
+/// one winner per file under concurrent claimers, the stop sentinel shuts
+/// the loop down cleanly, malformed traces are quarantined to failed/
+/// without stopping service, and the NDJSON result log carries one valid
+/// row per trace.
+///
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include <gtest/gtest.h>
+
+#include "trace/ServeLoop.h"
+#include "trace/TraceGenerator.h"
+#include "trace/TraceIO.h"
+
+using namespace avc;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+void writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Contents;
+  ASSERT_TRUE(Out.good()) << Path;
+}
+
+bool exists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+/// Fresh queue directory (with inflight/) under the gtest temp dir.
+std::string makeQueue(const char *Name) {
+  std::string Dir = testing::TempDir() + "serve_" + Name;
+  std::string Cmd = "rm -rf '" + Dir + "'";
+  EXPECT_EQ(std::system(Cmd.c_str()), 0);
+  ::mkdir(Dir.c_str(), 0777);
+  ::mkdir((Dir + "/inflight").c_str(), 0777);
+  return Dir;
+}
+
+/// A small well-formed text trace.
+std::string tinyTraceText(uint64_t Seed) {
+  TraceGenOptions Opts;
+  Opts.Seed = Seed;
+  Opts.NumTasks = 6;
+  Opts.NumLocations = 4;
+  return traceToText(linearizeSerial(generateProgram(Opts)));
+}
+
+//===----------------------------------------------------------------------===//
+// Claim protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServeClaim, SingleFileAdmitsOneWinner) {
+  std::string Dir = makeQueue("one_winner");
+  writeFile(Dir + "/only.trace", "payload");
+
+  // Two claimers race for one file; rename-to-claim must admit exactly
+  // one. Repeated start barriers make the race actually overlap.
+  uint64_t RacesA = 0, RacesB = 0;
+  std::string WonA, WonB;
+  std::atomic<bool> Go{false};
+  std::thread A([&] {
+    while (!Go.load(std::memory_order_acquire))
+      ;
+    WonA = serveClaimOne(Dir, Dir + "/inflight", "a", RacesA);
+  });
+  std::thread B([&] {
+    while (!Go.load(std::memory_order_acquire))
+      ;
+    WonB = serveClaimOne(Dir, Dir + "/inflight", "b", RacesB);
+  });
+  Go.store(true, std::memory_order_release);
+  A.join();
+  B.join();
+
+  EXPECT_NE(WonA.empty(), WonB.empty())
+      << "exactly one claimer wins: A='" << WonA << "' B='" << WonB << "'";
+  const std::string &Winner = WonA.empty() ? WonB : WonA;
+  EXPECT_TRUE(exists(Winner));
+  EXPECT_FALSE(exists(Dir + "/only.trace"));
+  EXPECT_EQ(serveQueueDepth(Dir), 0u);
+}
+
+TEST(ServeClaim, ConcurrentClaimersPartitionTheQueue) {
+  std::string Dir = makeQueue("partition");
+  constexpr int NumFiles = 40;
+  for (int I = 0; I < NumFiles; ++I)
+    writeFile(Dir + "/t" + std::to_string(I) + ".trace", "payload");
+  ASSERT_EQ(serveQueueDepth(Dir), uint64_t(NumFiles));
+
+  // Two servers drain the same queue; every file must be claimed exactly
+  // once across both.
+  std::vector<std::string> ClaimedA, ClaimedB;
+  uint64_t RacesA = 0, RacesB = 0;
+  auto Drain = [&Dir](const char *Suffix, std::vector<std::string> &Out,
+                      uint64_t &Races) {
+    while (true) {
+      std::string P = serveClaimOne(Dir, Dir + "/inflight", Suffix, Races);
+      if (P.empty())
+        break;
+      Out.push_back(P);
+    }
+  };
+  std::thread A(Drain, "a", std::ref(ClaimedA), std::ref(RacesA));
+  std::thread B(Drain, "b", std::ref(ClaimedB), std::ref(RacesB));
+  A.join();
+  B.join();
+
+  EXPECT_EQ(ClaimedA.size() + ClaimedB.size(), size_t(NumFiles));
+  std::set<std::string> Names;
+  for (const std::string &P : ClaimedA)
+    Names.insert(P);
+  for (const std::string &P : ClaimedB)
+    Names.insert(P);
+  EXPECT_EQ(Names.size(), size_t(NumFiles)) << "no file claimed twice";
+  EXPECT_EQ(serveQueueDepth(Dir), 0u);
+}
+
+TEST(ServeClaim, SentinelAndHiddenFilesAreNotClaimable) {
+  std::string Dir = makeQueue("unclaimable");
+  writeFile(Dir + "/stop", "");
+  writeFile(Dir + "/.hidden", "x");
+  writeFile(Dir + "/snapshot.tmp.123", "x");
+  EXPECT_EQ(serveQueueDepth(Dir), 0u);
+  uint64_t Races = 0;
+  EXPECT_EQ(serveClaimOne(Dir, Dir + "/inflight", "a", Races), "");
+  EXPECT_EQ(Races, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Serve loop
+//===----------------------------------------------------------------------===//
+
+TEST(ServeLoopTest, StopSentinelShutsDownCleanly) {
+  std::string Dir = makeQueue("stop");
+  ServeOptions Opts;
+  Opts.QueueDir = Dir;
+  Opts.PollMs = 5;
+  Opts.SnapshotMs = 10;
+  Opts.HealthPath = Dir + "/.health.json";
+
+  std::thread Server([&] {
+    ServeStats Stats = runServe(Opts);
+    EXPECT_TRUE(Stats.Ok);
+    EXPECT_GE(Stats.NumHeartbeats, 1u);
+    EXPECT_EQ(Stats.NumClaimed, 0u);
+  });
+  // Let it idle through at least one poll, then request shutdown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  writeFile(Dir + "/stop", "");
+  Server.join();
+
+  EXPECT_TRUE(exists(Dir + "/stop")) << "the sentinel is left in place";
+  std::string Health = slurp(Dir + "/.health.json");
+  EXPECT_NE(Health.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(Health.find("\"queue_depth\": 0"), std::string::npos);
+}
+
+TEST(ServeLoopTest, DrainsQueueAndQuarantinesMalformedTraces) {
+  std::string Dir = makeQueue("drain");
+  writeFile(Dir + "/good1.trace", tinyTraceText(7));
+  writeFile(Dir + "/good2.trace", tinyTraceText(8));
+  writeFile(Dir + "/broken.trace", "not a trace\n");
+
+  ServeOptions Opts;
+  Opts.QueueDir = Dir;
+  Opts.Batch.Tool = ToolKind::Atomicity;
+  Opts.PollMs = 5;
+  Opts.SnapshotMs = 10;
+  Opts.ResultsPath = Dir + "/.results.ndjson";
+
+  std::thread Server([&] {
+    ServeStats Stats = runServe(Opts);
+    EXPECT_TRUE(Stats.Ok);
+    EXPECT_EQ(Stats.NumClaimed, 3u);
+    EXPECT_EQ(Stats.NumChecked, 2u);
+    EXPECT_EQ(Stats.NumFailed, 1u)
+        << "a malformed trace must not stop service";
+  });
+  // The failure path must keep serving: wait for all three files to reach
+  // a resting directory, then stop.
+  for (int I = 0; I < 1000 && serveQueueDepth(Dir) > 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  while (!exists(Dir + "/failed/broken.trace") ||
+         !exists(Dir + "/done/good1.trace") ||
+         !exists(Dir + "/done/good2.trace"))
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  writeFile(Dir + "/stop", "");
+  Server.join();
+
+  EXPECT_FALSE(exists(Dir + "/good1.trace"));
+  EXPECT_FALSE(exists(Dir + "/broken.trace"));
+  EXPECT_TRUE(exists(Dir + "/failed/broken.trace"));
+
+  // One valid NDJSON row per trace.
+  std::istringstream Lines(slurp(Dir + "/.results.ndjson"));
+  std::vector<std::string> Rows;
+  std::string Line;
+  while (std::getline(Lines, Line))
+    Rows.push_back(Line);
+  ASSERT_EQ(Rows.size(), 3u);
+  size_t NumOk = 0, NumError = 0;
+  for (const std::string &Row : Rows) {
+    EXPECT_EQ(Row.front(), '{') << Row;
+    EXPECT_EQ(Row.back(), '}') << Row;
+    EXPECT_NE(Row.find("\"trace\": "), std::string::npos) << Row;
+    EXPECT_NE(Row.find("\"tool\": \"atomicity\""), std::string::npos) << Row;
+    EXPECT_NE(Row.find("\"verdict\": "), std::string::npos) << Row;
+    if (Row.find("\"verdict\": \"error\"") != std::string::npos) {
+      ++NumError;
+      EXPECT_NE(Row.find("\"error\": "), std::string::npos) << Row;
+    } else {
+      ++NumOk;
+      EXPECT_NE(Row.find("\"events\": "), std::string::npos) << Row;
+      EXPECT_NE(Row.find("\"violations\": "), std::string::npos) << Row;
+    }
+  }
+  EXPECT_EQ(NumOk, 2u);
+  EXPECT_EQ(NumError, 1u);
+}
+
+TEST(ServeLoopTest, FilesEnqueuedWhileServingAreChecked) {
+  std::string Dir = makeQueue("live_enqueue");
+  ServeOptions Opts;
+  Opts.QueueDir = Dir;
+  Opts.Batch.Tool = ToolKind::Atomicity;
+  Opts.PollMs = 5;
+  Opts.SnapshotMs = 10;
+
+  std::thread Server([&] {
+    ServeStats Stats = runServe(Opts);
+    EXPECT_TRUE(Stats.Ok);
+    EXPECT_EQ(Stats.NumChecked, 1u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Producer protocol: write to a temp name, rename in as the commit.
+  writeFile(Dir + "/.tmp_late", tinyTraceText(11));
+  ASSERT_EQ(std::rename((Dir + "/.tmp_late").c_str(),
+                        (Dir + "/late.trace").c_str()),
+            0);
+  while (!exists(Dir + "/done/late.trace"))
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  writeFile(Dir + "/stop", "");
+  Server.join();
+}
+
+} // namespace

@@ -44,6 +44,7 @@
 #include "support/JsonReport.h"
 #include "support/Timing.h"
 #include "trace/BatchReplay.h"
+#include "trace/ServeLoop.h"
 #include "trace/TraceCodec.h"
 #include "trace/TraceGenerator.h"
 #include "trace/TraceIO.h"
@@ -102,9 +103,11 @@ int usage(const char *Prog) {
       "       %s convert <in> <out>  [--block-events=N]\n"
       "       %s batch --tool=<t> [--workers=N] [--json=PATH] "
       "<dir|file>...\n"
+      "       %s serve --queue=DIR --tool=<t> [--metrics=PATH] "
+      "[--health=PATH] [--results=PATH]\n"
       "tools: %s (default atomicity); --tool=list shows "
       "descriptions\n",
-      Prog, Prog, Prog, Prog, Prog, Prog,
+      Prog, Prog, Prog, Prog, Prog, Prog, Prog,
       ToolRegistry::instance().names().c_str());
   return 2;
 }
@@ -600,6 +603,83 @@ int runBatchCommand(int Argc, char **Argv, const char *Prog) {
   return Result.exitCode();
 }
 
+//===----------------------------------------------------------------------===//
+// taskcheck serve --queue=DIR --tool=<t>
+//===----------------------------------------------------------------------===//
+
+int runServeCommand(int Argc, char **Argv, const char *Prog) {
+  CliOptions Opts;
+  ServeOptions Serve;
+  unsigned Workers = 1;
+  ArgParser Parser;
+  Parser
+      .choiceOption("tool", Opts.Tool,
+                    [] {
+                      std::vector<std::string> Choices;
+                      for (const ToolRegistration &Reg :
+                           ToolRegistry::instance().all())
+                        Choices.push_back(Reg.Name);
+                      return Choices;
+                    })
+      .unsignedOption("workers", Workers)
+      .stringOption("queue", Serve.QueueDir)
+      .stringOption("metrics", Serve.MetricsPath)
+      .stringOption("health", Serve.HealthPath)
+      .stringOption("results", Serve.ResultsPath)
+      .u64Option("poll-ms", Serve.PollMs)
+      .u64Option("snapshot-ms", Serve.SnapshotMs)
+      .unsignedOption("max-batch", Serve.MaxBatch);
+  addAnalysisOptions(Parser, Opts);
+  if (!Parser.parse(Argc, Argv) || Serve.QueueDir.empty() ||
+      Serve.MaxBatch == 0) {
+    std::fprintf(stderr,
+                 "usage: %s serve --queue=DIR --tool=<t> [--workers=N] "
+                 "[--metrics=PATH] [--health=PATH] [--results=PATH] "
+                 "[--poll-ms=N] [--snapshot-ms=N] [--max-batch=N] "
+                 "[--preanalysis=...] [--query-mode=...] "
+                 "[--access-cache=...]\n"
+                 "note: keep --metrics/--health/--results outside the "
+                 "queue directory (top-level queue files are claimed as "
+                 "traces)\n",
+                 Prog);
+    return 2;
+  }
+
+  const ToolRegistration *Reg = resolveTool(Opts.Tool);
+  if (!Reg)
+    return 2;
+
+  Serve.Batch.Tool = Reg->Kind;
+  Serve.Batch.Checker.Query = Opts.Query;
+  Serve.Batch.Checker.Preanalysis = Opts.Preanalysis;
+  Serve.Batch.Checker.PreanalysisWarmup = Opts.PreanalysisWarmup;
+  Serve.Batch.Checker.EnableAccessCache = Opts.CacheEnabled;
+  Serve.Batch.Checker.AccessCacheSlots = Opts.CacheSlots;
+  Serve.Batch.NumWorkers = Workers;
+
+  std::printf("[serve:%s] draining %s with %u worker(s); touch %s/stop to "
+              "shut down\n",
+              Reg->Name.c_str(), Serve.QueueDir.c_str(), Workers,
+              Serve.QueueDir.c_str());
+  ServeStats Stats = runServe(Serve);
+  if (!Stats.Ok) {
+    std::fprintf(stderr, "error: %s\n", Stats.Error.c_str());
+    return 2;
+  }
+  std::printf("[serve:%s] stop requested: %llu claimed, %llu checked, "
+              "%llu failed, %llu violation(s) in %llu trace(s), %llu "
+              "claim race(s), %llu heartbeat(s)\n",
+              Reg->Name.c_str(),
+              static_cast<unsigned long long>(Stats.NumClaimed),
+              static_cast<unsigned long long>(Stats.NumChecked),
+              static_cast<unsigned long long>(Stats.NumFailed),
+              static_cast<unsigned long long>(Stats.NumViolations),
+              static_cast<unsigned long long>(Stats.NumFlagged),
+              static_cast<unsigned long long>(Stats.NumClaimRaces),
+              static_cast<unsigned long long>(Stats.NumHeartbeats));
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -609,6 +689,8 @@ int main(int argc, char **argv) {
     return runConvert(argc - 1, argv + 1, argv[0]);
   if (argc >= 2 && std::strcmp(argv[1], "batch") == 0)
     return runBatchCommand(argc - 1, argv + 1, argv[0]);
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+    return runServeCommand(argc - 1, argv + 1, argv[0]);
 
   CliOptions Opts;
   if (!parseArgs(argc, argv, Opts))

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition snapshot written by
+`taskcheck serve --metrics` (src/obs/MetricsExport.cpp).
+
+Lints the exposition format so CI catches a malformed or incomplete
+snapshot before a scraper would:
+
+  - every line is a comment (# HELP / # TYPE) or a `name[{labels}] value`
+    sample with a valid metric name and a finite numeric value,
+  - every sample belongs to a metric announced by a preceding # TYPE, and
+    each metric carries exactly one HELP and one TYPE line,
+  - counter and gauge metrics expose exactly one sample,
+  - histogram metrics expose non-decreasing cumulative buckets with
+    increasing le= bounds, a trailing +Inf bucket whose count equals
+    `_count`, and a `_sum` sample,
+  - every metric passed via --require is present (the serve smoke's
+    required-metric whitelist).
+
+    validate_metrics.py metrics.prom --require taskcheck_traces_checked_total ...
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+
+
+def fail(path, message):
+    sys.exit(f"error: {path}: {message}")
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def base_metric(sample_name, types):
+    """Maps a histogram series name back to its announced metric."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        root = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+        if root and types.get(root) == "histogram":
+            return root
+    return sample_name
+
+
+def validate(path, required):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(path, "empty snapshot")
+
+    helps = {}
+    types = {}
+    samples = {}  # metric -> list of (labels, value)
+    for index, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                fail(path, f"line {index}: malformed HELP line")
+            if parts[2] in helps:
+                fail(path, f"line {index}: duplicate HELP for {parts[2]}")
+            helps[parts[2]] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not NAME_RE.match(parts[2]):
+                fail(path, f"line {index}: malformed TYPE line")
+            if parts[3] not in ("counter", "gauge", "histogram"):
+                fail(path, f"line {index}: unknown type {parts[3]!r}")
+            if parts[2] in types:
+                fail(path, f"line {index}: duplicate TYPE for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal exposition
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail(path, f"line {index}: not a valid sample: {line!r}")
+        value = parse_value(match.group("value"))
+        if value is None or math.isnan(value):
+            fail(path, f"line {index}: non-numeric value {match.group('value')!r}")
+        metric = base_metric(match.group("name"), types)
+        if metric not in types:
+            fail(path, f"line {index}: sample {match.group('name')!r} has "
+                       f"no preceding # TYPE")
+        samples.setdefault(metric, []).append((match.group("labels"), value))
+
+    for metric, kind in types.items():
+        if metric not in helps:
+            fail(path, f"{metric}: TYPE without HELP")
+        series = samples.get(metric)
+        if not series:
+            fail(path, f"{metric}: announced but exposes no samples")
+        if kind in ("counter", "gauge"):
+            if len(series) != 1:
+                fail(path, f"{metric}: expected one sample, got {len(series)}")
+            if kind == "counter" and series[0][1] < 0:
+                fail(path, f"{metric}: negative counter")
+            continue
+        # Histogram: cumulative buckets, +Inf last, then _sum and _count.
+        buckets = [(labels, value) for labels, value in series
+                   if labels is not None]
+        scalars = [(labels, value) for labels, value in series
+                   if labels is None]
+        if len(scalars) != 2:
+            fail(path, f"{metric}: expected _sum and _count, got "
+                       f"{len(scalars)} unlabelled samples")
+        if len(buckets) < 2:
+            fail(path, f"{metric}: needs at least one finite bucket and +Inf")
+        last_bound = -math.inf
+        last_count = -1
+        for labels, value in buckets:
+            match = re.match(r'^le="([^"]+)"$', labels)
+            if not match:
+                fail(path, f"{metric}: bucket with malformed labels "
+                           f"{labels!r}")
+            bound = parse_value(match.group(1))
+            if bound is None:
+                fail(path, f"{metric}: bucket bound {match.group(1)!r}")
+            if bound <= last_bound:
+                fail(path, f"{metric}: bucket bounds not increasing")
+            if value < last_count:
+                fail(path, f"{metric}: cumulative bucket counts decrease")
+            last_bound, last_count = bound, value
+        if last_bound != math.inf:
+            fail(path, f"{metric}: last bucket must be +Inf")
+        count = scalars[1][1]  # _sum renders before _count
+        if count != last_count:
+            fail(path, f"{metric}: +Inf bucket {last_count} != _count {count}")
+
+    missing = [name for name in required if name not in types]
+    if missing:
+        fail(path, f"required metric(s) missing: {', '.join(missing)}")
+
+    histograms = sum(1 for kind in types.values() if kind == "histogram")
+    print(f"{path} ok: {len(types)} metrics ({histograms} histograms), "
+          f"{len(required)} required present")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot", help="Prometheus text-exposition file")
+    parser.add_argument("--require", nargs="*", default=[],
+                        help="metric names that must be present")
+    args = parser.parse_args()
+    validate(args.snapshot, args.require)
+
+
+if __name__ == "__main__":
+    main()
